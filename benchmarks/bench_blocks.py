@@ -1,0 +1,23 @@
+"""Fig. 9 — per-CNN-block runtime of DL2SQL inference."""
+
+from repro.experiments import exp_blocks
+from repro.experiments.reporting import print_table
+
+
+def test_fig9_blocks(benchmark, bench_dataset):
+    rows = benchmark.pedantic(
+        lambda: exp_blocks.run(bench_dataset, num_keyframes=8),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        ["Block", "Seconds/keyframe", "Share"],
+        [(r.block, r.seconds, f"{r.share:.1%}") for r in rows],
+        title="Fig. 9: Costs of CNN Blocks in DL2SQL (student model)",
+    )
+    shares = {r.block: r.share for r in rows}
+    conv_share = sum(
+        v for k, v in shares.items() if k.startswith(("Conv", "Reshape"))
+    )
+    # Convolution machinery dominates the student's inference time.
+    assert conv_share > 0.6

@@ -1,0 +1,67 @@
+"""Fig. 12a/12b/13 — cost-model estimation accuracy."""
+
+from repro.engine import Database
+from repro.experiments import exp_cost_model
+from repro.experiments.reporting import print_table
+
+
+def _print(rows, title):
+    print_table(
+        ["Setting", "Default est.(s)", "Customized est.(s)", "Actual(s)"],
+        [
+            (r.setting, r.default_seconds, r.custom_seconds, r.actual_seconds)
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def test_fig12a_kernel_sweep(benchmark):
+    db = Database()
+    rows = benchmark.pedantic(
+        lambda: exp_cost_model.run_kernel_sweep(
+            kernels=(1, 2, 3, 4, 5), feature_size=12, db=db
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(rows, "Fig. 12a: Varying CNN Kernel Size")
+    # Default over-estimates, and its error grows with kernel size.
+    for row in rows[1:]:
+        assert row.default_seconds > row.custom_seconds
+    first_gap = rows[1].default_seconds / max(rows[1].actual_seconds, 1e-9)
+    last_gap = rows[-1].default_seconds / max(rows[-1].actual_seconds, 1e-9)
+    assert last_gap > first_gap
+
+
+def test_fig12b_feature_sweep(benchmark):
+    db = Database()
+    rows = benchmark.pedantic(
+        lambda: exp_cost_model.run_feature_sweep(
+            sizes=(8, 12, 16, 20), kernel=3, db=db
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(rows, "Fig. 12b: Varying Input Feature Size")
+    for row in rows[1:]:
+        assert row.default_seconds > row.custom_seconds
+        # The customized model tracks actual cost within roughly an order
+        # of magnitude; the default model drifts far beyond it.
+        assert row.custom_seconds < 20 * row.actual_seconds
+
+
+def test_fig13_operator_sweep(benchmark):
+    db = Database()
+    rows = benchmark.pedantic(
+        lambda: exp_cost_model.run_operator_sweep(size=12, db=db),
+        rounds=1,
+        iterations=1,
+    )
+    _print(rows, "Fig. 13: Estimation per Neural Operator")
+    by_name = {r.setting: r for r in rows}
+    for operator in ("conv", "bn"):
+        row = by_name[operator]
+        default_error = abs(row.default_seconds - row.actual_seconds)
+        custom_error = abs(row.custom_seconds - row.actual_seconds)
+        assert custom_error <= default_error

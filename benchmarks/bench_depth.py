@@ -1,0 +1,50 @@
+"""Table VI — performance vs ResNet depth on the edge profile."""
+
+from repro.experiments import exp_depth
+from repro.experiments.reporting import print_table
+
+
+def test_table6_depth(benchmark, small_dataset):
+    depths = (5, 8, 11, 14)
+    rows = benchmark.pedantic(
+        lambda: exp_depth.run(small_dataset, depths=depths),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        ["Depth", "Parameters", "Strategy", "Inference(s)", "Loading(s)",
+         "Total(s)"],
+        [
+            (r.depth, r.parameters, r.strategy, r.inference, r.loading,
+             r.total)
+            for r in rows
+        ],
+        title="Table VI: Performance vs Model Depth (edge profile)",
+    )
+    by_depth = {}
+    for row in rows:
+        by_depth.setdefault(row.depth, {})[row.strategy] = row
+
+    # DL2SQL-OP wins at the shallow end...
+    shallow = {k: v.total for k, v in by_depth[depths[0]].items()}
+    assert shallow["DL2SQL-OP"] == min(shallow.values())
+    # ...but its loading (relational model tables) grows faster than
+    # DB-PyTorch's file-based loading, shrinking the advantage with depth.
+    op_lead_shallow = (
+        by_depth[depths[0]]["DB-PyTorch"].total
+        / by_depth[depths[0]]["DL2SQL-OP"].total
+    )
+    op_lead_deep = (
+        by_depth[depths[-1]]["DB-PyTorch"].total
+        / by_depth[depths[-1]]["DL2SQL-OP"].total
+    )
+    assert op_lead_deep < op_lead_shallow
+    loading_growth_op = (
+        by_depth[depths[-1]]["DL2SQL-OP"].loading
+        / max(by_depth[depths[0]]["DL2SQL-OP"].loading, 1e-9)
+    )
+    loading_growth_pt = (
+        by_depth[depths[-1]]["DB-PyTorch"].loading
+        / max(by_depth[depths[0]]["DB-PyTorch"].loading, 1e-9)
+    )
+    assert loading_growth_op > loading_growth_pt

@@ -1,0 +1,30 @@
+"""Fig. 8 — overall performance across strategies and hardware."""
+
+from repro.experiments import exp_overall
+from repro.experiments.reporting import print_table
+
+
+def test_fig8_overall(benchmark, bench_dataset, bench_repository):
+    rows = benchmark.pedantic(
+        lambda: exp_overall.run(
+            bench_dataset, bench_repository, selectivity=0.05
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        ["Hardware", "Strategy", "Loading(s)", "Inference(s)",
+         "Relational(s)", "Total(s)"],
+        [
+            (r.hardware, r.strategy, r.loading, r.inference, r.relational,
+             r.total)
+            for r in rows
+        ],
+        title="Fig. 8: Overall Evaluation Results (avg per query)",
+    )
+    edge = {r.strategy: r.total for r in rows if r.hardware.startswith("edge")}
+    # Headline: DL2SQL-OP wins on the edge; plain DL2SQL beats both
+    # cross-system strategies there.
+    assert edge["DL2SQL-OP"] == min(edge.values())
+    assert edge["DL2SQL"] < edge["DB-UDF"]
+    assert edge["DL2SQL"] < edge["DB-PyTorch"]

@@ -1,0 +1,21 @@
+"""Fig. 10 — runtime distribution across SQL clauses."""
+
+from repro.experiments import exp_sql_profile
+from repro.experiments.reporting import print_table
+
+
+def test_fig10_sql_profile(benchmark, bench_dataset):
+    rows = benchmark.pedantic(
+        lambda: exp_sql_profile.run(bench_dataset, num_keyframes=8),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        ["Clause", "Seconds/keyframe", "Share", "Rows"],
+        [(r.clause, r.seconds, f"{r.share:.1%}", r.rows) for r in rows],
+        title="Fig. 10: Costs of Different SQL Clauses",
+    )
+    shares = {r.clause: r.share for r in rows}
+    # The paper: "the relatively expensive operations are Join and GroupBy".
+    assert shares.get("groupby", 0) + shares.get("join", 0) > 0.5
+    assert shares.get("groupby", 0) > shares.get("scan", 0)

@@ -1,0 +1,25 @@
+"""Table IV — storage overheads with different model depths."""
+
+from repro.experiments import exp_storage
+
+
+def test_table4_storage(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp_storage.run(depths=(5, 10, 15, 20, 25, 30, 35, 40)),
+        rounds=1,
+        iterations=1,
+    )
+    exp_storage.print_table(
+        ["Depth", "Parameters", "DL2SQL(KB)", "DB-PyTorch(KB)", "DB-UDF(KB)",
+         "Mappings(KB)"],
+        [
+            (r.depth, r.parameters, r.dl2sql_kb, r.db_pytorch_kb,
+             r.db_udf_kb, r.dl2sql_mappings_kb)
+            for r in rows
+        ],
+        title="Table IV: Storage Overheads with Different Model Depths",
+    )
+    # Reproduction shape: DL2SQL > DB-PyTorch >= DB-UDF, monotone in depth.
+    for row in rows:
+        assert row.dl2sql_kb > row.db_pytorch_kb >= row.db_udf_kb
+    assert [r.dl2sql_kb for r in rows] == sorted(r.dl2sql_kb for r in rows)

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures: each bench times the
+experiment with pytest-benchmark and prints the regenerated artifact
+(visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.dataset import DatasetConfig, generate_dataset
+from repro.workload.models_repo import build_repository
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The benchmark-scale dataset (larger than the unit-test one)."""
+    return generate_dataset(DatasetConfig(scale=2, keyframe_shape=(1, 12, 12)))
+
+
+@pytest.fixture(scope="session")
+def bench_repository(bench_dataset):
+    return build_repository(bench_dataset, num_tasks=4, calibration_samples=32)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A smaller dataset for the heavy depth sweep."""
+    return generate_dataset(DatasetConfig(scale=1, keyframe_shape=(1, 8, 8)))

@@ -1,0 +1,89 @@
+"""A tour of the customized cost model (Section IV-A, Fig. 12/13).
+
+Shows, for a single convolution layer:
+
+* the paper's closed-form quantities (Eqs. 3-8): T_in, S_J, T_out,
+  C_join, C_total;
+* how the default DBMS estimator, costing the same generated SQL ahead
+  of execution, over-estimates — and how the error compounds when layers
+  stack;
+* the normalization ratio r = seq_time / seq_scan_cost that converts
+  cost units to seconds.
+
+Run:  python examples/cost_model_tour.py
+"""
+
+from repro.core import CustomCostModel, Dl2SqlModel, compile_model
+from repro.core.cost_model import (
+    estimate_layers,
+    estimate_script_cost,
+)
+from repro.engine import Database
+from repro.engine.cost import DefaultCostModel
+from repro.experiments.exp_cost_model import calibrate_ratio
+from repro.experiments.reporting import print_table
+from repro.tensor import Conv2d, Model
+
+def stacked_conv_model(layers: int, size: int = 12, channels: int = 4) -> Model:
+    convs = [Conv2d(1, channels, 3, padding=1, name="c0")]
+    convs += [
+        Conv2d(channels, channels, 3, padding=1, name=f"c{i}")
+        for i in range(1, layers)
+    ]
+    return Model(f"stack{layers}", (1, size, size), convs)
+
+def main() -> None:
+    db = Database()
+    ratio = calibrate_ratio(db)
+    print(f"calibration: 1 cost unit ~= {ratio * 1e9:.1f} ns "
+          "(r = seq_time / seq_scan_cost)\n")
+
+    # Closed-form per-layer quantities (Eqs. 3-8).
+    model = stacked_conv_model(1)
+    compiled = compile_model(model)
+    print_table(
+        ["Layer", "k_in", "S_J (Eq.4)", "T_in", "T_out (Eq.5)",
+         "C_join (Eq.6)", "C_total (Eq.7)"],
+        [
+            (e.layer_name, e.k_in, f"{e.join_selectivity:.4f}", e.t_in,
+             e.t_out, e.c_join, e.c_total)
+            for e in estimate_layers(compiled)
+        ],
+        title="Per-layer quantities of the customized cost model",
+    )
+
+    # Whole-script estimation: default vs customized, stacking layers.
+    rows = []
+    for depth in (1, 2, 3, 4):
+        model = stacked_conv_model(depth)
+        compiled = compile_model(model)
+        runner = Dl2SqlModel(compiled)
+        runner.load(db)
+        default = estimate_script_cost(compiled, db, DefaultCostModel())
+        custom = estimate_script_cost(compiled, db, CustomCostModel())
+        rows.append(
+            (
+                depth,
+                default.total_cost * ratio,
+                custom.total_cost * ratio,
+                f"{default.total_cost / custom.total_cost:.0f}x",
+            )
+        )
+        runner.unload(db)
+    print_table(
+        ["Conv layers", "Default est.(s)", "Customized est.(s)",
+         "Over-estimation"],
+        rows,
+        title=(
+            "Default vs customized estimates — the error compounds "
+            "exponentially with depth (Section IV)"
+        ),
+    )
+    print("The default model lacks statistics for the intermediate "
+          "feature-map tables, falls back to System-R's magic join "
+          "selectivity, and the error multiplies layer over layer.  The "
+          "customized model installs the compiler's exact cardinalities "
+          "and stays calibrated.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of "A Comparative Study of in-Database Inference
+Approaches" (ICDE 2022).
+
+Public entry points:
+
+* :class:`repro.engine.Database` — the in-memory columnar SQL engine
+  (ClickHouse substitute) with UDF support;
+* :mod:`repro.tensor` — the numpy NN inference framework (PyTorch
+  substitute) with ResNet/student builders and serialization;
+* :mod:`repro.core` — DL2SQL: model-to-SQL compilation, the customized
+  cost model and the optimizer hint rules;
+* :mod:`repro.strategies` — the three collaborative-query strategies
+  (DB-PyTorch, DB-UDF, DL2SQL/-OP) behind one interface;
+* :mod:`repro.workload` — the synthetic Alibaba IoT textile workload,
+  model repository, query templates and benchmark runner;
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  of the paper's evaluation.
+"""
+
+from repro.engine import Database
+from repro.hardware import EDGE_ARM, SERVER_CPU, SERVER_GPU, HardwareProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EDGE_ARM",
+    "HardwareProfile",
+    "SERVER_CPU",
+    "SERVER_GPU",
+    "__version__",
+]

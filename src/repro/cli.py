@@ -1,0 +1,170 @@
+"""Command-line interface: experiments, a demo, and an interactive shell.
+
+Usage::
+
+    python -m repro list                     # show available experiments
+    python -m repro run fig8 [fig14 ...]     # regenerate paper artifacts
+    python -m repro demo                     # quickstart parity demo
+    python -m repro shell [--scale N]        # SQL shell on the IoT dataset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+#: Experiment registry: id -> (description, runner factory).
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "table4": ("Table IV: storage overheads", "exp_storage"),
+    "fig8": ("Fig. 8: overall performance", "exp_overall"),
+    "table5": ("Table V: selectivity sweep", "exp_selectivity"),
+    "table6": ("Table VI: model-depth sweep", "exp_depth"),
+    "fig9": ("Fig. 9: CNN block costs", "exp_blocks"),
+    "fig10": ("Fig. 10: SQL clause costs", "exp_sql_profile"),
+    "fig11": ("Fig. 11: pre-join strategies", "exp_prejoin"),
+    "fig12": ("Fig. 12/13: cost model accuracy", "exp_cost_model"),
+    "fig14": ("Fig. 14: hint effectiveness", "exp_hints"),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Comparative Study of in-Database Inference "
+            "Approaches' (ICDE 2022)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("ids", nargs="+", choices=sorted(EXPERIMENTS))
+
+    subparsers.add_parser("demo", help="compile a CNN to SQL and verify parity")
+
+    shell_parser = subparsers.add_parser(
+        "shell", help="interactive SQL shell over the generated IoT dataset"
+    )
+    shell_parser.add_argument("--scale", type=int, default=2)
+    shell_parser.add_argument("--seed", type=int, default=42)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "shell":
+        return _cmd_shell(args.scale, args.seed)
+    return 2  # pragma: no cover - argparse guards this
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key in sorted(EXPERIMENTS):
+        description, module = EXPERIMENTS[key]
+        print(f"{key:<{width}}  {description}  (repro.experiments.{module})")
+    return 0
+
+
+def _cmd_run(ids: Sequence[str]) -> int:
+    import importlib
+
+    for experiment_id in ids:
+        _, module_name = EXPERIMENTS[experiment_id]
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        print(f"== {experiment_id} ==")
+        module.main()
+    return 0
+
+
+def _cmd_demo() -> int:
+    import numpy as np
+
+    from repro.core import Dl2SqlModel, PreJoin, compile_model
+    from repro.engine import Database
+    from repro.tensor import build_student_cnn
+
+    model = build_student_cnn(input_shape=(1, 12, 12), num_classes=4)
+    compiled = compile_model(model, prejoin=PreJoin.FOLD)
+    db = Database()
+    runner = Dl2SqlModel(compiled)
+    runner.load(db)
+    image = np.random.default_rng(0).normal(size=(1, 12, 12))
+    result = runner.infer(db, image)
+    expected = model.forward(image)
+    ok = np.allclose(result.probabilities, expected, atol=1e-9)
+    print(f"model: {model}")
+    print(f"SQL statements: {len(compiled.steps)}, "
+          f"tables: {len(compiled.static_tables)}")
+    print(f"SQL inference  : {np.round(result.probabilities, 5)}")
+    print(f"numpy forward  : {np.round(expected, 5)}")
+    print(f"parity: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def _cmd_shell(scale: int, seed: int) -> int:
+    from repro.engine import Database
+    from repro.experiments.reporting import print_table
+    from repro.workload.dataset import DatasetConfig, generate_dataset
+
+    dataset = generate_dataset(DatasetConfig(scale=scale, seed=seed))
+    db = Database()
+    dataset.install(db)
+    print(
+        "IoT dataset loaded:",
+        {name: t.num_rows for name, t in dataset.tables.items()},
+    )
+    print("Enter SQL (exit/quit to leave, \\d to list tables).")
+    return run_shell(db, input_fn=input, output_fn=print)
+
+
+def run_shell(
+    db,
+    input_fn: Callable[[str], str],
+    output_fn: Callable[[str], None],
+    max_rows: int = 40,
+) -> int:
+    """The shell loop, injectable for tests."""
+    while True:
+        try:
+            line = input_fn("sql> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            output_fn("")
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("exit", "quit", "\\q"):
+            return 0
+        if line == "\\d":
+            output_fn("tables: " + ", ".join(db.catalog.table_names()))
+            output_fn("views : " + ", ".join(db.catalog.view_names()))
+            continue
+        try:
+            result = db.execute(line.rstrip(";"))
+        except ReproError as exc:
+            output_fn(f"error: {exc}")
+            continue
+        if result.has_rows:
+            rows = result.rows()
+            shown = rows[:max_rows]
+            from repro.experiments.reporting import format_table
+
+            output_fn(format_table(result.column_names, shown))
+            if len(rows) > max_rows:
+                output_fn(f"... ({len(rows) - max_rows} more rows)")
+        else:
+            output_fn(result.message or f"ok ({result.affected_rows} rows)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Algorithm 1: turning a tensor into a FeatureMap table.
+
+The FeatureMap table has schema ``{MatrixID, OrderID, Value}``:
+
+* ``MatrixID`` identifies one kernel placement (one output position);
+* ``OrderID`` serializes the receptive-field slots of that placement —
+  generalized from the paper's single-channel illustration to
+  multi-channel inputs, ``OrderID = channel·k² + ky·k + kx`` so it aligns
+  1:1 with the vectorized kernel table;
+* ``Value`` is the input value at that slot.
+
+Elements covered by several placements are stored redundantly, exactly as
+the paper notes.  Zero-padding slots are *omitted*: a missing
+``(MatrixID, OrderID)`` row contributes nothing to the SUM of Q1, which is
+the same as multiplying the kernel weight by zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.tensor.functional import conv_output_size
+
+
+def feature_map_rows(
+    tensor: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    padding: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 1 (vectorized): ``[C,H,W]`` -> (MatrixID, OrderID, Value).
+
+    Returns three parallel arrays ready to become table columns.
+    """
+    if tensor.ndim != 3:
+        raise CompileError(f"feature map input must be [C,H,W], got {tensor.shape}")
+    channels, height, width = tensor.shape
+    out_h = conv_output_size(height, kernel_size, stride, padding)
+    out_w = conv_output_size(width, kernel_size, stride, padding)
+
+    matrix_ids: list[np.ndarray] = []
+    order_ids: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+
+    slot = np.arange(kernel_size)
+    # Top-left corner (in padded coordinates) of each placement.
+    ys = np.arange(out_h) * stride - padding
+    xs = np.arange(out_w) * stride - padding
+
+    for channel in range(channels):
+        for window_y in range(out_h):
+            row_positions = ys[window_y] + slot          # k rows
+            row_valid = (row_positions >= 0) & (row_positions < height)
+            for window_x in range(out_w):
+                col_positions = xs[window_x] + slot      # k cols
+                col_valid = (col_positions >= 0) & (col_positions < width)
+                valid = np.outer(row_valid, col_valid)
+                if not valid.any():
+                    continue
+                ky, kx = np.nonzero(valid)
+                matrix_id = window_y * out_w + window_x
+                order = channel * kernel_size * kernel_size + ky * kernel_size + kx
+                picked = tensor[channel, row_positions[ky], col_positions[kx]]
+                matrix_ids.append(np.full(len(ky), matrix_id, dtype=np.int64))
+                order_ids.append(order.astype(np.int64))
+                values.append(picked.astype(np.float64))
+
+    if not matrix_ids:
+        raise CompileError("feature map construction produced no rows")
+    return (
+        np.concatenate(matrix_ids),
+        np.concatenate(order_ids),
+        np.concatenate(values),
+    )
+
+
+def flat_rows(tensor: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Tensor -> flat table rows (TupleID, Value), TupleID in CHW order."""
+    flat = np.asarray(tensor, dtype=np.float64).reshape(-1)
+    return np.arange(len(flat), dtype=np.int64), flat
+
+
+def tensor_from_flat(
+    tuple_ids: np.ndarray, values: np.ndarray, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Rebuild a tensor from flat-table rows (inverse of :func:`flat_rows`)."""
+    size = 1
+    for dim in shape:
+        size *= dim
+    out = np.zeros(size, dtype=np.float64)
+    out[np.asarray(tuple_ids, dtype=np.int64)] = np.asarray(values, dtype=np.float64)
+    return out.reshape(shape)

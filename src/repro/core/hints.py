@@ -1,0 +1,94 @@
+"""The hint machinery behind DL2SQL-OP (Section IV-B).
+
+:class:`HintAwareCostModel` extends the default estimator with the two
+pieces of model-specific knowledge the hint rules need:
+
+* per-nUDF **selectivity** from the class histograms
+  (:class:`~repro.core.selectivity.NudfSelectivity`, Eqs. 9–10), consulted
+  when a predicate compares an nUDF result against a literal;
+* per-nUDF **evaluation cost**, taken from the ``cost_per_row`` attached
+  at UDF registration (seconds) and converted into plan cost units.
+
+:func:`make_op_config` assembles the full DL2SQL-OP optimizer
+configuration: hint rules enabled + hint-aware cost model (optionally
+layered over :class:`~repro.core.cost_model.CustomCostModel` knowledge for
+compiled models).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.cost_model import CustomCostModel
+from repro.core.selectivity import NudfSelectivity
+from repro.engine.cost import UDF_SELECTIVITY_DEFAULT
+from repro.engine.optimizer import OptimizerConfig
+from repro.engine.udf import UdfRegistry, parse_udf_comparison
+from repro.sql.ast_nodes import Expression, FunctionCall
+
+#: Default conversion between UDF seconds and plan cost units: one cost
+#: unit is roughly the time to scan one row in this engine.
+SECONDS_PER_COST_UNIT = 5e-8
+
+
+class HintAwareCostModel(CustomCostModel):
+    """Custom cost model + per-nUDF selectivity and cost knowledge."""
+
+    name = "hint-aware"
+
+    def __init__(
+        self,
+        udfs: UdfRegistry,
+        selectivities: Optional[Mapping[str, NudfSelectivity]] = None,
+        seconds_per_cost_unit: float = SECONDS_PER_COST_UNIT,
+        fallback_selectivity: float = UDF_SELECTIVITY_DEFAULT,
+    ) -> None:
+        super().__init__()
+        self._udfs = udfs
+        self._selectivities = {
+            name.lower(): estimator
+            for name, estimator in (selectivities or {}).items()
+        }
+        self._seconds_per_cost_unit = seconds_per_cost_unit
+        self._fallback = fallback_selectivity
+
+    # ------------------------------------------------------------------
+    def register_selectivity(self, estimator: NudfSelectivity) -> None:
+        self._selectivities[estimator.udf_name.lower()] = estimator
+
+    def selectivity_for(self, udf_name: str) -> Optional[NudfSelectivity]:
+        return self._selectivities.get(udf_name.lower())
+
+    # -- hooks -----------------------------------------------------------
+    def udf_predicate_selectivity(self, conjunct: Expression) -> float:
+        parsed = parse_udf_comparison(conjunct)
+        if parsed is None:
+            return self._fallback
+        udf_name, label, negated = parsed
+        estimator = self._selectivities.get(udf_name.lower())
+        if estimator is None:
+            return self._fallback
+        if negated:
+            return estimator.selectivity_not_equals(label)
+        return estimator.selectivity_equals(label)
+
+    def udf_call_cost(self, call: FunctionCall) -> float:
+        if call.name in self._udfs:
+            udf = self._udfs.get(call.name)
+            if udf.cost_per_row > 0:
+                return udf.cost_per_row / self._seconds_per_cost_unit
+        return self.udf_cost_per_row
+
+
+def make_op_config(
+    udfs: UdfRegistry,
+    selectivities: Optional[Mapping[str, NudfSelectivity]] = None,
+    seconds_per_cost_unit: float = SECONDS_PER_COST_UNIT,
+) -> OptimizerConfig:
+    """The DL2SQL-OP optimizer configuration: hints + hint-aware costing."""
+    return OptimizerConfig(
+        cost_model=HintAwareCostModel(
+            udfs, selectivities, seconds_per_cost_unit
+        ),
+        use_hints=True,
+    )

@@ -1,0 +1,167 @@
+"""Algorithm 2: kernel mapping tables.
+
+Between two convolutional layers, the flat output of layer *i* (rows
+``{TupleID, Value}`` with ``TupleID = channel·H·W + y·W + x``) must be
+re-shaped into layer *i+1*'s FeatureMap format.  The mapping table
+``{MatrixID, OrderID, TupleID}`` encodes that re-indexing once, offline —
+it "only depends on k, W_i and s" (and the channel count), so the
+compiler generates it at model-compilation time and Q2-style joins apply
+it at inference time.
+
+Padding slots are simply absent from the table (their contribution is
+zero), and pooling uses a reduced ``{MatrixID, TupleID}`` variant because
+pooling aggregations do not need slot order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.tensor.functional import conv_output_size
+
+
+def mapping_rows(
+    input_shape: tuple[int, int, int],
+    kernel_size: int,
+    stride: int,
+    padding: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 2 (vectorized, multi-channel): -> (MatrixID, OrderID, TupleID).
+
+    ``input_shape`` is the ``[C, H, W]`` shape of the tensor stored in flat
+    form; the output indexes the FeatureMap of a convolution with the
+    given kernel/stride/padding over it.
+    """
+    channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel_size, stride, padding)
+    out_w = conv_output_size(width, kernel_size, stride, padding)
+
+    slot = np.arange(kernel_size)
+    ky, kx = np.meshgrid(slot, slot, indexing="ij")
+    ky = ky.reshape(-1)                                   # [k*k]
+    kx = kx.reshape(-1)
+    order_base = ky * kernel_size + kx                    # [k*k]
+
+    window_y, window_x = np.meshgrid(
+        np.arange(out_h), np.arange(out_w), indexing="ij"
+    )
+    window_y = window_y.reshape(-1)                       # [M]
+    window_x = window_x.reshape(-1)
+    matrix_base = window_y * out_w + window_x             # [M]
+
+    # Input coordinates per (window, slot): [M, k*k]
+    rows = window_y[:, None] * stride - padding + ky[None, :]
+    cols = window_x[:, None] * stride - padding + kx[None, :]
+    valid = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+
+    matrix_ids: list[np.ndarray] = []
+    order_ids: list[np.ndarray] = []
+    tuple_ids: list[np.ndarray] = []
+    k_squared = kernel_size * kernel_size
+    plane = height * width
+
+    window_index, slot_index = np.nonzero(valid)
+    base_matrix = matrix_base[window_index]
+    base_tuple = rows[window_index, slot_index] * width + cols[window_index, slot_index]
+    base_order = order_base[slot_index]
+
+    for channel in range(channels):
+        matrix_ids.append(base_matrix)
+        order_ids.append(base_order + channel * k_squared)
+        tuple_ids.append(base_tuple + channel * plane)
+
+    return (
+        np.concatenate(matrix_ids).astype(np.int64),
+        np.concatenate(order_ids).astype(np.int64),
+        np.concatenate(tuple_ids).astype(np.int64),
+    )
+
+
+def deconv_mapping_rows(
+    input_shape: tuple[int, int, int],
+    kernel_size: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mapping for transposed convolution: -> (MatrixID, OrderID, TupleID).
+
+    A deconvolution is a convolution with a different index mapping:
+    output position ``(oy, ox)`` receives ``input[iy, ix] * w[ky, kx]``
+    whenever ``iy·s + ky = oy`` and ``ix·s + kx = ox``.  Expressing that
+    relation in the mapping table lets the compiler reuse the exact conv
+    machinery (Q1/Q2) for deconvolution.
+    """
+    channels, height, width = input_shape
+    out_h = (height - 1) * stride + kernel_size
+    out_w = (width - 1) * stride + kernel_size
+    k_squared = kernel_size * kernel_size
+    plane_in = height * width
+
+    matrix_ids: list[int] = []
+    order_ids: list[int] = []
+    tuple_ids: list[int] = []
+    for out_y in range(out_h):
+        for out_x in range(out_w):
+            matrix_id = out_y * out_w + out_x
+            for ky in range(kernel_size):
+                in_y, rem_y = divmod(out_y - ky, stride)
+                if rem_y or not (0 <= in_y < height):
+                    continue
+                for kx in range(kernel_size):
+                    in_x, rem_x = divmod(out_x - kx, stride)
+                    if rem_x or not (0 <= in_x < width):
+                        continue
+                    matrix_ids.append(matrix_id)
+                    order_ids.append(ky * kernel_size + kx)
+                    tuple_ids.append(in_y * width + in_x)
+
+    base_matrix = np.asarray(matrix_ids, dtype=np.int64)
+    base_order = np.asarray(order_ids, dtype=np.int64)
+    base_tuple = np.asarray(tuple_ids, dtype=np.int64)
+
+    all_matrix: list[np.ndarray] = []
+    all_order: list[np.ndarray] = []
+    all_tuple: list[np.ndarray] = []
+    for channel in range(channels):
+        all_matrix.append(base_matrix)
+        all_order.append(base_order + channel * k_squared)
+        all_tuple.append(base_tuple + channel * plane_in)
+    return (
+        np.concatenate(all_matrix),
+        np.concatenate(all_order),
+        np.concatenate(all_tuple),
+    )
+
+
+def pooling_mapping_rows(
+    input_shape: tuple[int, int, int],
+    kernel_size: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mapping for pooling: -> (MatrixID, TupleID).
+
+    ``MatrixID = channel·H'·W' + window`` so one GROUP BY MatrixID pools
+    every channel at once (the multi-channel generalization of Q3).
+    """
+    channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel_size, stride, 0)
+    out_w = conv_output_size(width, kernel_size, stride, 0)
+    if out_h <= 0 or out_w <= 0:
+        raise CompileError("pooling window larger than input")
+
+    matrix_id, order_id, tuple_id = mapping_rows(
+        (1, height, width), kernel_size, stride, padding=0
+    )
+    del order_id
+    plane_out = out_h * out_w
+    plane_in = height * width
+
+    matrix_ids = []
+    tuple_ids = []
+    for channel in range(channels):
+        matrix_ids.append(matrix_id + channel * plane_out)
+        tuple_ids.append(tuple_id + channel * plane_in)
+    return (
+        np.concatenate(matrix_ids).astype(np.int64),
+        np.concatenate(tuple_ids).astype(np.int64),
+    )

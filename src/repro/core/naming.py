@@ -1,0 +1,62 @@
+"""Deterministic table naming for compiled models.
+
+Every table DL2SQL creates is derived from the model name and the layer
+name, sanitized to SQL identifiers, so multiple models coexist in one
+database (the paper's 20-model repository) and re-loading a model replaces
+exactly its own tables.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IDENTIFIER = re.compile(r"[^0-9a-zA-Z_]")
+
+
+def sanitize(name: str) -> str:
+    """Make an arbitrary string safe as a SQL identifier chunk."""
+    cleaned = _IDENTIFIER.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"m_{cleaned}"
+    return cleaned.lower()
+
+
+class NameScheme:
+    """Name factory for one compiled model."""
+
+    def __init__(self, model_name: str) -> None:
+        self.model = sanitize(model_name)
+
+    def kernel(self, layer: str) -> str:
+        return f"{self.model}__{sanitize(layer)}__kernel"
+
+    def bias(self, layer: str) -> str:
+        return f"{self.model}__{sanitize(layer)}__bias"
+
+    def bn_params(self, layer: str) -> str:
+        return f"{self.model}__{sanitize(layer)}__bnparams"
+
+    def mapping(self, layer: str) -> str:
+        return f"{self.model}__{sanitize(layer)}__mapping"
+
+    def pool_mapping(self, layer: str) -> str:
+        return f"{self.model}__{sanitize(layer)}__poolmap"
+
+    def kernel_map(self, layer: str) -> str:
+        """Pre-joined mapping ⋈ kernel table (Fig. 11 strategy 3)."""
+        return f"{self.model}__{sanitize(layer)}__kernelmap"
+
+    def attention_weights(self, layer: str, which: str) -> str:
+        return f"{self.model}__{sanitize(layer)}__w{sanitize(which)}"
+
+    def input(self) -> str:
+        return f"{self.model}__input"
+
+    def step_output(self, step: int, label: str) -> str:
+        return f"{self.model}__s{step:03d}_{sanitize(label)}"
+
+    def output(self) -> str:
+        return f"{self.model}__output"
+
+    def prefix(self) -> str:
+        return f"{self.model}__"

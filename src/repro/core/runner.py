@@ -1,0 +1,165 @@
+"""Loading compiled models into a database and running SQL inference.
+
+:class:`Dl2SqlModel` wraps a :class:`~repro.core.compiler.CompiledModel`
+and provides the two phases the paper's cost breakdown distinguishes:
+
+* :meth:`load` — register the model's relational tables and build the
+  MatrixID/OrderID/KernelID indexes (the paper's Section IV-A indexes);
+  measured as *loading* cost, it is the part that grows with model depth
+  and eventually lets DB-PyTorch overtake DL2SQL in Table VI.
+* :meth:`infer` — materialize the input as a flat table, execute the
+  compiled statements, and read back the output distribution; measured as
+  *inference* cost, broken down per CNN block for Fig. 9.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.core.compiler import CompiledModel
+from repro.core.featuremap import flat_rows, tensor_from_flat
+from repro.engine.database import Database
+from repro.storage.table import Table
+
+
+@dataclass
+class InferenceResult:
+    """Output of one SQL-side forward pass."""
+
+    probabilities: np.ndarray
+    class_index: int
+    label: str
+    load_seconds: float
+    exec_seconds: float
+    block_seconds: dict[str, float] = field(default_factory=dict)
+    step_seconds: list[tuple[str, float]] = field(default_factory=list)
+
+
+class Dl2SqlModel:
+    """A compiled model bound to (at most) one database at a time."""
+
+    def __init__(self, compiled: CompiledModel) -> None:
+        self.compiled = compiled
+        self._loaded_into: Optional[Database] = None
+        self.last_load_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def load(self, db: Database) -> float:
+        """Install model tables + indexes; returns wall-clock seconds."""
+        started = time.perf_counter()
+        for table in self.compiled.static_tables:
+            db.register_table(table, replace=True)
+        for table_name, column_name in self.compiled.index_columns:
+            db.catalog.create_index(table_name, column_name)
+        elapsed = time.perf_counter() - started
+        self._loaded_into = db
+        self.last_load_seconds = elapsed
+        return elapsed
+
+    def unload(self, db: Database) -> int:
+        """Drop every table belonging to this model; returns count."""
+        prefix = self.compiled.table_prefix
+        dropped = 0
+        for name in list(db.catalog.table_names()) + list(db.catalog.view_names()):
+            if name.lower().startswith(prefix):
+                db.catalog.drop(name)
+                dropped += 1
+        if self._loaded_into is db:
+            self._loaded_into = None
+        return dropped
+
+    def is_loaded(self, db: Database) -> bool:
+        return all(
+            db.catalog.has(table.name) for table in self.compiled.static_tables
+        )
+
+    # ------------------------------------------------------------------
+    def infer(self, db: Database, image: np.ndarray) -> InferenceResult:
+        """Run one forward pass entirely through SQL."""
+        if not self.is_loaded(db):
+            raise ExecutionError(
+                f"model {self.compiled.model_name!r} is not loaded; call load()"
+            )
+        load_started = time.perf_counter()
+        self._cleanup_steps(db)
+        self._install_input(db, image)
+        load_seconds = time.perf_counter() - load_started
+
+        block_seconds: dict[str, float] = {}
+        step_seconds: list[tuple[str, float]] = []
+        exec_started = time.perf_counter()
+        for step in self.compiled.steps:
+            step_started = time.perf_counter()
+            db.execute(step.sql)
+            elapsed = time.perf_counter() - step_started
+            block_seconds[step.block] = (
+                block_seconds.get(step.block, 0.0) + elapsed
+            )
+            step_seconds.append((step.kind, elapsed))
+        exec_seconds = time.perf_counter() - exec_started
+
+        probabilities = self.read_output(db)
+        class_index = int(np.argmax(probabilities))
+        labels = self.compiled.class_labels
+        label = labels[class_index] if labels else str(class_index)
+        return InferenceResult(
+            probabilities=probabilities,
+            class_index=class_index,
+            label=label,
+            load_seconds=load_seconds,
+            exec_seconds=exec_seconds,
+            block_seconds=block_seconds,
+            step_seconds=step_seconds,
+        )
+
+    def infer_batch(
+        self, db: Database, images: Sequence[np.ndarray]
+    ) -> list[InferenceResult]:
+        return [self.infer(db, image) for image in images]
+
+    def read_output(self, db: Database) -> np.ndarray:
+        """Read the final flat table back into a dense vector."""
+        table = db.table(self.compiled.output_table)
+        return tensor_from_flat(
+            table.column("TupleID").data,
+            table.column("Value").data,
+            self.compiled.output_shape,
+        )
+
+    def read_intermediate(self, db: Database, table_name: str,
+                          shape: tuple[int, ...]) -> np.ndarray:
+        """Read any flat intermediate table as a tensor (debug/test aid)."""
+        table = db.table(table_name)
+        return tensor_from_flat(
+            table.column("TupleID").data,
+            table.column("Value").data,
+            shape,
+        )
+
+    # ------------------------------------------------------------------
+    def _install_input(self, db: Database, image: np.ndarray) -> None:
+        if tuple(image.shape) != self.compiled.input_shape:
+            raise ExecutionError(
+                f"model {self.compiled.model_name!r} expects input "
+                f"{self.compiled.input_shape}, got {tuple(image.shape)}"
+            )
+        tuple_ids, values = flat_rows(image)
+        table = Table.from_dict(
+            self.compiled.input_table,
+            {"TupleID": tuple_ids, "Value": values},
+        )
+        db.register_table(table, temp=True, replace=True)
+
+    def _cleanup_steps(self, db: Database) -> None:
+        """Drop the previous inference's intermediate tables."""
+        static_names = {t.name.lower() for t in self.compiled.static_tables}
+        prefix = self.compiled.table_prefix
+        for name in db.catalog.table_names():
+            lowered = name.lower()
+            if lowered.startswith(prefix) and lowered not in static_names:
+                db.catalog.drop(name)

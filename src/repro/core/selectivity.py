@@ -1,0 +1,96 @@
+"""nUDF selectivity estimation from class histograms (Section IV-B).
+
+During offline training/calibration a histogram ``H(c_i)`` counts how many
+samples the model predicts as class ``c_i`` (Eq. 10 computes the empirical
+probabilities from it; Eq. 9 just says they form a distribution).  At
+optimization time, the selectivity of ``nUDF(x) = 'label'`` is
+``Pr(label)`` and of ``nUDF(x) != 'label'`` is ``1 - Pr(label)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class NudfSelectivity:
+    """Class-probability table for one nUDF.
+
+    Labels may be strings (classification UDFs) or booleans (detection
+    UDFs returning TRUE/FALSE); lookups are normalized so SQL literals of
+    either kind resolve.
+    """
+
+    udf_name: str
+    histogram: dict[Any, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_histogram(
+        cls,
+        udf_name: str,
+        histogram: Mapping[Any, int],
+        class_labels: Optional[Sequence[str]] = None,
+    ) -> "NudfSelectivity":
+        """Build from a raw class-index histogram, optionally relabelled."""
+        mapped: dict[Any, int] = {}
+        for key, count in histogram.items():
+            if count < 0:
+                raise WorkloadError(f"negative histogram count for {key!r}")
+            if class_labels is not None and isinstance(key, int):
+                key = class_labels[key]
+            mapped[_normalize(key)] = mapped.get(_normalize(key), 0) + count
+        return cls(udf_name=udf_name, histogram=mapped)
+
+    def observe(self, label: Any, count: int = 1) -> None:
+        """Add observations (online calibration)."""
+        key = _normalize(label)
+        self.histogram[key] = self.histogram.get(key, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.histogram.values())
+
+    def probability(self, label: Any) -> float:
+        """Eq. 10: ``Pr(c_i) = H(c_i) / Σ H(c_j)``.
+
+        Unseen labels get probability 0 — the histogram says the model
+        never predicts them.
+        """
+        total = self.total
+        if total == 0:
+            return 1.0 / max(len(self.histogram), 1) if self.histogram else 0.5
+        return self.histogram.get(_normalize(label), 0) / total
+
+    def selectivity_equals(self, label: Any) -> float:
+        """Selectivity of the predicate ``nUDF(x) = label``."""
+        return self.probability(label)
+
+    def selectivity_not_equals(self, label: Any) -> float:
+        """Selectivity of the predicate ``nUDF(x) != label``."""
+        return 1.0 - self.probability(label)
+
+    def distribution(self) -> dict[Any, float]:
+        """The full empirical distribution (sums to 1 when non-empty)."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {label: count / total for label, count in self.histogram.items()}
+
+
+def _normalize(label: Any) -> Any:
+    """Fold SQL literal spellings onto histogram keys."""
+    if isinstance(label, bool):
+        return label
+    if isinstance(label, str):
+        lowered = label.lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        return label
+    if isinstance(label, (int, float)):
+        return label
+    return label

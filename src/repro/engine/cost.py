@@ -1,0 +1,439 @@
+"""The DBMS's *default* cost model.
+
+This is a deliberately faithful textbook estimator (System-R style): scans
+cost one unit per row, equality predicates take ``1/NDV``, joins estimate
+``|L|·|R| / max(NDV_L, NDV_R)`` with a default NDV fraction when statistics
+are missing.  On ordinary relational queries it behaves fine.  On DL2SQL's
+generated per-layer scripts it does what the paper reports (Section IV):
+intermediate feature-map tables have no statistics yet at planning time,
+the default NDV fraction makes every FeatureMap ⋈ Kernel join look ~10×
+bigger than it is, and the error compounds exponentially across layers —
+Fig. 12's log-scale gap.
+
+The customized model that fixes this lives in
+:mod:`repro.core.cost_model`; it plugs per-layer cardinalities (Eqs. 3–8)
+in as statistic overrides instead of heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.expressions import is_aggregate_call
+from repro.engine.logical import (
+    Aggregate,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.engine.statistics import StatisticsProvider, TableStats
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+    referenced_functions,
+    split_conjuncts,
+)
+
+#: Selectivity defaults (classic System-R values).
+EQ_SELECTIVITY_DEFAULT = 0.1
+RANGE_SELECTIVITY_DEFAULT = 0.3
+NEQ_SELECTIVITY_DEFAULT = 0.9
+UDF_SELECTIVITY_DEFAULT = 1.0 / 3.0
+#: System-R's "magic" equi-join selectivity applied to the cross product
+#: when key statistics are missing on either side.  This is the constant
+#: that makes the default model OVER-estimate DL2SQL's per-layer joins:
+#: intermediate feature tables have no statistics at planning time, every
+#: join looks like 0.1·|L|·|R|, and the error compounds exponentially
+#: across layers (the paper's Section IV observation, Fig. 12).
+MAGIC_JOIN_SELECTIVITY = 0.1
+#: Saturation bound on cardinality estimates — real optimizers clamp
+#: rather than overflow when compounding errors explode.
+CARDINALITY_SATURATION = 1e12
+#: NDV fraction assumed for columns of tables without statistics.
+UNKNOWN_NDV_FRACTION = 0.1
+#: Row count assumed for tables that do not exist at planning time.
+UNKNOWN_TABLE_ROWS = 10_000.0
+#: Group count fraction for aggregates without key statistics.
+UNKNOWN_GROUP_FRACTION = 0.1
+
+#: Relative CPU weights per produced/consumed row.
+SCAN_COST_PER_ROW = 1.0
+FILTER_COST_PER_ROW = 0.5
+JOIN_BUILD_COST_PER_ROW = 1.5
+JOIN_PROBE_COST_PER_ROW = 1.0
+JOIN_OUTPUT_COST_PER_ROW = 0.5
+AGGREGATE_COST_PER_ROW = 1.2
+SORT_COST_FACTOR = 2.0
+PROJECT_COST_PER_ROW = 0.3
+
+
+@dataclass
+class CostEstimate:
+    """Estimated output cardinality and cumulative cost of a plan."""
+
+    rows: float
+    cost: float
+
+
+class CostModel:
+    """Interface both cost models implement."""
+
+    name = "abstract"
+
+    def estimate(self, plan: LogicalPlan, stats: StatisticsProvider) -> CostEstimate:
+        raise NotImplementedError
+
+    def udf_selectivity(self, call: FunctionCall, compared_to: object) -> float:
+        """Estimated fraction of rows passing an nUDF predicate."""
+        return UDF_SELECTIVITY_DEFAULT
+
+
+class DefaultCostModel(CostModel):
+    """The naive estimator described above.
+
+    ``udf_cost_per_row`` lets the database charge nUDF evaluation; the
+    default model knows nothing about specific models, so a single generic
+    constant is used — one more reason its DL2SQL estimates are poor.
+    """
+
+    name = "default"
+
+    def __init__(self, udf_cost_per_row: float = 50.0) -> None:
+        self.udf_cost_per_row = udf_cost_per_row
+
+    # Overridable hooks ------------------------------------------------
+    def udf_predicate_selectivity(self, conjunct: Expression) -> float:
+        """Selectivity of a predicate containing a UDF call.
+
+        The default model knows nothing about individual models and uses a
+        flat constant; the hint-aware model of :mod:`repro.core.hints`
+        overrides this with the class-histogram estimate (Eqs. 9-10).
+        """
+        return UDF_SELECTIVITY_DEFAULT
+
+    def udf_call_cost(self, call: FunctionCall) -> float:
+        """Per-row evaluation cost (in plan cost units) of one UDF call."""
+        return self.udf_cost_per_row
+
+    # ------------------------------------------------------------------
+    def estimate(self, plan: LogicalPlan, stats: StatisticsProvider) -> CostEstimate:
+        estimate = self._estimate(plan, stats)
+        plan.estimated_rows = estimate.rows
+        plan.estimated_cost = estimate.cost
+        return estimate
+
+    def _estimate(self, plan: LogicalPlan, stats: StatisticsProvider) -> CostEstimate:
+        if isinstance(plan, Scan):
+            return self._estimate_scan(plan, stats)
+        if isinstance(plan, SubqueryScan):
+            assert plan.child is not None
+            child = self.estimate(plan.child, stats)
+            return CostEstimate(child.rows, child.cost)
+        if isinstance(plan, Filter):
+            return self._estimate_filter(plan, stats)
+        if isinstance(plan, CrossJoin):
+            assert plan.left is not None and plan.right is not None
+            left = self.estimate(plan.left, stats)
+            right = self.estimate(plan.right, stats)
+            rows = left.rows * right.rows
+            cost = left.cost + right.cost + rows * JOIN_OUTPUT_COST_PER_ROW
+            return CostEstimate(rows, cost)
+        if isinstance(plan, HashJoin):
+            return self._estimate_hash_join(plan, stats)
+        if isinstance(plan, Aggregate):
+            return self._estimate_aggregate(plan, stats)
+        if isinstance(plan, Sort):
+            assert plan.child is not None
+            child = self.estimate(plan.child, stats)
+            import math
+
+            sort_cost = SORT_COST_FACTOR * child.rows * max(
+                1.0, math.log2(max(child.rows, 2.0))
+            )
+            return CostEstimate(child.rows, child.cost + sort_cost)
+        if isinstance(plan, Limit):
+            assert plan.child is not None
+            child = self.estimate(plan.child, stats)
+            return CostEstimate(min(child.rows, plan.count), child.cost)
+        if isinstance(plan, Distinct):
+            assert plan.child is not None
+            child = self.estimate(plan.child, stats)
+            return CostEstimate(
+                max(1.0, child.rows * UNKNOWN_GROUP_FRACTION),
+                child.cost + child.rows * AGGREGATE_COST_PER_ROW,
+            )
+        if isinstance(plan, Project):
+            assert plan.child is not None
+            child = self.estimate(plan.child, stats)
+            udf_cost = sum(
+                self.udf_call_cost(call)
+                for item in plan.items
+                for call in referenced_functions(item.expression)
+                if not is_aggregate_call(call)
+            )
+            cost = child.cost + child.rows * PROJECT_COST_PER_ROW
+            cost += child.rows * udf_cost
+            return CostEstimate(child.rows, cost)
+        raise TypeError(f"cannot cost plan node {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    def _estimate_scan(self, plan: Scan, stats: StatisticsProvider) -> CostEstimate:
+        table_stats = stats.stats_for(plan.table_name)
+        rows = (
+            float(table_stats.row_count)
+            if table_stats is not None
+            else UNKNOWN_TABLE_ROWS
+        )
+        return CostEstimate(rows, rows * SCAN_COST_PER_ROW)
+
+    def _estimate_filter(
+        self, plan: Filter, stats: StatisticsProvider
+    ) -> CostEstimate:
+        assert plan.child is not None and plan.predicate is not None
+        child = self.estimate(plan.child, stats)
+        selectivity = 1.0
+        udf_cost = 0.0
+        for conjunct in split_conjuncts(plan.predicate):
+            selectivity *= self._conjunct_selectivity(conjunct, plan.child, stats)
+            udf_cost += sum(
+                self.udf_call_cost(c)
+                for c in referenced_functions(conjunct)
+                if not is_aggregate_call(c)
+            )
+        rows = max(0.0, child.rows * selectivity)
+        cost = child.cost + child.rows * FILTER_COST_PER_ROW
+        cost += child.rows * udf_cost
+        return CostEstimate(rows, cost)
+
+    def _estimate_hash_join(
+        self, plan: HashJoin, stats: StatisticsProvider
+    ) -> CostEstimate:
+        assert plan.left is not None and plan.right is not None
+        left = self.estimate(plan.left, stats)
+        right = self.estimate(plan.right, stats)
+        ndv_left = self._key_ndv(plan.left, plan.left_keys, left.rows, stats)
+        ndv_right = self._key_ndv(plan.right, plan.right_keys, right.rows, stats)
+        if ndv_left is None or ndv_right is None:
+            # Missing statistics on a join key: System-R magic selectivity
+            # over the cross product (the over-estimating path).
+            rows = MAGIC_JOIN_SELECTIVITY * left.rows * right.rows
+        else:
+            denominator = max(ndv_left, ndv_right, 1.0)
+            rows = left.rows * right.rows / denominator
+        rows = min(rows, CARDINALITY_SATURATION)
+        if plan.residual is not None:
+            rows *= RANGE_SELECTIVITY_DEFAULT
+        cost = (
+            left.cost
+            + right.cost
+            + min(left.rows, right.rows) * JOIN_BUILD_COST_PER_ROW
+            + max(left.rows, right.rows) * JOIN_PROBE_COST_PER_ROW
+            + rows * JOIN_OUTPUT_COST_PER_ROW
+        )
+        return CostEstimate(rows, cost)
+
+    def _estimate_aggregate(
+        self, plan: Aggregate, stats: StatisticsProvider
+    ) -> CostEstimate:
+        assert plan.child is not None
+        child = self.estimate(plan.child, stats)
+        if not plan.group_by:
+            groups = 1.0
+        else:
+            groups = 1.0
+            known_all = True
+            for key in plan.group_by:
+                ndv = self._expression_ndv(plan.child, key, stats)
+                if ndv is not None:
+                    groups *= ndv
+                else:
+                    known_all = False
+            if not known_all:
+                # Partially/fully unknown keys: assume grouping barely
+                # reduces the input (the safe-but-large default).
+                groups = max(groups, child.rows * UNKNOWN_GROUP_FRACTION)
+            groups = min(groups, max(child.rows, 1.0))
+        cost = child.cost + child.rows * AGGREGATE_COST_PER_ROW
+        return CostEstimate(groups, cost)
+
+    # ------------------------------------------------------------------
+    # Selectivity / NDV helpers
+    # ------------------------------------------------------------------
+    def _conjunct_selectivity(
+        self,
+        conjunct: Expression,
+        child: LogicalPlan,
+        stats: StatisticsProvider,
+    ) -> float:
+        if isinstance(conjunct, BinaryOp):
+            op = conjunct.op
+            has_udf = any(
+                not is_aggregate_call(c) for c in referenced_functions(conjunct)
+            )
+            if has_udf:
+                return self.udf_predicate_selectivity(conjunct)
+            if op == "=":
+                ndv = self._comparison_ndv(conjunct, child, stats)
+                if ndv is not None:
+                    return 1.0 / max(ndv, 1.0)
+                return EQ_SELECTIVITY_DEFAULT
+            if op == "!=":
+                return NEQ_SELECTIVITY_DEFAULT
+            if op in ("<", "<=", ">", ">="):
+                return self._range_selectivity(conjunct, child, stats)
+        if isinstance(conjunct, Between):
+            return RANGE_SELECTIVITY_DEFAULT
+        if isinstance(conjunct, InList):
+            return min(1.0, EQ_SELECTIVITY_DEFAULT * len(conjunct.items))
+        if isinstance(conjunct, UnaryOp) and conjunct.op.upper() == "NOT":
+            inner = self._conjunct_selectivity(conjunct.operand, child, stats)
+            return max(0.0, 1.0 - inner)
+        if isinstance(conjunct, FunctionCall):
+            return self.udf_predicate_selectivity(conjunct)
+        return RANGE_SELECTIVITY_DEFAULT
+
+    def _range_selectivity(
+        self,
+        comparison: BinaryOp,
+        child: LogicalPlan,
+        stats: StatisticsProvider,
+    ) -> float:
+        """Interpolate within [min, max] when stats allow, else default."""
+        column, literal = _column_vs_literal(comparison)
+        if column is None or literal is None or not isinstance(
+            literal.value, (int, float)
+        ):
+            return RANGE_SELECTIVITY_DEFAULT
+        table_stats = self._stats_for_column(child, column, stats)
+        if table_stats is None:
+            return RANGE_SELECTIVITY_DEFAULT
+        column_stats = table_stats.column(column.name)
+        if (
+            column_stats is None
+            or column_stats.min_value is None
+            or column_stats.max_value is None
+            or column_stats.max_value <= column_stats.min_value
+        ):
+            return RANGE_SELECTIVITY_DEFAULT
+        span = column_stats.max_value - column_stats.min_value
+        fraction = (float(literal.value) - column_stats.min_value) / span
+        fraction = min(1.0, max(0.0, fraction))
+        if comparison.op in (">", ">="):
+            fraction = 1.0 - fraction
+        # Flip when the literal is on the left ("5 < x").
+        if isinstance(comparison.left, Literal):
+            fraction = 1.0 - fraction
+        return max(0.001, min(1.0, fraction))
+
+    def _comparison_ndv(
+        self,
+        comparison: BinaryOp,
+        child: LogicalPlan,
+        stats: StatisticsProvider,
+    ) -> Optional[float]:
+        column, literal = _column_vs_literal(comparison)
+        if column is None:
+            return None
+        table_stats = self._stats_for_column(child, column, stats)
+        if table_stats is None:
+            return None
+        return table_stats.distinct(column.name, UNKNOWN_NDV_FRACTION)
+
+    def _key_ndv(
+        self,
+        side: LogicalPlan,
+        keys: tuple[Expression, ...],
+        side_rows: float,
+        stats: StatisticsProvider,
+    ) -> Optional[float]:
+        """Composite key NDV, or None when no key has statistics."""
+        ndv = 1.0
+        known_any = False
+        for key in keys:
+            key_ndv = self._expression_ndv(side, key, stats)
+            if key_ndv is not None:
+                ndv *= key_ndv
+                known_any = True
+        if not known_any:
+            return None
+        return min(ndv, max(side_rows, 1.0))
+
+    def _expression_ndv(
+        self,
+        child: LogicalPlan,
+        expression: Expression,
+        stats: StatisticsProvider,
+    ) -> Optional[float]:
+        if not isinstance(expression, ColumnRef):
+            return None
+        table_stats = self._stats_for_column(child, expression, stats)
+        if table_stats is None:
+            return None
+        column_stats = table_stats.column(expression.name)
+        if column_stats is None:
+            return None
+        return float(column_stats.distinct)
+
+    def _stats_for_column(
+        self,
+        plan: LogicalPlan,
+        column: ColumnRef,
+        stats: StatisticsProvider,
+    ) -> Optional[TableStats]:
+        """Find stats for the scan that (by qualifier or column name) would
+        produce ``column``.  Follows derived-table aliases (a column
+        qualified by a subquery alias resolves inside the subquery).
+        Best-effort: returns None when ambiguous."""
+        from repro.engine.logical import walk_plan
+
+        candidates = []
+        for node in walk_plan(plan):
+            if isinstance(node, SubqueryScan):
+                if (
+                    column.table is not None
+                    and node.child is not None
+                    and (node.alias or "").lower() == column.table.lower()
+                ):
+                    inner = self._stats_for_column(
+                        node.child, ColumnRef(column.name), stats
+                    )
+                    if inner is not None:
+                        candidates.append(inner)
+                continue
+            if not isinstance(node, Scan):
+                continue
+            if column.table is not None:
+                alias = (node.alias or node.table_name).lower()
+                if alias != column.table.lower():
+                    continue
+            table_stats = stats.stats_for(node.table_name)
+            if table_stats is not None and table_stats.column(column.name):
+                candidates.append(table_stats)
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def _column_vs_literal(
+    comparison: BinaryOp,
+) -> tuple[Optional[ColumnRef], Optional[Literal]]:
+    left, right = comparison.left, comparison.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left, right
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        return right, left
+    return None, None

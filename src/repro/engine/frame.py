@@ -1,0 +1,180 @@
+"""Execution-time data frames.
+
+A :class:`Frame` is the batch flowing between physical operators: a set of
+equal-length numpy vectors, each tagged with an optional table qualifier
+(the alias it came from) so expressions like ``A.Value`` and bare ``Value``
+both resolve, with ambiguity detection matching SQL semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError, PlanError
+from repro.storage.schema import DataType
+from repro.storage.table import Table
+from repro.storage.column import Column
+
+
+@dataclass
+class FrameColumn:
+    """One vector in a frame: qualifier + name + logical type + data."""
+
+    qualifier: Optional[str]
+    name: str
+    dtype: DataType
+    data: np.ndarray
+
+    def matches(self, name: str, qualifier: Optional[str]) -> bool:
+        if self.name.lower() != name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return (self.qualifier or "").lower() == qualifier.lower()
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "FrameColumn":
+        return FrameColumn(qualifier, self.name, self.dtype, self.data)
+
+
+class Frame:
+    """A batch of rows in columnar form."""
+
+    __slots__ = ("columns", "_num_rows")
+
+    def __init__(self, columns: list[FrameColumn]) -> None:
+        self.columns = columns
+        if columns:
+            self._num_rows = len(columns[0].data)
+            for column in columns:
+                if len(column.data) != self._num_rows:
+                    raise ExecutionError(
+                        f"ragged frame: {column.name} has {len(column.data)} rows, "
+                        f"expected {self._num_rows}"
+                    )
+        else:
+            self._num_rows = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: Table, qualifier: Optional[str]) -> "Frame":
+        return cls(
+            [
+                FrameColumn(qualifier, c.name, c.dtype, c.data)
+                for c in table.columns
+            ]
+        )
+
+    def to_table(self, name: str) -> Table:
+        """Materialize as a storage table (deduplicates output names)."""
+        seen: dict[str, int] = {}
+        columns = []
+        for frame_column in self.columns:
+            out_name = frame_column.name
+            if out_name.lower() in seen:
+                seen[out_name.lower()] += 1
+                out_name = f"{out_name}_{seen[out_name.lower()]}"
+            else:
+                seen[out_name.lower()] = 0
+            columns.append(Column(out_name, frame_column.dtype, frame_column.data))
+        return Table(name, columns)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> FrameColumn:
+        """Find the unique column matching ``qualifier.name``.
+
+        Raises :class:`PlanError` on unknown or ambiguous references.
+        """
+        matches = [c for c in self.columns if c.matches(name, qualifier)]
+        if not matches:
+            available = [
+                f"{c.qualifier}.{c.name}" if c.qualifier else c.name
+                for c in self.columns
+            ]
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise PlanError(f"unknown column {ref!r}; available: {available}")
+        if len(matches) > 1:
+            # Identical name from the same underlying source is tolerable
+            # only if the vectors are literally the same object.
+            first = matches[0]
+            if all(m.data is first.data for m in matches[1:]):
+                return first
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise PlanError(f"ambiguous column reference {ref!r}")
+        return matches[0]
+
+    def has_column(self, name: str, qualifier: Optional[str]) -> bool:
+        return any(c.matches(name, qualifier) for c in self.columns)
+
+    def qualifiers(self) -> set[str]:
+        return {c.qualifier for c in self.columns if c.qualifier is not None}
+
+    # ------------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "Frame":
+        return Frame(
+            [
+                FrameColumn(c.qualifier, c.name, c.dtype, c.data[mask])
+                for c in self.columns
+            ]
+        )
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        return Frame(
+            [
+                FrameColumn(c.qualifier, c.name, c.dtype, c.data.take(indices))
+                for c in self.columns
+            ]
+        )
+
+    def head(self, n: int) -> "Frame":
+        return Frame(
+            [
+                FrameColumn(c.qualifier, c.name, c.dtype, c.data[:n])
+                for c in self.columns
+            ]
+        )
+
+    def concat_columns(self, other: "Frame") -> "Frame":
+        """Side-by-side combination (both frames must have equal row count)."""
+        if self.num_rows != other.num_rows and self.columns and other.columns:
+            raise ExecutionError(
+                f"cannot zip frames of {self.num_rows} and {other.num_rows} rows"
+            )
+        return Frame(self.columns + other.columns)
+
+    @staticmethod
+    def empty() -> "Frame":
+        return Frame([])
+
+
+def concat_frames(frames: Iterable[Frame]) -> Frame:
+    """Vertical concatenation of schema-identical frames."""
+    frames = [f for f in frames if f.columns]
+    if not frames:
+        return Frame.empty()
+    first = frames[0]
+    out_columns = []
+    for position, template in enumerate(first.columns):
+        arrays = [f.columns[position].data for f in frames]
+        out_columns.append(
+            FrameColumn(
+                template.qualifier,
+                template.name,
+                template.dtype,
+                np.concatenate(arrays),
+            )
+        )
+    return Frame(out_columns)

@@ -1,0 +1,213 @@
+"""Logical plan nodes.
+
+The planner produces these from a SELECT AST; the optimizer rewrites them
+(pushdown, join algorithm selection, nUDF placement); the physical layer
+interprets them.  Every node carries an ``estimated_rows`` slot the cost
+models fill in, so EXPLAIN output can show the estimates that drove plan
+choice — the heart of the paper's Fig. 12/13 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.ast_nodes import (
+    Expression,
+    FunctionCall,
+    OrderItem,
+    SelectItem,
+)
+
+
+@dataclass
+class LogicalPlan:
+    """Base class for logical operators."""
+
+    estimated_rows: float = field(default=-1.0, init=False, compare=False)
+    estimated_cost: float = field(default=-1.0, init=False, compare=False)
+
+    def children(self) -> list["LogicalPlan"]:
+        return []
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the plan subtree as indented text (EXPLAIN style)."""
+        pad = "  " * indent
+        row_info = ""
+        if self.estimated_rows >= 0:
+            row_info = f"  [rows={self.estimated_rows:.0f}"
+            if self.estimated_cost >= 0:
+                row_info += f", cost={self.estimated_cost:.1f}"
+            row_info += "]"
+        lines = [f"{pad}{self.describe()}{row_info}"]
+        lines.extend(child.explain(indent + 1) for child in self.children())
+        return "\n".join(lines)
+
+
+@dataclass
+class Scan(LogicalPlan):
+    """Full scan of a base table (or materialized temp table)."""
+
+    table_name: str = ""
+    alias: Optional[str] = None
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias else ""
+        return f"Scan {self.table_name}{alias}"
+
+
+@dataclass
+class SubqueryScan(LogicalPlan):
+    """A derived table or expanded view: run the child plan, re-qualify."""
+
+    child: Optional[LogicalPlan] = None
+    alias: Optional[str] = None
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        return f"SubqueryScan AS {self.alias or '<anonymous>'}"
+
+
+@dataclass
+class Filter(LogicalPlan):
+    child: Optional[LogicalPlan] = None
+    predicate: Optional[Expression] = None
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        text = self.predicate.to_sql() if self.predicate else "TRUE"
+        return f"Filter {text}"
+
+
+@dataclass
+class Project(LogicalPlan):
+    child: Optional[LogicalPlan] = None
+    items: tuple[SelectItem, ...] = ()
+    #: aggregate-call SQL text -> slot column produced by an Aggregate below.
+    aggregate_slots: dict[str, str] = field(default_factory=dict)
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        return "Project " + ", ".join(i.to_sql() for i in self.items)
+
+
+@dataclass
+class CrossJoin(LogicalPlan):
+    """Cartesian product — what comma-separated FROM tables start as."""
+
+    left: Optional[LogicalPlan] = None
+    right: Optional[LogicalPlan] = None
+
+    def children(self) -> list[LogicalPlan]:
+        return [p for p in (self.left, self.right) if p]
+
+    def describe(self) -> str:
+        return "CrossJoin"
+
+
+@dataclass
+class HashJoin(LogicalPlan):
+    """Equi hash join with optional residual predicate.
+
+    ``symmetric`` selects the symmetric hash join algorithm of hint rule 3
+    (used when an nUDF appears in the join condition).
+    """
+
+    left: Optional[LogicalPlan] = None
+    right: Optional[LogicalPlan] = None
+    left_keys: tuple[Expression, ...] = ()
+    right_keys: tuple[Expression, ...] = ()
+    residual: Optional[Expression] = None
+    join_type: str = "INNER"
+    symmetric: bool = False
+
+    def children(self) -> list[LogicalPlan]:
+        return [p for p in (self.left, self.right) if p]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        kind = "SymmetricHashJoin" if self.symmetric else "HashJoin"
+        residual = f" residual: {self.residual.to_sql()}" if self.residual else ""
+        return f"{kind} [{keys}]{residual}"
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate to compute: the call plus its output slot name."""
+
+    call: FunctionCall
+    slot: str
+
+    def key(self) -> str:
+        return self.call.to_sql()
+
+
+@dataclass
+class Aggregate(LogicalPlan):
+    """Hash aggregation producing group-key columns plus aggregate slots."""
+
+    child: Optional[LogicalPlan] = None
+    group_by: tuple[Expression, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        keys = ", ".join(e.to_sql() for e in self.group_by) or "<global>"
+        aggs = ", ".join(f"{s.slot}={s.call.to_sql()}" for s in self.aggregates)
+        return f"Aggregate keys=[{keys}] aggs=[{aggs}]"
+
+
+@dataclass
+class Sort(LogicalPlan):
+    child: Optional[LogicalPlan] = None
+    order_by: tuple[OrderItem, ...] = ()
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        return "Sort " + ", ".join(o.to_sql() for o in self.order_by)
+
+
+@dataclass
+class Limit(LogicalPlan):
+    child: Optional[LogicalPlan] = None
+    count: int = 0
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        return f"Limit {self.count}"
+
+
+@dataclass
+class Distinct(LogicalPlan):
+    child: Optional[LogicalPlan] = None
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child] if self.child else []
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+def walk_plan(plan: LogicalPlan):
+    """Yield ``plan`` and all descendants, pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk_plan(child)

@@ -1,0 +1,535 @@
+"""Cost-based optimization: pushdown, join ordering, and nUDF placement.
+
+Two layers of optimization mirror the paper's configurations:
+
+* **Baseline optimization (always on).**  Any credible DBMS pushes plain
+  predicates to their source relations, extracts equi-join conditions from
+  WHERE, and orders hash joins greedily by estimated output size.  This is
+  the behaviour of the "DL2SQL" (no -OP) configuration: real optimization,
+  but driven by the *default* cost model of :mod:`repro.engine.cost`.
+
+* **Hint rules (Section IV-B, the -OP configuration).**  When enabled:
+
+  1. a predicate containing a neural UDF is either evaluated eagerly
+     (pushed to the scan) or lazily (after all joins and cheap filters);
+     the optimizer costs both full plans and keeps the cheaper — using
+     nUDF selectivities learned from class histograms (Eqs. 9–10) and the
+     per-row cost attached to the UDF registration;
+  2. nUDFs in the select clause are evaluated last — satisfied by
+     construction, because projections are never pushed below joins;
+  3. an equi-join key that contains a neural UDF selects the symmetric
+     hash join algorithm with bucket-based LRU buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.cost import CostModel, DefaultCostModel
+from repro.engine.logical import (
+    Aggregate,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.engine.statistics import StatisticsProvider
+from repro.engine.udf import UdfRegistry
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    combine_conjuncts,
+    referenced_columns,
+    referenced_functions,
+    split_conjuncts,
+)
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class OptimizerConfig:
+    """Knobs for one optimization run."""
+
+    cost_model: CostModel = field(default_factory=DefaultCostModel)
+    #: Enable the paper's hint rules (the -OP configuration).
+    use_hints: bool = False
+    #: Fallback selectivity for UDF predicates when no histogram exists.
+    default_udf_selectivity: float = 1.0 / 3.0
+
+
+class Optimizer:
+    """Rewrites a planner-produced logical plan into an executable one."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: StatisticsProvider,
+        udfs: UdfRegistry,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        self._catalog = catalog
+        self._statistics = statistics
+        self._udfs = udfs
+        self.config = config or OptimizerConfig()
+
+    # ------------------------------------------------------------------
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        """Optimize ``plan`` in place-free fashion (returns a new tree)."""
+        return self._rewrite(plan)
+
+    def _rewrite(self, plan: LogicalPlan) -> LogicalPlan:
+        if isinstance(plan, Project):
+            return Project(
+                child=self._rewrite(plan.child),
+                items=plan.items,
+                aggregate_slots=plan.aggregate_slots,
+            )
+        if isinstance(plan, Sort):
+            return Sort(child=self._rewrite(plan.child), order_by=plan.order_by)
+        if isinstance(plan, Limit):
+            return Limit(child=self._rewrite(plan.child), count=plan.count)
+        if isinstance(plan, Distinct):
+            return Distinct(child=self._rewrite(plan.child))
+        if isinstance(plan, Aggregate):
+            return Aggregate(
+                child=self._rewrite(plan.child),
+                group_by=plan.group_by,
+                aggregates=plan.aggregates,
+            )
+        if isinstance(plan, Filter) and _is_having_filter(plan):
+            return Filter(child=self._rewrite(plan.child), predicate=plan.predicate)
+        # Relational core: filters over joins over scans.
+        return self._optimize_core(plan)
+
+    # ------------------------------------------------------------------
+    # Core optimization
+    # ------------------------------------------------------------------
+    def _optimize_core(self, plan: LogicalPlan) -> LogicalPlan:
+        relations: list[_Relation] = []
+        conjuncts: list[Expression] = []
+        self._collect(plan, relations, conjuncts)
+
+        if not relations:
+            return plan
+        if len(relations) == 1 and not conjuncts:
+            return relations[0].plan
+
+        plain: list[Expression] = []
+        udf_predicates: list[Expression] = []
+        join_conditions: list[_JoinCondition] = []
+
+        for conjunct in conjuncts:
+            if self._contains_udf(conjunct):
+                udf_predicates.append(conjunct)
+                continue
+            condition = self._as_join_condition(conjunct, relations)
+            if condition is not None:
+                join_conditions.append(condition)
+            else:
+                plain.append(conjunct)
+
+        # UDF equi-join conditions (hint rule 3) are join conditions too.
+        symmetric_keys: set[int] = set()
+        remaining_udf_predicates = []
+        for predicate in udf_predicates:
+            condition = self._as_join_condition(predicate, relations)
+            if condition is not None and self.config.use_hints:
+                condition.symmetric = True
+                join_conditions.append(condition)
+            else:
+                remaining_udf_predicates.append(predicate)
+        udf_predicates = remaining_udf_predicates
+
+        # Push plain single-relation predicates to their relation.
+        cross_relation_filters: list[Expression] = []
+        for conjunct in plain:
+            target = self._single_relation_for(conjunct, relations)
+            if target is not None:
+                target.pushed.append(conjunct)
+            else:
+                cross_relation_filters.append(conjunct)
+
+        # Decide eager/lazy per UDF predicate.
+        eager_udf: dict[int, _Relation] = {}
+        lazy_udf: list[Expression] = []
+        if self.config.use_hints:
+            eager_udf, lazy_udf = self._place_udf_predicates(
+                udf_predicates, relations, join_conditions, cross_relation_filters
+            )
+        else:
+            # Without hints the DBMS evaluates nUDF predicates where the
+            # planner left them: pushed to the scan when single-relation
+            # (eager, "full cost"), else after the joins.
+            for predicate in udf_predicates:
+                target = self._single_relation_for(predicate, relations)
+                if target is not None:
+                    eager_udf[id(predicate)] = target
+                else:
+                    lazy_udf.append(predicate)
+
+        for predicate in udf_predicates:
+            target = eager_udf.get(id(predicate))
+            if target is not None:
+                target.pushed.append(predicate)
+
+        plan = self._build_join_tree(relations, join_conditions)
+        top_filters = cross_relation_filters + lazy_udf
+        combined = combine_conjuncts(top_filters)
+        if combined is not None:
+            plan = Filter(child=plan, predicate=combined)
+        return plan
+
+    def _collect(
+        self,
+        plan: LogicalPlan,
+        relations: list["_Relation"],
+        conjuncts: list[Expression],
+    ) -> None:
+        if isinstance(plan, Filter):
+            conjuncts.extend(split_conjuncts(plan.predicate))
+            assert plan.child is not None
+            self._collect(plan.child, relations, conjuncts)
+            return
+        if isinstance(plan, CrossJoin):
+            assert plan.left is not None and plan.right is not None
+            self._collect(plan.left, relations, conjuncts)
+            self._collect(plan.right, relations, conjuncts)
+            return
+        if isinstance(plan, HashJoin):
+            # Already-shaped joins (from a previous optimization) are kept
+            # as opaque relations.
+            relations.append(_Relation(plan, self._catalog))
+            return
+        if isinstance(plan, SubqueryScan):
+            assert plan.child is not None
+            optimized = SubqueryScan(
+                child=self._rewrite(plan.child), alias=plan.alias
+            )
+            relations.append(_Relation(optimized, self._catalog))
+            return
+        if isinstance(plan, Scan):
+            relations.append(_Relation(plan, self._catalog))
+            return
+        relations.append(_Relation(self._rewrite(plan), self._catalog))
+
+    # ------------------------------------------------------------------
+    # UDF handling
+    # ------------------------------------------------------------------
+    def _contains_udf(self, expression: Expression) -> bool:
+        return any(
+            call.name in self._udfs
+            for call in referenced_functions(expression)
+        )
+
+    def _place_udf_predicates(
+        self,
+        predicates: list[Expression],
+        relations: list["_Relation"],
+        join_conditions: list["_JoinCondition"],
+        top_filters: list[Expression],
+    ) -> tuple[dict[int, "_Relation"], list[Expression]]:
+        """Hint rule 1: cost eager vs lazy placement for each nUDF predicate."""
+        eager: dict[int, _Relation] = {}
+        lazy: list[Expression] = []
+        for predicate in predicates:
+            target = self._single_relation_for(predicate, relations)
+            if target is None:
+                lazy.append(predicate)
+                continue
+            eager_cost = self._trial_cost(
+                relations, join_conditions, top_filters + lazy,
+                extra_pushed={id(target): [predicate]},
+            )
+            lazy_cost = self._trial_cost(
+                relations, join_conditions, top_filters + lazy + [predicate],
+                extra_pushed={},
+            )
+            if eager_cost <= lazy_cost:
+                eager[id(predicate)] = target
+            else:
+                lazy.append(predicate)
+        return eager, lazy
+
+    def _trial_cost(
+        self,
+        relations: list["_Relation"],
+        join_conditions: list["_JoinCondition"],
+        top_filters: list[Expression],
+        extra_pushed: dict[int, list[Expression]],
+    ) -> float:
+        saved = [list(r.pushed) for r in relations]
+        try:
+            for relation in relations:
+                relation.pushed.extend(extra_pushed.get(id(relation), []))
+            plan = self._build_join_tree(
+                [r.shallow_copy() for r in relations], list(join_conditions)
+            )
+            combined = combine_conjuncts(top_filters)
+            if combined is not None:
+                plan = Filter(child=plan, predicate=combined)
+            return self.config.cost_model.estimate(plan, self._statistics).cost
+        finally:
+            for relation, pushed in zip(relations, saved):
+                relation.pushed = pushed
+
+    # ------------------------------------------------------------------
+    # Join handling
+    # ------------------------------------------------------------------
+    def _as_join_condition(
+        self, conjunct: Expression, relations: list["_Relation"]
+    ) -> Optional["_JoinCondition"]:
+        """Recognize ``expr_over_R = expr_over_S`` between two relations."""
+        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+            return None
+        left_relations = self._relations_of(conjunct.left, relations)
+        right_relations = self._relations_of(conjunct.right, relations)
+        if left_relations is None or right_relations is None:
+            return None
+        if len(left_relations) != 1 or len(right_relations) != 1:
+            return None
+        (left_rel,) = left_relations
+        (right_rel,) = right_relations
+        if left_rel is right_rel:
+            return None
+        return _JoinCondition(
+            left=left_rel,
+            right=right_rel,
+            left_key=conjunct.left,
+            right_key=conjunct.right,
+        )
+
+    def _relations_of(
+        self, expression: Expression, relations: list["_Relation"]
+    ) -> Optional[set["_Relation"]]:
+        """The set of relations an expression reads from; None if unknown."""
+        refs = referenced_columns(expression)
+        if not refs:
+            # Pure literal/UDF-of-literal: belongs anywhere; treat as none.
+            return set() if not self._contains_udf(expression) else None
+        found: set[_Relation] = set()
+        for ref in refs:
+            owners = [r for r in relations if r.covers(ref, relations)]
+            if len(owners) != 1:
+                return None
+            found.add(owners[0])
+        return found
+
+    def _single_relation_for(
+        self, conjunct: Expression, relations: list["_Relation"]
+    ) -> Optional["_Relation"]:
+        owners = self._relations_of(conjunct, relations)
+        if owners is None or len(owners) != 1:
+            return None
+        (owner,) = owners
+        return owner
+
+    def _build_join_tree(
+        self,
+        relations: list["_Relation"],
+        join_conditions: list["_JoinCondition"],
+    ) -> LogicalPlan:
+        """Greedy left-deep join ordering by estimated output cardinality."""
+        if len(relations) == 1:
+            return relations[0].filtered_plan()
+
+        pending = list(relations)
+        conditions = list(join_conditions)
+
+        def estimate_rows(plan: LogicalPlan) -> float:
+            return self.config.cost_model.estimate(plan, self._statistics).rows
+
+        # Start from the relation with the smallest filtered cardinality.
+        pending.sort(key=lambda r: estimate_rows(r.filtered_plan()))
+        first = pending.pop(0)
+        current_plan = first.filtered_plan()
+        joined: set[int] = {id(first)}
+
+        while pending:
+            best: Optional[tuple[float, _Relation, list[_JoinCondition]]] = None
+            for candidate in pending:
+                edges = [
+                    c
+                    for c in conditions
+                    if (id(c.left) in joined and c.right is candidate)
+                    or (id(c.right) in joined and c.left is candidate)
+                ]
+                if not edges:
+                    continue
+                trial = self._make_join(current_plan, candidate, edges)
+                rows = estimate_rows(trial)
+                if best is None or rows < best[0]:
+                    best = (rows, candidate, edges)
+            if best is None:
+                # No connected relation left: cross join the smallest.
+                pending.sort(key=lambda r: estimate_rows(r.filtered_plan()))
+                candidate = pending.pop(0)
+                current_plan = CrossJoin(
+                    left=current_plan, right=candidate.filtered_plan()
+                )
+                joined.add(id(candidate))
+                continue
+            _, candidate, edges = best
+            pending.remove(candidate)
+            current_plan = self._make_join(current_plan, candidate, edges)
+            joined.add(id(candidate))
+            for edge in edges:
+                conditions.remove(edge)
+
+        # Any remaining conditions connect relations already joined (cycle
+        # edges): apply them as filters.
+        leftover = combine_conjuncts(
+            [BinaryOp("=", c.left_key, c.right_key) for c in conditions]
+        )
+        if leftover is not None:
+            current_plan = Filter(child=current_plan, predicate=leftover)
+        return current_plan
+
+    def _make_join(
+        self,
+        current_plan: LogicalPlan,
+        candidate: "_Relation",
+        edges: list["_JoinCondition"],
+    ) -> HashJoin:
+        left_keys: list[Expression] = []
+        right_keys: list[Expression] = []
+        symmetric = False
+        for edge in edges:
+            if edge.right is candidate:
+                left_keys.append(edge.left_key)
+                right_keys.append(edge.right_key)
+            else:
+                left_keys.append(edge.right_key)
+                right_keys.append(edge.left_key)
+            symmetric = symmetric or edge.symmetric
+        return HashJoin(
+            left=current_plan,
+            right=candidate.filtered_plan(),
+            left_keys=tuple(left_keys),
+            right_keys=tuple(right_keys),
+            symmetric=symmetric and self.config.use_hints,
+        )
+
+
+# ----------------------------------------------------------------------
+# Support types
+# ----------------------------------------------------------------------
+class _Relation:
+    """One leaf of the join graph plus the predicates pushed onto it."""
+
+    def __init__(self, plan: LogicalPlan, catalog: Catalog) -> None:
+        self.plan = plan
+        self.pushed: list[Expression] = []
+        self.qualifiers, self.column_names = _output_names(plan, catalog)
+
+    def covers(self, ref: ColumnRef, all_relations: list["_Relation"]) -> bool:
+        if ref.table is not None:
+            return (
+                ref.table.lower() in self.qualifiers
+                and ref.name.lower() in self.column_names
+            )
+        if ref.name.lower() not in self.column_names:
+            return False
+        others_with_name = [
+            r
+            for r in all_relations
+            if r is not self and ref.name.lower() in r.column_names
+        ]
+        return not others_with_name
+
+    def filtered_plan(self) -> LogicalPlan:
+        predicate = combine_conjuncts(self.pushed)
+        if predicate is None:
+            return self.plan
+        return Filter(child=self.plan, predicate=predicate)
+
+    def shallow_copy(self) -> "_Relation":
+        copy = _Relation.__new__(_Relation)
+        copy.plan = self.plan
+        copy.pushed = list(self.pushed)
+        copy.qualifiers = self.qualifiers
+        copy.column_names = self.column_names
+        return copy
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass
+class _JoinCondition:
+    left: _Relation
+    right: _Relation
+    left_key: Expression
+    right_key: Expression
+    symmetric: bool = False
+
+
+def _is_having_filter(plan: Filter) -> bool:
+    """True when this Filter sits above an Aggregate (a HAVING clause)."""
+    node = plan.child
+    while isinstance(node, (Sort, Limit, Filter)):
+        node = node.child
+    return isinstance(node, Aggregate)
+
+
+def _output_names(
+    plan: LogicalPlan, catalog: Catalog
+) -> tuple[set[str], set[str]]:
+    """(qualifiers, column names) a plan's output frame exposes, lowercase."""
+    if isinstance(plan, Scan):
+        qualifier = (plan.alias or plan.table_name).lower()
+        if plan.table_name == "__dual__":
+            return {qualifier}, set()
+        if catalog.has(plan.table_name) and not catalog.is_view(plan.table_name):
+            table = catalog.get_table(plan.table_name)
+            return {qualifier}, {n.lower() for n in table.schema.column_names}
+        return {qualifier}, set()
+    if isinstance(plan, SubqueryScan):
+        qualifier = (plan.alias or "").lower()
+        _, names = _output_names(plan.child, catalog) if plan.child else (set(), set())
+        return ({qualifier} if qualifier else set()), names
+    if isinstance(plan, Project):
+        names = set()
+        for ordinal, item in enumerate(plan.items):
+            from repro.sql.ast_nodes import Star as _Star
+
+            if isinstance(item.expression, _Star):
+                if plan.child is not None:
+                    _, child_names = _output_names(plan.child, catalog)
+                    names |= child_names
+                continue
+            names.add(item.output_name(ordinal).lower())
+        return set(), names
+    if isinstance(plan, Aggregate):
+        names = set()
+        for position, key in enumerate(plan.group_by):
+            if isinstance(key, ColumnRef):
+                names.add(key.name.lower())
+            else:
+                names.add(f"group_{position}")
+        names |= {spec.slot.lower() for spec in plan.aggregates}
+        return set(), names
+    if isinstance(plan, (Filter, Sort, Limit, Distinct)):
+        child = plan.children()
+        return _output_names(child[0], catalog) if child else (set(), set())
+    if isinstance(plan, (CrossJoin, HashJoin)):
+        qualifiers: set[str] = set()
+        names = set()
+        for child in plan.children():
+            child_qualifiers, child_names = _output_names(child, catalog)
+            qualifiers |= child_qualifiers
+            names |= child_names
+        return qualifiers, names
+    return set(), set()

@@ -1,0 +1,766 @@
+"""Physical (vectorized) execution of logical plans.
+
+One function — :func:`execute_plan` — interprets a logical plan bottom-up,
+producing a :class:`~repro.engine.frame.Frame` per node.  All data-parallel
+work happens in numpy kernels; per-row Python is confined to string keys
+and BLOB payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError, PlanError
+from repro.engine.expressions import Evaluator, FunctionRegistry, Vector
+from repro.engine.frame import Frame, FrameColumn
+from repro.engine.logical import (
+    Aggregate,
+    AggregateSpec,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.engine.profiler import Profiler
+from repro.engine.udf import UdfRegistry
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Expression,
+    SelectItem,
+    Star,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.schema import DataType
+
+
+@dataclass
+class ExecutionContext:
+    """Everything operators need at run time."""
+
+    catalog: Catalog
+    functions: FunctionRegistry
+    udfs: UdfRegistry
+    profiler: Profiler
+    subquery_executor: Optional[Callable[[Any], Any]] = None
+    #: Byte budget for each side of a symmetric hash join before bucket
+    #: eviction kicks in (hint rule 3's LRU buffer).
+    symmetric_join_memory: int = 64 * 1024 * 1024
+    #: Populated by symmetric joins for tests/benchmarks to inspect.
+    last_symmetric_stats: dict[str, int] = field(default_factory=dict)
+
+    def evaluator(
+        self, frame: Frame, slots: Optional[dict[str, str]] = None
+    ) -> Evaluator:
+        return Evaluator(
+            frame,
+            self.functions,
+            udfs=self.udfs,
+            subquery_executor=self.subquery_executor,
+            aggregate_slots=slots,
+        )
+
+
+def execute_plan(plan: LogicalPlan, ctx: ExecutionContext) -> Frame:
+    """Run a logical plan to completion and return the result frame."""
+    if isinstance(plan, Scan):
+        return _execute_scan(plan, ctx)
+    if isinstance(plan, SubqueryScan):
+        return _execute_subquery_scan(plan, ctx)
+    if isinstance(plan, Filter):
+        return _execute_filter(plan, ctx)
+    if isinstance(plan, Project):
+        return _execute_project(plan, ctx)
+    if isinstance(plan, CrossJoin):
+        return _execute_cross_join(plan, ctx)
+    if isinstance(plan, HashJoin):
+        return _execute_hash_join(plan, ctx)
+    if isinstance(plan, Aggregate):
+        return _execute_aggregate(plan, ctx)
+    if isinstance(plan, Sort):
+        return _execute_sort(plan, ctx)
+    if isinstance(plan, Limit):
+        return _execute_limit(plan, ctx)
+    if isinstance(plan, Distinct):
+        return _execute_distinct(plan, ctx)
+    raise ExecutionError(f"no physical implementation for {type(plan).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Scans
+# ----------------------------------------------------------------------
+def _execute_scan(plan: Scan, ctx: ExecutionContext) -> Frame:
+    with ctx.profiler.measure("scan") as token:
+        if plan.table_name == "__dual__":
+            dummy = FrameColumn(None, "__dummy__", DataType.INT64,
+                                np.zeros(1, dtype=np.int64))
+            return Frame([dummy])
+        table = ctx.catalog.get_table(plan.table_name)
+        frame = Frame.from_table(table, plan.alias or table.name)
+        token.record_rows(frame.num_rows)
+        return frame
+
+
+def _execute_subquery_scan(plan: SubqueryScan, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None
+    inner = execute_plan(plan.child, ctx)
+    return Frame([c.with_qualifier(plan.alias) for c in inner.columns])
+
+
+# ----------------------------------------------------------------------
+# Filter / Project
+# ----------------------------------------------------------------------
+def _execute_filter(plan: Filter, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None and plan.predicate is not None
+    frame = execute_plan(plan.child, ctx)
+    slots = _aggregate_slots_below(plan.child)
+    with ctx.profiler.measure("filter") as token:
+        result = frame
+        for conjunct in _ordered_conjuncts(plan.predicate, ctx):
+            if result.num_rows == 0:
+                break
+            mask = ctx.evaluator(result, slots).evaluate_mask(conjunct)
+            result = result.filter(mask)
+        token.record_rows(result.num_rows)
+    return result
+
+
+def _ordered_conjuncts(
+    predicate: Expression, ctx: ExecutionContext
+) -> list[Expression]:
+    """Cheap conjuncts first, UDF-bearing ones last — and among several
+    nUDF conjuncts, most selective first.
+
+    Conjuncts apply sequentially to a shrinking frame, so an expensive
+    nUDF predicate only ever evaluates rows that survived the cheap
+    predicates.  When a query carries several nUDFs (the paper's Type-4
+    example with detect + classify), running the more selective model
+    first prunes rows before the next model sees them — "it would be more
+    efficient to execute the detect model before the classify model".
+    Selectivities come from the class histograms attached at UDF
+    registration; conjuncts without one keep their written order (0.5).
+    """
+    from repro.engine.udf import parse_udf_comparison
+    from repro.sql.ast_nodes import referenced_functions, split_conjuncts
+
+    conjuncts = split_conjuncts(predicate)
+    cheap = []
+    expensive = []
+    for conjunct in conjuncts:
+        has_udf = any(
+            call.name in ctx.udfs
+            for call in referenced_functions(conjunct)
+        )
+        (expensive if has_udf else cheap).append(conjunct)
+
+    def estimated_selectivity(conjunct: Expression) -> float:
+        parsed = parse_udf_comparison(conjunct)
+        if parsed is None:
+            return 0.5
+        name, label, negated = parsed
+        if name not in ctx.udfs:
+            return 0.5
+        estimator = ctx.udfs.get(name).selectivity_of
+        if estimator is None:
+            return 0.5
+        selectivity = estimator(label)
+        return 1.0 - selectivity if negated else selectivity
+
+    expensive.sort(key=estimated_selectivity)
+    return cheap + expensive
+
+
+def _execute_project(plan: Project, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None
+    frame = execute_plan(plan.child, ctx)
+    slots = dict(plan.aggregate_slots)
+    slots.update(_aggregate_slots_below(plan.child) or {})
+    with ctx.profiler.measure("project") as token:
+        evaluator = ctx.evaluator(frame, slots or None)
+        out_columns: list[FrameColumn] = []
+        for ordinal, item in enumerate(plan.items):
+            if isinstance(item.expression, Star):
+                out_columns.extend(
+                    _expand_star(frame, item.expression)
+                )
+                continue
+            vector = evaluator.evaluate(item.expression)
+            data = vector.materialize(frame.num_rows)
+            out_columns.append(
+                FrameColumn(None, item.output_name(ordinal), vector.dtype, data)
+            )
+        result = Frame(out_columns)
+        token.record_rows(result.num_rows)
+    return result
+
+
+def _expand_star(frame: Frame, star: Star) -> list[FrameColumn]:
+    columns = []
+    for column in frame.columns:
+        if column.name.startswith("__"):
+            continue
+        if star.table is not None and (
+            (column.qualifier or "").lower() != star.table.lower()
+        ):
+            continue
+        columns.append(FrameColumn(None, column.name, column.dtype, column.data))
+    if not columns:
+        raise PlanError(f"{star.to_sql()} matched no columns")
+    return columns
+
+
+def _aggregate_slots_below(plan: LogicalPlan) -> Optional[dict[str, str]]:
+    """Slot mapping when this node sits directly above an Aggregate chain.
+
+    HAVING filters, ORDER BY sorts and the final projection reference
+    aggregate calls (``HAVING count(*) > 3``) and computed group keys
+    (``SELECT intDiv(TupleID, 64) ... GROUP BY intDiv(TupleID, 64)``),
+    which resolve through the Aggregate's output columns by SQL text.
+    """
+    node = plan
+    while isinstance(node, (Sort, Filter, Limit)):
+        node = node.child  # type: ignore[assignment]
+        if node is None:
+            return None
+    if isinstance(node, Aggregate):
+        slots = {spec.key(): spec.slot for spec in node.aggregates}
+        for position, key in enumerate(node.group_by):
+            if not isinstance(key, ColumnRef):
+                slots[key.to_sql()] = f"group_{position}"
+        return slots
+    return None
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def _execute_cross_join(plan: CrossJoin, ctx: ExecutionContext) -> Frame:
+    assert plan.left is not None and plan.right is not None
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
+    with ctx.profiler.measure("join") as token:
+        n_left, n_right = left.num_rows, right.num_rows
+        left_idx = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+        right_idx = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+        result = left.take(left_idx).concat_columns(right.take(right_idx))
+        token.record_rows(result.num_rows)
+    return result
+
+
+def _execute_hash_join(plan: HashJoin, ctx: ExecutionContext) -> Frame:
+    assert plan.left is not None and plan.right is not None
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
+
+    with ctx.profiler.measure("join") as token:
+        left_keys = _evaluate_keys(left, plan.left_keys, ctx)
+        right_keys = _evaluate_keys(right, plan.right_keys, ctx)
+        if plan.symmetric:
+            left_idx, right_idx = _symmetric_hash_join(
+                left_keys, right_keys, ctx
+            )
+        else:
+            left_idx, right_idx = _match_keys(left_keys, right_keys)
+        result = left.take(left_idx).concat_columns(right.take(right_idx))
+        token.record_rows(result.num_rows)
+
+    if plan.residual is not None:
+        with ctx.profiler.measure("filter") as token:
+            mask = ctx.evaluator(result).evaluate_mask(plan.residual)
+            result = result.filter(mask)
+            token.record_rows(result.num_rows)
+    return result
+
+
+def _evaluate_keys(
+    frame: Frame, keys: tuple[Expression, ...], ctx: ExecutionContext
+) -> list[np.ndarray]:
+    evaluator = ctx.evaluator(frame)
+    out = []
+    for key in keys:
+        vector = evaluator.evaluate(key)
+        out.append(vector.materialize(frame.num_rows))
+    return out
+
+
+def _match_keys(
+    left_keys: list[np.ndarray], right_keys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inner-join row index pairs for equal composite keys."""
+    left_combined = _combine_key_arrays(left_keys)
+    right_combined = _combine_key_arrays(right_keys)
+    if left_combined.dtype == object or right_combined.dtype == object:
+        return _match_object_keys(left_combined, right_combined)
+    return _match_numeric_keys(left_combined, right_combined)
+
+
+def _combine_key_arrays(keys: list[np.ndarray]) -> np.ndarray:
+    if len(keys) == 1:
+        return keys[0]
+    if all(k.dtype != object for k in keys):
+        # Factorize each key and mix into one int64 (collision-free because
+        # codes are dense and we shift by the cardinality of later keys).
+        combined = np.zeros(len(keys[0]), dtype=np.int64)
+        for key in keys:
+            _, codes = np.unique(key, return_inverse=True)
+            cardinality = int(codes.max()) + 1 if len(codes) else 1
+            combined = combined * cardinality + codes
+        return combined
+    out = np.empty(len(keys[0]), dtype=object)
+    for i in range(len(keys[0])):
+        out[i] = tuple(k[i] for k in keys)
+    return out
+
+
+def _match_numeric_keys(
+    build: np.ndarray, probe: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized sort-merge matching of numeric keys.
+
+    ``build`` is the left side, ``probe`` the right; the result is
+    ``(left_idx, right_idx)`` covering every equal pair.
+    """
+    if len(build) == 0 or len(probe) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(build, kind="stable")
+    sorted_keys = build[order]
+    lo = np.searchsorted(sorted_keys, probe, side="left")
+    hi = np.searchsorted(sorted_keys, probe, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    probe_idx = np.repeat(np.arange(len(probe), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    build_idx = order[starts + offsets]
+    return build_idx, probe_idx
+
+
+def _match_object_keys(
+    build: np.ndarray, probe: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    buckets: dict[Any, list[int]] = {}
+    for position, key in enumerate(build):
+        buckets.setdefault(key, []).append(position)
+    build_out: list[int] = []
+    probe_out: list[int] = []
+    for position, key in enumerate(probe):
+        rows = buckets.get(key)
+        if rows is None:
+            continue
+        build_out.extend(rows)
+        probe_out.extend([position] * len(rows))
+    return (
+        np.asarray(build_out, dtype=np.int64),
+        np.asarray(probe_out, dtype=np.int64),
+    )
+
+
+def _symmetric_hash_join(
+    left_keys: list[np.ndarray],
+    right_keys: list[np.ndarray],
+    ctx: ExecutionContext,
+    chunk_size: int = 4096,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric hash join with bucket-based LRU accounting (hint rule 3).
+
+    Both inputs are consumed in alternating chunks; each chunk probes the
+    other side's hash table built so far, then inserts into its own.  A
+    byte budget models the paper's in-memory hash tables: when exceeded,
+    the least-recently-used bucket is marked evicted, and later probes of
+    an evicted bucket count as cache misses that reload the whole bucket
+    (the paper's bucket-based LRU policy).  Eviction is an accounting
+    device — results stay exact — and the counters surface through
+    ``ctx.last_symmetric_stats``.
+    """
+    left = _combine_key_arrays(left_keys)
+    right = _combine_key_arrays(right_keys)
+
+    left_table: dict[Any, list[int]] = {}
+    right_table: dict[Any, list[int]] = {}
+    lru: dict[Any, int] = {}
+    evicted: set[Any] = set()
+    clock = 0
+    budget = ctx.symmetric_join_memory
+    used = 0
+    misses = 0
+    reloads = 0
+
+    out_left: list[int] = []
+    out_right: list[int] = []
+
+    def touch(key: Any) -> None:
+        nonlocal clock
+        clock += 1
+        lru[key] = clock
+
+    def charge(entry_bytes: int) -> None:
+        nonlocal used
+        used += entry_bytes
+        while used > budget and lru:
+            victim = min(lru, key=lru.get)  # LRU bucket
+            del lru[victim]
+            evicted.add(victim)
+            used -= 24  # only the accounting weight of the bucket head
+
+    def probe_and_insert(
+        keys: np.ndarray,
+        start: int,
+        own: dict[Any, list[int]],
+        other: dict[Any, list[int]],
+        own_side_left: bool,
+    ) -> None:
+        nonlocal misses, reloads
+        for offset, key in enumerate(keys):
+            key = key if not isinstance(key, np.generic) else key.item()
+            position = start + offset
+            matches = other.get(key)
+            if matches:
+                if key in evicted:
+                    misses += 1
+                    reloads += len(matches)
+                    evicted.discard(key)
+                    touch(key)
+                if own_side_left:
+                    out_left.extend([position] * len(matches))
+                    out_right.extend(matches)
+                else:
+                    out_left.extend(matches)
+                    out_right.extend([position] * len(matches))
+            own.setdefault(key, []).append(position)
+            touch(key)
+            charge(24)
+
+    left_pos = right_pos = 0
+    while left_pos < len(left) or right_pos < len(right):
+        if left_pos < len(left):
+            chunk = left[left_pos : left_pos + chunk_size]
+            probe_and_insert(chunk, left_pos, left_table, right_table, True)
+            left_pos += len(chunk)
+        if right_pos < len(right):
+            chunk = right[right_pos : right_pos + chunk_size]
+            probe_and_insert(chunk, right_pos, right_table, left_table, False)
+            right_pos += len(chunk)
+
+    ctx.last_symmetric_stats = {
+        "cache_misses": misses,
+        "bucket_reloads": reloads,
+        "buckets": len(left_table) + len(right_table),
+    }
+    return (
+        np.asarray(out_left, dtype=np.int64),
+        np.asarray(out_right, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _execute_aggregate(plan: Aggregate, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None
+    frame = execute_plan(plan.child, ctx)
+    with ctx.profiler.measure("groupby") as token:
+        evaluator = ctx.evaluator(frame)
+
+        if plan.group_by:
+            key_vectors = [evaluator.evaluate(e) for e in plan.group_by]
+            key_arrays = [
+                v.materialize(frame.num_rows) for v in key_vectors
+            ]
+            group_ids, group_rows = _factorize(key_arrays)
+            num_groups = len(group_rows)
+        else:
+            group_ids = np.zeros(frame.num_rows, dtype=np.int64)
+            group_rows = np.zeros(min(1, max(frame.num_rows, 1)), dtype=np.int64)
+            num_groups = 1
+            key_vectors = []
+            key_arrays = []
+
+        out_columns: list[FrameColumn] = []
+        for position, (expression, vector) in enumerate(
+            zip(plan.group_by, key_vectors)
+        ):
+            name, qualifier = _group_key_name(expression, position)
+            out_columns.append(
+                FrameColumn(
+                    qualifier,
+                    name,
+                    vector.dtype,
+                    key_arrays[position][group_rows]
+                    if frame.num_rows
+                    else key_arrays[position][:0],
+                )
+            )
+
+        for spec in plan.aggregates:
+            out_columns.append(
+                _compute_aggregate(
+                    spec, frame, evaluator, group_ids, num_groups
+                )
+            )
+        result = Frame(out_columns)
+        token.record_rows(result.num_rows)
+    return result
+
+
+def _group_key_name(
+    expression: Expression, position: int
+) -> tuple[str, Optional[str]]:
+    if isinstance(expression, ColumnRef):
+        return expression.name, expression.table
+    return f"group_{position}", None
+
+
+def _factorize(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Map composite keys to dense group ids.
+
+    Returns ``(group_ids, representative_rows)`` where
+    ``representative_rows[g]`` is the first input row of group ``g``.
+    Group order follows first appearance.
+    """
+    n = len(key_arrays[0]) if key_arrays else 0
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    combined = _combine_key_arrays(key_arrays)
+    if combined.dtype == object:
+        mapping: dict[Any, int] = {}
+        ids = np.empty(n, dtype=np.int64)
+        representatives: list[int] = []
+        for row, key in enumerate(combined):
+            group = mapping.get(key)
+            if group is None:
+                group = len(mapping)
+                mapping[key] = group
+                representatives.append(row)
+            ids[row] = group
+        return ids, np.asarray(representatives, dtype=np.int64)
+    uniques, first_indices, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    # np.unique sorts by value; remap to first-appearance order for
+    # deterministic, insertion-ordered groups.
+    appearance = np.argsort(first_indices, kind="stable")
+    rank_of_sorted = np.empty_like(appearance)
+    rank_of_sorted[appearance] = np.arange(len(uniques))
+    ids = rank_of_sorted[inverse]
+    representatives = first_indices[appearance]
+    return ids.astype(np.int64), representatives.astype(np.int64)
+
+
+def _compute_aggregate(
+    spec: AggregateSpec,
+    frame: Frame,
+    evaluator: Evaluator,
+    group_ids: np.ndarray,
+    num_groups: int,
+) -> FrameColumn:
+    call = spec.call
+    name = call.name.lower()
+    n = frame.num_rows
+
+    if name == "count" and len(call.args) == 1 and isinstance(call.args[0], Star):
+        counts = np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+        return FrameColumn(None, spec.slot, DataType.INT64, counts)
+
+    if name in ("countif", "count") and call.args:
+        vector = evaluator.evaluate(call.args[0])
+        data = vector.materialize(n)
+        if vector.dtype is DataType.BOOL or name == "countif":
+            # countIf semantics: count rows where the condition holds.  The
+            # paper's Type-2 query counts nUDF_detect(...)=TRUE this way.
+            mask = data.astype(bool)
+            counts = np.bincount(
+                group_ids[mask], minlength=num_groups
+            ).astype(np.int64)
+        elif data.dtype == object:
+            mask = np.asarray([v is not None for v in data], dtype=bool)
+            counts = np.bincount(
+                group_ids[mask], minlength=num_groups
+            ).astype(np.int64)
+        else:
+            counts = np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+        if call.distinct:
+            counts = _distinct_counts(data, group_ids, num_groups)
+        return FrameColumn(None, spec.slot, DataType.INT64, counts)
+
+    if not call.args:
+        raise PlanError(f"aggregate {call.name}() requires an argument")
+
+    vector = evaluator.evaluate(call.args[0])
+    data = vector.materialize(n)
+
+    if name == "sumif":
+        condition = evaluator.evaluate(call.args[1]).materialize(n).astype(bool)
+        sums = np.bincount(
+            group_ids[condition],
+            weights=data[condition].astype(np.float64),
+            minlength=num_groups,
+        )
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums)
+
+    if name == "grouparray":
+        out = np.empty(num_groups, dtype=object)
+        for group in range(num_groups):
+            out[group] = data[group_ids == group].tolist()
+        return FrameColumn(None, spec.slot, DataType.BLOB, out)
+
+    if name == "any":
+        representatives = np.zeros(num_groups, dtype=np.int64)
+        seen = np.zeros(num_groups, dtype=bool)
+        for row in range(n):
+            group = group_ids[row]
+            if not seen[group]:
+                seen[group] = True
+                representatives[group] = row
+        return FrameColumn(
+            None, spec.slot, vector.dtype, data[representatives]
+        )
+
+    numeric = data.astype(np.float64)
+    counts = np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+
+    if name == "sum":
+        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
+        if vector.dtype is DataType.INT64 or vector.dtype is DataType.BOOL:
+            return FrameColumn(
+                None, spec.slot, DataType.INT64,
+                np.round(sums).astype(np.int64),
+            )
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums)
+    if name == "avg":
+        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums / safe_counts)
+    if name in ("min", "max"):
+        return FrameColumn(
+            None,
+            spec.slot,
+            vector.dtype if vector.dtype.is_numeric else DataType.FLOAT64,
+            _reduce_minmax(numeric, group_ids, num_groups, name == "min").astype(
+                vector.dtype.numpy_dtype
+                if vector.dtype.is_numeric
+                else np.float64
+            ),
+        )
+    if name in ("stddevsamp", "stddevpop", "varsamp", "varpop"):
+        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
+        squares = np.bincount(
+            group_ids, weights=numeric * numeric, minlength=num_groups
+        )
+        means = sums / safe_counts
+        variances = np.maximum(squares / safe_counts - means * means, 0.0)
+        if name in ("varsamp", "stddevsamp"):
+            correction = counts / np.maximum(counts - 1.0, 1.0)
+            variances = variances * correction
+        if name.startswith("stddev"):
+            variances = np.sqrt(variances)
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, variances)
+
+    raise PlanError(f"unsupported aggregate {call.name!r}")
+
+
+def _reduce_minmax(
+    numeric: np.ndarray, group_ids: np.ndarray, num_groups: int, is_min: bool
+) -> np.ndarray:
+    out = np.full(num_groups, math.inf if is_min else -math.inf)
+    if len(numeric) == 0:
+        return out
+    order = np.argsort(group_ids, kind="stable")
+    sorted_groups = group_ids[order]
+    sorted_values = numeric[order]
+    boundaries = np.flatnonzero(sorted_groups[1:] != sorted_groups[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    reducer = np.minimum if is_min else np.maximum
+    reduced = reducer.reduceat(sorted_values, starts)
+    present = sorted_groups[starts]
+    out[present] = reduced
+    return out
+
+
+def _distinct_counts(
+    data: np.ndarray, group_ids: np.ndarray, num_groups: int
+) -> np.ndarray:
+    counts = np.zeros(num_groups, dtype=np.int64)
+    seen: set[tuple[int, Any]] = set()
+    for row in range(len(data)):
+        key = (int(group_ids[row]), data[row])
+        if key not in seen:
+            seen.add(key)
+            counts[group_ids[row]] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Sort / Limit / Distinct
+# ----------------------------------------------------------------------
+def _execute_sort(plan: Sort, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None
+    frame = execute_plan(plan.child, ctx)
+    slots = _aggregate_slots_below(plan.child)
+    with ctx.profiler.measure("sort") as token:
+        evaluator = ctx.evaluator(frame, slots)
+        code_arrays = []
+        for order in plan.order_by:
+            vector = evaluator.evaluate(order.expression)
+            data = vector.materialize(frame.num_rows)
+            codes = _sort_codes(data)
+            if not order.ascending:
+                codes = -codes
+            code_arrays.append(codes)
+        if code_arrays:
+            indices = np.lexsort(list(reversed(code_arrays)))
+        else:
+            indices = np.arange(frame.num_rows)
+        result = frame.take(indices)
+        token.record_rows(result.num_rows)
+    return result
+
+
+def _sort_codes(data: np.ndarray) -> np.ndarray:
+    """Map values to int64 codes preserving order (handles strings)."""
+    if data.dtype == object:
+        uniques = sorted(set(data.tolist()))
+        rank = {value: code for code, value in enumerate(uniques)}
+        return np.asarray([rank[v] for v in data], dtype=np.int64)
+    if data.dtype == np.bool_:
+        return data.astype(np.int64)
+    if np.issubdtype(data.dtype, np.floating):
+        _, inverse = np.unique(data, return_inverse=True)
+        return inverse.astype(np.int64)
+    return data.astype(np.int64)
+
+
+def _execute_limit(plan: Limit, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None
+    frame = execute_plan(plan.child, ctx)
+    with ctx.profiler.measure("limit") as token:
+        result = frame.head(plan.count)
+        token.record_rows(result.num_rows)
+    return result
+
+
+def _execute_distinct(plan: Distinct, ctx: ExecutionContext) -> Frame:
+    assert plan.child is not None
+    frame = execute_plan(plan.child, ctx)
+    with ctx.profiler.measure("distinct") as token:
+        if frame.num_rows == 0 or not frame.columns:
+            return frame
+        arrays = [c.data for c in frame.columns]
+        _, representatives = _factorize(arrays)
+        result = frame.take(np.sort(representatives))
+        token.record_rows(result.num_rows)
+    return result

@@ -1,0 +1,118 @@
+"""Per-operator wall-clock profiling.
+
+Fig. 10 of the paper breaks DL2SQL runtime down by SQL clause (Join,
+GroupBy, Scan, ...).  The executor wraps every physical operator in
+:meth:`Profiler.measure`, accumulating seconds and row counts per category,
+so the same breakdown falls out of any query this engine runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+#: Canonical operator categories reported by the profiler.
+CATEGORIES = (
+    "scan",
+    "filter",
+    "join",
+    "groupby",
+    "sort",
+    "project",
+    "distinct",
+    "limit",
+    "udf",
+    "insert",
+    "update",
+    "materialize",
+)
+
+
+@dataclass
+class CategoryStats:
+    seconds: float = 0.0
+    calls: int = 0
+    rows: int = 0
+
+
+@dataclass
+class Profiler:
+    """Accumulates execution statistics per operator category."""
+
+    enabled: bool = True
+    stats: dict[str, CategoryStats] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, category: str):
+        """Time a block; use ``record_rows`` on the yielded token if needed."""
+        if not self.enabled:
+            yield _NULL_TOKEN
+            return
+        token = _Token()
+        started = time.perf_counter()
+        try:
+            yield token
+        finally:
+            elapsed = time.perf_counter() - started
+            entry = self.stats.setdefault(category, CategoryStats())
+            entry.seconds += elapsed
+            entry.calls += 1
+            entry.rows += token.rows
+
+    def add(self, category: str, seconds: float, rows: int = 0) -> None:
+        """Directly account time to a category (used for UDF internals)."""
+        if not self.enabled:
+            return
+        entry = self.stats.setdefault(category, CategoryStats())
+        entry.seconds += seconds
+        entry.calls += 1
+        entry.rows += rows
+
+    def seconds_for(self, category: str) -> float:
+        entry = self.stats.get(category)
+        return entry.seconds if entry else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.stats.values())
+
+    def snapshot(self) -> dict[str, CategoryStats]:
+        """A copy of the current stats (safe to keep across resets)."""
+        return {
+            category: CategoryStats(entry.seconds, entry.calls, entry.rows)
+            for category, entry in self.stats.items()
+        }
+
+    def reset(self) -> None:
+        self.stats.clear()
+
+    def breakdown(self) -> dict[str, float]:
+        """Category -> fraction of total time (empty dict when idle)."""
+        total = self.total_seconds()
+        if total <= 0:
+            return {}
+        return {
+            category: entry.seconds / total
+            for category, entry in sorted(self.stats.items())
+        }
+
+
+class _Token:
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows = 0
+
+    def record_rows(self, rows: int) -> None:
+        self.rows += rows
+
+
+class _NullToken:
+    __slots__ = ()
+
+    def record_rows(self, rows: int) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_NULL_TOKEN = _NullToken()

@@ -1,0 +1,107 @@
+"""Table and column statistics for cost estimation.
+
+Base tables get exact statistics computed on demand and cached until the
+table mutates.  Intermediate results of a multi-statement DL2SQL script are
+*not* materialized at planning time, so the default cost model has to fall
+back to heuristics for them — exactly the situation that makes the DBMS
+optimizer mis-estimate neural operators in the paper (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.catalog import Catalog
+from repro.storage.schema import DataType
+from repro.storage.table import Table
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    distinct: int
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+
+@dataclass
+class TableStats:
+    """Row count plus per-column stats (case-insensitive lookup)."""
+
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+    def distinct(self, name: str, default_fraction: float = 0.1) -> float:
+        """NDV of a column, falling back to a fraction of the row count.
+
+        The fallback is the textbook default that makes the naive model
+        over-estimate join output for the DL2SQL feature-map tables.
+        """
+        stats = self.column(name)
+        if stats is not None and stats.distinct > 0:
+            return float(stats.distinct)
+        return max(1.0, self.row_count * default_fraction)
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Exact statistics for a materialized table."""
+    columns: dict[str, ColumnStats] = {}
+    for column in table.columns:
+        if column.dtype is DataType.BLOB:
+            columns[column.name.lower()] = ColumnStats(distinct=len(column))
+            continue
+        distinct = column.distinct_count()
+        min_value = max_value = None
+        if column.dtype.is_numeric and len(column) > 0:
+            data = column.data
+            min_value = float(np.min(data))
+            max_value = float(np.max(data))
+        columns[column.name.lower()] = ColumnStats(
+            distinct=distinct, min_value=min_value, max_value=max_value
+        )
+    return TableStats(row_count=table.num_rows, columns=columns)
+
+
+class StatisticsProvider:
+    """Caches :class:`TableStats` per catalog table.
+
+    ``override`` entries let cost models inject *estimated* stats for
+    tables that do not exist yet (intermediate DL2SQL results during
+    whole-script costing).
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._cache: dict[str, TableStats] = {}
+        self._overrides: dict[str, TableStats] = {}
+
+    def stats_for(self, table_name: str) -> Optional[TableStats]:
+        key = table_name.lower()
+        if key in self._overrides:
+            return self._overrides[key]
+        if key in self._cache:
+            return self._cache[key]
+        if not self._catalog.has(table_name) or self._catalog.is_view(table_name):
+            return None
+        stats = compute_table_stats(self._catalog.get_table(table_name))
+        self._cache[key] = stats
+        return stats
+
+    def set_override(self, table_name: str, stats: TableStats) -> None:
+        self._overrides[table_name.lower()] = stats
+
+    def clear_overrides(self) -> None:
+        self._overrides.clear()
+
+    def invalidate(self, table_name: str) -> None:
+        self._cache.pop(table_name.lower(), None)
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,167 @@
+"""User-defined functions, including the paper's nUDFs.
+
+A :class:`BatchUdf` receives whole numpy argument vectors per call, which
+is how the paper's inference UDFs work: "the nUDF is performed in a batch
+manner (a batch of feature maps are fed to the model together)".  The
+registry also carries per-UDF metadata the optimizer consumes:
+
+* ``cost_per_row`` — estimated seconds per evaluated row, used to decide
+  eager vs. lazy nUDF placement (hint rule 1);
+* ``selectivity_of`` — a callable mapping a compared-against class label to
+  the estimated fraction of rows passing, backed by the training-time class
+  histograms of Section IV-B (Eqs. 9–10).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import UdfError
+from repro.engine.expressions import Vector
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.storage.schema import DataType
+
+
+@dataclass
+class UdfStats:
+    """Runtime accounting for one UDF (drives the inference-cost breakdown)."""
+
+    calls: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.rows = 0
+        self.seconds = 0.0
+
+
+@dataclass
+class BatchUdf:
+    """A batched scalar UDF.
+
+    Attributes:
+        name: SQL-visible function name (e.g. ``nUDF_detect``).
+        fn: Callable taking numpy argument arrays, returning a numpy array
+            of per-row results.
+        return_dtype: Logical type of the result column.
+        cost_per_row: Optimizer's per-row cost estimate in seconds.
+        selectivity_of: Optional estimator ``label -> fraction`` from class
+            histograms; None means the optimizer falls back to a default.
+        is_neural: Marks inference UDFs so their runtime is accounted as
+            *inference* cost rather than relational cost.
+    """
+
+    name: str
+    fn: Callable[..., np.ndarray]
+    return_dtype: DataType
+    cost_per_row: float = 0.0
+    selectivity_of: Optional[Callable[[Any], float]] = None
+    is_neural: bool = False
+    stats: UdfStats = field(default_factory=UdfStats)
+
+
+class UdfRegistry:
+    """Case-insensitive name -> :class:`BatchUdf` mapping with accounting."""
+
+    def __init__(self) -> None:
+        self._udfs: dict[str, BatchUdf] = {}
+
+    def register(self, udf: BatchUdf, *, replace: bool = False) -> None:
+        key = udf.name.lower()
+        if key in self._udfs and not replace:
+            raise UdfError(f"UDF {udf.name!r} is already registered")
+        self._udfs[key] = udf
+
+    def unregister(self, name: str) -> None:
+        self._udfs.pop(name.lower(), None)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._udfs
+
+    def get(self, name: str) -> BatchUdf:
+        try:
+            return self._udfs[name.lower()]
+        except KeyError:
+            raise UdfError(f"unknown UDF {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(udf.name for udf in self._udfs.values())
+
+    def invoke(self, name: str, args: list[np.ndarray]) -> Vector:
+        """Run a UDF over argument vectors, recording wall-clock stats."""
+        udf = self.get(name)
+        num_rows = len(args[0]) if args else 0
+        started = time.perf_counter()
+        try:
+            result = udf.fn(*args)
+        except Exception as exc:  # noqa: BLE001 - rewrap with UDF context
+            raise UdfError(f"UDF {name!r} failed: {exc}") from exc
+        elapsed = time.perf_counter() - started
+        udf.stats.calls += 1
+        udf.stats.rows += num_rows
+        udf.stats.seconds += elapsed
+
+        result = np.asarray(result)
+        if result.shape != (num_rows,):
+            raise UdfError(
+                f"UDF {name!r} returned shape {result.shape}, "
+                f"expected ({num_rows},)"
+            )
+        if udf.return_dtype in (DataType.STRING, DataType.BLOB):
+            if result.dtype != object:
+                boxed = np.empty(num_rows, dtype=object)
+                boxed[:] = result
+                result = boxed
+        else:
+            result = result.astype(udf.return_dtype.numpy_dtype)
+        return Vector(result, udf.return_dtype)
+
+    def neural_seconds(self) -> float:
+        """Total wall-clock spent inside neural UDFs since the last reset."""
+        return sum(u.stats.seconds for u in self._udfs.values() if u.is_neural)
+
+    def reset_stats(self) -> None:
+        for udf in self._udfs.values():
+            udf.stats.reset()
+
+
+def parse_udf_comparison(
+    conjunct: Expression,
+) -> Optional[tuple[str, Any, bool]]:
+    """Recognize ``nUDF(x) = literal`` / ``nUDF(x) != literal`` shapes.
+
+    Returns ``(udf_name, literal_value, negated)`` or None.  ``NOT
+    (nUDF(x) = lit)`` also resolves, with the negation folded in.  Used by
+    the hint-aware cost model (selectivity lookup) and by the executor's
+    multi-nUDF conjunct ordering (the paper's detect-before-classify
+    example).
+    """
+    if isinstance(conjunct, UnaryOp) and conjunct.op.upper() == "NOT":
+        inner = parse_udf_comparison(conjunct.operand)
+        if inner is None:
+            return None
+        name, label, negated = inner
+        return name, label, not negated
+    if not isinstance(conjunct, BinaryOp) or conjunct.op not in ("=", "!="):
+        return None
+    left, right = conjunct.left, conjunct.right
+    call: Optional[FunctionCall] = None
+    literal: Optional[Literal] = None
+    if isinstance(left, FunctionCall) and isinstance(right, Literal):
+        call, literal = left, right
+    elif isinstance(right, FunctionCall) and isinstance(left, Literal):
+        call, literal = right, left
+    if call is None or literal is None:
+        return None
+    return call.name, literal.value, conjunct.op == "!="

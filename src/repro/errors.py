@@ -1,0 +1,64 @@
+"""Shared exception hierarchy for the repro package.
+
+Every layer of the stack (storage, SQL front end, execution engine, DL2SQL
+compiler, strategies) raises subclasses of :class:`ReproError` so callers can
+catch a single base type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """Problems in the columnar storage layer (bad schema, type mismatch...)."""
+
+
+class CatalogError(StorageError):
+    """Unknown or duplicate table/view names in a database catalog."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """The tokenizer hit a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The parser found a syntactically invalid statement."""
+
+
+class PlanError(ReproError):
+    """The planner could not build a plan (unknown column, bad aggregate...)."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed at run time."""
+
+
+class UdfError(ExecutionError):
+    """A user-defined function is unknown or misbehaved."""
+
+
+class TensorError(ReproError):
+    """Errors in the numpy tensor/NN framework (shape mismatch, bad layer)."""
+
+
+class SerializationError(TensorError):
+    """Model (de)serialization failed (corrupt blob, version mismatch)."""
+
+
+class CompileError(ReproError):
+    """DL2SQL compilation failed (unsupported operator, bad shapes)."""
+
+
+class WorkloadError(ReproError):
+    """Workload/dataset generation was asked for something impossible."""

@@ -1,0 +1,19 @@
+"""Experiment drivers — one module per table/figure of the evaluation.
+
+Each module exposes ``run(...)`` returning a structured result and a
+``main()`` that prints the table the paper reports.  The benchmark suite
+(``benchmarks/``) wraps these with pytest-benchmark; EXPERIMENTS.md
+records paper-vs-measured for each artifact.
+
+| Module              | Paper artifact |
+|---------------------|----------------|
+| exp_storage         | Table IV       |
+| exp_overall         | Fig. 8         |
+| exp_selectivity     | Table V        |
+| exp_depth           | Table VI       |
+| exp_blocks          | Fig. 9         |
+| exp_sql_profile     | Fig. 10        |
+| exp_prejoin         | Fig. 11        |
+| exp_cost_model      | Fig. 12a/b, 13 |
+| exp_hints           | Fig. 14        |
+"""

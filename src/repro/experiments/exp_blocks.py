@@ -1,0 +1,83 @@
+"""Fig. 9: per-CNN-block runtime of the student model in DL2SQL.
+
+Runs SQL inference over a batch of keyframes and reports the average
+wall-clock per block label (Conv1..3, Reshape1..3, Pooling, FC,
+Classification).  Reproduction target: the convolution blocks dominate,
+and blocks with more parameters/larger inputs take longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.compiler import CompiledModel, PreJoin, compile_model
+from repro.core.runner import Dl2SqlModel
+from repro.engine.database import Database
+from repro.experiments.reporting import print_table
+from repro.tensor.resnet import build_student_cnn
+from repro.workload.dataset import DatasetConfig, IoTDataset, generate_dataset
+
+
+@dataclass
+class BlockRow:
+    block: str
+    seconds: float
+    share: float
+
+
+def run(
+    dataset: Optional[IoTDataset] = None,
+    compiled: Optional[CompiledModel] = None,
+    *,
+    num_keyframes: int = 8,
+    prejoin: PreJoin = PreJoin.NONE,
+    plan_cache: bool = True,
+) -> list[BlockRow]:
+    dataset = dataset or generate_dataset(DatasetConfig(scale=1))
+    if compiled is None:
+        model = build_student_cnn(
+            input_shape=dataset.config.keyframe_shape, num_classes=4, seed=3
+        )
+        compiled = compile_model(model, prejoin=prejoin)
+
+    db = Database(plan_cache=plan_cache)
+    runner = Dl2SqlModel(compiled)
+    runner.load(db)
+
+    totals: dict[str, float] = {}
+    keyframes = dataset.sample_keyframes(num_keyframes)
+    # Untimed warm-up: the first inference pays one-off parse/plan-cache
+    # population that would otherwise skew the per-block averages.
+    runner.infer(db, np.asarray(keyframes[0]))
+    for keyframe in keyframes:
+        result = runner.infer(db, np.asarray(keyframe))
+        for block, seconds in result.block_seconds.items():
+            totals[block] = totals.get(block, 0.0) + seconds
+
+    overall = sum(totals.values()) or 1.0
+    ordered = compiled.blocks()
+    return [
+        BlockRow(
+            block=block,
+            seconds=totals.get(block, 0.0) / num_keyframes,
+            share=totals.get(block, 0.0) / overall,
+        )
+        for block in ordered
+    ]
+
+
+def main() -> list[BlockRow]:
+    rows = run()
+    print_table(
+        ["Block", "Seconds/keyframe", "Share"],
+        [(r.block, r.seconds, f"{r.share:.1%}") for r in rows],
+        title="Fig. 9: Costs of CNN Blocks in DL2SQL (student model)",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

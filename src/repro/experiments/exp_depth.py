@@ -1,0 +1,132 @@
+"""Table VI: performance vs model depth (ResNet5..ResNet40) on the edge.
+
+The depth sweep runs the *teacher-class* ResNets directly (no student).
+For each depth, one Type-3 query executes at fixed selectivity under each
+strategy; inference and loading are reported (the paper omits relational
+cost here — "two or three orders of magnitude smaller").
+
+Reproduction targets: DL2SQL-OP wins at shallow depth; its loading cost
+(model tables + indexes) grows fastest, letting DB-PyTorch overtake on
+total cost for deep models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.compiler import PreJoin, compile_model
+from repro.hardware import EDGE_ARM, HardwareProfile
+from repro.experiments.exp_overall import strategies_for
+from repro.experiments.reporting import print_table
+from repro.strategies import QueryType
+from repro.strategies.base import ModelTask
+from repro.tensor.resnet import build_resnet
+from repro.tensor.serialize import serialize_model
+from repro.tensor.train import calibrate_class_histogram
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.dataset import DatasetConfig, IoTDataset, generate_dataset
+from repro.workload.models_repo import ROLE_LABELS, ModelRepository
+from repro.workload.queries import QueryGenerator
+
+DEFAULT_DEPTHS = (5, 8, 11, 14)
+
+
+@dataclass
+class DepthRow:
+    depth: int
+    parameters: int
+    strategy: str
+    inference: float
+    loading: float
+
+    @property
+    def total(self) -> float:
+        return self.inference + self.loading
+
+
+def build_depth_task(
+    dataset: IoTDataset,
+    depth: int,
+    role: str = "detect",
+    calibration_samples: int = 16,
+) -> ModelTask:
+    """A task whose deployed model is a raw ResNet of the given depth."""
+    labels = list(ROLE_LABELS[role])
+    model = build_resnet(
+        depth,
+        input_shape=dataset.config.keyframe_shape,
+        num_classes=len(labels),
+        class_labels=labels,
+        name=f"{role}_resnet{depth}",
+    )
+    samples = dataset.sample_keyframes(calibration_samples, seed=depth)
+    histogram = calibrate_class_histogram(model, samples)
+    return ModelTask(
+        name=f"{role}_resnet{depth}",
+        role=role,
+        student=model,
+        teacher=None,
+        class_labels=labels,
+        histogram=histogram,
+        blob=serialize_model(model),
+        compiled=compile_model(model, prejoin=PreJoin.FOLD),
+    )
+
+
+def run(
+    dataset: Optional[IoTDataset] = None,
+    *,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    selectivity: float = 0.3,
+    profile: HardwareProfile = EDGE_ARM,
+) -> list[DepthRow]:
+    # Small keyframes keep deep-model SQL inference tractable; the
+    # selectivity is set so the lazy hints still leave candidates to infer
+    # (with none, the sweep would say nothing about inference scaling).
+    dataset = dataset or generate_dataset(
+        DatasetConfig(scale=1, keyframe_shape=(1, 8, 8))
+    )
+    generator = QueryGenerator(dataset)
+    query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, selectivity)
+
+    rows: list[DepthRow] = []
+    for depth in depths:
+        task = build_depth_task(dataset, depth)
+        repository = ModelRepository(tasks=[task])
+        bench = QueryBenchmark(dataset, repository)
+        for strategy in strategies_for(profile, use_gpu=False):
+            summary = bench.run_strategy(strategy, [query])
+            average = summary.average()
+            rows.append(
+                DepthRow(
+                    depth=depth,
+                    parameters=task.student.num_parameters(),
+                    strategy=summary.strategy_name,
+                    inference=average.inference,
+                    loading=average.loading,
+                )
+            )
+    return rows
+
+
+def main(depths: Sequence[int] = DEFAULT_DEPTHS) -> list[DepthRow]:
+    rows = run(depths=depths)
+    print_table(
+        ["Depth", "Parameters", "Strategy", "Inference(s)", "Loading(s)",
+         "Total(s)"],
+        [
+            (r.depth, r.parameters, r.strategy, r.inference, r.loading,
+             r.total)
+            for r in rows
+        ],
+        title=(
+            "Table VI: Performance Comparison with Different Model Depths "
+            "on Edge Profile"
+        ),
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Fig. 14: effectiveness of the hint rules for collaborative queries.
+
+Sweeps relational selectivity and compares DL2SQL with hints off vs on
+(DL2SQL-OP) on Type-3 queries, where hint rule 1's lazy nUDF placement
+prunes inference for every row the relational predicates discard.
+
+Reproduction target: large wins at low selectivity, converging as
+selectivity approaches 1 (everything must be inferred anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hardware import EDGE_ARM, HardwareProfile
+from repro.experiments.reporting import print_table
+from repro.strategies import QueryType, TightStrategy
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.dataset import DatasetConfig, IoTDataset, generate_dataset
+from repro.workload.models_repo import ModelRepository, build_task
+from repro.workload.queries import QueryGenerator
+
+DEFAULT_SELECTIVITIES = (0.02, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+@dataclass
+class HintRow:
+    selectivity: float
+    without_hints: float
+    with_hints: float
+    inferred_without: int
+    inferred_with: int
+
+    @property
+    def speedup(self) -> float:
+        if self.with_hints <= 0:
+            return float("inf")
+        return self.without_hints / self.with_hints
+
+
+def run(
+    dataset: Optional[IoTDataset] = None,
+    repository: Optional[ModelRepository] = None,
+    *,
+    selectivities: Sequence[float] = DEFAULT_SELECTIVITIES,
+    profile: HardwareProfile = EDGE_ARM,
+) -> list[HintRow]:
+    dataset = dataset or generate_dataset(DatasetConfig(scale=2))
+    repository = repository or ModelRepository(
+        tasks=[build_task(dataset, "detect", calibration_samples=32)]
+    )
+    bench = QueryBenchmark(dataset, repository)
+    generator = QueryGenerator(dataset)
+
+    rows: list[HintRow] = []
+    for selectivity in selectivities:
+        query = generator.make_query(
+            QueryType.LEARNING_DEPENDS_ON_DB, selectivity
+        )
+        plain = bench.run_strategy(
+            TightStrategy(profile=profile), [query]
+        )
+        hinted = bench.run_strategy(
+            TightStrategy(profile=profile, optimized=True), [query]
+        )
+        rows.append(
+            HintRow(
+                selectivity=selectivity,
+                without_hints=plain.average().total,
+                with_hints=hinted.average().total,
+                inferred_without=plain.inferred_rows,
+                inferred_with=hinted.inferred_rows,
+            )
+        )
+    return rows
+
+
+def main() -> list[HintRow]:
+    rows = run()
+    print_table(
+        ["Selectivity", "DL2SQL(s)", "DL2SQL-OP(s)", "Speedup",
+         "Inferred (plain)", "Inferred (hints)"],
+        [
+            (r.selectivity, r.without_hints, r.with_hints,
+             f"{r.speedup:.2f}x", r.inferred_without, r.inferred_with)
+            for r in rows
+        ],
+        title="Fig. 14: Effect of Hints for Collaborative Queries",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Fig. 8: overall performance of the four configurations across hardware.
+
+Runs the mixed query benchmark (one query per Table I type) under
+DL2SQL, DL2SQL-OP, DB-UDF and DB-PyTorch, on the edge-ARM profile and on
+the server profile in CPU and GPU modes, reporting the three-way cost
+breakdown per configuration.
+
+Reproduction target: DL2SQL-OP lowest total on the edge; GPU mode cuts
+inference but inflates loading; DB-UDF benefits least from the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hardware import EDGE_ARM, SERVER_CPU, SERVER_GPU, HardwareProfile
+from repro.experiments.reporting import print_table
+from repro.strategies import (
+    IndependentStrategy,
+    LooseStrategy,
+    Strategy,
+    TightStrategy,
+)
+from repro.workload.benchmark import QueryBenchmark, StrategySummary
+from repro.workload.dataset import DatasetConfig, IoTDataset, generate_dataset
+from repro.workload.models_repo import ModelRepository, build_repository
+
+
+@dataclass
+class OverallRow:
+    hardware: str
+    strategy: str
+    loading: float
+    inference: float
+    relational: float
+
+    @property
+    def total(self) -> float:
+        return self.loading + self.inference + self.relational
+
+
+def strategies_for(
+    profile: HardwareProfile, use_gpu: bool
+) -> list[Strategy]:
+    """The paper's four configurations on one hardware setting."""
+    return [
+        TightStrategy(profile=profile, use_gpu=use_gpu),
+        TightStrategy(profile=profile, use_gpu=use_gpu, optimized=True),
+        LooseStrategy(profile=profile, use_gpu=use_gpu),
+        IndependentStrategy(profile=profile, use_gpu=use_gpu),
+    ]
+
+
+def run(
+    dataset: Optional[IoTDataset] = None,
+    repository: Optional[ModelRepository] = None,
+    *,
+    selectivity: float = 0.05,
+    queries_per_type: int = 1,
+    hardware: Sequence[tuple[HardwareProfile, bool]] = (
+        (EDGE_ARM, False),
+        (SERVER_CPU, False),
+        (SERVER_GPU, True),
+    ),
+) -> list[OverallRow]:
+    dataset = dataset or generate_dataset(DatasetConfig(scale=2))
+    repository = repository or build_repository(
+        dataset, num_tasks=4, calibration_samples=32
+    )
+    bench = QueryBenchmark(dataset, repository)
+
+    rows: list[OverallRow] = []
+    for profile, use_gpu in hardware:
+        mode = "gpu" if use_gpu else "cpu"
+        label = f"{profile.name}/{mode}"
+        summaries = bench.run_mix(
+            strategies_for(profile, use_gpu),
+            selectivity=selectivity,
+            queries_per_type=queries_per_type,
+        )
+        for summary in summaries:
+            average = summary.average()
+            rows.append(
+                OverallRow(
+                    hardware=label,
+                    strategy=summary.strategy_name,
+                    loading=average.loading,
+                    inference=average.inference,
+                    relational=average.relational,
+                )
+            )
+    return rows
+
+
+def main() -> list[OverallRow]:
+    rows = run()
+    print_table(
+        ["Hardware", "Strategy", "Loading(s)", "Inference(s)",
+         "Relational(s)", "Total(s)"],
+        [
+            (r.hardware, r.strategy, r.loading, r.inference, r.relational,
+             r.total)
+            for r in rows
+        ],
+        title="Fig. 8: Overall Evaluation Results (avg per query)",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Plain-text table/series rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> None:
+    print(format_table(headers, rows, title))
+    print()
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render named y-series over shared x values (figure data as text)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title)

@@ -1,0 +1,13 @@
+"""SQL front end: tokenizer, AST and parser (ClickHouse substitute, part 2).
+
+The dialect covers what the paper's generated queries (Q1–Q5) and the
+workload queries (Table I) require: SELECT with joins / GROUP BY / ORDER BY /
+subqueries, CREATE [TEMP] TABLE (AS SELECT), CREATE VIEW, INSERT, UPDATE,
+DROP, and CREATE INDEX.  Function calls resolve against the engine's scalar
+and UDF registries at planning time.
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement, parse_statements
+
+__all__ = ["parse_statement", "parse_statements", "tokenize"]

@@ -1,0 +1,465 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Expression nodes all derive from :class:`Expression`; statement nodes from
+:class:`Statement`.  Nodes are plain dataclasses so the planner can pattern
+match on them, and every expression can render itself back to SQL text via
+``to_sql()`` — the DL2SQL compiler and the optimizer both rewrite queries
+and re-emit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expression:
+    """Base class for all expression nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean or NULL."""
+
+    value: Any
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A column reference, optionally qualified: ``V.keyframe`` or ``meter``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    @property
+    def qualified(self) -> str:
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``T.*`` in a select list."""
+
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """``-x`` or ``NOT x``."""
+
+    op: str
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.op.upper() == "NOT":
+            return f"NOT ({self.operand.to_sql()})"
+        return f"{self.op}({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison or logical binary operator."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Any call: aggregate (SUM/COUNT/...), scalar builtin, or nUDF."""
+
+    name: str
+    args: tuple[Expression, ...]
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN val ... [ELSE val] END``."""
+
+    whens: tuple[tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.whens:
+            parts.append(f"WHEN {condition.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(i.to_sql() for i in self.items)
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {op} ({inner}))"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.to_sql()} {op} "
+            f"{self.low.to_sql()} AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {op})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """A parenthesized SELECT used as a scalar value, e.g. ``(SELECT AVG(v)...)``."""
+
+    statement: "SelectStatement"
+
+    def to_sql(self) -> str:
+        return f"({self.statement.to_sql()})"
+
+
+# ----------------------------------------------------------------------
+# Table references
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableRef:
+    """Base class for items in a FROM clause."""
+
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    name: str = ""
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    """``(SELECT ...) [AS] alias`` in FROM."""
+
+    statement: Optional["SelectStatement"] = None
+
+    def to_sql(self) -> str:
+        inner = self.statement.to_sql() if self.statement else ""
+        return f"({inner}) {self.alias or ''}".rstrip()
+
+
+@dataclass(frozen=True)
+class Join(TableRef):
+    """``left [INNER] JOIN right ON condition``."""
+
+    left: Optional[TableRef] = None
+    right: Optional[TableRef] = None
+    condition: Optional[Expression] = None
+    join_type: str = "INNER"
+
+    def to_sql(self) -> str:
+        assert self.left is not None and self.right is not None
+        on_clause = f" ON {self.condition.to_sql()}" if self.condition else ""
+        return (
+            f"{self.left.to_sql()} {self.join_type} JOIN "
+            f"{self.right.to_sql()}{on_clause}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Statement:
+    """Base class for all statement nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a select list: expression plus optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expression.to_sql()} AS {self.alias}"
+        return self.expression.to_sql()
+
+    def output_name(self, ordinal: int) -> str:
+        """The column name this item produces in the result set."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return f"expr_{ordinal}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expression.to_sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """A full SELECT query."""
+
+    items: tuple[SelectItem, ...]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    cross_tables: tuple[TableRef, ...] = ()
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        tables = []
+        if self.from_clause is not None:
+            tables.append(self.from_clause.to_sql())
+        tables.extend(t.to_sql() for t in self.cross_tables)
+        if tables:
+            parts.append("FROM " + ", ".join(tables))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.to_sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.type_name}"
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """CREATE [TEMP] TABLE — either with column defs or AS SELECT."""
+
+    name: str
+    columns: tuple[ColumnDef, ...] = ()
+    as_select: Optional[SelectStatement] = None
+    temp: bool = False
+    replace: bool = False
+
+    def to_sql(self) -> str:
+        temp = "TEMP " if self.temp else ""
+        replace = "OR REPLACE " if self.replace else ""
+        if self.as_select is not None:
+            return f"CREATE {replace}{temp}TABLE {self.name} AS {self.as_select.to_sql()}"
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        return f"CREATE {replace}{temp}TABLE {self.name} ({cols})"
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    name: str
+    statement: SelectStatement
+    temp: bool = False
+    replace: bool = False
+
+    def to_sql(self) -> str:
+        temp = "TEMP " if self.temp else ""
+        replace = "OR REPLACE " if self.replace else ""
+        return f"CREATE {replace}{temp}VIEW {self.name} AS {self.statement.to_sql()}"
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    index_name: str
+    table_name: str
+    column_name: str
+
+    def to_sql(self) -> str:
+        return f"CREATE INDEX {self.index_name} ON {self.table_name}({self.column_name})"
+
+
+@dataclass(frozen=True)
+class InsertStatement(Statement):
+    table_name: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    from_select: Optional[SelectStatement] = None
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        if self.from_select is not None:
+            return f"INSERT INTO {self.table_name}{cols} {self.from_select.to_sql()}"
+        rows = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table_name}{cols} VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    table_name: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(f"{name} = {expr.to_sql()}" for name, expr in self.assignments)
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table_name} SET {sets}{where}"
+
+
+@dataclass(frozen=True)
+class DropStatement(Statement):
+    name: str
+    object_type: str = "TABLE"  # TABLE or VIEW
+    if_exists: bool = False
+
+    def to_sql(self) -> str:
+        exists = "IF EXISTS " if self.if_exists else ""
+        return f"DROP {self.object_type} {exists}{self.name}"
+
+
+AnyStatement = Union[
+    SelectStatement,
+    CreateTable,
+    CreateView,
+    CreateIndex,
+    InsertStatement,
+    UpdateStatement,
+    DropStatement,
+]
+
+
+# ----------------------------------------------------------------------
+# AST utilities used by the planner/optimizer
+# ----------------------------------------------------------------------
+def walk_expression(expression: Expression):
+    """Yield ``expression`` and every sub-expression, depth-first."""
+    yield expression
+    if isinstance(expression, UnaryOp):
+        yield from walk_expression(expression.operand)
+    elif isinstance(expression, BinaryOp):
+        yield from walk_expression(expression.left)
+        yield from walk_expression(expression.right)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            yield from walk_expression(arg)
+    elif isinstance(expression, CaseExpression):
+        for condition, value in expression.whens:
+            yield from walk_expression(condition)
+            yield from walk_expression(value)
+        if expression.default is not None:
+            yield from walk_expression(expression.default)
+    elif isinstance(expression, InList):
+        yield from walk_expression(expression.operand)
+        for item in expression.items:
+            yield from walk_expression(item)
+    elif isinstance(expression, Between):
+        yield from walk_expression(expression.operand)
+        yield from walk_expression(expression.low)
+        yield from walk_expression(expression.high)
+    elif isinstance(expression, IsNull):
+        yield from walk_expression(expression.operand)
+
+
+def referenced_columns(expression: Expression) -> list[ColumnRef]:
+    """All column references inside ``expression``."""
+    return [n for n in walk_expression(expression) if isinstance(n, ColumnRef)]
+
+
+def referenced_functions(expression: Expression) -> list[FunctionCall]:
+    """All function calls inside ``expression``."""
+    return [n for n in walk_expression(expression) if isinstance(n, FunctionCall)]
+
+
+def split_conjuncts(expression: Optional[Expression]) -> list[Expression]:
+    """Split a WHERE tree on AND into its top-level conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, BinaryOp) and expression.op.upper() == "AND":
+        return split_conjuncts(expression.left) + split_conjuncts(expression.right)
+    return [expression]
+
+
+def combine_conjuncts(conjuncts: Sequence[Expression]) -> Optional[Expression]:
+    """Re-assemble conjuncts into a single AND tree (None if empty)."""
+    result: Optional[Expression] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("AND", result, conjunct)
+    return result

@@ -1,0 +1,146 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` ending with an EOF token.  Comments
+(``--`` to end of line and ``/* ... */``) are skipped.  String literals use
+single quotes with ``''`` as the escape for a literal quote.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexerError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "!=", "<>", "||")
+_ONE_CHAR_OPERATORS = "+-*/%<>=!"
+_PUNCTUATION = "(),.;"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens terminated by EOF."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+
+    while position < length:
+        char = text[position]
+
+        if char.isspace():
+            position += 1
+            continue
+
+        if char == "-" and text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+
+        if char == "/" and text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", position)
+            position = end + 2
+            continue
+
+        if char == "'":
+            value, position = _read_string(text, position)
+            tokens.append(Token(TokenType.STRING, value, position))
+            continue
+
+        if char.isdigit() or (char == "." and _peek_digit(text, position + 1)):
+            value, position = _read_number(text, position)
+            tokens.append(Token(TokenType.NUMBER, value, position))
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (text[position].isalnum() or text[position] == "_"):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+
+        if char == "`" or char == '"':
+            value, position = _read_quoted_identifier(text, position, char)
+            tokens.append(Token(TokenType.IDENTIFIER, value, position))
+            continue
+
+        two = text[position : position + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, two, position))
+            position += 2
+            continue
+
+        if char in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, char, position))
+            position += 1
+            continue
+
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, position))
+            position += 1
+            continue
+
+        raise LexerError(f"unexpected character {char!r}", position)
+
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _peek_digit(text: str, position: int) -> bool:
+    return position < len(text) and text[position].isdigit()
+
+
+def _read_string(text: str, position: int) -> tuple[str, int]:
+    start = position
+    position += 1  # opening quote
+    pieces: list[str] = []
+    while position < len(text):
+        char = text[position]
+        if char == "'":
+            if text.startswith("''", position):
+                pieces.append("'")
+                position += 2
+                continue
+            return "".join(pieces), position + 1
+        pieces.append(char)
+        position += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _read_quoted_identifier(text: str, position: int, quote: str) -> tuple[str, int]:
+    start = position
+    position += 1
+    end = text.find(quote, position)
+    if end == -1:
+        raise LexerError("unterminated quoted identifier", start)
+    return text[position:end], end + 1
+
+
+def _read_number(text: str, position: int) -> tuple[int | float, int]:
+    start = position
+    length = len(text)
+    seen_dot = False
+    seen_exp = False
+    while position < length:
+        char = text[position]
+        if char.isdigit():
+            position += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            position += 1
+        elif char in "eE" and not seen_exp and position > start:
+            nxt = position + 1
+            if nxt < length and (text[nxt].isdigit() or text[nxt] in "+-"):
+                seen_exp = True
+                position += 2 if text[nxt] in "+-" else 1
+            else:
+                break
+        else:
+            break
+    literal = text[start:position]
+    if seen_dot or seen_exp:
+        return float(literal), position
+    return int(literal), position

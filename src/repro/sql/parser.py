@@ -1,0 +1,615 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Entry points are :func:`parse_statement` (one statement) and
+:func:`parse_statements` (a ``;``-separated script — DL2SQL emits one script
+per model layer).  Expressions use precedence climbing with the usual SQL
+precedence: OR < AND < NOT < comparison < additive < multiplicative < unary.
+
+A ClickHouse-ism the paper relies on is accepted: ``CREATE TEMP TABLE t
+(SELECT ...)`` is treated the same as ``CREATE TEMP TABLE t AS SELECT ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnDef,
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    CreateView,
+    DerivedTable,
+    DropStatement,
+    Expression,
+    FunctionCall,
+    InList,
+    InsertStatement,
+    IsNull,
+    Join,
+    Literal,
+    NamedTable,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    TableRef,
+    UnaryOp,
+    UpdateStatement,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse exactly one SQL statement."""
+    parser = _Parser(tokenize(sql), sql)
+    statement = parser.statement()
+    parser.skip_semicolons()
+    parser.expect_eof()
+    return statement
+
+
+def parse_statements(sql: str) -> list[Statement]:
+    """Parse a ``;``-separated script into a list of statements."""
+    parser = _Parser(tokenize(sql), sql)
+    statements: list[Statement] = []
+    parser.skip_semicolons()
+    while not parser.at_eof():
+        statements.append(parser.statement())
+        parser.skip_semicolons()
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().type is TokenType.EOF
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            self._fail(f"unexpected trailing input {self.peek().value!r}")
+
+    def skip_semicolons(self) -> None:
+        while self._match_punct(";"):
+            pass
+
+    def _match_keyword(self, *words: str) -> bool:
+        if self.peek().is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._match_keyword(word):
+            self._fail(f"expected {word}, found {self.peek().value!r}")
+
+    def _match_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.PUNCTUATION and token.value == char:
+            self.advance()
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> None:
+        if not self._match_punct(char):
+            self._fail(f"expected {char!r}, found {self.peek().value!r}")
+
+    def _match_operator(self, *ops: str) -> Optional[str]:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            self.advance()
+            return token.value
+        return None
+
+    #: Keywords that may double as identifiers (column names like "temp"
+    #: are common in sensor schemas); none of them can start an expression
+    #: or clause at an identifier position.
+    _SOFT_KEYWORDS = frozenset(
+        {"TEMP", "TEMPORARY", "INDEX", "VIEW", "TABLE", "SET", "VALUES",
+         "REPLACE", "ALL", "KEY", "IF", "EXISTS"}
+    )
+
+    def _expect_identifier(self) -> str:
+        token = self.peek()
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value in self._SOFT_KEYWORDS:
+            self.advance()
+            return token.value.lower()
+        self._fail(f"expected identifier, found {token.value!r}")
+        raise AssertionError  # unreachable
+
+    def _fail(self, message: str) -> None:
+        token = self.peek()
+        snippet = self._source[max(0, token.position - 20) : token.position + 20]
+        raise ParseError(f"{message} near ...{snippet!r}...")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def statement(self) -> Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            return self.select_statement()
+        if token.is_keyword("CREATE"):
+            return self._create_statement()
+        if token.is_keyword("INSERT"):
+            return self._insert_statement()
+        if token.is_keyword("UPDATE"):
+            return self._update_statement()
+        if token.is_keyword("DROP"):
+            return self._drop_statement()
+        self._fail(f"unsupported statement start {token.value!r}")
+        raise AssertionError  # unreachable
+
+    def select_statement(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+        items = [self._select_item()]
+        while self._match_punct(","):
+            items.append(self._select_item())
+
+        from_clause: Optional[TableRef] = None
+        cross: list[TableRef] = []
+        if self._match_keyword("FROM"):
+            from_clause = self._table_expression()
+            while self._match_punct(","):
+                cross.append(self._table_expression())
+
+        where = self.expression() if self._match_keyword("WHERE") else None
+
+        group_by: list[Expression] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.expression())
+            while self._match_punct(","):
+                group_by.append(self.expression())
+
+        having = self.expression() if self._match_keyword("HAVING") else None
+
+        order_by: list[OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._match_punct(","):
+                order_by.append(self._order_item())
+
+        limit: Optional[int] = None
+        if self._match_keyword("LIMIT"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                self._fail("LIMIT requires an integer literal")
+            limit = token.value
+
+        return SelectStatement(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+            cross_tables=tuple(cross),
+        )
+
+    def _select_item(self) -> SelectItem:
+        expression = self.expression()
+        alias: Optional[str] = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self.peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return SelectItem(expression, alias)
+
+    def _order_item(self) -> OrderItem:
+        expression = self.expression()
+        ascending = True
+        if self._match_keyword("DESC"):
+            ascending = False
+        else:
+            self._match_keyword("ASC")
+        return OrderItem(expression, ascending)
+
+    def _table_expression(self) -> TableRef:
+        left = self._table_primary()
+        while True:
+            join_type = "INNER"
+            if self._match_keyword("INNER"):
+                self._expect_keyword("JOIN")
+            elif self.peek().is_keyword("LEFT", "RIGHT"):
+                join_type = self.advance().value
+                self._match_keyword("OUTER")
+                self._expect_keyword("JOIN")
+            elif self._match_keyword("JOIN"):
+                pass
+            else:
+                return left
+            right = self._table_primary()
+            condition: Optional[Expression] = None
+            if self._match_keyword("ON"):
+                condition = self.expression()
+            left = Join(
+                left=left, right=right, condition=condition, join_type=join_type,
+                alias=None,
+            )
+
+    def _table_primary(self) -> TableRef:
+        if self._match_punct("("):
+            if self.peek().is_keyword("SELECT"):
+                statement = self.select_statement()
+                self._expect_punct(")")
+                alias = self._table_alias()
+                return DerivedTable(alias=alias, statement=statement)
+            inner = self._table_expression()
+            self._expect_punct(")")
+            return inner
+        name = self._expect_identifier()
+        alias = self._table_alias()
+        return NamedTable(alias=alias, name=name)
+
+    def _table_alias(self) -> Optional[str]:
+        if self._match_keyword("AS"):
+            return self._expect_identifier()
+        if self.peek().type is TokenType.IDENTIFIER:
+            return self._expect_identifier()
+        return None
+
+    # -- CREATE ---------------------------------------------------------
+    def _create_statement(self) -> Statement:
+        self._expect_keyword("CREATE")
+        replace = False
+        if self._match_keyword("OR"):
+            self._expect_keyword("REPLACE")
+            replace = True
+        temp = self._match_keyword("TEMP") or self._match_keyword("TEMPORARY")
+        if self._match_keyword("TABLE"):
+            return self._create_table(temp=temp, replace=replace)
+        if self._match_keyword("VIEW"):
+            return self._create_view(temp=temp, replace=replace)
+        if self._match_keyword("INDEX"):
+            return self._create_index()
+        self._fail("expected TABLE, VIEW or INDEX after CREATE")
+        raise AssertionError  # unreachable
+
+    def _create_table(self, *, temp: bool, replace: bool) -> CreateTable:
+        name = self._expect_identifier()
+        if self._match_keyword("AS"):
+            select = self._parenthesized_or_plain_select()
+            return CreateTable(name=name, as_select=select, temp=temp, replace=replace)
+        if self._match_punct("("):
+            if self.peek().is_keyword("SELECT"):
+                # ClickHouse-ism from the paper: CREATE TEMP TABLE t (SELECT...)
+                select = self.select_statement()
+                self._expect_punct(")")
+                return CreateTable(
+                    name=name, as_select=select, temp=temp, replace=replace
+                )
+            columns = [self._column_def()]
+            while self._match_punct(","):
+                columns.append(self._column_def())
+            self._expect_punct(")")
+            return CreateTable(
+                name=name, columns=tuple(columns), temp=temp, replace=replace
+            )
+        if self.peek().is_keyword("SELECT"):
+            select = self.select_statement()
+            return CreateTable(name=name, as_select=select, temp=temp, replace=replace)
+        self._fail("expected column list, AS SELECT or (SELECT...) in CREATE TABLE")
+        raise AssertionError  # unreachable
+
+    def _parenthesized_or_plain_select(self) -> SelectStatement:
+        if self._match_punct("("):
+            select = self.select_statement()
+            self._expect_punct(")")
+            return select
+        return self.select_statement()
+
+    def _column_def(self) -> ColumnDef:
+        name = self._expect_identifier()
+        type_token = self.advance()
+        if type_token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self._fail(f"expected type name, found {type_token.value!r}")
+        return ColumnDef(name, str(type_token.value))
+
+    def _create_view(self, *, temp: bool, replace: bool) -> CreateView:
+        name = self._expect_identifier()
+        if self._match_keyword("AS"):
+            select = self._parenthesized_or_plain_select()
+        elif self._match_punct("("):
+            select = self.select_statement()
+            self._expect_punct(")")
+        else:
+            self._fail("expected AS SELECT or (SELECT...) in CREATE VIEW")
+            raise AssertionError  # unreachable
+        return CreateView(name=name, statement=select, temp=temp, replace=replace)
+
+    def _create_index(self) -> CreateIndex:
+        index_name = self._expect_identifier()
+        self._expect_keyword("ON")
+        table_name = self._expect_identifier()
+        self._expect_punct("(")
+        column_name = self._expect_identifier()
+        self._expect_punct(")")
+        return CreateIndex(index_name, table_name, column_name)
+
+    # -- INSERT / UPDATE / DROP ------------------------------------------
+    def _insert_statement(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table_name = self._expect_identifier()
+        columns: list[str] = []
+        if self._match_punct("("):
+            columns.append(self._expect_identifier())
+            while self._match_punct(","):
+                columns.append(self._expect_identifier())
+            self._expect_punct(")")
+        if self._match_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self._match_punct(","):
+                rows.append(self._value_row())
+            return InsertStatement(
+                table_name=table_name, columns=tuple(columns), rows=tuple(rows)
+            )
+        if self.peek().is_keyword("SELECT"):
+            select = self.select_statement()
+            return InsertStatement(
+                table_name=table_name, columns=tuple(columns), from_select=select
+            )
+        self._fail("expected VALUES or SELECT in INSERT")
+        raise AssertionError  # unreachable
+
+    def _value_row(self) -> tuple[Expression, ...]:
+        self._expect_punct("(")
+        values = [self.expression()]
+        while self._match_punct(","):
+            values.append(self.expression())
+        self._expect_punct(")")
+        return tuple(values)
+
+    def _update_statement(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table_name = self._expect_identifier()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._match_punct(","):
+            assignments.append(self._assignment())
+        where = self.expression() if self._match_keyword("WHERE") else None
+        return UpdateStatement(
+            table_name=table_name, assignments=tuple(assignments), where=where
+        )
+
+    def _assignment(self) -> tuple[str, Expression]:
+        name = self._expect_identifier()
+        if self._match_operator("=") is None:
+            self._fail("expected = in SET assignment")
+        return name, self.expression()
+
+    def _drop_statement(self) -> DropStatement:
+        self._expect_keyword("DROP")
+        if self._match_keyword("TABLE"):
+            object_type = "TABLE"
+        elif self._match_keyword("VIEW"):
+            object_type = "VIEW"
+        else:
+            self._fail("expected TABLE or VIEW after DROP")
+            raise AssertionError  # unreachable
+        if_exists = False
+        if self._match_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_identifier()
+        return DropStatement(name=name, object_type=object_type, if_exists=if_exists)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def expression(self) -> Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expression:
+        left = self._and_expression()
+        while self._match_keyword("OR"):
+            left = BinaryOp("OR", left, self._and_expression())
+        return left
+
+    def _and_expression(self) -> Expression:
+        left = self._not_expression()
+        while self._match_keyword("AND"):
+            left = BinaryOp("AND", left, self._not_expression())
+        return left
+
+    def _not_expression(self) -> Expression:
+        if self._match_keyword("NOT"):
+            return UnaryOp("NOT", self._not_expression())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        op = self._match_operator(*_COMPARISON_OPS)
+        if op is not None:
+            if op == "<>":
+                op = "!="
+            return BinaryOp(op, left, self._additive())
+        negated = self._match_keyword("NOT")
+        if self._match_keyword("IN"):
+            self._expect_punct("(")
+            items = [self.expression()]
+            while self._match_punct(","):
+                items.append(self.expression())
+            self._expect_punct(")")
+            return InList(left, tuple(items), negated=negated)
+        if self._match_keyword("BETWEEN"):
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return Between(left, low, high, negated=negated)
+        if self._match_keyword("LIKE"):
+            pattern = self._additive()
+            call = FunctionCall("like", (left, pattern))
+            return UnaryOp("NOT", call) if negated else call
+        if self._match_keyword("IS"):
+            is_not = self._match_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(left, negated=is_not)
+        if negated:
+            self._fail("expected IN, BETWEEN or LIKE after NOT")
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            op = self._match_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = BinaryOp(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            op = self._match_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = BinaryOp(op, left, self._unary())
+
+    def _unary(self) -> Expression:
+        if self._match_operator("-"):
+            operand = self._unary()
+            # Fold negation into numeric literals so -1 round-trips as -1.
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        if self._match_operator("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self.peek()
+
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("CASE"):
+            return self._case_expression()
+        if token.is_keyword("NOT"):
+            self.advance()
+            return UnaryOp("NOT", self._not_expression())
+
+        if token.is_keyword("IF") and self.peek(1).value == "(":
+            # if(cond, then, else) — the conditional function; IF is only
+            # reserved for DROP ... IF EXISTS.
+            self.advance()
+            self._expect_punct("(")
+            return self._function_call("if")
+
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self.advance()
+            if self.peek().is_keyword("SELECT"):
+                statement = self.select_statement()
+                self._expect_punct(")")
+                return ScalarSubquery(statement)
+            inner = self.expression()
+            self._expect_punct(")")
+            return inner
+
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return Star()
+
+        if token.type is TokenType.IDENTIFIER:
+            return self._identifier_expression()
+
+        if (
+            token.type is TokenType.KEYWORD
+            and token.value in self._SOFT_KEYWORDS
+        ):
+            # Soft keywords double as column names in expressions.
+            return self._identifier_expression()
+
+        self._fail(f"unexpected token {token.value!r} in expression")
+        raise AssertionError  # unreachable
+
+    def _identifier_expression(self) -> Expression:
+        name = self._expect_identifier()
+
+        if self._match_punct("("):
+            return self._function_call(name)
+
+        if self._match_punct("."):
+            next_token = self.peek()
+            if next_token.type is TokenType.OPERATOR and next_token.value == "*":
+                self.advance()
+                return Star(table=name)
+            column = self._expect_identifier()
+            if self._match_punct("("):
+                self._fail("methods on columns are not supported")
+            return ColumnRef(column, table=name)
+
+        return ColumnRef(name)
+
+    def _function_call(self, name: str) -> FunctionCall:
+        distinct = self._match_keyword("DISTINCT")
+        args: list[Expression] = []
+        if not self._match_punct(")"):
+            args.append(self.expression())
+            while self._match_punct(","):
+                args.append(self.expression())
+            self._expect_punct(")")
+        return FunctionCall(name, tuple(args), distinct=distinct)
+
+    def _case_expression(self) -> CaseExpression:
+        self._expect_keyword("CASE")
+        whens: list[tuple[Expression, Expression]] = []
+        while self._match_keyword("WHEN"):
+            condition = self.expression()
+            self._expect_keyword("THEN")
+            value = self.expression()
+            whens.append((condition, value))
+        if not whens:
+            self._fail("CASE requires at least one WHEN")
+        default: Optional[Expression] = None
+        if self._match_keyword("ELSE"):
+            default = self.expression()
+        self._expect_keyword("END")
+        return CaseExpression(tuple(whens), default)

@@ -1,0 +1,50 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser.  Everything else is an
+#: identifier, which keeps nUDF names like ``nUDF_detect`` unreserved.
+KEYWORDS = frozenset(
+    word.upper()
+    for word in (
+        "select", "from", "where", "group", "by", "having", "order", "limit",
+        "as", "and", "or", "not", "in", "between", "like", "is", "null",
+        "true", "false", "inner", "left", "right", "outer", "join", "on",
+        "create", "temp", "temporary", "table", "view", "index", "insert",
+        "into", "values", "update", "set", "drop", "if", "exists", "distinct",
+        "case", "when", "then", "else", "end", "asc", "desc", "union", "all",
+        "replace",
+    )
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in {
+            w.upper() for w in words
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"

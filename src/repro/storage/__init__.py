@@ -1,0 +1,24 @@
+"""Columnar in-memory storage engine (the ClickHouse substitute, part 1).
+
+This subpackage provides typed numpy-backed columns, column-store tables,
+hash indexes, and a catalog mapping names to tables and views.  The SQL
+front end (:mod:`repro.sql`) and the execution engine (:mod:`repro.engine`)
+are built on top of it.
+"""
+
+from repro.storage.schema import ColumnSpec, DataType, Schema
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.index import HashIndex
+from repro.storage.catalog import Catalog, View
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnSpec",
+    "DataType",
+    "HashIndex",
+    "Schema",
+    "Table",
+    "View",
+]

@@ -1,0 +1,150 @@
+"""The database catalog: named tables, temp tables, views, and indexes.
+
+Views store their defining SELECT statement's AST and are expanded lazily
+by the planner (DL2SQL's Q2 creates a view per layer, so view handling is
+on the hot path).  Temp tables behave like tables but are tracked so a
+session can drop them wholesale between inference runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import CatalogError
+from repro.storage.index import HashIndex
+from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sql.ast_nodes import SelectStatement
+
+
+@dataclass
+class View:
+    """A named, stored SELECT statement."""
+
+    name: str
+    statement: "SelectStatement"
+    sql_text: str = ""
+
+
+@dataclass
+class _Entry:
+    table: Table | None = None
+    view: View | None = None
+    is_temp: bool = False
+    indexes: dict[str, HashIndex] = field(default_factory=dict)
+
+
+class Catalog:
+    """Case-insensitive name -> table/view mapping with index bookkeeping."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(self, table: Table, *, temp: bool = False, replace: bool = False) -> None:
+        key = table.name.lower()
+        if key in self._entries and not replace:
+            raise CatalogError(f"table or view {table.name!r} already exists")
+        self._entries[key] = _Entry(table=table, is_temp=temp)
+
+    def get_table(self, name: str) -> Table:
+        entry = self._lookup(name)
+        if entry.table is None:
+            raise CatalogError(f"{name!r} is a view, not a table")
+        return entry.table
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def is_view(self, name: str) -> bool:
+        return self.has(name) and self._lookup(name).view is not None
+
+    def is_temp(self, name: str) -> bool:
+        return self.has(name) and self._lookup(name).is_temp
+
+    def drop(self, name: str, *, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._entries:
+            if if_exists:
+                return
+            raise CatalogError(f"cannot drop unknown table/view {name!r}")
+        del self._entries[key]
+
+    def drop_temp_objects(self) -> int:
+        """Drop every temp table/view; returns how many were dropped."""
+        temp_keys = [k for k, e in self._entries.items() if e.is_temp]
+        for key in temp_keys:
+            del self._entries[key]
+        return len(temp_keys)
+
+    def table_names(self) -> list[str]:
+        return sorted(
+            entry.table.name
+            for entry in self._entries.values()
+            if entry.table is not None
+        )
+
+    def view_names(self) -> list[str]:
+        return sorted(
+            entry.view.name
+            for entry in self._entries.values()
+            if entry.view is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(self, view: View, *, temp: bool = False, replace: bool = False) -> None:
+        key = view.name.lower()
+        if key in self._entries and not replace:
+            raise CatalogError(f"table or view {view.name!r} already exists")
+        self._entries[key] = _Entry(view=view, is_temp=temp)
+
+    def get_view(self, name: str) -> View:
+        entry = self._lookup(name)
+        if entry.view is None:
+            raise CatalogError(f"{name!r} is a table, not a view")
+        return entry.view
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, table_name: str, column_name: str) -> HashIndex:
+        entry = self._lookup(table_name)
+        if entry.table is None:
+            raise CatalogError(f"cannot index view {table_name!r}")
+        index = HashIndex(entry.table.name, entry.table.column(column_name))
+        entry.indexes[column_name.lower()] = index
+        return index
+
+    def get_index(self, table_name: str, column_name: str) -> HashIndex | None:
+        key = table_name.lower()
+        if key not in self._entries:
+            return None
+        return self._entries[key].indexes.get(column_name.lower())
+
+    def invalidate_indexes(self, table_name: str) -> None:
+        """Drop indexes after the underlying table data changed."""
+        key = table_name.lower()
+        if key in self._entries:
+            self._entries[key].indexes.clear()
+
+    # ------------------------------------------------------------------
+    def total_nbytes(self) -> int:
+        """Footprint of all stored tables (views cost nothing)."""
+        return sum(
+            entry.table.nbytes()
+            for entry in self._entries.values()
+            if entry.table is not None
+        )
+
+    def _lookup(self, name: str) -> _Entry:
+        try:
+            return self._entries[name.lower()]
+        except KeyError:
+            known: list[Any] = self.table_names() + self.view_names()
+            raise CatalogError(f"unknown table or view {name!r}; have {known}") from None

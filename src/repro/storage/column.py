@@ -1,0 +1,180 @@
+"""Typed, numpy-backed columns.
+
+A :class:`Column` owns a 1-D numpy array whose physical dtype is derived
+from its logical :class:`~repro.storage.schema.DataType`.  All engine
+operators work on these arrays directly, which is what makes the execution
+model vectorized (ClickHouse-style) rather than tuple-at-a-time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.schema import DataType, parse_date
+
+
+class Column:
+    """A named, typed vector of values.
+
+    The backing array is treated as immutable by the engine: operators that
+    "modify" data (filter, take, update) produce new columns.  This keeps
+    views and temp tables safe to share.
+    """
+
+    __slots__ = ("name", "dtype", "_data")
+
+    def __init__(self, name: str, dtype: DataType, data: np.ndarray) -> None:
+        if data.ndim != 1:
+            raise StorageError(f"column {name!r} requires 1-D data, got {data.ndim}-D")
+        expected = dtype.numpy_dtype
+        if data.dtype != expected:
+            raise StorageError(
+                f"column {name!r}: dtype mismatch, expected {expected}, got {data.dtype}"
+            )
+        self.name = name
+        self.dtype = dtype
+        self._data = data
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, dtype: DataType, values: Iterable[Any]) -> "Column":
+        """Build a column from arbitrary Python values, coercing per type."""
+        values = list(values)
+        if dtype is DataType.DATE:
+            coerced = [_coerce_date(v) for v in values]
+            array = np.asarray(coerced, dtype=np.int64)
+        elif dtype in (DataType.STRING, DataType.BLOB):
+            array = np.empty(len(values), dtype=object)
+            for i, value in enumerate(values):
+                array[i] = value
+        elif dtype is DataType.BOOL:
+            array = np.asarray([bool(v) for v in values], dtype=np.bool_)
+        else:
+            try:
+                array = np.asarray(values, dtype=dtype.numpy_dtype)
+            except (TypeError, ValueError) as exc:
+                raise StorageError(
+                    f"column {name!r}: cannot coerce values to {dtype}: {exc}"
+                ) from exc
+        return cls(name, dtype, array)
+
+    @classmethod
+    def empty(cls, name: str, dtype: DataType) -> "Column":
+        return cls(name, dtype, np.empty(0, dtype=dtype.numpy_dtype))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The backing numpy array.  Treat as read-only."""
+        return self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._data[index]
+
+    def to_list(self) -> list[Any]:
+        return self._data.tolist() if self.dtype is not DataType.BLOB else list(self._data)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint in bytes.
+
+        For object columns the payload sizes are summed (numpy only counts
+        the pointers), which matters for the paper's storage-overhead table.
+        """
+        if self.dtype in (DataType.STRING, DataType.BLOB):
+            total = self._data.nbytes
+            for value in self._data:
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+                elif isinstance(value, (bytes, str)):
+                    total += len(value)
+            return total
+        return self._data.nbytes
+
+    # ------------------------------------------------------------------
+    # Transformation (all return new columns)
+    # ------------------------------------------------------------------
+    def rename(self, name: str) -> "Column":
+        return Column(name, self.dtype, self._data)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep rows where the boolean ``mask`` is True."""
+        if mask.dtype != np.bool_:
+            raise StorageError("filter mask must be boolean")
+        if len(mask) != len(self._data):
+            raise StorageError(
+                f"mask length {len(mask)} != column length {len(self._data)}"
+            )
+        return Column(self.name, self.dtype, self._data[mask])
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by integer position (used by joins and sorts)."""
+        return Column(self.name, self.dtype, self._data.take(indices))
+
+    def concat(self, other: "Column") -> "Column":
+        if other.dtype is not self.dtype:
+            raise StorageError(
+                f"cannot concat {self.dtype} column with {other.dtype} column"
+            )
+        return Column(self.name, self.dtype, np.concatenate([self._data, other._data]))
+
+    def distinct_count(self) -> int:
+        """Number of distinct values (used by the statistics collector)."""
+        if self.dtype is DataType.BLOB:
+            return len(self._data)  # blobs are assumed unique
+        if len(self._data) == 0:
+            return 0
+        if self.dtype is DataType.STRING:
+            return len(set(self._data.tolist()))
+        return int(len(np.unique(self._data)))
+
+
+def _coerce_date(value: Any) -> int:
+    if isinstance(value, str):
+        return parse_date(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if hasattr(value, "toordinal"):
+        return value.toordinal()
+    raise StorageError(f"cannot coerce {value!r} to a Date")
+
+
+def column_from_numpy(name: str, array: np.ndarray) -> Column:
+    """Infer a logical type from a numpy array and wrap it as a Column."""
+    if array.dtype == np.bool_:
+        return Column(name, DataType.BOOL, array)
+    if np.issubdtype(array.dtype, np.integer):
+        return Column(name, DataType.INT64, array.astype(np.int64, copy=False))
+    if np.issubdtype(array.dtype, np.floating):
+        return Column(name, DataType.FLOAT64, array.astype(np.float64, copy=False))
+    if array.dtype == object:
+        return Column(name, DataType.STRING, array)
+    raise StorageError(f"cannot infer column type for numpy dtype {array.dtype}")
+
+
+def infer_dtype(values: Sequence[Any]) -> DataType:
+    """Infer a logical type for a sequence of Python values (INSERT literals)."""
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return DataType.STRING
+    sample = non_null[0]
+    if isinstance(sample, bool):
+        return DataType.BOOL
+    if isinstance(sample, (int, np.integer)):
+        if all(isinstance(v, (int, np.integer, bool)) for v in non_null):
+            return DataType.INT64
+        return DataType.FLOAT64
+    if isinstance(sample, (float, np.floating)):
+        return DataType.FLOAT64
+    if isinstance(sample, str):
+        return DataType.STRING
+    return DataType.BLOB

@@ -1,0 +1,152 @@
+"""Data types and table schemas for the columnar storage engine.
+
+The type system is intentionally small — the subset a ClickHouse-style
+engine needs for the paper's workload:
+
+* ``INT64`` / ``FLOAT64`` — numeric sensor readings, ids, model weights.
+* ``BOOL`` — predicate results and nUDF boolean outputs.
+* ``STRING`` — pattern names, class labels.
+* ``DATE`` — stored as int64 proleptic-Gregorian ordinals; SQL string
+  literals like ``'2021-01-31'`` are coerced at expression-evaluation time.
+* ``BLOB`` — arbitrary Python objects in an object-dtype column.  The video
+  table stores keyframes (small numpy arrays) here, which is what nUDFs and
+  the independent-processing exporter consume.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT64 = "Int64"
+    FLOAT64 = "Float64"
+    BOOL = "Bool"
+    STRING = "String"
+    DATE = "Date"
+    BLOB = "Blob"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used for the column's physical storage."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT64, DataType.FLOAT64, DataType.DATE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.STRING: np.dtype(object),
+    DataType.DATE: np.dtype(np.int64),
+    DataType.BLOB: np.dtype(object),
+}
+
+#: ISO date format accepted by :func:`parse_date`.
+_DATE_FORMATS = ("%Y-%m-%d", "%Y-%m-%d %H:%M:%S")
+
+
+def parse_date(text: str) -> int:
+    """Parse an ISO-ish date string into the int64 ordinal representation.
+
+    Accepts the loose forms seen in the paper's queries ('2021-1-31').
+    """
+    parts = text.strip().split(" ")[0].split("-")
+    if len(parts) != 3:
+        raise StorageError(f"cannot parse date literal {text!r}")
+    try:
+        year, month, day = (int(p) for p in parts)
+        return datetime.date(year, month, day).toordinal()
+    except ValueError as exc:
+        raise StorageError(f"cannot parse date literal {text!r}: {exc}") from exc
+
+
+def format_date(ordinal: int) -> str:
+    """Inverse of :func:`parse_date`, used when rendering result sets."""
+    return datetime.date.fromordinal(int(ordinal)).isoformat()
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """A single column declaration: name + logical type."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise StorageError(f"invalid column name {self.name!r}")
+
+
+class Schema:
+    """An ordered, name-addressable collection of :class:`ColumnSpec`.
+
+    Column lookup is case-insensitive (SQL identifier semantics) while the
+    declared spelling is preserved for display.
+    """
+
+    def __init__(self, columns: Iterable[ColumnSpec]) -> None:
+        self._columns: list[ColumnSpec] = list(columns)
+        self._by_name: dict[str, int] = {}
+        for position, spec in enumerate(self._columns):
+            key = spec.name.lower()
+            if key in self._by_name:
+                raise StorageError(f"duplicate column name {spec.name!r}")
+            self._by_name[key] = position
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Convenience constructor: ``Schema.of(("id", DataType.INT64), ...)``."""
+        return cls(ColumnSpec(name, dtype) for name, dtype in pairs)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [spec.name for spec in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{c.name} {c.dtype}" for c in self._columns)
+        return f"Schema({cols})"
+
+    def position_of(self, name: str) -> int:
+        """Index of column ``name``; raises :class:`StorageError` if absent."""
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise StorageError(
+                f"unknown column {name!r}; have {self.column_names}"
+            ) from None
+
+    def spec_of(self, name: str) -> ColumnSpec:
+        return self._columns[self.position_of(name)]
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.spec_of(name).dtype

@@ -1,0 +1,196 @@
+"""Column-store tables.
+
+A :class:`Table` is an ordered set of equal-length :class:`Column` objects
+plus the :class:`Schema` describing them.  Tables are the unit the catalog
+stores and the unit physical operators consume and produce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.column import Column, infer_dtype
+from repro.storage.schema import ColumnSpec, DataType, Schema
+
+
+class Table:
+    """An immutable-by-convention columnar table.
+
+    Mutating operations (:meth:`append_rows`, :meth:`update_where`) replace
+    the internal column list in place so that catalog entries see the new
+    data, but the column objects themselves are fresh; slices handed out
+    earlier keep their snapshot.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if columns:
+            length = len(columns[0])
+            for column in columns:
+                if len(column) != length:
+                    raise StorageError(
+                        f"table {name!r}: ragged columns "
+                        f"({column.name!r} has {len(column)} rows, expected {length})"
+                    )
+        self.name = name
+        self._columns = list(columns)
+        self._schema = Schema(ColumnSpec(c.name, c.dtype) for c in columns)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]],
+    ) -> "Table":
+        """Build a table from row tuples matching ``schema`` order."""
+        rows = list(rows)
+        columns = []
+        for position, spec in enumerate(schema):
+            values = [row[position] for row in rows]
+            columns.append(Column.from_values(spec.name, spec.dtype, values))
+        return cls(name, columns)
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Sequence[Any]]) -> "Table":
+        """Build a table from ``{column: values}``; types are inferred."""
+        columns = []
+        for column_name, values in data.items():
+            if isinstance(values, np.ndarray) and values.dtype != object:
+                dtype = _dtype_from_numpy(values)
+                columns.append(
+                    Column(column_name, dtype, values.astype(dtype.numpy_dtype))
+                )
+            else:
+                values = list(values)
+                columns.append(
+                    Column.from_values(column_name, infer_dtype(values), values)
+                )
+        return cls(name, columns)
+
+    @classmethod
+    def empty(cls, name: str, schema: Schema) -> "Table":
+        return cls(name, [Column.empty(s.name, s.dtype) for s in schema])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._columns[0]) if self._columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    def column(self, name: str) -> Column:
+        return self._columns[self._schema.position_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._schema
+
+    def nbytes(self) -> int:
+        """Approximate storage footprint (sum of column footprints)."""
+        return sum(column.nbytes() for column in self._columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, {self.num_rows} rows, {self._schema!r})"
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> tuple[Any, ...]:
+        return tuple(column[index] for column in self._columns)
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        return list(self.iter_rows())
+
+    # ------------------------------------------------------------------
+    # Relational primitives (return new tables)
+    # ------------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "Table":
+        return Table(self.name, [c.filter(mask) for c in self._columns])
+
+    def take(self, indices: np.ndarray) -> "Table":
+        return Table(self.name, [c.take(indices) for c in self._columns])
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        return Table(self.name, [self.column(n) for n in names])
+
+    def rename(self, name: str) -> "Table":
+        return Table(name, self._columns)
+
+    def head(self, n: int) -> "Table":
+        return Table(self.name, [Column(c.name, c.dtype, c.data[:n]) for c in self._columns])
+
+    # ------------------------------------------------------------------
+    # Mutation (in-place replacement of the column list)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append row tuples; values are coerced per the existing schema."""
+        rows = list(rows)
+        if not rows:
+            return
+        width = len(self._columns)
+        for row in rows:
+            if len(row) != width:
+                raise StorageError(
+                    f"table {self.name!r}: row width {len(row)} != {width} columns"
+                )
+        new_columns = []
+        for position, column in enumerate(self._columns):
+            addition = Column.from_values(
+                column.name, column.dtype, [row[position] for row in rows]
+            )
+            new_columns.append(column.concat(addition))
+        self._columns = new_columns
+
+    def append_table(self, other: "Table") -> None:
+        """Append all rows of a schema-compatible table."""
+        if other.schema != self._schema:
+            raise StorageError(
+                f"cannot append table with schema {other.schema!r} "
+                f"to table with schema {self._schema!r}"
+            )
+        self._columns = [
+            mine.concat(theirs)
+            for mine, theirs in zip(self._columns, other.columns)
+        ]
+
+    def replace_column(self, name: str, values: np.ndarray) -> None:
+        """Overwrite one column's data in place (used by UPDATE)."""
+        position = self._schema.position_of(name)
+        old = self._columns[position]
+        if values.dtype != old.dtype.numpy_dtype:
+            values = values.astype(old.dtype.numpy_dtype)
+        self._columns[position] = Column(old.name, old.dtype, values)
+
+
+def _dtype_from_numpy(array: np.ndarray) -> DataType:
+    if array.dtype == np.bool_:
+        return DataType.BOOL
+    if np.issubdtype(array.dtype, np.integer):
+        return DataType.INT64
+    if np.issubdtype(array.dtype, np.floating):
+        return DataType.FLOAT64
+    raise StorageError(f"cannot map numpy dtype {array.dtype} to a DataType")

@@ -1,0 +1,38 @@
+"""The three collaborative-query processing strategies (Section III).
+
+* :mod:`repro.strategies.independent` — DB-PyTorch: database and DL
+  framework as black boxes, an application layer coordinates.
+* :mod:`repro.strategies.loose` — DB-UDF: the model is compiled to a
+  binary and executed by a database built-in UDF.
+* :mod:`repro.strategies.tight` — DL2SQL / DL2SQL-OP: inference runs as
+  generated SQL inside the database, optionally with the customized cost
+  model and hint rules.
+
+All strategies implement the same interface
+(:class:`repro.strategies.base.Strategy`) and report the paper's
+three-way cost breakdown (loading / inference / relational).
+"""
+
+from repro.strategies.base import (
+    CollaborativeQuery,
+    CostBreakdown,
+    ModelTask,
+    QueryType,
+    Strategy,
+    StrategyResult,
+)
+from repro.strategies.independent import IndependentStrategy
+from repro.strategies.loose import LooseStrategy
+from repro.strategies.tight import TightStrategy
+
+__all__ = [
+    "CollaborativeQuery",
+    "CostBreakdown",
+    "IndependentStrategy",
+    "LooseStrategy",
+    "ModelTask",
+    "QueryType",
+    "Strategy",
+    "StrategyResult",
+    "TightStrategy",
+]

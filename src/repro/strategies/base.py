@@ -1,0 +1,221 @@
+"""Shared abstractions for the three strategies.
+
+:class:`ModelTask` couples everything one DL task carries through the
+system — the trained student model, its serialized blob (for DB-UDF), its
+DL2SQL compilation (for tight integration), class labels, and the
+training-time class histogram that powers the hint rules.
+
+:class:`Strategy` is the interface every approach implements; results
+carry the paper's three-way cost breakdown.  Table III's qualitative
+comparison is encoded as :class:`StrategyCapabilities` on each class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.core.compiler import CompiledModel
+from repro.core.selectivity import NudfSelectivity
+from repro.engine.database import Database
+from repro.hardware import HardwareProfile, SERVER_CPU
+from repro.tensor.model import Model
+
+
+class QueryType(enum.IntEnum):
+    """Table I's four collaborative-query classes."""
+
+    #: Q_db and Q_learning are independent of each other.
+    INDEPENDENT = 1
+    #: Q_db depends on Q_learning (nUDF output feeds an aggregate).
+    DB_DEPENDS_ON_LEARNING = 2
+    #: Q_learning depends on Q_db (predicates select the model's rows).
+    LEARNING_DEPENDS_ON_DB = 3
+    #: Mutual dependence (nUDF result compared against a DB column).
+    INTERDEPENDENT = 4
+
+    @property
+    def difficulty(self) -> str:
+        return {1: "Easy", 2: "Medium", 3: "Medium", 4: "Hard"}[int(self)]
+
+
+@dataclass(frozen=True)
+class CollaborativeQuery:
+    """One collaborative query: SQL text + metadata."""
+
+    sql: str
+    query_type: QueryType
+    description: str = ""
+    #: Roles of the nUDFs the query references (e.g. ("detect",)).
+    udf_roles: tuple[str, ...] = ()
+
+
+@dataclass
+class CostBreakdown:
+    """The paper's three cost components, in seconds."""
+
+    loading: float = 0.0
+    inference: float = 0.0
+    relational: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.loading + self.inference + self.relational
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            loading=self.loading + other.loading,
+            inference=self.inference + other.inference,
+            relational=self.relational + other.relational,
+        )
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        return CostBreakdown(
+            loading=self.loading * factor,
+            inference=self.inference * factor,
+            relational=self.relational * factor,
+        )
+
+
+@dataclass
+class StrategyResult:
+    """Result rows plus the measured cost breakdown."""
+
+    rows: list[tuple[Any, ...]]
+    breakdown: CostBreakdown
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ModelTask:
+    """One DL task from the model repository.
+
+    Attributes:
+        name: Task identifier (e.g. ``defect_detection_3``).
+        role: The nUDF role it serves: ``detect`` (boolean output),
+            ``classify`` / ``recog`` (label output).
+        student: The distilled student model used for online inference.
+        teacher: The teacher model (kept for depth experiments).
+        class_labels: Output labels; for ``detect`` tasks,
+            index 1 means "Defect" (TRUE).
+        histogram: Training-time class histogram (Eq. 10 input).
+        blob: Serialized student (DB-UDF's compiled binary).
+        compiled: DL2SQL compilation of the student.
+    """
+
+    name: str
+    role: str
+    student: Model
+    teacher: Optional[Model]
+    class_labels: list[str]
+    histogram: dict[int, int]
+    blob: bytes
+    compiled: CompiledModel
+
+    @property
+    def returns_bool(self) -> bool:
+        return self.role == "detect"
+
+    def udf_name(self) -> str:
+        return f"nUDF_{self.role}"
+
+    def selectivity(self) -> NudfSelectivity:
+        if self.returns_bool:
+            labels: Optional[list[Any]] = [False, True]
+        else:
+            labels = list(self.class_labels)
+        return NudfSelectivity.from_histogram(
+            self.udf_name(), self.histogram, class_labels=labels
+        )
+
+    def predict_value(self, keyframe: np.ndarray) -> Any:
+        """The value the task's nUDF returns for one keyframe."""
+        index = self.student.predict_class(keyframe)
+        if self.returns_bool:
+            return bool(index == 1)
+        return self.class_labels[index]
+
+
+@dataclass(frozen=True)
+class StrategyCapabilities:
+    """Table III, encoded."""
+
+    implementation_complexity: str
+    flexibility: str
+    optimization: str
+    scalability: str
+    io_cost: str
+    gpu_support: str
+
+
+class Strategy:
+    """Interface of a collaborative-query processing strategy.
+
+    Subclasses implement :meth:`bind_task` (make one task's nUDF available
+    in the database, measuring the loading cost — the paper integrates the
+    model "on the fly" per query) and :meth:`run` (execute one query,
+    returning rows + breakdown).  ``profile`` scales measured host time
+    onto the target hardware; ``use_gpu`` offloads inference when both the
+    profile and the strategy allow it.
+    """
+
+    name = "abstract"
+    capabilities: StrategyCapabilities
+
+    def __init__(
+        self,
+        profile: HardwareProfile = SERVER_CPU,
+        use_gpu: bool = False,
+    ) -> None:
+        if use_gpu and not profile.has_gpu:
+            raise ValueError(
+                f"profile {profile.name!r} has no GPU for strategy {self.name}"
+            )
+        self.profile = profile
+        self.use_gpu = use_gpu
+
+    # ------------------------------------------------------------------
+    def bind_task(self, db: Database, task: ModelTask) -> float:
+        """Install the task's nUDF into ``db``; returns load seconds
+        (unscaled host time)."""
+        raise NotImplementedError
+
+    def unbind_task(self, db: Database, task: ModelTask) -> None:
+        """Remove the task's nUDF and any model state."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        db: Database,
+        query: CollaborativeQuery,
+        tasks: Mapping[str, ModelTask],
+    ) -> StrategyResult:
+        """Execute one collaborative query.
+
+        ``tasks`` maps nUDF roles (``detect``/``classify``/``recog``) to
+        the bound tasks.  Implementations must already have bind_task'ed
+        each of them.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Hardware scaling helpers
+    # ------------------------------------------------------------------
+    def scale_db_seconds(self, measured: float) -> float:
+        """Database-kernel work scales with the profile's CPU."""
+        return self.profile.cpu_time(measured)
+
+    def scale_dl_seconds(self, measured: float) -> float:
+        """DL-framework work: GPU-offloaded when enabled, else CPU with
+        the profile's DL-runtime penalty (see repro.hardware)."""
+        if self.use_gpu:
+            return self.profile.gpu_time(measured)
+        return self.profile.cpu_time(measured) * self.profile.dl_runtime_scale
+
+    def gpu_transfer_seconds(self, num_bytes: int) -> float:
+        if not self.use_gpu:
+            return 0.0
+        return self.profile.transfer_time(num_bytes)

@@ -1,0 +1,252 @@
+"""Independent processing (DB-PyTorch, Section III-A).
+
+Database and DL framework are two black boxes; this module *is* the
+application layer the paper describes.  For each nUDF in a collaborative
+query it:
+
+1. extracts the sargable single-table predicates on the video table and
+   issues an export query (``Q_db`` piece) to fetch candidate keyframes;
+2. serializes the exported rows across the system boundary (a real
+   pickle round-trip — the cross-system I/O and data-transformation cost
+   the paper charges this strategy with);
+3. runs inference in the DL framework (``Q_learning``);
+4. serializes predictions back and imports them as a prediction table;
+5. rewrites the original query, replacing every nUDF call with a join
+   against its prediction table, and lets the database finish.
+
+Export/import time counts as *loading*, model execution as *inference*,
+and the database work as *relational* cost.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.engine.database import Database
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    SelectStatement,
+    combine_conjuncts,
+)
+from repro.sql.parser import parse_statement
+from repro.storage.table import Table
+from repro.strategies.base import (
+    CollaborativeQuery,
+    CostBreakdown,
+    ModelTask,
+    Strategy,
+    StrategyCapabilities,
+    StrategyResult,
+)
+from repro.strategies.rewrite import (
+    replace_udf_calls,
+    single_table_conjuncts,
+    table_aliases,
+)
+
+#: Where nUDF arguments live in the workload schema.
+VIDEO_TABLE = "video"
+VIDEO_KEY = "videoID"
+VIDEO_ARG = "keyframe"
+
+
+class IndependentStrategy(Strategy):
+    """DB-PyTorch: application-layer coordination of two systems."""
+
+    name = "DB-PyTorch"
+    capabilities = StrategyCapabilities(
+        implementation_complexity="Easy",
+        flexibility="Need to rewrite the codes for a new query",
+        optimization=(
+            "Consider databases and DL systems as black boxes and unable "
+            "to optimize"
+        ),
+        scalability="High",
+        io_cost="High",
+        gpu_support="Easy",
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._bound: dict[str, _BoundTask] = {}
+
+    # ------------------------------------------------------------------
+    def bind_task(self, db: Database, task: ModelTask) -> float:
+        """'Deploy' the model in the DL system (deserialize its blob)."""
+        from repro.tensor.serialize import deserialize_model
+
+        started = time.perf_counter()
+        model = deserialize_model(task.blob)
+        load_seconds = time.perf_counter() - started
+        self._bound[task.udf_name().lower()] = _BoundTask(
+            task=task,
+            model=model,
+            load_seconds=load_seconds,
+            model_bytes=len(task.blob),
+        )
+        return load_seconds
+
+    def unbind_task(self, db: Database, task: ModelTask) -> None:
+        self._bound.pop(task.udf_name().lower(), None)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        db: Database,
+        query: CollaborativeQuery,
+        tasks: Mapping[str, ModelTask],
+    ) -> StrategyResult:
+        statement = parse_statement(query.sql)
+        if not isinstance(statement, SelectStatement):
+            raise WorkloadError("collaborative queries must be SELECTs")
+
+        loading_raw = 0.0
+        inference_raw = 0.0
+        relational_raw = 0.0
+        transfer_bytes = 0
+        inferred_rows = 0
+        replacements: dict[str, ColumnRef] = {}
+        pred_joins: list[tuple[str, str]] = []  # (pred table, video alias)
+
+        aliases = table_aliases(statement, VIDEO_TABLE)
+        if not aliases:
+            raise WorkloadError(
+                f"query does not reference the {VIDEO_TABLE!r} table"
+            )
+        video_alias = aliases[0]
+        video_columns = {
+            c.lower()
+            for c in db.table(VIDEO_TABLE).schema.column_names
+        }
+
+        for role in query.udf_roles:
+            task = tasks.get(role)
+            if task is None:
+                raise WorkloadError(f"query requires unbound nUDF role {role!r}")
+            bound = self._bound.get(task.udf_name().lower())
+            if bound is None:
+                raise WorkloadError(
+                    f"task {task.name!r} is not bound; call bind_task first"
+                )
+
+            # 1. Export query: candidate keyframes under sargable predicates.
+            # Every nUDF the query references is excluded — inference is
+            # the DL system's job, never the export query's.
+            all_udf_names = {
+                tasks[r].udf_name() for r in query.udf_roles if r in tasks
+            }
+            conjuncts = single_table_conjuncts(
+                statement,
+                VIDEO_TABLE,
+                video_columns,
+                exclude_udfs=all_udf_names,
+            )
+            predicate = combine_conjuncts(conjuncts)
+            export_sql = (
+                f"SELECT {video_alias}.{VIDEO_KEY}, {video_alias}.{VIDEO_ARG} "
+                f"FROM {VIDEO_TABLE} {video_alias}"
+            )
+            if predicate is not None:
+                export_sql += f" WHERE {predicate.to_sql()}"
+            started = time.perf_counter()
+            exported = db.execute(export_sql)
+            relational_raw += time.perf_counter() - started
+
+            # 2. Serialize across the system boundary (both directions are
+            # real pickle round-trips: relational rows -> tensor batch).
+            started = time.perf_counter()
+            payload = pickle.dumps(exported.rows())
+            keys_and_frames = pickle.loads(payload)
+            loading_raw += time.perf_counter() - started
+            transfer_bytes += len(payload)
+
+            # 3. Inference in the DL framework.
+            started = time.perf_counter()
+            predictions = [
+                (key, _predict(bound, frame)) for key, frame in keys_and_frames
+            ]
+            inference_raw += time.perf_counter() - started
+            inferred_rows += len(predictions)
+
+            # 4. Import predictions back into the database.
+            started = time.perf_counter()
+            back = pickle.loads(pickle.dumps(predictions))
+            pred_table_name = f"pred_{role}"
+            pred_table = Table.from_dict(
+                pred_table_name,
+                {
+                    VIDEO_KEY: [row[0] for row in back],
+                    "prediction": [row[1] for row in back],
+                },
+            )
+            db.register_table(pred_table, temp=True, replace=True)
+            loading_raw += time.perf_counter() - started
+            transfer_bytes += len(pickle.dumps(back))
+
+            alias = f"P_{role}"
+            replacements[task.udf_name().lower()] = ColumnRef(
+                "prediction", table=alias
+            )
+            pred_joins.append((pred_table_name, alias))
+
+        # 5. Rewrite and run the final relational query.
+        rewritten = replace_udf_calls(statement, dict(replacements))
+        for pred_table_name, alias in pred_joins:
+            from repro.strategies.rewrite import add_cross_table
+
+            rewritten = add_cross_table(
+                rewritten,
+                pred_table_name,
+                alias,
+                BinaryOp(
+                    "=",
+                    ColumnRef(VIDEO_KEY, table=alias),
+                    ColumnRef(VIDEO_KEY, table=video_alias),
+                ),
+            )
+        started = time.perf_counter()
+        result = db.execute(rewritten.to_sql())
+        relational_raw += time.perf_counter() - started
+
+        model_bytes = sum(
+            self._bound[tasks[r].udf_name().lower()].model_bytes
+            for r in query.udf_roles
+        )
+        breakdown = CostBreakdown(
+            loading=self.scale_db_seconds(loading_raw)
+            + self.gpu_transfer_seconds(model_bytes + transfer_bytes),
+            inference=self.scale_dl_seconds(inference_raw),
+            relational=self.scale_db_seconds(relational_raw),
+        )
+        return StrategyResult(
+            rows=result.rows(),
+            breakdown=breakdown,
+            details={
+                "inferred_rows": inferred_rows,
+                "transfer_bytes": transfer_bytes,
+                "rewritten_sql": rewritten.to_sql(),
+            },
+        )
+
+
+def _predict(bound: "_BoundTask", keyframe: np.ndarray) -> object:
+    index = bound.model.predict_class(np.asarray(keyframe))
+    if bound.task.returns_bool:
+        return bool(index == 1)
+    return bound.task.class_labels[index]
+
+
+class _BoundTask:
+    __slots__ = ("task", "model", "load_seconds", "model_bytes")
+
+    def __init__(self, task, model, load_seconds, model_bytes) -> None:
+        self.task = task
+        self.model = model
+        self.load_seconds = load_seconds
+        self.model_bytes = model_bytes

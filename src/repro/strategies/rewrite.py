@@ -1,0 +1,250 @@
+"""Query rewriting for the independent-processing strategy.
+
+The application layer of DB-PyTorch decomposes a collaborative query by
+replacing every nUDF call with a reference to a prediction table it
+imports after running inference in the DL framework.  This module holds
+the AST surgery: expression transformation, single-table conjunct
+extraction (which rows to export), and the final rewrite that joins the
+prediction tables in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import PlanError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    DerivedTable,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    UnaryOp,
+    referenced_columns,
+    split_conjuncts,
+)
+
+Transform = Callable[[Expression], Optional[Expression]]
+
+
+def transform_expression(expression: Expression, fn: Transform) -> Expression:
+    """Bottom-up rewrite: ``fn`` may replace any node (return None to keep)."""
+    rebuilt = _rebuild(expression, fn)
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild(expression: Expression, fn: Transform) -> Expression:
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(expression.op, transform_expression(expression.operand, fn))
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.op,
+            transform_expression(expression.left, fn),
+            transform_expression(expression.right, fn),
+        )
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name,
+            tuple(transform_expression(a, fn) for a in expression.args),
+            distinct=expression.distinct,
+        )
+    if isinstance(expression, CaseExpression):
+        return CaseExpression(
+            tuple(
+                (
+                    transform_expression(condition, fn),
+                    transform_expression(value, fn),
+                )
+                for condition, value in expression.whens
+            ),
+            transform_expression(expression.default, fn)
+            if expression.default is not None
+            else None,
+        )
+    if isinstance(expression, InList):
+        return InList(
+            transform_expression(expression.operand, fn),
+            tuple(transform_expression(i, fn) for i in expression.items),
+            negated=expression.negated,
+        )
+    if isinstance(expression, Between):
+        return Between(
+            transform_expression(expression.operand, fn),
+            transform_expression(expression.low, fn),
+            transform_expression(expression.high, fn),
+            negated=expression.negated,
+        )
+    if isinstance(expression, IsNull):
+        return IsNull(
+            transform_expression(expression.operand, fn),
+            negated=expression.negated,
+        )
+    return expression
+
+
+def replace_udf_calls(
+    statement: SelectStatement,
+    replacements: dict[str, Expression],
+) -> SelectStatement:
+    """Replace every ``nUDF(...)`` call (by lowercase name) in the select
+    list, WHERE, HAVING and ORDER BY with the mapped expression."""
+
+    def fn(node: Expression) -> Optional[Expression]:
+        if isinstance(node, FunctionCall):
+            return replacements.get(node.name.lower())
+        return None
+
+    items = tuple(
+        SelectItem(transform_expression(i.expression, fn), i.alias)
+        for i in statement.items
+    )
+    where = (
+        transform_expression(statement.where, fn)
+        if statement.where is not None
+        else None
+    )
+    having = (
+        transform_expression(statement.having, fn)
+        if statement.having is not None
+        else None
+    )
+    order_by = tuple(
+        OrderItem(transform_expression(o.expression, fn), o.ascending)
+        for o in statement.order_by
+    )
+    group_by = tuple(
+        transform_expression(g, fn) for g in statement.group_by
+    )
+    return SelectStatement(
+        items=items,
+        from_clause=statement.from_clause,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=statement.limit,
+        distinct=statement.distinct,
+        cross_tables=statement.cross_tables,
+    )
+
+
+def add_cross_table(
+    statement: SelectStatement,
+    table_name: str,
+    alias: str,
+    join_conjunct: Expression,
+) -> SelectStatement:
+    """Append a table to FROM (comma join) plus a WHERE conjunct."""
+    where = statement.where
+    combined = (
+        join_conjunct if where is None else BinaryOp("AND", where, join_conjunct)
+    )
+    return SelectStatement(
+        items=statement.items,
+        from_clause=statement.from_clause,
+        where=combined,
+        group_by=statement.group_by,
+        having=statement.having,
+        order_by=statement.order_by,
+        limit=statement.limit,
+        distinct=statement.distinct,
+        cross_tables=statement.cross_tables
+        + (NamedTable(alias=alias, name=table_name),),
+    )
+
+
+def table_aliases(statement: SelectStatement, table_name: str) -> list[str]:
+    """All aliases under which ``table_name`` appears in FROM."""
+    aliases: list[str] = []
+
+    def visit(ref: Optional[TableRef]) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, NamedTable):
+            if ref.name.lower() == table_name.lower():
+                aliases.append(ref.alias or ref.name)
+        elif isinstance(ref, Join):
+            visit(ref.left)
+            visit(ref.right)
+        elif isinstance(ref, DerivedTable):
+            pass  # derived tables shield the inner names
+
+    visit(statement.from_clause)
+    for extra in statement.cross_tables:
+        visit(extra)
+    return aliases
+
+
+def single_table_conjuncts(
+    statement: SelectStatement,
+    table_name: str,
+    column_names: set[str],
+    *,
+    exclude_udfs: set[str],
+) -> list[Expression]:
+    """WHERE conjuncts that reference only ``table_name``'s columns.
+
+    These are the sargable predicates the application layer pushes into
+    its export query (so it does not ship every keyframe to the DL side).
+    Conjuncts containing any of ``exclude_udfs`` are skipped.
+    """
+    aliases = {a.lower() for a in table_aliases(statement, table_name)}
+    if not aliases:
+        raise PlanError(
+            f"table {table_name!r} does not appear in the query's FROM clause"
+        )
+    lowered_columns = {c.lower() for c in column_names}
+    result: list[Expression] = []
+    for conjunct in split_conjuncts(statement.where):
+        if _mentions_udf(conjunct, exclude_udfs):
+            continue
+        refs = referenced_columns(conjunct)
+        if not refs:
+            continue
+        ok = True
+        for ref in refs:
+            if ref.table is not None:
+                if ref.table.lower() not in aliases:
+                    ok = False
+                    break
+            elif ref.name.lower() not in lowered_columns:
+                ok = False
+                break
+        if ok:
+            result.append(conjunct)
+    return result
+
+
+def _mentions_udf(conjunct: Expression, udf_names: set[str]) -> bool:
+    from repro.sql.ast_nodes import referenced_functions
+
+    lowered = {u.lower() for u in udf_names}
+    return any(
+        call.name.lower() in lowered
+        for call in referenced_functions(conjunct)
+    )
+
+
+def rewrite_alias_to(
+    conjuncts: list[Expression], target_alias: str
+) -> list[Expression]:
+    """Re-qualify all column references onto ``target_alias`` (used when
+    the export query scans the table under a fresh alias)."""
+
+    def fn(node: Expression) -> Optional[Expression]:
+        if isinstance(node, ColumnRef):
+            return ColumnRef(node.name, table=target_alias)
+        return None
+
+    return [transform_expression(c, fn) for c in conjuncts]

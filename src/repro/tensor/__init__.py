@@ -1,0 +1,60 @@
+"""A small numpy NN inference framework (the PyTorch substitute).
+
+Only the inference pathway matters to the paper, so this package provides
+forward-only layers (convolution, batch/instance norm, ReLU, pooling, fully
+connected, softmax, residual/identity/dense/attention blocks), model
+composition, ResNet-style builders, binary serialization ("compilation"
+for the DB-UDF strategy) and histogram calibration + a linear-head
+distillation used to build the paper's student models.
+"""
+
+from repro.tensor.model import Model
+from repro.tensor.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    BasicAttention,
+    Conv2d,
+    Deconv2d,
+    DenseBlock,
+    Flatten,
+    GRU,
+    IdentityBlock,
+    InstanceNorm2d,
+    Layer,
+    Linear,
+    LSTM,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+    SelfAttention,
+    Softmax,
+)
+from repro.tensor.resnet import build_resnet, build_student_cnn
+from repro.tensor.serialize import load_model, save_model, serialize_model
+
+__all__ = [
+    "AvgPool2d",
+    "BasicAttention",
+    "BatchNorm2d",
+    "Conv2d",
+    "Deconv2d",
+    "DenseBlock",
+    "Flatten",
+    "GRU",
+    "IdentityBlock",
+    "InstanceNorm2d",
+    "Layer",
+    "LSTM",
+    "Linear",
+    "MaxPool2d",
+    "Model",
+    "ReLU",
+    "ResidualBlock",
+    "SelfAttention",
+    "Softmax",
+    "build_resnet",
+    "build_student_cnn",
+    "load_model",
+    "save_model",
+    "serialize_model",
+]

@@ -1,0 +1,296 @@
+"""Forward-pass numpy kernels for the supported neural operators.
+
+All functions take channel-first single-sample tensors ``[C, H, W]`` and
+are deterministic, which lets the DL2SQL parity tests compare SQL-computed
+feature maps against these references element by element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TensorError
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of a ``[C, H, W]`` tensor."""
+    if padding == 0:
+        return x
+    if padding < 0:
+        raise TensorError(f"negative padding {padding}")
+    return np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Eq. 3 of the paper: output spatial extent of a convolution."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise TensorError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``[C, H, W]`` into column form ``[C*k*k, H_out*W_out]``.
+
+    This is the dense-tensor analogue of DL2SQL's feature-map table
+    (Algorithm 1): each output column lists the receptive-field values of
+    one kernel placement, exactly like the rows sharing one ``MatrixID``.
+    """
+    x = pad2d(x, padding)
+    channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(1, 2)
+    )
+    windows = windows[:, ::stride, ::stride, :, :]
+    columns = windows.transpose(1, 2, 0, 3, 4).reshape(
+        out_h * out_w, channels * kernel * kernel
+    )
+    return columns.T, out_h, out_w
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution: ``[C,H,W] -> [OC,H',W']`` with weight ``[OC,C,k,k]``."""
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    if kernel_h != kernel_w:
+        raise TensorError("only square kernels are supported")
+    if x.shape[0] != in_channels:
+        raise TensorError(
+            f"input has {x.shape[0]} channels, weight expects {in_channels}"
+        )
+    columns, out_h, out_w = im2col(x, kernel_h, stride, padding)
+    flat_weight = weight.reshape(out_channels, -1)
+    out = flat_weight @ columns
+    if bias is not None:
+        out += bias[:, None]
+    return out.reshape(out_channels, out_h, out_w)
+
+
+def deconv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+) -> np.ndarray:
+    """Transposed convolution (deconvolution) for upsampling layers.
+
+    Weight layout ``[IC, OC, k, k]`` follows the PyTorch convention.
+    """
+    in_channels, out_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise TensorError("only square kernels are supported")
+    if x.shape[0] != in_channels:
+        raise TensorError(
+            f"input has {x.shape[0]} channels, weight expects {in_channels}"
+        )
+    _, height, width = x.shape
+    out_h = (height - 1) * stride + kernel
+    out_w = (width - 1) * stride + kernel
+    out = np.zeros((out_channels, out_h, out_w))
+    for row in range(height):
+        for col in range(width):
+            patch = np.tensordot(x[:, row, col], weight, axes=(0, 0))
+            out[
+                :,
+                row * stride : row * stride + kernel,
+                col * stride : col * stride + kernel,
+            ] += patch
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over ``[C, H, W]``."""
+    return _pool2d(x, kernel, stride or kernel, np.max)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling over ``[C, H, W]``."""
+    return _pool2d(x, kernel, stride or kernel, np.mean)
+
+
+def _pool2d(x: np.ndarray, kernel: int, stride: int, reducer) -> np.ndarray:
+    channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(1, 2)
+    )[:, ::stride, ::stride]
+    return reducer(windows, axis=(3, 4))[:, :out_h, :out_w]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def batch_norm(
+    x: np.ndarray,
+    mean: np.ndarray | None = None,
+    var: np.ndarray | None = None,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    eps: float = 5e-5,
+) -> np.ndarray:
+    """Normalization as the paper computes it (Eq. 1).
+
+    Running statistics are per channel; when ``mean``/``var`` are None the
+    statistics of the input itself are used — which is also what DL2SQL's
+    Q4 does with its AVG/stddev scalar subqueries over the feature table.
+    """
+    if mean is None:
+        mean = x.mean(axis=(1, 2))
+    if var is None:
+        var = x.var(axis=(1, 2))
+    normalized = (x - mean[:, None, None]) / np.sqrt(var[:, None, None] + eps)
+    if gamma is not None:
+        normalized = normalized * gamma[:, None, None]
+    if beta is not None:
+        normalized = normalized + beta[:, None, None]
+    return normalized
+
+
+def instance_norm(
+    x: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    eps: float = 5e-5,
+) -> np.ndarray:
+    """Instance normalization: per-sample, per-channel statistics."""
+    return batch_norm(x, None, None, gamma, beta, eps)
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully connected layer: ``[in] -> [out]`` with weight ``[out, in]``."""
+    out = weight @ x.reshape(-1)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - np.max(x)
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def self_attention(
+    x: np.ndarray,
+    w_query: np.ndarray,
+    w_key: np.ndarray,
+    w_value: np.ndarray,
+) -> np.ndarray:
+    """Single-head self attention over a token sequence ``[T, D]``.
+
+    Listed as *unsupported* by DL2SQL in the paper's Table II — it exists
+    here so the compiler can reject it explicitly (and so sequence models
+    run in the DL-framework substitute).
+    """
+    if x.ndim != 2:
+        raise TensorError(f"self attention expects [T, D], got {x.shape}")
+    queries = x @ w_query.T          # [T, d]
+    keys = x @ w_key.T               # [T, d]
+    values = x @ w_value.T           # [T, d]
+    scale = 1.0 / np.sqrt(queries.shape[1])
+    scores = queries @ keys.T * scale          # [T, T]
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    weights = np.exp(shifted)
+    weights /= weights.sum(axis=1, keepdims=True)
+    return weights @ values
+
+
+def lstm_forward(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+) -> np.ndarray:
+    """LSTM over ``[T, D]`` returning the final hidden state ``[H]``.
+
+    Gate layout follows PyTorch: input, forget, cell, output stacked in
+    ``w_ih``/``w_hh`` of shape ``[4H, D]``/``[4H, H]``.
+    """
+    if x.ndim != 2:
+        raise TensorError(f"LSTM expects [T, D], got {x.shape}")
+    hidden_size = w_hh.shape[1]
+    h = np.zeros(hidden_size)
+    c = np.zeros(hidden_size)
+    for t in range(x.shape[0]):
+        gates = w_ih @ x[t] + b_ih + w_hh @ h + b_hh
+        i_gate = _sigmoid(gates[:hidden_size])
+        f_gate = _sigmoid(gates[hidden_size : 2 * hidden_size])
+        g_gate = np.tanh(gates[2 * hidden_size : 3 * hidden_size])
+        o_gate = _sigmoid(gates[3 * hidden_size :])
+        c = f_gate * c + i_gate * g_gate
+        h = o_gate * np.tanh(c)
+    return h
+
+
+def gru_forward(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b_ih: np.ndarray,
+    b_hh: np.ndarray,
+) -> np.ndarray:
+    """GRU over ``[T, D]`` returning the final hidden state ``[H]``.
+
+    Gate layout follows PyTorch: reset, update, new stacked in
+    ``w_ih``/``w_hh`` of shape ``[3H, D]``/``[3H, H]``.
+    """
+    if x.ndim != 2:
+        raise TensorError(f"GRU expects [T, D], got {x.shape}")
+    hidden_size = w_hh.shape[1]
+    h = np.zeros(hidden_size)
+    for t in range(x.shape[0]):
+        gi = w_ih @ x[t] + b_ih
+        gh = w_hh @ h + b_hh
+        r_gate = _sigmoid(gi[:hidden_size] + gh[:hidden_size])
+        z_gate = _sigmoid(
+            gi[hidden_size : 2 * hidden_size]
+            + gh[hidden_size : 2 * hidden_size]
+        )
+        n_gate = np.tanh(
+            gi[2 * hidden_size :] + r_gate * gh[2 * hidden_size :]
+        )
+        h = (1.0 - z_gate) * n_gate + z_gate * h
+    return h
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def basic_attention(
+    x: np.ndarray,
+    w_query: np.ndarray,
+    w_key: np.ndarray,
+    w_value: np.ndarray,
+) -> np.ndarray:
+    """Basic (non-self) attention over a flattened feature vector.
+
+    The paper notes basic attention "is a variant of full connection":
+    query/key/value projections are linear layers, followed by a scaled
+    dot-product weighting.  Input is flattened to ``[d]``; projections map
+    to ``[d']``; the output is the attention-weighted value vector.
+    """
+    flat = x.reshape(-1)
+    query = w_query @ flat
+    key = w_key @ flat
+    value = w_value @ flat
+    scale = 1.0 / np.sqrt(len(key))
+    weights = softmax(query * key * scale)
+    return weights * value

@@ -1,0 +1,569 @@
+"""Layer objects: parameters + forward pass + shape propagation.
+
+Every layer knows its output shape given an input shape, which the DL2SQL
+compiler uses to size feature-map tables and the customized cost model
+uses for its cardinality formulas (Eqs. 3–8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.tensor import functional as F
+
+Shape = tuple[int, ...]
+
+
+class Layer:
+    """Base class: a named operator with optional parameters."""
+
+    #: Short operator kind used by the DL2SQL compiler's dispatch.
+    kind = "layer"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"{self.kind}"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        """All parameter arrays, depth-first (empty for stateless layers)."""
+        return iter(())
+
+    def num_parameters(self) -> int:
+        return sum(int(p.size) for p in self.parameters())
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Conv2d(Layer):
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        *,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (in_channels * kernel_size * kernel_size))
+        self.weight = rng.normal(
+            0.0, scale, (out_channels, in_channels, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise TensorError(
+                f"{self.name}: expected {self.in_channels} channels, got {channels}"
+            )
+        out_h = F.conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.weight
+        yield self.bias
+
+
+class Deconv2d(Layer):
+    kind = "deconv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        *,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (in_channels * kernel_size * kernel_size))
+        self.weight = rng.normal(
+            0.0, scale, (in_channels, out_channels, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.deconv2d(x, self.weight, self.bias, self.stride)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise TensorError(
+                f"{self.name}: expected {self.in_channels} channels, got {channels}"
+            )
+        out_h = (height - 1) * self.stride + self.kernel_size
+        out_w = (width - 1) * self.stride + self.kernel_size
+        return (self.out_channels, out_h, out_w)
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.weight
+        yield self.bias
+
+
+class BatchNorm2d(Layer):
+    kind = "batchnorm"
+
+    def __init__(
+        self,
+        num_channels: int,
+        eps: float = 5e-5,
+        *,
+        name: str = "",
+    ) -> None:
+        super().__init__(name)
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = np.ones(num_channels)
+        self.beta = np.zeros(num_channels)
+        #: Running statistics; None means "use the input's own statistics",
+        #: matching DL2SQL's Q4 which normalizes with AVG/stddev subqueries.
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.batch_norm(
+            x, self.running_mean, self.running_var, self.gamma, self.beta, self.eps
+        )
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.gamma
+        yield self.beta
+        if self.running_mean is not None:
+            yield self.running_mean
+        if self.running_var is not None:
+            yield self.running_var
+
+
+class InstanceNorm2d(Layer):
+    kind = "instancenorm"
+
+    def __init__(self, num_channels: int, eps: float = 5e-5, *, name: str = "") -> None:
+        super().__init__(name)
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = np.ones(num_channels)
+        self.beta = np.zeros(num_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.instance_norm(x, self.gamma, self.beta, self.eps)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.gamma
+        yield self.beta
+
+
+class ReLU(Layer):
+    kind = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.relu(x)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+
+class MaxPool2d(Layer):
+    kind = "maxpool"
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, *, name: str = "") -> None:
+        super().__init__(name)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        out_h = F.conv_output_size(height, self.kernel_size, self.stride, 0)
+        out_w = F.conv_output_size(width, self.kernel_size, self.stride, 0)
+        return (channels, out_h, out_w)
+
+
+class AvgPool2d(MaxPool2d):
+    kind = "avgpool"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class Flatten(Layer):
+    kind = "flatten"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(-1)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+
+class Linear(Layer):
+    """Fully connected layer.
+
+    The paper treats full connection as "a specific CNN operator with
+    kernel size 1 and no striding"; the DL2SQL compiler exploits exactly
+    that equivalence.
+    """
+
+    kind = "linear"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, (out_features, in_features))
+        self.bias = np.zeros(out_features)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.size != self.in_features:
+            raise TensorError(
+                f"{self.name}: expected {self.in_features} inputs, got {x.size}"
+            )
+        return F.linear(x, self.weight, self.bias)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        if size != self.in_features:
+            raise TensorError(
+                f"{self.name}: expected {self.in_features} inputs, "
+                f"got shape {input_shape} ({size})"
+            )
+        return (self.out_features,)
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.weight
+        yield self.bias
+
+
+class Softmax(Layer):
+    kind = "softmax"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.softmax(x.reshape(-1))
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+
+class BasicAttention(Layer):
+    kind = "attention"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(1.0 / in_features)
+        self.w_query = rng.normal(0.0, scale, (out_features, in_features))
+        self.w_key = rng.normal(0.0, scale, (out_features, in_features))
+        self.w_value = rng.normal(0.0, scale, (out_features, in_features))
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.basic_attention(x, self.w_query, self.w_key, self.w_value)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (self.out_features,)
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.w_query
+        yield self.w_key
+        yield self.w_value
+
+
+class SelfAttention(Layer):
+    """Single-head self attention over ``[T, D]`` token sequences.
+
+    Table II marks self attention *Unsupported* by DL2SQL: the layer runs
+    in the tensor framework, and :func:`repro.core.compile_model` rejects
+    it with a CompileError citing the table.
+    """
+
+    kind = "selfattention"
+
+    def __init__(
+        self,
+        embed_dim: int,
+        head_dim: Optional[int] = None,
+        *,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        head_dim = head_dim or embed_dim
+        scale = np.sqrt(1.0 / embed_dim)
+        self.w_query = rng.normal(0.0, scale, (head_dim, embed_dim))
+        self.w_key = rng.normal(0.0, scale, (head_dim, embed_dim))
+        self.w_value = rng.normal(0.0, scale, (head_dim, embed_dim))
+        self.embed_dim = embed_dim
+        self.head_dim = head_dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.self_attention(x, self.w_query, self.w_key, self.w_value)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 2 or input_shape[1] != self.embed_dim:
+            raise TensorError(
+                f"{self.name}: expected [T, {self.embed_dim}], "
+                f"got {input_shape}"
+            )
+        return (input_shape[0], self.head_dim)
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.w_query
+        yield self.w_key
+        yield self.w_value
+
+
+class _Recurrent(Layer):
+    """Shared plumbing for the recurrent layers (Table II: Unsupported)."""
+
+    gates = 0
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(1.0 / hidden_size)
+        self.w_ih = rng.normal(
+            0.0, scale, (self.gates * hidden_size, input_size)
+        )
+        self.w_hh = rng.normal(
+            0.0, scale, (self.gates * hidden_size, hidden_size)
+        )
+        self.b_ih = np.zeros(self.gates * hidden_size)
+        self.b_hh = np.zeros(self.gates * hidden_size)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 2 or input_shape[1] != self.input_size:
+            raise TensorError(
+                f"{self.name}: expected [T, {self.input_size}], "
+                f"got {input_shape}"
+            )
+        return (self.hidden_size,)
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        yield self.w_ih
+        yield self.w_hh
+        yield self.b_ih
+        yield self.b_hh
+
+
+class LSTM(_Recurrent):
+    """LSTM returning the final hidden state (PyTorch gate layout)."""
+
+    kind = "lstm"
+    gates = 4
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.lstm_forward(x, self.w_ih, self.w_hh, self.b_ih, self.b_hh)
+
+
+class GRU(_Recurrent):
+    """GRU returning the final hidden state (PyTorch gate layout)."""
+
+    kind = "gru"
+    gates = 3
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.gru_forward(x, self.w_ih, self.w_hh, self.b_ih, self.b_hh)
+
+
+class _CompositeLayer(Layer):
+    """Shared plumbing for blocks made of sub-layers."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+
+    def sublayers(self) -> Sequence[Layer]:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[np.ndarray]:
+        for layer in self.sublayers():
+            yield from layer.parameters()
+
+
+class ResidualBlock(_CompositeLayer):
+    """A ResNet convolution block: main path + projection shortcut + ReLU.
+
+    This is the paper's "Residual Block" (its Q4/Q5 walk through exactly
+    this structure: shortcut conv+BN, main-path conv blocks, element-wise
+    add, ReLU clamp via UPDATE).
+    """
+
+    kind = "residual"
+
+    def __init__(self, main_path: Sequence[Layer], shortcut: Sequence[Layer],
+                 *, name: str = "") -> None:
+        super().__init__(name)
+        self.main_path = list(main_path)
+        self.shortcut = list(shortcut)
+
+    def sublayers(self) -> Sequence[Layer]:
+        return [*self.main_path, *self.shortcut]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = x
+        for layer in self.main_path:
+            main = layer.forward(main)
+        side = x
+        for layer in self.shortcut:
+            side = layer.forward(side)
+        if main.shape != side.shape:
+            raise TensorError(
+                f"{self.name}: main path {main.shape} != shortcut {side.shape}"
+            )
+        return F.relu(main + side)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        shape = input_shape
+        for layer in self.main_path:
+            shape = layer.output_shape(shape)
+        side = input_shape
+        for layer in self.shortcut:
+            side = layer.output_shape(side)
+        if shape != side:
+            raise TensorError(
+                f"{self.name}: main path shape {shape} != shortcut shape {side}"
+            )
+        return shape
+
+
+class IdentityBlock(ResidualBlock):
+    """A residual block whose shortcut is the identity (no projection)."""
+
+    kind = "identity"
+
+    def __init__(self, main_path: Sequence[Layer], *, name: str = "") -> None:
+        super().__init__(main_path, shortcut=[], name=name)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = x
+        for layer in self.main_path:
+            main = layer.forward(main)
+        if main.shape != x.shape:
+            raise TensorError(
+                f"{self.name}: identity block changed shape "
+                f"{x.shape} -> {main.shape}"
+            )
+        return F.relu(main + x)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        shape = input_shape
+        for layer in self.main_path:
+            shape = layer.output_shape(shape)
+        if shape != input_shape:
+            raise TensorError(
+                f"{self.name}: identity block changed shape "
+                f"{input_shape} -> {shape}"
+            )
+        return shape
+
+
+class DenseBlock(_CompositeLayer):
+    """A DenseNet-style block: each stage consumes all previous outputs,
+    concatenated along the channel axis."""
+
+    kind = "dense"
+
+    def __init__(self, stages: Sequence[Sequence[Layer]], *, name: str = "") -> None:
+        super().__init__(name)
+        self.stages = [list(stage) for stage in stages]
+
+    def sublayers(self) -> Sequence[Layer]:
+        return [layer for stage in self.stages for layer in stage]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        features = x
+        for stage in self.stages:
+            out = features
+            for layer in stage:
+                out = layer.forward(out)
+            features = np.concatenate([features, out], axis=0)
+        return features
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        for stage in self.stages:
+            shape: Shape = (channels, height, width)
+            for layer in stage:
+                shape = layer.output_shape(shape)
+            if shape[1:] != (height, width):
+                raise TensorError(
+                    f"{self.name}: dense stage changed spatial size "
+                    f"{(height, width)} -> {shape[1:]}"
+                )
+            channels += shape[0]
+        return (channels, height, width)

@@ -1,0 +1,98 @@
+"""Model composition: a named sequence of layers with shape checking."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.tensor.layers import Layer, Shape
+
+
+class Model:
+    """A sequential neural model (sufficient for the paper's CNN zoo).
+
+    Attributes:
+        name: Model identifier, also used for DL2SQL table naming.
+        input_shape: Expected ``[C, H, W]`` input.
+        layers: Ordered layers; blocks (residual/dense) count as one layer
+            here and are expanded by the DL2SQL compiler.
+        class_labels: Optional label strings for classification outputs;
+            index ``i`` of the final vector corresponds to
+            ``class_labels[i]``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Shape,
+        layers: Sequence[Layer],
+        class_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.layers = list(layers)
+        self.class_labels = list(class_labels) if class_labels else None
+        self._validate_shapes()
+
+    def _validate_shapes(self) -> None:
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        self.output_shape = shape
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run one sample through the model."""
+        if tuple(x.shape) != self.input_shape:
+            raise TensorError(
+                f"model {self.name!r} expects input {self.input_shape}, "
+                f"got {tuple(x.shape)}"
+            )
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def forward_batch(self, batch: Sequence[np.ndarray]) -> np.ndarray:
+        """Run many samples; returns ``[N, *output_shape]``."""
+        return np.stack([self.forward(sample) for sample in batch])
+
+    def predict_class(self, x: np.ndarray) -> int:
+        """Argmax class index of the final output vector."""
+        return int(np.argmax(self.forward(x)))
+
+    def predict_label(self, x: np.ndarray) -> str:
+        index = self.predict_class(x)
+        if self.class_labels is None:
+            return str(index)
+        return self.class_labels[index]
+
+    def predict_labels(self, batch: Sequence[np.ndarray]) -> list[str]:
+        return [self.predict_label(sample) for sample in batch]
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[np.ndarray]:
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def num_parameters(self) -> int:
+        return sum(int(p.size) for p in self.parameters())
+
+    def layer_shapes(self) -> list[tuple[Layer, Shape, Shape]]:
+        """(layer, input_shape, output_shape) triples along the model."""
+        triples = []
+        shape = self.input_shape
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            triples.append((layer, shape, out))
+            shape = out
+        return triples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Model({self.name!r}, in={self.input_shape}, "
+            f"out={self.output_shape}, layers={len(self.layers)}, "
+            f"params={self.num_parameters()})"
+        )

@@ -1,0 +1,193 @@
+"""Model builders: the ResNet-style depth family and the student CNN.
+
+The paper evaluates "ResNet5 to ResNet40" (depth = number of convolution
+layers) and a distilled student made of three Conv+BN+ReLU blocks.  The
+builders here produce genuinely-shaped models of those families at a
+configurable input resolution, so Table IV/VI's depth sweeps exercise real
+parameter growth rather than synthetic numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.tensor.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    IdentityBlock,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+    Softmax,
+)
+from repro.tensor.model import Model
+
+
+def conv_bn_relu(
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int = 3,
+    stride: int = 1,
+    padding: int = 1,
+    *,
+    prefix: str,
+    rng: Optional[np.random.Generator] = None,
+) -> list[Layer]:
+    """The basic Conv+BN+ReLU triple the paper's Fig. 6 is built from."""
+    return [
+        Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride,
+            padding,
+            name=f"{prefix}_conv",
+            rng=rng,
+        ),
+        BatchNorm2d(out_channels, name=f"{prefix}_bn"),
+        ReLU(name=f"{prefix}_relu"),
+    ]
+
+
+def build_student_cnn(
+    input_shape: tuple[int, int, int] = (1, 16, 16),
+    num_classes: int = 4,
+    channels: Sequence[int] = (8, 16, 16),
+    class_labels: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    name: str = "student",
+) -> Model:
+    """The distilled student: three Conv+BN+ReLU blocks + pool + FC + softmax.
+
+    This is the model behind Fig. 8/9: "a student CNN composed of three
+    Conv+BN+ReLU layers", distilled from a ResNet34-class teacher.
+    """
+    if len(channels) != 3:
+        raise TensorError("the student CNN uses exactly three blocks")
+    rng = np.random.default_rng(seed)
+    in_channels = input_shape[0]
+    layers: list[Layer] = []
+    current = in_channels
+    for block_index, out_channels in enumerate(channels, start=1):
+        stride = 2 if block_index > 1 else 1
+        layers.extend(
+            conv_bn_relu(
+                current,
+                out_channels,
+                kernel_size=3,
+                stride=stride,
+                padding=1,
+                prefix=f"block{block_index}",
+                rng=rng,
+            )
+        )
+        current = out_channels
+
+    layers.append(MaxPool2d(2, name="pool"))
+    spatial = _propagate(layers, input_shape)
+    flat = spatial[0] * spatial[1] * spatial[2]
+    layers.append(Flatten(name="flatten"))
+    layers.append(Linear(flat, num_classes, name="fc", rng=rng))
+    layers.append(Softmax(name="softmax"))
+    return Model(name, input_shape, layers, class_labels=class_labels)
+
+
+def build_resnet(
+    depth: int,
+    input_shape: tuple[int, int, int] = (1, 16, 16),
+    num_classes: int = 4,
+    base_channels: int = 16,
+    class_labels: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    name: str = "",
+) -> Model:
+    """A ResNet-style model with ``depth`` convolution layers.
+
+    Structure: one stem conv, then residual/identity blocks of two convs
+    each (an initial projection block per stage followed by identity
+    blocks), then average pooling, FC and softmax — the classic ResNet
+    recipe scaled down to the paper's 5..40 depth range.
+    """
+    if depth < 3:
+        raise TensorError(f"depth must be >= 3, got {depth}")
+    rng = np.random.default_rng(seed)
+    in_channels = input_shape[0]
+    layers: list[Layer] = [
+        Conv2d(in_channels, base_channels, 3, 1, 1, name="stem_conv", rng=rng),
+        BatchNorm2d(base_channels, name="stem_bn"),
+        ReLU(name="stem_relu"),
+    ]
+
+    remaining_convs = depth - 1
+    num_blocks = remaining_convs // 2
+    current = base_channels
+    stage_channels = base_channels
+    max_channels = base_channels * 4
+    blocks_in_stage = 0
+    for block_index in range(1, num_blocks + 1):
+        # Widen every three blocks (a new "stage" with a projection block),
+        # capped so the depth sweep grows near-linearly in parameters as
+        # the paper's Table VI does.
+        if blocks_in_stage == 3 and stage_channels < max_channels:
+            stage_channels *= 2
+            blocks_in_stage = 0
+        prefix = f"rb{block_index}"
+        if current != stage_channels:
+            main = [
+                Conv2d(current, stage_channels, 3, 1, 1,
+                       name=f"{prefix}_conv1", rng=rng),
+                BatchNorm2d(stage_channels, name=f"{prefix}_bn1"),
+                ReLU(name=f"{prefix}_relu1"),
+                Conv2d(stage_channels, stage_channels, 3, 1, 1,
+                       name=f"{prefix}_conv2", rng=rng),
+                BatchNorm2d(stage_channels, name=f"{prefix}_bn2"),
+            ]
+            shortcut = [
+                Conv2d(current, stage_channels, 1, 1, 0,
+                       name=f"{prefix}_shortcut_conv", rng=rng),
+                BatchNorm2d(stage_channels, name=f"{prefix}_shortcut_bn"),
+            ]
+            layers.append(ResidualBlock(main, shortcut, name=prefix))
+        else:
+            main = [
+                Conv2d(current, stage_channels, 3, 1, 1,
+                       name=f"{prefix}_conv1", rng=rng),
+                BatchNorm2d(stage_channels, name=f"{prefix}_bn1"),
+                ReLU(name=f"{prefix}_relu1"),
+                Conv2d(stage_channels, stage_channels, 3, 1, 1,
+                       name=f"{prefix}_conv2", rng=rng),
+                BatchNorm2d(stage_channels, name=f"{prefix}_bn2"),
+            ]
+            layers.append(IdentityBlock(main, name=prefix))
+        current = stage_channels
+        blocks_in_stage += 1
+
+    # An odd leftover conv keeps the depth count exact.
+    if remaining_convs % 2 == 1:
+        layers.extend(
+            conv_bn_relu(current, current, prefix="tail", rng=rng)
+        )
+
+    layers.append(AvgPool2d(2, name="pool"))
+    spatial = _propagate(layers, input_shape)
+    flat = spatial[0] * spatial[1] * spatial[2]
+    layers.append(Flatten(name="flatten"))
+    layers.append(Linear(flat, num_classes, name="fc", rng=rng))
+    layers.append(Softmax(name="softmax"))
+    return Model(
+        name or f"resnet{depth}", input_shape, layers, class_labels=class_labels
+    )
+
+
+def _propagate(layers: Sequence[Layer], input_shape: tuple[int, ...]) -> tuple[int, ...]:
+    shape = tuple(input_shape)
+    for layer in layers:
+        shape = layer.output_shape(shape)
+    return shape

@@ -1,0 +1,345 @@
+"""Binary model serialization — the "compilation" step of DB-UDF.
+
+The paper's loose-integration strategy traces a PyTorch model into a
+TorchScript binary that the database kernel loads.  Here models serialize
+into a self-contained, zlib-compressed binary blob:
+
+    magic | version | compressed( json-header \\0 raw parameter bytes )
+
+The header records the architecture; :func:`load_model` rebuilds layers
+and copies parameters back, so the blob is the *only* thing the DB-UDF
+strategy ships into the database — preserving the black-box property the
+paper criticizes (the optimizer cannot see inside a blob).
+
+Compression also matters for Table IV: file formats store models
+compressed, while DL2SQL's relational tables do not, which is why DL2SQL
+pays a modest storage premium.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.tensor.layers import (
+    GRU,
+    LSTM,
+    AvgPool2d,
+    BasicAttention,
+    BatchNorm2d,
+    Conv2d,
+    Deconv2d,
+    DenseBlock,
+    Flatten,
+    IdentityBlock,
+    InstanceNorm2d,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+    SelfAttention,
+    Softmax,
+)
+from repro.tensor.model import Model
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+
+def serialize_model(model: Model, compression_level: int = 6) -> bytes:
+    """Serialize a model to a compressed binary blob.
+
+    ``compression_level`` (zlib 0-9) distinguishes Table IV's two file
+    formats: DB-PyTorch ships a lightly-compressed training checkpoint,
+    DB-UDF a maximally-compressed compiled binary.
+    """
+    arrays: list[np.ndarray] = []
+    header = {
+        "name": model.name,
+        "input_shape": list(model.input_shape),
+        "class_labels": model.class_labels,
+        "layers": [_layer_spec(layer, arrays) for layer in model.layers],
+        "arrays": [
+            {"shape": list(a.shape), "dtype": str(a.dtype)} for a in arrays
+        ],
+    }
+    buffer = io.BytesIO()
+    buffer.write(json.dumps(header).encode("utf-8"))
+    buffer.write(b"\0")
+    for array in arrays:
+        buffer.write(np.ascontiguousarray(array).tobytes())
+    payload = zlib.compress(buffer.getvalue(), level=compression_level)
+    return MAGIC + VERSION.to_bytes(2, "little") + payload
+
+
+def deserialize_model(blob: bytes) -> Model:
+    """Rebuild a model from :func:`serialize_model` output."""
+    if blob[:4] != MAGIC:
+        raise SerializationError("not a serialized model (bad magic)")
+    version = int.from_bytes(blob[4:6], "little")
+    if version != VERSION:
+        raise SerializationError(f"unsupported model format version {version}")
+    try:
+        raw = zlib.decompress(blob[6:])
+    except zlib.error as exc:
+        raise SerializationError(f"corrupt model blob: {exc}") from exc
+    separator = raw.index(b"\0")
+    header = json.loads(raw[:separator].decode("utf-8"))
+    cursor = separator + 1
+
+    arrays: list[np.ndarray] = []
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        array = np.frombuffer(raw[cursor : cursor + nbytes], dtype=dtype)
+        arrays.append(array.reshape(shape).copy())
+        cursor += nbytes
+
+    consumed = _Counter()
+    layers = [_build_layer(spec, arrays, consumed) for spec in header["layers"]]
+    return Model(
+        header["name"],
+        tuple(header["input_shape"]),
+        layers,
+        class_labels=header["class_labels"],
+    )
+
+
+def save_model(model: Model, path: str) -> int:
+    """Write the blob to disk; returns the byte size (Table IV input)."""
+    blob = serialize_model(model)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_model(path: str) -> Model:
+    with open(path, "rb") as handle:
+        return deserialize_model(handle.read())
+
+
+def serialized_size(model: Model, compression_level: int = 6) -> int:
+    """Compressed blob size in bytes without touching disk."""
+    return len(serialize_model(model, compression_level))
+
+
+# ----------------------------------------------------------------------
+# Layer <-> spec
+# ----------------------------------------------------------------------
+class _Counter:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def next(self) -> int:
+        self.value += 1
+        return self.value - 1
+
+
+def _store(array: np.ndarray, arrays: list[np.ndarray]) -> int:
+    arrays.append(array)
+    return len(arrays) - 1
+
+
+def _layer_spec(layer: Layer, arrays: list[np.ndarray]) -> dict[str, Any]:
+    spec: dict[str, Any] = {"kind": layer.kind, "name": layer.name}
+    if isinstance(layer, Conv2d):
+        spec.update(
+            in_channels=layer.in_channels,
+            out_channels=layer.out_channels,
+            kernel_size=layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+            weight=_store(layer.weight, arrays),
+            bias=_store(layer.bias, arrays),
+        )
+    elif isinstance(layer, Deconv2d):
+        spec.update(
+            in_channels=layer.in_channels,
+            out_channels=layer.out_channels,
+            kernel_size=layer.kernel_size,
+            stride=layer.stride,
+            weight=_store(layer.weight, arrays),
+            bias=_store(layer.bias, arrays),
+        )
+    elif isinstance(layer, BatchNorm2d):
+        spec.update(
+            num_channels=layer.num_channels,
+            eps=layer.eps,
+            gamma=_store(layer.gamma, arrays),
+            beta=_store(layer.beta, arrays),
+            running_mean=(
+                _store(layer.running_mean, arrays)
+                if layer.running_mean is not None
+                else None
+            ),
+            running_var=(
+                _store(layer.running_var, arrays)
+                if layer.running_var is not None
+                else None
+            ),
+        )
+    elif isinstance(layer, InstanceNorm2d):
+        spec.update(
+            num_channels=layer.num_channels,
+            eps=layer.eps,
+            gamma=_store(layer.gamma, arrays),
+            beta=_store(layer.beta, arrays),
+        )
+    elif isinstance(layer, (MaxPool2d, AvgPool2d)):
+        spec.update(kernel_size=layer.kernel_size, stride=layer.stride)
+    elif isinstance(layer, Linear):
+        spec.update(
+            in_features=layer.in_features,
+            out_features=layer.out_features,
+            weight=_store(layer.weight, arrays),
+            bias=_store(layer.bias, arrays),
+        )
+    elif isinstance(layer, BasicAttention):
+        spec.update(
+            in_features=layer.in_features,
+            out_features=layer.out_features,
+            w_query=_store(layer.w_query, arrays),
+            w_key=_store(layer.w_key, arrays),
+            w_value=_store(layer.w_value, arrays),
+        )
+    elif isinstance(layer, SelfAttention):
+        spec.update(
+            embed_dim=layer.embed_dim,
+            head_dim=layer.head_dim,
+            w_query=_store(layer.w_query, arrays),
+            w_key=_store(layer.w_key, arrays),
+            w_value=_store(layer.w_value, arrays),
+        )
+    elif isinstance(layer, (LSTM, GRU)):
+        spec.update(
+            input_size=layer.input_size,
+            hidden_size=layer.hidden_size,
+            w_ih=_store(layer.w_ih, arrays),
+            w_hh=_store(layer.w_hh, arrays),
+            b_ih=_store(layer.b_ih, arrays),
+            b_hh=_store(layer.b_hh, arrays),
+        )
+    elif isinstance(layer, IdentityBlock):
+        spec.update(
+            main_path=[_layer_spec(sub, arrays) for sub in layer.main_path],
+        )
+    elif isinstance(layer, ResidualBlock):
+        spec.update(
+            main_path=[_layer_spec(sub, arrays) for sub in layer.main_path],
+            shortcut=[_layer_spec(sub, arrays) for sub in layer.shortcut],
+        )
+    elif isinstance(layer, DenseBlock):
+        spec.update(
+            stages=[
+                [_layer_spec(sub, arrays) for sub in stage]
+                for stage in layer.stages
+            ],
+        )
+    elif isinstance(layer, (ReLU, Flatten, Softmax)):
+        pass
+    else:
+        raise SerializationError(f"cannot serialize layer kind {layer.kind!r}")
+    return spec
+
+
+def _build_layer(
+    spec: dict[str, Any], arrays: list[np.ndarray], counter: _Counter
+) -> Layer:
+    kind = spec["kind"]
+    name = spec["name"]
+    if kind == "conv":
+        layer = Conv2d(
+            spec["in_channels"],
+            spec["out_channels"],
+            spec["kernel_size"],
+            spec["stride"],
+            spec["padding"],
+            name=name,
+        )
+        layer.weight = arrays[spec["weight"]]
+        layer.bias = arrays[spec["bias"]]
+        return layer
+    if kind == "deconv":
+        layer = Deconv2d(
+            spec["in_channels"],
+            spec["out_channels"],
+            spec["kernel_size"],
+            spec["stride"],
+            name=name,
+        )
+        layer.weight = arrays[spec["weight"]]
+        layer.bias = arrays[spec["bias"]]
+        return layer
+    if kind == "batchnorm":
+        layer = BatchNorm2d(spec["num_channels"], spec["eps"], name=name)
+        layer.gamma = arrays[spec["gamma"]]
+        layer.beta = arrays[spec["beta"]]
+        if spec["running_mean"] is not None:
+            layer.running_mean = arrays[spec["running_mean"]]
+        if spec["running_var"] is not None:
+            layer.running_var = arrays[spec["running_var"]]
+        return layer
+    if kind == "instancenorm":
+        layer = InstanceNorm2d(spec["num_channels"], spec["eps"], name=name)
+        layer.gamma = arrays[spec["gamma"]]
+        layer.beta = arrays[spec["beta"]]
+        return layer
+    if kind == "relu":
+        return ReLU(name=name)
+    if kind == "maxpool":
+        return MaxPool2d(spec["kernel_size"], spec["stride"], name=name)
+    if kind == "avgpool":
+        return AvgPool2d(spec["kernel_size"], spec["stride"], name=name)
+    if kind == "flatten":
+        return Flatten(name=name)
+    if kind == "softmax":
+        return Softmax(name=name)
+    if kind == "linear":
+        layer = Linear(spec["in_features"], spec["out_features"], name=name)
+        layer.weight = arrays[spec["weight"]]
+        layer.bias = arrays[spec["bias"]]
+        return layer
+    if kind == "attention":
+        layer = BasicAttention(
+            spec["in_features"], spec["out_features"], name=name
+        )
+        layer.w_query = arrays[spec["w_query"]]
+        layer.w_key = arrays[spec["w_key"]]
+        layer.w_value = arrays[spec["w_value"]]
+        return layer
+    if kind == "selfattention":
+        layer = SelfAttention(spec["embed_dim"], spec["head_dim"], name=name)
+        layer.w_query = arrays[spec["w_query"]]
+        layer.w_key = arrays[spec["w_key"]]
+        layer.w_value = arrays[spec["w_value"]]
+        return layer
+    if kind in ("lstm", "gru"):
+        cls = LSTM if kind == "lstm" else GRU
+        layer = cls(spec["input_size"], spec["hidden_size"], name=name)
+        layer.w_ih = arrays[spec["w_ih"]]
+        layer.w_hh = arrays[spec["w_hh"]]
+        layer.b_ih = arrays[spec["b_ih"]]
+        layer.b_hh = arrays[spec["b_hh"]]
+        return layer
+    if kind == "identity":
+        main = [_build_layer(s, arrays, counter) for s in spec["main_path"]]
+        return IdentityBlock(main, name=name)
+    if kind == "residual":
+        main = [_build_layer(s, arrays, counter) for s in spec["main_path"]]
+        shortcut = [_build_layer(s, arrays, counter) for s in spec["shortcut"]]
+        return ResidualBlock(main, shortcut, name=name)
+    if kind == "dense":
+        stages = [
+            [_build_layer(s, arrays, counter) for s in stage]
+            for stage in spec["stages"]
+        ]
+        return DenseBlock(stages, name=name)
+    raise SerializationError(f"unknown layer kind {kind!r} in model blob")

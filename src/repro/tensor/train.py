@@ -1,0 +1,132 @@
+"""Calibration and distillation utilities.
+
+The paper's hint rules need, per nUDF, a histogram ``H(c_i)`` counting
+how many training samples the model predicts as each class (Eq. 10); the
+empirical class probabilities become the nUDF's selectivity estimates.
+:func:`calibrate_class_histogram` computes exactly that.
+
+The paper also distills its ResNet34 teachers into 3-block students.  Full
+gradient training is out of scope for a forward-only framework, so
+:func:`distill_linear_head` implements the honest lightweight variant:
+the student's convolutional features stay fixed and its final linear head
+is fit to the *teacher's logits* by ridge regression — logit-matching
+distillation restricted to the last layer.  This genuinely transfers the
+teacher's decision surface into the student head (verified by the
+agreement metric it returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.tensor.layers import Linear, Softmax
+from repro.tensor.model import Model
+
+
+def calibrate_class_histogram(
+    model: Model, samples: Sequence[np.ndarray]
+) -> dict[int, int]:
+    """Histogram of predicted classes over ``samples`` (Eq. 10's H(c_i))."""
+    histogram: dict[int, int] = {}
+    for sample in samples:
+        predicted = model.predict_class(sample)
+        histogram[predicted] = histogram.get(predicted, 0) + 1
+    num_classes = model.output_shape[0]
+    for class_index in range(num_classes):
+        histogram.setdefault(class_index, 0)
+    return histogram
+
+
+def class_probabilities(histogram: dict[int, int]) -> dict[int, float]:
+    """Eq. 10: ``Pr(c_i) = H(c_i) / sum_j H(c_j)``."""
+    total = sum(histogram.values())
+    if total == 0:
+        uniform = 1.0 / max(len(histogram), 1)
+        return {c: uniform for c in histogram}
+    return {c: count / total for c, count in histogram.items()}
+
+
+@dataclass
+class DistillationReport:
+    """Outcome of a distillation run."""
+
+    agreement: float
+    num_samples: int
+    teacher_name: str
+    student_name: str
+
+
+def distill_linear_head(
+    student: Model,
+    teacher: Model,
+    samples: Sequence[np.ndarray],
+    ridge: float = 1e-3,
+) -> DistillationReport:
+    """Fit the student's final Linear layer to the teacher's logits.
+
+    The student must end in ``Linear[, Softmax]``.  Features are the
+    student's activations entering that Linear layer; targets are the
+    teacher's pre-softmax logits.  Solved in closed form:
+    ``W = (F^T F + λI)^{-1} F^T L``.
+    """
+    head_index, head = _final_linear(student)
+    teacher_head_index, _ = _final_linear(teacher)
+
+    features = []
+    teacher_logits = []
+    for sample in samples:
+        out = np.asarray(sample, dtype=np.float64)
+        for layer in student.layers[:head_index]:
+            out = layer.forward(out)
+        features.append(out.reshape(-1))
+
+        t_out = np.asarray(sample, dtype=np.float64)
+        for layer in teacher.layers[: teacher_head_index + 1]:
+            t_out = layer.forward(t_out)
+        teacher_logits.append(t_out.reshape(-1))
+
+    feature_matrix = np.stack(features)          # [N, d]
+    logit_matrix = np.stack(teacher_logits)      # [N, k]
+    if logit_matrix.shape[1] != head.out_features:
+        raise TensorError(
+            f"teacher produces {logit_matrix.shape[1]} classes, student head "
+            f"has {head.out_features}"
+        )
+
+    # Ridge regression with a bias term.
+    augmented = np.hstack(
+        [feature_matrix, np.ones((feature_matrix.shape[0], 1))]
+    )
+    gram = augmented.T @ augmented
+    gram += ridge * np.eye(gram.shape[0])
+    solution = np.linalg.solve(gram, augmented.T @ logit_matrix)  # [d+1, k]
+    head.weight = solution[:-1].T.copy()
+    head.bias = solution[-1].copy()
+
+    agree = sum(
+        1
+        for sample in samples
+        if student.predict_class(sample) == teacher.predict_class(sample)
+    )
+    return DistillationReport(
+        agreement=agree / max(len(samples), 1),
+        num_samples=len(samples),
+        teacher_name=teacher.name,
+        student_name=student.name,
+    )
+
+
+def _final_linear(model: Model) -> tuple[int, Linear]:
+    for index in range(len(model.layers) - 1, -1, -1):
+        layer = model.layers[index]
+        if isinstance(layer, Linear):
+            return index, layer
+        if not isinstance(layer, Softmax):
+            break
+    raise TensorError(
+        f"model {model.name!r} does not end in Linear[, Softmax]"
+    )

@@ -1,0 +1,25 @@
+"""The Alibaba IoT textile-printing workload substitute.
+
+Seeded synthetic versions of the paper's five tables (video, fabric,
+client, order, device in the 100:10:1:10:1 ratio), a 20-task model
+repository (teacher/student pairs with real distillation and class
+histograms), Table I's four query templates with preset selectivity, and
+the benchmark runner that averages cost breakdowns over query mixes.
+"""
+
+from repro.workload.dataset import DatasetConfig, IoTDataset, generate_dataset
+from repro.workload.models_repo import ModelRepository, build_repository, build_task
+from repro.workload.queries import QueryGenerator
+from repro.workload.benchmark import QueryBenchmark, StrategySummary
+
+__all__ = [
+    "DatasetConfig",
+    "IoTDataset",
+    "ModelRepository",
+    "QueryBenchmark",
+    "QueryGenerator",
+    "StrategySummary",
+    "build_repository",
+    "build_task",
+    "generate_dataset",
+]

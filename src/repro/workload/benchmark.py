@@ -1,0 +1,120 @@
+"""Benchmark runner: query mixes, averaged cost breakdowns per strategy.
+
+This is the measurement harness behind Fig. 8 and Tables V/VI: it binds a
+random task per nUDF role (the paper integrates models "on the fly" per
+query), executes each query under each strategy, and averages the
+loading / inference / relational breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.strategies.base import (
+    CollaborativeQuery,
+    CostBreakdown,
+    ModelTask,
+    Strategy,
+)
+from repro.workload.dataset import IoTDataset
+from repro.workload.models_repo import ModelRepository
+from repro.workload.queries import QueryGenerator
+
+
+@dataclass
+class StrategySummary:
+    """Averaged results of one strategy over a query mix."""
+
+    strategy_name: str
+    profile_name: str
+    queries: int = 0
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+    inferred_rows: int = 0
+    result_rows: int = 0
+
+    def average(self) -> CostBreakdown:
+        if self.queries == 0:
+            return CostBreakdown()
+        return self.breakdown.scaled(1.0 / self.queries)
+
+
+@dataclass
+class QueryBenchmark:
+    """Runs query mixes against a dataset + repository."""
+
+    dataset: IoTDataset
+    repository: ModelRepository
+    seed: int = 0
+
+    def fresh_database(self) -> Database:
+        db = Database()
+        self.dataset.install(db)
+        return db
+
+    # ------------------------------------------------------------------
+    def run_strategy(
+        self,
+        strategy: Strategy,
+        queries: Sequence[CollaborativeQuery],
+        *,
+        db: Optional[Database] = None,
+        rebind_per_query: bool = True,
+    ) -> StrategySummary:
+        """Execute all queries under one strategy.
+
+        ``rebind_per_query`` mirrors the paper: the model for a query is
+        integrated on the fly, so its loading cost is paid per query.
+        When False, each role binds once and loading amortizes to zero
+        for subsequent queries.
+        """
+        rng = np.random.default_rng(self.seed)
+        db = db or self.fresh_database()
+        summary = StrategySummary(
+            strategy_name=strategy.name, profile_name=strategy.profile.name
+        )
+        persistent: dict[str, ModelTask] = {}
+        for query in queries:
+            tasks: dict[str, ModelTask] = {}
+            bind_seconds = 0.0
+            for role in query.udf_roles:
+                if not rebind_per_query and role in persistent:
+                    tasks[role] = persistent[role]
+                    continue
+                task = self.repository.pick(role, rng)
+                bind_seconds += strategy.bind_task(db, task)
+                tasks[role] = task
+                persistent[role] = task
+            result = strategy.run(db, query, tasks)
+            # Model integration ("on the fly", per query when rebinding)
+            # is loading cost, scaled as database-kernel work.
+            result.breakdown.loading += strategy.scale_db_seconds(bind_seconds)
+            summary.queries += 1
+            summary.breakdown = summary.breakdown + result.breakdown
+            summary.inferred_rows += int(result.details.get("inferred_rows", 0))
+            summary.result_rows += len(result.rows)
+            if rebind_per_query:
+                for task in tasks.values():
+                    strategy.unbind_task(db, task)
+        return summary
+
+    # ------------------------------------------------------------------
+    def run_mix(
+        self,
+        strategies: Sequence[Strategy],
+        *,
+        selectivity: float,
+        queries_per_type: int = 1,
+    ) -> list[StrategySummary]:
+        """The Fig. 8 experiment: a mixed query benchmark per strategy."""
+        generator = QueryGenerator(self.dataset)
+        queries = generator.mixed_benchmark(
+            selectivity, queries_per_type=queries_per_type, seed=self.seed
+        )
+        summaries = []
+        for strategy in strategies:
+            summaries.append(self.run_strategy(strategy, queries))
+        return summaries

@@ -1,0 +1,271 @@
+"""Synthetic generator for the textile-printing IoT dataset.
+
+The paper's testbed: five tables — video (surveillance keyframes), fabric
+(pattern + printing transactions), client, order, device (sensor data) —
+in a 100:10:1:10:1 size ratio, ~100M tuples total, with videos resized to
+224×224×3.  This generator reproduces the *structure* at configurable
+scale: keyframes are small class-conditioned arrays (a per-class base
+pattern plus Gaussian noise) so trained models produce non-uniform class
+histograms, and the numeric/date columns are uniform so the query
+generator can dial predicate selectivity precisely.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.engine.database import Database
+from repro.storage.table import Table
+
+#: The paper's table-size ratio video:fabric:client:order:device.
+SIZE_RATIO = (100, 10, 1, 10, 1)
+
+#: Pattern labels used by classification tasks; index 0 is the paper's
+#: running example.
+PATTERN_LABELS = (
+    "Floral Pattern",
+    "Striped Pattern",
+    "Checked Pattern",
+    "Solid Pattern",
+)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Knobs for one dataset instance."""
+
+    #: Base unit; table sizes are ``SIZE_RATIO * scale``.
+    scale: int = 4
+    seed: int = 42
+    keyframe_shape: tuple[int, int, int] = (1, 12, 12)
+    num_classes: int = 4
+    #: Dirichlet-ish skew of true keyframe classes (non-uniform histograms).
+    class_weights: tuple[float, ...] = (0.55, 0.25, 0.12, 0.08)
+    #: Pixel noise added on top of each class's base pattern.
+    noise_sigma: float = 0.6
+    #: Date span covered by printdate/date columns.
+    start_date: str = "2021-01-01"
+    span_days: int = 365
+
+    def table_sizes(self) -> dict[str, int]:
+        video, fabric, client, orders, device = (
+            r * self.scale for r in SIZE_RATIO
+        )
+        return {
+            "video": video,
+            "fabric": fabric,
+            "client": client,
+            "orders": orders,
+            "device": device,
+        }
+
+
+@dataclass
+class IoTDataset:
+    """Generated tables plus the metadata the query generator needs."""
+
+    config: DatasetConfig
+    tables: dict[str, Table]
+    #: Per-class base patterns the keyframes were generated from.
+    class_patterns: np.ndarray
+    #: True class of every video row (for accuracy checks in tests).
+    video_classes: np.ndarray
+    start_ordinal: int = 0
+    span_days: int = 365
+
+    def install(self, db: Database) -> None:
+        """Register all tables and build join-key indexes.
+
+        Each database gets its own :class:`Table` wrapper (columns are
+        shared copy-on-write), so an UPDATE in one database never leaks
+        into another installed from the same dataset.
+        """
+        for table in self.tables.values():
+            db.register_table(Table(table.name, table.columns), replace=True)
+        db.catalog.create_index("fabric", "transID")
+        db.catalog.create_index("video", "transID")
+        db.catalog.create_index("video", "videoID")
+        db.catalog.create_index("orders", "transID")
+
+    def keyframes(self) -> list[np.ndarray]:
+        return list(self.tables["video"].column("keyframe").data)
+
+    def sample_keyframes(self, count: int, seed: int = 0) -> list[np.ndarray]:
+        """Fresh keyframes from the same distribution (calibration sets)."""
+        rng = np.random.default_rng(self.config.seed + 1000 + seed)
+        classes = rng.choice(
+            self.config.num_classes,
+            size=count,
+            p=_normalized(self.config.class_weights, self.config.num_classes),
+        )
+        return [
+            _keyframe(self.class_patterns, c, rng, self.config.noise_sigma)
+            for c in classes
+        ]
+
+    def date_bounds_for_selectivity(self, fraction: float) -> tuple[str, str]:
+        """[lo, hi) date strings selecting ~``fraction`` of uniform dates."""
+        if not 0.0 < fraction <= 1.0:
+            raise WorkloadError(f"selectivity fraction {fraction} out of (0,1]")
+        days = max(1, round(self.span_days * fraction))
+        lo = datetime.date.fromordinal(self.start_ordinal)
+        hi = datetime.date.fromordinal(self.start_ordinal + days)
+        return lo.isoformat(), hi.isoformat()
+
+
+def generate_dataset(config: Optional[DatasetConfig] = None) -> IoTDataset:
+    """Build a fully-populated, seeded dataset."""
+    config = config or DatasetConfig()
+    rng = np.random.default_rng(config.seed)
+    sizes = config.table_sizes()
+    start_ordinal = datetime.date.fromisoformat(config.start_date).toordinal()
+
+    channels, height, width = config.keyframe_shape
+    class_patterns = rng.normal(
+        0.0, 1.0, (config.num_classes, channels, height, width)
+    )
+
+    # -- fabric ---------------------------------------------------------
+    n_fabric = sizes["fabric"]
+    pattern_ids = rng.integers(0, len(PATTERN_LABELS), n_fabric)
+    fabric = Table.from_dict(
+        "fabric",
+        {
+            "transID": np.arange(n_fabric, dtype=np.int64),
+            "patternID": pattern_ids.astype(np.int64),
+            "pattern": [PATTERN_LABELS[i] for i in pattern_ids],
+            "meter": rng.uniform(10.0, 500.0, n_fabric),
+            "humidity": rng.uniform(0.0, 100.0, n_fabric),
+            "temperature": rng.uniform(0.0, 50.0, n_fabric),
+            "printdate": (
+                start_ordinal + rng.integers(0, config.span_days, n_fabric)
+            ).astype(np.int64),
+        },
+    )
+    fabric.replace_column(
+        "printdate", fabric.column("printdate").data
+    )  # keep int64 ordinals
+    fabric = _with_date_column(fabric, "printdate")
+
+    # -- video ----------------------------------------------------------
+    n_video = sizes["video"]
+    weights = _normalized(config.class_weights, config.num_classes)
+    video_classes = rng.choice(config.num_classes, size=n_video, p=weights)
+    keyframes = np.empty(n_video, dtype=object)
+    for i, cls in enumerate(video_classes):
+        keyframes[i] = _keyframe(class_patterns, cls, rng, config.noise_sigma)
+    video = Table.from_dict(
+        "video",
+        {
+            "videoID": np.arange(n_video, dtype=np.int64),
+            "transID": rng.integers(0, n_fabric, n_video).astype(np.int64),
+            "duration": rng.uniform(5.0, 120.0, n_video),
+            "keyframe": list(keyframes),
+        },
+    )
+    video = _with_date_column(
+        video,
+        "date",
+        (start_ordinal + rng.integers(0, config.span_days, n_video)).astype(
+            np.int64
+        ),
+    )
+
+    # -- client ---------------------------------------------------------
+    n_client = sizes["client"]
+    client = Table.from_dict(
+        "client",
+        {
+            "clientID": np.arange(n_client, dtype=np.int64),
+            "name": [f"client_{i}" for i in range(n_client)],
+            "region": [
+                ("east", "west", "north", "south")[i % 4]
+                for i in range(n_client)
+            ],
+        },
+    )
+
+    # -- orders ----------------------------------------------------------
+    n_orders = sizes["orders"]
+    orders = Table.from_dict(
+        "orders",
+        {
+            "orderID": np.arange(n_orders, dtype=np.int64),
+            "clientID": rng.integers(0, n_client, n_orders).astype(np.int64),
+            "transID": rng.integers(0, n_fabric, n_orders).astype(np.int64),
+            "amount": rng.uniform(100.0, 10000.0, n_orders),
+        },
+    )
+    orders = _with_date_column(
+        orders,
+        "orderdate",
+        (start_ordinal + rng.integers(0, config.span_days, n_orders)).astype(
+            np.int64
+        ),
+    )
+
+    # -- device ----------------------------------------------------------
+    n_device = sizes["device"]
+    device = Table.from_dict(
+        "device",
+        {
+            "deviceID": np.arange(n_device, dtype=np.int64),
+            "transID": rng.integers(0, n_fabric, n_device).astype(np.int64),
+            "temperature": rng.uniform(0.0, 50.0, n_device),
+            "humidity": rng.uniform(0.0, 100.0, n_device),
+        },
+    )
+
+    return IoTDataset(
+        config=config,
+        tables={
+            "video": video,
+            "fabric": fabric,
+            "client": client,
+            "orders": orders,
+            "device": device,
+        },
+        class_patterns=class_patterns,
+        video_classes=video_classes,
+        start_ordinal=start_ordinal,
+        span_days=config.span_days,
+    )
+
+
+def _keyframe(
+    patterns: np.ndarray, cls: int, rng: np.random.Generator, sigma: float
+) -> np.ndarray:
+    return patterns[cls] + rng.normal(0.0, sigma, patterns[cls].shape)
+
+
+def _normalized(weights: tuple[float, ...], num_classes: int) -> np.ndarray:
+    values = np.asarray(weights[:num_classes], dtype=np.float64)
+    if len(values) < num_classes:
+        values = np.concatenate(
+            [values, np.full(num_classes - len(values), values.min())]
+        )
+    return values / values.sum()
+
+
+def _with_date_column(
+    table: Table, name: str, ordinals: Optional[np.ndarray] = None
+) -> Table:
+    """Re-type an int64 ordinal column as a DATE column."""
+    from repro.storage.column import Column
+    from repro.storage.schema import DataType
+
+    columns = []
+    for column in table.columns:
+        if column.name == name:
+            data = ordinals if ordinals is not None else column.data
+            columns.append(Column(name, DataType.DATE, data.astype(np.int64)))
+        else:
+            columns.append(column)
+    if ordinals is not None and not table.has_column(name):
+        columns.append(Column(name, DataType.DATE, ordinals.astype(np.int64)))
+    return Table(table.name, columns)

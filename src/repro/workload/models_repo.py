@@ -1,0 +1,140 @@
+"""The model repository: 20 tasks on a ResNet backbone, distilled students.
+
+The paper trains 20 neural networks — defect detection, clothes
+classification, textile type classification, pattern recognition — on a
+ResNet34 backbone, then distills each into a 3-block Conv+BN+ReLU student
+for edge inference.  Here each task gets:
+
+* a ResNet teacher (depth configurable; the paper's depth sweep swaps
+  deeper teachers in directly),
+* a student distilled from the teacher by logit-matching on calibration
+  keyframes (:func:`repro.tensor.train.distill_linear_head`),
+* the class histogram over calibration samples (Eq. 10's H),
+* a serialized blob (DB-UDF's compiled binary), and
+* a DL2SQL compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.core.compiler import PreJoin, compile_model
+from repro.strategies.base import ModelTask
+from repro.tensor.model import Model
+from repro.tensor.resnet import build_resnet, build_student_cnn
+from repro.tensor.serialize import serialize_model
+from repro.tensor.train import calibrate_class_histogram, distill_linear_head
+from repro.workload.dataset import IoTDataset, PATTERN_LABELS
+
+#: The nUDF roles collaborative queries reference, cycled across tasks.
+ROLES = ("detect", "classify", "recog", "type")
+
+#: Labels per role; detect is boolean ("Not Found"/"Defect").
+ROLE_LABELS: dict[str, tuple[str, ...]] = {
+    "detect": ("Not Found", "Defect"),
+    "classify": PATTERN_LABELS,
+    "recog": PATTERN_LABELS,
+    "type": ("Cotton", "Silk", "Linen", "Wool"),
+}
+
+
+def build_task(
+    dataset: IoTDataset,
+    role: str,
+    *,
+    task_index: int = 0,
+    teacher_depth: int = 8,
+    calibration_samples: int = 64,
+    prejoin: PreJoin = PreJoin.NONE,
+    student_channels: Sequence[int] = (6, 8, 8),
+) -> ModelTask:
+    """Build one task end to end: teacher, distilled student, histogram,
+    compiled blob + DL2SQL program."""
+    if role not in ROLE_LABELS:
+        raise WorkloadError(f"unknown task role {role!r}; have {list(ROLE_LABELS)}")
+    labels = list(ROLE_LABELS[role])
+    num_classes = len(labels)
+    input_shape = dataset.config.keyframe_shape
+    seed = 100 + task_index
+
+    teacher = build_resnet(
+        teacher_depth,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        seed=seed,
+        name=f"{role}{task_index}_teacher",
+        class_labels=labels,
+    )
+    student = build_student_cnn(
+        input_shape=input_shape,
+        num_classes=num_classes,
+        channels=tuple(student_channels),
+        class_labels=labels,
+        seed=seed,
+        name=f"{role}{task_index}_student",
+    )
+
+    samples = dataset.sample_keyframes(calibration_samples, seed=task_index)
+    distill_linear_head(student, teacher, samples)
+    histogram = calibrate_class_histogram(student, samples)
+
+    return ModelTask(
+        name=f"{role}_{task_index}",
+        role=role,
+        student=student,
+        teacher=teacher,
+        class_labels=labels,
+        histogram=histogram,
+        blob=serialize_model(student),
+        compiled=compile_model(student, prejoin=prejoin),
+    )
+
+
+@dataclass
+class ModelRepository:
+    """A collection of tasks addressable by role."""
+
+    tasks: list[ModelTask] = field(default_factory=list)
+
+    def by_role(self, role: str) -> list[ModelTask]:
+        return [t for t in self.tasks if t.role == role]
+
+    def pick(self, role: str, rng: Optional[np.random.Generator] = None) -> ModelTask:
+        """A random task of the requested role (the paper's benchmark picks
+        a random DL task per query)."""
+        candidates = self.by_role(role)
+        if not candidates:
+            raise WorkloadError(f"repository has no task with role {role!r}")
+        if rng is None or len(candidates) == 1:
+            return candidates[0]
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def build_repository(
+    dataset: IoTDataset,
+    *,
+    num_tasks: int = 20,
+    teacher_depth: int = 8,
+    calibration_samples: int = 64,
+    prejoin: PreJoin = PreJoin.NONE,
+) -> ModelRepository:
+    """Build the paper's task repository (size configurable for tests)."""
+    tasks = [
+        build_task(
+            dataset,
+            ROLES[i % len(ROLES)],
+            task_index=i,
+            teacher_depth=teacher_depth,
+            calibration_samples=calibration_samples,
+            prejoin=prejoin,
+        )
+        for i in range(num_tasks)
+    ]
+    return ModelRepository(tasks=tasks)

@@ -1,0 +1,197 @@
+"""Table I's four collaborative-query templates with preset selectivity.
+
+The paper generates 100 queries per type "with a preset selectivity on the
+SQL predicates".  Dates in this dataset are uniform over a year, so the
+date-window width controls selectivity exactly; Type 3 splits its target
+across the date window and the humidity/temperature thresholds.
+
+One deliberate deviation: the paper's printed Type 1 example has no join
+between FABRIC and Video (the two halves are fully independent), which
+would make the result a cross product; like the other three templates we
+join on ``transID`` and keep Type 1's defining property — ``Q_db`` and
+``Q_learning`` filter *different tables* and neither consumes the other's
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.strategies.base import CollaborativeQuery, QueryType
+from repro.workload.dataset import IoTDataset, PATTERN_LABELS
+
+
+@dataclass
+class QueryGenerator:
+    """Builds collaborative queries against one generated dataset."""
+
+    dataset: IoTDataset
+
+    # ------------------------------------------------------------------
+    def make_query(
+        self,
+        query_type: QueryType,
+        selectivity: float,
+        *,
+        classify_label: str = PATTERN_LABELS[0],
+        rng: Optional[np.random.Generator] = None,
+    ) -> CollaborativeQuery:
+        """One query of the requested type with the requested accumulative
+        relational selectivity (fraction, e.g. 0.001 for 0.1%)."""
+        if query_type is QueryType.INDEPENDENT:
+            return self._type1(selectivity, classify_label)
+        if query_type is QueryType.DB_DEPENDS_ON_LEARNING:
+            return self._type2(selectivity)
+        if query_type is QueryType.LEARNING_DEPENDS_ON_DB:
+            return self._type3(selectivity)
+        if query_type is QueryType.INTERDEPENDENT:
+            return self._type4(selectivity)
+        raise WorkloadError(f"unknown query type {query_type!r}")
+
+    def mixed_benchmark(
+        self,
+        selectivity: float,
+        queries_per_type: int = 1,
+        seed: int = 0,
+    ) -> list[CollaborativeQuery]:
+        """The paper's mixed benchmark: N queries of each type."""
+        rng = np.random.default_rng(seed)
+        queries: list[CollaborativeQuery] = []
+        for _ in range(queries_per_type):
+            label = PATTERN_LABELS[int(rng.integers(0, len(PATTERN_LABELS)))]
+            for query_type in QueryType:
+                queries.append(
+                    self.make_query(
+                        query_type, selectivity, classify_label=label, rng=rng
+                    )
+                )
+        return queries
+
+    # ------------------------------------------------------------------
+    def _dates(self, fraction: float) -> tuple[str, str]:
+        return self.dataset.date_bounds_for_selectivity(fraction)
+
+    def _type1(self, selectivity: float, label: str) -> CollaborativeQuery:
+        lo, hi = self._dates(selectivity)
+        sql = (
+            "SELECT sum(F.meter) "
+            "FROM fabric F, video V "
+            f"WHERE F.printdate >= '{lo}' AND F.printdate < '{hi}' "
+            "AND F.transID = V.transID "
+            f"AND V.date >= '{lo}' AND V.date < '{hi}' "
+            f"AND nUDF_classify(V.keyframe) = '{label}'"
+        )
+        return CollaborativeQuery(
+            sql=sql,
+            query_type=QueryType.INDEPENDENT,
+            description=f"total printed meters of '{label}' videos",
+            udf_roles=("classify",),
+        )
+
+    def _type2(self, selectivity: float) -> CollaborativeQuery:
+        lo, hi = self._dates(selectivity)
+        sql = (
+            "SELECT F.patternID, "
+            "count(nUDF_detect(V.keyframe) = TRUE) / sum(F.meter) "
+            "FROM fabric F, video V "
+            f"WHERE F.printdate >= '{lo}' AND F.printdate < '{hi}' "
+            "AND F.transID = V.transID "
+            f"AND V.date >= '{lo}' AND V.date < '{hi}' "
+            "GROUP BY F.patternID"
+        )
+        return CollaborativeQuery(
+            sql=sql,
+            query_type=QueryType.DB_DEPENDS_ON_LEARNING,
+            description="defect rate per pattern",
+            udf_roles=("detect",),
+        )
+
+    def _type3(self, selectivity: float) -> CollaborativeQuery:
+        # Split the target selectivity: humidity>k is 0.5, temperature>k is
+        # 0.5, the date window supplies the rest.
+        date_fraction = min(1.0, selectivity / 0.25)
+        lo, hi = self._dates(date_fraction)
+        sql = (
+            "SELECT F.patternID, F.transID "
+            "FROM fabric F, video V "
+            "WHERE F.humidity > 50 AND F.temperature > 25 "
+            f"AND F.printdate >= '{lo}' AND F.printdate < '{hi}' "
+            "AND F.transID = V.transID "
+            f"AND V.date >= '{lo}' AND V.date < '{hi}' "
+            "AND nUDF_detect(V.keyframe) = FALSE"
+        )
+        return CollaborativeQuery(
+            sql=sql,
+            query_type=QueryType.LEARNING_DEPENDS_ON_DB,
+            description="fault-free transactions under stress conditions",
+            udf_roles=("detect",),
+        )
+
+    def make_two_model_query(
+        self,
+        selectivity: float = 1.0,
+        *,
+        classify_label: str = PATTERN_LABELS[0],
+    ) -> CollaborativeQuery:
+        """Section II's two-model example: detect AND classify on the same
+        keyframe.  The executor orders the two nUDF conjuncts by their
+        histogram selectivities ("it would be more efficient to execute
+        the detect model before the classify model")."""
+        lo, hi = self._dates(selectivity)
+        sql = (
+            "SELECT F.patternID, F.transID "
+            "FROM fabric F, video V "
+            "WHERE F.transID = V.transID "
+            f"AND V.date >= '{lo}' AND V.date < '{hi}' "
+            "AND nUDF_detect(V.keyframe) = TRUE "
+            f"AND nUDF_classify(V.keyframe) = '{classify_label}'"
+        )
+        return CollaborativeQuery(
+            sql=sql,
+            query_type=QueryType.INTERDEPENDENT,
+            description="defective keyframes of one pattern (two models)",
+            udf_roles=("detect", "classify"),
+        )
+
+    def make_udf_join_query(self, selectivity: float) -> CollaborativeQuery:
+        """The Section IV-B rule-3 shape: an nUDF *as the join condition*.
+
+        ``T0.nUDF(x) = T1.y`` — recognized pattern joined against the
+        recorded pattern name.  Under DL2SQL-OP this selects the symmetric
+        hash join with bucket-based LRU buffering.
+        """
+        lo, hi = self._dates(selectivity)
+        sql = (
+            "SELECT F.patternID, F.transID "
+            "FROM fabric F, video V "
+            f"WHERE F.printdate >= '{lo}' AND F.printdate < '{hi}' "
+            f"AND V.date >= '{lo}' AND V.date < '{hi}' "
+            "AND nUDF_recog(V.keyframe) = F.pattern"
+        )
+        return CollaborativeQuery(
+            sql=sql,
+            query_type=QueryType.INTERDEPENDENT,
+            description="transactions joined on the recognized pattern",
+            udf_roles=("recog",),
+        )
+
+    def _type4(self, selectivity: float) -> CollaborativeQuery:
+        lo, hi = self._dates(selectivity)
+        sql = (
+            "SELECT F.patternID "
+            "FROM fabric F, video V "
+            f"WHERE F.printdate >= '{lo}' AND F.printdate < '{hi}' "
+            "AND F.transID = V.transID "
+            f"AND V.date >= '{lo}' AND V.date < '{hi}' "
+            "AND F.pattern != nUDF_recog(V.keyframe)"
+        )
+        return CollaborativeQuery(
+            sql=sql,
+            query_type=QueryType.INTERDEPENDENT,
+            description="transactions whose printed pattern mismatches the log",
+            udf_roles=("recog",),
+        )

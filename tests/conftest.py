@@ -1,0 +1,64 @@
+"""Shared fixtures: a tiny dataset, tasks, and databases.
+
+Session-scoped where construction is expensive (dataset generation,
+model distillation, DL2SQL compilation) — tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.workload.dataset import DatasetConfig, generate_dataset
+from repro.workload.models_repo import ModelRepository, build_task
+
+
+TINY_CONFIG = DatasetConfig(scale=1, keyframe_shape=(1, 8, 8), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate_dataset(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def detect_task(tiny_dataset):
+    return build_task(tiny_dataset, "detect", task_index=0,
+                      calibration_samples=24)
+
+
+@pytest.fixture(scope="session")
+def classify_task(tiny_dataset):
+    return build_task(tiny_dataset, "classify", task_index=1,
+                      calibration_samples=24)
+
+
+@pytest.fixture(scope="session")
+def recog_task(tiny_dataset):
+    return build_task(tiny_dataset, "recog", task_index=2,
+                      calibration_samples=24)
+
+
+@pytest.fixture(scope="session")
+def tiny_repository(detect_task, classify_task, recog_task):
+    return ModelRepository(tasks=[detect_task, classify_task, recog_task])
+
+
+@pytest.fixture()
+def db():
+    """A fresh, empty database per test."""
+    return Database()
+
+
+@pytest.fixture()
+def workload_db(tiny_dataset):
+    """A fresh database with the tiny IoT dataset installed."""
+    database = Database()
+    tiny_dataset.install(database)
+    return database
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,186 @@
+"""Compilation structure: tables, steps, stats, pre-join variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreJoin, compile_model
+from repro.errors import CompileError
+from repro.tensor import (
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+    Softmax,
+    build_student_cnn,
+)
+
+
+@pytest.fixture(scope="module")
+def student():
+    return build_student_cnn(
+        input_shape=(1, 8, 8), num_classes=3, channels=(4, 4, 4), seed=1
+    )
+
+
+class TestStructure:
+    def test_static_tables_include_kernels_and_mappings(self, student):
+        compiled = compile_model(student)
+        names = {t.name for t in compiled.static_tables}
+        assert any(n.endswith("__kernel") for n in names)
+        assert any(n.endswith("__mapping") for n in names)
+        assert any(n.endswith("__poolmap") for n in names)
+        assert any(n.endswith("__bnparams") for n in names)
+
+    def test_kernel_prejoin_replaces_mappings(self, student):
+        compiled = compile_model(student, prejoin=PreJoin.KERNEL)
+        names = {t.name for t in compiled.static_tables}
+        assert any(n.endswith("__kernelmap") for n in names)
+        assert not any(n.endswith("__mapping") for n in names)
+
+    def test_fold_removes_reshape_steps(self, student):
+        plain = compile_model(student, prejoin=PreJoin.NONE)
+        fold = compile_model(student, prejoin=PreJoin.FOLD)
+        assert any(s.kind == "reshape" for s in plain.steps)
+        assert not any(s.kind == "reshape" for s in fold.steps)
+        assert len(fold.steps) < len(plain.steps)
+
+    def test_indexes_on_paper_columns(self, student):
+        compiled = compile_model(student)
+        indexed_columns = {c for _, c in compiled.index_columns}
+        assert {"OrderID", "KernelID", "TupleID"} <= indexed_columns
+
+    def test_blocks_in_fig9_order(self, student):
+        compiled = compile_model(student)
+        blocks = compiled.blocks()
+        assert blocks.index("Conv1") < blocks.index("Conv2") < blocks.index(
+            "Conv3"
+        )
+        assert blocks[-1] == "Classification"
+        assert "Pooling" in blocks and "FC" in blocks
+
+    def test_sql_script_is_parseable(self, student):
+        from repro.sql.parser import parse_statements
+
+        compiled = compile_model(student)
+        statements = parse_statements(compiled.sql_script())
+        assert len(statements) == len(compiled.steps)
+
+    def test_table_prefix_namespaces_everything(self, student):
+        compiled = compile_model(student)
+        for table in compiled.static_tables:
+            assert table.name.startswith(compiled.table_prefix)
+        for step in compiled.steps:
+            if step.output_table:
+                assert step.output_table.startswith(compiled.table_prefix)
+
+    def test_distinct_models_do_not_collide(self, student):
+        other = build_student_cnn(
+            input_shape=(1, 8, 8), num_classes=3, channels=(4, 4, 4), seed=2
+        )
+        other.name = "other_model"
+        a = compile_model(student)
+        b = compile_model(other)
+        a_names = {t.name for t in a.static_tables}
+        b_names = {t.name for t in b.static_tables}
+        assert not a_names & b_names
+
+
+class TestTableStats:
+    def test_flat_tables_have_exact_rows(self, student):
+        compiled = compile_model(student)
+        out_stats = compiled.table_stats[compiled.output_table]
+        assert out_stats["rows"] == 3  # num_classes
+
+    def test_feature_table_stats_match_mapping_size(self, student):
+        compiled = compile_model(student)
+        fm_tables = [
+            s.output_table for s in compiled.steps if s.kind == "reshape"
+        ]
+        first = compiled.table_stats[fm_tables[0]]
+        # 8x8 conv k3 s1 p1 -> 64 windows; 9 slots minus padding omissions.
+        assert first["ndv"]["MatrixID"] == 64
+        assert first["ndv"]["OrderID"] == 9
+        assert first["rows"] < 64 * 9  # padding omissions
+
+    def test_every_created_table_has_stats(self, student):
+        compiled = compile_model(student)
+        for step in compiled.steps:
+            if step.output_table is not None:
+                assert step.output_table in compiled.table_stats
+
+
+class TestKernelTables:
+    def test_kernel_table_matches_weights(self):
+        layer = Conv2d(2, 3, 2, rng=np.random.default_rng(0))
+        model = Model("kt", (2, 4, 4), [layer])
+        compiled = compile_model(model)
+        kernel = next(
+            t for t in compiled.static_tables if t.name.endswith("__kernel")
+        )
+        assert kernel.num_rows == 3 * 2 * 2 * 2
+        kernel_ids = kernel.column("KernelID").data
+        order_ids = kernel.column("OrderID").data
+        values = kernel.column("Value").data
+        flat = layer.weight.reshape(3, -1)
+        assert np.allclose(values, flat[kernel_ids, order_ids])
+
+    def test_zero_bias_skips_bias_step(self):
+        layer = Conv2d(1, 2, 2, rng=np.random.default_rng(0))
+        layer.bias = np.zeros(2)
+        compiled = compile_model(Model("nb", (1, 4, 4), [layer]))
+        assert not any(s.kind == "bias" for s in compiled.steps)
+
+    def test_nonzero_bias_adds_step(self):
+        layer = Conv2d(1, 2, 2, rng=np.random.default_rng(0))
+        layer.bias = np.array([1.0, 2.0])
+        compiled = compile_model(Model("wb", (1, 4, 4), [layer]))
+        assert any(s.kind == "bias" for s in compiled.steps)
+
+
+class TestStorageAccounting:
+    def test_parameter_bytes_excludes_mappings(self, student):
+        compiled = compile_model(student)
+        assert compiled.parameter_bytes() < compiled.static_bytes()
+
+    def test_parameter_bytes_scale_with_parameters(self):
+        small = build_student_cnn(
+            input_shape=(1, 8, 8), channels=(2, 2, 2), seed=0
+        )
+        big = build_student_cnn(
+            input_shape=(1, 8, 8), channels=(8, 8, 8), seed=0
+        )
+        assert (
+            compile_model(big).parameter_bytes()
+            > compile_model(small).parameter_bytes()
+        )
+
+
+class TestUnsupported:
+    def test_unknown_layer_kind_rejected(self):
+        class Mystery(Layer):
+            kind = "mystery"
+
+            def forward(self, x):
+                return x
+
+            def output_shape(self, shape):
+                return shape
+
+        model = Model("mx", (1, 4, 4), [Mystery()])
+        with pytest.raises(CompileError, match="Table II"):
+            compile_model(model)
+
+    def test_norm_requires_spatial_input(self):
+        from repro.tensor import BatchNorm2d
+
+        # BatchNorm after flatten has no [C,H,W] shape.
+        model = Model.__new__(Model)
+        model.name = "bad"
+        model.input_shape = (1, 4, 4)
+        model.layers = [Flatten(), BatchNorm2d(16)]
+        model.class_labels = None
+        with pytest.raises(CompileError):
+            compile_model(model)

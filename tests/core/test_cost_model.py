@@ -1,0 +1,138 @@
+"""The customized cost model: Eqs. 3-8 and script estimation."""
+
+import pytest
+
+from repro.core import CustomCostModel, compile_model
+from repro.core.compiler import LayerInfo, PreJoin
+from repro.core.cost_model import (
+    estimate_conv_layer,
+    estimate_layers,
+    estimate_script_cost,
+    linear_operator_cost,
+    normalization_ratio,
+)
+from repro.core.runner import Dl2SqlModel
+from repro.engine import Database
+from repro.engine.cost import DefaultCostModel
+from repro.tensor import Conv2d, Model, build_student_cnn
+
+
+def conv_info(n_in=1, n_out=2, size=5, k=3, s=1, p=0):
+    from repro.tensor.functional import conv_output_size
+
+    out = conv_output_size(size, k, s, p)
+    return LayerInfo(
+        kind="conv",
+        name="c",
+        input_shape=(n_in, size, size),
+        output_shape=(n_out, out, out),
+        kernel_size=k,
+        stride=s,
+        padding=p,
+    )
+
+
+class TestPaperEquations:
+    def test_eq4_selectivity(self):
+        estimate = estimate_conv_layer(conv_info(n_in=2, k=3))
+        assert estimate.join_selectivity == pytest.approx(1.0 / 18.0)
+
+    def test_eq5_t_out(self):
+        estimate = estimate_conv_layer(conv_info(n_in=1, n_out=4, size=5, k=3))
+        # T_out = T_in * S_J * k_out = (9*k_in) windows... closed form:
+        # H_out*W_out * k^2 * N_out = 9 * 9 * 4
+        assert estimate.t_out == 9 * 9 * 4
+
+    def test_eq6_eq7_cost_composition(self):
+        estimate = estimate_conv_layer(conv_info())
+        assert estimate.c_join == estimate.t_in + estimate.t_out * estimate.k_in
+        assert estimate.c_total == estimate.c_join + estimate.t_out
+
+    def test_t_in_formula(self):
+        estimate = estimate_conv_layer(conv_info(n_in=3, size=7, k=3, s=2))
+        # H_out = (7-3)/2+1 = 3 -> T_in = 3*3*27
+        assert estimate.t_in == 9 * 27
+
+    def test_cost_grows_with_kernel(self):
+        costs = [
+            estimate_conv_layer(conv_info(size=10, k=k)).c_total
+            for k in (1, 2, 3)
+        ]
+        assert costs == sorted(costs)
+
+    def test_linear_operator_cost(self):
+        info = LayerInfo(
+            kind="bn", name="b", input_shape=(2, 4, 4), output_shape=(2, 4, 4)
+        )
+        assert linear_operator_cost(info) == 32.0
+
+    def test_estimate_layers_only_convs(self):
+        model = build_student_cnn(
+            input_shape=(1, 8, 8), channels=(2, 2, 2), seed=0
+        )
+        compiled = compile_model(model)
+        estimates = estimate_layers(compiled)
+        assert len(estimates) == 3  # three conv blocks
+
+
+class TestScriptEstimation:
+    @pytest.fixture()
+    def loaded(self):
+        model = Model(
+            "est",
+            (1, 8, 8),
+            [
+                Conv2d(1, 4, 3, padding=1, name="c1"),
+                Conv2d(4, 4, 3, padding=1, name="c2"),
+            ],
+        )
+        compiled = compile_model(model, prejoin=PreJoin.NONE)
+        db = Database()
+        Dl2SqlModel(compiled).load(db)
+        return compiled, db
+
+    def test_default_over_estimates_custom(self, loaded):
+        compiled, db = loaded
+        default = estimate_script_cost(compiled, db, DefaultCostModel())
+        custom = estimate_script_cost(compiled, db, CustomCostModel())
+        assert default.total_cost > custom.total_cost
+
+    def test_over_estimation_compounds_with_depth(self, loaded):
+        """The paper: the error is 'exaggerated exponentially' layer over
+        layer — the ratio grows from the shallow to the deep model."""
+        compiled_shallow, db = loaded
+        deep = Model(
+            "estdeep",
+            (1, 8, 8),
+            [
+                Conv2d(1, 4, 3, padding=1, name=f"c{i}")
+                if i == 0
+                else Conv2d(4, 4, 3, padding=1, name=f"c{i}")
+                for i in range(4)
+            ],
+        )
+        compiled_deep = compile_model(deep)
+        Dl2SqlModel(compiled_deep).load(db)
+
+        def ratio(compiled):
+            default = estimate_script_cost(compiled, db, DefaultCostModel())
+            custom = estimate_script_cost(compiled, db, CustomCostModel())
+            return default.total_cost / custom.total_cost
+
+        assert ratio(compiled_deep) > ratio(compiled_shallow)
+
+    def test_custom_estimates_all_steps(self, loaded):
+        compiled, db = loaded
+        estimate = estimate_script_cost(compiled, db, CustomCostModel())
+        assert len(estimate.steps) == len(compiled.steps)
+        assert all(s.cost >= 0 for s in estimate.steps)
+
+    def test_custom_rows_match_compiler_facts(self, loaded):
+        compiled, db = loaded
+        model = CustomCostModel()
+        model.add_compiled(compiled)
+        assert compiled.output_table in model.known_tables()
+
+    def test_normalization_ratio(self):
+        assert normalization_ratio(2.0, 4.0) == 0.5
+        assert normalization_ratio(2.0, 0.0) == 0.0

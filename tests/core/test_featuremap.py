@@ -1,0 +1,111 @@
+"""Algorithm 1 (feature-map tables) against the dense im2col reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.featuremap import feature_map_rows, flat_rows, tensor_from_flat
+from repro.errors import CompileError
+from repro.tensor.functional import conv_output_size, im2col
+
+
+class TestPaperFigure3:
+    def test_5x5_kernel3_stride2(self):
+        """The exact configuration of Fig. 3: 5x5 input, 3x3 kernel,
+        stride 2 -> 4 sub-matrices of 9 elements each."""
+        tensor = np.arange(1, 26, dtype=float).reshape(1, 5, 5)
+        matrix_ids, order_ids, values = feature_map_rows(tensor, 3, 2)
+        assert len(values) == 4 * 9
+        assert set(matrix_ids.tolist()) == {0, 1, 2, 3}
+        assert set(order_ids.tolist()) == set(range(9))
+        # First row of the table corresponds to the first element.
+        assert values[(matrix_ids == 0) & (order_ids == 0)][0] == 1.0
+
+    def test_redundant_storage(self):
+        """Overlapping windows store shared elements redundantly, as the
+        paper notes for {2,1,3} and {1,3,3}."""
+        tensor = np.arange(1, 26, dtype=float).reshape(1, 5, 5)
+        _, _, values = feature_map_rows(tensor, 3, 2)
+        # Element at (0, 2) (value 3) belongs to both window 0 and 1.
+        assert (values == 3.0).sum() == 2
+
+
+class TestEquivalenceWithIm2col:
+    @pytest.mark.parametrize(
+        "channels,size,kernel,stride,padding",
+        [
+            (1, 5, 3, 2, 0),
+            (1, 6, 2, 2, 0),
+            (2, 5, 3, 1, 0),
+            (3, 8, 3, 1, 1),
+            (2, 7, 3, 2, 1),
+        ],
+    )
+    def test_matches_dense_unfold(self, channels, size, kernel, stride, padding):
+        rng = np.random.default_rng(1)
+        tensor = rng.normal(size=(channels, size, size))
+        matrix_ids, order_ids, values = feature_map_rows(
+            tensor, kernel, stride, padding
+        )
+        columns, out_h, out_w = im2col(tensor, kernel, stride, padding)
+        dense = np.zeros_like(columns)  # [k_in, windows]
+        dense[order_ids, matrix_ids] = values
+        # Padding slots are omitted from the table = zeros in dense form.
+        assert np.allclose(dense, columns)
+
+    def test_row_count_formula(self):
+        """Without padding, |FeatureMap| = H_out*W_out*k^2*C (the paper's
+        T_in = H_out x W_out x k_in)."""
+        tensor = np.random.default_rng(0).normal(size=(2, 6, 6))
+        matrix_ids, _, _ = feature_map_rows(tensor, 3, 1, 0)
+        out = conv_output_size(6, 3, 1, 0)
+        assert len(matrix_ids) == out * out * 9 * 2
+
+
+class TestErrors:
+    def test_requires_chw(self):
+        with pytest.raises(CompileError):
+            feature_map_rows(np.zeros((4, 4)), 2, 1)
+
+
+class TestFlatRows:
+    def test_roundtrip(self):
+        tensor = np.random.default_rng(2).normal(size=(2, 3, 4))
+        tuple_ids, values = flat_rows(tensor)
+        rebuilt = tensor_from_flat(tuple_ids, values, (2, 3, 4))
+        assert np.allclose(rebuilt, tensor)
+
+    def test_chw_order(self):
+        tensor = np.arange(8.0).reshape(2, 2, 2)
+        tuple_ids, values = flat_rows(tensor)
+        assert values[tuple_ids.tolist().index(4)] == 4.0  # channel 1 start
+
+    def test_rebuild_with_shuffled_rows(self):
+        tensor = np.arange(6.0).reshape(1, 2, 3)
+        tuple_ids, values = flat_rows(tensor)
+        order = np.random.default_rng(0).permutation(len(tuple_ids))
+        rebuilt = tensor_from_flat(tuple_ids[order], values[order], (1, 2, 3))
+        assert np.allclose(rebuilt, tensor)
+
+
+@given(
+    size=st.integers(4, 8),
+    kernel=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 1),
+    channels=st.integers(1, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_feature_map_property(size, kernel, stride, padding, channels):
+    """Algorithm 1 always matches im2col, for any legal geometry."""
+    if size + 2 * padding < kernel:
+        return
+    tensor = np.random.default_rng(0).normal(size=(channels, size, size))
+    matrix_ids, order_ids, values = feature_map_rows(
+        tensor, kernel, stride, padding
+    )
+    columns, _, _ = im2col(tensor, kernel, stride, padding)
+    dense = np.zeros_like(columns)
+    dense[order_ids, matrix_ids] = values
+    assert np.allclose(dense, columns)

@@ -1,0 +1,110 @@
+"""Hint machinery: comparison parsing, hint-aware costing, config."""
+
+import numpy as np
+import pytest
+
+from repro.core.hints import (
+    HintAwareCostModel,
+    make_op_config,
+    parse_udf_comparison,
+)
+from repro.core.selectivity import NudfSelectivity
+from repro.engine.cost import UDF_SELECTIVITY_DEFAULT
+from repro.engine.udf import BatchUdf, UdfRegistry
+from repro.sql.parser import parse_statement
+from repro.storage.schema import DataType
+
+
+def where_of(sql):
+    return parse_statement(f"SELECT 1 FROM t WHERE {sql}").where
+
+
+class TestComparisonParsing:
+    def test_equals_literal(self):
+        assert parse_udf_comparison(where_of("nUDF_x(a) = 'lbl'")) == (
+            "nUDF_x", "lbl", False,
+        )
+
+    def test_literal_on_left(self):
+        assert parse_udf_comparison(where_of("TRUE = nUDF_x(a)")) == (
+            "nUDF_x", True, False,
+        )
+
+    def test_not_equals(self):
+        assert parse_udf_comparison(where_of("nUDF_x(a) != 'lbl'")) == (
+            "nUDF_x", "lbl", True,
+        )
+
+    def test_not_wrapping_folds(self):
+        assert parse_udf_comparison(where_of("NOT nUDF_x(a) = 'lbl'")) == (
+            "nUDF_x", "lbl", True,
+        )
+
+    def test_double_negation(self):
+        assert parse_udf_comparison(
+            where_of("NOT (NOT nUDF_x(a) = 'lbl')")
+        ) == ("nUDF_x", "lbl", False)
+
+    def test_non_udf_shapes_rejected(self):
+        assert parse_udf_comparison(where_of("a = 1")) is None
+        assert parse_udf_comparison(where_of("nUDF_x(a) > 1")) is None
+        assert parse_udf_comparison(where_of("nUDF_x(a) = b")) is None
+
+
+class TestHintAwareCostModel:
+    @pytest.fixture()
+    def registry(self):
+        registry = UdfRegistry()
+        registry.register(
+            BatchUdf(
+                name="nUDF_detect",
+                fn=lambda v: np.zeros(len(v), dtype=bool),
+                return_dtype=DataType.BOOL,
+                cost_per_row=0.01,
+                is_neural=True,
+            )
+        )
+        return registry
+
+    def test_selectivity_from_histogram(self, registry):
+        estimator = NudfSelectivity.from_histogram(
+            "nUDF_detect", {True: 5, False: 95}
+        )
+        model = HintAwareCostModel(registry, {"nUDF_detect": estimator})
+        assert model.udf_predicate_selectivity(
+            where_of("nUDF_detect(a) = TRUE")
+        ) == pytest.approx(0.05)
+        assert model.udf_predicate_selectivity(
+            where_of("nUDF_detect(a) != TRUE")
+        ) == pytest.approx(0.95)
+
+    def test_fallback_without_histogram(self, registry):
+        model = HintAwareCostModel(registry)
+        assert model.udf_predicate_selectivity(
+            where_of("nUDF_detect(a) = TRUE")
+        ) == UDF_SELECTIVITY_DEFAULT
+
+    def test_call_cost_from_registration(self, registry):
+        model = HintAwareCostModel(registry, seconds_per_cost_unit=1e-3)
+        call = where_of("nUDF_detect(a) = TRUE").left
+        assert model.udf_call_cost(call) == pytest.approx(10.0)
+
+    def test_call_cost_fallback_for_unknown(self, registry):
+        model = HintAwareCostModel(registry)
+        call = where_of("other_udf(a) = TRUE").left
+        assert model.udf_call_cost(call) == model.udf_cost_per_row
+
+    def test_register_selectivity_later(self, registry):
+        model = HintAwareCostModel(registry)
+        model.register_selectivity(
+            NudfSelectivity.from_histogram("nUDF_detect", {True: 1, False: 3})
+        )
+        assert model.selectivity_for("nudf_detect") is not None
+
+
+class TestOpConfig:
+    def test_make_op_config(self):
+        registry = UdfRegistry()
+        config = make_op_config(registry)
+        assert config.use_hints
+        assert isinstance(config.cost_model, HintAwareCostModel)

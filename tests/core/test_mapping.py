@@ -1,0 +1,128 @@
+"""Algorithm 2 (mapping tables): re-indexing correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.featuremap import feature_map_rows, flat_rows
+from repro.core.mapping import (
+    deconv_mapping_rows,
+    mapping_rows,
+    pooling_mapping_rows,
+)
+from repro.tensor import functional as F
+
+
+def apply_mapping(tensor, kernel, stride, padding):
+    """Simulate the Q2 join: flat table ⋈ mapping -> feature-map rows."""
+    tuple_ids, values = flat_rows(tensor)
+    lookup = dict(zip(tuple_ids.tolist(), values.tolist()))
+    matrix_ids, order_ids, map_tuples = mapping_rows(
+        tensor.shape, kernel, stride, padding
+    )
+    picked = np.array([lookup[t] for t in map_tuples.tolist()])
+    return matrix_ids, order_ids, picked
+
+
+class TestMappingEquivalence:
+    @pytest.mark.parametrize(
+        "channels,size,kernel,stride,padding",
+        [
+            (1, 5, 3, 2, 0),
+            (2, 6, 2, 2, 0),
+            (3, 8, 3, 1, 1),
+            (1, 7, 3, 2, 1),
+        ],
+    )
+    def test_mapping_reproduces_algorithm1(
+        self, channels, size, kernel, stride, padding
+    ):
+        """flat ⋈ mapping must equal the direct Algorithm-1 table."""
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(size=(channels, size, size))
+        direct = feature_map_rows(tensor, kernel, stride, padding)
+        joined = apply_mapping(tensor, kernel, stride, padding)
+
+        def as_set(rows):
+            return {
+                (int(m), int(o), round(float(v), 12))
+                for m, o, v in zip(*rows)
+            }
+
+        assert as_set(direct) == as_set(joined)
+
+    def test_padding_slots_absent(self):
+        matrix_ids, order_ids, tuple_ids = mapping_rows((1, 4, 4), 3, 1, 1)
+        # With padding 1, corner windows lose slots; total < full count.
+        full = 4 * 4 * 9
+        assert len(matrix_ids) < full
+        assert tuple_ids.min() >= 0 and tuple_ids.max() < 16
+
+    def test_shape_only_dependence(self):
+        """The paper: the mapping table depends only on k, W and s."""
+        a = mapping_rows((2, 6, 6), 3, 1, 0)
+        b = mapping_rows((2, 6, 6), 3, 1, 0)
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+
+class TestPoolingMapping:
+    def test_max_pool_via_mapping(self):
+        rng = np.random.default_rng(1)
+        tensor = rng.normal(size=(2, 6, 6))
+        matrix_ids, tuple_ids = pooling_mapping_rows((2, 6, 6), 2, 2)
+        flat = tensor.reshape(-1)
+        pooled = np.full(2 * 3 * 3, -np.inf)
+        for matrix_id, tuple_id in zip(matrix_ids, tuple_ids):
+            pooled[matrix_id] = max(pooled[matrix_id], flat[tuple_id])
+        expected = F.max_pool2d(tensor, 2).reshape(-1)
+        assert np.allclose(pooled, expected)
+
+    def test_avg_pool_via_mapping(self):
+        rng = np.random.default_rng(2)
+        tensor = rng.normal(size=(1, 4, 4))
+        matrix_ids, tuple_ids = pooling_mapping_rows((1, 4, 4), 2, 2)
+        flat = tensor.reshape(-1)
+        sums = np.zeros(4)
+        counts = np.zeros(4)
+        for matrix_id, tuple_id in zip(matrix_ids, tuple_ids):
+            sums[matrix_id] += flat[tuple_id]
+            counts[matrix_id] += 1
+        expected = F.avg_pool2d(tensor, 2).reshape(-1)
+        assert np.allclose(sums / counts, expected)
+
+
+class TestDeconvMapping:
+    def test_deconv_via_mapping(self):
+        """Sum of input x kernel over the deconv mapping equals deconv2d."""
+        rng = np.random.default_rng(3)
+        tensor = rng.normal(size=(1, 3, 3))
+        weight = rng.normal(size=(1, 1, 2, 2))
+        matrix_ids, order_ids, tuple_ids = deconv_mapping_rows((1, 3, 3), 2, 2)
+        flat = tensor.reshape(-1)
+        kernel_flat = weight[0, 0].reshape(-1)
+        out = np.zeros(6 * 6)
+        for matrix_id, order_id, tuple_id in zip(
+            matrix_ids, order_ids, tuple_ids
+        ):
+            out[matrix_id] += flat[tuple_id] * kernel_flat[order_id]
+        expected = F.deconv2d(tensor, weight, stride=2).reshape(-1)
+        assert np.allclose(out, expected)
+
+
+@given(
+    size=st.integers(4, 7),
+    kernel=st.integers(2, 3),
+    stride=st.integers(1, 2),
+    channels=st.integers(1, 2),
+)
+@settings(max_examples=30, deadline=None)
+def test_mapping_property(size, kernel, stride, channels):
+    tensor = np.random.default_rng(0).normal(size=(channels, size, size))
+    direct = feature_map_rows(tensor, kernel, stride, 0)
+    joined = apply_mapping(tensor, kernel, stride, 0)
+    assert len(direct[0]) == len(joined[0])
+    direct_set = set(zip(direct[0].tolist(), direct[1].tolist()))
+    joined_set = set(zip(joined[0].tolist(), joined[1].tolist()))
+    assert direct_set == joined_set

@@ -1,0 +1,84 @@
+"""Property-based DL2SQL parity: random architectures, random geometry.
+
+For any legal small CNN, the compiled SQL program must reproduce the
+numpy forward pass exactly.  This is the strongest statement of Table II
+support: not just the fixed test architectures, but the operator
+compositions hypothesis explores.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dl2SqlModel, PreJoin, compile_model
+from repro.engine import Database
+from repro.tensor import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+    Softmax,
+)
+
+
+@st.composite
+def small_cnn(draw):
+    """A random (but always shape-legal) CNN on 8x8 inputs."""
+    rng_seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(rng_seed)
+    in_channels = draw(st.integers(1, 2))
+    size = 8
+    layers = []
+    channels = in_channels
+    num_convs = draw(st.integers(1, 2))
+    for index in range(num_convs):
+        out_channels = draw(st.integers(1, 4))
+        kernel = draw(st.sampled_from([1, 2, 3]))
+        padding = draw(st.sampled_from([0, 1])) if kernel > 1 else 0
+        stride = draw(st.sampled_from([1, 2]))
+        if size + 2 * padding < kernel:
+            continue
+        layers.append(
+            Conv2d(
+                channels, out_channels, kernel, stride, padding,
+                name=f"c{index}", rng=rng,
+            )
+        )
+        channels = out_channels
+        size = (size + 2 * padding - kernel) // stride + 1
+        if draw(st.booleans()):
+            layers.append(BatchNorm2d(channels, name=f"b{index}"))
+        if draw(st.booleans()):
+            layers.append(ReLU(name=f"r{index}"))
+    if size >= 2 and draw(st.booleans()):
+        pool = draw(st.sampled_from([MaxPool2d, AvgPool2d]))
+        layers.append(pool(2, name="p"))
+        size = (size - 2) // 2 + 1
+    flat = channels * size * size
+    layers.append(Flatten(name="fl"))
+    classes = draw(st.integers(2, 4))
+    layers.append(Linear(flat, classes, name="fc", rng=rng))
+    if draw(st.booleans()):
+        layers.append(Softmax(name="sm"))
+    return Model(f"prop{rng_seed}", (in_channels, 8, 8), layers), rng_seed
+
+
+@given(model_and_seed=small_cnn(), prejoin=st.sampled_from(list(PreJoin)))
+@settings(max_examples=25, deadline=None)
+def test_random_cnn_parity(model_and_seed, prejoin):
+    model, seed = model_and_seed
+    compiled = compile_model(model, prejoin=prejoin)
+    db = Database()
+    runner = Dl2SqlModel(compiled)
+    runner.load(db)
+    x = np.random.default_rng(seed + 1).normal(size=model.input_shape)
+    runner.infer(db, x)
+    got = runner.read_output(db)
+    expected = model.forward(x)
+    assert np.allclose(got, expected, atol=1e-8), (
+        f"max err {np.abs(got - expected).max()} for {model}"
+    )

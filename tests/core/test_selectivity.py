@@ -1,0 +1,82 @@
+"""Eq. 9/10: nUDF selectivity from class histograms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selectivity import NudfSelectivity
+from repro.errors import WorkloadError
+
+
+class TestProbabilities:
+    def test_eq10(self):
+        estimator = NudfSelectivity.from_histogram(
+            "nUDF_classify", {"A": 60, "B": 30, "C": 10}
+        )
+        assert estimator.probability("A") == 0.6
+        assert estimator.probability("B") == 0.3
+        assert estimator.probability("C") == 0.1
+
+    def test_eq9_distribution_sums_to_one(self):
+        estimator = NudfSelectivity.from_histogram(
+            "x", {"a": 3, "b": 5, "c": 2}
+        )
+        assert sum(estimator.distribution().values()) == pytest.approx(1.0)
+
+    def test_unseen_label_zero(self):
+        estimator = NudfSelectivity.from_histogram("x", {"a": 1})
+        assert estimator.probability("never") == 0.0
+
+    def test_class_index_relabelling(self):
+        estimator = NudfSelectivity.from_histogram(
+            "nUDF_detect", {0: 90, 1: 10}, class_labels=[False, True]
+        )
+        assert estimator.probability(True) == 0.1
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            NudfSelectivity.from_histogram("x", {"a": -1})
+
+
+class TestSelectivities:
+    def test_equals_vs_not_equals_complement(self):
+        estimator = NudfSelectivity.from_histogram("x", {"a": 7, "b": 3})
+        assert estimator.selectivity_equals("a") + (
+            estimator.selectivity_not_equals("a")
+        ) == pytest.approx(1.0)
+
+    def test_boolean_literal_normalization(self):
+        estimator = NudfSelectivity.from_histogram(
+            "nUDF_detect", {True: 2, False: 8}
+        )
+        # SQL TRUE/FALSE literals arrive as python bools; strings too.
+        assert estimator.selectivity_equals(True) == 0.2
+        assert estimator.selectivity_equals("TRUE") == 0.2
+        assert estimator.selectivity_equals("false") == 0.8
+
+    def test_observe_online(self):
+        estimator = NudfSelectivity(udf_name="x")
+        estimator.observe("a", 3)
+        estimator.observe("b")
+        assert estimator.total == 4
+        assert estimator.probability("a") == 0.75
+
+    def test_empty_histogram_fallback(self):
+        estimator = NudfSelectivity(udf_name="x")
+        assert estimator.probability("anything") == 0.5
+
+
+@given(
+    counts=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=0, max_value=1000),
+        min_size=1,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_probability_is_a_distribution(counts):
+    estimator = NudfSelectivity.from_histogram("x", counts)
+    probabilities = [estimator.probability(label) for label in counts]
+    assert all(0.0 <= p <= 1.0 for p in probabilities)
+    if sum(counts.values()) > 0:
+        assert sum(probabilities) == pytest.approx(1.0)

@@ -1,0 +1,115 @@
+"""Statement templates: parseability and structural checks."""
+
+from repro.core import sqlgen
+from repro.sql.ast_nodes import CreateTable, UpdateStatement
+from repro.sql.parser import parse_statement
+
+
+def assert_create(sql, table):
+    statement = parse_statement(sql)
+    assert isinstance(statement, CreateTable)
+    assert statement.name == table
+    assert statement.temp
+    assert statement.as_select is not None
+    return statement
+
+
+class TestTemplates:
+    def test_reshape_is_q2(self):
+        sql = sqlgen.reshape_sql("fm", "flat", "mapping")
+        statement = assert_create(sql, "fm")
+        names = [i.output_name(n) for n, i in enumerate(statement.as_select.items)]
+        assert names == ["MatrixID", "OrderID", "Value"]
+
+    def test_conv_is_q1(self):
+        sql = sqlgen.conv_sql("out", "fm", "kern", 16)
+        statement = assert_create(sql, "out")
+        assert "INNER JOIN" in sql
+        assert "GROUP BY" in sql
+        assert "SUM((A.Value * B.Value))" in statement.as_select.to_sql() or (
+            "SUM(A.Value * B.Value)" in sql
+        )
+
+    def test_conv_fold_composes_subquery(self):
+        sql = sqlgen.conv_fold_sql("out", "flat", "map", "kern", 16)
+        assert_create(sql, "out")
+        assert sql.count("SELECT") == 2  # outer + inner mapping join
+
+    def test_conv_prejoined_single_join(self):
+        sql = sqlgen.conv_prejoined_sql("out", "flat", "kmap", 16)
+        assert_create(sql, "out")
+        assert "INNER JOIN" not in sql  # single comma join on TupleID
+        assert sql.count("SELECT") == 1
+
+    def test_pooling_two_step_is_q3(self):
+        first, second = sqlgen.pooling_two_step_sql(
+            "mid", "out", "flat", "pmap", "max"
+        )
+        assert_create(first, "mid")
+        statement = assert_create(second, "out")
+        assert "GROUP BY" in second
+        assert "max(Value)" in second
+
+    def test_pooling_fused(self):
+        sql = sqlgen.pooling_fused_sql("out", "flat", "pmap", "avg")
+        assert_create(sql, "out")
+        assert "avg(A.Value)" in sql
+
+    def test_bn_stats_groups_by_channel(self):
+        sql = sqlgen.bn_stats_sql("stats", "flat", 64)
+        assert_create(sql, "stats")
+        assert "intDiv(TupleID, 64)" in sql
+        assert "varPop" in sql
+
+    def test_bn_apply_eq1(self):
+        sql = sqlgen.bn_apply_sql("out", "flat", "stats", "params", 64)
+        assert_create(sql, "out")
+        assert "sqrt" in sql  # (x - mean)/sqrt(var + eps)
+
+    def test_bn_running(self):
+        sql = sqlgen.bn_running_sql("out", "flat", "params", 64, eps=1e-5)
+        assert_create(sql, "out")
+        assert "P.MeanV" in sql
+
+    def test_relu_is_the_paper_update(self):
+        sql = sqlgen.relu_sql("t")
+        statement = parse_statement(sql)
+        assert isinstance(statement, UpdateStatement)
+        assert sql == "UPDATE t SET Value = 0 WHERE Value < 0"
+
+    def test_residual_add_is_q5(self):
+        sql = sqlgen.residual_add_sql("out", "main", "short")
+        assert_create(sql, "out")
+        assert "A.Value + B.Value" in sql
+
+    def test_fc(self):
+        sql = sqlgen.fc_sql("out", "flat", "w")
+        assert_create(sql, "out")
+        assert "A.TupleID = B.OrderID" in sql
+
+    def test_softmax_pair(self):
+        first, second = sqlgen.softmax_sql("e", "s", "flat")
+        assert_create(first, "e")
+        assert_create(second, "s")
+        assert "exp(" in first
+        assert "SELECT sum(Value)" in second
+
+    def test_elementwise_product_scale(self):
+        scaled = sqlgen.elementwise_product_sql("o", "a", "b", 0.5)
+        plain = sqlgen.elementwise_product_sql("o", "a", "b")
+        assert "0.5" in scaled
+        assert "* 1.0" not in plain
+
+    def test_concat_insert(self):
+        sql = sqlgen.concat_insert_sql("concat", "stage", 128)
+        statement = parse_statement(sql)
+        assert statement.table_name == "concat"
+        assert "TupleID + 128" in sql
+
+    def test_bias_add(self):
+        sql = sqlgen.bias_add_sql("out", "flat", "bias", 16)
+        assert_create(sql, "out")
+        assert "intDiv(A.TupleID, 16) = B.KernelID" in sql
+
+    def test_copy(self):
+        assert_create(sqlgen.copy_sql("out", "src"), "out")

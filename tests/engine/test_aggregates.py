@@ -1,0 +1,153 @@
+"""Aggregation: grouping, aggregate functions, HAVING, edge cases."""
+
+import math
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import PlanError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "t",
+        {
+            "g": ["x", "y", "x", "y", "x"],
+            "v": [1.0, 2.0, 3.0, 4.0, 5.0],
+            "n": [1, 2, 3, 4, 5],
+            "flag": [True, False, True, True, False],
+        },
+    )
+    return database
+
+
+class TestGlobalAggregates:
+    def test_sum_int(self, db):
+        assert db.execute("SELECT sum(n) FROM t").scalar() == 15
+
+    def test_sum_float(self, db):
+        assert db.execute("SELECT sum(v) FROM t").scalar() == 15.0
+
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM t").scalar() == 5
+
+    def test_avg(self, db):
+        assert db.execute("SELECT avg(v) FROM t").scalar() == 3.0
+
+    def test_min_max(self, db):
+        assert db.query("SELECT min(n), max(n) FROM t") == [(1, 5)]
+
+    def test_stddev_samp_matches_numpy(self, db):
+        import numpy as np
+
+        expected = np.std([1, 2, 3, 4, 5], ddof=1)
+        assert db.execute("SELECT stddevSamp(v) FROM t").scalar() == (
+            pytest.approx(expected)
+        )
+
+    def test_var_pop(self, db):
+        import numpy as np
+
+        expected = np.var([1, 2, 3, 4, 5])
+        assert db.execute("SELECT varPop(v) FROM t").scalar() == (
+            pytest.approx(expected)
+        )
+
+    def test_count_boolean_expression_is_count_if(self, db):
+        # Dialect choice matching the paper's Type-2 query:
+        # count(<condition>) counts rows where the condition holds.
+        assert db.execute("SELECT count(flag = TRUE) FROM t").scalar() == 3
+
+    def test_count_if(self, db):
+        assert db.execute("SELECT countIf(n > 3) FROM t").scalar() == 2
+
+    def test_sum_if(self, db):
+        assert db.execute("SELECT sumIf(n, g = 'x') FROM t").scalar() == 9.0
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT count(DISTINCT g) FROM t").scalar() == 2
+
+    def test_any(self, db):
+        assert db.execute("SELECT any(g) FROM t").scalar() == "x"
+
+    def test_group_array(self, db):
+        value = db.execute("SELECT groupArray(n) FROM t").scalar()
+        assert value == [1, 2, 3, 4, 5]
+
+    def test_empty_input(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE n > 99").scalar() == 0
+        assert db.execute("SELECT sum(n) FROM t WHERE n > 99").scalar() == 0
+
+
+class TestGroupBy:
+    def test_basic(self, db):
+        rows = db.query("SELECT g, sum(n) FROM t GROUP BY g ORDER BY g")
+        assert rows == [("x", 9), ("y", 6)]
+
+    def test_group_keys_first_appearance_order(self, db):
+        rows = db.query("SELECT g, count(*) FROM t GROUP BY g")
+        assert [r[0] for r in rows] == ["x", "y"]
+
+    def test_expression_over_aggregates(self, db):
+        rows = db.query(
+            "SELECT g, sum(v) / count(*) FROM t GROUP BY g ORDER BY g"
+        )
+        assert rows == [("x", 3.0), ("y", 3.0)]
+
+    def test_group_by_expression(self, db):
+        rows = db.query(
+            "SELECT n % 2, count(*) FROM t GROUP BY n % 2 ORDER BY n % 2"
+        )
+        assert rows == [(0, 2), (1, 3)]
+
+    def test_group_by_int_div(self, db):
+        rows = db.query(
+            "SELECT intDiv(n, 3), count(*) FROM t "
+            "GROUP BY intDiv(n, 3) ORDER BY intDiv(n, 3)"
+        )
+        assert rows == [(0, 2), (1, 3)]
+
+    def test_multi_key(self, db):
+        rows = db.query(
+            "SELECT g, flag, count(*) FROM t GROUP BY g, flag ORDER BY g, flag"
+        )
+        assert ("x", True, 2) in rows
+
+    def test_having(self, db):
+        rows = db.query(
+            "SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 2"
+        )
+        assert rows == [("x", 3)]
+
+    def test_order_by_aggregate(self, db):
+        rows = db.query(
+            "SELECT g, sum(n) FROM t GROUP BY g ORDER BY sum(n) DESC"
+        )
+        assert rows[0] == ("x", 9)
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.query("SELECT g, n FROM t GROUP BY g")
+
+    def test_having_without_group_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.query("SELECT n FROM t HAVING n > 1")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.query("SELECT n FROM t WHERE sum(n) > 1")
+
+
+class TestAggregateOverJoin:
+    def test_paper_type2_shape(self, db):
+        db.create_table_from_dict(
+            "s", {"g": ["x", "y"], "w": [100.0, 200.0]}
+        )
+        rows = db.query(
+            "SELECT t.g, count(t.flag = TRUE) / sum(s.w) "
+            "FROM t, s WHERE t.g = s.g GROUP BY t.g ORDER BY t.g"
+        )
+        assert rows[0][0] == "x"
+        assert rows[0][1] == pytest.approx(2 / 300.0)

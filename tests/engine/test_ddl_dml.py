@@ -1,0 +1,145 @@
+"""CREATE / INSERT / UPDATE / DROP through the facade."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, SqlError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict("src", {"a": [1, 2, 3], "s": ["x", "y", "z"]})
+    return database
+
+
+class TestCreateTable:
+    def test_with_column_defs(self, db):
+        db.execute("CREATE TABLE t (a Int64, b Float64, s String, d Date)")
+        assert db.table("t").num_rows == 0
+        assert db.table("t").schema.column_names == ["a", "b", "s", "d"]
+
+    def test_unknown_type(self, db):
+        with pytest.raises(SqlError):
+            db.execute("CREATE TABLE t (a Nonsense)")
+
+    def test_as_select(self, db):
+        db.execute("CREATE TABLE t AS SELECT a * 10 AS a10 FROM src")
+        assert db.query("SELECT sum(a10) FROM t") == [(60,)]
+
+    def test_temp_flag(self, db):
+        db.execute("CREATE TEMP TABLE t AS SELECT a FROM src")
+        assert db.catalog.is_temp("t")
+        db.drop_temp_objects()
+        assert not db.catalog.has("t")
+
+    def test_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t AS SELECT a FROM src")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t AS SELECT a FROM src")
+
+    def test_or_replace(self, db):
+        db.execute("CREATE TABLE t AS SELECT a FROM src")
+        db.execute("CREATE OR REPLACE TABLE t AS SELECT a FROM src WHERE a = 1")
+        assert db.table("t").num_rows == 1
+
+
+class TestInsert:
+    def test_values(self, db):
+        db.execute("INSERT INTO src VALUES (4, 'w'), (5, 'v')")
+        assert db.table("src").num_rows == 5
+
+    def test_values_with_columns_reordered(self, db):
+        db.execute("INSERT INTO src (s, a) VALUES ('w', 4)")
+        assert db.table("src").row(3) == (4, "w")
+
+    def test_missing_column_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO src (a) VALUES (4)")
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE t AS SELECT a, s FROM src WHERE a = 1")
+        db.execute("INSERT INTO t SELECT a, s FROM src WHERE a > 1")
+        assert db.table("t").num_rows == 3
+
+    def test_insert_constant_expression(self, db):
+        db.execute("INSERT INTO src VALUES (2 + 2, 'four')")
+        assert db.query("SELECT s FROM src WHERE a = 4") == [("four",)]
+
+    def test_insert_invalidates_stats_and_indexes(self, db):
+        db.catalog.create_index("src", "a")
+        db.execute("INSERT INTO src VALUES (9, 'n')")
+        assert db.catalog.get_index("src", "a") is None
+
+
+class TestUpdate:
+    def test_update_where(self, db):
+        result = db.execute("UPDATE src SET a = 0 WHERE a > 1")
+        assert result.affected_rows == 2
+        assert db.query("SELECT sum(a) FROM src") == [(1,)]
+
+    def test_update_all(self, db):
+        db.execute("UPDATE src SET a = a + 100")
+        assert db.query("SELECT min(a) FROM src") == [(101,)]
+
+    def test_relu_update_from_paper(self, db):
+        db.create_table_from_dict("vals", {"Value": [-1.0, 2.0, -3.0]})
+        db.execute("UPDATE vals SET Value = 0 WHERE Value < 0")
+        assert db.query("SELECT sum(Value) FROM vals") == [(2.0,)]
+
+    def test_update_string_column(self, db):
+        db.execute("UPDATE src SET s = 'zap' WHERE a = 1")
+        assert db.query("SELECT s FROM src WHERE a = 1") == [("zap",)]
+
+
+class TestDrop:
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE src")
+        assert not db.catalog.has("src")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS nothere")
+
+    def test_drop_unknown_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE nothere")
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW v AS SELECT a FROM src")
+        db.execute("DROP VIEW v")
+        assert not db.catalog.has("v")
+
+
+class TestIndexStatement:
+    def test_create_index(self, db):
+        result = db.execute("CREATE INDEX idx ON src(a)")
+        assert "3 keys" in result.message
+
+
+class TestScripts:
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "CREATE TEMP TABLE t AS SELECT a FROM src;"
+            "INSERT INTO t VALUES (9);"
+            "SELECT count(*) FROM t;"
+        )
+        assert results[-1].rows() == [(4,)]
+
+
+class TestResultApi:
+    def test_scalar_requires_1x1(self, db):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT a FROM src").scalar()
+
+    def test_no_result_set(self, db):
+        from repro.errors import ExecutionError
+
+        result = db.execute("DROP TABLE src")
+        with pytest.raises(ExecutionError):
+            _ = result.frame
+
+    def test_column_access(self, db):
+        values = db.execute("SELECT a FROM src").column("a")
+        assert values.tolist() == [1, 2, 3]

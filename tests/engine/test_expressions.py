@@ -1,0 +1,185 @@
+"""Vectorized expression evaluation details."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import (
+    Evaluator,
+    FunctionRegistry,
+    Vector,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from repro.engine.frame import Frame, FrameColumn
+from repro.errors import PlanError
+from repro.sql.parser import parse_statement
+from repro.storage.schema import DataType
+
+
+def frame_of(**columns) -> Frame:
+    out = []
+    for name, values in columns.items():
+        array = np.asarray(values)
+        if array.dtype == np.bool_:
+            dtype = DataType.BOOL
+        elif np.issubdtype(array.dtype, np.integer):
+            dtype = DataType.INT64
+            array = array.astype(np.int64)
+        elif array.dtype == object or array.dtype.kind == "U":
+            dtype = DataType.STRING
+            boxed = np.empty(len(values), dtype=object)
+            boxed[:] = list(values)
+            array = boxed
+        else:
+            dtype = DataType.FLOAT64
+        out.append(FrameColumn(None, name, dtype, array))
+    return Frame(out)
+
+
+def eval_expr(sql_expression, frame):
+    statement = parse_statement(f"SELECT {sql_expression}")
+    evaluator = Evaluator(frame, FunctionRegistry())
+    return evaluator.evaluate(statement.items[0].expression)
+
+
+class TestArithmetic:
+    def test_int_plus_int_stays_int(self):
+        v = eval_expr("a + b", frame_of(a=[1, 2], b=[3, 4]))
+        assert v.dtype is DataType.INT64
+        assert v.data.tolist() == [4, 6]
+
+    def test_division_always_float(self):
+        v = eval_expr("a / 2", frame_of(a=[1, 2]))
+        assert v.dtype is DataType.FLOAT64
+        assert v.data.tolist() == [0.5, 1.0]
+
+    def test_mixed_promotes_to_float(self):
+        v = eval_expr("a * b", frame_of(a=[2, 3], b=[0.5, 0.5]))
+        assert v.dtype is DataType.FLOAT64
+
+    def test_unary_minus(self):
+        v = eval_expr("-a", frame_of(a=[1, -2]))
+        assert v.data.tolist() == [-1, 2]
+
+
+class TestComparisons:
+    def test_numeric(self):
+        v = eval_expr("a >= 2", frame_of(a=[1, 2, 3]))
+        assert v.dtype is DataType.BOOL
+        assert v.data.tolist() == [False, True, True]
+
+    def test_string(self):
+        v = eval_expr("s = 'x'", frame_of(s=["x", "y"]))
+        assert v.data.tolist() == [True, False]
+
+    def test_bool_equals_literal(self):
+        v = eval_expr("b = TRUE", frame_of(b=[True, False]))
+        assert v.data.tolist() == [True, False]
+
+    def test_scalar_comparison_folds(self):
+        v = eval_expr("1 < 2", frame_of(a=[1]))
+        assert v.is_scalar and v.data is True
+
+
+class TestDateCoercion:
+    def test_date_vs_string_literal(self):
+        from repro.storage.schema import parse_date
+
+        dates = np.array(
+            [parse_date("2021-01-05"), parse_date("2021-03-05")],
+            dtype=np.int64,
+        )
+        frame = Frame([FrameColumn(None, "d", DataType.DATE, dates)])
+        v = eval_expr("d < '2021-02-01'", frame)
+        assert v.data.tolist() == [True, False]
+
+
+class TestLogic:
+    def test_and_or_not(self):
+        frame = frame_of(a=[1, 2, 3, 4])
+        v = eval_expr("a > 1 AND a < 4", frame)
+        assert v.data.tolist() == [False, True, True, False]
+        v = eval_expr("NOT a > 1", frame)
+        assert v.data.tolist() == [True, False, False, False]
+
+    def test_concat_operator(self):
+        v = eval_expr("s || '!'", frame_of(s=["a", "b"]))
+        assert v.data.tolist() == ["a!", "b!"]
+
+
+class TestMaskAndErrors:
+    def test_evaluate_mask_casts(self):
+        frame = frame_of(a=[0, 1, 2])
+        evaluator = Evaluator(frame, FunctionRegistry())
+        statement = parse_statement("SELECT a")
+        mask = evaluator.evaluate_mask(statement.items[0].expression)
+        assert mask.tolist() == [False, True, True]
+
+    def test_aggregate_outside_context_rejected(self):
+        with pytest.raises(PlanError):
+            eval_expr("sum(a)", frame_of(a=[1]))
+
+    def test_bare_star_rejected(self):
+        frame = frame_of(a=[1])
+        evaluator = Evaluator(frame, FunctionRegistry())
+        from repro.sql.ast_nodes import Star
+
+        with pytest.raises(PlanError):
+            evaluator.evaluate(Star())
+
+
+class TestAggregateDetection:
+    def test_is_aggregate_call(self):
+        statement = parse_statement("SELECT sum(a), abs(a)")
+        assert is_aggregate_call(statement.items[0].expression)
+        assert not is_aggregate_call(statement.items[1].expression)
+
+    def test_contains_aggregate_nested(self):
+        statement = parse_statement("SELECT 1 + sum(a) / count(*)")
+        assert contains_aggregate(statement.items[0].expression)
+
+
+class TestVector:
+    def test_scalar_materialize(self):
+        v = Vector(5, DataType.INT64, is_scalar=True)
+        assert v.materialize(3).tolist() == [5, 5, 5]
+
+    def test_scalar_string_materialize(self):
+        v = Vector("x", DataType.STRING, is_scalar=True)
+        out = v.materialize(2)
+        assert out.dtype == object and out.tolist() == ["x", "x"]
+
+
+class TestBuiltinFunctions:
+    def test_if(self):
+        v = eval_expr("if(a > 1, a, 0)", frame_of(a=[1, 2]))
+        assert v.data.tolist() == [0, 2]
+
+    def test_round(self):
+        v = eval_expr("round(a, 1)", frame_of(a=[1.26, 2.34]))
+        assert v.data.tolist() == [1.3, 2.3]
+
+    def test_pow(self):
+        v = eval_expr("pow(a, 2)", frame_of(a=[2.0, 3.0]))
+        assert v.data.tolist() == [4.0, 9.0]
+
+    def test_string_functions(self):
+        frame = frame_of(s=["Ab", "cD"])
+        assert eval_expr("lower(s)", frame).data.tolist() == ["ab", "cd"]
+        assert eval_expr("upper(s)", frame).data.tolist() == ["AB", "CD"]
+        assert eval_expr("length(s)", frame).data.tolist() == [2, 2]
+
+    def test_exp_ln_inverse(self):
+        frame = frame_of(a=[1.0, 2.0])
+        v = eval_expr("ln(exp(a))", frame)
+        assert np.allclose(v.data, [1.0, 2.0])
+
+    def test_sigmoid_tanh(self):
+        frame = frame_of(a=[0.0])
+        assert eval_expr("sigmoid(a)", frame).data[0] == pytest.approx(0.5)
+        assert eval_expr("tanh(a)", frame).data[0] == pytest.approx(0.0)
+
+    def test_to_date(self):
+        frame = frame_of(a=[1])
+        v = eval_expr("toDate('2021-01-01')", frame)
+        assert v.dtype is DataType.DATE

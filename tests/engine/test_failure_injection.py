@@ -1,0 +1,135 @@
+"""Failure injection: errors mid-query must not corrupt database state."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchUdf, Database
+from repro.errors import UdfError
+from repro.storage.schema import DataType
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict("t", {"a": [1.0, 2.0, 3.0]})
+    return database
+
+
+def flaky_udf(fail_on_call: int):
+    state = {"calls": 0}
+
+    def fn(values):
+        state["calls"] += 1
+        if state["calls"] == fail_on_call:
+            raise RuntimeError("injected failure")
+        return values * 2
+
+    return BatchUdf(name="flaky", fn=fn, return_dtype=DataType.FLOAT64)
+
+
+class TestUdfFailures:
+    def test_failure_propagates_as_udf_error(self, db):
+        db.register_udf(flaky_udf(fail_on_call=1))
+        with pytest.raises(UdfError, match="injected failure"):
+            db.query("SELECT flaky(a) FROM t")
+
+    def test_catalog_intact_after_failed_query(self, db):
+        db.register_udf(flaky_udf(fail_on_call=1))
+        with pytest.raises(UdfError):
+            db.query("SELECT flaky(a) FROM t")
+        # The base table is untouched and usable.
+        assert db.query("SELECT sum(a) FROM t") == [(6.0,)]
+
+    def test_failed_create_table_as_leaves_no_table(self, db):
+        db.register_udf(flaky_udf(fail_on_call=1))
+        with pytest.raises(UdfError):
+            db.execute("CREATE TABLE bad AS SELECT flaky(a) FROM t")
+        assert not db.catalog.has("bad")
+
+    def test_retry_after_transient_failure_succeeds(self, db):
+        db.register_udf(flaky_udf(fail_on_call=1))
+        with pytest.raises(UdfError):
+            db.query("SELECT flaky(a) FROM t")
+        rows = db.query("SELECT flaky(a) FROM t")  # second call succeeds
+        assert [r[0] for r in rows] == [2.0, 4.0, 6.0]
+
+    def test_udf_returning_wrong_shape_rejected(self, db):
+        db.register_udf(
+            BatchUdf(
+                name="short",
+                fn=lambda values: np.zeros(max(len(values) - 1, 0)),
+                return_dtype=DataType.FLOAT64,
+            )
+        )
+        with pytest.raises(UdfError, match="shape"):
+            db.query("SELECT short(a) FROM t")
+
+
+class TestStrategyFailures:
+    def test_corrupt_blob_rejected_at_bind(self, tiny_dataset, detect_task):
+        from dataclasses import replace
+
+        from repro.errors import SerializationError
+        from repro.strategies import LooseStrategy
+
+        corrupt = replace(detect_task, blob=b"RPRO" + b"\x01\x00garbage")
+        strategy = LooseStrategy()
+        with pytest.raises(SerializationError):
+            strategy.bind_task(Database(), corrupt)
+
+    def test_tight_inference_failure_leaves_clean_state(
+        self, tiny_dataset, detect_task
+    ):
+        """If the outer query dies mid-inference, re-binding and re-running
+        must still work (temp tables from the dead inference are reclaimed
+        on the next run)."""
+        from repro.strategies import QueryType, TightStrategy
+        from repro.workload.queries import QueryGenerator
+
+        db = Database()
+        tiny_dataset.install(db)
+        strategy = TightStrategy()
+        strategy.bind_task(db, detect_task)
+
+        # Poison the video table with one malformed keyframe.
+        video = db.table("video")
+        frames = video.column("keyframe").data.copy()
+        frames[0] = np.zeros((3, 3, 3, 3))  # wrong shape
+        video.replace_column("keyframe", frames)
+
+        query = QueryGenerator(tiny_dataset).make_query(
+            QueryType.LEARNING_DEPENDS_ON_DB, 0.9
+        )
+        with pytest.raises(UdfError):
+            strategy.run(db, query, {"detect": detect_task})
+
+        # Repair and re-run on the same database.
+        tiny_dataset.install(db)  # replace=True restores the table
+        db.catalog.create_index("video", "transID")
+        result = strategy.run(db, query, {"detect": detect_task})
+        assert result.details["inferred_rows"] >= 0
+
+
+class TestParseAndPlanFailures:
+    def test_parse_error_leaves_cache_usable(self, db):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            db.execute("SELEC a FROM t")
+        assert db.query("SELECT count(*) FROM t") == [(3,)]
+
+    def test_plan_error_is_clean(self, db):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            db.query("SELECT missing_column FROM t")
+        assert db.query("SELECT count(*) FROM t") == [(3,)]
+
+    def test_insert_width_error_does_not_partially_insert(self, db):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            db.execute("INSERT INTO t VALUES (4.0), (5.0, 6.0)")
+        # Either nothing or only complete batches: our engine validates
+        # the whole batch first, so nothing lands.
+        assert db.table("t").num_rows == 3

@@ -1,0 +1,103 @@
+"""Frame resolution and transformations."""
+
+import numpy as np
+import pytest
+
+from repro.engine.frame import Frame, FrameColumn, concat_frames
+from repro.errors import ExecutionError, PlanError
+from repro.storage.schema import DataType
+from repro.storage.table import Table
+
+
+def make_frame():
+    return Frame(
+        [
+            FrameColumn("T", "a", DataType.INT64, np.array([1, 2, 3])),
+            FrameColumn("T", "b", DataType.FLOAT64, np.array([1.0, 2.0, 3.0])),
+            FrameColumn("S", "a", DataType.INT64, np.array([9, 8, 7])),
+        ]
+    )
+
+
+class TestResolution:
+    def test_qualified(self):
+        frame = make_frame()
+        assert frame.resolve("a", "T").data.tolist() == [1, 2, 3]
+        assert frame.resolve("a", "S").data.tolist() == [9, 8, 7]
+
+    def test_unqualified_unique(self):
+        frame = make_frame()
+        assert frame.resolve("b", None).data.tolist() == [1.0, 2.0, 3.0]
+
+    def test_unqualified_ambiguous(self):
+        frame = make_frame()
+        with pytest.raises(PlanError, match="ambiguous"):
+            frame.resolve("a", None)
+
+    def test_unknown(self):
+        with pytest.raises(PlanError, match="unknown column"):
+            make_frame().resolve("zzz", None)
+
+    def test_case_insensitive(self):
+        frame = make_frame()
+        assert frame.resolve("A", "t").data.tolist() == [1, 2, 3]
+
+    def test_duplicate_same_vector_tolerated(self):
+        data = np.array([1, 2])
+        frame = Frame(
+            [
+                FrameColumn("X", "a", DataType.INT64, data),
+                FrameColumn("Y", "a", DataType.INT64, data),
+            ]
+        )
+        assert frame.resolve("a", None).data is data
+
+
+class TestTransforms:
+    def test_filter_take_head(self):
+        frame = make_frame()
+        assert frame.filter(np.array([True, False, True])).num_rows == 2
+        assert frame.take(np.array([2, 0])).resolve("b", None).data.tolist() == [
+            3.0,
+            1.0,
+        ]
+        assert frame.head(1).num_rows == 1
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ExecutionError):
+            Frame(
+                [
+                    FrameColumn(None, "a", DataType.INT64, np.array([1])),
+                    FrameColumn(None, "b", DataType.INT64, np.array([1, 2])),
+                ]
+            )
+
+    def test_concat_columns_row_mismatch(self):
+        left = Frame([FrameColumn(None, "a", DataType.INT64, np.array([1]))])
+        right = Frame([FrameColumn(None, "b", DataType.INT64, np.array([1, 2]))])
+        with pytest.raises(ExecutionError):
+            left.concat_columns(right)
+
+    def test_concat_frames_vertical(self):
+        a = Frame([FrameColumn(None, "x", DataType.INT64, np.array([1]))])
+        b = Frame([FrameColumn(None, "x", DataType.INT64, np.array([2, 3]))])
+        combined = concat_frames([a, b])
+        assert combined.resolve("x", None).data.tolist() == [1, 2, 3]
+
+
+class TestTableConversion:
+    def test_roundtrip(self):
+        table = Table.from_dict("t", {"a": [1, 2], "s": ["x", "y"]})
+        frame = Frame.from_table(table, "t")
+        back = frame.to_table("out")
+        assert back.to_rows() == table.to_rows()
+
+    def test_duplicate_output_names_deduplicated(self):
+        frame = Frame(
+            [
+                FrameColumn("X", "a", DataType.INT64, np.array([1])),
+                FrameColumn("Y", "a", DataType.INT64, np.array([2])),
+            ]
+        )
+        table = frame.to_table("out")
+        assert table.schema.column_names == ["a", "a_1"]

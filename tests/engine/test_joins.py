@@ -1,0 +1,147 @@
+"""Join execution: hash joins, cross joins, multi-key, symmetric."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.engine.frame import Frame
+from repro.engine.physical import (
+    ExecutionContext,
+    _match_numeric_keys,
+    _symmetric_hash_join,
+)
+from repro.engine.expressions import FunctionRegistry
+from repro.engine.profiler import Profiler
+from repro.engine.udf import UdfRegistry
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "left_t", {"k": [1, 2, 2, 3], "lv": [10, 20, 21, 30]}
+    )
+    database.create_table_from_dict(
+        "right_t", {"k": [2, 3, 3, 4], "rv": ["b", "c", "d", "e"]}
+    )
+    return database
+
+
+class TestInnerJoin:
+    def test_comma_syntax(self, db):
+        rows = db.query(
+            "SELECT lv, rv FROM left_t, right_t "
+            "WHERE left_t.k = right_t.k ORDER BY lv, rv"
+        )
+        assert rows == [(20, "b"), (21, "b"), (30, "c"), (30, "d")]
+
+    def test_join_syntax_equivalent(self, db):
+        a = db.query(
+            "SELECT lv, rv FROM left_t, right_t "
+            "WHERE left_t.k = right_t.k ORDER BY lv, rv"
+        )
+        b = db.query(
+            "SELECT lv, rv FROM left_t INNER JOIN right_t "
+            "ON left_t.k = right_t.k ORDER BY lv, rv"
+        )
+        assert a == b
+
+    def test_join_with_extra_filter(self, db):
+        rows = db.query(
+            "SELECT lv FROM left_t, right_t "
+            "WHERE left_t.k = right_t.k AND rv = 'b' ORDER BY lv"
+        )
+        assert rows == [(20,), (21,)]
+
+    def test_empty_result(self, db):
+        rows = db.query(
+            "SELECT lv FROM left_t, right_t "
+            "WHERE left_t.k = right_t.k AND lv > 999"
+        )
+        assert rows == []
+
+    def test_three_way_join(self, db):
+        db.create_table_from_dict("third", {"rv": ["b", "c"], "tv": [1, 2]})
+        rows = db.query(
+            "SELECT lv, tv FROM left_t, right_t, third "
+            "WHERE left_t.k = right_t.k AND right_t.rv = third.rv "
+            "ORDER BY lv, tv"
+        )
+        assert (30, 2) in rows
+
+    def test_expression_join_key(self, db):
+        rows = db.query(
+            "SELECT lv FROM left_t, right_t "
+            "WHERE left_t.k + 1 = right_t.k ORDER BY lv"
+        )
+        # k=1 matches the one right k=2 row; k=2 (twice) matches the two
+        # right k=3 rows; k=3 matches the one right k=4 row.
+        assert [r[0] for r in rows] == [10, 20, 20, 21, 21, 30]
+
+    def test_cross_join_no_condition(self, db):
+        rows = db.query("SELECT count(*) FROM left_t, right_t")
+        assert rows == [(16,)]
+
+    def test_self_join_aliases(self, db):
+        rows = db.query(
+            "SELECT a.lv, b.lv FROM left_t a, left_t b "
+            "WHERE a.k = b.k AND a.lv < b.lv"
+        )
+        assert rows == [(20, 21)]
+
+
+class TestMatchKernels:
+    def test_match_numeric_keys_pairs(self):
+        build = np.array([1, 2, 2, 3])
+        probe = np.array([2, 3, 5])
+        build_idx, probe_idx = _match_numeric_keys(build, probe)
+        pairs = sorted(zip(build_idx.tolist(), probe_idx.tolist()))
+        assert pairs == [(1, 0), (2, 0), (3, 1)]
+
+    def test_match_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        build_idx, probe_idx = _match_numeric_keys(empty, np.array([1]))
+        assert len(build_idx) == 0 and len(probe_idx) == 0
+
+
+def _ctx(**kwargs) -> ExecutionContext:
+    from repro.storage.catalog import Catalog
+
+    return ExecutionContext(
+        catalog=Catalog(),
+        functions=FunctionRegistry(),
+        udfs=UdfRegistry(),
+        profiler=Profiler(),
+        **kwargs,
+    )
+
+
+class TestSymmetricHashJoin:
+    def test_same_result_as_plain_match(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 50, 500)
+        right = rng.integers(0, 50, 400)
+        ctx = _ctx()
+        sym_l, sym_r = _symmetric_hash_join([left], [right], ctx, chunk_size=64)
+        plain_l, plain_r = _match_numeric_keys(left, right)
+        assert sorted(zip(sym_l.tolist(), sym_r.tolist())) == sorted(
+            zip(plain_l.tolist(), plain_r.tolist())
+        )
+
+    def test_lru_counters_under_pressure(self):
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 2000, 3000)
+        right = rng.integers(0, 2000, 3000)
+        ctx = _ctx(symmetric_join_memory=1024)  # tiny budget forces eviction
+        _symmetric_hash_join([left], [right], ctx, chunk_size=128)
+        stats = ctx.last_symmetric_stats
+        assert stats["buckets"] > 0
+        assert stats["cache_misses"] > 0
+        assert stats["bucket_reloads"] >= stats["cache_misses"]
+
+    def test_no_eviction_with_big_budget(self):
+        left = np.arange(100)
+        right = np.arange(100)
+        ctx = _ctx()
+        _symmetric_hash_join([left], [right], ctx)
+        assert ctx.last_symmetric_stats["cache_misses"] == 0

@@ -1,0 +1,166 @@
+"""Optimizer behaviour: pushdown, join extraction/ordering, hint rules."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchUdf, Database
+from repro.engine.logical import Filter, HashJoin, Scan, walk_plan
+from repro.engine.optimizer import OptimizerConfig
+from repro.storage.schema import DataType
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "big", {"k": list(range(100)), "bv": [float(i) for i in range(100)]}
+    )
+    database.create_table_from_dict(
+        "small", {"k": [1, 2, 3], "sv": ["a", "b", "c"]}
+    )
+    return database
+
+
+def plan_of(db, sql):
+    return db.explain(sql).plan
+
+
+class TestPushdownAndJoins:
+    def test_equi_join_extracted(self, db):
+        plan = plan_of(db, "SELECT bv FROM big, small WHERE big.k = small.k")
+        joins = [n for n in walk_plan(plan) if isinstance(n, HashJoin)]
+        assert len(joins) == 1
+
+    def test_filter_pushed_below_join(self, db):
+        plan = plan_of(
+            db,
+            "SELECT bv FROM big, small "
+            "WHERE big.k = small.k AND big.bv > 50",
+        )
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        # The bv filter must sit below the join, directly over the scan.
+        below = [
+            n
+            for side in (join.left, join.right)
+            for n in walk_plan(side)
+            if isinstance(n, Filter)
+        ]
+        assert any("bv" in f.predicate.to_sql() for f in below)
+
+    def test_smaller_relation_becomes_build_side(self, db):
+        plan = plan_of(db, "SELECT bv FROM big, small WHERE big.k = small.k")
+        join = next(n for n in walk_plan(plan) if isinstance(n, HashJoin))
+        left_scans = [n for n in walk_plan(join.left) if isinstance(n, Scan)]
+        assert left_scans[0].table_name == "small"
+
+    def test_cross_join_residual_filter_kept(self, db):
+        plan = plan_of(
+            db, "SELECT bv FROM big, small WHERE big.bv > small.k + 10"
+        )
+        # Non-equi condition stays as a filter above a cross join.
+        filters = [n for n in walk_plan(plan) if isinstance(n, Filter)]
+        assert any(">" in f.predicate.to_sql() for f in filters)
+
+    def test_three_way_ordering_runs(self, db):
+        db.create_table_from_dict("mid", {"k": [1, 2], "mv": [0.5, 0.6]})
+        rows = db.query(
+            "SELECT sv FROM big, small, mid "
+            "WHERE big.k = small.k AND small.k = mid.k ORDER BY sv"
+        )
+        assert rows == [("a",), ("b",)]
+
+    def test_execution_matches_unoptimized_semantics(self, db):
+        sql = (
+            "SELECT big.k, sv FROM big, small "
+            "WHERE big.k = small.k AND bv < 3 ORDER BY big.k"
+        )
+        assert db.query(sql) == [(1, "a"), (2, "b")]
+
+
+def _register_neural(db, selectivity_true=0.05, cost=0.05):
+    """A fake detect UDF with metadata the hints consume."""
+    calls = {"rows": 0}
+
+    def fn(values):
+        calls["rows"] += len(values)
+        return np.asarray([v > 90 for v in values], dtype=bool)
+
+    db.register_udf(
+        BatchUdf(
+            name="nUDF_fake",
+            fn=fn,
+            return_dtype=DataType.BOOL,
+            cost_per_row=cost,
+            is_neural=True,
+            selectivity_of=lambda label: selectivity_true,
+        )
+    )
+    return calls
+
+
+class TestHintRules:
+    def test_lazy_placement_defers_expensive_udf(self, db):
+        from repro.core.hints import make_op_config
+
+        calls = _register_neural(db)
+        db.optimizer_config = make_op_config(db.udfs)
+        db.query(
+            "SELECT bv FROM big, small "
+            "WHERE big.k = small.k AND nUDF_fake(big.bv) = TRUE"
+        )
+        # Lazy: the UDF only sees the 3 join survivors, not 100 rows.
+        assert calls["rows"] == 3
+
+    def test_without_hints_udf_runs_eagerly(self, db):
+        calls = _register_neural(db)
+        db.optimizer_config = OptimizerConfig(use_hints=False)
+        db.query(
+            "SELECT bv FROM big, small "
+            "WHERE big.k = small.k AND nUDF_fake(big.bv) = TRUE"
+        )
+        assert calls["rows"] == 100
+
+    def test_udf_join_condition_uses_symmetric_join(self, db):
+        from repro.core.hints import make_op_config
+
+        _register_neural(db)
+        db.optimizer_config = make_op_config(db.udfs)
+        plan = plan_of(
+            db,
+            "SELECT sv FROM big, small WHERE nUDF_fake(big.bv) = small.k",
+        )
+        joins = [n for n in walk_plan(plan) if isinstance(n, HashJoin)]
+        assert joins and joins[0].symmetric
+
+    def test_udf_join_without_hints_not_symmetric(self, db):
+        _register_neural(db)
+        db.optimizer_config = OptimizerConfig(use_hints=False)
+        plan = plan_of(
+            db,
+            "SELECT sv FROM big, small WHERE nUDF_fake(big.bv) = small.k",
+        )
+        joins = [n for n in walk_plan(plan) if isinstance(n, HashJoin)]
+        assert not any(j.symmetric for j in joins)
+
+    def test_hints_preserve_results(self, db):
+        from repro.core.hints import make_op_config
+
+        _register_neural(db)
+        sql = (
+            "SELECT bv FROM big, small "
+            "WHERE big.k = small.k AND nUDF_fake(big.bv) = FALSE ORDER BY bv"
+        )
+        db.optimizer_config = OptimizerConfig(use_hints=False)
+        plain = db.query(sql)
+        db.optimizer_config = make_op_config(db.udfs)
+        hinted = db.query(sql)
+        assert plain == hinted
+
+
+class TestHavingUntouched:
+    def test_having_filter_not_rewritten_into_joins(self, db):
+        rows = db.query(
+            "SELECT k % 3, count(*) FROM big GROUP BY k % 3 "
+            "HAVING count(*) > 33 ORDER BY k % 3"
+        )
+        assert rows == [(0, 34)]

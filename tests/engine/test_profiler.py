@@ -1,0 +1,67 @@
+"""Profiler accounting (the machinery behind Fig. 10)."""
+
+import time
+
+from repro.engine import Database
+from repro.engine.profiler import Profiler
+
+
+class TestProfiler:
+    def test_measure_accumulates(self):
+        profiler = Profiler()
+        with profiler.measure("join") as token:
+            token.record_rows(10)
+            time.sleep(0.001)
+        with profiler.measure("join") as token:
+            token.record_rows(5)
+        stats = profiler.stats["join"]
+        assert stats.calls == 2
+        assert stats.rows == 15
+        assert stats.seconds > 0
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = Profiler(enabled=False)
+        with profiler.measure("join") as token:
+            token.record_rows(10)
+        assert profiler.stats == {}
+
+    def test_breakdown_sums_to_one(self):
+        profiler = Profiler()
+        profiler.add("scan", 0.3)
+        profiler.add("join", 0.7)
+        breakdown = profiler.breakdown()
+        assert sum(breakdown.values()) == 1.0
+        assert breakdown["join"] == 0.7
+
+    def test_breakdown_empty(self):
+        assert Profiler().breakdown() == {}
+
+    def test_snapshot_is_a_copy(self):
+        profiler = Profiler()
+        profiler.add("scan", 1.0, rows=5)
+        snapshot = profiler.snapshot()
+        profiler.reset()
+        assert snapshot["scan"].rows == 5
+        assert profiler.stats == {}
+
+
+class TestQueryProfiling:
+    def test_query_populates_categories(self):
+        db = Database()
+        db.create_table_from_dict(
+            "t", {"k": list(range(50)), "g": [i % 5 for i in range(50)]}
+        )
+        db.create_table_from_dict("s", {"k": list(range(10))})
+        db.profiler.reset()
+        db.query(
+            "SELECT t.g, count(*) FROM t, s WHERE t.k = s.k "
+            "GROUP BY t.g ORDER BY t.g"
+        )
+        categories = set(db.profiler.stats)
+        assert {"scan", "join", "groupby", "sort", "project"} <= categories
+
+    def test_profiler_can_be_disabled(self):
+        db = Database(profile=False)
+        db.create_table_from_dict("t", {"a": [1]})
+        db.query("SELECT a FROM t")
+        assert db.profiler.stats == {}

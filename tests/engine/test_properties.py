@@ -1,0 +1,122 @@
+"""Property-based tests of relational-algebra invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+
+settings.register_profile("engine", deadline=None, max_examples=60)
+settings.load_profile("engine")
+
+
+_small_ints = st.integers(min_value=-5, max_value=5)
+_tables = st.lists(
+    st.tuples(_small_ints, _small_ints), min_size=0, max_size=30
+)
+
+
+def make_db(rows, name="t"):
+    db = Database()
+    db.create_table_from_dict(
+        name,
+        {"a": [r[0] for r in rows], "b": [r[1] for r in rows]},
+    )
+    return db
+
+
+@given(rows=_tables, threshold=_small_ints)
+def test_filter_partitions_rows(rows, threshold):
+    """σ_p(T) ∪ σ_¬p(T) == T (counts)."""
+    db = make_db(rows)
+    matching = db.execute(
+        f"SELECT count(*) FROM t WHERE a > {threshold}"
+    ).scalar()
+    complement = db.execute(
+        f"SELECT count(*) FROM t WHERE NOT a > {threshold}"
+    ).scalar()
+    assert matching + complement == len(rows)
+
+
+@given(rows=_tables)
+def test_projection_preserves_cardinality(rows):
+    db = make_db(rows)
+    assert db.execute("SELECT count(*) FROM t").scalar() == len(rows)
+    projected = db.query("SELECT a + b FROM t")
+    assert len(projected) == len(rows)
+
+
+@given(rows=_tables)
+def test_sum_matches_python(rows):
+    db = make_db(rows)
+    got = db.execute("SELECT sum(a) FROM t").scalar()
+    assert got == sum(r[0] for r in rows)
+
+
+@given(rows=_tables)
+def test_group_by_sums_to_global(rows):
+    """Σ over groups == global aggregate."""
+    db = make_db(rows)
+    grouped = db.query("SELECT b, count(*) FROM t GROUP BY b")
+    assert sum(count for _, count in grouped) == len(rows)
+    distinct_keys = {r[1] for r in rows}
+    assert len(grouped) == len(distinct_keys)
+
+
+@given(left=_tables, right=_tables)
+def test_join_commutes(left, right):
+    """|L ⋈ R| is independent of the FROM order."""
+    db = make_db(left, "l")
+    db.create_table_from_dict(
+        "r", {"a": [x[0] for x in right], "c": [x[1] for x in right]}
+    )
+    one = db.execute(
+        "SELECT count(*) FROM l, r WHERE l.a = r.a"
+    ).scalar()
+    two = db.execute(
+        "SELECT count(*) FROM r, l WHERE l.a = r.a"
+    ).scalar()
+    brute = sum(
+        1 for x in left for y in right if x[0] == y[0]
+    )
+    assert one == two == brute
+
+
+@given(rows=_tables)
+def test_order_by_is_sorted_and_stable_cardinality(rows):
+    db = make_db(rows)
+    ordered = [r[0] for r in db.query("SELECT a FROM t ORDER BY a")]
+    assert ordered == sorted(x[0] for x in rows)
+
+
+@given(rows=_tables)
+def test_distinct_matches_set_semantics(rows):
+    db = make_db(rows)
+    got = db.query("SELECT DISTINCT a, b FROM t")
+    assert sorted(got) == sorted(set(rows))
+
+
+@given(rows=_tables, limit=st.integers(min_value=0, max_value=40))
+def test_limit_bounds(rows, limit):
+    db = make_db(rows)
+    got = db.query(f"SELECT a FROM t ORDER BY a LIMIT {limit}")
+    assert len(got) == min(limit, len(rows))
+
+
+@given(rows=_tables)
+def test_update_then_scan_consistent(rows):
+    db = make_db(rows)
+    db.execute("UPDATE t SET a = 0 WHERE a < 0")
+    assert db.execute("SELECT count(*) FROM t WHERE a < 0").scalar() == 0
+    assert db.execute("SELECT count(*) FROM t").scalar() == len(rows)
+
+
+@given(rows=_tables)
+def test_create_table_as_select_snapshot(rows):
+    db = make_db(rows)
+    db.execute("CREATE TEMP TABLE snap AS SELECT a, b FROM t")
+    db.execute("UPDATE t SET a = 99")
+    reread = db.query("SELECT a, b FROM snap")
+    assert sorted(reread) == sorted(rows)

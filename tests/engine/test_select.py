@@ -1,0 +1,178 @@
+"""End-to-end SELECT behaviour through the Database facade."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.errors import PlanError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "t",
+        {
+            "a": [1, 2, 3, 4, 5],
+            "b": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "g": ["x", "y", "x", "y", "x"],
+        },
+    )
+    return database
+
+
+class TestProjection:
+    def test_columns(self, db):
+        assert db.query("SELECT a FROM t") == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_expressions(self, db):
+        rows = db.query("SELECT a * 2 + 1 FROM t WHERE a = 2")
+        assert rows == [(5,)]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM t")
+        assert result.column_names == ["a", "b", "g"]
+
+    def test_aliases(self, db):
+        result = db.execute("SELECT a AS alpha FROM t")
+        assert result.column_names == ["alpha"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 2 + 3").scalar() == 5
+
+    def test_division_is_float(self, db):
+        assert db.execute("SELECT 3 / 2").scalar() == pytest.approx(1.5)
+
+    def test_modulo(self, db):
+        assert db.query("SELECT a % 2 FROM t WHERE a <= 2") == [(1,), (0,)]
+
+
+class TestFilter:
+    def test_comparison(self, db):
+        assert db.query("SELECT a FROM t WHERE b >= 30") == [(3,), (4,), (5,)]
+
+    def test_and_or(self, db):
+        rows = db.query("SELECT a FROM t WHERE a = 1 OR a = 5 AND b = 50")
+        assert rows == [(1,), (5,)]
+
+    def test_not(self, db):
+        assert db.query("SELECT a FROM t WHERE NOT a < 4") == [(4,), (5,)]
+
+    def test_in_list(self, db):
+        assert db.query("SELECT a FROM t WHERE a IN (2, 4)") == [(2,), (4,)]
+
+    def test_between(self, db):
+        assert db.query("SELECT a FROM t WHERE a BETWEEN 2 AND 3") == [
+            (2,),
+            (3,),
+        ]
+
+    def test_string_equality(self, db):
+        assert db.query("SELECT a FROM t WHERE g = 'y'") == [(2,), (4,)]
+
+    def test_case_expression(self, db):
+        rows = db.query(
+            "SELECT CASE WHEN a > 3 THEN 'big' ELSE 'small' END FROM t"
+        )
+        assert [r[0] for r in rows] == ["small", "small", "small", "big", "big"]
+
+
+class TestSortLimitDistinct:
+    def test_order_desc(self, db):
+        rows = db.query("SELECT a FROM t ORDER BY a DESC")
+        assert [r[0] for r in rows] == [5, 4, 3, 2, 1]
+
+    def test_order_by_string(self, db):
+        rows = db.query("SELECT g, a FROM t ORDER BY g, a")
+        assert rows[0][0] == "x" and rows[-1][0] == "y"
+
+    def test_order_by_alias(self, db):
+        rows = db.query("SELECT a * -1 AS neg FROM t ORDER BY neg")
+        assert [r[0] for r in rows] == [-5, -4, -3, -2, -1]
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT a FROM t LIMIT 2")) == 2
+
+    def test_distinct(self, db):
+        assert sorted(db.query("SELECT DISTINCT g FROM t")) == [("x",), ("y",)]
+
+    def test_order_then_limit(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a DESC LIMIT 1") == [(5,)]
+
+
+class TestDatesAndFunctions:
+    def test_date_comparison_with_strings(self, db):
+        db.create_table_from_dict("events", {"id": [1, 2]})
+        db.execute("DROP TABLE events")
+        from repro.storage.column import Column
+        from repro.storage.schema import DataType, parse_date
+        from repro.storage.table import Table
+
+        dates = Column(
+            "d",
+            DataType.DATE,
+            np.array(
+                [parse_date("2021-01-05"), parse_date("2021-02-05")],
+                dtype=np.int64,
+            ),
+        )
+        ids = Column.from_values("id", DataType.INT64, [1, 2])
+        db.register_table(Table("events", [ids, dates]))
+        rows = db.query("SELECT id FROM events WHERE d < '2021-02-01'")
+        assert rows == [(1,)]
+
+    def test_scalar_functions(self, db):
+        assert db.execute("SELECT abs(-3)").scalar() == 3.0
+        assert db.execute("SELECT sqrt(9)").scalar() == 3.0
+        assert db.execute("SELECT greatest(1, 5, 3)").scalar() == 5.0
+        assert db.execute("SELECT intDiv(7, 2)").scalar() == 3
+
+    def test_like(self, db):
+        rows = db.query("SELECT g FROM t WHERE g LIKE 'x%' LIMIT 1")
+        assert rows == [("x",)]
+
+    def test_unknown_function_raises(self, db):
+        from repro.errors import UdfError
+
+        with pytest.raises(UdfError):
+            db.query("SELECT no_such_function(a) FROM t")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        rows = db.query("SELECT a FROM t WHERE b > (SELECT avg(b) FROM t)")
+        assert rows == [(4,), (5,)]
+
+    def test_derived_table(self, db):
+        rows = db.query(
+            "SELECT d.x FROM (SELECT a + 1 AS x FROM t WHERE a > 3) d"
+        )
+        assert rows == [(5,), (6,)]
+
+    def test_scalar_subquery_must_be_1x1(self, db):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.query("SELECT (SELECT a FROM t) FROM t")
+
+
+class TestViews:
+    def test_view_expansion(self, db):
+        db.execute("CREATE VIEW v AS SELECT a, b FROM t WHERE a > 2")
+        assert db.query("SELECT count(*) FROM v") == [(3,)]
+
+    def test_view_of_view(self, db):
+        db.execute("CREATE VIEW v1 AS SELECT a FROM t WHERE a > 1")
+        db.execute("CREATE VIEW v2 AS SELECT a FROM v1 WHERE a < 5")
+        assert db.query("SELECT count(*) FROM v2") == [(3,)]
+
+
+class TestErrors:
+    def test_unknown_column(self, db):
+        with pytest.raises(PlanError):
+            db.query("SELECT nope FROM t")
+
+    def test_ambiguous_column(self, db):
+        db.create_table_from_dict("u", {"a": [1]})
+        with pytest.raises(PlanError):
+            db.query("SELECT a FROM t, u WHERE t.a = u.a")

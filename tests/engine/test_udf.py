@@ -1,0 +1,133 @@
+"""UDF registry and UDF execution inside queries."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchUdf, Database, UdfRegistry
+from repro.errors import UdfError
+from repro.storage.schema import DataType
+
+
+def double_udf():
+    return BatchUdf(
+        name="double_it",
+        fn=lambda values: values * 2,
+        return_dtype=DataType.FLOAT64,
+    )
+
+
+class TestRegistry:
+    def test_register_and_contains(self):
+        registry = UdfRegistry()
+        registry.register(double_udf())
+        assert "double_it" in registry
+        assert "DOUBLE_IT" in registry  # case-insensitive
+
+    def test_duplicate_rejected(self):
+        registry = UdfRegistry()
+        registry.register(double_udf())
+        with pytest.raises(UdfError):
+            registry.register(double_udf())
+        registry.register(double_udf(), replace=True)
+
+    def test_unknown(self):
+        with pytest.raises(UdfError):
+            UdfRegistry().get("missing")
+
+    def test_invoke_records_stats(self):
+        registry = UdfRegistry()
+        registry.register(double_udf())
+        registry.invoke("double_it", [np.arange(5, dtype=np.float64)])
+        stats = registry.get("double_it").stats
+        assert stats.calls == 1 and stats.rows == 5
+        registry.reset_stats()
+        assert registry.get("double_it").stats.calls == 0
+
+    def test_invoke_shape_check(self):
+        registry = UdfRegistry()
+        registry.register(
+            BatchUdf(
+                name="bad",
+                fn=lambda values: np.zeros(1),
+                return_dtype=DataType.FLOAT64,
+            )
+        )
+        with pytest.raises(UdfError):
+            registry.invoke("bad", [np.zeros(3)])
+
+    def test_exception_wrapped(self):
+        registry = UdfRegistry()
+
+        def boom(values):
+            raise ValueError("nope")
+
+        registry.register(
+            BatchUdf(name="boom", fn=boom, return_dtype=DataType.FLOAT64)
+        )
+        with pytest.raises(UdfError, match="nope"):
+            registry.invoke("boom", [np.zeros(1)])
+
+    def test_neural_seconds_only_counts_neural(self):
+        registry = UdfRegistry()
+        registry.register(double_udf())
+        neural = BatchUdf(
+            name="nUDF_x",
+            fn=lambda values: values,
+            return_dtype=DataType.FLOAT64,
+            is_neural=True,
+        )
+        registry.register(neural)
+        registry.invoke("double_it", [np.zeros(10)])
+        registry.invoke("nUDF_x", [np.zeros(10)])
+        assert registry.neural_seconds() == neural.stats.seconds
+
+
+class TestUdfInQueries:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.create_table_from_dict("t", {"a": [1.0, 2.0, 3.0]})
+        database.register_udf(double_udf())
+        return database
+
+    def test_udf_in_select(self, db):
+        rows = db.query("SELECT double_it(a) FROM t")
+        assert [r[0] for r in rows] == [2.0, 4.0, 6.0]
+
+    def test_udf_in_where(self, db):
+        rows = db.query("SELECT a FROM t WHERE double_it(a) > 3")
+        assert [r[0] for r in rows] == [2.0, 3.0]
+
+    def test_string_udf(self, db):
+        def labeler(values):
+            out = np.empty(len(values), dtype=object)
+            for i, v in enumerate(values):
+                out[i] = "big" if v > 1 else "small"
+            return out
+
+        db.register_udf(
+            BatchUdf(name="labeler", fn=labeler, return_dtype=DataType.STRING)
+        )
+        rows = db.query("SELECT a FROM t WHERE labeler(a) = 'big' ORDER BY a")
+        assert [r[0] for r in rows] == [2.0, 3.0]
+
+    def test_blob_argument_udf(self, db):
+        frames = [np.full((2, 2), v) for v in (1.0, 2.0, 3.0)]
+        db.create_table_from_dict("v", {"id": [1, 2, 3], "kf": frames})
+
+        def frame_sum(keyframes):
+            return np.array([kf.sum() for kf in keyframes])
+
+        db.register_udf(
+            BatchUdf(name="frame_sum", fn=frame_sum,
+                     return_dtype=DataType.FLOAT64)
+        )
+        rows = db.query("SELECT id FROM v WHERE frame_sum(kf) >= 8")
+        assert rows == [(2,), (3,)]
+
+    def test_short_circuit_ordering_limits_udf_rows(self, db):
+        """Cheap predicates run before UDF predicates (Fig. 8's eager
+        placement costs candidates, not the whole table)."""
+        db.udfs.reset_stats()
+        db.query("SELECT a FROM t WHERE a >= 3 AND double_it(a) > 0")
+        assert db.udfs.get("double_it").stats.rows == 1

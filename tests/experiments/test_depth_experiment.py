@@ -1,0 +1,49 @@
+"""Table VI driver at tiny scale (the full sweep runs in benchmarks)."""
+
+import pytest
+
+from repro.experiments import exp_depth
+from repro.hardware import SERVER_CPU
+from repro.workload.dataset import DatasetConfig, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def depth_rows():
+    dataset = generate_dataset(
+        DatasetConfig(scale=1, keyframe_shape=(1, 8, 8), seed=3)
+    )
+    return exp_depth.run(
+        dataset, depths=(5, 8), selectivity=0.3, profile=SERVER_CPU
+    )
+
+
+def test_all_strategies_reported(depth_rows):
+    strategies = {r.strategy for r in depth_rows}
+    assert strategies == {"DL2SQL", "DL2SQL-OP", "DB-UDF", "DB-PyTorch"}
+
+
+def test_parameters_grow_with_depth(depth_rows):
+    params = {r.depth: r.parameters for r in depth_rows}
+    assert params[8] > params[5]
+
+
+def test_dl2sql_loading_dominates_and_grows(depth_rows):
+    by = {(r.depth, r.strategy): r for r in depth_rows}
+    # Relational model loading costs orders of magnitude more than the
+    # file-based loading of DB-PyTorch at every depth...
+    for depth in (5, 8):
+        assert by[(depth, "DL2SQL-OP")].loading > (
+            5 * by[(depth, "DB-PyTorch")].loading
+        )
+    # ...and grows with depth.
+    assert by[(8, "DL2SQL-OP")].loading > by[(5, "DL2SQL-OP")].loading
+
+
+def test_build_depth_task_uses_raw_resnet():
+    dataset = generate_dataset(
+        DatasetConfig(scale=1, keyframe_shape=(1, 8, 8), seed=3)
+    )
+    task = exp_depth.build_depth_task(dataset, depth=5)
+    assert task.teacher is None
+    assert task.student.name.endswith("resnet5")
+    assert sum(task.histogram.values()) == 16

@@ -1,0 +1,121 @@
+"""AST -> SQL -> AST stability, including a hypothesis generator.
+
+``to_sql()`` output must re-parse to the same rendered text (the DL2SQL
+compiler and the independent-strategy rewriter both rely on this).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    combine_conjuncts,
+    referenced_columns,
+    split_conjuncts,
+    walk_expression,
+)
+from repro.sql.parser import parse_statement
+
+ROUNDTRIP_CASES = [
+    "SELECT a FROM t",
+    "SELECT a AS x, b + 1 AS y FROM t WHERE a > 2 AND b < 3",
+    "SELECT count(*) FROM t GROUP BY g HAVING count(*) > 1",
+    "SELECT a FROM t ORDER BY a DESC LIMIT 3",
+    "SELECT sum(a * b) FROM t INNER JOIN s ON t.k = s.k",
+    "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+    "SELECT a FROM (SELECT a FROM t) d WHERE a IN (1, 2)",
+    "SELECT (SELECT max(v) FROM s) FROM t",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b IS NOT NULL",
+    "INSERT INTO t VALUES (1, 'x')",
+    "UPDATE t SET a = 0 WHERE a < 0",
+    "CREATE TEMP TABLE x AS SELECT a FROM t",
+    "CREATE VIEW v AS SELECT a FROM t",
+    "DROP TABLE IF EXISTS t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_CASES)
+def test_to_sql_reparses_to_fixed_point(sql):
+    once = parse_statement(sql).to_sql()
+    twice = parse_statement(once).to_sql()
+    assert once == twice
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random expression trees survive render -> parse -> render.
+# ----------------------------------------------------------------------
+_literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(Literal),
+    st.booleans().map(Literal),
+    st.text(
+        alphabet="abc XYZ019", min_size=0, max_size=6
+    ).map(Literal),
+)
+_columns = st.sampled_from(
+    [ColumnRef("a"), ColumnRef("b", table="T"), ColumnRef("Value")]
+)
+
+
+def _expressions(depth: int = 2) -> st.SearchStrategy[Expression]:
+    base = st.one_of(_literals, _columns)
+    if depth == 0:
+        return base
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "="]), sub, sub).map(
+            lambda t: BinaryOp(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(["abs", "sqrt", "nUDF_detect"]), sub).map(
+            lambda t: FunctionCall(t[0], (t[1],))
+        ),
+    )
+
+
+@given(expression=_expressions())
+@settings(max_examples=200, deadline=None)
+def test_expression_roundtrip(expression):
+    sql = f"SELECT {expression.to_sql()}"
+    reparsed = parse_statement(sql)
+    assert reparsed.items[0].expression.to_sql() == expression.to_sql()
+
+
+# ----------------------------------------------------------------------
+# AST utilities
+# ----------------------------------------------------------------------
+class TestAstUtilities:
+    def test_split_and_combine_conjuncts(self):
+        statement = parse_statement(
+            "SELECT 1 FROM t WHERE a = 1 AND b = 2 AND c = 3"
+        )
+        conjuncts = split_conjuncts(statement.where)
+        assert len(conjuncts) == 3
+        recombined = combine_conjuncts(conjuncts)
+        assert split_conjuncts(recombined) == conjuncts
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+        assert combine_conjuncts([]) is None
+
+    def test_or_not_split(self):
+        statement = parse_statement("SELECT 1 FROM t WHERE a = 1 OR b = 2")
+        assert len(split_conjuncts(statement.where)) == 1
+
+    def test_referenced_columns(self):
+        statement = parse_statement(
+            "SELECT 1 FROM t WHERE f(a) + T.b = 2"
+        )
+        names = {c.to_sql() for c in referenced_columns(statement.where)}
+        assert names == {"a", "T.b"}
+
+    def test_walk_expression_counts(self):
+        statement = parse_statement("SELECT a + b * c FROM t")
+        nodes = list(walk_expression(statement.items[0].expression))
+        assert len(nodes) == 5  # +, a, *, b, c

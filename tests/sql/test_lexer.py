@@ -1,0 +1,94 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from")
+        assert tokens[0].value == "SELECT"
+        assert tokens[1].value == "FROM"
+
+    def test_identifiers_preserve_case(self):
+        assert values("nUDF_detect MatrixID") == ["nUDF_detect", "MatrixID"]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("a")[-1].type is TokenType.EOF
+
+    def test_punctuation_and_operators(self):
+        assert values("(a, b) + c.d") == ["(", "a", ",", "b", ")", "+", "c", ".", "d"]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+
+    def test_float(self):
+        assert values("3.25") == [3.25]
+
+    def test_leading_dot(self):
+        assert values(".5") == [0.5]
+
+    def test_scientific(self):
+        assert values("1e3 2.5E-2") == [1000.0, 0.025]
+
+    def test_epsilon_literal_from_q4(self):
+        assert values("0.00005") == [5e-05]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert values("'Floral Pattern'") == ["Floral Pattern"]
+
+    def test_escaped_quote(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_two_char(self):
+        assert values("a <= b >= c != d <> e") == [
+            "a", "<=", "b", ">=", "c", "!=", "d", "<>", "e",
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x */ b") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* oops")
+
+
+class TestQuotedIdentifiers:
+    def test_backtick(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "weird name"
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a # b")
+        assert excinfo.value.position == 2

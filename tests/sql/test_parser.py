@@ -1,0 +1,315 @@
+"""Parser coverage, including every query shape the paper prints."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    CreateView,
+    DerivedTable,
+    DropStatement,
+    FunctionCall,
+    InList,
+    InsertStatement,
+    Join,
+    Literal,
+    NamedTable,
+    ScalarSubquery,
+    SelectStatement,
+    Star,
+    UnaryOp,
+    UpdateStatement,
+)
+from repro.sql.parser import parse_statement, parse_statements
+
+
+def select(sql) -> SelectStatement:
+    statement = parse_statement(sql)
+    assert isinstance(statement, SelectStatement)
+    return statement
+
+
+class TestSelectBasics:
+    def test_simple(self):
+        statement = select("SELECT a, b FROM t")
+        assert len(statement.items) == 2
+        assert isinstance(statement.from_clause, NamedTable)
+
+    def test_star(self):
+        statement = select("SELECT * FROM t")
+        assert isinstance(statement.items[0].expression, Star)
+
+    def test_qualified_star(self):
+        statement = select("SELECT T.* FROM t")
+        assert statement.items[0].expression == Star(table="T")
+
+    def test_alias_with_and_without_as(self):
+        statement = select("SELECT a AS x, b y FROM t")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert select("SELECT DISTINCT a FROM t").distinct
+
+    def test_limit(self):
+        assert select("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            select("SELECT a FROM t LIMIT 1.5")
+
+    def test_order_by(self):
+        statement = select("SELECT a FROM t ORDER BY a DESC, b")
+        assert not statement.order_by[0].ascending
+        assert statement.order_by[1].ascending
+
+    def test_group_by_having(self):
+        statement = select(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_no_from(self):
+        statement = select("SELECT 1 + 2")
+        assert statement.from_clause is None
+
+
+class TestFromClause:
+    def test_comma_join(self):
+        statement = select("SELECT 1 FROM a, b, c")
+        assert len(statement.cross_tables) == 2
+
+    def test_inner_join_on(self):
+        statement = select("SELECT 1 FROM a INNER JOIN b ON a.x = b.x")
+        assert isinstance(statement.from_clause, Join)
+        assert statement.from_clause.join_type == "INNER"
+
+    def test_bare_join(self):
+        statement = select("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        assert isinstance(statement.from_clause, Join)
+
+    def test_derived_table(self):
+        statement = select("SELECT 1 FROM (SELECT x FROM t) AS d")
+        assert isinstance(statement.from_clause, DerivedTable)
+        assert statement.from_clause.alias == "d"
+
+    def test_derived_table_alias_without_as(self):
+        statement = select("SELECT 1 FROM (SELECT x FROM t) d")
+        assert statement.from_clause.alias == "d"
+
+
+class TestExpressions:
+    def test_precedence_and_or(self):
+        statement = select("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        where = statement.where
+        assert isinstance(where, BinaryOp) and where.op == "OR"
+
+    def test_precedence_arithmetic(self):
+        statement = select("SELECT 1 + 2 * 3")
+        expression = statement.items[0].expression
+        assert isinstance(expression, BinaryOp) and expression.op == "+"
+
+    def test_comparison_normalizes_ne(self):
+        statement = select("SELECT 1 FROM t WHERE a <> b")
+        assert statement.where.op == "!="
+
+    def test_not(self):
+        statement = select("SELECT 1 FROM t WHERE NOT a = 1")
+        assert isinstance(statement.where, UnaryOp)
+
+    def test_in_list(self):
+        statement = select("SELECT 1 FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(statement.where, InList)
+        assert len(statement.where.items) == 3
+
+    def test_not_in(self):
+        statement = select("SELECT 1 FROM t WHERE a NOT IN (1)")
+        assert statement.where.negated
+
+    def test_between(self):
+        statement = select("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(statement.where, Between)
+
+    def test_is_null(self):
+        statement = select("SELECT 1 FROM t WHERE a IS NOT NULL")
+        assert statement.where.negated
+
+    def test_case(self):
+        statement = select(
+            "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t"
+        )
+        assert isinstance(statement.items[0].expression, CaseExpression)
+
+    def test_scalar_subquery(self):
+        statement = select("SELECT (SELECT max(v) FROM s) FROM t")
+        assert isinstance(statement.items[0].expression, ScalarSubquery)
+
+    def test_unary_minus(self):
+        statement = select("SELECT -a FROM t")
+        assert isinstance(statement.items[0].expression, UnaryOp)
+
+    def test_booleans_and_null(self):
+        statement = select("SELECT TRUE, FALSE, NULL")
+        assert statement.items[0].expression == Literal(True)
+        assert statement.items[1].expression == Literal(False)
+        assert statement.items[2].expression == Literal(None)
+
+    def test_function_distinct(self):
+        statement = select("SELECT count(DISTINCT a) FROM t")
+        call = statement.items[0].expression
+        assert isinstance(call, FunctionCall) and call.distinct
+
+    def test_count_star(self):
+        call = select("SELECT count(*) FROM t").items[0].expression
+        assert isinstance(call.args[0], Star)
+
+
+class TestDdlDml:
+    def test_create_table_columns(self):
+        statement = parse_statement("CREATE TABLE t (a Int64, b String)")
+        assert isinstance(statement, CreateTable)
+        assert len(statement.columns) == 2
+
+    def test_create_temp_table_as_select(self):
+        statement = parse_statement("CREATE TEMP TABLE t AS SELECT 1")
+        assert statement.temp and statement.as_select is not None
+
+    def test_create_table_clickhouse_paren_form(self):
+        # The paper writes CREATE TEMP TABLE t (SELECT ...).
+        statement = parse_statement(
+            "CREATE TEMP TABLE t (SELECT a FROM s)"
+        )
+        assert isinstance(statement, CreateTable)
+        assert statement.as_select is not None
+
+    def test_create_or_replace(self):
+        statement = parse_statement("CREATE OR REPLACE TABLE t AS SELECT 1")
+        assert statement.replace
+
+    def test_create_view(self):
+        statement = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(statement, CreateView)
+
+    def test_create_view_paren_form(self):
+        statement = parse_statement("CREATE VIEW v (SELECT a FROM t)")
+        assert isinstance(statement, CreateView)
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE INDEX i ON t(a)")
+        assert isinstance(statement, CreateIndex)
+        assert (statement.table_name, statement.column_name) == ("t", "a")
+
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, InsertStatement)
+        assert len(statement.rows) == 2
+
+    def test_insert_with_columns(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert statement.columns == ("a", "b")
+
+    def test_insert_select(self):
+        statement = parse_statement("INSERT INTO t SELECT a FROM s")
+        assert statement.from_select is not None
+
+    def test_update(self):
+        statement = parse_statement("UPDATE t SET a = 0 WHERE a < 0")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments[0][0] == "a"
+
+    def test_drop(self):
+        statement = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropStatement)
+        assert statement.if_exists
+
+    def test_drop_view(self):
+        assert parse_statement("DROP VIEW v").object_type == "VIEW"
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_statements("SELECT 1; SELECT 2; ;")
+        assert len(statements) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 garbage extra ,")
+
+
+class TestPaperQueries:
+    """Every SQL snippet printed in the paper must parse."""
+
+    def test_intro_query(self):
+        select(
+            "SELECT patternID, transID FROM FABRIC F, Video V "
+            "WHERE F.humidity > 80 and F.temperature > 30 "
+            "and F.printdate > '2021-01-01' and F.printdate < '2021-1-31' "
+            "and F.transID = V.transID "
+            "and V.date > '2021-01-01' and V.date < '2021-1-31' "
+            "and nUDF_detect(V.keyframe) = FALSE"
+        )
+
+    def test_type4_double_model_query(self):
+        select(
+            "SELECT patternID, transID FROM FABRIC F, Video V "
+            "WHERE F.transID = V.transID and nUDF_detect(V.keyframe) = TRUE "
+            "and nUDF_classify(V.keyframe) = 'Floral Pattern'"
+        )
+
+    def test_q1_convolution(self):
+        parse_statement(
+            "CREATE TEMP TABLE Layer_Output("
+            "SELECT MatrixID as TupleID, SUM(A.Value * B.Value) as Value "
+            "FROM FeatureMap A INNER JOIN Kernel B "
+            "ON A.OrderID = B.OrderID GROUP BY KernelID, MatrixID)"
+        )
+
+    def test_q2_view(self):
+        parse_statement(
+            "CREATE View FeatureMap("
+            "SELECT MatrixID, OrderID, Value "
+            "FROM Layer_Output A, Kernel_Mapping B "
+            "WHERE A.TupleID = B.TupleID)"
+        )
+
+    def test_q3_pooling(self):
+        parse_statement(
+            "CREATE TEMP TABLE Pooling_Output("
+            "SELECT MatrixID as TupleID, MAX(A.Value) as Value "
+            "FROM FeatureMap A GROUP BY MatrixID)"
+        )
+
+    def test_q4_batch_norm(self):
+        parse_statement(
+            "CREATE TEMP TABLE feature_cbshortcut_conv_bn AS "
+            "SELECT MatrixID, OrderID, ((Value - "
+            "(SELECT AVG(Value) FROM feature_cbshortcut_conv)) / "
+            "((SELECT stddevSamp(Value) FROM feature_cbshortcut_conv) "
+            "+ 0.00005)) as Value FROM feature_cbshortcut_conv"
+        )
+
+    def test_q5_residual(self):
+        statements = parse_statements(
+            "CREATE TEMP TABLE cb_output("
+            "SELECT A.MatrixID, A.OrderID, A.Value + B.Value as Value "
+            "FROM feature_cbshortcut_conv_bn A, feature_cb3_conv_bn B "
+            "WHERE A.MatrixID = B.MatrixID);"
+            "UPDATE cb_output SET Value = 0 where Value < 0;"
+        )
+        assert len(statements) == 2
+
+    def test_table1_type2(self):
+        select(
+            "SELECT patternID, count(nUDF_detect(V.keyframe)=TRUE)/sum(meter) "
+            "FROM FABRIC F, Video V "
+            "WHERE F.printdate>'2021-01-01' and F.printdate<'2021-1-31' "
+            "and F.transID=V.transID "
+            "and V.date>'2021-01-01' and V.date<'2021-1-31' "
+            "GROUP BY patternID"
+        )

@@ -1,0 +1,92 @@
+"""Catalog behaviour: names, views, temp objects, indexes."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog, View
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.create_table(Table.from_dict("t", {"a": [1, 2]}))
+    return cat
+
+
+class TestTables:
+    def test_get_case_insensitive(self, catalog):
+        assert catalog.get_table("T").num_rows == 2
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_table(Table.from_dict("t", {"a": [1]}))
+
+    def test_replace(self, catalog):
+        catalog.create_table(Table.from_dict("t", {"a": [9]}), replace=True)
+        assert catalog.get_table("t").num_rows == 1
+
+    def test_drop(self, catalog):
+        catalog.drop("t")
+        assert not catalog.has("t")
+
+    def test_drop_unknown(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop("missing")
+        catalog.drop("missing", if_exists=True)  # no raise
+
+    def test_unknown_lookup_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_table("missing")
+
+
+class TestTempObjects:
+    def test_drop_temp_objects(self, catalog):
+        catalog.create_table(Table.from_dict("tmp1", {"a": [1]}), temp=True)
+        catalog.create_table(Table.from_dict("tmp2", {"a": [1]}), temp=True)
+        assert catalog.is_temp("tmp1")
+        assert catalog.drop_temp_objects() == 2
+        assert catalog.has("t")
+        assert not catalog.has("tmp1")
+
+
+class TestViews:
+    def test_view_roundtrip(self, catalog):
+        statement = parse_statement("SELECT a FROM t")
+        catalog.create_view(View("v", statement))
+        assert catalog.is_view("v")
+        assert catalog.get_view("v").statement is statement
+
+    def test_view_vs_table_confusion(self, catalog):
+        statement = parse_statement("SELECT a FROM t")
+        catalog.create_view(View("v", statement))
+        with pytest.raises(CatalogError):
+            catalog.get_table("v")
+        with pytest.raises(CatalogError):
+            catalog.get_view("t")
+
+    def test_view_names(self, catalog):
+        catalog.create_view(View("v", parse_statement("SELECT a FROM t")))
+        assert catalog.view_names() == ["v"]
+        assert catalog.table_names() == ["t"]
+
+
+class TestIndexes:
+    def test_create_and_get(self, catalog):
+        index = catalog.create_index("t", "a")
+        assert index.num_keys == 2
+        assert catalog.get_index("t", "a") is index
+        assert catalog.get_index("t", "missing") is None
+
+    def test_invalidation(self, catalog):
+        catalog.create_index("t", "a")
+        catalog.invalidate_indexes("t")
+        assert catalog.get_index("t", "a") is None
+
+
+class TestFootprint:
+    def test_total_nbytes(self, catalog):
+        before = catalog.total_nbytes()
+        catalog.create_table(Table.from_dict("big", {"a": list(range(1000))}))
+        assert catalog.total_nbytes() > before

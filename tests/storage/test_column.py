@@ -1,0 +1,120 @@
+"""Column construction, coercion and transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import Column, column_from_numpy, infer_dtype
+from repro.storage.schema import DataType
+
+
+class TestConstruction:
+    def test_from_values_int(self):
+        column = Column.from_values("a", DataType.INT64, [1, 2, 3])
+        assert column.data.dtype == np.int64
+        assert column.to_list() == [1, 2, 3]
+
+    def test_from_values_dates_accept_strings(self):
+        column = Column.from_values(
+            "d", DataType.DATE, ["2021-01-01", "2021-01-02"]
+        )
+        assert column.data[1] - column.data[0] == 1
+
+    def test_from_values_bool_coerces(self):
+        column = Column.from_values("b", DataType.BOOL, [1, 0, True])
+        assert column.to_list() == [True, False, True]
+
+    def test_blob_holds_arrays(self):
+        frames = [np.zeros((2, 2)), np.ones((2, 2))]
+        column = Column.from_values("kf", DataType.BLOB, frames)
+        assert column[1].sum() == 4.0
+
+    def test_bad_coercion_raises(self):
+        with pytest.raises(StorageError):
+            Column.from_values("a", DataType.INT64, ["x"])
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            Column("a", DataType.INT64, np.zeros(3, dtype=np.float64))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(StorageError):
+            Column("a", DataType.INT64, np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty(self):
+        column = Column.empty("a", DataType.FLOAT64)
+        assert len(column) == 0
+
+
+class TestTransforms:
+    def test_filter(self):
+        column = Column.from_values("a", DataType.INT64, [1, 2, 3, 4])
+        mask = np.array([True, False, True, False])
+        assert column.filter(mask).to_list() == [1, 3]
+
+    def test_filter_requires_bool_mask(self):
+        column = Column.from_values("a", DataType.INT64, [1])
+        with pytest.raises(StorageError):
+            column.filter(np.array([1]))
+
+    def test_filter_length_mismatch(self):
+        column = Column.from_values("a", DataType.INT64, [1, 2])
+        with pytest.raises(StorageError):
+            column.filter(np.array([True]))
+
+    def test_take(self):
+        column = Column.from_values("a", DataType.INT64, [10, 20, 30])
+        assert column.take(np.array([2, 0])).to_list() == [30, 10]
+
+    def test_concat(self):
+        a = Column.from_values("a", DataType.INT64, [1])
+        b = Column.from_values("a", DataType.INT64, [2])
+        assert a.concat(b).to_list() == [1, 2]
+
+    def test_concat_type_mismatch(self):
+        a = Column.from_values("a", DataType.INT64, [1])
+        b = Column.from_values("a", DataType.FLOAT64, [2.0])
+        with pytest.raises(StorageError):
+            a.concat(b)
+
+    def test_rename(self):
+        column = Column.from_values("a", DataType.INT64, [1])
+        assert column.rename("b").name == "b"
+
+
+class TestStats:
+    def test_distinct_count_numeric(self):
+        column = Column.from_values("a", DataType.INT64, [1, 1, 2, 3, 3])
+        assert column.distinct_count() == 3
+
+    def test_distinct_count_string(self):
+        column = Column.from_values("s", DataType.STRING, ["x", "y", "x"])
+        assert column.distinct_count() == 2
+
+    def test_distinct_count_empty(self):
+        assert Column.empty("a", DataType.INT64).distinct_count() == 0
+
+    def test_nbytes_counts_blob_payload(self):
+        small = Column.from_values("kf", DataType.BLOB, [np.zeros(1)])
+        large = Column.from_values("kf", DataType.BLOB, [np.zeros(1000)])
+        assert large.nbytes() > small.nbytes()
+
+
+class TestInference:
+    def test_infer_dtype(self):
+        assert infer_dtype([1, 2]) is DataType.INT64
+        assert infer_dtype([1.5]) is DataType.FLOAT64
+        assert infer_dtype([True]) is DataType.BOOL
+        assert infer_dtype(["x"]) is DataType.STRING
+        assert infer_dtype([np.zeros(2)]) is DataType.BLOB
+        assert infer_dtype([1, 2.5]) is DataType.FLOAT64
+
+    def test_column_from_numpy(self):
+        assert column_from_numpy("a", np.arange(3)).dtype is DataType.INT64
+        assert (
+            column_from_numpy("a", np.zeros(3)).dtype is DataType.FLOAT64
+        )
+        assert (
+            column_from_numpy("a", np.zeros(3, dtype=bool)).dtype
+            is DataType.BOOL
+        )

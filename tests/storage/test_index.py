@@ -1,0 +1,60 @@
+"""Hash index construction and probing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import Column
+from repro.storage.index import HashIndex
+from repro.storage.schema import DataType
+
+
+class TestNumericIndex:
+    def test_lookup(self):
+        column = Column.from_values("k", DataType.INT64, [5, 3, 5, 1, 5])
+        index = HashIndex("t", column)
+        assert sorted(index.lookup(5).tolist()) == [0, 2, 4]
+        assert index.lookup(3).tolist() == [1]
+        assert index.lookup(99).tolist() == []
+
+    def test_num_keys(self):
+        column = Column.from_values("k", DataType.INT64, [1, 1, 2])
+        assert HashIndex("t", column).num_keys == 2
+
+    def test_contains(self):
+        column = Column.from_values("k", DataType.INT64, [1])
+        index = HashIndex("t", column)
+        assert 1 in index
+        assert 2 not in index
+
+    def test_numpy_scalar_keys_normalized(self):
+        column = Column.from_values("k", DataType.INT64, [1, 2])
+        index = HashIndex("t", column)
+        assert index.lookup(np.int64(2)).tolist() == [1]
+
+    def test_probe_many(self):
+        column = Column.from_values("k", DataType.INT64, [10, 20, 10])
+        index = HashIndex("t", column)
+        probes, matches = index.probe_many(np.array([10, 30, 20]))
+        pairs = sorted(zip(probes.tolist(), matches.tolist()))
+        assert pairs == [(0, 0), (0, 2), (2, 1)]
+
+    def test_empty_column(self):
+        column = Column.empty("k", DataType.INT64)
+        index = HashIndex("t", column)
+        assert index.num_keys == 0
+        assert index.lookup(1).tolist() == []
+
+
+class TestStringIndex:
+    def test_lookup(self):
+        column = Column.from_values("k", DataType.STRING, ["a", "b", "a"])
+        index = HashIndex("t", column)
+        assert index.lookup("a").tolist() == [0, 2]
+
+
+class TestRestrictions:
+    def test_blob_rejected(self):
+        column = Column.from_values("k", DataType.BLOB, [np.zeros(1)])
+        with pytest.raises(StorageError):
+            HashIndex("t", column)

@@ -1,0 +1,130 @@
+"""Durable storage round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.errors import StorageError
+from repro.storage.persist import load_database, save_database
+
+
+@pytest.fixture()
+def populated_db():
+    db = Database()
+    db.create_table_from_dict(
+        "t",
+        {
+            "a": [1, 2, 3],
+            "v": [1.5, 2.5, 3.5],
+            "s": ["x", "y", "z"],
+            "flag": [True, False, True],
+        },
+    )
+    db.catalog.create_index("t", "a")
+    frames = [np.full((2, 2), float(i)) for i in range(3)]
+    db.create_table_from_dict("media", {"id": [0, 1, 2], "kf": frames})
+    return db
+
+
+class TestRoundTrip:
+    def test_tables_and_data(self, populated_db, tmp_path):
+        directory = str(tmp_path / "dbdir")
+        assert save_database(populated_db, directory) == 2
+
+        fresh = Database()
+        assert load_database(fresh, directory) == 2
+        assert fresh.query("SELECT a, v, s, flag FROM t ORDER BY a") == (
+            populated_db.query("SELECT a, v, s, flag FROM t ORDER BY a")
+        )
+
+    def test_blob_columns(self, populated_db, tmp_path):
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        fresh = Database()
+        load_database(fresh, directory)
+        keyframe = fresh.table("media").column("kf")[2]
+        assert np.allclose(keyframe, 2.0)
+
+    def test_indexes_rebuilt(self, populated_db, tmp_path):
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        fresh = Database()
+        load_database(fresh, directory)
+        assert fresh.catalog.get_index("t", "a") is not None
+
+    def test_date_columns(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE d (id Int64, stamp Date)")
+        db.execute(
+            "INSERT INTO d VALUES (1, '2021-01-05'), (2, '2021-06-09')"
+        )
+        directory = str(tmp_path / "dates")
+        save_database(db, directory)
+        fresh = Database()
+        load_database(fresh, directory)
+        rows = fresh.query("SELECT id FROM d WHERE stamp < '2021-02-01'")
+        assert rows == [(1,)]
+
+    def test_temp_tables_skipped(self, populated_db, tmp_path):
+        populated_db.execute("CREATE TEMP TABLE scratch AS SELECT a FROM t")
+        directory = str(tmp_path / "dbdir")
+        assert save_database(populated_db, directory) == 2
+
+    def test_queries_after_reload(self, populated_db, tmp_path):
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        fresh = Database()
+        load_database(fresh, directory)
+        assert fresh.execute(
+            "SELECT sum(a) FROM t WHERE flag = TRUE"
+        ).scalar() == 4
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        fresh = Database()
+        with pytest.raises(StorageError, match="manifest"):
+            load_database(fresh, str(tmp_path / "nothing"))
+
+    def test_bad_version(self, populated_db, tmp_path):
+        import json
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["version"] = 99
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(StorageError, match="version"):
+            load_database(Database(), directory)
+
+    def test_duplicate_without_replace(self, populated_db, tmp_path):
+        from repro.errors import CatalogError
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        with pytest.raises(CatalogError):
+            load_database(populated_db, directory)
+        load_database(populated_db, directory, replace=True)
+
+
+class TestWorkloadPersistence:
+    def test_iot_dataset_roundtrip(self, tiny_dataset, tmp_path):
+        db = Database()
+        tiny_dataset.install(db)
+        directory = str(tmp_path / "iot")
+        save_database(db, directory)
+        fresh = Database()
+        load_database(fresh, directory)
+        assert (
+            fresh.table("video").num_rows
+            == tiny_dataset.tables["video"].num_rows
+        )
+        count = fresh.execute(
+            "SELECT count(*) FROM fabric F, video V "
+            "WHERE F.transID = V.transID"
+        ).scalar()
+        assert count == tiny_dataset.tables["video"].num_rows

@@ -1,0 +1,96 @@
+"""Schema and type-system behaviour."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.schema import (
+    ColumnSpec,
+    DataType,
+    Schema,
+    format_date,
+    parse_date,
+)
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.FLOAT64.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BLOB.is_numeric
+
+    def test_numpy_dtypes(self):
+        import numpy as np
+
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)
+        assert DataType.BLOB.numpy_dtype == np.dtype(object)
+
+
+class TestDates:
+    def test_parse_iso(self):
+        assert parse_date("2021-01-01") == parse_date("2021-1-1")
+
+    def test_parse_loose_form_from_paper(self):
+        # The paper writes '2021-1-31'.
+        assert parse_date("2021-1-31") == parse_date("2021-01-31")
+
+    def test_roundtrip(self):
+        ordinal = parse_date("2021-06-15")
+        assert format_date(ordinal) == "2021-06-15"
+
+    def test_ordering(self):
+        assert parse_date("2021-01-01") < parse_date("2021-01-31")
+
+    def test_datetime_suffix_ignored(self):
+        assert parse_date("2021-01-01 12:00:00") == parse_date("2021-01-01")
+
+    def test_invalid_raises(self):
+        with pytest.raises(StorageError):
+            parse_date("not-a-date")
+        with pytest.raises(StorageError):
+            parse_date("2021-13-45")
+
+
+class TestSchema:
+    def test_positions_case_insensitive(self):
+        schema = Schema.of(("TransID", DataType.INT64), ("meter", DataType.FLOAT64))
+        assert schema.position_of("transid") == 0
+        assert schema.position_of("METER") == 1
+
+    def test_contains(self):
+        schema = Schema.of(("a", DataType.INT64))
+        assert "A" in schema
+        assert "b" not in schema
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(StorageError):
+            Schema.of(("a", DataType.INT64), ("A", DataType.FLOAT64))
+
+    def test_unknown_column_raises(self):
+        schema = Schema.of(("a", DataType.INT64))
+        with pytest.raises(StorageError):
+            schema.position_of("missing")
+
+    def test_invalid_column_name_rejected(self):
+        with pytest.raises(StorageError):
+            ColumnSpec("bad name", DataType.INT64)
+        with pytest.raises(StorageError):
+            ColumnSpec("", DataType.INT64)
+
+    def test_iteration_preserves_order(self):
+        schema = Schema.of(
+            ("x", DataType.INT64),
+            ("y", DataType.FLOAT64),
+            ("z", DataType.STRING),
+        )
+        assert schema.column_names == ["x", "y", "z"]
+        assert len(schema) == 3
+
+    def test_equality(self):
+        a = Schema.of(("x", DataType.INT64))
+        b = Schema.of(("x", DataType.INT64))
+        c = Schema.of(("x", DataType.FLOAT64))
+        assert a == b
+        assert a != c

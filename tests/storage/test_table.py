@@ -1,0 +1,113 @@
+"""Table behaviour: construction, relational primitives, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.schema import DataType, Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_dict(
+        "t", {"a": [1, 2, 3], "b": [1.0, 2.0, 3.0], "s": ["x", "y", "z"]}
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        schema = Schema.of(("a", DataType.INT64), ("s", DataType.STRING))
+        table = Table.from_rows("t", schema, [(1, "x"), (2, "y")])
+        assert table.num_rows == 2
+        assert table.column("s").to_list() == ["x", "y"]
+
+    def test_from_dict_infers_types(self, table):
+        assert table.schema.dtype_of("a") is DataType.INT64
+        assert table.schema.dtype_of("b") is DataType.FLOAT64
+        assert table.schema.dtype_of("s") is DataType.STRING
+
+    def test_from_dict_numpy_arrays(self):
+        table = Table.from_dict("t", {"a": np.arange(4)})
+        assert table.schema.dtype_of("a") is DataType.INT64
+
+    def test_ragged_columns_rejected(self):
+        from repro.storage.column import Column
+
+        a = Column.from_values("a", DataType.INT64, [1, 2])
+        b = Column.from_values("b", DataType.INT64, [1])
+        with pytest.raises(StorageError):
+            Table("t", [a, b])
+
+    def test_empty(self):
+        schema = Schema.of(("a", DataType.INT64))
+        assert Table.empty("t", schema).num_rows == 0
+
+
+class TestAccess:
+    def test_row_access(self, table):
+        assert table.row(1) == (2, 2.0, "y")
+
+    def test_iter_rows(self, table):
+        assert len(list(table.iter_rows())) == 3
+
+    def test_has_column_case_insensitive(self, table):
+        assert table.has_column("A")
+        assert not table.has_column("missing")
+
+    def test_len(self, table):
+        assert len(table) == 3
+
+
+class TestRelationalPrimitives:
+    def test_filter(self, table):
+        filtered = table.filter(np.array([True, False, True]))
+        assert filtered.column("a").to_list() == [1, 3]
+
+    def test_take(self, table):
+        taken = table.take(np.array([2, 2, 0]))
+        assert taken.column("a").to_list() == [3, 3, 1]
+
+    def test_select_columns(self, table):
+        projected = table.select_columns(["s", "a"])
+        assert projected.schema.column_names == ["s", "a"]
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+
+    def test_rename(self, table):
+        assert table.rename("u").name == "u"
+
+
+class TestMutation:
+    def test_append_rows(self, table):
+        table.append_rows([(4, 4.0, "w")])
+        assert table.num_rows == 4
+        assert table.row(3) == (4, 4.0, "w")
+
+    def test_append_rows_width_mismatch(self, table):
+        with pytest.raises(StorageError):
+            table.append_rows([(1, 2.0)])
+
+    def test_append_table(self, table):
+        other = Table.from_dict("t2", {"a": [9], "b": [9.0], "s": ["q"]})
+        table.append_table(other)
+        assert table.num_rows == 4
+
+    def test_append_table_schema_mismatch(self, table):
+        other = Table.from_dict("t2", {"a": [9]})
+        with pytest.raises(StorageError):
+            table.append_table(other)
+
+    def test_replace_column(self, table):
+        table.replace_column("a", np.array([7, 8, 9], dtype=np.int64))
+        assert table.column("a").to_list() == [7, 8, 9]
+
+    def test_replace_column_casts(self, table):
+        table.replace_column("a", np.array([7.0, 8.0, 9.0]))
+        assert table.column("a").data.dtype == np.int64
+
+    def test_snapshot_isolation_of_slices(self, table):
+        head = table.head(3)
+        table.append_rows([(4, 4.0, "w")])
+        assert head.num_rows == 3  # earlier slice unaffected

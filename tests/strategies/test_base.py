@@ -1,0 +1,125 @@
+"""Strategy abstractions + Table III capabilities encoding."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import EDGE_ARM, SERVER_CPU, SERVER_GPU
+from repro.strategies import (
+    CollaborativeQuery,
+    CostBreakdown,
+    IndependentStrategy,
+    LooseStrategy,
+    QueryType,
+    TightStrategy,
+)
+
+
+class TestQueryType:
+    def test_table1_difficulties(self):
+        assert QueryType.INDEPENDENT.difficulty == "Easy"
+        assert QueryType.DB_DEPENDS_ON_LEARNING.difficulty == "Medium"
+        assert QueryType.LEARNING_DEPENDS_ON_DB.difficulty == "Medium"
+        assert QueryType.INTERDEPENDENT.difficulty == "Hard"
+
+    def test_four_types(self):
+        assert [int(t) for t in QueryType] == [1, 2, 3, 4]
+
+
+class TestCostBreakdown:
+    def test_total(self):
+        breakdown = CostBreakdown(loading=1.0, inference=2.0, relational=0.5)
+        assert breakdown.total == 3.5
+
+    def test_add(self):
+        a = CostBreakdown(1.0, 2.0, 3.0)
+        b = CostBreakdown(0.5, 0.5, 0.5)
+        combined = a + b
+        assert combined.loading == 1.5
+        assert combined.total == 7.5
+
+    def test_scaled(self):
+        breakdown = CostBreakdown(2.0, 4.0, 6.0).scaled(0.5)
+        assert (breakdown.loading, breakdown.inference, breakdown.relational) == (
+            1.0, 2.0, 3.0,
+        )
+
+
+class TestTable3Capabilities:
+    """Table III encoded on the strategy classes."""
+
+    def test_complexity_ordering(self):
+        assert IndependentStrategy.capabilities.implementation_complexity == "Easy"
+        assert LooseStrategy.capabilities.implementation_complexity == "Medium"
+        assert TightStrategy.capabilities.implementation_complexity == "Hard"
+
+    def test_io_cost_ordering(self):
+        assert IndependentStrategy.capabilities.io_cost == "High"
+        assert LooseStrategy.capabilities.io_cost == "Medium"
+        assert TightStrategy.capabilities.io_cost == "Low"
+
+    def test_only_tight_gets_cost_model_optimization(self):
+        assert "cost model" in TightStrategy.capabilities.optimization
+        assert "black box" in IndependentStrategy.capabilities.optimization
+        assert "cannot be optimized" in LooseStrategy.capabilities.optimization
+
+    def test_gpu_support(self):
+        assert IndependentStrategy.capabilities.gpu_support == "Easy"
+        assert "database" in LooseStrategy.capabilities.gpu_support
+
+
+class TestHardwareScaling:
+    def test_gpu_requires_gpu_profile(self):
+        with pytest.raises(ValueError):
+            LooseStrategy(profile=EDGE_ARM, use_gpu=True)
+        LooseStrategy(profile=SERVER_GPU, use_gpu=True)  # fine
+
+    def test_edge_penalizes_dl_runtime(self):
+        edge = LooseStrategy(profile=EDGE_ARM)
+        server = LooseStrategy(profile=SERVER_CPU)
+        assert edge.scale_dl_seconds(1.0) > server.scale_dl_seconds(1.0)
+
+    def test_gpu_accelerates_dl(self):
+        gpu = LooseStrategy(profile=SERVER_GPU, use_gpu=True)
+        cpu = LooseStrategy(profile=SERVER_GPU, use_gpu=False)
+        assert gpu.scale_dl_seconds(1.0) < cpu.scale_dl_seconds(1.0)
+
+    def test_transfer_zero_without_gpu(self):
+        strategy = LooseStrategy(profile=SERVER_CPU)
+        assert strategy.gpu_transfer_seconds(10**9) == 0.0
+
+    def test_transfer_positive_with_gpu(self):
+        strategy = LooseStrategy(profile=SERVER_GPU, use_gpu=True)
+        assert strategy.gpu_transfer_seconds(10**9) > 0.0
+
+
+class TestModelTask:
+    def test_detect_returns_bool(self, detect_task):
+        assert detect_task.returns_bool
+        keyframe = np.zeros(detect_task.student.input_shape)
+        assert isinstance(detect_task.predict_value(keyframe), bool)
+
+    def test_classify_returns_label(self, classify_task):
+        assert not classify_task.returns_bool
+        keyframe = np.zeros(classify_task.student.input_shape)
+        assert classify_task.predict_value(keyframe) in (
+            classify_task.class_labels
+        )
+
+    def test_udf_names(self, detect_task, classify_task):
+        assert detect_task.udf_name() == "nUDF_detect"
+        assert classify_task.udf_name() == "nUDF_classify"
+
+    def test_selectivity_estimator_from_histogram(self, detect_task):
+        estimator = detect_task.selectivity()
+        total = estimator.selectivity_equals(True) + (
+            estimator.selectivity_equals(False)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_query_metadata(self):
+        query = CollaborativeQuery(
+            sql="SELECT 1",
+            query_type=QueryType.INDEPENDENT,
+            udf_roles=("classify",),
+        )
+        assert query.udf_roles == ("classify",)

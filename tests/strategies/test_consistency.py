@@ -1,0 +1,94 @@
+"""The cross-strategy oracle: all four configurations must return the
+same rows for every query type — and agree with a Python reference
+implementation computed directly from the raw tables.
+"""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.strategies import (
+    IndependentStrategy,
+    LooseStrategy,
+    QueryType,
+    TightStrategy,
+)
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.queries import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def bench(tiny_dataset, tiny_repository):
+    return QueryBenchmark(tiny_dataset, tiny_repository)
+
+
+def all_strategies():
+    return [
+        IndependentStrategy(),
+        LooseStrategy(),
+        TightStrategy(),
+        TightStrategy(optimized=True),
+    ]
+
+
+@pytest.mark.parametrize("query_type", list(QueryType))
+@pytest.mark.parametrize("selectivity", [0.3, 0.8])
+def test_strategies_agree(bench, tiny_dataset, query_type, selectivity):
+    generator = QueryGenerator(tiny_dataset)
+    query = generator.make_query(query_type, selectivity)
+    results = {}
+    for strategy in all_strategies():
+        summary_db = bench.fresh_database()
+        tasks = {}
+        for role in query.udf_roles:
+            task = bench.repository.pick(role)
+            strategy.bind_task(summary_db, task)
+            tasks[role] = task
+        outcome = strategy.run(summary_db, query, tasks)
+        results[strategy.name] = sorted(map(tuple, outcome.rows))
+    baseline = results["DB-PyTorch"]
+    for name, rows in results.items():
+        assert rows == baseline, f"{name} disagrees with DB-PyTorch"
+
+
+def test_type3_matches_python_reference(bench, tiny_dataset, detect_task):
+    """Independent oracle: compute the Type-3 answer in plain Python."""
+    generator = QueryGenerator(tiny_dataset)
+    query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.9)
+
+    strategy = LooseStrategy()
+    db = bench.fresh_database()
+    strategy.bind_task(db, detect_task)
+    got = sorted(strategy.run(db, query, {"detect": detect_task}).rows)
+
+    # Reference computation straight from the generated tables.
+    fabric = tiny_dataset.tables["fabric"]
+    video = tiny_dataset.tables["video"]
+    lo, hi = tiny_dataset.date_bounds_for_selectivity(
+        min(1.0, 0.9 / 0.25)
+    )
+    lo_ord = datetime.date.fromisoformat(lo).toordinal()
+    hi_ord = datetime.date.fromisoformat(hi).toordinal()
+
+    fabric_rows = {}
+    for i in range(fabric.num_rows):
+        row = dict(zip(fabric.schema.column_names, fabric.row(i)))
+        if (
+            row["humidity"] > 50
+            and row["temperature"] > 25
+            and lo_ord <= row["printdate"] < hi_ord
+        ):
+            fabric_rows.setdefault(row["transID"], []).append(row)
+
+    expected = []
+    for i in range(video.num_rows):
+        row = dict(zip(video.schema.column_names, video.row(i)))
+        if not (lo_ord <= row["date"] < hi_ord):
+            continue
+        for fabric_row in fabric_rows.get(row["transID"], []):
+            if detect_task.predict_value(np.asarray(row["keyframe"])) is False:
+                expected.append(
+                    (fabric_row["patternID"], fabric_row["transID"])
+                )
+    assert got == sorted(expected)

@@ -1,0 +1,74 @@
+"""DB-PyTorch strategy specifics: export, inference, import, rewrite."""
+
+import pytest
+
+from repro.strategies import IndependentStrategy, QueryType
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.queries import QueryGenerator
+
+
+@pytest.fixture()
+def setup(tiny_dataset, tiny_repository):
+    bench = QueryBenchmark(tiny_dataset, tiny_repository)
+    db = bench.fresh_database()
+    generator = QueryGenerator(tiny_dataset)
+    return bench, db, generator
+
+
+class TestCoordination:
+    def test_exports_only_sargable_candidates(self, setup, detect_task):
+        """The app layer pushes the date predicate into its export query,
+        so inference runs on the date window, not the whole video table."""
+        _, db, generator = setup
+        strategy = IndependentStrategy()
+        strategy.bind_task(db, detect_task)
+        query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.1)
+        result = strategy.run(db, query, {"detect": detect_task})
+        total_videos = db.table("video").num_rows
+        assert 0 < result.details["inferred_rows"] < total_videos
+
+    def test_transfer_bytes_accounted(self, setup, detect_task):
+        _, db, generator = setup
+        strategy = IndependentStrategy()
+        strategy.bind_task(db, detect_task)
+        query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5)
+        result = strategy.run(db, query, {"detect": detect_task})
+        assert result.details["transfer_bytes"] > 0
+
+    def test_rewritten_sql_has_no_udf(self, setup, detect_task):
+        _, db, generator = setup
+        strategy = IndependentStrategy()
+        strategy.bind_task(db, detect_task)
+        query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5)
+        result = strategy.run(db, query, {"detect": detect_task})
+        rewritten = result.details["rewritten_sql"]
+        assert "nUDF" not in rewritten
+        assert "pred_detect" in rewritten.lower() or "P_detect" in rewritten
+
+    def test_prediction_table_registered_temp(self, setup, detect_task):
+        _, db, generator = setup
+        strategy = IndependentStrategy()
+        strategy.bind_task(db, detect_task)
+        query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5)
+        strategy.run(db, query, {"detect": detect_task})
+        assert db.catalog.has("pred_detect")
+        assert db.catalog.is_temp("pred_detect")
+
+    def test_type2_aggregate_rewrite(self, setup, detect_task):
+        """nUDF inside count() in the select list must also rewrite."""
+        _, db, generator = setup
+        strategy = IndependentStrategy()
+        strategy.bind_task(db, detect_task)
+        query = generator.make_query(QueryType.DB_DEPENDS_ON_LEARNING, 0.8)
+        result = strategy.run(db, query, {"detect": detect_task})
+        assert "nUDF" not in result.details["rewritten_sql"]
+        assert len(result.rows) >= 0  # executed without error
+
+    def test_breakdown_loading_includes_serialization(self, setup, detect_task):
+        _, db, generator = setup
+        strategy = IndependentStrategy()
+        strategy.bind_task(db, detect_task)
+        query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5)
+        result = strategy.run(db, query, {"detect": detect_task})
+        assert result.breakdown.loading > 0
+        assert result.breakdown.relational > 0

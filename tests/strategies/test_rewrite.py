@@ -1,0 +1,117 @@
+"""Application-layer query rewriting (DB-PyTorch's decomposition)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.sql.ast_nodes import BinaryOp, ColumnRef, FunctionCall, Literal
+from repro.sql.parser import parse_statement
+from repro.strategies.rewrite import (
+    add_cross_table,
+    replace_udf_calls,
+    single_table_conjuncts,
+    table_aliases,
+    transform_expression,
+)
+
+
+QUERY = (
+    "SELECT F.patternID FROM fabric F, video V "
+    "WHERE F.printdate > '2021-01-01' AND F.transID = V.transID "
+    "AND V.date > '2021-01-01' AND V.duration > 10 "
+    "AND nUDF_detect(V.keyframe) = FALSE"
+)
+
+
+def parsed():
+    return parse_statement(QUERY)
+
+
+class TestTransformExpression:
+    def test_replaces_nested_nodes(self):
+        expression = parse_statement(
+            "SELECT a + f(b) * 2"
+        ).items[0].expression
+
+        def fn(node):
+            if isinstance(node, FunctionCall) and node.name == "f":
+                return Literal(7)
+            return None
+
+        out = transform_expression(expression, fn)
+        assert "f(" not in out.to_sql()
+        assert "7" in out.to_sql()
+
+    def test_identity_when_no_match(self):
+        expression = parse_statement("SELECT a + 1").items[0].expression
+        out = transform_expression(expression, lambda node: None)
+        assert out.to_sql() == expression.to_sql()
+
+
+class TestAliases:
+    def test_table_aliases(self):
+        assert table_aliases(parsed(), "video") == ["V"]
+        assert table_aliases(parsed(), "fabric") == ["F"]
+        assert table_aliases(parsed(), "missing") == []
+
+    def test_unaliased_table_uses_own_name(self):
+        statement = parse_statement("SELECT 1 FROM video WHERE duration > 1")
+        assert table_aliases(statement, "video") == ["video"]
+
+
+class TestSingleTableConjuncts:
+    def test_video_only_predicates_extracted(self):
+        conjuncts = single_table_conjuncts(
+            parsed(),
+            "video",
+            {"videoid", "transid", "date", "duration", "keyframe"},
+            exclude_udfs={"nUDF_detect"},
+        )
+        texts = [c.to_sql() for c in conjuncts]
+        assert any("V.date" in t for t in texts)
+        assert any("duration" in t for t in texts)
+        # Join conditions and fabric predicates must not leak in.
+        assert not any("transID = V.transID" in t for t in texts)
+        assert not any("printdate" in t for t in texts)
+        # The nUDF conjunct is excluded.
+        assert not any("nUDF" in t for t in texts)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(PlanError):
+            single_table_conjuncts(parsed(), "nowhere", set(), exclude_udfs=set())
+
+
+class TestReplaceUdfCalls:
+    def test_replacement_in_where(self):
+        rewritten = replace_udf_calls(
+            parsed(),
+            {"nudf_detect": ColumnRef("prediction", table="P")},
+        )
+        sql = rewritten.to_sql()
+        assert "nUDF_detect" not in sql
+        assert "P.prediction" in sql
+
+    def test_replacement_in_select_and_group(self):
+        statement = parse_statement(
+            "SELECT patternID, count(nUDF_detect(V.keyframe) = TRUE) "
+            "FROM video V GROUP BY patternID"
+        )
+        rewritten = replace_udf_calls(
+            statement, {"nudf_detect": ColumnRef("prediction", table="P")}
+        )
+        assert "nUDF_detect" not in rewritten.to_sql()
+
+    def test_add_cross_table(self):
+        statement = parse_statement("SELECT 1 FROM video V WHERE V.duration > 1")
+        joined = add_cross_table(
+            statement,
+            "pred_detect",
+            "P",
+            BinaryOp(
+                "=",
+                ColumnRef("videoID", table="P"),
+                ColumnRef("videoID", table="V"),
+            ),
+        )
+        sql = joined.to_sql()
+        assert "pred_detect P" in sql
+        assert "(P.videoID = V.videoID)" in sql

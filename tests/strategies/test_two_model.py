@@ -1,0 +1,141 @@
+"""The paper's two-model query: conjunct ordering by nUDF selectivity.
+
+Section II: "When the detect model predicts that 95% of the original data
+records are irrelevant, and the classify model predicts that more than
+60% ... are relevant, it would be more efficient to execute the detect
+model before the classify model."
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchUdf, Database
+from repro.storage.schema import DataType
+from repro.strategies import LooseStrategy, TightStrategy
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.queries import QueryGenerator
+
+
+def _counting_udf(name, passes, selectivity_true, counter):
+    def fn(values):
+        counter[name] = counter.get(name, 0) + len(values)
+        return np.asarray([passes(v) for v in values], dtype=bool)
+
+    return BatchUdf(
+        name=name,
+        fn=fn,
+        return_dtype=DataType.BOOL,
+        is_neural=True,
+        selectivity_of=lambda label: (
+            selectivity_true if label in (True, "TRUE", "true") else
+            1.0 - selectivity_true
+        ),
+    )
+
+
+class TestConjunctOrdering:
+    def test_selective_model_runs_first(self):
+        """The 5%-selective detect model must gate the 60%-selective
+        classify model, not the other way around."""
+        db = Database()
+        db.create_table_from_dict("t", {"x": [float(i) for i in range(100)]})
+        counter: dict[str, int] = {}
+        db.register_udf(
+            _counting_udf("nUDF_detect", lambda v: v < 5, 0.05, counter)
+        )
+        db.register_udf(
+            _counting_udf("nUDF_classify", lambda v: v % 2 == 0, 0.6, counter)
+        )
+        db.query(
+            "SELECT x FROM t WHERE nUDF_classify(x) = TRUE "
+            "AND nUDF_detect(x) = TRUE"
+        )
+        # detect saw all 100 rows, classify only detect's 5 survivors —
+        # despite classify being written first.
+        assert counter["nUDF_detect"] == 100
+        assert counter["nUDF_classify"] == 5
+
+    def test_written_order_kept_without_histograms(self):
+        db = Database()
+        db.create_table_from_dict("t", {"x": [float(i) for i in range(10)]})
+        counter: dict[str, int] = {}
+        first = _counting_udf("nUDF_a", lambda v: v < 5, 0.5, counter)
+        second = _counting_udf("nUDF_b", lambda v: True, 0.5, counter)
+        first.selectivity_of = None
+        second.selectivity_of = None
+        db.register_udf(first)
+        db.register_udf(second)
+        db.query("SELECT x FROM t WHERE nUDF_a(x) = TRUE AND nUDF_b(x) = TRUE")
+        assert counter["nUDF_a"] == 10
+        assert counter["nUDF_b"] == 5  # written order preserved
+
+    def test_negated_comparison_flips_selectivity(self):
+        """`nUDF(x) = FALSE` with Pr(TRUE)=0.95 is highly selective and
+        must run before a 50/50 model."""
+        db = Database()
+        db.create_table_from_dict("t", {"x": [float(i) for i in range(100)]})
+        counter: dict[str, int] = {}
+        db.register_udf(
+            _counting_udf("nUDF_detect", lambda v: v >= 5, 0.95, counter)
+        )
+        db.register_udf(
+            _counting_udf("nUDF_classify", lambda v: v % 2 == 0, 0.5, counter)
+        )
+        db.query(
+            "SELECT x FROM t WHERE nUDF_classify(x) = TRUE "
+            "AND nUDF_detect(x) = FALSE"
+        )
+        assert counter["nUDF_detect"] == 100
+        assert counter["nUDF_classify"] == 5
+
+
+class TestTwoModelWorkload:
+    def test_strategies_agree(self, tiny_dataset, tiny_repository):
+        bench = QueryBenchmark(tiny_dataset, tiny_repository)
+        query = QueryGenerator(tiny_dataset).make_two_model_query(0.9)
+        assert query.udf_roles == ("detect", "classify")
+        from repro.strategies import IndependentStrategy
+
+        results = {}
+        for strategy in (
+            IndependentStrategy(),
+            LooseStrategy(),
+            TightStrategy(),
+            TightStrategy(optimized=True),
+        ):
+            db = bench.fresh_database()
+            tasks = {}
+            for role in query.udf_roles:
+                task = tiny_repository.pick(role)
+                strategy.bind_task(db, task)
+                tasks[role] = task
+            outcome = strategy.run(db, query, tasks)
+            results[strategy.name] = sorted(map(tuple, outcome.rows))
+        assert len(set(map(tuple, results.values()))) == 1
+
+    def test_more_selective_task_gates_the_other(
+        self, tiny_dataset, tiny_repository
+    ):
+        bench = QueryBenchmark(tiny_dataset, tiny_repository)
+        query = QueryGenerator(tiny_dataset).make_two_model_query(1.0)
+        db = bench.fresh_database()
+        strategy = LooseStrategy()
+        detect = tiny_repository.pick("detect")
+        classify = tiny_repository.pick("classify")
+        strategy.bind_task(db, detect)
+        strategy.bind_task(db, classify)
+        db.udfs.reset_stats()
+        strategy.run(db, query, {"detect": detect, "classify": classify})
+        detect_rows = db.udfs.get("nUDF_detect").stats.rows
+        classify_rows = db.udfs.get("nUDF_classify").stats.rows
+        # Whichever model the histograms rank more selective ran first and
+        # saw at least as many rows as the other.
+        assert detect_rows != classify_rows
+        first_selectivity = detect.selectivity().selectivity_equals(True)
+        second_selectivity = classify.selectivity().selectivity_equals(
+            "Floral Pattern"
+        )
+        if first_selectivity < second_selectivity:
+            assert detect_rows > classify_rows
+        else:
+            assert classify_rows > detect_rows

@@ -1,0 +1,167 @@
+"""Numerical correctness of the forward-pass kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorError
+from repro.tensor import functional as F
+
+
+class TestConvOutputSize:
+    def test_paper_equation3(self):
+        # H_out = (H_in + 2p - k)/s + 1
+        assert F.conv_output_size(5, 3, 2, 0) == 2
+        assert F.conv_output_size(16, 3, 1, 1) == 16
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+    def test_collapse_rejected(self):
+        with pytest.raises(TensorError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        x = np.arange(9.0).reshape(1, 3, 3)
+        w = np.zeros((1, 1, 1, 1))
+        w[0, 0, 0, 0] = 1.0
+        assert np.allclose(F.conv2d(x, w), x)
+
+    def test_known_values(self):
+        x = np.ones((1, 3, 3))
+        w = np.ones((1, 1, 2, 2))
+        out = F.conv2d(x, w)
+        assert out.shape == (1, 2, 2)
+        assert np.allclose(out, 4.0)
+
+    def test_against_direct_computation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        padded = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        for oc in range(3):
+            for oy in range(out.shape[1]):
+                for ox in range(out.shape[2]):
+                    window = padded[:, oy * 2 : oy * 2 + 3, ox * 2 : ox * 2 + 3]
+                    expected = (window * w[oc]).sum()
+                    assert out[oc, oy, ox] == pytest.approx(expected)
+
+    def test_bias(self):
+        x = np.zeros((1, 2, 2))
+        w = np.zeros((2, 1, 1, 1))
+        out = F.conv2d(x, w, bias=np.array([1.0, -1.0]))
+        assert np.allclose(out[0], 1.0) and np.allclose(out[1], -1.0)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(TensorError):
+            F.conv2d(np.zeros((2, 3, 3)), np.zeros((1, 1, 2, 2)))
+
+    def test_rectangular_kernel_rejected(self):
+        with pytest.raises(TensorError):
+            F.conv2d(np.zeros((1, 4, 4)), np.zeros((1, 1, 2, 3)))
+
+
+class TestIm2col:
+    def test_matches_paper_figure3_layout(self):
+        """5x5 input, 3x3 kernel, stride 2 -> 4 sub-matrices of 9 slots."""
+        x = np.arange(25.0).reshape(1, 5, 5)
+        columns, out_h, out_w = F.im2col(x, 3, 2, 0)
+        assert (out_h, out_w) == (2, 2)
+        assert columns.shape == (9, 4)
+        # First placement = top-left 3x3 window, row-major.
+        assert columns[:, 0].tolist() == [0, 1, 2, 5, 6, 7, 10, 11, 12]
+
+
+class TestDeconv:
+    def test_inverse_of_stride1_shapes(self):
+        x = np.ones((1, 3, 3))
+        w = np.ones((1, 2, 2, 2))
+        out = F.deconv2d(x, w)
+        assert out.shape == (2, 4, 4)
+        # Center cells receive 4 overlapping contributions.
+        assert out[0, 1, 1] == pytest.approx(4.0)
+        assert out[0, 0, 0] == pytest.approx(1.0)
+
+    def test_stride_spreads(self):
+        x = np.ones((1, 2, 2))
+        w = np.ones((1, 1, 2, 2))
+        out = F.deconv2d(x, w, stride=2)
+        assert out.shape == (1, 4, 4)
+        assert np.allclose(out, 1.0)
+
+
+class TestPooling:
+    def test_max(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        assert F.max_pool2d(x, 2)[0, 0, 0] == 4.0
+
+    def test_avg(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        assert F.avg_pool2d(x, 2)[0, 0, 0] == 2.5
+
+    def test_stride_defaults_to_kernel(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        assert F.max_pool2d(x, 2).shape == (1, 2, 2)
+
+    def test_overlapping_stride(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        assert F.max_pool2d(x, 2, stride=1).shape == (1, 3, 3)
+
+
+class TestNormalization:
+    def test_batch_norm_standardizes(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(5.0, 3.0, size=(2, 8, 8))
+        out = F.batch_norm(x)
+        assert np.allclose(out.mean(axis=(1, 2)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(1, 2)), 1.0, atol=1e-2)
+
+    def test_batch_norm_running_stats(self):
+        x = np.full((1, 2, 2), 10.0)
+        out = F.batch_norm(
+            x, mean=np.array([10.0]), var=np.array([4.0]), eps=0.0
+        )
+        assert np.allclose(out, 0.0)
+
+    def test_gamma_beta(self):
+        x = np.zeros((1, 2, 2))
+        out = F.batch_norm(
+            x,
+            mean=np.array([0.0]),
+            var=np.array([1.0]),
+            gamma=np.array([2.0]),
+            beta=np.array([3.0]),
+            eps=0.0,
+        )
+        assert np.allclose(out, 3.0)
+
+    def test_instance_norm_is_input_stat_bn(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 4, 4))
+        assert np.allclose(F.instance_norm(x), F.batch_norm(x))
+
+
+class TestActivationsAndHeads:
+    def test_relu(self):
+        assert F.relu(np.array([-1.0, 0.0, 2.0])).tolist() == [0.0, 0.0, 2.0]
+
+    def test_linear(self):
+        w = np.array([[1.0, 2.0], [0.0, 1.0]])
+        out = F.linear(np.array([3.0, 4.0]), w, bias=np.array([1.0, 0.0]))
+        assert out.tolist() == [12.0, 4.0]
+
+    def test_softmax_sums_to_one(self):
+        out = F.softmax(np.array([1.0, 2.0, 3.0]))
+        assert out.sum() == pytest.approx(1.0)
+        assert np.argmax(out) == 2
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(np.array([1000.0, 1001.0]))
+        assert np.isfinite(out).all()
+
+    def test_basic_attention_shape(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8,))
+        w = rng.normal(size=(4, 8))
+        out = F.basic_attention(x, w, w, w)
+        assert out.shape == (4,)

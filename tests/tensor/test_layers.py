@@ -1,0 +1,165 @@
+"""Layer objects: shape propagation, parameters, block composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorError
+from repro.tensor import (
+    AvgPool2d,
+    BasicAttention,
+    BatchNorm2d,
+    Conv2d,
+    Deconv2d,
+    DenseBlock,
+    Flatten,
+    IdentityBlock,
+    InstanceNorm2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+    Softmax,
+)
+
+
+class TestShapePropagation:
+    def test_conv(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer.output_shape((3, 16, 16)) == (8, 8, 8)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(TensorError):
+            Conv2d(3, 8, 3).output_shape((1, 16, 16))
+
+    def test_deconv(self):
+        layer = Deconv2d(4, 2, 2, stride=2)
+        assert layer.output_shape((4, 3, 3)) == (2, 6, 6)
+
+    def test_pool(self):
+        assert MaxPool2d(2).output_shape((8, 6, 6)) == (8, 3, 3)
+        assert AvgPool2d(3, stride=1).output_shape((8, 6, 6)) == (8, 4, 4)
+
+    def test_identity_shapes(self):
+        for layer in (BatchNorm2d(4), InstanceNorm2d(4), ReLU()):
+            assert layer.output_shape((4, 5, 5)) == (4, 5, 5)
+
+    def test_flatten_linear_softmax(self):
+        assert Flatten().output_shape((2, 3, 3)) == (18,)
+        assert Linear(18, 5).output_shape((18,)) == (5,)
+        assert Softmax().output_shape((5,)) == (5,)
+
+    def test_attention(self):
+        assert BasicAttention(18, 6).output_shape((2, 3, 3)) == (6,)
+
+
+class TestParameters:
+    def test_conv_parameter_count(self):
+        layer = Conv2d(3, 8, 3)
+        assert layer.num_parameters() == 8 * 3 * 3 * 3 + 8
+
+    def test_linear_parameter_count(self):
+        assert Linear(10, 4).num_parameters() == 44
+
+    def test_stateless_layers(self):
+        assert ReLU().num_parameters() == 0
+        assert MaxPool2d(2).num_parameters() == 0
+        assert Flatten().num_parameters() == 0
+
+    def test_bn_parameters(self):
+        layer = BatchNorm2d(4)
+        assert layer.num_parameters() == 8
+        layer.running_mean = np.zeros(4)
+        layer.running_var = np.ones(4)
+        assert layer.num_parameters() == 16
+
+
+class TestForward:
+    def test_linear_input_size_checked(self):
+        with pytest.raises(TensorError):
+            Linear(4, 2).forward(np.zeros(5))
+
+    def test_conv_forward_matches_functional(self):
+        from repro.tensor import functional as F
+
+        layer = Conv2d(1, 2, 3, padding=1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 5, 5))
+        assert np.allclose(
+            layer.forward(x),
+            F.conv2d(x, layer.weight, layer.bias, 1, 1),
+        )
+
+    def test_callable(self):
+        x = np.array([-1.0, 1.0])
+        assert ReLU()(x).tolist() == [0.0, 1.0]
+
+
+class TestBlocks:
+    def _main_path(self, channels):
+        return [
+            Conv2d(channels, channels, 3, padding=1,
+                   rng=np.random.default_rng(0)),
+            BatchNorm2d(channels),
+        ]
+
+    def test_identity_block(self):
+        block = IdentityBlock(self._main_path(2))
+        x = np.random.default_rng(2).normal(size=(2, 4, 4))
+        out = block.forward(x)
+        assert out.shape == x.shape
+        assert (out >= 0).all()  # final ReLU
+
+    def test_identity_block_shape_change_rejected(self):
+        block = IdentityBlock([Conv2d(2, 3, 3, padding=1)])
+        with pytest.raises(TensorError):
+            block.output_shape((2, 4, 4))
+
+    def test_residual_block_with_projection(self):
+        main = [
+            Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(0)),
+            BatchNorm2d(4),
+        ]
+        shortcut = [Conv2d(2, 4, 1, rng=np.random.default_rng(1))]
+        block = ResidualBlock(main, shortcut)
+        assert block.output_shape((2, 4, 4)) == (4, 4, 4)
+        x = np.random.default_rng(3).normal(size=(2, 4, 4))
+        assert block.forward(x).shape == (4, 4, 4)
+
+    def test_residual_mismatched_paths_rejected(self):
+        block = ResidualBlock(
+            [Conv2d(2, 4, 3, padding=1)], [Conv2d(2, 3, 1)]
+        )
+        with pytest.raises(TensorError):
+            block.output_shape((2, 4, 4))
+
+    def test_residual_matches_manual_computation(self):
+        main = [Conv2d(1, 1, 1, rng=np.random.default_rng(5))]
+        shortcut = [Conv2d(1, 1, 1, rng=np.random.default_rng(6))]
+        block = ResidualBlock(main, shortcut)
+        x = np.random.default_rng(7).normal(size=(1, 3, 3))
+        expected = np.maximum(
+            main[0].forward(x) + shortcut[0].forward(x), 0.0
+        )
+        assert np.allclose(block.forward(x), expected)
+
+    def test_dense_block_concatenates_channels(self):
+        stages = [
+            [Conv2d(2, 3, 3, padding=1, rng=np.random.default_rng(0))],
+            [Conv2d(5, 2, 3, padding=1, rng=np.random.default_rng(1))],
+        ]
+        block = DenseBlock(stages)
+        assert block.output_shape((2, 4, 4)) == (7, 4, 4)
+        x = np.random.default_rng(2).normal(size=(2, 4, 4))
+        out = block.forward(x)
+        assert out.shape == (7, 4, 4)
+        assert np.allclose(out[:2], x)  # original features preserved
+
+    def test_dense_block_spatial_change_rejected(self):
+        block = DenseBlock([[Conv2d(2, 2, 3)]])  # no padding shrinks
+        with pytest.raises(TensorError):
+            block.output_shape((2, 4, 4))
+
+    def test_block_parameters_flattened(self):
+        block = ResidualBlock(
+            [Conv2d(1, 1, 1)], [Conv2d(1, 1, 1)]
+        )
+        assert block.num_parameters() == 4  # 2 weights + 2 biases

@@ -1,0 +1,75 @@
+"""Model composition and prediction API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorError
+from repro.tensor import Conv2d, Flatten, Linear, Model, ReLU, Softmax
+
+
+@pytest.fixture()
+def model():
+    rng = np.random.default_rng(0)
+    return Model(
+        "m",
+        (1, 4, 4),
+        [
+            Conv2d(1, 2, 3, padding=1, rng=rng),
+            ReLU(),
+            Flatten(),
+            Linear(32, 3, rng=rng),
+            Softmax(),
+        ],
+        class_labels=["a", "b", "c"],
+    )
+
+
+class TestModel:
+    def test_shapes_validated_on_construction(self):
+        with pytest.raises(TensorError):
+            Model("bad", (1, 4, 4), [Linear(5, 2)])
+
+    def test_output_shape(self, model):
+        assert model.output_shape == (3,)
+
+    def test_forward_checks_input(self, model):
+        with pytest.raises(TensorError):
+            model.forward(np.zeros((1, 5, 5)))
+
+    def test_forward_probabilities(self, model):
+        out = model.forward(np.zeros((1, 4, 4)))
+        assert out.shape == (3,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_predict_label(self, model):
+        x = np.random.default_rng(1).normal(size=(1, 4, 4))
+        label = model.predict_label(x)
+        assert label in ("a", "b", "c")
+        assert label == model.class_labels[model.predict_class(x)]
+
+    def test_predict_label_without_labels(self):
+        bare = Model("m2", (4,), [Linear(4, 2)])
+        assert bare.predict_label(np.zeros(4)) in ("0", "1")
+
+    def test_forward_batch(self, model):
+        batch = [np.zeros((1, 4, 4)) for _ in range(3)]
+        out = model.forward_batch(batch)
+        assert out.shape == (3, 3)
+
+    def test_predict_labels(self, model):
+        batch = [np.zeros((1, 4, 4)) for _ in range(2)]
+        assert len(model.predict_labels(batch)) == 2
+
+    def test_num_parameters(self, model):
+        expected = (2 * 1 * 3 * 3 + 2) + (3 * 32 + 3)
+        assert model.num_parameters() == expected
+
+    def test_layer_shapes(self, model):
+        triples = model.layer_shapes()
+        assert triples[0][1] == (1, 4, 4)
+        assert triples[-1][2] == (3,)
+        assert len(triples) == 5
+
+    def test_determinism(self, model):
+        x = np.random.default_rng(2).normal(size=(1, 4, 4))
+        assert np.array_equal(model.forward(x), model.forward(x))

@@ -1,0 +1,103 @@
+"""ResNet/student builders: depth semantics, parameter growth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorError
+from repro.tensor import Conv2d, build_resnet, build_student_cnn
+from repro.tensor.layers import IdentityBlock, ResidualBlock
+
+
+def count_convs(model):
+    total = 0
+    for layer in model.layers:
+        if isinstance(layer, Conv2d):
+            total += 1
+        elif isinstance(layer, ResidualBlock):
+            total += sum(
+                isinstance(sub, Conv2d)
+                for sub in (*layer.main_path, *layer.shortcut)
+            )
+    return total
+
+
+class TestStudent:
+    def test_three_blocks(self):
+        model = build_student_cnn()
+        convs = [l for l in model.layers if isinstance(l, Conv2d)]
+        assert len(convs) == 3
+
+    def test_forward_runs(self):
+        model = build_student_cnn(num_classes=5)
+        out = model.forward(np.zeros(model.input_shape))
+        assert out.shape == (5,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_channel_count_enforced(self):
+        with pytest.raises(TensorError):
+            build_student_cnn(channels=(4, 4))
+
+    def test_seed_determinism(self):
+        a = build_student_cnn(seed=5)
+        b = build_student_cnn(seed=5)
+        x = np.random.default_rng(0).normal(size=a.input_shape)
+        assert np.array_equal(a.forward(x), b.forward(x))
+
+    def test_different_seeds_differ(self):
+        a = build_student_cnn(seed=1)
+        b = build_student_cnn(seed=2)
+        x = np.random.default_rng(0).normal(size=a.input_shape)
+        assert not np.array_equal(a.forward(x), b.forward(x))
+
+
+class TestResnet:
+    @pytest.mark.parametrize("depth", [3, 5, 8, 11, 14])
+    def test_depth_counts_convs(self, depth):
+        model = build_resnet(depth, input_shape=(1, 8, 8))
+        # Depth counts main-pathway convolutions: the stem plus two per
+        # block plus the odd tail; projection shortcuts are extra.
+        main_convs = 0
+        for layer in model.layers:
+            if isinstance(layer, Conv2d):
+                main_convs += 1
+            elif isinstance(layer, (ResidualBlock, IdentityBlock)):
+                main_convs += sum(
+                    isinstance(sub, Conv2d) for sub in layer.main_path
+                )
+        assert main_convs == depth
+
+    def test_parameters_grow_monotonically(self):
+        params = [
+            build_resnet(d, input_shape=(1, 8, 8)).num_parameters()
+            for d in (5, 10, 15, 20, 25)
+        ]
+        assert params == sorted(params)
+
+    def test_near_linear_growth_after_cap(self):
+        """Table VI's near-linear parameter growth once channels cap."""
+        params = {
+            d: build_resnet(d, input_shape=(1, 16, 16)).num_parameters()
+            for d in (25, 30, 35, 40)
+        }
+        step1 = params[30] - params[25]
+        step2 = params[35] - params[30]
+        step3 = params[40] - params[35]
+        assert step1 == step2 == step3
+
+    def test_forward_runs(self):
+        model = build_resnet(7, input_shape=(1, 8, 8), num_classes=3)
+        out = model.forward(np.zeros((1, 8, 8)))
+        assert out.shape == (3,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_too_shallow_rejected(self):
+        with pytest.raises(TensorError):
+            build_resnet(2)
+
+    def test_name_defaults(self):
+        assert build_resnet(5).name == "resnet5"
+        assert build_resnet(5, name="custom").name == "custom"
+
+    def test_class_labels_attached(self):
+        model = build_resnet(5, class_labels=["x", "y", "z", "w"])
+        assert model.class_labels == ["x", "y", "z", "w"]

@@ -1,0 +1,139 @@
+"""Self attention, LSTM and GRU — Table II's 'Unsupported' operators.
+
+They run in the tensor framework (serving sequence models through the
+DB-UDF / DB-PyTorch strategies) but DL2SQL refuses to compile them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_model
+from repro.errors import CompileError, TensorError
+from repro.tensor import GRU, LSTM, Model, SelfAttention
+from repro.tensor import functional as F
+
+
+@pytest.fixture()
+def sequence():
+    return np.random.default_rng(0).normal(size=(6, 4))  # [T=6, D=4]
+
+
+class TestSelfAttention:
+    def test_shapes(self, sequence):
+        layer = SelfAttention(4, 3)
+        out = layer.forward(sequence)
+        assert out.shape == (6, 3)
+        assert layer.output_shape((6, 4)) == (6, 3)
+
+    def test_rows_are_convex_combinations(self, sequence):
+        """Attention weights form a distribution per token: with identity
+        value projection, each output row lies in the convex hull of the
+        inputs."""
+        layer = SelfAttention(4, 4)
+        layer.w_value = np.eye(4)
+        out = layer.forward(sequence)
+        assert out.min() >= sequence.min() - 1e-9
+        assert out.max() <= sequence.max() + 1e-9
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(TensorError):
+            SelfAttention(4).forward(np.zeros((2, 3, 4)))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(TensorError):
+            SelfAttention(4).output_shape((6, 5))
+
+    def test_parameters(self):
+        assert SelfAttention(4, 3).num_parameters() == 3 * 12
+
+
+class TestLstm:
+    def test_final_hidden_shape(self, sequence):
+        layer = LSTM(4, 5)
+        out = layer.forward(sequence)
+        assert out.shape == (5,)
+        assert layer.output_shape((6, 4)) == (5,)
+
+    def test_hidden_state_bounded(self, sequence):
+        """h = o * tanh(c) keeps every unit in (-1, 1)."""
+        out = LSTM(4, 8).forward(sequence * 10)
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_order_matters(self, sequence):
+        layer = LSTM(4, 5)
+        forward = layer.forward(sequence)
+        backward = layer.forward(sequence[::-1])
+        assert not np.allclose(forward, backward)
+
+    def test_parameter_count(self):
+        layer = LSTM(4, 5)
+        assert layer.num_parameters() == 4 * 5 * 4 + 4 * 5 * 5 + 2 * 4 * 5
+
+    def test_zero_forget_bias_default(self, sequence):
+        layer = LSTM(4, 5)
+        assert np.all(layer.b_ih == 0)
+
+
+class TestGru:
+    def test_final_hidden_shape(self, sequence):
+        layer = GRU(4, 5)
+        assert layer.forward(sequence).shape == (5,)
+
+    def test_hidden_bounded(self, sequence):
+        out = GRU(4, 8).forward(sequence * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_differs_from_lstm(self, sequence):
+        rng = np.random.default_rng(1)
+        assert not np.allclose(
+            GRU(4, 5, rng=rng).forward(sequence),
+            LSTM(4, 5, rng=np.random.default_rng(1)).forward(sequence),
+        )
+
+    def test_functional_matches_layer(self, sequence):
+        layer = GRU(4, 5)
+        direct = F.gru_forward(
+            sequence, layer.w_ih, layer.w_hh, layer.b_ih, layer.b_hh
+        )
+        assert np.allclose(layer.forward(sequence), direct)
+
+
+class TestDl2SqlRejection:
+    def test_self_attention_rejected_with_table2_message(self):
+        model = Model("sa", (6, 4), [SelfAttention(4)])
+        with pytest.raises(CompileError, match="Table II"):
+            compile_model(model)
+
+    def test_lstm_rejected(self):
+        model = Model("lstm", (6, 4), [LSTM(4, 5)])
+        with pytest.raises(CompileError, match="Unsupported"):
+            compile_model(model)
+
+    def test_gru_rejected(self):
+        model = Model("gru", (6, 4), [GRU(4, 5)])
+        with pytest.raises(CompileError, match="DB-UDF or DB-PyTorch"):
+            compile_model(model)
+
+    def test_sequence_model_runs_in_tensor_framework(self, sequence):
+        """The strategies that treat models as black boxes still serve
+        sequence models — exactly Table II's point."""
+        from repro.tensor.layers import Linear, Softmax
+
+        model = Model(
+            "seq",
+            (6, 4),
+            [LSTM(4, 5), Linear(5, 3), Softmax()],
+            class_labels=["a", "b", "c"],
+        )
+        out = model.forward(sequence)
+        assert out.shape == (3,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_sequence_model_serializes(self, sequence):
+        """DB-UDF's pathway: blob round-trip of a sequence model."""
+        from repro.tensor.layers import Linear
+        from repro.tensor.serialize import deserialize_model, serialize_model
+
+        model = Model("seq2", (6, 4), [GRU(4, 5), Linear(5, 2)])
+        clone = deserialize_model(serialize_model(model))
+        assert np.allclose(clone.forward(sequence), model.forward(sequence))

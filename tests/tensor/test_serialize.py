@@ -1,0 +1,141 @@
+"""Serialization: round-trips, corruption handling, compression levels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.tensor import (
+    BasicAttention,
+    BatchNorm2d,
+    Conv2d,
+    Deconv2d,
+    DenseBlock,
+    Flatten,
+    IdentityBlock,
+    InstanceNorm2d,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+    ResidualBlock,
+    Softmax,
+    build_resnet,
+    build_student_cnn,
+)
+from repro.tensor.serialize import (
+    deserialize_model,
+    load_model,
+    save_model,
+    serialize_model,
+    serialized_size,
+)
+
+
+def assert_same_outputs(a, b, shape, seed=0):
+    x = np.random.default_rng(seed).normal(size=shape)
+    assert np.allclose(a.forward(x), b.forward(x))
+
+
+class TestRoundTrips:
+    def test_student(self):
+        model = build_student_cnn()
+        clone = deserialize_model(serialize_model(model))
+        assert_same_outputs(model, clone, model.input_shape)
+        assert clone.class_labels == model.class_labels
+        assert clone.name == model.name
+
+    def test_resnet_with_blocks(self):
+        model = build_resnet(7, input_shape=(1, 8, 8))
+        clone = deserialize_model(serialize_model(model))
+        assert_same_outputs(model, clone, (1, 8, 8))
+
+    def test_every_layer_kind(self):
+        rng = np.random.default_rng(0)
+        model = Model(
+            "zoo",
+            (2, 8, 8),
+            [
+                Conv2d(2, 4, 3, padding=1, rng=rng),
+                BatchNorm2d(4),
+                InstanceNorm2d(4),
+                ReLU(),
+                IdentityBlock(
+                    [Conv2d(4, 4, 3, padding=1, rng=rng), BatchNorm2d(4)]
+                ),
+                ResidualBlock(
+                    [Conv2d(4, 8, 3, padding=1, rng=rng), BatchNorm2d(8)],
+                    [Conv2d(4, 8, 1, rng=rng)],
+                ),
+                DenseBlock([[Conv2d(8, 2, 3, padding=1, rng=rng)]]),
+                MaxPool2d(2),
+                Deconv2d(10, 4, 2, stride=2, rng=rng),
+                Flatten(),
+                BasicAttention(4 * 8 * 8, 16, rng=rng),
+                Linear(16, 4, rng=rng),
+                Softmax(),
+            ],
+        )
+        clone = deserialize_model(serialize_model(model))
+        assert_same_outputs(model, clone, (2, 8, 8))
+
+    def test_running_stats_preserved(self):
+        bn = BatchNorm2d(2)
+        bn.running_mean = np.array([1.0, 2.0])
+        bn.running_var = np.array([0.5, 0.25])
+        model = Model("bn", (2, 3, 3), [bn])
+        clone = deserialize_model(serialize_model(model))
+        assert_same_outputs(model, clone, (2, 3, 3))
+
+    def test_file_roundtrip(self, tmp_path):
+        model = build_student_cnn()
+        path = str(tmp_path / "model.bin")
+        size = save_model(model, path)
+        assert size > 0
+        clone = load_model(path)
+        assert_same_outputs(model, clone, model.input_shape)
+
+
+class TestFormat:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError, match="magic"):
+            deserialize_model(b"NOPE" + b"\x00" * 10)
+
+    def test_bad_version(self):
+        blob = serialize_model(build_student_cnn())
+        tampered = blob[:4] + (99).to_bytes(2, "little") + blob[6:]
+        with pytest.raises(SerializationError, match="version"):
+            deserialize_model(tampered)
+
+    def test_corrupt_payload(self):
+        blob = serialize_model(build_student_cnn())
+        tampered = blob[:10] + bytes([blob[10] ^ 0xFF]) + blob[11:]
+        with pytest.raises(SerializationError):
+            deserialize_model(tampered)
+
+    def test_compression_levels_ordered(self):
+        model = build_resnet(8, input_shape=(1, 12, 12))
+        light = serialized_size(model, compression_level=1)
+        heavy = serialized_size(model, compression_level=9)
+        assert heavy <= light
+
+
+@given(
+    channels=st.tuples(
+        st.integers(2, 6), st.integers(2, 6), st.integers(2, 6)
+    ),
+    classes=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_roundtrip_property(channels, classes, seed):
+    model = build_student_cnn(
+        input_shape=(1, 8, 8),
+        num_classes=classes,
+        channels=channels,
+        seed=seed,
+    )
+    clone = deserialize_model(serialize_model(model))
+    x = np.random.default_rng(seed).normal(size=(1, 8, 8))
+    assert np.allclose(model.forward(x), clone.forward(x))

@@ -1,0 +1,73 @@
+"""Calibration histograms and distillation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorError
+from repro.tensor import Conv2d, Flatten, Model, build_resnet, build_student_cnn
+from repro.tensor.train import (
+    calibrate_class_histogram,
+    class_probabilities,
+    distill_linear_head,
+)
+
+
+@pytest.fixture()
+def samples():
+    rng = np.random.default_rng(0)
+    return [rng.normal(size=(1, 16, 16)) for _ in range(48)]
+
+
+class TestHistogram:
+    def test_counts_sum_to_samples(self, samples):
+        model = build_student_cnn(num_classes=4)
+        histogram = calibrate_class_histogram(model, samples)
+        assert sum(histogram.values()) == len(samples)
+
+    def test_all_classes_present_as_keys(self, samples):
+        model = build_student_cnn(num_classes=4)
+        histogram = calibrate_class_histogram(model, samples)
+        assert set(histogram) == {0, 1, 2, 3}
+
+    def test_probabilities_eq10(self):
+        probabilities = class_probabilities({0: 3, 1: 1})
+        assert probabilities[0] == 0.75
+        assert probabilities[1] == 0.25
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_probabilities_empty_histogram_uniform(self):
+        probabilities = class_probabilities({0: 0, 1: 0})
+        assert probabilities[0] == probabilities[1] == 0.5
+
+
+class TestDistillation:
+    def test_student_matches_teacher_predictions(self, samples):
+        teacher = build_resnet(8, num_classes=4, seed=11)
+        student = build_student_cnn(num_classes=4, seed=12)
+        report = distill_linear_head(student, teacher, samples)
+        assert report.num_samples == len(samples)
+        # Logit matching on the training samples should transfer most of
+        # the teacher's decision surface.
+        assert report.agreement >= 0.8
+
+    def test_distillation_changes_student(self, samples):
+        teacher = build_resnet(8, num_classes=4, seed=11)
+        student = build_student_cnn(num_classes=4, seed=12)
+        before = student.forward(samples[0]).copy()
+        distill_linear_head(student, teacher, samples)
+        after = student.forward(samples[0])
+        assert not np.allclose(before, after)
+
+    def test_class_count_mismatch_rejected(self, samples):
+        teacher = build_resnet(8, num_classes=3, seed=11)
+        student = build_student_cnn(num_classes=4, seed=12)
+        with pytest.raises(TensorError):
+            distill_linear_head(student, teacher, samples)
+
+    def test_model_without_linear_head_rejected(self, samples):
+        headless = Model(
+            "h", (1, 16, 16), [Conv2d(1, 2, 3, padding=1), Flatten()]
+        )
+        teacher = build_resnet(8, num_classes=4)
+        with pytest.raises(TensorError):
+            distill_linear_head(headless, teacher, samples)

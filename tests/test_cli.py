@@ -1,0 +1,91 @@
+"""CLI behaviour (list/run/demo/shell loop)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, run_shell
+from repro.engine import Database
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+    def test_demo_parity(self, capsys):
+        assert main(["demo"]) == 0
+        assert "parity: OK" in capsys.readouterr().out
+
+    def test_run_table4(self, capsys):
+        # The cheapest experiment as a representative run.
+        import repro.experiments.exp_storage as exp_storage
+
+        original = exp_storage.main
+        exp_storage.main = lambda: original(depths=(5,))
+        try:
+            assert main(["run", "table4"]) == 0
+        finally:
+            exp_storage.main = original
+        assert "Table IV" in capsys.readouterr().out
+
+
+class TestShell:
+    def _run(self, commands, db=None):
+        db = db or Database()
+        db.create_table_from_dict("t", {"a": [1, 2, 3]})
+        outputs = []
+        commands = iter(commands)
+
+        def fake_input(prompt):
+            try:
+                return next(commands)
+            except StopIteration:
+                raise EOFError
+
+        code = run_shell(db, input_fn=fake_input, output_fn=outputs.append)
+        return code, "\n".join(outputs)
+
+    def test_select(self):
+        code, out = self._run(["SELECT sum(a) FROM t", "exit"])
+        assert code == 0
+        assert "6" in out
+
+    def test_describe(self):
+        code, out = self._run(["\\d", "quit"])
+        assert "tables: t" in out
+
+    def test_error_recovery(self):
+        code, out = self._run(["SELECT nope FROM t", "SELECT 1", "exit"])
+        assert code == 0
+        assert "error:" in out
+        assert "1" in out
+
+    def test_ddl_message(self):
+        code, out = self._run(["DROP TABLE t", "exit"])
+        assert "dropped t" in out
+
+    def test_row_cap(self):
+        db = Database()
+        db.create_table_from_dict("big", {"x": list(range(100))})
+        outputs = []
+        commands = iter(["SELECT x FROM big", "exit"])
+        run_shell(
+            db,
+            input_fn=lambda prompt: next(commands),
+            output_fn=outputs.append,
+            max_rows=5,
+        )
+        assert any("more rows" in o for o in outputs)
+
+    def test_eof_exits(self):
+        code, _ = self._run([])
+        assert code == 0

@@ -1,0 +1,76 @@
+"""Benchmark runner: summaries, rebinding semantics."""
+
+import pytest
+
+from repro.strategies import LooseStrategy, QueryType, TightStrategy
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.queries import QueryGenerator
+
+
+@pytest.fixture()
+def bench(tiny_dataset, tiny_repository):
+    return QueryBenchmark(tiny_dataset, tiny_repository)
+
+
+class TestRunStrategy:
+    def test_summary_averages(self, bench, tiny_dataset):
+        generator = QueryGenerator(tiny_dataset)
+        queries = [
+            generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5),
+            generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5),
+        ]
+        summary = bench.run_strategy(LooseStrategy(), queries)
+        assert summary.queries == 2
+        average = summary.average()
+        assert average.total == pytest.approx(summary.breakdown.total / 2)
+
+    def test_rebind_per_query_pays_loading_each_time(self, bench, tiny_dataset):
+        generator = QueryGenerator(tiny_dataset)
+        queries = [
+            generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5)
+            for _ in range(2)
+        ]
+
+        def counting(strategy):
+            calls = []
+            original = strategy.bind_task
+
+            def wrapped(db, task):
+                calls.append(task.name)
+                return original(db, task)
+
+            strategy.bind_task = wrapped
+            return strategy, calls
+
+        rebind_strategy, rebind_calls = counting(TightStrategy())
+        bench.run_strategy(rebind_strategy, queries, rebind_per_query=True)
+        persistent_strategy, persistent_calls = counting(TightStrategy())
+        bench.run_strategy(
+            persistent_strategy, queries, rebind_per_query=False
+        )
+        # Rebinding loads the model once per query; a persistent binding
+        # loads it once for the whole mix (its loading amortizes to zero
+        # for subsequent queries).
+        assert len(rebind_calls) == 2
+        assert len(persistent_calls) == 1
+
+    def test_empty_summary(self, bench):
+        summary = bench.run_strategy(LooseStrategy(), [])
+        assert summary.queries == 0
+        assert summary.average().total == 0.0
+
+
+class TestRunMix:
+    def test_mix_runs_all_strategies(self, bench):
+        summaries = bench.run_mix(
+            [LooseStrategy(), TightStrategy(optimized=True)],
+            selectivity=0.4,
+        )
+        assert [s.strategy_name for s in summaries] == ["DB-UDF", "DL2SQL-OP"]
+        assert all(s.queries == 4 for s in summaries)
+
+    def test_fresh_database_isolated(self, bench):
+        db1 = bench.fresh_database()
+        db2 = bench.fresh_database()
+        db1.execute("UPDATE fabric SET meter = 0")
+        assert db2.execute("SELECT max(meter) FROM fabric").scalar() > 0

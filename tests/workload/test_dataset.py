@@ -1,0 +1,136 @@
+"""Synthetic IoT dataset: structure, ratios, determinism, selectivity."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.dataset import (
+    SIZE_RATIO,
+    DatasetConfig,
+    generate_dataset,
+)
+
+
+class TestStructure:
+    def test_five_tables(self, tiny_dataset):
+        assert set(tiny_dataset.tables) == {
+            "video", "fabric", "client", "orders", "device",
+        }
+
+    def test_paper_size_ratio(self, tiny_dataset):
+        sizes = [
+            tiny_dataset.tables[name].num_rows
+            for name in ("video", "fabric", "client", "orders", "device")
+        ]
+        scale = tiny_dataset.config.scale
+        assert sizes == [r * scale for r in SIZE_RATIO]
+
+    def test_video_schema(self, tiny_dataset):
+        video = tiny_dataset.tables["video"]
+        for column in ("videoID", "transID", "date", "keyframe", "duration"):
+            assert video.has_column(column)
+
+    def test_fabric_schema(self, tiny_dataset):
+        fabric = tiny_dataset.tables["fabric"]
+        for column in (
+            "transID", "patternID", "pattern", "meter", "humidity",
+            "temperature", "printdate",
+        ):
+            assert fabric.has_column(column)
+
+    def test_referential_integrity(self, tiny_dataset):
+        fabric_ids = set(
+            tiny_dataset.tables["fabric"].column("transID").to_list()
+        )
+        for table in ("video", "orders", "device"):
+            trans = tiny_dataset.tables[table].column("transID").to_list()
+            assert set(trans) <= fabric_ids
+
+    def test_keyframes_match_config_shape(self, tiny_dataset):
+        keyframe = tiny_dataset.tables["video"].column("keyframe")[0]
+        assert keyframe.shape == tiny_dataset.config.keyframe_shape
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        config = DatasetConfig(scale=1, seed=5)
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert np.array_equal(
+            a.tables["fabric"].column("meter").data,
+            b.tables["fabric"].column("meter").data,
+        )
+        assert np.array_equal(a.video_classes, b.video_classes)
+
+    def test_different_seed_differs(self):
+        a = generate_dataset(DatasetConfig(scale=1, seed=1))
+        b = generate_dataset(DatasetConfig(scale=1, seed=2))
+        assert not np.array_equal(
+            a.tables["fabric"].column("meter").data,
+            b.tables["fabric"].column("meter").data,
+        )
+
+
+class TestClassSignal:
+    def test_class_distribution_skewed(self, tiny_dataset):
+        counts = np.bincount(
+            tiny_dataset.video_classes,
+            minlength=tiny_dataset.config.num_classes,
+        )
+        assert counts[0] > counts[-1]  # weights are decreasing
+
+    def test_keyframes_carry_class_signal(self, tiny_dataset):
+        """Nearest-base-pattern classification beats chance by far —
+        models have something real to learn."""
+        patterns = tiny_dataset.class_patterns
+        keyframes = tiny_dataset.keyframes()
+        correct = 0
+        for keyframe, true_class in zip(keyframes, tiny_dataset.video_classes):
+            distances = [
+                np.linalg.norm(keyframe - pattern) for pattern in patterns
+            ]
+            correct += int(np.argmin(distances) == true_class)
+        assert correct / len(keyframes) > 0.8
+
+    def test_sample_keyframes_fresh_but_same_distribution(self, tiny_dataset):
+        samples = tiny_dataset.sample_keyframes(16)
+        assert len(samples) == 16
+        assert samples[0].shape == tiny_dataset.config.keyframe_shape
+
+
+class TestSelectivityControl:
+    def test_date_bounds_fraction(self, tiny_dataset):
+        lo, hi = tiny_dataset.date_bounds_for_selectivity(0.5)
+        lo_date = datetime.date.fromisoformat(lo)
+        hi_date = datetime.date.fromisoformat(hi)
+        days = (hi_date - lo_date).days
+        assert days == round(tiny_dataset.span_days * 0.5)
+
+    def test_observed_selectivity_close_to_target(self):
+        dataset = generate_dataset(DatasetConfig(scale=10, seed=3))
+        lo, hi = dataset.date_bounds_for_selectivity(0.25)
+        lo_ord = datetime.date.fromisoformat(lo).toordinal()
+        hi_ord = datetime.date.fromisoformat(hi).toordinal()
+        dates = dataset.tables["video"].column("date").data
+        fraction = ((dates >= lo_ord) & (dates < hi_ord)).mean()
+        assert fraction == pytest.approx(0.25, abs=0.07)
+
+    def test_invalid_fraction_rejected(self, tiny_dataset):
+        with pytest.raises(WorkloadError):
+            tiny_dataset.date_bounds_for_selectivity(0.0)
+        with pytest.raises(WorkloadError):
+            tiny_dataset.date_bounds_for_selectivity(1.5)
+
+
+class TestInstall:
+    def test_install_registers_and_indexes(self, workload_db):
+        assert workload_db.table("video").num_rows > 0
+        assert workload_db.catalog.get_index("video", "transID") is not None
+
+    def test_queries_run_after_install(self, workload_db):
+        count = workload_db.execute(
+            "SELECT count(*) FROM fabric F, video V WHERE F.transID = V.transID"
+        ).scalar()
+        assert count == workload_db.table("video").num_rows

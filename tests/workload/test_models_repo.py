@@ -1,0 +1,75 @@
+"""Model repository: task construction, roles, distillation wiring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.models_repo import (
+    ROLE_LABELS,
+    ROLES,
+    ModelRepository,
+    build_repository,
+    build_task,
+)
+
+
+class TestBuildTask:
+    def test_detect_task_properties(self, detect_task):
+        assert detect_task.role == "detect"
+        assert detect_task.class_labels == list(ROLE_LABELS["detect"])
+        assert detect_task.blob[:4] == b"RPRO"
+        assert detect_task.compiled.model_name == detect_task.student.name
+
+    def test_histogram_covers_samples(self, detect_task):
+        assert sum(detect_task.histogram.values()) == 24  # calibration size
+
+    def test_student_distilled_from_teacher(self, tiny_dataset):
+        task = build_task(tiny_dataset, "classify", task_index=9,
+                          calibration_samples=24)
+        samples = tiny_dataset.sample_keyframes(24, seed=9)
+        agreement = sum(
+            task.student.predict_class(s) == task.teacher.predict_class(s)
+            for s in samples
+        ) / len(samples)
+        assert agreement >= 0.7
+
+    def test_unknown_role_rejected(self, tiny_dataset):
+        with pytest.raises(WorkloadError):
+            build_task(tiny_dataset, "nonsense")
+
+    def test_blob_roundtrips_to_equivalent_model(self, detect_task):
+        from repro.tensor.serialize import deserialize_model
+
+        clone = deserialize_model(detect_task.blob)
+        x = np.zeros(detect_task.student.input_shape)
+        assert np.allclose(
+            clone.forward(x), detect_task.student.forward(x)
+        )
+
+
+class TestRepository:
+    def test_build_repository_cycles_roles(self, tiny_dataset):
+        repo = build_repository(tiny_dataset, num_tasks=5,
+                                calibration_samples=8)
+        assert len(repo) == 5
+        assert [t.role for t in repo.tasks] == [
+            ROLES[i % len(ROLES)] for i in range(5)
+        ]
+
+    def test_by_role(self, tiny_repository):
+        assert len(tiny_repository.by_role("detect")) == 1
+        assert tiny_repository.by_role("nothing") == []
+
+    def test_pick_deterministic_single(self, tiny_repository):
+        assert tiny_repository.pick("detect").role == "detect"
+
+    def test_pick_missing_role_raises(self, tiny_repository):
+        with pytest.raises(WorkloadError):
+            tiny_repository.pick("type")
+
+    def test_pick_random_among_candidates(self, tiny_dataset):
+        repo = build_repository(tiny_dataset, num_tasks=8,
+                                calibration_samples=8)
+        rng = np.random.default_rng(0)
+        picked = {repo.pick("detect", rng).name for _ in range(10)}
+        assert len(picked) == 2  # tasks 0 and 4 are both detect

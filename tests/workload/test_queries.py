@@ -1,0 +1,87 @@
+"""Table I query templates: parseability, structure, selectivity wiring."""
+
+import pytest
+
+from repro.sql.ast_nodes import SelectStatement
+from repro.sql.parser import parse_statement
+from repro.strategies import QueryType
+from repro.workload.dataset import PATTERN_LABELS
+from repro.workload.queries import QueryGenerator
+
+
+@pytest.fixture()
+def generator(tiny_dataset):
+    return QueryGenerator(tiny_dataset)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("query_type", list(QueryType))
+    def test_all_types_parse(self, generator, query_type):
+        query = generator.make_query(query_type, 0.5)
+        statement = parse_statement(query.sql)
+        assert isinstance(statement, SelectStatement)
+        assert query.query_type is query_type
+
+    def test_type1_uses_classify(self, generator):
+        query = generator.make_query(QueryType.INDEPENDENT, 0.5)
+        assert query.udf_roles == ("classify",)
+        assert "sum(F.meter)" in query.sql
+        assert PATTERN_LABELS[0] in query.sql
+
+    def test_type1_custom_label(self, generator):
+        query = generator.make_query(
+            QueryType.INDEPENDENT, 0.5, classify_label="Striped Pattern"
+        )
+        assert "Striped Pattern" in query.sql
+
+    def test_type2_aggregates_on_udf(self, generator):
+        query = generator.make_query(QueryType.DB_DEPENDS_ON_LEARNING, 0.5)
+        assert "count(nUDF_detect" in query.sql
+        assert "GROUP BY" in query.sql
+        assert query.udf_roles == ("detect",)
+
+    def test_type3_has_sensor_predicates(self, generator):
+        query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, 0.5)
+        assert "humidity" in query.sql
+        assert "temperature" in query.sql
+        assert "nUDF_detect(V.keyframe) = FALSE" in query.sql
+
+    def test_type4_compares_udf_to_column(self, generator):
+        query = generator.make_query(QueryType.INTERDEPENDENT, 0.5)
+        assert "F.pattern != nUDF_recog(V.keyframe)" in query.sql
+        assert query.udf_roles == ("recog",)
+
+    def test_all_templates_join_on_transid(self, generator):
+        for query_type in QueryType:
+            query = generator.make_query(query_type, 0.5)
+            assert "F.transID = V.transID" in query.sql
+
+
+class TestSelectivityWiring:
+    def test_narrower_selectivity_narrower_dates(self, generator):
+        import re
+
+        def window(query):
+            dates = re.findall(r"'(\d{4}-\d{2}-\d{2})'", query.sql)
+            import datetime
+
+            parsed = [datetime.date.fromisoformat(d) for d in dates[:2]]
+            return (parsed[1] - parsed[0]).days
+
+        narrow = generator.make_query(QueryType.INDEPENDENT, 0.05)
+        wide = generator.make_query(QueryType.INDEPENDENT, 0.5)
+        assert window(narrow) < window(wide)
+
+
+class TestMixedBenchmark:
+    def test_mix_contains_all_types(self, generator):
+        queries = generator.mixed_benchmark(0.5, queries_per_type=2)
+        assert len(queries) == 8
+        types = [q.query_type for q in queries]
+        for query_type in QueryType:
+            assert types.count(query_type) == 2
+
+    def test_mix_deterministic_by_seed(self, generator):
+        a = [q.sql for q in generator.mixed_benchmark(0.5, seed=3)]
+        b = [q.sql for q in generator.mixed_benchmark(0.5, seed=3)]
+        assert a == b
