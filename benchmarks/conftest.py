@@ -3,14 +3,50 @@
 Benchmarks regenerate the paper's tables/figures: each bench times the
 experiment with pytest-benchmark and prints the regenerated artifact
 (visible with ``pytest benchmarks/ --benchmark-only -s``).
+
+Every benchmark test also writes a machine-readable JSON sidecar
+(``benchmarks/.observations/<test_id>.json``) through the metrics/trace
+hooks: wall-clock duration plus whatever the process-wide metrics
+registry accumulated during the test.  Downstream tooling can diff these
+across commits without parsing pytest-benchmark's own output.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import time
+
 import pytest
 
+from repro.obs.metrics import get_registry
 from repro.workload.dataset import DatasetConfig, generate_dataset
 from repro.workload.models_repo import build_repository
+
+OBSERVATIONS_DIR = pathlib.Path(__file__).parent / ".observations"
+
+
+@pytest.fixture(autouse=True)
+def benchmark_observations(request):
+    """Emit one JSON sidecar per benchmark test (metrics + duration)."""
+    registry = get_registry()
+    registry.reset()
+    started = time.perf_counter()
+    yield
+    duration = time.perf_counter() - started
+    OBSERVATIONS_DIR.mkdir(exist_ok=True)
+    safe_id = (
+        request.node.nodeid.replace("/", "_")
+        .replace("::", ".")
+        .replace(".py", "")
+    )
+    sidecar = {
+        "test": request.node.nodeid,
+        "duration_seconds": duration,
+        "metrics": registry.to_dict(),
+    }
+    path = OBSERVATIONS_DIR / f"{safe_id}.json"
+    path.write_text(json.dumps(sidecar, indent=2, sort_keys=True))
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,10 @@ Usage::
     python -m repro run fig8 [fig14 ...]     # regenerate paper artifacts
     python -m repro demo                     # quickstart parity demo
     python -m repro shell [--scale N]        # SQL shell on the IoT dataset
+    python -m repro trace [--strategy S]     # span tree of one traced query
+    python -m repro stats [--format F]       # metrics after a sample workload
+
+``-v``/``-vv`` raises log verbosity (INFO/DEBUG) for any subcommand.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import sys
 from typing import Callable, Sequence
 
 from repro.errors import ReproError
+from repro.obs.log import setup_logging
 
 #: Experiment registry: id -> (description, runner factory).
 EXPERIMENTS: dict[str, tuple[str, str]] = {
@@ -38,6 +43,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             "Approaches' (ICDE 2022)"
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v for INFO, -vv for DEBUG logging",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("list", help="list available experiments")
@@ -53,7 +65,48 @@ def main(argv: Sequence[str] | None = None) -> int:
     shell_parser.add_argument("--scale", type=int, default=2)
     shell_parser.add_argument("--seed", type=int, default=42)
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one query with tracing enabled and print its span tree",
+    )
+    trace_parser.add_argument(
+        "--sql",
+        default=None,
+        help="SQL to trace (default: a representative join+aggregate)",
+    )
+    trace_parser.add_argument(
+        "--strategy",
+        choices=("sql", "independent", "loose", "tight", "tight-op"),
+        default="sql",
+        help=(
+            "'sql' traces a plain query; the other values run one "
+            "collaborative query under that strategy"
+        ),
+    )
+    trace_parser.add_argument(
+        "--type",
+        dest="query_type",
+        type=int,
+        choices=(1, 2, 3, 4),
+        default=3,
+        help="collaborative query type (Table I) for strategy traces",
+    )
+    trace_parser.add_argument("--selectivity", type=float, default=0.2)
+    trace_parser.add_argument("--scale", type=int, default=1)
+    trace_parser.add_argument("--seed", type=int, default=42)
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="run a sample workload and dump the metrics registry",
+    )
+    stats_parser.add_argument(
+        "--format", choices=("json", "prometheus"), default="json"
+    )
+    stats_parser.add_argument("--scale", type=int, default=1)
+    stats_parser.add_argument("--seed", type=int, default=42)
+
     args = parser.parse_args(argv)
+    setup_logging(args.verbose)
     if args.command is None:
         parser.print_help()
         return 2
@@ -65,6 +118,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_demo()
     if args.command == "shell":
         return _cmd_shell(args.scale, args.seed)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return 2  # pragma: no cover - argparse guards this
 
 
@@ -112,6 +169,104 @@ def _cmd_demo() -> int:
     return 0 if ok else 1
 
 
+#: Default query for ``repro trace --strategy sql``: joins two tables and
+#: aggregates, so the span tree shows scan/join/groupby operators.
+_TRACE_SQL = (
+    "SELECT f.pattern, count(*) AS n FROM video v "
+    "INNER JOIN fabric f ON v.transID = f.transID "
+    "GROUP BY f.pattern ORDER BY f.pattern"
+)
+
+
+def _cmd_trace(args) -> int:
+    from repro.engine import Database
+    from repro.obs.trace import Tracer, format_span_tree
+    from repro.workload.dataset import DatasetConfig, generate_dataset
+
+    tracer = Tracer(enabled=True)
+    dataset = generate_dataset(
+        DatasetConfig(scale=args.scale, seed=args.seed)
+    )
+    db = Database(tracer=tracer)
+    dataset.install(db)
+
+    try:
+        if args.strategy == "sql":
+            db.execute(args.sql or _TRACE_SQL)
+        else:
+            _run_traced_strategy(db, dataset, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    trace = tracer.last_trace()
+    if trace is None:
+        print("no trace recorded", file=sys.stderr)
+        return 1
+    print(format_span_tree(trace))
+    return 0
+
+
+def _run_traced_strategy(db, dataset, args) -> None:
+    from repro.strategies.base import QueryType
+    from repro.strategies.independent import IndependentStrategy
+    from repro.strategies.loose import LooseStrategy
+    from repro.strategies.tight import TightStrategy
+    from repro.workload.models_repo import build_repository
+    from repro.workload.queries import QueryGenerator
+
+    strategy = {
+        "independent": IndependentStrategy,
+        "loose": LooseStrategy,
+        "tight": TightStrategy,
+        "tight-op": lambda: TightStrategy(optimized=True),
+    }[args.strategy]()
+    repository = build_repository(
+        dataset, num_tasks=4, teacher_depth=3, calibration_samples=8
+    )
+    query = QueryGenerator(dataset).make_query(
+        QueryType(args.query_type), args.selectivity
+    )
+    tasks = {}
+    for role in query.udf_roles:
+        task = repository.pick(role)
+        strategy.bind_task(db, task)
+        tasks[role] = task
+    # Binding (model deserialization, DL2SQL warm-up) produces its own
+    # traces; drop them so the printed tree is the query itself.
+    db.tracer.reset()
+    strategy.run(db, query, tasks)
+
+
+def _cmd_stats(args) -> int:
+    from repro.engine import Database
+    from repro.obs.metrics import get_registry
+    from repro.workload.dataset import DatasetConfig, generate_dataset
+
+    registry = get_registry()
+    registry.reset()
+    dataset = generate_dataset(
+        DatasetConfig(scale=args.scale, seed=args.seed)
+    )
+    db = Database(metrics=registry)
+    dataset.install(db)
+    samples = (
+        _TRACE_SQL,
+        "SELECT count(*) FROM video",
+        "SELECT count(*) FROM orders WHERE amount > 5000",
+        "SELECT d.deviceID, count(*) FROM device d "
+        "INNER JOIN fabric f ON f.transID = d.transID GROUP BY d.deviceID",
+    )
+    for sql in samples:
+        for _ in range(3):  # repeats exercise the plan cache counters
+            db.execute(sql)
+    if args.format == "prometheus":
+        print(db.metrics.to_prometheus(), end="")
+    else:
+        print(db.metrics.to_json())
+    return 0
+
+
 def _cmd_shell(scale: int, seed: int) -> int:
     from repro.engine import Database
     from repro.experiments.reporting import print_table
@@ -156,6 +311,12 @@ def run_shell(
             continue
         if result.has_rows:
             rows = result.rows()
+            if result.column_names == ["plan"]:
+                # EXPLAIN output: the indentation is the tree structure,
+                # so bypass the right-justifying table renderer.
+                for (line,) in rows:
+                    output_fn(line)
+                continue
             shown = rows[:max_rows]
             from repro.experiments.reporting import format_table
 

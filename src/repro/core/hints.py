@@ -24,7 +24,10 @@ from repro.core.selectivity import NudfSelectivity
 from repro.engine.cost import UDF_SELECTIVITY_DEFAULT
 from repro.engine.optimizer import OptimizerConfig
 from repro.engine.udf import UdfRegistry, parse_udf_comparison
+from repro.obs.log import get_logger
 from repro.sql.ast_nodes import Expression, FunctionCall
+
+logger = get_logger("core.hints")
 
 #: Default conversion between UDF seconds and plan cost units: one cost
 #: unit is roughly the time to scan one row in this engine.
@@ -63,14 +66,36 @@ class HintAwareCostModel(CustomCostModel):
     def udf_predicate_selectivity(self, conjunct: Expression) -> float:
         parsed = parse_udf_comparison(conjunct)
         if parsed is None:
+            logger.debug(
+                "selectivity: %s is not an nUDF-vs-literal comparison; "
+                "falling back to default %.3f",
+                conjunct.to_sql(),
+                self._fallback,
+            )
             return self._fallback
         udf_name, label, negated = parsed
         estimator = self._selectivities.get(udf_name.lower())
         if estimator is None:
+            logger.debug(
+                "selectivity: no class histogram for %r; "
+                "falling back to default %.3f",
+                udf_name,
+                self._fallback,
+            )
             return self._fallback
-        if negated:
-            return estimator.selectivity_not_equals(label)
-        return estimator.selectivity_equals(label)
+        selectivity = (
+            estimator.selectivity_not_equals(label)
+            if negated
+            else estimator.selectivity_equals(label)
+        )
+        logger.debug(
+            "selectivity: %s -> %.4f (histogram of %r, label %r)",
+            conjunct.to_sql(),
+            selectivity,
+            udf_name,
+            label,
+        )
+        return selectivity
 
     def udf_call_cost(self, call: FunctionCall) -> float:
         if call.name in self._udfs:

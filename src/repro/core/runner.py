@@ -85,23 +85,27 @@ class Dl2SqlModel:
             raise ExecutionError(
                 f"model {self.compiled.model_name!r} is not loaded; call load()"
             )
-        load_started = time.perf_counter()
-        self._cleanup_steps(db)
-        self._install_input(db, image)
-        load_seconds = time.perf_counter() - load_started
+        with db.tracer.span(
+            "inference", model=self.compiled.model_name
+        ) as span:
+            load_started = time.perf_counter()
+            self._cleanup_steps(db)
+            self._install_input(db, image)
+            load_seconds = time.perf_counter() - load_started
 
-        block_seconds: dict[str, float] = {}
-        step_seconds: list[tuple[str, float]] = []
-        exec_started = time.perf_counter()
-        for step in self.compiled.steps:
-            step_started = time.perf_counter()
-            db.execute(step.sql)
-            elapsed = time.perf_counter() - step_started
-            block_seconds[step.block] = (
-                block_seconds.get(step.block, 0.0) + elapsed
-            )
-            step_seconds.append((step.kind, elapsed))
-        exec_seconds = time.perf_counter() - exec_started
+            block_seconds: dict[str, float] = {}
+            step_seconds: list[tuple[str, float]] = []
+            exec_started = time.perf_counter()
+            for step in self.compiled.steps:
+                step_started = time.perf_counter()
+                db.execute(step.sql)
+                elapsed = time.perf_counter() - step_started
+                block_seconds[step.block] = (
+                    block_seconds.get(step.block, 0.0) + elapsed
+                )
+                step_seconds.append((step.kind, elapsed))
+            exec_seconds = time.perf_counter() - exec_started
+            span.set("steps", len(self.compiled.steps))
 
         probabilities = self.read_output(db)
         class_index = int(np.argmax(probabilities))

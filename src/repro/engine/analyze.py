@@ -1,0 +1,175 @@
+"""EXPLAIN ANALYZE: per-operator actual time/rows next to the estimates.
+
+The paper's cost-model evaluation (Fig. 12/13) compares *predicted*
+operator cost against *actual* runtime.  :class:`PlanAnalyzer` hooks the
+physical executor (see :func:`repro.engine.physical.execute_plan`) and
+records, for every logical plan node, its inclusive wall-clock time and
+output row count; :func:`collect_actuals` then lines those up with the
+optimizer's ``estimated_rows``/``estimated_cost`` annotations and derives
+a per-operator cardinality q-error the cost-model experiment consumes.
+
+The analyzer costs one attribute check per operator when absent — the
+default — so ordinary execution is unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.logical import LogicalPlan
+
+
+@dataclass
+class _NodeRecord:
+    seconds: float = 0.0
+    rows: int = 0
+    calls: int = 0
+
+
+class PlanAnalyzer:
+    """Records per-plan-node inclusive timing during one execution."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, _NodeRecord] = {}
+
+    # Called by the executor around every node ------------------------
+    def enter(self, plan: LogicalPlan) -> float:
+        return time.perf_counter()
+
+    def exit(self, plan: LogicalPlan, started: float, rows: int) -> None:
+        record = self._records.setdefault(id(plan), _NodeRecord())
+        record.seconds += time.perf_counter() - started
+        record.rows = rows
+        record.calls += 1
+
+    def record_for(self, plan: LogicalPlan) -> Optional[_NodeRecord]:
+        return self._records.get(id(plan))
+
+
+@dataclass
+class OperatorActuals:
+    """One plan operator's estimated vs. actual numbers."""
+
+    operator: str
+    depth: int
+    estimated_rows: float
+    estimated_cost: float
+    actual_rows: int
+    actual_seconds: float
+    actual_self_seconds: float
+    calls: int
+
+    @property
+    def row_qerror(self) -> float:
+        """Cardinality q-error: max(est, actual) / min(est, actual).
+
+        1.0 is a perfect estimate; the default cost model's compounding
+        join over-estimates show up as exponentially growing q-errors.
+        Both sides are floored at one row so empty results stay finite.
+        """
+        estimated = max(self.estimated_rows, 1.0)
+        actual = float(max(self.actual_rows, 1))
+        return max(estimated, actual) / min(estimated, actual)
+
+
+@dataclass
+class ExplainAnalyzeOutput:
+    """Everything ``EXPLAIN ANALYZE`` produces for one SELECT."""
+
+    plan: LogicalPlan
+    operators: list[OperatorActuals]
+    total_seconds: float
+    result_rows: int
+    text: str = ""
+
+    def max_qerror(self) -> float:
+        return max((op.row_qerror for op in self.operators), default=1.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_seconds": self.total_seconds,
+            "result_rows": self.result_rows,
+            "operators": [
+                {
+                    "operator": op.operator,
+                    "depth": op.depth,
+                    "estimated_rows": op.estimated_rows,
+                    "estimated_cost": op.estimated_cost,
+                    "actual_rows": op.actual_rows,
+                    "actual_seconds": op.actual_seconds,
+                    "actual_self_seconds": op.actual_self_seconds,
+                    "calls": op.calls,
+                    "row_qerror": op.row_qerror,
+                }
+                for op in self.operators
+            ],
+        }
+
+
+def collect_actuals(
+    plan: LogicalPlan, analyzer: PlanAnalyzer
+) -> list[OperatorActuals]:
+    """Pre-order operator list pairing estimates with measured actuals."""
+    out: list[OperatorActuals] = []
+
+    def visit(node: LogicalPlan, depth: int) -> None:
+        record = analyzer.record_for(node)
+        children = node.children()
+        child_seconds = 0.0
+        for child in children:
+            child_record = analyzer.record_for(child)
+            if child_record is not None:
+                child_seconds += child_record.seconds
+        if record is not None:
+            out.append(
+                OperatorActuals(
+                    operator=node.describe(),
+                    depth=depth,
+                    estimated_rows=node.estimated_rows,
+                    estimated_cost=node.estimated_cost,
+                    actual_rows=record.rows,
+                    actual_seconds=record.seconds,
+                    actual_self_seconds=max(
+                        0.0, record.seconds - child_seconds
+                    ),
+                    calls=record.calls,
+                )
+            )
+        for child in children:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return out
+
+
+def format_analysis(output: ExplainAnalyzeOutput) -> str:
+    """Render the annotated plan, one line per operator (Postgres-style)::
+
+        Project g, count(*)  (est rows=50 cost=1234.0) (actual time=0.412 ms rows=50) q-err=1.00
+          Aggregate ...
+    """
+    lines = []
+    for op in output.operators:
+        pad = "  " * op.depth
+        estimated = f"(est rows={op.estimated_rows:.0f}"
+        if op.estimated_cost >= 0:
+            estimated += f" cost={op.estimated_cost:.1f}"
+        estimated += ")"
+        actual = (
+            f"(actual time={op.actual_seconds * 1e3:.3f} ms "
+            f"rows={op.actual_rows}"
+        )
+        if op.calls > 1:
+            actual += f" calls={op.calls}"
+        actual += ")"
+        lines.append(
+            f"{pad}{op.operator}  {estimated} {actual} "
+            f"q-err={op.row_qerror:.2f}"
+        )
+    lines.append(
+        f"Execution time: {output.total_seconds * 1e3:.3f} ms "
+        f"({output.result_rows} rows)"
+    )
+    return "\n".join(lines)

@@ -14,12 +14,19 @@ supported; see :mod:`repro.sql` for the dialect.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ExecutionError, PlanError, SqlError
+from repro.engine.analyze import (
+    ExplainAnalyzeOutput,
+    PlanAnalyzer,
+    collect_actuals,
+    format_analysis,
+)
 from repro.engine.cost import CostModel, DefaultCostModel
 from repro.engine.expressions import Evaluator, FunctionRegistry
 from repro.engine.frame import Frame
@@ -30,11 +37,14 @@ from repro.engine.planner import Planner
 from repro.engine.profiler import Profiler
 from repro.engine.statistics import StatisticsProvider
 from repro.engine.udf import BatchUdf, UdfRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sql.ast_nodes import (
     CreateIndex,
     CreateTable,
     CreateView,
     DropStatement,
+    ExplainStatement,
     InsertStatement,
     SelectStatement,
     Statement,
@@ -150,13 +160,29 @@ class Database:
         optimizer_config: Optional[OptimizerConfig] = None,
         profile: bool = True,
         plan_cache: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.udfs = UdfRegistry()
         self.statistics = StatisticsProvider(self.catalog)
-        self.profiler = Profiler(enabled=profile)
+        #: The instrumentation spine.  A disabled tracer hands out the
+        #: shared null span, so the default costs one attribute check at
+        #: the few span sites on the query path (never per row).
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: ``None`` (the default) means no metric is ever touched on the
+        #: hot path; pass a registry to count queries, rows scanned, plan
+        #: cache hits, and UDF batch sizes.
+        self.metrics = metrics
+        self.profiler = Profiler(enabled=profile, tracer=self.tracer)
+        self.udfs.attach_observers(self.profiler, metrics)
         self.optimizer_config = optimizer_config or OptimizerConfig()
+        #: The ExecutionContext of the statement currently executing, so
+        #: nested sub-plan execution (scalar subqueries, UDF-internal
+        #: queries) shares the same profiler/analyzer/metrics instead of
+        #: reporting into a fresh, invisible context.
+        self._active_context: Optional[ExecutionContext] = None
         self._planner = Planner(self._resolve_view)
         self._parse_cache: dict[str, Statement] = {}
         #: Prepared plans keyed by (statement identity, optimizer config
@@ -184,13 +210,29 @@ class Database:
         Parsed ASTs are cached by SQL text — DL2SQL re-executes the same
         generated statements once per inferred keyframe, so this matters.
         """
+        if self.metrics is not None:
+            self.metrics.counter(
+                "queries_executed_total",
+                "Statements executed via Database.execute",
+            ).inc()
+        if not self.tracer.enabled:
+            return self._dispatch(self._parse_cached(sql))
+        with self.tracer.span("query", sql=sql):
+            with self.tracer.span("parse") as parse_span:
+                cached = sql in self._parse_cache
+                statement = self._parse_cached(sql)
+                parse_span.set("cached", cached)
+                parse_span.set("statement", type(statement).__name__)
+            return self._dispatch(statement)
+
+    def _parse_cached(self, sql: str) -> Statement:
         statement = self._parse_cache.get(sql)
         if statement is None:
             statement = parse_statement(sql)
             if len(self._parse_cache) > 4096:
                 self._parse_cache.clear()
             self._parse_cache[sql] = statement
-        return self._dispatch(statement)
+        return statement
 
     def execute_script(self, sql: str) -> list[Result]:
         """Run a ``;``-separated script; returns one result per statement."""
@@ -215,6 +257,21 @@ class Database:
             estimated_rows=estimate.rows,
             estimated_cost=estimate.cost,
         )
+
+    def explain_analyze(self, sql: str) -> ExplainAnalyzeOutput:
+        """Execute a SELECT and annotate every physical operator with its
+        actual wall-clock time and row count next to the optimizer's
+        estimates (plus the per-operator cardinality q-error the
+        cost-model experiment consumes).
+
+        Accepts plain SELECT text or ``EXPLAIN ANALYZE SELECT ...``.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, ExplainStatement):
+            statement = statement.statement
+        if not isinstance(statement, SelectStatement):
+            raise SqlError("EXPLAIN ANALYZE supports SELECT statements only")
+        return self._explain_analyze_select(statement)
 
     def register_udf(self, udf: BatchUdf, *, replace: bool = False) -> None:
         self.udfs.register(udf, replace=replace)
@@ -252,6 +309,8 @@ class Database:
     def _dispatch(self, statement: Statement) -> Result:
         if isinstance(statement, SelectStatement):
             return Result(frame=self._run_select(statement))
+        if isinstance(statement, ExplainStatement):
+            return self._run_explain(statement)
         if isinstance(statement, CreateTable):
             return self._run_create_table(statement)
         if isinstance(statement, CreateView):
@@ -277,19 +336,88 @@ class Database:
     # ------------------------------------------------------------------
     def _run_select(self, statement: SelectStatement) -> Frame:
         plan = self._optimized_plan(statement)
-        return execute_plan(plan, self._execution_context())
+        if self._active_context is not None:
+            # Nested sub-plan (scalar subquery or UDF-internal query):
+            # execute inside the statement's existing context so its
+            # operators land in the same profiler/analyzer/metrics.
+            return execute_plan(plan, self._active_context)
+        with self.tracer.span("execute") as span:
+            frame = self._execute_in_context(plan, self._execution_context())
+            span.set("rows", frame.num_rows)
+        return frame
+
+    def _execute_in_context(
+        self, plan: LogicalPlan, ctx: ExecutionContext
+    ) -> Frame:
+        previous = self._active_context
+        self._active_context = ctx
+        try:
+            return execute_plan(plan, ctx)
+        finally:
+            self._active_context = previous
+
+    def _run_explain(self, statement: ExplainStatement) -> Result:
+        """``EXPLAIN [ANALYZE]`` as a statement: one text line per row."""
+        if statement.analyze:
+            output = self._explain_analyze_select(statement.statement)
+            lines = output.text.splitlines()
+        else:
+            plan = self._optimized_plan(statement.statement)
+            self.optimizer_config.cost_model.estimate(plan, self.statistics)
+            lines = plan.explain().splitlines()
+        from repro.engine.frame import FrameColumn
+
+        data = np.empty(len(lines), dtype=object)
+        data[:] = lines
+        frame = Frame([FrameColumn(None, "plan", DataType.STRING, data)])
+        return Result(frame=frame)
+
+    def _explain_analyze_select(
+        self, statement: SelectStatement
+    ) -> ExplainAnalyzeOutput:
+        plan = self._optimized_plan(statement)
+        # Fill estimated_rows/estimated_cost on every plan node so the
+        # analyzer has something to compare actuals against.
+        self.optimizer_config.cost_model.estimate(plan, self.statistics)
+        ctx = self._execution_context()
+        ctx.analyzer = PlanAnalyzer()
+        with self.tracer.span("execute", analyze=True) as span:
+            started = time.perf_counter()
+            frame = self._execute_in_context(plan, ctx)
+            total = time.perf_counter() - started
+            span.set("rows", frame.num_rows)
+        output = ExplainAnalyzeOutput(
+            plan=plan,
+            operators=collect_actuals(plan, ctx.analyzer),
+            total_seconds=total,
+            result_rows=frame.num_rows,
+        )
+        output.text = format_analysis(output)
+        return output
 
     def _optimized_plan(self, statement: SelectStatement) -> LogicalPlan:
         key = (id(statement), id(self.optimizer_config))
         if self._plan_cache_enabled:
             cached = self._plan_cache.get(key)
             if cached is not None and cached[0] is statement:
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "plan_cache_hits_total",
+                        "Optimized plans served from the plan cache",
+                    ).inc()
                 return cached[1]
-        plan = self._planner.plan_select(statement)
-        optimizer = Optimizer(
-            self.catalog, self.statistics, self.udfs, self.optimizer_config
-        )
-        plan = optimizer.optimize(plan)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "plan_cache_misses_total",
+                "SELECT statements planned and optimized from scratch",
+            ).inc()
+        with self.tracer.span("plan"):
+            plan = self._planner.plan_select(statement)
+        with self.tracer.span("optimize"):
+            optimizer = Optimizer(
+                self.catalog, self.statistics, self.udfs, self.optimizer_config
+            )
+            plan = optimizer.optimize(plan)
         if self._plan_cache_enabled:
             if len(self._plan_cache) > 8192:
                 self._plan_cache.clear()
@@ -307,6 +435,7 @@ class Database:
             udfs=self.udfs,
             profiler=self.profiler,
             subquery_executor=self._execute_scalar_subquery,
+            metrics=self.metrics,
         )
 
     def _execute_scalar_subquery(self, statement: SelectStatement) -> Any:

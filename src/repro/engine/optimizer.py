@@ -42,6 +42,7 @@ from repro.engine.logical import (
 )
 from repro.engine.statistics import StatisticsProvider
 from repro.engine.udf import UdfRegistry
+from repro.obs.log import get_logger
 from repro.sql.ast_nodes import (
     BinaryOp,
     ColumnRef,
@@ -54,6 +55,8 @@ from repro.sql.ast_nodes import (
     split_conjuncts,
 )
 from repro.storage.catalog import Catalog
+
+logger = get_logger("engine.optimizer")
 
 
 @dataclass
@@ -145,6 +148,10 @@ class Optimizer:
             condition = self._as_join_condition(predicate, relations)
             if condition is not None and self.config.use_hints:
                 condition.symmetric = True
+                logger.debug(
+                    "hint rule 3: symmetric hash join for UDF join key %s",
+                    predicate.to_sql(),
+                )
                 join_conditions.append(condition)
             else:
                 remaining_udf_predicates.append(predicate)
@@ -254,6 +261,16 @@ class Optimizer:
                 relations, join_conditions, top_filters + lazy + [predicate],
                 extra_pushed={},
             )
+            choice = "eager" if eager_cost <= lazy_cost else "lazy"
+            if logger.isEnabledFor(10):  # DEBUG
+                logger.debug(
+                    "hint rule 1: %s placement for %s "
+                    "(eager_cost=%.1f lazy_cost=%.1f)",
+                    choice,
+                    predicate.to_sql(),
+                    eager_cost,
+                    lazy_cost,
+                )
             if eager_cost <= lazy_cost:
                 eager[id(predicate)] = target
             else:

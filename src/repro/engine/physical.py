@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.engine.analyze import PlanAnalyzer
+    from repro.obs.metrics import MetricsRegistry
 
 import numpy as np
 
@@ -45,7 +49,12 @@ from repro.storage.schema import DataType
 
 @dataclass
 class ExecutionContext:
-    """Everything operators need at run time."""
+    """Everything operators need at run time.
+
+    One context is shared by a whole query *including* nested sub-plan
+    execution (scalar subqueries, UDF-internal statements), so profiler,
+    analyzer and metrics attribution follow the work wherever it runs.
+    """
 
     catalog: Catalog
     functions: FunctionRegistry
@@ -57,6 +66,10 @@ class ExecutionContext:
     symmetric_join_memory: int = 64 * 1024 * 1024
     #: Populated by symmetric joins for tests/benchmarks to inspect.
     last_symmetric_stats: dict[str, int] = field(default_factory=dict)
+    #: EXPLAIN ANALYZE hook recording per-node time/rows; None when off.
+    analyzer: Optional["PlanAnalyzer"] = None
+    #: Metrics registry for operational counters; None (default) is free.
+    metrics: Optional["MetricsRegistry"] = None
 
     def evaluator(
         self, frame: Frame, slots: Optional[dict[str, str]] = None
@@ -72,6 +85,16 @@ class ExecutionContext:
 
 def execute_plan(plan: LogicalPlan, ctx: ExecutionContext) -> Frame:
     """Run a logical plan to completion and return the result frame."""
+    analyzer = ctx.analyzer
+    if analyzer is None:
+        return _execute_node(plan, ctx)
+    started = analyzer.enter(plan)
+    frame = _execute_node(plan, ctx)
+    analyzer.exit(plan, started, frame.num_rows)
+    return frame
+
+
+def _execute_node(plan: LogicalPlan, ctx: ExecutionContext) -> Frame:
     if isinstance(plan, Scan):
         return _execute_scan(plan, ctx)
     if isinstance(plan, SubqueryScan):
@@ -107,6 +130,10 @@ def _execute_scan(plan: Scan, ctx: ExecutionContext) -> Frame:
         table = ctx.catalog.get_table(plan.table_name)
         frame = Frame.from_table(table, plan.alias or table.name)
         token.record_rows(frame.num_rows)
+        if ctx.metrics is not None:
+            ctx.metrics.counter(
+                "rows_scanned_total", "Rows produced by table scans"
+            ).inc(frame.num_rows)
         return frame
 
 

@@ -1,19 +1,31 @@
-"""Per-operator wall-clock profiling.
+"""Per-operator wall-clock profiling, layered on the tracer.
 
 Fig. 10 of the paper breaks DL2SQL runtime down by SQL clause (Join,
 GroupBy, Scan, ...).  The executor wraps every physical operator in
-:meth:`Profiler.measure`, accumulating seconds and row counts per category,
-so the same breakdown falls out of any query this engine runs.
+:meth:`Profiler.measure`; the profiler opens an ``operator:<category>``
+span on its tracer (the single instrumentation spine of
+:mod:`repro.obs.trace`) and accumulates seconds and row counts per
+category, so the same breakdown falls out of any query this engine runs —
+and, when tracing is enabled, every operator also appears in the query's
+span tree with its row count attached.
+
+When both profiling and tracing are disabled, ``measure`` yields a shared
+null token and does no timing work at all (the hot-path guarantee the
+benchmarks rely on).
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.trace import NULL_SPAN, Tracer
 
 
-#: Canonical operator categories reported by the profiler.
+#: Canonical operator categories reported by the profiler, in the fixed
+#: order ``breakdown`` uses.  These mirror the paper's Fig. 10 clauses.
 CATEGORIES = (
     "scan",
     "filter",
@@ -29,6 +41,8 @@ CATEGORIES = (
     "materialize",
 )
 
+_CATEGORY_ORDER = {category: index for index, category in enumerate(CATEGORIES)}
+
 
 @dataclass
 class CategoryStats:
@@ -37,29 +51,45 @@ class CategoryStats:
     rows: int = 0
 
 
-@dataclass
 class Profiler:
-    """Accumulates execution statistics per operator category."""
+    """Accumulates execution statistics per operator category.
 
-    enabled: bool = True
-    stats: dict[str, CategoryStats] = field(default_factory=dict)
+    Args:
+        enabled: Record per-category stats.  Independent of tracing — a
+            disabled profiler on an enabled tracer still emits operator
+            spans (and vice versa).
+        tracer: The span spine to emit ``operator:<category>`` spans on.
+            Defaults to a private disabled tracer.
+    """
+
+    def __init__(
+        self, enabled: bool = True, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.stats: dict[str, CategoryStats] = {}
 
     @contextmanager
     def measure(self, category: str):
         """Time a block; use ``record_rows`` on the yielded token if needed."""
-        if not self.enabled:
+        if not self.enabled and not self.tracer.enabled:
             yield _NULL_TOKEN
             return
-        token = _Token()
-        started = time.perf_counter()
-        try:
-            yield token
-        finally:
-            elapsed = time.perf_counter() - started
-            entry = self.stats.setdefault(category, CategoryStats())
-            entry.seconds += elapsed
-            entry.calls += 1
-            entry.rows += token.rows
+        span = self.tracer.span(f"operator:{category}")
+        with span:
+            token = _Token()
+            started = time.perf_counter()
+            try:
+                yield token
+            finally:
+                elapsed = time.perf_counter() - started
+                if span is not NULL_SPAN:
+                    span.set("rows", token.rows)
+                if self.enabled:
+                    entry = self.stats.setdefault(category, CategoryStats())
+                    entry.seconds += elapsed
+                    entry.calls += 1
+                    entry.rows += token.rows
 
     def add(self, category: str, seconds: float, rows: int = 0) -> None:
         """Directly account time to a category (used for UDF internals)."""
@@ -69,6 +99,12 @@ class Profiler:
         entry.seconds += seconds
         entry.calls += 1
         entry.rows += rows
+
+    def register(self, category: str) -> None:
+        """Pre-register a category so it appears in breakdowns at zero."""
+        if not self.enabled:
+            return
+        self.stats.setdefault(category, CategoryStats())
 
     def seconds_for(self, category: str) -> float:
         entry = self.stats.get(category)
@@ -88,13 +124,26 @@ class Profiler:
         self.stats.clear()
 
     def breakdown(self) -> dict[str, float]:
-        """Category -> fraction of total time (empty dict when idle)."""
-        total = self.total_seconds()
-        if total <= 0:
+        """Category -> fraction of total time.
+
+        Deterministic ordering: canonical :data:`CATEGORIES` first, then
+        any extra categories alphabetically.  Categories that are
+        registered (or measured) but carry zero time are included at
+        ``0.0`` so downstream tables keep a stable shape; the dict is
+        empty only when no category was ever touched.
+        """
+        if not self.stats:
             return {}
+        total = self.total_seconds()
+        ordered = sorted(
+            self.stats,
+            key=lambda c: (_CATEGORY_ORDER.get(c, len(CATEGORIES)), c),
+        )
+        if total <= 0:
+            return {category: 0.0 for category in ordered}
         return {
-            category: entry.seconds / total
-            for category, entry in sorted(self.stats.items())
+            category: self.stats[category].seconds / total
+            for category in ordered
         }
 
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import UdfError
 from repro.engine.expressions import Vector
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.sql.ast_nodes import (
     BinaryOp,
     Expression,
@@ -76,6 +77,20 @@ class UdfRegistry:
 
     def __init__(self) -> None:
         self._udfs: dict[str, BatchUdf] = {}
+        self._profiler = None
+        self._metrics = None
+
+    def attach_observers(self, profiler=None, metrics=None) -> None:
+        """Report UDF calls into a profiler's ``udf`` category and a
+        metrics registry (batch-size histogram).
+
+        :class:`~repro.engine.database.Database` attaches its own profiler
+        so UDF wall-clock shows up as the paper's *inference* slice instead
+        of being buried inside the filter/project operators that evaluate
+        the UDF expression.
+        """
+        self._profiler = profiler
+        self._metrics = metrics
 
     def register(self, udf: BatchUdf, *, replace: bool = False) -> None:
         key = udf.name.lower()
@@ -111,6 +126,14 @@ class UdfRegistry:
         udf.stats.calls += 1
         udf.stats.rows += num_rows
         udf.stats.seconds += elapsed
+        if self._profiler is not None:
+            self._profiler.add("udf", elapsed, rows=num_rows)
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "udf_batch_rows",
+                "Rows per batched UDF invocation",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            ).observe(num_rows)
 
         result = np.asarray(result)
         if result.shape != (num_rows,):

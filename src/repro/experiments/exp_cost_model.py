@@ -167,6 +167,63 @@ def run_operator_sweep(
     return rows
 
 
+@dataclass
+class QErrorRow:
+    """Aggregated cardinality q-error for one physical operator kind."""
+
+    operator: str
+    occurrences: int
+    mean_qerror: float
+    max_qerror: float
+
+
+def run_step_qerrors(
+    size: int = 12, kernel: int = 3, db: Optional[Database] = None
+) -> list[QErrorRow]:
+    """Per-operator estimation error inside one DL2SQL program.
+
+    Replays every compiled step's defining SELECT under ``EXPLAIN
+    ANALYZE`` and aggregates the per-operator cardinality q-errors
+    (max(est, actual)/min(est, actual); 1.0 = perfect).  This is the
+    operator-level view behind Fig. 12/13: it shows *which* operators the
+    default cost model mis-estimates, not just by how much in total.
+    """
+    from repro.sql.ast_nodes import CreateTable
+    from repro.sql.parser import parse_statement
+
+    db = db or Database()
+    model = _single_conv(kernel, size)
+    compiled = compile_model(model, prejoin=PreJoin.NONE)
+    runner = Dl2SqlModel(compiled)
+    runner.load(db)
+    keyframe = np.random.default_rng(1).normal(size=model.input_shape)
+    # One real inference materializes every intermediate table, so each
+    # step's defining SELECT can then be replayed in isolation.
+    runner.infer(db, keyframe)
+
+    per_operator: dict[str, list[float]] = {}
+    for step in compiled.steps:
+        statement = parse_statement(step.sql)
+        select = getattr(statement, "as_select", None)
+        if not isinstance(statement, CreateTable) or select is None:
+            continue
+        analysis = db.explain_analyze(select.to_sql())
+        for op in analysis.operators:
+            kind = op.operator.split(None, 1)[0]
+            per_operator.setdefault(kind, []).append(op.row_qerror)
+
+    runner.unload(db)
+    return [
+        QErrorRow(
+            operator=kind,
+            occurrences=len(errors),
+            mean_qerror=float(np.mean(errors)),
+            max_qerror=float(np.max(errors)),
+        )
+        for kind, errors in sorted(per_operator.items())
+    ]
+
+
 def main() -> None:
     for title, rows in (
         ("Fig. 12a: Varying CNN Kernel Size", run_kernel_sweep()),
@@ -182,6 +239,14 @@ def main() -> None:
             ],
             title=title,
         )
+    print_table(
+        ["Operator", "Occurrences", "Mean q-error", "Max q-error"],
+        [
+            (r.operator, r.occurrences, r.mean_qerror, r.max_qerror)
+            for r in run_step_qerrors()
+        ],
+        title="EXPLAIN ANALYZE: per-operator cardinality q-error",
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,51 @@
+"""Observability: tracing, metrics, and logging for the whole query path.
+
+Three small, dependency-free pieces share one design rule — zero work
+when disabled — so the default benchmark configuration is unaffected:
+
+* :mod:`repro.obs.trace` — hierarchical :class:`Span` trees per query
+  (``query → parse → plan → optimize → execute → operator:<kind>`` plus
+  the strategies' DB↔DL boundary stages);
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms) with JSON and Prometheus
+  text exporters;
+* :mod:`repro.obs.log` — ``logging`` setup for the ``repro.*`` tree,
+  driven by the CLI's ``--verbose`` flag.
+
+See ``docs/observability.md`` for the span model and metric names.
+"""
+
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    format_span_tree,
+    trace_to_json,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "format_span_tree",
+    "get_logger",
+    "get_registry",
+    "setup_logging",
+    "trace_to_json",
+]

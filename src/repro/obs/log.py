@@ -1,0 +1,72 @@
+"""Structured logging for the repro package.
+
+Every module obtains its logger through :func:`get_logger` so the whole
+tree hangs under the ``repro`` root logger.  Libraries stay silent by
+default (a ``NullHandler`` on the root); applications — the CLI's
+``--verbose/-v`` flag, tests — opt in with :func:`setup_logging`.
+
+The engine logs *decisions*, not progress: which hint placement won and
+at what estimated cost, which selectivity estimate was used (histogram or
+fallback), plan-cache hits.  These were previously silent fallbacks; at
+``-vv`` they become a readable account of why a plan looks the way it
+does.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+ROOT_NAME = "repro"
+
+#: Attached to handlers installed by setup_logging so repeated calls
+#: reconfigure instead of stacking handlers.
+_HANDLER_MARKER = "_repro_obs_handler"
+
+_FORMAT = "%(levelname)-7s %(name)s: %(message)s"
+
+# Library default: never print unless the application configures logging.
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` root.
+
+    ``get_logger("engine.optimizer")`` and
+    ``get_logger("repro.engine.optimizer")`` return the same logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def setup_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Configure the ``repro`` root logger for an application run.
+
+    ``verbosity`` maps the CLI's ``-v`` count: 0 → WARNING, 1 → INFO,
+    2+ → DEBUG.  Calling again replaces the previously installed handler
+    (idempotent), so tests can re-point the stream freely.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(level_for(verbosity))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_MARKER, True)
+    root.addHandler(handler)
+    return root
+
+
+def level_for(verbosity: int) -> int:
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG

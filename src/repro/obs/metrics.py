@@ -1,0 +1,245 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+The engine reports operational counts here — queries executed, rows
+scanned, UDF batch sizes, plan-cache and hint decisions — and the
+registry renders them as JSON (for sidecar files and ``repro stats``) or
+Prometheus text exposition format (for scraping in a deployment).
+
+Metrics are cheap (a dict lookup and an add), but every recording site in
+the engine is still gated on the database having a registry attached, so
+the default benchmark configuration does no metrics work at all.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Any, Optional, Sequence
+
+#: Default histogram buckets (seconds-oriented, Prometheus-style).
+DEFAULT_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for size-ish quantities (rows, bytes).
+DEFAULT_SIZE_BUCKETS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative bucket counts.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the rest.  ``observe`` is O(log n)
+    in the number of buckets.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.buckets = ordered
+        #: Per-bucket (non-cumulative) counts; index len(buckets) is +Inf.
+        self.counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative counts, one per bucket plus +Inf."""
+        out = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "buckets": {
+                str(bound): count
+                for bound, count in zip(
+                    [*self.buckets, "+Inf"], self.cumulative_counts()
+                )
+            },
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric mapping with get-or-create accessors and exporters.
+
+    All accessors are idempotent: requesting an existing name returns the
+    existing instance (and raises if it was registered as another kind).
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def _get_or_create(self, name: str, cls: type, help: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            name: self._metrics[name].to_dict() for name in self.names()
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            full = f"{self.namespace}_{name}"
+            if metric.help:
+                lines.append(f"# HELP {full} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {full} counter")
+                lines.append(f"{full} {_format_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full} {_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {full} histogram")
+                cumulative = metric.cumulative_counts()
+                for bound, count in zip(metric.buckets, cumulative):
+                    lines.append(
+                        f'{full}_bucket{{le="{_format_value(bound)}"}} {count}'
+                    )
+                lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{full}_sum {_format_value(metric.sum)}")
+                lines.append(f"{full}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+#: The process-wide default registry.  The engine never assumes it — a
+#: Database records metrics only into the registry explicitly attached to
+#: it — but the CLI and benchmark sidecars share this one.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -395,6 +395,22 @@ class DropStatement(Statement):
         return f"DROP {self.object_type} {exists}{self.name}"
 
 
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] SELECT ...``.
+
+    Plain EXPLAIN plans without executing; ANALYZE executes the plan and
+    annotates every operator with actual time/rows next to the estimates.
+    """
+
+    statement: "SelectStatement"
+    analyze: bool = False
+
+    def to_sql(self) -> str:
+        mode = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{mode} {self.statement.to_sql()}"
+
+
 AnyStatement = Union[
     SelectStatement,
     CreateTable,
@@ -403,6 +419,7 @@ AnyStatement = Union[
     InsertStatement,
     UpdateStatement,
     DropStatement,
+    ExplainStatement,
 ]
 
 

@@ -25,6 +25,7 @@ from repro.sql.ast_nodes import (
     CreateView,
     DerivedTable,
     DropStatement,
+    ExplainStatement,
     Expression,
     FunctionCall,
     InList,
@@ -156,6 +157,12 @@ class _Parser:
     # ------------------------------------------------------------------
     def statement(self) -> Statement:
         token = self.peek()
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            analyze = self._match_keyword("ANALYZE")
+            return ExplainStatement(
+                statement=self.select_statement(), analyze=analyze
+            )
         if token.is_keyword("SELECT"):
             return self.select_statement()
         if token.is_keyword("CREATE"):

@@ -102,9 +102,22 @@ class IndependentStrategy(Strategy):
         query: CollaborativeQuery,
         tasks: Mapping[str, ModelTask],
     ) -> StrategyResult:
-        statement = parse_statement(query.sql)
-        if not isinstance(statement, SelectStatement):
-            raise WorkloadError("collaborative queries must be SELECTs")
+        with db.tracer.span(
+            f"strategy:{self.name}", sql=query.sql
+        ) as strategy_span:
+            return self._run(db, query, tasks, strategy_span)
+
+    def _run(
+        self,
+        db: Database,
+        query: CollaborativeQuery,
+        tasks: Mapping[str, ModelTask],
+        strategy_span,
+    ) -> StrategyResult:
+        with db.tracer.span("decompose"):
+            statement = parse_statement(query.sql)
+            if not isinstance(statement, SelectStatement):
+                raise WorkloadError("collaborative queries must be SELECTs")
 
         loading_raw = 0.0
         inference_raw = 0.0
@@ -154,40 +167,52 @@ class IndependentStrategy(Strategy):
             )
             if predicate is not None:
                 export_sql += f" WHERE {predicate.to_sql()}"
-            started = time.perf_counter()
-            exported = db.execute(export_sql)
-            relational_raw += time.perf_counter() - started
+            with db.tracer.span("db_subquery", role=role) as span:
+                started = time.perf_counter()
+                exported = db.execute(export_sql)
+                relational_raw += time.perf_counter() - started
+                span.set("rows", exported.num_rows)
 
             # 2. Serialize across the system boundary (both directions are
             # real pickle round-trips: relational rows -> tensor batch).
-            started = time.perf_counter()
-            payload = pickle.dumps(exported.rows())
-            keys_and_frames = pickle.loads(payload)
-            loading_raw += time.perf_counter() - started
-            transfer_bytes += len(payload)
+            with db.tracer.span("transfer", direction="db_to_dl") as span:
+                started = time.perf_counter()
+                payload = pickle.dumps(exported.rows())
+                keys_and_frames = pickle.loads(payload)
+                loading_raw += time.perf_counter() - started
+                transfer_bytes += len(payload)
+                span.set("transfer_bytes", len(payload))
+                span.set("rows", len(keys_and_frames))
 
             # 3. Inference in the DL framework.
-            started = time.perf_counter()
-            predictions = [
-                (key, _predict(bound, frame)) for key, frame in keys_and_frames
-            ]
-            inference_raw += time.perf_counter() - started
-            inferred_rows += len(predictions)
+            with db.tracer.span("inference", role=role) as span:
+                started = time.perf_counter()
+                predictions = [
+                    (key, _predict(bound, frame))
+                    for key, frame in keys_and_frames
+                ]
+                inference_raw += time.perf_counter() - started
+                inferred_rows += len(predictions)
+                span.set("rows", len(predictions))
 
             # 4. Import predictions back into the database.
-            started = time.perf_counter()
-            back = pickle.loads(pickle.dumps(predictions))
-            pred_table_name = f"pred_{role}"
-            pred_table = Table.from_dict(
-                pred_table_name,
-                {
-                    VIDEO_KEY: [row[0] for row in back],
-                    "prediction": [row[1] for row in back],
-                },
-            )
-            db.register_table(pred_table, temp=True, replace=True)
-            loading_raw += time.perf_counter() - started
-            transfer_bytes += len(pickle.dumps(back))
+            with db.tracer.span("transfer", direction="dl_to_db") as span:
+                started = time.perf_counter()
+                back = pickle.loads(pickle.dumps(predictions))
+                pred_table_name = f"pred_{role}"
+                pred_table = Table.from_dict(
+                    pred_table_name,
+                    {
+                        VIDEO_KEY: [row[0] for row in back],
+                        "prediction": [row[1] for row in back],
+                    },
+                )
+                db.register_table(pred_table, temp=True, replace=True)
+                loading_raw += time.perf_counter() - started
+                import_bytes = len(pickle.dumps(back))
+                transfer_bytes += import_bytes
+                span.set("transfer_bytes", import_bytes)
+                span.set("rows", len(back))
 
             alias = f"P_{role}"
             replacements[task.udf_name().lower()] = ColumnRef(
@@ -196,24 +221,28 @@ class IndependentStrategy(Strategy):
             pred_joins.append((pred_table_name, alias))
 
         # 5. Rewrite and run the final relational query.
-        rewritten = replace_udf_calls(statement, dict(replacements))
-        for pred_table_name, alias in pred_joins:
-            from repro.strategies.rewrite import add_cross_table
+        with db.tracer.span("assemble") as span:
+            rewritten = replace_udf_calls(statement, dict(replacements))
+            for pred_table_name, alias in pred_joins:
+                from repro.strategies.rewrite import add_cross_table
 
-            rewritten = add_cross_table(
-                rewritten,
-                pred_table_name,
-                alias,
-                BinaryOp(
-                    "=",
-                    ColumnRef(VIDEO_KEY, table=alias),
-                    ColumnRef(VIDEO_KEY, table=video_alias),
-                ),
-            )
-        started = time.perf_counter()
-        result = db.execute(rewritten.to_sql())
-        relational_raw += time.perf_counter() - started
+                rewritten = add_cross_table(
+                    rewritten,
+                    pred_table_name,
+                    alias,
+                    BinaryOp(
+                        "=",
+                        ColumnRef(VIDEO_KEY, table=alias),
+                        ColumnRef(VIDEO_KEY, table=video_alias),
+                    ),
+                )
+            started = time.perf_counter()
+            result = db.execute(rewritten.to_sql())
+            relational_raw += time.perf_counter() - started
+            span.set("rows", result.num_rows)
 
+        strategy_span.set("transfer_bytes", transfer_bytes)
+        strategy_span.set("inferred_rows", inferred_rows)
         model_bytes = sum(
             self._bound[tasks[r].udf_name().lower()].model_bytes
             for r in query.udf_roles

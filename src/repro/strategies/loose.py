@@ -100,15 +100,26 @@ class LooseStrategy(Strategy):
         bound = self._bound_for(query, tasks)
         db.udfs.reset_stats()
 
-        started = time.perf_counter()
-        result = db.execute(query.sql)
-        elapsed = time.perf_counter() - started
+        with db.tracer.span(
+            f"strategy:{self.name}", sql=query.sql
+        ) as strategy_span:
+            # The whole collaborative query runs inside the database; the
+            # UDF registry separates inference from relational time after
+            # the fact, so there is no cross-system transfer span here.
+            with db.tracer.span("db_subquery") as span:
+                started = time.perf_counter()
+                result = db.execute(query.sql)
+                elapsed = time.perf_counter() - started
+                span.set("rows", result.num_rows)
 
-        inference_raw = db.udfs.neural_seconds()
-        relational_raw = max(0.0, elapsed - inference_raw)
-        inferred_rows = sum(
-            db.udfs.get(b.task.udf_name()).stats.rows for b in bound
-        )
+            inference_raw = db.udfs.neural_seconds()
+            relational_raw = max(0.0, elapsed - inference_raw)
+            inferred_rows = sum(
+                db.udfs.get(b.task.udf_name()).stats.rows for b in bound
+            )
+            strategy_span.set("transfer_bytes", 0)
+            strategy_span.set("inferred_rows", inferred_rows)
+            strategy_span.set("inference_seconds", inference_raw)
 
         gpu_marshalling = 0.0
         if self.use_gpu:

@@ -156,15 +156,26 @@ class TightStrategy(Strategy):
             bound.append(entry)
 
         db.udfs.reset_stats()
-        started = time.perf_counter()
-        result = db.execute(query.sql)
-        elapsed = time.perf_counter() - started
+        with db.tracer.span(
+            f"strategy:{self.name}", sql=query.sql
+        ) as strategy_span:
+            # No second system: the compiled SQL program runs in-database,
+            # so inference appears as nested query spans (one per compiled
+            # statement) rather than a cross-system transfer.
+            with db.tracer.span("db_subquery") as span:
+                started = time.perf_counter()
+                result = db.execute(query.sql)
+                elapsed = time.perf_counter() - started
+                span.set("rows", result.num_rows)
 
-        inference_raw = db.udfs.neural_seconds()
-        relational_raw = max(0.0, elapsed - inference_raw)
-        inferred_rows = sum(
-            db.udfs.get(b.task.udf_name()).stats.rows for b in bound
-        )
+            inference_raw = db.udfs.neural_seconds()
+            relational_raw = max(0.0, elapsed - inference_raw)
+            inferred_rows = sum(
+                db.udfs.get(b.task.udf_name()).stats.rows for b in bound
+            )
+            strategy_span.set("transfer_bytes", 0)
+            strategy_span.set("inferred_rows", inferred_rows)
+            strategy_span.set("inference_seconds", inference_raw)
 
         # Everything here is database-kernel work; the GPU variant offloads
         # the inference statements and pays transfer for the model tables.

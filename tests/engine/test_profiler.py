@@ -36,6 +36,47 @@ class TestProfiler:
     def test_breakdown_empty(self):
         assert Profiler().breakdown() == {}
 
+    def test_breakdown_order_is_deterministic(self):
+        profiler = Profiler()
+        # Insert in deliberately scrambled order.
+        profiler.add("project", 0.1)
+        profiler.add("zeta_custom", 0.1)
+        profiler.add("scan", 0.1)
+        profiler.add("alpha_custom", 0.1)
+        profiler.add("join", 0.1)
+        keys = list(profiler.breakdown())
+        # Canonical categories first (CATEGORIES order), extras appended
+        # alphabetically.
+        assert keys == ["scan", "join", "project", "alpha_custom", "zeta_custom"]
+
+    def test_registered_category_appears_at_zero(self):
+        profiler = Profiler()
+        profiler.register("udf")
+        profiler.add("scan", 0.5)
+        breakdown = profiler.breakdown()
+        assert breakdown["udf"] == 0.0
+        assert breakdown["scan"] == 1.0
+        assert list(breakdown) == ["scan", "udf"]
+
+    def test_breakdown_all_zero_time(self):
+        profiler = Profiler()
+        profiler.register("scan")
+        profiler.register("join")
+        assert profiler.breakdown() == {"scan": 0.0, "join": 0.0}
+
+    def test_measure_emits_operator_span_when_traced(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(enabled=True)
+        profiler = Profiler(enabled=False, tracer=tracer)
+        with profiler.measure("scan") as token:
+            token.record_rows(4)
+        span = tracer.last_trace()
+        assert span.name == "operator:scan"
+        assert span.attributes["rows"] == 4
+        # Profiling stayed off: spans only, no stats.
+        assert profiler.stats == {}
+
     def test_snapshot_is_a_copy(self):
         profiler = Profiler()
         profiler.add("scan", 1.0, rows=5)

@@ -1,0 +1,101 @@
+"""Logger naming, setup idempotence, and the optimizer's DEBUG output."""
+
+import io
+import logging
+
+from repro.obs.log import ROOT_NAME, get_logger, level_for, setup_logging
+
+
+class TestGetLogger:
+    def test_prefixes_under_root(self):
+        assert get_logger("engine.optimizer").name == "repro.engine.optimizer"
+
+    def test_already_prefixed_name_unchanged(self):
+        assert get_logger("repro.core.hints").name == "repro.core.hints"
+
+    def test_empty_name_is_root(self):
+        assert get_logger().name == ROOT_NAME
+
+    def test_silent_by_default(self):
+        root = logging.getLogger(ROOT_NAME)
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+
+class TestLevelFor:
+    def test_mapping(self):
+        assert level_for(0) == logging.WARNING
+        assert level_for(1) == logging.INFO
+        assert level_for(2) == logging.DEBUG
+        assert level_for(5) == logging.DEBUG
+
+
+class TestSetupLogging:
+    def test_idempotent(self):
+        root = setup_logging(0)
+        before = len(root.handlers)
+        setup_logging(1)
+        setup_logging(2)
+        assert len(root.handlers) == before
+
+    def test_writes_to_stream(self):
+        stream = io.StringIO()
+        setup_logging(2, stream=stream)
+        try:
+            get_logger("test.module").debug("hello %s", "world")
+            output = stream.getvalue()
+            assert "repro.test.module" in output
+            assert "hello world" in output
+            assert output.startswith("DEBUG")
+        finally:
+            setup_logging(0)  # restore quiet default
+
+
+class TestDecisionLogs:
+    def test_hint_placement_logged_at_debug(self, tiny_dataset, detect_task):
+        """Hint rule 1's eager/lazy decision surfaces at -vv."""
+        from repro.core.hints import make_op_config
+        from repro.engine import Database
+        from repro.strategies.loose import LooseStrategy
+        from repro.strategies.base import QueryType
+        from repro.workload.queries import QueryGenerator
+
+        stream = io.StringIO()
+        setup_logging(2, stream=stream)
+        try:
+            db = Database()
+            tiny_dataset.install(db)
+            strategy = LooseStrategy()
+            strategy.bind_task(db, detect_task)
+            db.optimizer_config = make_op_config(
+                db.udfs, {detect_task.udf_name(): detect_task.selectivity()}
+            )
+            query = QueryGenerator(tiny_dataset).make_query(
+                QueryType.LEARNING_DEPENDS_ON_DB, 0.3
+            )
+            db.execute(query.sql)
+        finally:
+            setup_logging(0)
+        output = stream.getvalue()
+        assert "hint rule 1" in output
+        assert "placement" in output
+        assert "eager_cost=" in output
+
+    def test_selectivity_fallback_logged(self):
+        from repro.core.hints import HintAwareCostModel
+        from repro.engine.udf import UdfRegistry
+        from repro.sql.parser import parse_statement
+
+        stream = io.StringIO()
+        setup_logging(2, stream=stream)
+        try:
+            model = HintAwareCostModel(UdfRegistry())
+            statement = parse_statement(
+                "SELECT 1 FROM t WHERE nUDF_detect(x) = true"
+            )
+            model.udf_predicate_selectivity(statement.where)
+        finally:
+            setup_logging(0)
+        output = stream.getvalue()
+        assert "falling back to default" in output

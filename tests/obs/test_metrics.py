@@ -1,0 +1,191 @@
+"""Counters, gauges, histogram bucketing, and exporter formats."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("queries")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("queries")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+
+class TestHistogramBucketing:
+    def test_upper_bounds_are_inclusive(self):
+        histogram = Histogram("h", buckets=(1, 10, 100))
+        histogram.observe(1)      # le=1
+        histogram.observe(5)      # le=10
+        histogram.observe(10)     # le=10
+        histogram.observe(99)     # le=100
+        histogram.observe(1000)   # +Inf
+        assert histogram.counts == [1, 2, 1, 1]
+        assert histogram.cumulative_counts() == [1, 3, 4, 5]
+        assert histogram.count == 5
+        assert histogram.sum == 1115
+
+    def test_buckets_sorted_on_construction(self):
+        histogram = Histogram("h", buckets=(100, 1, 10))
+        assert histogram.buckets == (1.0, 10.0, 100.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_size_buckets_cover_batches(self):
+        histogram = Histogram("batch", buckets=DEFAULT_SIZE_BUCKETS)
+        histogram.observe(64)
+        histogram.observe(65)
+        # 64 is an exact bound; 65 falls in the next (le=128) bucket.
+        index_64 = histogram.buckets.index(64)
+        assert histogram.counts[index_64] == 1
+        assert histogram.counts[index_64 + 1] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("queries", "help text")
+        b = registry.counter("queries")
+        assert a is b
+        assert a.help == "help text"
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m")
+
+    def test_reset_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        registry.reset()
+        assert registry.names() == []
+        assert registry.get("a") is None
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("queries_total", "Queries executed").inc(3)
+        registry.gauge("cache_entries").set(7)
+        histogram = registry.histogram("latency", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_json_shape(self):
+        registry = self._populated()
+        data = json.loads(registry.to_json())
+        assert data["queries_total"] == {"type": "counter", "value": 3}
+        assert data["cache_entries"] == {"type": "gauge", "value": 7.0}
+        latency = data["latency"]
+        assert latency["type"] == "histogram"
+        assert latency["count"] == 3
+        assert latency["buckets"]["0.1"] == 1
+        assert latency["buckets"]["1.0"] == 2
+        assert latency["buckets"]["+Inf"] == 3
+
+    def test_prometheus_format(self):
+        text = self._populated().to_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_queries_total Queries executed" in lines
+        assert "# TYPE repro_queries_total counter" in lines
+        assert "repro_queries_total 3" in lines
+        assert "# TYPE repro_cache_entries gauge" in lines
+        assert "repro_cache_entries 7" in lines
+        assert "# TYPE repro_latency histogram" in lines
+        assert 'repro_latency_bucket{le="0.1"} 1' in lines
+        assert 'repro_latency_bucket{le="1"} 2' in lines
+        assert 'repro_latency_bucket{le="+Inf"} 3' in lines
+        assert "repro_latency_sum 5.55" in lines
+        assert "repro_latency_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_exports_empty(self):
+        registry = MetricsRegistry()
+        assert registry.to_dict() == {}
+        assert registry.to_prometheus() == ""
+
+
+class TestDatabaseMetrics:
+    def test_query_counters_and_plan_cache(self):
+        from repro.engine import Database
+
+        registry = MetricsRegistry()
+        db = Database(metrics=registry)
+        db.create_table_from_dict("t", {"a": [1, 2, 3]})
+        sql = "SELECT sum(a) FROM t"
+        db.execute(sql)
+        db.execute(sql)
+        assert registry.get("queries_executed_total").value == 2
+        assert registry.get("plan_cache_misses_total").value == 1
+        assert registry.get("plan_cache_hits_total").value == 1
+        assert registry.get("rows_scanned_total").value == 6
+
+    def test_subquery_scans_attributed(self):
+        from repro.engine import Database
+
+        registry = MetricsRegistry()
+        db = Database(metrics=registry)
+        db.create_table_from_dict("t", {"a": [1, 2, 3, 4]})
+        db.execute("SELECT count(*) FROM t WHERE a > (SELECT min(a) FROM t)")
+        # Outer scan (4 rows) and subquery scan (4 rows) both count.
+        assert registry.get("rows_scanned_total").value == 8
+
+    def test_udf_batch_histogram(self):
+        import numpy as np
+
+        from repro.engine import Database
+        from repro.engine.udf import BatchUdf
+        from repro.storage.schema import DataType
+
+        registry = MetricsRegistry()
+        db = Database(metrics=registry)
+        db.create_table_from_dict("t", {"a": [1.0, 2.0, 3.0]})
+        db.register_udf(
+            BatchUdf("double_it", lambda a: a * 2, DataType.FLOAT64)
+        )
+        db.execute("SELECT double_it(a) FROM t")
+        histogram = registry.get("udf_batch_rows")
+        assert histogram.count == 1
+        assert histogram.sum == 3
+
+    def test_no_metrics_by_default(self):
+        from repro.engine import Database
+
+        db = Database()
+        assert db.metrics is None

@@ -1,0 +1,84 @@
+"""Strategy-phase span trees: decompose/transfer/inference across strategies."""
+
+import pytest
+
+from repro.strategies import (
+    IndependentStrategy,
+    LooseStrategy,
+    QueryType,
+    TightStrategy,
+)
+from repro.workload.benchmark import QueryBenchmark
+from repro.workload.queries import QueryGenerator
+
+
+@pytest.fixture()
+def setup(tiny_dataset, tiny_repository):
+    bench = QueryBenchmark(tiny_dataset, tiny_repository)
+    db = bench.fresh_database()
+    generator = QueryGenerator(tiny_dataset)
+    return db, generator
+
+
+def _run(db, generator, strategy, detect_task, selectivity=0.5):
+    strategy.bind_task(db, detect_task)
+    query = generator.make_query(QueryType.LEARNING_DEPENDS_ON_DB, selectivity)
+    db.tracer.enable()
+    db.tracer.reset()  # drop bind-time traces; keep only the run
+    strategy.run(db, query, {"detect": detect_task})
+    return db.tracer.last_trace()
+
+
+class TestIndependentSpans:
+    def test_phase_spans_in_order(self, setup, detect_task):
+        db, generator = setup
+        root = _run(db, generator, IndependentStrategy(), detect_task)
+        assert root.name == "strategy:DB-PyTorch"
+        names = [c.name for c in root.children]
+        assert names[0] == "decompose"
+        assert "db_subquery" in names
+        assert "inference" in names
+        assert names[-1] == "assemble"
+        # DB->DL export precedes inference; DL->DB import follows it.
+        transfers = root.find_all("transfer")
+        directions = [s.attributes["direction"] for s in transfers]
+        assert directions == ["db_to_dl", "dl_to_db"]
+
+    def test_transfer_bytes_attributes(self, setup, detect_task):
+        db, generator = setup
+        root = _run(db, generator, IndependentStrategy(), detect_task)
+        for span in root.find_all("transfer"):
+            assert span.attributes["transfer_bytes"] > 0
+            assert span.attributes["rows"] > 0
+        total = sum(
+            s.attributes["transfer_bytes"] for s in root.find_all("transfer")
+        )
+        assert root.attributes["transfer_bytes"] == total
+
+    def test_inference_span_has_rows(self, setup, detect_task):
+        db, generator = setup
+        root = _run(db, generator, IndependentStrategy(), detect_task)
+        inference = root.find("inference")
+        assert inference.attributes["rows"] > 0
+        assert inference.attributes["role"] == "detect"
+
+
+class TestInDatabaseSpans:
+    def test_loose_runs_entirely_in_database(self, setup, detect_task):
+        db, generator = setup
+        root = _run(db, generator, LooseStrategy(), detect_task)
+        assert root.name == "strategy:DB-UDF"
+        assert root.attributes["transfer_bytes"] == 0
+        subquery = root.find("db_subquery")
+        # The in-database query nests the full engine lifecycle.
+        assert subquery.find("query") is not None
+        assert subquery.find("query").find("execute") is not None
+
+    def test_tight_nests_inference_inside_operators(self, setup, detect_task):
+        db, generator = setup
+        root = _run(db, generator, TightStrategy(), detect_task)
+        assert root.name == "strategy:DL2SQL"
+        assert root.attributes["transfer_bytes"] == 0
+        assert root.attributes["inferred_rows"] > 0
+        # DL2SQL inference happens inside the query's UDF evaluation.
+        assert root.find("inference") is not None

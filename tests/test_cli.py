@@ -38,6 +38,49 @@ class TestCli:
         assert "Table IV" in capsys.readouterr().out
 
 
+class TestTraceCommand:
+    def test_sql_trace_prints_lifecycle(self, capsys):
+        assert main(["trace", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("query", "parse", "plan", "optimize", "execute"):
+            assert stage in out
+        assert "operator:scan" in out
+        assert "ms" in out
+
+    def test_strategy_trace_has_phase_spans(self, capsys):
+        assert main(["trace", "--scale", "1", "--strategy", "independent"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy:DB-PyTorch" in out
+        for phase in ("decompose", "db_subquery", "transfer", "inference",
+                      "assemble"):
+            assert phase in out
+        assert "transfer_bytes=" in out
+
+    def test_custom_sql(self, capsys):
+        assert main(
+            ["trace", "--scale", "1", "--sql", "SELECT count(*) FROM video"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sql=SELECT count(*) FROM video" in out
+
+
+class TestStatsCommand:
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["stats", "--scale", "1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["queries_executed_total"]["value"] > 0
+        assert data["plan_cache_hits_total"]["value"] > 0
+        assert data["rows_scanned_total"]["value"] > 0
+
+    def test_prometheus_output(self, capsys):
+        assert main(["stats", "--scale", "1", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_executed_total counter" in out
+        assert "repro_rows_scanned_total" in out
+
+
 class TestShell:
     def _run(self, commands, db=None):
         db = db or Database()
