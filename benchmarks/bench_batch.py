@@ -58,7 +58,7 @@ def _per_frame_costs(model, frames, batch_sizes=(1, 8, 32)):
     return rows
 
 
-def test_batched_amortization_small_model(benchmark):
+def test_batched_amortization_small_model(benchmark, quick_mode):
     """Small model: per-statement overhead dominates -> batching wins."""
     model = build_student_cnn(
         input_shape=(1, 8, 8), num_classes=3, channels=(3, 3, 3), seed=1
@@ -75,10 +75,13 @@ def test_batched_amortization_small_model(benchmark):
         title="Batched vs per-sample (small model, 8x8)",
     )
     # At full batch, batching beats the per-sample loop per frame.
-    assert rows[-1][1] < rows[-1][2]
+    # (Timing comparison; skipped under --quick where load spikes on
+    # shared CI runners make it flaky.)
+    if not quick_mode:
+        assert rows[-1][1] < rows[-1][2]
 
 
-def test_batched_crossover_larger_model(benchmark, bench_dataset):
+def test_batched_crossover_larger_model(benchmark, bench_dataset, quick_mode):
     """Larger per-frame work: vectorized per-sample execution is already
     efficient; batching must stay within ~2x (not collapse), and the bench
     records the observed crossover."""
@@ -94,7 +97,8 @@ def test_batched_crossover_larger_model(benchmark, bench_dataset):
         rows,
         title="Batched vs per-sample (12x12 model)",
     )
-    assert rows[-1][1] < rows[-1][2] * 2.0
+    if not quick_mode:  # timing comparison, flaky on loaded runners
+        assert rows[-1][1] < rows[-1][2] * 2.0
 
 
 def test_batched_parity_at_scale(benchmark, bench_dataset):

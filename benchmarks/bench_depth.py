@@ -4,8 +4,8 @@ from repro.experiments import exp_depth
 from repro.experiments.reporting import print_table
 
 
-def test_table6_depth(benchmark, small_dataset):
-    depths = (5, 8, 11, 14)
+def test_table6_depth(benchmark, small_dataset, quick_mode):
+    depths = (5, 8) if quick_mode else (5, 8, 11, 14)
     rows = benchmark.pedantic(
         lambda: exp_depth.run(small_dataset, depths=depths),
         rounds=1,
@@ -38,7 +38,8 @@ def test_table6_depth(benchmark, small_dataset):
         by_depth[depths[-1]]["DB-PyTorch"].total
         / by_depth[depths[-1]]["DL2SQL-OP"].total
     )
-    assert op_lead_deep < op_lead_shallow
+    if not quick_mode:  # narrow depth spread makes ratios noisy
+        assert op_lead_deep < op_lead_shallow
     loading_growth_op = (
         by_depth[depths[-1]]["DL2SQL-OP"].loading
         / max(by_depth[depths[0]]["DL2SQL-OP"].loading, 1e-9)
@@ -47,4 +48,5 @@ def test_table6_depth(benchmark, small_dataset):
         by_depth[depths[-1]]["DB-PyTorch"].loading
         / max(by_depth[depths[0]]["DB-PyTorch"].loading, 1e-9)
     )
-    assert loading_growth_op > loading_growth_pt
+    if not quick_mode:
+        assert loading_growth_op > loading_growth_pt

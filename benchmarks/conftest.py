@@ -26,6 +26,24 @@ from repro.workload.models_repo import build_repository
 OBSERVATIONS_DIR = pathlib.Path(__file__).parent / ".observations"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "shrink benchmark datasets/iterations for CI smoke runs "
+            "(timings are not representative)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request) -> bool:
+    """True when ``--quick`` was passed (CI smoke mode)."""
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture(autouse=True)
 def benchmark_observations(request):
     """Emit one JSON sidecar per benchmark test (metrics + duration)."""
@@ -50,14 +68,20 @@ def benchmark_observations(request):
 
 
 @pytest.fixture(scope="session")
-def bench_dataset():
+def bench_dataset(quick_mode):
     """The benchmark-scale dataset (larger than the unit-test one)."""
-    return generate_dataset(DatasetConfig(scale=2, keyframe_shape=(1, 12, 12)))
+    scale = 1 if quick_mode else 2
+    return generate_dataset(
+        DatasetConfig(scale=scale, keyframe_shape=(1, 12, 12))
+    )
 
 
 @pytest.fixture(scope="session")
-def bench_repository(bench_dataset):
-    return build_repository(bench_dataset, num_tasks=4, calibration_samples=32)
+def bench_repository(bench_dataset, quick_mode):
+    calibration = 8 if quick_mode else 32
+    return build_repository(
+        bench_dataset, num_tasks=4, calibration_samples=calibration
+    )
 
 
 @pytest.fixture(scope="session")

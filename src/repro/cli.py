@@ -104,6 +104,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     stats_parser.add_argument("--scale", type=int, default=1)
     stats_parser.add_argument("--seed", type=int, default=42)
+    stats_parser.add_argument(
+        "--udf-workers",
+        type=int,
+        default=1,
+        help="threads for batch-UDF morsel dispatch (default 1 = inline)",
+    )
+    stats_parser.add_argument(
+        "--udf-cache-mb",
+        type=int,
+        default=16,
+        help=(
+            "inference-cache budget in MiB for the sample workload "
+            "(0 disables the cache)"
+        ),
+    )
 
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
@@ -239,8 +254,11 @@ def _run_traced_strategy(db, dataset, args) -> None:
 
 
 def _cmd_stats(args) -> int:
-    from repro.engine import Database
+    import numpy as np
+
+    from repro.engine import BatchUdf, Database
     from repro.obs.metrics import get_registry
+    from repro.storage.schema import DataType
     from repro.workload.dataset import DatasetConfig, generate_dataset
 
     registry = get_registry()
@@ -248,18 +266,37 @@ def _cmd_stats(args) -> int:
     dataset = generate_dataset(
         DatasetConfig(scale=args.scale, seed=args.seed)
     )
-    db = Database(metrics=registry)
+    db = Database(
+        metrics=registry,
+        udf_cache_bytes=args.udf_cache_mb * (1 << 20),
+        udf_workers=args.udf_workers,
+    )
     dataset.install(db)
+    # A cheap stand-in nUDF: repeats of the same query surface the
+    # inference-cache counters (udf_cache_hits / udf_cache_misses) next
+    # to the plan-cache ones.
+    db.register_udf(
+        BatchUdf(
+            name="amount_bucket",
+            fn=lambda amounts: np.floor(np.asarray(amounts) / 1000.0),
+            return_dtype=DataType.FLOAT64,
+        )
+    )
     samples = (
         _TRACE_SQL,
         "SELECT count(*) FROM video",
         "SELECT count(*) FROM orders WHERE amount > 5000",
         "SELECT d.deviceID, count(*) FROM device d "
         "INNER JOIN fabric f ON f.transID = d.transID GROUP BY d.deviceID",
+        "SELECT amount_bucket(amount), count(*) FROM orders "
+        "GROUP BY amount_bucket(amount)",
     )
-    for sql in samples:
-        for _ in range(3):  # repeats exercise the plan cache counters
-            db.execute(sql)
+    try:
+        for sql in samples:
+            for _ in range(3):  # repeats exercise the cache counters
+                db.execute(sql)
+    finally:
+        db.close()
     if args.format == "prometheus":
         print(db.metrics.to_prometheus(), end="")
     else:

@@ -100,8 +100,25 @@ class HintAwareCostModel(CustomCostModel):
     def udf_call_cost(self, call: FunctionCall) -> float:
         if call.name in self._udfs:
             udf = self._udfs.get(call.name)
-            if udf.cost_per_row > 0:
-                return udf.cost_per_row / self._seconds_per_cost_unit
+            base = (
+                udf.cost_per_row / self._seconds_per_cost_unit
+                if udf.cost_per_row > 0
+                else self.udf_cost_per_row
+            )
+            # With an inference cache attached, only the expected miss
+            # fraction of rows pays a real forward pass — a warm cache
+            # makes eager nUDF placement (hint rule 1) much cheaper than
+            # the raw per-row cost suggests.
+            cache = self._udfs.cache
+            if cache is not None and udf.cacheable:
+                miss_rate = cache.expected_miss_rate(call.name)
+                logger.debug(
+                    "udf cost: scaling %r by expected miss rate %.3f",
+                    call.name,
+                    miss_rate,
+                )
+                base *= miss_rate
+            return base
         return self.udf_cost_per_row
 
 

@@ -9,6 +9,7 @@ registry, statistics, profiler and cost models.
 """
 
 from repro.engine.database import Database, Result
+from repro.engine.infer_cache import InferenceCache
 from repro.engine.udf import BatchUdf, UdfRegistry
 
-__all__ = ["BatchUdf", "Database", "Result", "UdfRegistry"]
+__all__ = ["BatchUdf", "Database", "InferenceCache", "Result", "UdfRegistry"]

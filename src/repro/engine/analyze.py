@@ -83,6 +83,10 @@ class ExplainAnalyzeOutput:
     total_seconds: float
     result_rows: int
     text: str = ""
+    #: Inference-cache activity during this execution (hits / misses /
+    #: evictions, plus current resident bytes); None when no cache is
+    #: attached to the database.
+    udf_cache: Optional[dict] = None
 
     def max_qerror(self) -> float:
         return max((op.row_qerror for op in self.operators), default=1.0)
@@ -91,6 +95,7 @@ class ExplainAnalyzeOutput:
         return {
             "total_seconds": self.total_seconds,
             "result_rows": self.result_rows,
+            "udf_cache": self.udf_cache,
             "operators": [
                 {
                     "operator": op.operator,
@@ -167,6 +172,12 @@ def format_analysis(output: ExplainAnalyzeOutput) -> str:
         lines.append(
             f"{pad}{op.operator}  {estimated} {actual} "
             f"q-err={op.row_qerror:.2f}"
+        )
+    if output.udf_cache is not None:
+        cache = output.udf_cache
+        lines.append(
+            f"UDF cache: hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} bytes={cache['bytes']}"
         )
     lines.append(
         f"Execution time: {output.total_seconds * 1e3:.3f} ms "

@@ -15,6 +15,7 @@ supported; see :mod:`repro.sql` for the dialect.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
@@ -30,6 +31,7 @@ from repro.engine.analyze import (
 from repro.engine.cost import CostModel, DefaultCostModel
 from repro.engine.expressions import Evaluator, FunctionRegistry
 from repro.engine.frame import Frame
+from repro.engine.infer_cache import make_cache
 from repro.engine.logical import LogicalPlan
 from repro.engine.optimizer import Optimizer, OptimizerConfig
 from repro.engine.physical import ExecutionContext, execute_plan
@@ -162,11 +164,30 @@ class Database:
         plan_cache: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        udf_cache_bytes: int = 0,
+        udf_workers: int = 1,
+        udf_morsel_rows: int = 256,
     ) -> None:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.udfs = UdfRegistry()
         self.statistics = StatisticsProvider(self.catalog)
+        #: Content-addressed nUDF result cache; ``udf_cache_bytes=0``
+        #: (the default) disables it, so repeated-input experiments that
+        #: deliberately re-run inference still measure the real thing.
+        self.infer_cache = make_cache(udf_cache_bytes)
+        self.udfs.attach_cache(self.infer_cache)
+        #: Shared morsel executor for parallel UDF batches; one worker
+        #: means in-line execution (no threads, no dispatch overhead).
+        self.udf_workers = max(1, int(udf_workers))
+        self._udf_executor: Optional[ThreadPoolExecutor] = None
+        if self.udf_workers > 1:
+            self._udf_executor = ThreadPoolExecutor(
+                max_workers=self.udf_workers, thread_name_prefix="repro-udf"
+            )
+            self.udfs.attach_executor(
+                self._udf_executor, morsel_rows=udf_morsel_rows
+            )
         #: The instrumentation spine.  A disabled tracer hands out the
         #: shared null span, so the default costs one attribute check at
         #: the few span sites on the query path (never per row).
@@ -303,6 +324,13 @@ class Database:
     def storage_bytes(self) -> int:
         return self.catalog.total_nbytes()
 
+    def close(self) -> None:
+        """Release the UDF worker pool (idempotent)."""
+        if self._udf_executor is not None:
+            self._udf_executor.shutdown(wait=True)
+            self._udf_executor = None
+            self.udfs.attach_executor(None)
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -381,6 +409,9 @@ class Database:
         self.optimizer_config.cost_model.estimate(plan, self.statistics)
         ctx = self._execution_context()
         ctx.analyzer = PlanAnalyzer()
+        cache_before = (
+            self.infer_cache.snapshot() if self.infer_cache is not None else None
+        )
         with self.tracer.span("execute", analyze=True) as span:
             started = time.perf_counter()
             frame = self._execute_in_context(plan, ctx)
@@ -392,6 +423,8 @@ class Database:
             total_seconds=total,
             result_rows=frame.num_rows,
         )
+        if cache_before is not None:
+            output.udf_cache = cache_before.delta(self.infer_cache.snapshot())
         output.text = format_analysis(output)
         return output
 

@@ -68,16 +68,34 @@ class Frame:
         )
 
     def to_table(self, name: str) -> Table:
-        """Materialize as a storage table (deduplicates output names)."""
-        seen: dict[str, int] = {}
+        """Materialize as a storage table (deduplicates output names).
+
+        A duplicate ``x`` becomes ``x_<n>``, probing upward until the
+        generated name collides with neither an already-assigned output
+        name nor any literal column name appearing elsewhere in the
+        frame (e.g. columns ``x``, ``x``, ``x_1`` yield ``x``, ``x_2``,
+        ``x_1``).
+        """
+        literal_names = {c.name.lower() for c in self.columns}
+        assigned: set[str] = set()
+        next_suffix: dict[str, int] = {}
         columns = []
         for frame_column in self.columns:
             out_name = frame_column.name
-            if out_name.lower() in seen:
-                seen[out_name.lower()] += 1
-                out_name = f"{out_name}_{seen[out_name.lower()]}"
-            else:
-                seen[out_name.lower()] = 0
+            key = out_name.lower()
+            if key in assigned:
+                n = next_suffix.get(key, 0)
+                while True:
+                    n += 1
+                    candidate = f"{out_name}_{n}"
+                    if (
+                        candidate.lower() not in assigned
+                        and candidate.lower() not in literal_names
+                    ):
+                        break
+                next_suffix[key] = n
+                out_name = candidate
+            assigned.add(out_name.lower())
             columns.append(Column(out_name, frame_column.dtype, frame_column.data))
         return Table(name, columns)
 

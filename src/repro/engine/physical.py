@@ -421,11 +421,16 @@ def _symmetric_hash_join(
     right_table: dict[Any, list[int]] = {}
     lru: dict[Any, int] = {}
     evicted: set[Any] = set()
+    #: Byte weight of each bucket (24 per entry); eviction refunds the
+    #: whole bucket, not a flat per-entry constant, so ``used`` tracks
+    #: resident bytes exactly and one overflow evicts one bucket.
+    weights: dict[Any, int] = {}
     clock = 0
     budget = ctx.symmetric_join_memory
     used = 0
     misses = 0
     reloads = 0
+    evictions = 0
 
     out_left: list[int] = []
     out_right: list[int] = []
@@ -435,14 +440,21 @@ def _symmetric_hash_join(
         clock += 1
         lru[key] = clock
 
-    def charge(entry_bytes: int) -> None:
-        nonlocal used
-        used += entry_bytes
+    def reserve(extra_bytes: int) -> None:
+        nonlocal used, evictions
+        used += extra_bytes
         while used > budget and lru:
             victim = min(lru, key=lru.get)  # LRU bucket
             del lru[victim]
             evicted.add(victim)
-            used -= 24  # only the accounting weight of the bucket head
+            used -= weights.get(victim, 0)
+            evictions += 1
+
+    def reload(key: Any) -> None:
+        """Bring an evicted bucket back: its full weight is resident again."""
+        evicted.discard(key)
+        touch(key)
+        reserve(weights.get(key, 0))
 
     def probe_and_insert(
         keys: np.ndarray,
@@ -460,8 +472,7 @@ def _symmetric_hash_join(
                 if key in evicted:
                     misses += 1
                     reloads += len(matches)
-                    evicted.discard(key)
-                    touch(key)
+                    reload(key)
                 if own_side_left:
                     out_left.extend([position] * len(matches))
                     out_right.extend(matches)
@@ -469,8 +480,13 @@ def _symmetric_hash_join(
                     out_left.extend(matches)
                     out_right.extend([position] * len(matches))
             own.setdefault(key, []).append(position)
-            touch(key)
-            charge(24)
+            if key in evicted:
+                # Writing to an evicted bucket reloads it as well.
+                reload(key)
+            else:
+                touch(key)
+            weights[key] = weights.get(key, 0) + 24
+            reserve(24)
 
     left_pos = right_pos = 0
     while left_pos < len(left) or right_pos < len(right):
@@ -487,6 +503,8 @@ def _symmetric_hash_join(
         "cache_misses": misses,
         "bucket_reloads": reloads,
         "buckets": len(left_table) + len(right_table),
+        "evictions": evictions,
+        "used_bytes": used,
     }
     return (
         np.asarray(out_left, dtype=np.int64),
@@ -657,17 +675,19 @@ def _compute_aggregate(
             None, spec.slot, vector.dtype, data[representatives]
         )
 
+    if name == "sum" and vector.dtype in (DataType.INT64, DataType.BOOL):
+        # Integer accumulation path: routing int64 sums through float64
+        # bincount weights silently loses precision above 2**53.
+        sums = np.zeros(num_groups, dtype=np.int64)
+        np.add.at(sums, group_ids, data.astype(np.int64))
+        return FrameColumn(None, spec.slot, DataType.INT64, sums)
+
     numeric = data.astype(np.float64)
     counts = np.bincount(group_ids, minlength=num_groups).astype(np.float64)
     safe_counts = np.maximum(counts, 1.0)
 
     if name == "sum":
         sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
-        if vector.dtype is DataType.INT64 or vector.dtype is DataType.BOOL:
-            return FrameColumn(
-                None, spec.slot, DataType.INT64,
-                np.round(sums).astype(np.int64),
-            )
         return FrameColumn(None, spec.slot, DataType.FLOAT64, sums)
     if name == "avg":
         sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
@@ -721,14 +741,19 @@ def _reduce_minmax(
 def _distinct_counts(
     data: np.ndarray, group_ids: np.ndarray, num_groups: int
 ) -> np.ndarray:
-    counts = np.zeros(num_groups, dtype=np.int64)
-    seen: set[tuple[int, Any]] = set()
-    for row in range(len(data)):
-        key = (int(group_ids[row]), data[row])
-        if key not in seen:
-            seen.add(key)
-            counts[group_ids[row]] += 1
-    return counts
+    """Distinct values per group via the ``_factorize`` machinery.
+
+    Factorizing ``(group, value)`` pairs yields one representative row
+    per distinct pair; counting representatives per group replaces the
+    old interpreter-bound per-row set loop (numeric inputs now run
+    entirely in numpy kernels).
+    """
+    if len(data) == 0:
+        return np.zeros(num_groups, dtype=np.int64)
+    _, representatives = _factorize([group_ids, data])
+    return np.bincount(
+        group_ids[representatives], minlength=num_groups
+    ).astype(np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -757,10 +782,31 @@ def _execute_sort(plan: Sort, ctx: ExecutionContext) -> Frame:
     return result
 
 
+def _object_sort_key(value: Any) -> tuple[int, int, Any]:
+    """Total order over heterogeneous object cells.
+
+    ``(is_null, type_rank, value)``: SQL NULLs sort after every value
+    (ASC → last; the DESC code negation puts them first), and values of
+    mutually incomparable types are segregated by a type rank so a
+    string column containing ``None`` or stray numbers never raises
+    ``TypeError`` mid-sort.
+    """
+    if value is None:
+        return (1, 0, 0)
+    if isinstance(value, (bool, np.bool_, int, float, np.integer, np.floating)):
+        # int/float cross-comparisons are exact in Python, so no cast.
+        return (0, 0, value)
+    if isinstance(value, str):
+        return (0, 1, value)
+    if isinstance(value, bytes):
+        return (0, 2, value)
+    return (0, 3, repr(value))
+
+
 def _sort_codes(data: np.ndarray) -> np.ndarray:
     """Map values to int64 codes preserving order (handles strings)."""
     if data.dtype == object:
-        uniques = sorted(set(data.tolist()))
+        uniques = sorted(set(data.tolist()), key=_object_sort_key)
         rank = {value: code for code, value in enumerate(uniques)}
         return np.asarray([rank[v] for v in data], dtype=np.int64)
     if data.dtype == np.bool_:

@@ -14,15 +14,18 @@ registry also carries per-UDF metadata the optimizer consumes:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
 from repro.errors import UdfError
 from repro.engine.expressions import Vector
+from repro.engine.infer_cache import MISSING, InferenceCache, hash_rows
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
 from repro.sql.ast_nodes import (
     BinaryOp,
     Expression,
@@ -32,19 +35,48 @@ from repro.sql.ast_nodes import (
 )
 from repro.storage.schema import DataType
 
+if TYPE_CHECKING:  # imported for annotations only
+    from concurrent.futures import Executor
+
 
 @dataclass
 class UdfStats:
-    """Runtime accounting for one UDF (drives the inference-cost breakdown)."""
+    """Runtime accounting for one UDF (drives the inference-cost breakdown).
+
+    ``rows`` counts rows the model actually evaluated; with an inference
+    cache attached, cache hits show up in ``cache_hits`` instead, so the
+    paper's "inferred rows" metric keeps meaning *model work done*.
+    Updates go through :meth:`record` / :meth:`record_cache` under a lock
+    so parallel UDF morsels never lose increments.
+    """
 
     calls: int = 0
     rows: int = 0
     seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, rows: int, seconds: float) -> None:
+        with self._lock:
+            self.calls += 1
+            self.rows += rows
+            self.seconds += seconds
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        with self._lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
 
     def reset(self) -> None:
-        self.calls = 0
-        self.rows = 0
-        self.seconds = 0.0
+        with self._lock:
+            self.calls = 0
+            self.rows = 0
+            self.seconds = 0.0
+            self.cache_hits = 0
+            self.cache_misses = 0
 
 
 @dataclass
@@ -61,6 +93,12 @@ class BatchUdf:
             histograms; None means the optimizer falls back to a default.
         is_neural: Marks inference UDFs so their runtime is accounted as
             *inference* cost rather than relational cost.
+        cacheable: Results may be served from the inference cache.  Only
+            set False for non-deterministic or stateful functions.
+        parallel_safe: ``fn`` may run on worker threads (morsel
+            dispatch).  Set False when the implementation touches shared
+            engine state — e.g. DL2SQL's SQL-backed nUDFs, which execute
+            nested statements on the owning database.
     """
 
     name: str
@@ -69,6 +107,8 @@ class BatchUdf:
     cost_per_row: float = 0.0
     selectivity_of: Optional[Callable[[Any], float]] = None
     is_neural: bool = False
+    cacheable: bool = True
+    parallel_safe: bool = True
     stats: UdfStats = field(default_factory=UdfStats)
 
 
@@ -79,6 +119,9 @@ class UdfRegistry:
         self._udfs: dict[str, BatchUdf] = {}
         self._profiler = None
         self._metrics = None
+        self._cache: Optional[InferenceCache] = None
+        self._executor: Optional["Executor"] = None
+        self._morsel_rows = 256
 
     def attach_observers(self, profiler=None, metrics=None) -> None:
         """Report UDF calls into a profiler's ``udf`` category and a
@@ -92,14 +135,38 @@ class UdfRegistry:
         self._profiler = profiler
         self._metrics = metrics
 
+    def attach_cache(self, cache: Optional[InferenceCache]) -> None:
+        """Serve repeated inputs of cacheable UDFs from ``cache``."""
+        self._cache = cache
+
+    def attach_executor(
+        self, executor: Optional["Executor"], morsel_rows: int = 256
+    ) -> None:
+        """Dispatch large batches of parallel-safe UDFs as morsels of
+        ``morsel_rows`` rows each onto ``executor``."""
+        if morsel_rows < 1:
+            raise ValueError("morsel_rows must be positive")
+        self._executor = executor
+        self._morsel_rows = morsel_rows
+
+    @property
+    def cache(self) -> Optional[InferenceCache]:
+        return self._cache
+
     def register(self, udf: BatchUdf, *, replace: bool = False) -> None:
         key = udf.name.lower()
         if key in self._udfs and not replace:
             raise UdfError(f"UDF {udf.name!r} is already registered")
+        if key in self._udfs and self._cache is not None:
+            # Re-registration swaps the model: its cached results are
+            # stale the moment the new function could answer differently.
+            self._cache.invalidate(key)
         self._udfs[key] = udf
 
     def unregister(self, name: str) -> None:
-        self._udfs.pop(name.lower(), None)
+        removed = self._udfs.pop(name.lower(), None)
+        if removed is not None and self._cache is not None:
+            self._cache.invalidate(name.lower())
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._udfs
@@ -114,18 +181,86 @@ class UdfRegistry:
         return sorted(udf.name for udf in self._udfs.values())
 
     def invoke(self, name: str, args: list[np.ndarray]) -> Vector:
-        """Run a UDF over argument vectors, recording wall-clock stats."""
+        """Run a UDF over argument vectors, recording wall-clock stats.
+
+        With an inference cache attached, the batch is served with
+        partial-hit semantics: every input row is content-hashed, the
+        model runs only over missed rows (as parallel morsels when an
+        executor is attached), and cached plus fresh results are
+        scattered back into one output vector.
+        """
         udf = self.get(name)
         num_rows = len(args[0]) if args else 0
+        cache = self._cache
+        if cache is None or not udf.cacheable or not args or num_rows == 0:
+            result = self._infer(udf, args, num_rows)
+            return Vector(result, udf.return_dtype)
+
+        namespace = udf.name.lower()
+        keys = hash_rows(args, num_rows)
+        cached_values, missed = cache.get_many(namespace, keys)
+        udf.stats.record_cache(
+            hits=num_rows - len(missed), misses=len(missed)
+        )
+
+        out = self._empty_result(udf, num_rows)
+        if missed:
+            indices = np.asarray(missed, dtype=np.int64)
+            fresh = self._infer(
+                udf, [array[indices] for array in args], len(missed)
+            )
+            out[indices] = fresh
+            # Duplicate rows within one batch hash to the same key; the
+            # last write wins, which is fine — results are identical.
+            for position, row in enumerate(missed):
+                cache.put(namespace, keys[row], fresh[position])
+        for row, value in enumerate(cached_values):
+            if value is not MISSING:
+                out[row] = value
+        self._record_cache_metrics(cache, num_rows - len(missed), len(missed))
+        return Vector(out, udf.return_dtype)
+
+    def _empty_result(self, udf: BatchUdf, num_rows: int) -> np.ndarray:
+        if udf.return_dtype in (DataType.STRING, DataType.BLOB):
+            return np.empty(num_rows, dtype=object)
+        return np.empty(num_rows, dtype=udf.return_dtype.numpy_dtype)
+
+    def _record_cache_metrics(
+        self, cache: InferenceCache, hits: int, misses: int
+    ) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.counter(
+            "udf_cache_hits", "UDF rows served from the inference cache"
+        ).inc(hits)
+        self._metrics.counter(
+            "udf_cache_misses", "UDF rows that required model evaluation"
+        ).inc(misses)
+        self._metrics.counter(
+            "udf_cache_evictions", "Inference-cache entries evicted (LRU)"
+        ).set_to_at_least(cache.evictions)
+        self._metrics.gauge(
+            "udf_cache_bytes", "Resident bytes in the inference cache"
+        ).set(cache.bytes_used)
+
+    def _infer(
+        self, udf: BatchUdf, args: list[np.ndarray], num_rows: int
+    ) -> np.ndarray:
+        """Evaluate the model over ``args``, with stats and conversion.
+
+        Returns the result as a plain ndarray already converted to the
+        UDF's declared return dtype (the representation the cache
+        stores, so cached and fresh values are bit-identical).
+        """
         started = time.perf_counter()
         try:
-            result = udf.fn(*args)
+            result = self._dispatch_fn(udf, args, num_rows)
+        except UdfError:
+            raise
         except Exception as exc:  # noqa: BLE001 - rewrap with UDF context
-            raise UdfError(f"UDF {name!r} failed: {exc}") from exc
+            raise UdfError(f"UDF {udf.name!r} failed: {exc}") from exc
         elapsed = time.perf_counter() - started
-        udf.stats.calls += 1
-        udf.stats.rows += num_rows
-        udf.stats.seconds += elapsed
+        udf.stats.record(rows=num_rows, seconds=elapsed)
         if self._profiler is not None:
             self._profiler.add("udf", elapsed, rows=num_rows)
         if self._metrics is not None:
@@ -138,7 +273,7 @@ class UdfRegistry:
         result = np.asarray(result)
         if result.shape != (num_rows,):
             raise UdfError(
-                f"UDF {name!r} returned shape {result.shape}, "
+                f"UDF {udf.name!r} returned shape {result.shape}, "
                 f"expected ({num_rows},)"
             )
         if udf.return_dtype in (DataType.STRING, DataType.BLOB):
@@ -148,7 +283,33 @@ class UdfRegistry:
                 result = boxed
         else:
             result = result.astype(udf.return_dtype.numpy_dtype)
-        return Vector(result, udf.return_dtype)
+        return result
+
+    def _dispatch_fn(
+        self, udf: BatchUdf, args: list[np.ndarray], num_rows: int
+    ) -> np.ndarray:
+        """Run ``udf.fn``, split into morsels when it pays off."""
+        executor = self._executor
+        if (
+            executor is None
+            or not udf.parallel_safe
+            or num_rows <= self._morsel_rows
+        ):
+            return udf.fn(*args)
+        morsel = self._morsel_rows
+        futures = [
+            executor.submit(udf.fn, *[a[start : start + morsel] for a in args])
+            for start in range(0, num_rows, morsel)
+        ]
+        pieces = [np.asarray(future.result()) for future in futures]
+        for start, piece in zip(range(0, num_rows, morsel), pieces):
+            expected = min(morsel, num_rows - start)
+            if piece.shape != (expected,):
+                raise UdfError(
+                    f"UDF {udf.name!r} returned shape {piece.shape} for a "
+                    f"morsel of {expected} rows"
+                )
+        return np.concatenate(pieces)
 
     def neural_seconds(self) -> float:
         """Total wall-clock spent inside neural UDFs since the last reset."""

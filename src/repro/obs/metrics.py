@@ -31,42 +31,62 @@ DEFAULT_SIZE_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing value."""
+    """A monotonically increasing value.
 
-    __slots__ = ("name", "help", "value")
+    Updates are lock-protected: UDF morsel workers may report from
+    several threads at once, and ``+=`` on a float is not atomic.
+    """
+
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    def set_to_at_least(self, value: float) -> None:
+        """Raise the counter to ``value`` if it is currently below.
+
+        For mirroring an external cumulative count (e.g. the inference
+        cache's eviction total) without ever moving backwards.
+        """
+        with self._lock:
+            if value > self.value:
+                self.value = float(value)
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down (updates are lock-protected)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value}
@@ -80,7 +100,7 @@ class Histogram:
     in the number of buckets.
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(
         self,
@@ -98,12 +118,14 @@ class Histogram:
         self.counts = [0] * (len(ordered) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         index = bisect.bisect_left(self.buckets, value)
-        self.counts[index] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus-style cumulative counts, one per bucket plus +Inf."""

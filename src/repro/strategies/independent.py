@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.engine.database import Database
+from repro.engine.infer_cache import hash_row
 from repro.sql.ast_nodes import (
     BinaryOp,
     ColumnRef,
@@ -184,16 +185,19 @@ class IndependentStrategy(Strategy):
                 span.set("transfer_bytes", len(payload))
                 span.set("rows", len(keys_and_frames))
 
-            # 3. Inference in the DL framework.
+            # 3. Inference in the DL framework.  The application layer
+            # consults the database's inference cache (when configured)
+            # exactly like the in-database strategies do: hash each
+            # frame, run the model only on missed rows.
             with db.tracer.span("inference", role=role) as span:
                 started = time.perf_counter()
-                predictions = [
-                    (key, _predict(bound, frame))
-                    for key, frame in keys_and_frames
-                ]
+                predictions, model_rows = _predict_batch(
+                    db, bound, task, keys_and_frames
+                )
                 inference_raw += time.perf_counter() - started
-                inferred_rows += len(predictions)
+                inferred_rows += model_rows
                 span.set("rows", len(predictions))
+                span.set("model_rows", model_rows)
 
             # 4. Import predictions back into the database.
             with db.tracer.span("transfer", direction="dl_to_db") as span:
@@ -269,6 +273,41 @@ def _predict(bound: "_BoundTask", keyframe: np.ndarray) -> object:
     if bound.task.returns_bool:
         return bool(index == 1)
     return bound.task.class_labels[index]
+
+
+def _predict_batch(
+    db: Database,
+    bound: "_BoundTask",
+    task: ModelTask,
+    keys_and_frames: list,
+) -> tuple[list, int]:
+    """Predict every exported frame, via the inference cache when one is
+    configured on the database.
+
+    Returns ``(predictions, model_rows)`` where ``model_rows`` counts
+    rows the model actually evaluated (cache misses); with no cache that
+    is every row.
+    """
+    cache = getattr(db, "infer_cache", None)
+    if cache is None:
+        return (
+            [(key, _predict(bound, frame)) for key, frame in keys_and_frames],
+            len(keys_and_frames),
+        )
+    namespace = task.udf_name().lower()
+    predictions = []
+    model_rows = 0
+    for key, frame in keys_and_frames:
+        digest = hash_row((np.asarray(frame),))
+        values, missed = cache.get_many(namespace, [digest])
+        if missed:
+            value = _predict(bound, frame)
+            cache.put(namespace, digest, value)
+            model_rows += 1
+        else:
+            value = values[0]
+        predictions.append((key, value))
+    return predictions, model_rows
 
 
 class _BoundTask:

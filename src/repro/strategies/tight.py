@@ -101,6 +101,11 @@ class TightStrategy(Strategy):
                 cost_per_row=cost_per_row,
                 is_neural=True,
                 selectivity_of=estimator.selectivity_equals,
+                # The implementation executes nested SQL statements on
+                # the owning database, whose active-context bookkeeping
+                # is per-statement — morsel workers must not run it
+                # concurrently.  The inference cache still applies.
+                parallel_safe=False,
             ),
             replace=True,
         )

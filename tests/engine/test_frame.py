@@ -101,3 +101,33 @@ class TestTableConversion:
         )
         table = frame.to_table("out")
         assert table.schema.column_names == ["a", "a_1"]
+
+
+class TestRenameCollisions:
+    """Regression: ``to_table`` blindly appended ``_1``, colliding with
+    a literal ``x_1`` column already present in the frame."""
+
+    @staticmethod
+    def _frame(names):
+        return Frame(
+            [
+                FrameColumn(None, name, DataType.INT64, np.array([i]))
+                for i, name in enumerate(names)
+            ]
+        )
+
+    def test_probe_skips_literal_column_names(self):
+        table = self._frame(["x", "x", "x_1"]).to_table("out")
+        assert table.schema.column_names == ["x", "x_2", "x_1"]
+
+    def test_probe_skips_already_assigned_names(self):
+        table = self._frame(["x", "x", "x"]).to_table("out")
+        assert table.schema.column_names == ["x", "x_1", "x_2"]
+
+    def test_case_insensitive_collision(self):
+        table = self._frame(["A", "a", "A_1"]).to_table("out")
+        assert table.schema.column_names == ["A", "a_2", "A_1"]
+
+    def test_data_follows_the_renamed_columns(self):
+        table = self._frame(["x", "x", "x_1"]).to_table("out")
+        assert [c.data.tolist() for c in table.columns] == [[0], [1], [2]]

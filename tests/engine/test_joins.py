@@ -145,3 +145,50 @@ class TestSymmetricHashJoin:
         ctx = _ctx()
         _symmetric_hash_join([left], [right], ctx)
         assert ctx.last_symmetric_stats["cache_misses"] == 0
+
+
+class TestBucketEvictionAccounting:
+    """Regression: eviction must refund the bucket's full byte weight.
+
+    A flat per-entry refund under-credits heavy buckets, leaving ``used``
+    inflated so every subsequent insert triggers another (phantom)
+    eviction cascade.
+    """
+
+    def test_single_eviction_per_overflow(self):
+        # 10 entries x 24 B fill a 240 B budget exactly; bucket 0 holds
+        # five of them (120 B) and is the LRU bucket afterwards.
+        left = np.array([0, 0, 0, 0, 0, 1, 2, 3, 4, 5])
+        right = np.array([6, 7])
+        ctx = _ctx(symmetric_join_memory=240)
+        _symmetric_hash_join([left], [right], ctx)
+        stats = ctx.last_symmetric_stats
+        # Inserting key 6 overflows by 24 B; evicting bucket 0 refunds
+        # its full 120 B, leaving room for key 7 without a second
+        # eviction.  The flat-24 refund would have evicted twice.
+        assert stats["evictions"] == 1
+        assert stats["used_bytes"] == (10 + 2 - 5) * 24
+
+    def test_eviction_then_reload_stays_exact(self):
+        rng = np.random.default_rng(3)
+        left = rng.integers(0, 300, 2000)
+        right = rng.integers(0, 300, 2000)
+        tight = _ctx(symmetric_join_memory=2048)
+        loose = _ctx()
+        t_l, t_r = _symmetric_hash_join([left], [right], tight)
+        l_l, l_r = _symmetric_hash_join([left], [right], loose)
+        assert tight.last_symmetric_stats["evictions"] > 0
+        assert loose.last_symmetric_stats["evictions"] == 0
+        assert sorted(zip(t_l.tolist(), t_r.tolist())) == sorted(
+            zip(l_l.tolist(), l_r.tolist())
+        )
+
+    def test_used_bytes_never_exceed_budget_with_heavy_buckets(self):
+        # Skewed keys create buckets of very different weights; as long
+        # as no single bucket outweighs the whole budget, resident bytes
+        # must respect it (the flat-refund bug broke this invariant).
+        left = np.array([1] * 10 + [2] * 6 + list(range(10, 40)))
+        right = np.array([1] * 5 + list(range(100, 140)))
+        ctx = _ctx(symmetric_join_memory=512)
+        _symmetric_hash_join([left], [right], ctx, chunk_size=16)
+        assert ctx.last_symmetric_stats["used_bytes"] <= 512

@@ -176,3 +176,45 @@ class TestErrors:
         db.create_table_from_dict("u", {"a": [1]})
         with pytest.raises(PlanError):
             db.query("SELECT a FROM t, u WHERE t.a = u.a")
+
+
+class TestNullAndMixedOrdering:
+    """Regression: object-column sorts used bare ``sorted(set(...))``,
+    which raises ``TypeError`` the moment a NULL (or a stray number)
+    shares a string column."""
+
+    @pytest.fixture()
+    def nullable_db(self):
+        database = Database()
+        database.create_table_from_dict(
+            "s", {"x": ["b", None, "a", None, "c"], "n": [1, 2, 3, 4, 5]}
+        )
+        return database
+
+    def test_nulls_last_ascending(self, nullable_db):
+        rows = nullable_db.query("SELECT x FROM s ORDER BY x")
+        assert [r[0] for r in rows] == ["a", "b", "c", None, None]
+
+    def test_nulls_first_descending(self, nullable_db):
+        rows = nullable_db.query("SELECT x FROM s ORDER BY x DESC")
+        assert [r[0] for r in rows] == [None, None, "c", "b", "a"]
+
+    def test_null_sort_key_is_stable_tiebreak(self, nullable_db):
+        rows = nullable_db.query("SELECT n FROM s ORDER BY x, n")
+        assert [r[0] for r in rows] == [3, 1, 5, 2, 4]
+
+    def test_mixed_type_codes_do_not_raise(self):
+        from repro.engine.physical import _sort_codes
+
+        data = np.array([3, "b", None, 1.5, b"z", "a", None], dtype=object)
+        codes = _sort_codes(data)
+        # Numbers < strings < bytes, NULLs last; exact ranks:
+        # 1.5, 3 | "a", "b" | b"z" | None, None
+        assert codes.tolist() == [1, 3, 5, 0, 4, 2, 5]
+
+    def test_mixed_int_ordering_exact_beyond_float53(self):
+        from repro.engine.physical import _sort_codes
+
+        big = 2**60
+        data = np.array([big + 1, big, big + 2], dtype=object)
+        assert _sort_codes(data).tolist() == [1, 0, 2]

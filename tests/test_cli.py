@@ -80,6 +80,31 @@ class TestStatsCommand:
         assert "# TYPE repro_queries_executed_total counter" in out
         assert "repro_rows_scanned_total" in out
 
+    def test_udf_cache_counters_visible(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "--scale", "1", "--udf-workers", "2",
+             "--udf-cache-mb", "4"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        # The sample workload repeats a UDF query: the first run misses,
+        # the two repeats hit.
+        assert data["udf_cache_misses"]["value"] > 0
+        assert (
+            data["udf_cache_hits"]["value"]
+            >= 2 * data["udf_cache_misses"]["value"]
+        )
+        assert data["udf_cache_bytes"]["value"] > 0
+        assert data["udf_cache_evictions"]["value"] == 0
+
+    def test_cache_can_be_disabled(self, capsys):
+        import json
+
+        assert main(["stats", "--scale", "1", "--udf-cache-mb", "0"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "udf_cache_hits" not in data
+
 
 class TestShell:
     def _run(self, commands, db=None):
