@@ -1,0 +1,132 @@
+"""Static analysis for the collaborative-query engine.
+
+Three cooperating parts, all running *before* (or, for the validator,
+*around*) the planner:
+
+* :mod:`repro.analysis.semantic` — binder + type checker.  Wired into
+  ``Database.execute()`` so malformed queries fail fast with
+  :class:`~repro.errors.SemanticError` instead of deep inside execution.
+* :mod:`repro.analysis.invariants` — plan-invariant validator re-checking
+  every optimizer rewrite (on by default under pytest).
+* :mod:`repro.analysis.lint` — advisory warnings (``repro lint``).
+
+:func:`analyze_query` is the catalog-optional one-call API the CLI and CI
+use: parse, bind leniently (or strictly when a catalog is supplied), and
+lint, collecting everything into one report instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.invariants import validate_rewrite
+from repro.analysis.lint import LINT_RULES, LintFinding, lint_statement
+from repro.analysis.semantic import (
+    ColumnType,
+    QuerySchema,
+    SemanticAnalyzer,
+)
+from repro.errors import SemanticError
+from repro.sql import parse_statement
+from repro.sql.ast_nodes import (
+    CreateTable,
+    CreateView,
+    ExplainStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything static analysis has to say about one statement."""
+
+    sql: str
+    schema: Optional[QuerySchema] = None
+    findings: list[LintFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _select_of(statement: Statement) -> Optional[SelectStatement]:
+    """The SELECT inside ``statement``, if any (views, CTAS, EXPLAIN...)."""
+    if isinstance(statement, SelectStatement):
+        return statement
+    if isinstance(statement, ExplainStatement):
+        return statement.statement
+    if isinstance(statement, CreateView):
+        return statement.statement
+    if isinstance(statement, CreateTable):
+        return statement.as_select
+    if isinstance(statement, InsertStatement):
+        return statement.from_select
+    return None
+
+
+def analyze_query(
+    sql: str,
+    *,
+    catalog: Any = None,
+    functions: Any = None,
+    udfs: Any = None,
+) -> AnalysisReport:
+    """Parse, semantically check, and lint one SQL statement.
+
+    Lexer/parse errors propagate (the SQL is not analyzable at all);
+    semantic errors are captured as error-severity findings so one report
+    can carry both the rejection and any lint warnings.  Without a
+    catalog the binder runs leniently: unknown tables and functions type
+    as unknown rather than erroring, which is what ``repro lint`` wants
+    when pointed at SQL files outside a live database.
+    """
+    statement = parse_statement(sql)
+    select = _select_of(statement)
+    report = AnalysisReport(sql=sql)
+    if select is None:
+        return report
+
+    analyzer = SemanticAnalyzer(
+        catalog, functions, udfs, strict=catalog is not None
+    )
+    try:
+        report.schema = analyzer.analyze(select)
+    except SemanticError as error:
+        report.findings.append(
+            LintFinding(
+                code=error.code,
+                message=str(error),
+                span=error.span,
+                severity="error",
+            )
+        )
+    report.findings.extend(
+        lint_statement(
+            select, sql, catalog=catalog, functions=functions, udfs=udfs
+        )
+    )
+    return report
+
+
+__all__ = [
+    "AnalysisReport",
+    "ColumnType",
+    "LINT_RULES",
+    "LintFinding",
+    "QuerySchema",
+    "SemanticAnalyzer",
+    "analyze_query",
+    "lint_statement",
+    "validate_rewrite",
+]

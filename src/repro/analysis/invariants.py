@@ -1,0 +1,208 @@
+"""Plan-invariant validator.
+
+A debug-mode pass that re-checks every optimizer rewrite against the
+planner's original tree.  The optimizer is allowed to *move* work
+(predicate pushdown, join reordering, nUDF placement) but never to
+*change* what the query computes, so three invariants must hold between
+the pre- and post-optimization plans:
+
+1. **Conjunct preservation** — the multiset of predicate conjuncts is
+   identical.  Join key pairs count as equality conjuncts (pushdown turns
+   ``a.x = b.y`` filters into hash-join keys and vice versa), with the
+   two sides order-normalized because join construction may swap them.
+2. **Output schema equality** — the root exposes the same column names.
+3. **Shape preservation** — Sort/Limit/Distinct/Aggregate parameters are
+   untouched (the optimizer only rewrites the relational core).
+
+Plus a structural check on the rewritten tree itself: every predicate's
+qualified column references must be in scope under the operator that
+evaluates them (a filter pushed below the scan that produces its column
+would pass the three diffs above but still be wrong).
+
+``validate_rewrite`` returns human-readable violation strings;
+:class:`~repro.engine.database.Database` raises
+:class:`~repro.errors.PlanValidationError` when the list is non-empty.
+Enabled by default under pytest, or explicitly via
+``Database(validate_plans=True)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.engine.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    LogicalPlan,
+    Sort,
+    walk_plan,
+)
+from repro.engine.optimizer import _output_names
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    Expression,
+    referenced_columns,
+    split_conjuncts,
+)
+
+
+def validate_rewrite(
+    before: LogicalPlan, after: LogicalPlan, catalog: Any
+) -> list[str]:
+    """Check optimizer invariants between ``before`` and ``after``.
+
+    Returns a list of violation descriptions; empty means the rewrite is
+    semantics-preserving as far as the validator can tell.
+    """
+    violations: list[str] = []
+    violations.extend(_check_conjuncts(before, after))
+    violations.extend(_check_output_names(before, after, catalog))
+    violations.extend(_check_shape(before, after))
+    violations.extend(_check_predicate_scopes(after, catalog))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Invariant 1: no conjunct appears or disappears
+# ----------------------------------------------------------------------
+def _canonical_conjunct(conjunct: Expression) -> str:
+    """Order-normalized text for one conjunct.
+
+    Equality conjuncts compare their operands as an unordered pair: the
+    optimizer's join construction freely swaps ``a.x = b.y`` into
+    ``b.y = a.x`` when picking build/probe sides.
+    """
+    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+        left, right = sorted([conjunct.left.to_sql(), conjunct.right.to_sql()])
+        return f"{left} = {right}"
+    return conjunct.to_sql()
+
+
+def _collect_conjuncts(plan: LogicalPlan) -> "Counter[str]":
+    conjuncts: Counter[str] = Counter()
+    for node in walk_plan(plan):
+        if isinstance(node, Filter) and node.predicate is not None:
+            for conjunct in split_conjuncts(node.predicate):
+                conjuncts[_canonical_conjunct(conjunct)] += 1
+        elif isinstance(node, HashJoin):
+            for left_key, right_key in zip(node.left_keys, node.right_keys):
+                pair = sorted([left_key.to_sql(), right_key.to_sql()])
+                conjuncts[f"{pair[0]} = {pair[1]}"] += 1
+            if node.residual is not None:
+                for conjunct in split_conjuncts(node.residual):
+                    conjuncts[_canonical_conjunct(conjunct)] += 1
+    return conjuncts
+
+
+def _check_conjuncts(
+    before: LogicalPlan, after: LogicalPlan
+) -> list[str]:
+    expected = _collect_conjuncts(before)
+    actual = _collect_conjuncts(after)
+    if expected == actual:
+        return []
+    violations: list[str] = []
+    for text, count in (expected - actual).items():
+        violations.append(
+            f"optimizer dropped predicate conjunct {text!r} (x{count})"
+        )
+    for text, count in (actual - expected).items():
+        violations.append(
+            f"optimizer invented predicate conjunct {text!r} (x{count})"
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Invariant 2: same output columns at the root
+# ----------------------------------------------------------------------
+def _check_output_names(
+    before: LogicalPlan, after: LogicalPlan, catalog: Any
+) -> list[str]:
+    _, expected = _output_names(before, catalog)
+    _, actual = _output_names(after, catalog)
+    if expected == actual:
+        return []
+    missing = expected - actual
+    extra = actual - expected
+    parts = []
+    if missing:
+        parts.append(f"lost output columns {sorted(missing)}")
+    if extra:
+        parts.append(f"gained output columns {sorted(extra)}")
+    return ["optimizer changed the output schema: " + "; ".join(parts)]
+
+
+# ----------------------------------------------------------------------
+# Invariant 3: Sort/Limit/Distinct/Aggregate untouched
+# ----------------------------------------------------------------------
+def _shape_signature(plan: LogicalPlan) -> "Counter[str]":
+    shape: Counter[str] = Counter()
+    for node in walk_plan(plan):
+        if isinstance(node, Sort):
+            order = ", ".join(o.to_sql() for o in node.order_by)
+            shape[f"Sort[{order}]"] += 1
+        elif isinstance(node, Limit):
+            shape[f"Limit[{node.count}]"] += 1
+        elif isinstance(node, Distinct):
+            shape["Distinct"] += 1
+        elif isinstance(node, Aggregate):
+            keys = ", ".join(e.to_sql() for e in node.group_by)
+            aggs = ", ".join(
+                f"{s.slot}={s.call.to_sql()}" for s in node.aggregates
+            )
+            shape[f"Aggregate[{keys}][{aggs}]"] += 1
+    return shape
+
+
+def _check_shape(before: LogicalPlan, after: LogicalPlan) -> list[str]:
+    expected = _shape_signature(before)
+    actual = _shape_signature(after)
+    if expected == actual:
+        return []
+    gone = list((expected - actual).elements())
+    new = list((actual - expected).elements())
+    return [
+        "optimizer altered non-relational operators: "
+        f"removed {gone or 'none'}, added {new or 'none'}"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Structural check: pushed predicates stay in scope
+# ----------------------------------------------------------------------
+def _check_predicate_scopes(after: LogicalPlan, catalog: Any) -> list[str]:
+    violations: list[str] = []
+    for node in walk_plan(after):
+        if not isinstance(node, Filter) or node.predicate is None:
+            continue
+        if node.child is None:
+            continue
+        qualifiers, names = _output_names(node.child, catalog)
+        if not qualifiers:
+            # Above a Project/Aggregate the frame re-keys its columns
+            # (aliases, aggregate slots); name-level checks there would
+            # need planner-internal knowledge, so only the relational
+            # core below is validated.
+            continue
+        for ref in referenced_columns(node.predicate):
+            if ref.table is not None and ref.table.lower() not in qualifiers:
+                violations.append(
+                    f"filter {node.predicate.to_sql()!r} was placed where "
+                    f"qualifier {ref.table!r} is not in scope "
+                    f"(available: {sorted(qualifiers)})"
+                )
+            elif (
+                ref.table is None
+                and names
+                and ref.name.lower() not in names
+            ):
+                violations.append(
+                    f"filter {node.predicate.to_sql()!r} was placed where "
+                    f"column {ref.name!r} is not in scope"
+                )
+    return violations

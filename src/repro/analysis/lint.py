@@ -1,0 +1,357 @@
+"""Query linter: advisory warnings with stable codes.
+
+Lint findings never block execution — they flag queries that will run
+but probably shouldn't be written that way.  Rules:
+
+=====  ==============================================================
+L001   implicit lossy cast: equality between an INT64 expression and a
+       fractional FLOAT64 literal (always false after truncation)
+L002   nUDF in the SELECT list of a LIMIT query — inference runs over
+       every candidate row before the limit truncates
+L003   cross join with no connecting predicate between FROM relations
+L004   non-sargable predicate: builtin function wrapped around a column
+       inside a comparison against a literal
+L005   multiple nUDF conjuncts written in an order that contradicts
+       their estimated selectivities (cheapest filter should run first)
+=====  ==============================================================
+
+``lint_statement`` is pure analysis (no execution); when no catalog is
+supplied the binder runs in lenient mode and type-dependent rules simply
+see *unknown* types and stay quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.analysis.semantic import SemanticAnalyzer, _Scope
+from repro.analysis.types import SCALAR_RETURNS
+from repro.engine.udf import parse_udf_comparison
+from repro.errors import SemanticError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    DerivedTable,
+    Expression,
+    FunctionCall,
+    Join,
+    Literal,
+    NamedTable,
+    SelectStatement,
+    TableRef,
+    referenced_columns,
+    split_conjuncts,
+    walk_expression,
+)
+from repro.sql.spans import Span, line_and_column, span_of
+from repro.storage.schema import DataType
+
+#: Rule catalog: code -> one-line description (rendered by ``repro lint``).
+LINT_RULES: dict[str, str] = {
+    "L001": "equality against a fractional literal is an implicit lossy cast",
+    "L002": "nUDF in SELECT list runs before LIMIT truncates",
+    "L003": "cross join without a connecting predicate",
+    "L004": "function call around a column makes the predicate non-sargable",
+    "L005": "nUDF conjuncts not ordered by estimated selectivity",
+}
+
+_EQUALITY_OPS = ("=", "!=", "<>")
+_COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter diagnostic."""
+
+    code: str
+    message: str
+    span: Optional[Span] = None
+    severity: str = "warning"
+
+    def render(self, source: str = "") -> str:
+        location = ""
+        if self.span is not None and source:
+            line, column = line_and_column(source, self.span.start)
+            location = f"{line}:{column}: "
+        return f"{location}{self.severity} {self.code}: {self.message}"
+
+    def to_dict(self, source: str = "") -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = {"start": self.span.start, "end": self.span.end}
+            if source:
+                line, column = line_and_column(source, self.span.start)
+                payload["line"] = line
+                payload["column"] = column
+                payload["snippet"] = self.span.snippet(source)
+        return payload
+
+
+def lint_statement(
+    statement: SelectStatement,
+    source: str = "",
+    *,
+    catalog: Any = None,
+    functions: Any = None,
+    udfs: Any = None,
+) -> list[LintFinding]:
+    """Run every lint rule over one SELECT statement."""
+    linter = _Linter(statement, catalog, functions, udfs)
+    findings: list[LintFinding] = []
+    findings.extend(linter.check_lossy_equality())
+    findings.extend(linter.check_nudf_before_limit())
+    findings.extend(linter.check_cross_join())
+    findings.extend(linter.check_non_sargable())
+    findings.extend(linter.check_nudf_ordering())
+    findings.sort(key=lambda f: (f.span.start if f.span else 1 << 30, f.code))
+    return findings
+
+
+class _Linter:
+    def __init__(
+        self,
+        statement: SelectStatement,
+        catalog: Any,
+        functions: Any,
+        udfs: Any,
+    ) -> None:
+        self.statement: SelectStatement = statement
+        self.udfs = udfs
+        self._analyzer = SemanticAnalyzer(
+            catalog, functions, udfs, strict=False
+        )
+        try:
+            self._scope: Optional[_Scope] = self._analyzer._build_scope(
+                statement
+            )
+        except SemanticError:
+            self._scope = None
+
+    # -- shared helpers -------------------------------------------------
+    def _type_of(self, expression: Expression) -> Optional[DataType]:
+        if self._scope is None:
+            return None
+        try:
+            return self._analyzer._infer(
+                expression, self._scope, allow_aggregates=True
+            )
+        except SemanticError:
+            return None
+
+    def _is_nudf(self, call: FunctionCall) -> bool:
+        if self.udfs is not None and call.name in self.udfs:
+            return bool(self.udfs.get(call.name).is_neural)
+        return call.name.lower().startswith("nudf")
+
+    def _all_conditions(self) -> Iterator[Expression]:
+        if self.statement.where is not None:
+            yield self.statement.where
+        if self.statement.having is not None:
+            yield self.statement.having
+        for condition in self._join_conditions():
+            yield condition
+
+    def _join_conditions(self) -> list[Expression]:
+        conditions: list[Expression] = []
+
+        def visit(table_ref: TableRef) -> None:
+            if isinstance(table_ref, Join):
+                assert table_ref.left and table_ref.right
+                visit(table_ref.left)
+                visit(table_ref.right)
+                if table_ref.condition is not None:
+                    conditions.append(table_ref.condition)
+
+        for item in self._from_items():
+            visit(item)
+        return conditions
+
+    def _from_items(self) -> list[TableRef]:
+        items: list[TableRef] = []
+        if self.statement.from_clause is not None:
+            items.append(self.statement.from_clause)
+        items.extend(self.statement.cross_tables)
+        return items
+
+    # -- L001 -----------------------------------------------------------
+    def check_lossy_equality(self) -> list[LintFinding]:
+        findings: list[LintFinding] = []
+        expressions = list(self._all_conditions())
+        expressions.extend(i.expression for i in self.statement.items)
+        for root in expressions:
+            for node in walk_expression(root):
+                if (
+                    not isinstance(node, BinaryOp)
+                    or node.op not in _EQUALITY_OPS
+                ):
+                    continue
+                for literal_side, other_side in (
+                    (node.right, node.left),
+                    (node.left, node.right),
+                ):
+                    if not isinstance(literal_side, Literal):
+                        continue
+                    value = literal_side.value
+                    if not isinstance(value, float) or value == int(value):
+                        continue
+                    if self._type_of(other_side) is not DataType.INT64:
+                        continue
+                    findings.append(
+                        LintFinding(
+                            "L001",
+                            f"comparing INT64 expression "
+                            f"{other_side.to_sql()} with fractional "
+                            f"literal {value!r} can never match; CAST "
+                            "one side explicitly",
+                            span=span_of(node),
+                        )
+                    )
+                    break
+        return findings
+
+    # -- L002 -----------------------------------------------------------
+    def check_nudf_before_limit(self) -> list[LintFinding]:
+        if self.statement.limit is None:
+            return []
+        findings: list[LintFinding] = []
+        for item in self.statement.items:
+            for node in walk_expression(item.expression):
+                if isinstance(node, FunctionCall) and self._is_nudf(node):
+                    findings.append(
+                        LintFinding(
+                            "L002",
+                            f"nUDF {node.name}() in the SELECT list runs "
+                            "over every qualifying row before LIMIT "
+                            f"{self.statement.limit} truncates; filter "
+                            "or limit in a subquery first",
+                            span=span_of(node),
+                        )
+                    )
+        return findings
+
+    # -- L003 -----------------------------------------------------------
+    def check_cross_join(self) -> list[LintFinding]:
+        relations = self._count_relations()
+        if relations < 2:
+            return []
+        if self._join_conditions():
+            return []
+        for root in (
+            [self.statement.where] if self.statement.where else []
+        ):
+            for conjunct in split_conjuncts(root):
+                refs = referenced_columns(conjunct)
+                qualifiers = {
+                    r.table.lower() for r in refs if r.table is not None
+                }
+                if len(qualifiers) >= 2:
+                    return []  # a cross-relation predicate connects them
+                if any(r.table is None for r in refs) and len(refs) >= 2:
+                    return []  # bare refs may span relations; stay quiet
+        span = None
+        items = self._from_items()
+        if items:
+            span = span_of(items[-1])
+        return [
+            LintFinding(
+                "L003",
+                f"{relations} FROM relations have no connecting "
+                "predicate; this is a cartesian product",
+                span=span,
+            )
+        ]
+
+    def _count_relations(self) -> int:
+        count = 0
+
+        def visit(table_ref: TableRef) -> None:
+            nonlocal count
+            if isinstance(table_ref, Join):
+                assert table_ref.left and table_ref.right
+                visit(table_ref.left)
+                visit(table_ref.right)
+            elif isinstance(table_ref, (NamedTable, DerivedTable)):
+                count += 1
+
+        for item in self._from_items():
+            visit(item)
+        return count
+
+    # -- L004 -----------------------------------------------------------
+    def check_non_sargable(self) -> list[LintFinding]:
+        findings: list[LintFinding] = []
+        for root in self._all_conditions():
+            for node in walk_expression(root):
+                if (
+                    not isinstance(node, BinaryOp)
+                    or node.op not in _COMPARISON_OPS
+                ):
+                    continue
+                for call_side, other_side in (
+                    (node.left, node.right),
+                    (node.right, node.left),
+                ):
+                    if not isinstance(other_side, Literal):
+                        continue
+                    if not isinstance(call_side, FunctionCall):
+                        continue
+                    if call_side.name.lower() not in SCALAR_RETURNS:
+                        continue  # nUDF predicates are never sargable
+                    if not referenced_columns(call_side):
+                        continue
+                    findings.append(
+                        LintFinding(
+                            "L004",
+                            f"{call_side.name}() around a column inside "
+                            f"{node.to_sql()} prevents index use; "
+                            "rewrite the comparison against the bare "
+                            "column",
+                            span=span_of(node),
+                        )
+                    )
+                    break
+        return findings
+
+    # -- L005 -----------------------------------------------------------
+    def check_nudf_ordering(self) -> list[LintFinding]:
+        if self.udfs is None or self.statement.where is None:
+            return []
+        estimates: list[tuple[Expression, str, float]] = []
+        for conjunct in split_conjuncts(self.statement.where):
+            parsed = parse_udf_comparison(conjunct)
+            if parsed is None:
+                continue
+            name, label, negated = parsed
+            if name not in self.udfs:
+                continue
+            udf = self.udfs.get(name)
+            if udf.selectivity_of is None:
+                continue
+            selectivity = float(udf.selectivity_of(label))
+            if negated:
+                selectivity = 1.0 - selectivity
+            estimates.append((conjunct, udf.name, selectivity))
+        if len(estimates) < 2:
+            return []
+        findings: list[LintFinding] = []
+        for position in range(len(estimates) - 1):
+            conjunct, name, selectivity = estimates[position]
+            _, next_name, next_selectivity = estimates[position + 1]
+            if selectivity > next_selectivity + 1e-9:
+                findings.append(
+                    LintFinding(
+                        "L005",
+                        f"nUDF conjunct on {name}() (selectivity "
+                        f"{selectivity:.2f}) is written before the more "
+                        f"selective {next_name}() "
+                        f"({next_selectivity:.2f}); evaluate the "
+                        "selective predicate first",
+                        span=span_of(conjunct),
+                    )
+                )
+        return findings

@@ -1,0 +1,730 @@
+"""Semantic analyzer: binder + type checker for SELECT statements.
+
+Runs between parse and plan.  Resolves every column reference against the
+catalog (through aliases, joins, views and derived tables), infers a
+:class:`~repro.storage.schema.DataType` for every expression, and checks
+nUDF calls against their registered :class:`~repro.engine.udf.UdfSignature`.
+Bad queries are rejected at ``Database.execute()`` time with
+:class:`~repro.errors.SemanticError` carrying a stable code and, when the
+query came from SQL text, the source span of the offending expression.
+
+Error codes:
+
+====  ==============================================================
+S001  unknown column
+S002  ambiguous column reference
+S003  comparison between incompatible types
+S004  arithmetic on a STRING operand
+S005  aggregate function in WHERE
+S006  wrong number of UDF arguments
+S007  GROUP BY references a SELECT alias
+S008  unknown function or UDF (:class:`UnknownFunctionError`)
+S009  scalar subquery with more than one output column
+S010  unknown table or view
+S011  UDF argument type mismatch
+S012  ``*`` outside a select list / ``count(*)``
+====  ==============================================================
+
+In *lenient* mode (``strict=False``, used by the linter when no catalog
+is supplied) unknown tables become open relations whose columns resolve
+with unknown type, and unknown functions type as unknown instead of
+raising — structural errors (ambiguity, arity, misplaced ``*``) are
+still reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.types import (
+    SCALAR_RETURNS,
+    aggregate_return_type,
+    arithmetic_ok,
+    arithmetic_result,
+    comparison_ok,
+)
+from repro.engine.expressions import AGGREGATE_NAMES, is_aggregate_call
+from repro.errors import SemanticError, UnknownFunctionError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    DerivedTable,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    NamedTable,
+    OrderItem,
+    ScalarSubquery,
+    SelectStatement,
+    Star,
+    TableRef,
+    UnaryOp,
+    walk_expression,
+)
+from repro.sql.spans import Span, span_of
+from repro.storage.schema import DataType
+
+_COMPARISON_OPS = frozenset(("=", "!=", "<>", "<", "<=", ">", ">="))
+_ARITHMETIC_OPS = frozenset(("+", "-", "*", "/", "%"))
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """One output column: display name plus inferred type (None=unknown)."""
+
+    name: str
+    dtype: Optional[DataType]
+
+    def render(self) -> str:
+        return f"{self.name} {self.dtype.value if self.dtype else '?'}"
+
+
+@dataclass(frozen=True)
+class QuerySchema:
+    """The analyzer's verdict on a SELECT: its typed output columns."""
+
+    columns: tuple[ColumnType, ...]
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def render(self) -> str:
+        return ", ".join(c.render() for c in self.columns)
+
+
+@dataclass
+class _Relation:
+    """One FROM-clause relation inside a scope.
+
+    ``source_keys`` identifies where each column's data physically comes
+    from — ``("table", "t", "x")`` for base tables — so a bare reference
+    matching the *same* column of a self-joined table is not flagged
+    ambiguous (mirroring the runtime, which accepts duplicate matches
+    that share one ndarray).  Derived tables get None keys: duplicates
+    there are genuinely ambiguous.
+    """
+
+    qualifier: Optional[str]
+    columns: dict[str, Optional[DataType]] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    open: bool = False
+    source_keys: dict[str, Optional[tuple]] = field(default_factory=dict)
+
+    def add(
+        self,
+        name: str,
+        dtype: Optional[DataType],
+        source_key: Optional[tuple] = None,
+    ) -> None:
+        key = name.lower()
+        if key not in self.columns:
+            self.order.append(name)
+        self.columns[key] = dtype
+        self.source_keys[key] = source_key
+
+
+class _Scope:
+    """An ordered collection of relations plus select-alias fallbacks."""
+
+    def __init__(self, relations: list[_Relation]) -> None:
+        self.relations = relations
+        self.aliases: dict[str, Optional[DataType]] = {}
+
+    @property
+    def has_open_relation(self) -> bool:
+        return any(r.open for r in self.relations)
+
+    def resolve(self, ref: ColumnRef) -> Optional[DataType]:
+        """Type of ``ref``; raises S001/S002 when it cannot bind."""
+        span = span_of(ref)
+        if ref.table is not None:
+            qualifier = ref.table.lower()
+            candidates = [
+                r for r in self.relations if r.qualifier == qualifier
+            ]
+            if not candidates:
+                raise SemanticError(
+                    f"unknown table or alias {ref.table!r} in reference "
+                    f"{ref.qualified!r}",
+                    code="S001",
+                    span=span,
+                )
+            relation = candidates[0]
+            key = ref.name.lower()
+            if key in relation.columns:
+                return relation.columns[key]
+            if relation.open:
+                return None
+            raise SemanticError(
+                f"unknown column {ref.qualified!r}"
+                f"{_known_columns_hint(relation)}",
+                code="S001",
+                span=span,
+            )
+
+        key = ref.name.lower()
+        matches = [r for r in self.relations if key in r.columns]
+        if not matches:
+            if self.has_open_relation:
+                return None
+            raise SemanticError(
+                f"unknown column {ref.name!r}", code="S001", span=span
+            )
+        if len(matches) > 1:
+            keys = {m.source_keys.get(key) for m in matches}
+            if len(keys) > 1 or None in keys:
+                qualifiers = ", ".join(
+                    sorted(m.qualifier or "?" for m in matches)
+                )
+                raise SemanticError(
+                    f"ambiguous column {ref.name!r} "
+                    f"(matches {qualifiers}); qualify the reference",
+                    code="S002",
+                    span=span,
+                )
+        return matches[0].columns[key]
+
+
+def _known_columns_hint(relation: _Relation) -> str:
+    if not relation.order:
+        return ""
+    return f"; {relation.qualifier or 'relation'} has {relation.order}"
+
+
+class SemanticAnalyzer:
+    """Binds and type-checks one SELECT statement against a catalog.
+
+    Args:
+        catalog: Table/view catalog; None means no tables are known.
+        functions: Scalar-function registry (anything with ``in``);
+            None means the builtin universe is unknown (lenient only).
+        udfs: UDF registry; calls to registered UDFs are checked against
+            their :class:`~repro.engine.udf.UdfSignature`.
+        strict: Strict mode raises S008/S010 for unknown functions and
+            tables; lenient mode types them as unknown instead.
+        strict_functions: Override the unknown-function check alone —
+            the independent strategy binds its nUDFs *outside* the
+            database, so its preflight wants strict tables but lenient
+            functions.  None inherits ``strict``.
+    """
+
+    def __init__(
+        self,
+        catalog: Any = None,
+        functions: Any = None,
+        udfs: Any = None,
+        *,
+        strict: bool = True,
+        strict_functions: Optional[bool] = None,
+    ) -> None:
+        self._catalog = catalog
+        self._functions = functions
+        self._udfs = udfs
+        self._strict = strict
+        self._strict_functions = (
+            strict if strict_functions is None else strict_functions
+        )
+
+    # -- public API ----------------------------------------------------
+    def analyze(self, statement: SelectStatement) -> QuerySchema:
+        scope = self._build_scope(statement)
+        is_aggregate = self._is_aggregate_query(statement)
+
+        if statement.where is not None:
+            self._reject_aggregates_in_where(statement.where)
+            self._infer(statement.where, scope, allow_aggregates=False)
+
+        for expression in statement.group_by:
+            self._check_group_expression(expression, scope, statement)
+
+        output: list[ColumnType] = []
+        for ordinal, item in enumerate(statement.items):
+            if isinstance(item.expression, Star):
+                output.extend(self._expand_star(item.expression, scope))
+                continue
+            dtype = self._infer(
+                item.expression, scope, allow_aggregates=True
+            )
+            name = item.output_name(ordinal)
+            output.append(ColumnType(name, dtype))
+            scope.aliases[name.lower()] = dtype
+
+        if statement.having is not None:
+            self._infer_relaxed(statement.having, scope)
+        for order_item in statement.order_by:
+            self._infer_relaxed(order_item.expression, scope)
+
+        _ = is_aggregate  # group semantics are text-matched by the planner
+        return QuerySchema(tuple(output))
+
+    # -- scope construction --------------------------------------------
+    def _build_scope(self, statement: SelectStatement) -> _Scope:
+        relations: list[_Relation] = []
+        conditions: list[Expression] = []
+        for table_ref in self._from_items(statement):
+            self._collect_relations(table_ref, relations, conditions)
+        scope = _Scope(relations)
+        # Join conditions are checked against the *full* scope: the
+        # engine accepts ON clauses referencing any FROM item, and the
+        # optimizer reorders them anyway.
+        for condition in conditions:
+            self._infer(condition, scope, allow_aggregates=False)
+        return scope
+
+    @staticmethod
+    def _from_items(statement: SelectStatement) -> list[TableRef]:
+        items: list[TableRef] = []
+        if statement.from_clause is not None:
+            items.append(statement.from_clause)
+        items.extend(statement.cross_tables)
+        return items
+
+    def _collect_relations(
+        self,
+        table_ref: TableRef,
+        relations: list[_Relation],
+        conditions: list[Expression],
+    ) -> None:
+        if isinstance(table_ref, Join):
+            assert table_ref.left is not None and table_ref.right is not None
+            self._collect_relations(table_ref.left, relations, conditions)
+            self._collect_relations(table_ref.right, relations, conditions)
+            if table_ref.condition is not None:
+                conditions.append(table_ref.condition)
+            return
+        if isinstance(table_ref, NamedTable):
+            relations.append(self._named_relation(table_ref))
+            return
+        if isinstance(table_ref, DerivedTable):
+            assert table_ref.statement is not None
+            schema = self.analyze(table_ref.statement)
+            relation = _Relation(
+                qualifier=(table_ref.alias or "").lower() or None
+            )
+            for column in schema.columns:
+                relation.add(column.name, column.dtype, source_key=None)
+            relations.append(relation)
+            return
+        raise SemanticError(
+            f"unsupported FROM item {type(table_ref).__name__}"
+        )  # pragma: no cover - parser produces only the three above
+
+    def _named_relation(self, table_ref: NamedTable) -> _Relation:
+        qualifier = (table_ref.alias or table_ref.name).lower()
+        name = table_ref.name
+        catalog = self._catalog
+        if catalog is not None and catalog.has(name):
+            if catalog.is_view(name):
+                view = catalog.get_view(name)
+                schema = self.analyze(view.statement)
+                relation = _Relation(qualifier=qualifier)
+                for column in schema.columns:
+                    relation.add(
+                        column.name,
+                        column.dtype,
+                        source_key=("view", name.lower(), column.name.lower()),
+                    )
+                return relation
+            table = catalog.get_table(name)
+            relation = _Relation(qualifier=qualifier)
+            # Zero-row tables carry inferred (defaulted) column types with
+            # no data behind them — ``from_dict`` types empty columns as
+            # STRING.  Typing them as unknown keeps the checker from
+            # rejecting comparisons that are fine for every actual row.
+            trust_types = table.num_rows > 0
+            for spec in table.schema:
+                relation.add(
+                    spec.name,
+                    spec.dtype if trust_types else None,
+                    source_key=("table", name.lower(), spec.name.lower()),
+                )
+            return relation
+        if name == "__dual__":
+            return _Relation(qualifier=qualifier)
+        if self._strict and self._catalog is not None:
+            raise SemanticError(
+                f"unknown table or view {name!r}",
+                code="S010",
+                span=span_of(table_ref),
+            )
+        return _Relation(qualifier=qualifier, open=True)
+
+    # -- statement-level checks ----------------------------------------
+    @staticmethod
+    def _is_aggregate_query(statement: SelectStatement) -> bool:
+        if statement.group_by or statement.having is not None:
+            return True
+        return any(
+            is_aggregate_call(node)
+            for item in statement.items
+            for node in walk_expression(item.expression)
+        )
+
+    @staticmethod
+    def _reject_aggregates_in_where(where: Expression) -> None:
+        for node in walk_expression(where):
+            if is_aggregate_call(node):
+                raise SemanticError(
+                    f"aggregate {node.name}() is not allowed in WHERE; "
+                    "use HAVING",
+                    code="S005",
+                    span=span_of(node),
+                )
+
+    def _check_group_expression(
+        self,
+        expression: Expression,
+        scope: _Scope,
+        statement: SelectStatement,
+    ) -> None:
+        if isinstance(expression, ColumnRef) and expression.table is None:
+            try:
+                self._infer(expression, scope, allow_aggregates=False)
+                return
+            except SemanticError as error:
+                if error.code != "S001":
+                    raise
+                aliases = {
+                    item.alias.lower()
+                    for item in statement.items
+                    if item.alias
+                }
+                if expression.name.lower() in aliases:
+                    raise SemanticError(
+                        f"GROUP BY references SELECT alias "
+                        f"{expression.name!r}; group by the underlying "
+                        "expression instead",
+                        code="S007",
+                        span=span_of(expression),
+                    ) from None
+                raise
+        self._infer(expression, scope, allow_aggregates=False)
+
+    def _expand_star(
+        self, star: Star, scope: _Scope
+    ) -> list[ColumnType]:
+        if star.table is not None:
+            qualifier = star.table.lower()
+            for relation in scope.relations:
+                if relation.qualifier == qualifier:
+                    return self._relation_columns(relation)
+            raise SemanticError(
+                f"unknown table or alias {star.table!r} in {star.to_sql()!r}",
+                code="S001",
+                span=span_of(star),
+            )
+        columns: list[ColumnType] = []
+        for relation in scope.relations:
+            columns.extend(self._relation_columns(relation))
+        return columns
+
+    @staticmethod
+    def _relation_columns(relation: _Relation) -> list[ColumnType]:
+        return [
+            ColumnType(name, relation.columns[name.lower()])
+            for name in relation.order
+        ]
+
+    def _infer_relaxed(
+        self, expression: Expression, scope: _Scope
+    ) -> Optional[DataType]:
+        """HAVING / ORDER BY: select aliases resolve in addition to the
+        base scope (the planner rewrites them), and aggregates are OK."""
+        if (
+            isinstance(expression, ColumnRef)
+            and expression.table is None
+            and expression.name.lower() in scope.aliases
+        ):
+            return scope.aliases[expression.name.lower()]
+        try:
+            return self._infer(expression, scope, allow_aggregates=True)
+        except SemanticError as error:
+            if error.code != "S001":
+                raise
+            for node in walk_expression(expression):
+                if (
+                    isinstance(node, ColumnRef)
+                    and node.table is None
+                    and node.name.lower() in scope.aliases
+                ):
+                    return None
+            raise
+
+    # -- expression type inference -------------------------------------
+    def _infer(
+        self,
+        expression: Expression,
+        scope: _Scope,
+        *,
+        allow_aggregates: bool,
+    ) -> Optional[DataType]:
+        if isinstance(expression, Literal):
+            return _literal_type(expression.value)
+        if isinstance(expression, ColumnRef):
+            return scope.resolve(expression)
+        if isinstance(expression, Star):
+            raise SemanticError(
+                "'*' is only allowed as a select item or inside count(*)",
+                code="S012",
+                span=span_of(expression),
+            )
+        if isinstance(expression, UnaryOp):
+            return self._infer_unary(expression, scope, allow_aggregates)
+        if isinstance(expression, BinaryOp):
+            return self._infer_binary(expression, scope, allow_aggregates)
+        if isinstance(expression, FunctionCall):
+            return self._infer_call(expression, scope, allow_aggregates)
+        if isinstance(expression, CaseExpression):
+            result: Optional[DataType] = None
+            for condition, value in expression.whens:
+                self._infer(
+                    condition, scope, allow_aggregates=allow_aggregates
+                )
+                dtype = self._infer(
+                    value, scope, allow_aggregates=allow_aggregates
+                )
+                result = result or dtype
+            if expression.default is not None:
+                dtype = self._infer(
+                    expression.default,
+                    scope,
+                    allow_aggregates=allow_aggregates,
+                )
+                result = result or dtype
+            return result
+        if isinstance(expression, InList):
+            operand = self._infer(
+                expression.operand, scope, allow_aggregates=allow_aggregates
+            )
+            for item in expression.items:
+                dtype = self._infer(
+                    item, scope, allow_aggregates=allow_aggregates
+                )
+                self._check_comparison(operand, dtype, expression, "IN")
+            return DataType.BOOL
+        if isinstance(expression, Between):
+            operand = self._infer(
+                expression.operand, scope, allow_aggregates=allow_aggregates
+            )
+            for bound in (expression.low, expression.high):
+                dtype = self._infer(
+                    bound, scope, allow_aggregates=allow_aggregates
+                )
+                self._check_comparison(operand, dtype, expression, "BETWEEN")
+            return DataType.BOOL
+        if isinstance(expression, IsNull):
+            self._infer(
+                expression.operand, scope, allow_aggregates=allow_aggregates
+            )
+            return DataType.BOOL
+        if isinstance(expression, ScalarSubquery):
+            schema = self.analyze(expression.statement)
+            if len(schema.columns) != 1:
+                raise SemanticError(
+                    f"scalar subquery must produce exactly one column, "
+                    f"got {len(schema.columns)}",
+                    code="S009",
+                    span=span_of(expression),
+                )
+            return schema.columns[0].dtype
+        return None  # pragma: no cover - all node kinds handled above
+
+    def _infer_unary(
+        self, expression: UnaryOp, scope: _Scope, allow_aggregates: bool
+    ) -> Optional[DataType]:
+        operand = self._infer(
+            expression.operand, scope, allow_aggregates=allow_aggregates
+        )
+        if expression.op.upper() == "NOT":
+            return DataType.BOOL
+        if operand is DataType.STRING:
+            raise SemanticError(
+                f"cannot apply {expression.op!r} to a STRING operand "
+                f"({expression.operand.to_sql()}); CAST it first",
+                code="S004",
+                span=span_of(expression),
+            )
+        if operand in (DataType.INT64, DataType.FLOAT64):
+            return operand
+        if operand in (DataType.BOOL, DataType.DATE):
+            return DataType.INT64
+        return None
+
+    def _infer_binary(
+        self, expression: BinaryOp, scope: _Scope, allow_aggregates: bool
+    ) -> Optional[DataType]:
+        op = expression.op.upper()
+        left = self._infer(
+            expression.left, scope, allow_aggregates=allow_aggregates
+        )
+        right = self._infer(
+            expression.right, scope, allow_aggregates=allow_aggregates
+        )
+        if op in ("AND", "OR"):
+            return DataType.BOOL
+        if expression.op in _COMPARISON_OPS:
+            self._check_comparison(left, right, expression, expression.op)
+            return DataType.BOOL
+        if expression.op in _ARITHMETIC_OPS:
+            if not arithmetic_ok(left, right):
+                offender = (
+                    expression.left
+                    if left is DataType.STRING
+                    else expression.right
+                )
+                raise SemanticError(
+                    f"cannot apply {expression.op!r} to STRING operand "
+                    f"{offender.to_sql()}; CAST it to a numeric type first",
+                    code="S004",
+                    span=span_of(expression),
+                )
+            return arithmetic_result(expression.op, left, right)
+        if expression.op == "||":
+            return DataType.STRING
+        return None
+
+    def _check_comparison(
+        self,
+        left: Optional[DataType],
+        right: Optional[DataType],
+        expression: Expression,
+        op: str,
+    ) -> None:
+        if comparison_ok(left, right):
+            return
+        raise SemanticError(
+            f"cannot compare {left.value if left else '?'} with "
+            f"{right.value if right else '?'} in "
+            f"{expression.to_sql()}; add an explicit CAST",
+            code="S003",
+            span=span_of(expression),
+        )
+
+    def _infer_call(
+        self, call: FunctionCall, scope: _Scope, allow_aggregates: bool
+    ) -> Optional[DataType]:
+        lowered = call.name.lower()
+
+        if lowered in AGGREGATE_NAMES:
+            if not allow_aggregates:
+                raise SemanticError(
+                    f"aggregate {call.name}() is not allowed here",
+                    code="S005",
+                    span=span_of(call),
+                )
+            return self._infer_aggregate(call, scope)
+
+        # count(*) is the only star-accepting call; everything below
+        # types its arguments, which rejects stray stars with S012.
+        arg_types = [
+            self._infer(arg, scope, allow_aggregates=allow_aggregates)
+            for arg in call.args
+        ]
+
+        if self._udfs is not None and call.name in self._udfs:
+            return self._check_udf_call(call, arg_types)
+
+        if lowered == "if":
+            return arg_types[1] if len(arg_types) >= 2 else None
+
+        if lowered in SCALAR_RETURNS:
+            return SCALAR_RETURNS[lowered]
+
+        if self._functions is not None and call.name in self._functions:
+            return None  # registered at runtime without a static type
+
+        if self._strict_functions and (
+            self._functions is not None or self._udfs is not None
+        ):
+            raise UnknownFunctionError(
+                f"unknown function or UDF {call.name!r}",
+                span=span_of(call),
+            )
+        return None
+
+    def _infer_aggregate(
+        self, call: FunctionCall, scope: _Scope
+    ) -> Optional[DataType]:
+        lowered = call.name.lower()
+        arg_dtype: Optional[DataType] = None
+        if call.args:
+            first = call.args[0]
+            if isinstance(first, Star):
+                if lowered != "count":
+                    raise SemanticError(
+                        f"'*' is not a valid argument to {call.name}()",
+                        code="S012",
+                        span=span_of(first),
+                    )
+            else:
+                # Aggregate arguments may not nest aggregates; the
+                # planner already rejects that, so just type them.
+                arg_dtype = self._infer(
+                    first, scope, allow_aggregates=False
+                )
+            for extra in call.args[1:]:
+                self._infer(extra, scope, allow_aggregates=False)
+        return aggregate_return_type(call.name, arg_dtype)
+
+    def _check_udf_call(
+        self, call: FunctionCall, arg_types: list[Optional[DataType]]
+    ) -> Optional[DataType]:
+        udf = self._udfs.get(call.name)
+        signature = udf.signature
+        if not signature.accepts_arity(len(call.args)):
+            raise SemanticError(
+                f"UDF {udf.name}() takes {signature.arity_text()} "
+                f"argument(s), got {len(call.args)}",
+                code="S006",
+                span=span_of(call),
+            )
+        if signature.arg_dtypes is not None:
+            for position, (declared, actual) in enumerate(
+                zip(signature.arg_dtypes, arg_types)
+            ):
+                if declared is None or actual is None:
+                    continue
+                if declared is actual:
+                    continue
+                if declared is DataType.BLOB:
+                    continue  # BLOB accepts any payload
+                if (
+                    declared.is_numeric
+                    and actual in (DataType.INT64, DataType.FLOAT64, DataType.BOOL)
+                ):
+                    continue  # numeric widening happens at invoke time
+                raise SemanticError(
+                    f"UDF {udf.name}() argument {position + 1} expects "
+                    f"{declared.value}, got {actual.value}",
+                    code="S011",
+                    span=span_of(call.args[position]) or span_of(call),
+                )
+        return signature.return_dtype
+
+
+def _literal_type(value: Any) -> Optional[DataType]:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT64
+    if isinstance(value, float):
+        return DataType.FLOAT64
+    if isinstance(value, str):
+        return DataType.STRING
+    return None
+
+
+__all__ = [
+    "ColumnType",
+    "QuerySchema",
+    "SemanticAnalyzer",
+    "Span",
+]

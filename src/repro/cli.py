@@ -8,8 +8,13 @@ Usage::
     python -m repro shell [--scale N]        # SQL shell on the IoT dataset
     python -m repro trace [--strategy S]     # span tree of one traced query
     python -m repro stats [--format F]       # metrics after a sample workload
+    python -m repro lint QUERY_OR_FILE ...   # static analysis, no execution
 
 ``-v``/``-vv`` raises log verbosity (INFO/DEBUG) for any subcommand.
+
+Exit codes are uniform across subcommands: 0 on success, 1 on runtime
+failures (and on lint warnings under ``--strict``), 2 on parse or
+semantic errors in the input SQL.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SemanticError, SqlError
 from repro.obs.log import setup_logging
 
 #: Experiment registry: id -> (description, runner factory).
@@ -120,6 +125,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check SQL (text, .sql, or .py files) without executing",
+    )
+    lint_parser.add_argument(
+        "sources",
+        nargs="+",
+        help=(
+            "SQL text, a .sql file (';'-separated statements), or a .py "
+            "file (SQL-looking string literals are extracted)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any warning is reported",
+    )
+
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
     if args.command is None:
@@ -137,6 +163,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse guards this
 
 
@@ -210,6 +238,13 @@ def _cmd_trace(args) -> int:
             db.execute(args.sql or _TRACE_SQL)
         else:
             _run_traced_strategy(db, dataset, args)
+    except (SqlError, SemanticError) as exc:
+        # Bad input SQL is exit 2 everywhere (shared with `repro lint`);
+        # runtime failures below stay exit 1.
+        code = getattr(exc, "code", None)
+        prefix = f"error: {code}: " if code else "error: "
+        print(f"{prefix}{exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -302,6 +337,148 @@ def _cmd_stats(args) -> int:
     else:
         print(db.metrics.to_json())
     return 0
+
+
+#: Statement prefixes the .py extractor treats as SQL worth linting.
+_SQL_PREFIXES = ("SELECT", "EXPLAIN", "CREATE", "INSERT", "UPDATE", "DROP")
+
+
+def _split_sql_statements(text: str) -> list[str]:
+    """Split a .sql file on top-level ``;`` using real token positions
+    (a naive string split would break on ``';'`` inside literals)."""
+    from repro.sql import tokenize
+    from repro.sql.tokens import TokenType
+
+    pieces: list[str] = []
+    start = 0
+    for token in tokenize(text):
+        at_boundary = (
+            token.type is TokenType.PUNCTUATION and token.value == ";"
+        ) or token.type is TokenType.EOF
+        if not at_boundary:
+            continue
+        piece = text[start : token.position].strip()
+        if piece:
+            pieces.append(piece)
+        start = token.position + 1
+    return pieces
+
+
+def _extract_sql_from_python(path: str) -> list[str]:
+    """String literals in ``path`` that look like SQL statements."""
+    import ast as python_ast
+
+    with open(path, encoding="utf-8") as handle:
+        tree = python_ast.parse(handle.read(), filename=path)
+    found: list[str] = []
+    for node in python_ast.walk(tree):
+        if not isinstance(node, python_ast.Constant):
+            continue
+        if not isinstance(node.value, str):
+            continue
+        text = node.value.strip()
+        if text.split(" ", 1)[0].upper() in _SQL_PREFIXES:
+            found.append(text)
+    return found
+
+
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from repro.analysis import analyze_query
+    from repro.errors import SqlError as _SqlError
+
+    documents = []
+    had_error = False
+    had_warning = False
+    for source in args.sources:
+        lenient = False  # .py-extracted strings may be SQL fragments
+        if source.endswith(".py") and os.path.exists(source):
+            try:
+                statements = _extract_sql_from_python(source)
+            except SyntaxError as exc:
+                print(f"{source}: cannot parse python: {exc}", file=sys.stderr)
+                had_error = True
+                continue
+            lenient = True
+        elif source.endswith(".sql") and os.path.exists(source):
+            with open(source, encoding="utf-8") as handle:
+                text = handle.read()
+            try:
+                statements = _split_sql_statements(text)
+            except _SqlError as exc:
+                documents.append(
+                    {
+                        "source": source,
+                        "sql": text,
+                        "findings": [_parse_error_entry(exc)],
+                    }
+                )
+                had_error = True
+                continue
+        else:
+            statements = [source]
+            source = "<sql>"
+        for sql in statements:
+            try:
+                report = analyze_query(sql)
+            except _SqlError as exc:
+                if lenient:
+                    continue  # not actually SQL; .py extraction guessed wrong
+                documents.append(
+                    {
+                        "source": source,
+                        "sql": sql,
+                        "findings": [_parse_error_entry(exc)],
+                    }
+                )
+                had_error = True
+                continue
+            had_error = had_error or bool(report.errors)
+            had_warning = had_warning or bool(report.warnings)
+            documents.append(
+                {
+                    "source": source,
+                    "sql": sql,
+                    "findings": [f.to_dict(sql) for f in report.findings],
+                }
+            )
+
+    if args.format == "json":
+        print(json.dumps({"documents": documents}, indent=2))
+    else:
+        _print_lint_text(documents)
+
+    if had_error:
+        return 2
+    if had_warning and args.strict:
+        return 1
+    return 0
+
+
+def _parse_error_entry(exc) -> dict:
+    return {"code": "E000", "severity": "error", "message": str(exc)}
+
+
+def _print_lint_text(documents) -> None:
+    total = 0
+    for document in documents:
+        findings = document["findings"]
+        if not findings:
+            continue
+        print(f"-- {document['source']}: {document['sql']}")
+        for finding in findings:
+            total += 1
+            location = ""
+            if "line" in finding:
+                location = f"{finding['line']}:{finding['column']}: "
+            print(
+                f"  {location}{finding['severity']} "
+                f"{finding['code']}: {finding['message']}"
+            )
+    checked = len(documents)
+    print(f"{checked} statement(s) checked, {total} finding(s)")
 
 
 def _cmd_shell(scale: int, seed: int) -> int:

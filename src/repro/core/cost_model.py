@@ -189,7 +189,11 @@ def estimate_script_cost(
     for step in compiled.steps:
         statement = parse_statement(step.sql)
         if isinstance(statement, CreateTable) and statement.as_select is not None:
-            plan = db._optimized_plan(statement.as_select)  # noqa: SLF001
+            # Costed ahead of execution: intermediate tables of earlier
+            # steps don't exist yet, so binding must be skipped.
+            plan = db._optimized_plan(  # noqa: SLF001
+                statement.as_select, analyze=False
+            )
             estimate = cost_model.estimate(plan, provider)
             rows, cost = estimate.rows, estimate.cost
             if not _has_override(cost_model, statement.name):
@@ -204,7 +208,9 @@ def estimate_script_cost(
             cost = rows
         elif isinstance(statement, InsertStatement):
             if statement.from_select is not None:
-                plan = db._optimized_plan(statement.from_select)  # noqa: SLF001
+                plan = db._optimized_plan(  # noqa: SLF001
+                    statement.from_select, analyze=False
+                )
                 estimate = cost_model.estimate(plan, provider)
                 rows, cost = estimate.rows, estimate.cost
             else:

@@ -14,6 +14,8 @@ supported; see :mod:`repro.sql` for the dialect.
 
 from __future__ import annotations
 
+import os
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -21,7 +23,14 @@ from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ExecutionError, PlanError, SqlError
+from repro.errors import (
+    ExecutionError,
+    PlanError,
+    PlanValidationError,
+    SqlError,
+)
+from repro.analysis.invariants import validate_rewrite
+from repro.analysis.semantic import SemanticAnalyzer
 from repro.engine.analyze import (
     ExplainAnalyzeOutput,
     PlanAnalyzer,
@@ -77,6 +86,11 @@ _TYPE_NAMES = {
     "blob": DataType.BLOB,
     "object": DataType.BLOB,
 }
+
+
+def _running_under_pytest() -> bool:
+    """Plan validation defaults on inside a pytest run, off elsewhere."""
+    return "PYTEST_CURRENT_TEST" in os.environ or "pytest" in sys.modules
 
 
 class Result:
@@ -167,6 +181,8 @@ class Database:
         udf_cache_bytes: int = 0,
         udf_workers: int = 1,
         udf_morsel_rows: int = 256,
+        semantic_analysis: bool = True,
+        validate_plans: Optional[bool] = None,
     ) -> None:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
@@ -221,6 +237,16 @@ class Database:
         #: statement (the paper's ClickHouse flow re-optimizes DL2SQL's
         #: generated statements on each inference).
         self._plan_cache_enabled = plan_cache
+        #: Bind + type-check every SELECT before planning; off only for
+        #: experiments that need the raw planner behaviour.
+        self._semantic_analysis = semantic_analysis
+        #: Re-check optimizer rewrites against the planner's tree.  None
+        #: (the default) auto-enables under pytest so the whole test
+        #: suite doubles as an optimizer-correctness harness; production
+        #: paths skip the extra tree walks.
+        if validate_plans is None:
+            validate_plans = _running_under_pytest()
+        self._validate_plans = bool(validate_plans)
 
     # ------------------------------------------------------------------
     # Public API
@@ -428,7 +454,9 @@ class Database:
         output.text = format_analysis(output)
         return output
 
-    def _optimized_plan(self, statement: SelectStatement) -> LogicalPlan:
+    def _optimized_plan(
+        self, statement: SelectStatement, *, analyze: bool = True
+    ) -> LogicalPlan:
         key = (id(statement), id(self.optimizer_config))
         if self._plan_cache_enabled:
             cached = self._plan_cache.get(key)
@@ -444,13 +472,29 @@ class Database:
                 "plan_cache_misses_total",
                 "SELECT statements planned and optimized from scratch",
             ).inc()
+        schema = None
+        if self._semantic_analysis and analyze:
+            with self.tracer.span("analyze"):
+                analyzer = SemanticAnalyzer(
+                    self.catalog, self.functions, self.udfs
+                )
+                schema = analyzer.analyze(statement)
         with self.tracer.span("plan"):
             plan = self._planner.plan_select(statement)
         with self.tracer.span("optimize"):
             optimizer = Optimizer(
                 self.catalog, self.statistics, self.udfs, self.optimizer_config
             )
-            plan = optimizer.optimize(plan)
+            optimized = optimizer.optimize(plan)
+        if self._validate_plans:
+            violations = validate_rewrite(plan, optimized, self.catalog)
+            if violations:
+                raise PlanValidationError(
+                    "optimizer rewrite violated plan invariants: "
+                    + "; ".join(violations)
+                )
+        plan = optimized
+        plan.output_schema = schema
         if self._plan_cache_enabled:
             if len(self._plan_cache) > 8192:
                 self._plan_cache.clear()

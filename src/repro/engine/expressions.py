@@ -541,6 +541,23 @@ def _register_builtins(registry: FunctionRegistry) -> None:
     registry.register("toFloat64", _to_float)
     registry.register("toInt64", _to_int)
 
+    def _to_string(args: list[Vector], num_rows: int) -> Vector:
+        from repro.storage.schema import format_date
+
+        value = args[0]
+        data = value.materialize(num_rows)
+        out = np.empty(num_rows, dtype=object)
+        for i, v in enumerate(data):
+            if value.dtype is DataType.DATE:
+                out[i] = format_date(int(v))
+            elif isinstance(v, (bool, np.bool_)):
+                out[i] = "TRUE" if v else "FALSE"
+            else:
+                out[i] = str(v)
+        return Vector(out, DataType.STRING)
+
+    registry.register("toString", _to_string)
+
     def _int_div(args: list[Vector], num_rows: int) -> Vector:
         if len(args) != 2:
             raise PlanError("intDiv() requires exactly two arguments")

@@ -26,6 +26,12 @@ class LogicalPlan:
 
     estimated_rows: float = field(default=-1.0, init=False, compare=False)
     estimated_cost: float = field(default=-1.0, init=False, compare=False)
+    #: Typed output columns the semantic analyzer inferred for this
+    #: (sub)plan — a ``repro.analysis.semantic.QuerySchema`` — or None
+    #: when analysis was disabled.  Only the plan root is annotated.
+    output_schema: Optional[object] = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     def children(self) -> list["LogicalPlan"]:
         return []
@@ -43,6 +49,8 @@ class LogicalPlan:
                 row_info += f", cost={self.estimated_cost:.1f}"
             row_info += "]"
         lines = [f"{pad}{self.describe()}{row_info}"]
+        if self.output_schema is not None:
+            lines.append(f"{pad}  Output: {self.output_schema.render()}")
         lines.extend(child.explain(indent + 1) for child in self.children())
         return "\n".join(lines)
 

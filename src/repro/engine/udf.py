@@ -14,6 +14,7 @@ registry also carries per-UDF metadata the optimizer consumes:
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import dataclass, field
@@ -79,6 +80,68 @@ class UdfStats:
             self.cache_misses = 0
 
 
+@dataclass(frozen=True)
+class UdfSignature:
+    """The declared (or inferred) call signature of one UDF.
+
+    This is the single source of truth the static analyzer checks nUDF
+    calls against (arity, argument dtypes, output dtype) and that the
+    registry's result-conversion path uses when normalizing model output
+    into the representation the content-hashed inference cache stores —
+    both layers read the same object, so a signature change can never
+    leave one of them believing the old types.
+
+    ``arg_dtypes`` is None when the registration did not declare argument
+    types (arity is still inferred from ``fn``); an individual entry of
+    None means "any type" for that position.  ``max_args`` of None means
+    variadic (``*args`` in the implementation).
+    """
+
+    return_dtype: DataType
+    arg_dtypes: Optional[tuple[Optional[DataType], ...]] = None
+    min_args: Optional[int] = None
+    max_args: Optional[int] = None
+
+    def accepts_arity(self, count: int) -> bool:
+        if self.min_args is not None and count < self.min_args:
+            return False
+        if self.max_args is not None and count > self.max_args:
+            return False
+        return True
+
+    def arity_text(self) -> str:
+        if self.min_args is None:
+            return "any number of"
+        if self.max_args is None:
+            return f"at least {self.min_args}"
+        if self.min_args == self.max_args:
+            return str(self.min_args)
+        return f"{self.min_args}..{self.max_args}"
+
+
+def _infer_arity(fn: Callable[..., Any]) -> tuple[Optional[int], Optional[int]]:
+    """(min_args, max_args) from ``fn``'s Python signature; (None, None)
+    when it cannot be introspected (C builtins, odd callables)."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None, None
+    minimum = 0
+    maximum: Optional[int] = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            if parameter.default is inspect.Parameter.empty:
+                minimum += 1
+            if maximum is not None:
+                maximum += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            maximum = None
+    return minimum, maximum
+
+
 @dataclass
 class BatchUdf:
     """A batched scalar UDF.
@@ -88,6 +151,9 @@ class BatchUdf:
         fn: Callable taking numpy argument arrays, returning a numpy array
             of per-row results.
         return_dtype: Logical type of the result column.
+        arg_dtypes: Optional declared argument types; when given, the
+            static analyzer rejects calls whose argument types mismatch.
+            When omitted, only the arity (inferred from ``fn``) is checked.
         cost_per_row: Optimizer's per-row cost estimate in seconds.
         selectivity_of: Optional estimator ``label -> fraction`` from class
             histograms; None means the optimizer falls back to a default.
@@ -104,12 +170,28 @@ class BatchUdf:
     name: str
     fn: Callable[..., np.ndarray]
     return_dtype: DataType
+    arg_dtypes: Optional[tuple[Optional[DataType], ...]] = None
     cost_per_row: float = 0.0
     selectivity_of: Optional[Callable[[Any], float]] = None
     is_neural: bool = False
     cacheable: bool = True
     parallel_safe: bool = True
     stats: UdfStats = field(default_factory=UdfStats)
+    signature: UdfSignature = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.arg_dtypes is not None:
+            self.arg_dtypes = tuple(self.arg_dtypes)
+            minimum: Optional[int] = len(self.arg_dtypes)
+            maximum: Optional[int] = len(self.arg_dtypes)
+        else:
+            minimum, maximum = _infer_arity(self.fn)
+        self.signature = UdfSignature(
+            return_dtype=self.return_dtype,
+            arg_dtypes=self.arg_dtypes,
+            min_args=minimum,
+            max_args=maximum,
+        )
 
 
 class UdfRegistry:
@@ -221,9 +303,10 @@ class UdfRegistry:
         return Vector(out, udf.return_dtype)
 
     def _empty_result(self, udf: BatchUdf, num_rows: int) -> np.ndarray:
-        if udf.return_dtype in (DataType.STRING, DataType.BLOB):
+        dtype = udf.signature.return_dtype
+        if dtype in (DataType.STRING, DataType.BLOB):
             return np.empty(num_rows, dtype=object)
-        return np.empty(num_rows, dtype=udf.return_dtype.numpy_dtype)
+        return np.empty(num_rows, dtype=dtype.numpy_dtype)
 
     def _record_cache_metrics(
         self, cache: InferenceCache, hits: int, misses: int
@@ -276,13 +359,17 @@ class UdfRegistry:
                 f"UDF {udf.name!r} returned shape {result.shape}, "
                 f"expected ({num_rows},)"
             )
-        if udf.return_dtype in (DataType.STRING, DataType.BLOB):
+        # Conversion target comes from the shared signature object — the
+        # same one the static analyzer checks calls against — so the cache
+        # stores exactly the representation the analyzer promised callers.
+        dtype = udf.signature.return_dtype
+        if dtype in (DataType.STRING, DataType.BLOB):
             if result.dtype != object:
                 boxed = np.empty(num_rows, dtype=object)
                 boxed[:] = result
                 result = boxed
         else:
-            result = result.astype(udf.return_dtype.numpy_dtype)
+            result = result.astype(dtype.numpy_dtype)
         return result
 
     def _dispatch_fn(

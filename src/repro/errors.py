@@ -40,12 +40,45 @@ class PlanError(ReproError):
     """The planner could not build a plan (unknown column, bad aggregate...)."""
 
 
+class SemanticError(PlanError):
+    """The static analyzer rejected a query before planning.
+
+    Subclasses :class:`PlanError` so callers that handled plan-time
+    failures (unknown column, aggregate misuse) keep working now that the
+    analyzer front-runs the planner.  Carries a stable error ``code``
+    (``S001``...) and, when the query came from SQL text, the source
+    ``span`` of the offending expression.
+    """
+
+    def __init__(self, message: str, *, code: str = "S000", span=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.span = span
+
+
 class ExecutionError(ReproError):
     """A physical operator failed at run time."""
 
 
 class UdfError(ExecutionError):
     """A user-defined function is unknown or misbehaved."""
+
+
+class UnknownFunctionError(SemanticError, UdfError):
+    """A call names neither a registered UDF nor a builtin function.
+
+    Inherits both :class:`SemanticError` (the analyzer raises it at
+    ``execute()`` time) and :class:`UdfError` (what the runtime evaluator
+    historically raised), so either style of handler catches it.
+    """
+
+    def __init__(self, message: str, *, code: str = "S008", span=None) -> None:
+        SemanticError.__init__(self, message, code=code, span=span)
+
+
+class PlanValidationError(PlanError):
+    """The plan-invariant validator caught an optimizer rewrite that
+    changed query semantics (dropped predicate, altered output schema)."""
 
 
 class TensorError(ReproError):

@@ -41,13 +41,15 @@ def tokenize(text: str) -> list[Token]:
             continue
 
         if char == "'":
+            start = position
             value, position = _read_string(text, position)
-            tokens.append(Token(TokenType.STRING, value, position))
+            tokens.append(Token(TokenType.STRING, value, start))
             continue
 
         if char.isdigit() or (char == "." and _peek_digit(text, position + 1)):
+            start = position
             value, position = _read_number(text, position)
-            tokens.append(Token(TokenType.NUMBER, value, position))
+            tokens.append(Token(TokenType.NUMBER, value, start))
             continue
 
         if char.isalpha() or char == "_":
@@ -63,8 +65,9 @@ def tokenize(text: str) -> list[Token]:
             continue
 
         if char == "`" or char == '"':
+            start = position
             value, position = _read_quoted_identifier(text, position, char)
-            tokens.append(Token(TokenType.IDENTIFIER, value, position))
+            tokens.append(Token(TokenType.IDENTIFIER, value, start))
             continue
 
         two = text[position : position + 2]

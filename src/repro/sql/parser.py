@@ -45,9 +45,27 @@ from repro.sql.ast_nodes import (
     UpdateStatement,
 )
 from repro.sql.lexer import tokenize
+from repro.sql.spans import Span, set_span
 from repro.sql.tokens import Token, TokenType
 
 _COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+#: CAST target type name -> conversion builtin the cast desugars to.  The
+#: evaluator already implements the conversions; CAST is pure syntax.
+_CAST_TARGETS = {
+    "int": "toInt64",
+    "int64": "toInt64",
+    "integer": "toInt64",
+    "bigint": "toInt64",
+    "float": "toFloat64",
+    "float64": "toFloat64",
+    "double": "toFloat64",
+    "real": "toFloat64",
+    "string": "toString",
+    "text": "toString",
+    "varchar": "toString",
+    "date": "toDate",
+}
 
 
 def parse_statement(sql: str) -> Statement:
@@ -151,6 +169,17 @@ class _Parser:
         token = self.peek()
         snippet = self._source[max(0, token.position - 20) : token.position + 20]
         raise ParseError(f"{message} near ...{snippet!r}...")
+
+    def _spanned(self, node: Expression, start: int) -> Expression:
+        """Attach the source span ``[start, <current position>)`` to ``node``.
+
+        The end is the start of the next unconsumed token with trailing
+        whitespace stripped, so spans cover exactly the node's text.
+        """
+        end = self.peek().position
+        end = start + len(self._source[start:end].rstrip())
+        set_span(node, Span(start, end))
+        return node
 
     # ------------------------------------------------------------------
     # Statements
@@ -278,9 +307,12 @@ class _Parser:
             inner = self._table_expression()
             self._expect_punct(")")
             return inner
+        start = self.peek().position
         name = self._expect_identifier()
         alias = self._table_alias()
-        return NamedTable(alias=alias, name=name)
+        table = NamedTable(alias=alias, name=name)
+        set_span(table, Span(start, start + len(name)))
+        return table
 
     def _table_alias(self) -> Optional[str]:
         if self._match_keyword("AS"):
@@ -442,29 +474,37 @@ class _Parser:
         return self._or_expression()
 
     def _or_expression(self) -> Expression:
+        start = self.peek().position
         left = self._and_expression()
         while self._match_keyword("OR"):
-            left = BinaryOp("OR", left, self._and_expression())
+            left = self._spanned(
+                BinaryOp("OR", left, self._and_expression()), start
+            )
         return left
 
     def _and_expression(self) -> Expression:
+        start = self.peek().position
         left = self._not_expression()
         while self._match_keyword("AND"):
-            left = BinaryOp("AND", left, self._not_expression())
+            left = self._spanned(
+                BinaryOp("AND", left, self._not_expression()), start
+            )
         return left
 
     def _not_expression(self) -> Expression:
+        start = self.peek().position
         if self._match_keyword("NOT"):
-            return UnaryOp("NOT", self._not_expression())
+            return self._spanned(UnaryOp("NOT", self._not_expression()), start)
         return self._comparison()
 
     def _comparison(self) -> Expression:
+        start = self.peek().position
         left = self._additive()
         op = self._match_operator(*_COMPARISON_OPS)
         if op is not None:
             if op == "<>":
                 op = "!="
-            return BinaryOp(op, left, self._additive())
+            return self._spanned(BinaryOp(op, left, self._additive()), start)
         negated = self._match_keyword("NOT")
         if self._match_keyword("IN"):
             self._expect_punct("(")
@@ -472,97 +512,109 @@ class _Parser:
             while self._match_punct(","):
                 items.append(self.expression())
             self._expect_punct(")")
-            return InList(left, tuple(items), negated=negated)
+            return self._spanned(
+                InList(left, tuple(items), negated=negated), start
+            )
         if self._match_keyword("BETWEEN"):
             low = self._additive()
             self._expect_keyword("AND")
             high = self._additive()
-            return Between(left, low, high, negated=negated)
+            return self._spanned(
+                Between(left, low, high, negated=negated), start
+            )
         if self._match_keyword("LIKE"):
             pattern = self._additive()
-            call = FunctionCall("like", (left, pattern))
-            return UnaryOp("NOT", call) if negated else call
+            call = self._spanned(FunctionCall("like", (left, pattern)), start)
+            if negated:
+                return self._spanned(UnaryOp("NOT", call), start)
+            return call
         if self._match_keyword("IS"):
             is_not = self._match_keyword("NOT")
             self._expect_keyword("NULL")
-            return IsNull(left, negated=is_not)
+            return self._spanned(IsNull(left, negated=is_not), start)
         if negated:
             self._fail("expected IN, BETWEEN or LIKE after NOT")
         return left
 
     def _additive(self) -> Expression:
+        start = self.peek().position
         left = self._multiplicative()
         while True:
             op = self._match_operator("+", "-", "||")
             if op is None:
                 return left
-            left = BinaryOp(op, left, self._multiplicative())
+            left = self._spanned(
+                BinaryOp(op, left, self._multiplicative()), start
+            )
 
     def _multiplicative(self) -> Expression:
+        start = self.peek().position
         left = self._unary()
         while True:
             op = self._match_operator("*", "/", "%")
             if op is None:
                 return left
-            left = BinaryOp(op, left, self._unary())
+            left = self._spanned(BinaryOp(op, left, self._unary()), start)
 
     def _unary(self) -> Expression:
+        start = self.peek().position
         if self._match_operator("-"):
             operand = self._unary()
             # Fold negation into numeric literals so -1 round-trips as -1.
             if isinstance(operand, Literal) and isinstance(
                 operand.value, (int, float)
             ) and not isinstance(operand.value, bool):
-                return Literal(-operand.value)
-            return UnaryOp("-", operand)
+                return self._spanned(Literal(-operand.value), start)
+            return self._spanned(UnaryOp("-", operand), start)
         if self._match_operator("+"):
             return self._unary()
         return self._primary()
 
     def _primary(self) -> Expression:
         token = self.peek()
+        start = token.position
 
         if token.type is TokenType.NUMBER:
             self.advance()
-            return Literal(token.value)
+            return self._spanned(Literal(token.value), start)
         if token.type is TokenType.STRING:
             self.advance()
-            return Literal(token.value)
+            return self._spanned(Literal(token.value), start)
         if token.is_keyword("TRUE"):
             self.advance()
-            return Literal(True)
+            return self._spanned(Literal(True), start)
         if token.is_keyword("FALSE"):
             self.advance()
-            return Literal(False)
+            return self._spanned(Literal(False), start)
         if token.is_keyword("NULL"):
             self.advance()
-            return Literal(None)
+            return self._spanned(Literal(None), start)
         if token.is_keyword("CASE"):
             return self._case_expression()
         if token.is_keyword("NOT"):
             self.advance()
-            return UnaryOp("NOT", self._not_expression())
+            return self._spanned(UnaryOp("NOT", self._not_expression()), start)
 
         if token.is_keyword("IF") and self.peek(1).value == "(":
             # if(cond, then, else) — the conditional function; IF is only
             # reserved for DROP ... IF EXISTS.
             self.advance()
             self._expect_punct("(")
-            return self._function_call("if")
+            return self._function_call("if", start)
 
         if token.type is TokenType.PUNCTUATION and token.value == "(":
             self.advance()
             if self.peek().is_keyword("SELECT"):
                 statement = self.select_statement()
                 self._expect_punct(")")
-                return ScalarSubquery(statement)
+                return self._spanned(ScalarSubquery(statement), start)
             inner = self.expression()
             self._expect_punct(")")
-            return inner
+            return self._spanned(inner, start)
 
         if token.type is TokenType.OPERATOR and token.value == "*":
             self.advance()
-            return Star()
+            return self._spanned(Star(), start)
 
         if token.type is TokenType.IDENTIFIER:
             return self._identifier_expression()
@@ -578,24 +630,27 @@ class _Parser:
         raise AssertionError  # unreachable
 
     def _identifier_expression(self) -> Expression:
+        start = self.peek().position
         name = self._expect_identifier()
 
         if self._match_punct("("):
-            return self._function_call(name)
+            if name.lower() == "cast":
+                return self._cast_expression(start)
+            return self._function_call(name, start)
 
         if self._match_punct("."):
             next_token = self.peek()
             if next_token.type is TokenType.OPERATOR and next_token.value == "*":
                 self.advance()
-                return Star(table=name)
+                return self._spanned(Star(table=name), start)
             column = self._expect_identifier()
             if self._match_punct("("):
                 self._fail("methods on columns are not supported")
-            return ColumnRef(column, table=name)
+            return self._spanned(ColumnRef(column, table=name), start)
 
-        return ColumnRef(name)
+        return self._spanned(ColumnRef(name), start)
 
-    def _function_call(self, name: str) -> FunctionCall:
+    def _function_call(self, name: str, start: int) -> FunctionCall:
         distinct = self._match_keyword("DISTINCT")
         args: list[Expression] = []
         if not self._match_punct(")"):
@@ -603,9 +658,26 @@ class _Parser:
             while self._match_punct(","):
                 args.append(self.expression())
             self._expect_punct(")")
-        return FunctionCall(name, tuple(args), distinct=distinct)
+        call = FunctionCall(name, tuple(args), distinct=distinct)
+        self._spanned(call, start)
+        return call
+
+    def _cast_expression(self, start: int) -> Expression:
+        """``CAST(expr AS type)`` — desugars to the conversion builtin."""
+        operand = self.expression()
+        self._expect_keyword("AS")
+        type_token = self.advance()
+        if type_token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self._fail(f"expected type name in CAST, found {type_token.value!r}")
+        target = _CAST_TARGETS.get(str(type_token.value).lower())
+        if target is None:
+            self._fail(f"unsupported CAST target type {type_token.value!r}")
+            raise AssertionError  # unreachable
+        self._expect_punct(")")
+        return self._spanned(FunctionCall(target, (operand,)), start)
 
     def _case_expression(self) -> CaseExpression:
+        start = self.peek().position
         self._expect_keyword("CASE")
         whens: list[tuple[Expression, Expression]] = []
         while self._match_keyword("WHEN"):
@@ -619,4 +691,6 @@ class _Parser:
         if self._match_keyword("ELSE"):
             default = self.expression()
         self._expect_keyword("END")
-        return CaseExpression(tuple(whens), default)
+        case = CaseExpression(tuple(whens), default)
+        self._spanned(case, start)
+        return case

@@ -1,0 +1,59 @@
+"""Source spans for AST nodes.
+
+The lexer records the character offset of every token; the parser combines
+those offsets into :class:`Span` ranges and attaches them to the AST nodes
+it builds.  Error reporting (the semantic analyzer's ``SemanticError``) and
+the query linter both point at the offending source text through these.
+
+AST nodes are frozen dataclasses with positional fields, so a ``span``
+field on the no-field :class:`~repro.sql.ast_nodes.Expression` base class
+would break every subclass (default-before-non-default ordering).  Spans
+are therefore carried out of band: :func:`set_span` writes through the
+frozen-dataclass guard into a ``_span`` slot and :func:`span_of` reads it
+back.  Equality and hashing of the nodes are unaffected, which matters —
+the planner keys caches and aggregate slots on node *content*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Span", "set_span", "span_of", "line_and_column"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open character range ``[start, end)`` into the SQL source."""
+
+    start: int
+    end: int
+
+    def snippet(self, source: str, context: int = 0) -> str:
+        """The source text this span covers (plus optional context chars)."""
+        lo = max(0, self.start - context)
+        hi = min(len(source), self.end + context)
+        return source[lo:hi]
+
+    def __str__(self) -> str:
+        return f"[{self.start}:{self.end}]"
+
+
+def set_span(node: Any, span: Span) -> Any:
+    """Attach ``span`` to a (frozen) AST node; returns the node."""
+    object.__setattr__(node, "_span", span)
+    return node
+
+
+def span_of(node: Any) -> Optional[Span]:
+    """The span attached to ``node``, or None when it was built in code
+    (the optimizer and DL2SQL synthesize nodes without source positions)."""
+    return getattr(node, "_span", None)
+
+
+def line_and_column(source: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of ``offset`` in ``source``."""
+    prefix = source[:offset]
+    line = prefix.count("\n") + 1
+    column = offset - (prefix.rfind("\n") + 1) + 1
+    return line, column

@@ -178,6 +178,39 @@ class Strategy:
         self.use_gpu = use_gpu
 
     # ------------------------------------------------------------------
+    def preflight_analysis(
+        self,
+        db: Database,
+        query: "CollaborativeQuery",
+        *,
+        strict_functions: bool = True,
+    ):
+        """Bind + type-check the collaborative query before running it.
+
+        All three strategies route through this at the top of ``run``,
+        so a malformed query fails with a spanned
+        :class:`~repro.errors.SemanticError` *before* any model loading,
+        decomposition, or data transfer happens.  The independent
+        strategy evaluates its nUDFs outside the database, so it passes
+        ``strict_functions=False`` (the nUDF names are not in the DB's
+        registry there — everything else is still checked strictly).
+        Returns the inferred output schema.
+        """
+        from repro.analysis.semantic import SemanticAnalyzer
+        from repro.sql import parse_statement
+        from repro.sql.ast_nodes import SelectStatement
+
+        statement = parse_statement(query.sql)
+        if not isinstance(statement, SelectStatement):
+            return None
+        analyzer = SemanticAnalyzer(
+            db.catalog,
+            db.functions,
+            db.udfs,
+            strict_functions=strict_functions,
+        )
+        return analyzer.analyze(statement)
+
     def bind_task(self, db: Database, task: ModelTask) -> float:
         """Install the task's nUDF into ``db``; returns load seconds
         (unscaled host time)."""

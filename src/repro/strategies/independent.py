@@ -119,6 +119,9 @@ class IndependentStrategy(Strategy):
             statement = parse_statement(query.sql)
             if not isinstance(statement, SelectStatement):
                 raise WorkloadError("collaborative queries must be SELECTs")
+            # nUDFs run outside the database here, so their names are not
+            # in db.udfs — check everything else strictly.
+            self.preflight_analysis(db, query, strict_functions=False)
 
         loading_raw = 0.0
         inference_raw = 0.0

@@ -98,6 +98,7 @@ class LooseStrategy(Strategy):
         tasks: Mapping[str, ModelTask],
     ) -> StrategyResult:
         bound = self._bound_for(query, tasks)
+        self.preflight_analysis(db, query)
         db.udfs.reset_stats()
 
         with db.tracer.span(

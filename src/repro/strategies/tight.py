@@ -160,6 +160,7 @@ class TightStrategy(Strategy):
                 )
             bound.append(entry)
 
+        self.preflight_analysis(db, query)
         db.udfs.reset_stats()
         with db.tracer.span(
             f"strategy:{self.name}", sql=query.sql

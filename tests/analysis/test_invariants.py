@@ -1,0 +1,148 @@
+"""Plan-invariant validator: clean rewrites pass, broken ones are caught.
+
+The full test suite already runs with validation enabled (the Database
+auto-enables it under pytest), so every query elsewhere in ``tests/`` is
+implicitly a "clean" case; here the validator is also exercised directly
+against hand-broken plan pairs, which the optimizer itself (correctly)
+never produces.
+"""
+
+import pytest
+
+from repro.analysis import validate_rewrite
+from repro.engine import Database
+from repro.engine.logical import Filter, Scan
+from repro.engine.optimizer import Optimizer
+from repro.errors import PlanValidationError
+from repro.sql import parse_statement
+from repro.sql.ast_nodes import BinaryOp, ColumnRef, Literal
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "t", {"a": [1, 2, 3, 4], "b": [1.0, 2.0, 3.0, 4.0], "g": list("wxyz")}
+    )
+    database.create_table_from_dict("u", {"a": [1, 2], "c": ["p", "q"]})
+    return database
+
+
+def planned(db, sql):
+    return db._planner.plan_select(parse_statement(sql))
+
+
+def optimized(db, sql):
+    plan = planned(db, sql)
+    return Optimizer(
+        db.catalog, db.statistics, db.udfs, db.optimizer_config
+    ).optimize(plan)
+
+
+class TestCleanRewrites:
+    CASES = [
+        "SELECT a FROM t WHERE a > 1 AND b < 4.0",
+        "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a WHERE t.b > 1.0",
+        "SELECT t.a FROM t, u WHERE t.a = u.a AND u.c = 'p'",
+        "SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 0",
+        "SELECT DISTINCT g FROM t ORDER BY g LIMIT 2",
+        "SELECT a FROM (SELECT a, b FROM t WHERE a > 1) AS s WHERE s.b < 4.0",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_real_rewrites_validate(self, db, sql):
+        before = planned(db, sql)
+        after = Optimizer(
+            db.catalog, db.statistics, db.udfs, db.optimizer_config
+        ).optimize(before)
+        assert validate_rewrite(before, after, db.catalog) == []
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_execute_under_validation(self, db, sql):
+        # under pytest validation is on by default: execution both runs
+        # the check and returns correct results
+        assert db._validate_plans
+        db.execute(sql)
+
+
+class TestBrokenRewrites:
+    def test_dropped_conjunct(self, db):
+        before = planned(db, "SELECT a FROM t WHERE a > 1 AND b < 4.0")
+        after = optimized(db, "SELECT a FROM t WHERE a > 1")
+        violations = validate_rewrite(before, after, db.catalog)
+        assert any("dropped" in v and "b < 4.0" in v for v in violations)
+
+    def test_invented_conjunct(self, db):
+        before = planned(db, "SELECT a FROM t")
+        after = optimized(db, "SELECT a FROM t WHERE a > 1")
+        violations = validate_rewrite(before, after, db.catalog)
+        assert any("invented" in v for v in violations)
+
+    def test_join_keys_count_as_conjuncts(self, db):
+        # a filter that became hash-join keys is NOT a violation...
+        before = planned(db, "SELECT t.a FROM t, u WHERE t.a = u.a")
+        after = optimized(db, "SELECT t.a FROM t, u WHERE t.a = u.a")
+        assert validate_rewrite(before, after, db.catalog) == []
+        # ...but losing the join condition entirely is
+        bad = optimized(db, "SELECT t.a FROM t JOIN u ON t.a = u.a")
+        lost = planned(db, "SELECT t.a FROM t, u WHERE t.a = u.a AND t.b > 1.0")
+        violations = validate_rewrite(lost, bad, db.catalog)
+        assert any("dropped" in v for v in violations)
+
+    def test_changed_output_schema(self, db):
+        before = planned(db, "SELECT a FROM t")
+        after = optimized(db, "SELECT b FROM t")
+        violations = validate_rewrite(before, after, db.catalog)
+        assert any("output schema" in v for v in violations)
+
+    def test_altered_limit(self, db):
+        before = planned(db, "SELECT a FROM t LIMIT 3")
+        after = optimized(db, "SELECT a FROM t LIMIT 2")
+        violations = validate_rewrite(before, after, db.catalog)
+        assert any("non-relational" in v for v in violations)
+
+    def test_dropped_sort(self, db):
+        before = planned(db, "SELECT a FROM t ORDER BY a")
+        after = optimized(db, "SELECT a FROM t")
+        violations = validate_rewrite(before, after, db.catalog)
+        assert any("non-relational" in v for v in violations)
+
+    def test_predicate_pushed_out_of_scope(self, db):
+        # hand-build a filter over t referencing qualifier u: the three
+        # diff checks pass (before is the same tree) but the scope check
+        # must flag it
+        predicate = BinaryOp(
+            op="=",
+            left=ColumnRef(name="c", table="u"),
+            right=Literal(value="p"),
+        )
+        broken = Filter(child=Scan(table_name="t"), predicate=predicate)
+        violations = validate_rewrite(broken, broken, db.catalog)
+        assert any("not in scope" in v and "'u'" in v for v in violations)
+
+    def test_bare_column_out_of_scope(self, db):
+        predicate = BinaryOp(
+            op=">", left=ColumnRef(name="zzz"), right=Literal(value=0)
+        )
+        broken = Filter(child=Scan(table_name="t"), predicate=predicate)
+        violations = validate_rewrite(broken, broken, db.catalog)
+        assert any("'zzz'" in v for v in violations)
+
+
+class TestDatabaseWiring:
+    def test_violations_raise_plan_validation_error(self, db, monkeypatch):
+        import repro.engine.database as database_module
+
+        monkeypatch.setattr(
+            database_module,
+            "validate_rewrite",
+            lambda before, after, catalog: ["synthetic violation"],
+        )
+        with pytest.raises(PlanValidationError, match="synthetic violation"):
+            db.execute("SELECT a FROM t WHERE a > 2")
+
+    def test_validation_defaults_on_under_pytest(self):
+        assert Database()._validate_plans is True
+
+    def test_validation_explicit_off(self):
+        assert Database(validate_plans=False)._validate_plans is False

@@ -1,0 +1,238 @@
+"""Query linter: each rule's trigger and non-trigger cases, plus the
+report/JSON surface."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LINT_RULES, analyze_query, lint_statement
+from repro.engine import BatchUdf, Database, UdfRegistry
+from repro.sql import parse_statement
+from repro.storage.schema import DataType
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "t", {"a": [1, 2, 3], "b": [1.5, 2.5, 3.5], "g": ["x", "y", "z"]}
+    )
+    database.create_table_from_dict("u", {"a": [1], "c": ["k"]})
+    return database
+
+
+def codes(report):
+    return [finding.code for finding in report.warnings]
+
+
+def lint(db, sql):
+    return analyze_query(
+        sql, catalog=db.catalog, functions=db.functions, udfs=db.udfs
+    )
+
+
+class TestL001LossyEquality:
+    def test_trigger(self, db):
+        report = lint(db, "SELECT * FROM t WHERE a = 1.5")
+        assert codes(report) == ["L001"]
+        assert "never match" in report.warnings[0].message
+
+    def test_whole_number_float_ok(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE a = 2.0")) == []
+
+    def test_float_column_ok(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE b = 1.5")) == []
+
+    def test_inequality_not_flagged(self, db):
+        # range comparisons against fractional literals are meaningful
+        assert codes(lint(db, "SELECT * FROM t WHERE a > 1.5")) == []
+
+    def test_quiet_without_catalog(self):
+        # no catalog -> column type unknown -> rule stays silent
+        assert codes(analyze_query("SELECT * FROM t WHERE a = 1.5")) == []
+
+
+class TestL002NudfBeforeLimit:
+    def test_trigger(self):
+        report = analyze_query("SELECT nudf_cls(img) FROM frames LIMIT 5")
+        assert codes(report) == ["L002"]
+        assert "LIMIT 5" in report.warnings[0].message
+
+    def test_no_limit_ok(self):
+        assert codes(analyze_query("SELECT nudf_cls(img) FROM frames")) == []
+
+    def test_nudf_in_where_ok(self):
+        # predicate nUDFs gate the limit; only SELECT-list ones are flagged
+        report = analyze_query(
+            "SELECT id FROM frames WHERE nudf_cls(img) = 'cat' LIMIT 5"
+        )
+        assert codes(report) == []
+
+    def test_registered_neural_udf_detected(self, db):
+        db.register_udf(
+            BatchUdf(
+                name="classify",
+                fn=lambda values: values,
+                return_dtype=DataType.FLOAT64,
+                is_neural=True,
+            )
+        )
+        report = lint(db, "SELECT classify(b) FROM t LIMIT 2")
+        assert codes(report) == ["L002"]
+
+
+class TestL003CrossJoin:
+    def test_trigger(self, db):
+        report = lint(db, "SELECT t.a FROM t, u")
+        assert codes(report) == ["L003"]
+        assert "cartesian" in report.warnings[0].message
+
+    def test_connecting_predicate_ok(self, db):
+        assert codes(lint(db, "SELECT t.a FROM t, u WHERE t.a = u.a")) == []
+
+    def test_join_condition_ok(self, db):
+        assert codes(lint(db, "SELECT t.a FROM t JOIN u ON t.a = u.a")) == []
+
+    def test_single_relation_ok(self, db):
+        assert codes(lint(db, "SELECT a FROM t")) == []
+
+
+class TestL004NonSargable:
+    def test_trigger(self, db):
+        report = lint(db, "SELECT * FROM t WHERE lower(g) = 'x'")
+        assert codes(report) == ["L004"]
+        assert "lower" in report.warnings[0].message
+
+    def test_bare_column_ok(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE g = 'x'")) == []
+
+    def test_function_in_select_list_ok(self, db):
+        assert codes(lint(db, "SELECT lower(g) FROM t")) == []
+
+    def test_literal_only_call_ok(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE a > abs(-1)")) == []
+
+
+class TestL005NudfOrdering:
+    @pytest.fixture()
+    def udfs(self):
+        registry = UdfRegistry()
+        for name, selectivity in (("nudf_wide", 0.9), ("nudf_narrow", 0.1)):
+            registry.register(
+                BatchUdf(
+                    name=name,
+                    fn=lambda values: np.asarray(values, dtype=object),
+                    return_dtype=DataType.STRING,
+                    is_neural=True,
+                    selectivity_of=(
+                        lambda label, fraction=selectivity: fraction
+                    ),
+                )
+            )
+        return registry
+
+    def test_trigger(self, udfs):
+        statement = parse_statement(
+            "SELECT id FROM frames "
+            "WHERE nudf_wide(img) = 'a' AND nudf_narrow(img) = 'b'"
+        )
+        findings = lint_statement(statement, udfs=udfs)
+        assert [f.code for f in findings] == ["L005"]
+        assert "selective" in findings[0].message
+
+    def test_selective_first_ok(self, udfs):
+        statement = parse_statement(
+            "SELECT id FROM frames "
+            "WHERE nudf_narrow(img) = 'b' AND nudf_wide(img) = 'a'"
+        )
+        assert lint_statement(statement, udfs=udfs) == []
+
+    def test_single_nudf_ok(self, udfs):
+        statement = parse_statement(
+            "SELECT id FROM frames WHERE nudf_wide(img) = 'a'"
+        )
+        assert lint_statement(statement, udfs=udfs) == []
+
+    def test_negation_inverts_selectivity(self, udfs):
+        # narrow != 'b' passes 0.9 of rows — writing it before the
+        # positive narrow match (0.1) is the slow order
+        statement = parse_statement(
+            "SELECT id FROM frames "
+            "WHERE nudf_narrow(img) != 'b' AND nudf_narrow(img) = 'c'"
+        )
+        assert [f.code for f in lint_statement(statement, udfs=udfs)] == [
+            "L005"
+        ]
+
+
+class TestReportSurface:
+    def test_rule_catalog_is_complete(self):
+        assert sorted(LINT_RULES) == ["L001", "L002", "L003", "L004", "L005"]
+
+    def test_error_and_warning_coexist(self, db):
+        report = lint(
+            db, "SELECT missing FROM t WHERE lower(g) = 'x'"
+        )
+        assert not report.ok
+        assert [f.code for f in report.errors] == ["S001"]
+        assert codes(report) == ["L004"]
+        assert report.schema is None
+
+    def test_findings_sorted_by_position(self, db):
+        report = lint(
+            db,
+            "SELECT t.a FROM t, u "
+            "WHERE lower(t.g) = 'x' AND t.a = 1.5 AND t.a = u.a",
+        )
+        found = codes(report)
+        assert set(found) == {"L001", "L004"}
+        assert found == sorted(
+            found,
+            key=lambda code: next(
+                f.span.start for f in report.warnings if f.code == code
+            ),
+        )
+
+    def test_to_dict_carries_location(self, db):
+        sql = "SELECT * FROM t WHERE lower(g) = 'x'"
+        report = lint(db, sql)
+        payload = report.warnings[0].to_dict(sql)
+        assert payload["code"] == "L004"
+        assert payload["severity"] == "warning"
+        assert payload["snippet"] == "lower(g) = 'x'"
+        assert (payload["line"], payload["column"]) == (1, 23)
+        assert sql[payload["span"]["start"] : payload["span"]["end"]] == (
+            "lower(g) = 'x'"
+        )
+
+    def test_render_includes_location(self, db):
+        sql = "SELECT * FROM t WHERE lower(g) = 'x'"
+        report = lint(db, sql)
+        assert report.warnings[0].render(sql).startswith("1:23: warning L004")
+
+    def test_non_select_statements_have_no_findings(self):
+        report = analyze_query("DROP TABLE t")
+        assert report.ok and report.findings == []
+
+    def test_examples_lint_clean(self):
+        """CI runs `repro lint examples/*.py`; keep it green from the suite
+        too so a regression is caught before the workflow."""
+        import pathlib
+
+        from repro.cli import _extract_sql_from_python
+        from repro.errors import SqlError
+
+        examples = sorted(
+            pathlib.Path(__file__).resolve().parents[2].glob("examples/*.py")
+        )
+        assert examples, "examples/ directory went missing"
+        checked = 0
+        for path in examples:
+            for sql in _extract_sql_from_python(path):
+                try:
+                    report = analyze_query(sql)
+                except SqlError:
+                    continue  # SQL-looking fragment, same skip as the CLI
+                assert report.ok, (path, sql, report.errors)
+                assert not report.warnings, (path, sql, report.warnings)
+                checked += 1
+        assert checked > 0

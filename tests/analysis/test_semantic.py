@@ -1,0 +1,304 @@
+"""Adversarial semantic-error suite.
+
+Every S0xx code the analyzer can emit is triggered here through the
+public ``Database.execute()`` path, asserting both the stable error code
+and the source span (the span's snippet must be the offending text, not
+just "somewhere in the query").
+"""
+
+import pytest
+
+from repro.analysis import SemanticAnalyzer, analyze_query
+from repro.engine import BatchUdf, Database
+from repro.errors import SemanticError, UdfError, UnknownFunctionError
+from repro.sql import parse_statement
+from repro.storage.schema import DataType
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict(
+        "t",
+        {"a": [1, 2, 3], "b": [1.0, 2.0, 3.0], "g": ["x", "y", "z"]},
+    )
+    database.create_table_from_dict("u", {"a": [1], "c": ["k"]})
+    database.register_udf(
+        BatchUdf(
+            name="nudf_one",
+            fn=lambda values: values * 2.0,
+            return_dtype=DataType.FLOAT64,
+        )
+    )
+    database.register_udf(
+        BatchUdf(
+            name="nudf_str",
+            fn=lambda values: values,
+            return_dtype=DataType.FLOAT64,
+            arg_dtypes=(DataType.STRING,),
+        )
+    )
+    return database
+
+
+def reject(db, sql):
+    with pytest.raises(SemanticError) as excinfo:
+        db.execute(sql)
+    return excinfo.value
+
+
+def snippet(sql, error):
+    assert error.span is not None, "semantic error lost its source span"
+    return sql[error.span.start : error.span.end]
+
+
+class TestErrorCodes:
+    def test_s001_unknown_column(self, db):
+        sql = "SELECT missing FROM t"
+        error = reject(db, sql)
+        assert error.code == "S001"
+        assert snippet(sql, error) == "missing"
+
+    def test_s001_unknown_qualified_column(self, db):
+        sql = "SELECT t.missing FROM t"
+        error = reject(db, sql)
+        assert error.code == "S001"
+        assert snippet(sql, error) == "t.missing"
+        # the message hints at the columns the relation does have
+        assert "'a'" in str(error)
+
+    def test_s002_ambiguous_column(self, db):
+        sql = "SELECT a FROM t JOIN u ON t.a = u.a"
+        error = reject(db, sql)
+        assert error.code == "S002"
+        assert snippet(sql, error) == "a"
+        assert "t" in str(error) and "u" in str(error)
+
+    def test_s003_int_vs_string_comparison(self, db):
+        sql = "SELECT * FROM t WHERE a = 'x'"
+        error = reject(db, sql)
+        assert error.code == "S003"
+        assert snippet(sql, error) == "a = 'x'"
+        assert "CAST" in str(error)
+
+    def test_s003_string_vs_float_comparison(self, db):
+        error = reject(db, "SELECT * FROM t WHERE g < 3.5")
+        assert error.code == "S003"
+
+    def test_s004_arithmetic_on_string(self, db):
+        sql = "SELECT g + 1 FROM t"
+        error = reject(db, sql)
+        assert error.code == "S004"
+        assert snippet(sql, error) == "g + 1"
+
+    def test_s004_unary_minus_on_string(self, db):
+        error = reject(db, "SELECT -g FROM t")
+        assert error.code == "S004"
+
+    def test_s005_aggregate_in_where(self, db):
+        sql = "SELECT a FROM t WHERE sum(a) > 1"
+        error = reject(db, sql)
+        assert error.code == "S005"
+        assert snippet(sql, error) == "sum(a)"
+
+    def test_s006_wrong_udf_arity(self, db):
+        sql = "SELECT nudf_one(a, b) FROM t"
+        error = reject(db, sql)
+        assert error.code == "S006"
+        assert snippet(sql, error) == "nudf_one(a, b)"
+        assert "takes 1" in str(error)
+
+    def test_s007_group_by_select_alias(self, db):
+        sql = "SELECT a AS x FROM t GROUP BY x"
+        error = reject(db, sql)
+        assert error.code == "S007"
+        assert snippet(sql, error) == "x"
+
+    def test_s008_unknown_function(self, db):
+        sql = "SELECT nosuchfn(a) FROM t"
+        error = reject(db, sql)
+        assert error.code == "S008"
+        assert snippet(sql, error) == "nosuchfn(a)"
+        # dual inheritance: both the analyzer-era and runtime-era handlers
+        # catch it
+        assert isinstance(error, UnknownFunctionError)
+        assert isinstance(error, SemanticError)
+        assert isinstance(error, UdfError)
+
+    def test_s009_scalar_subquery_width(self, db):
+        sql = "SELECT (SELECT a, b FROM t)"
+        error = reject(db, sql)
+        assert error.code == "S009"
+        assert snippet(sql, error) == "(SELECT a, b FROM t)"
+
+    def test_s010_unknown_table(self, db):
+        sql = "SELECT * FROM missing_table"
+        error = reject(db, sql)
+        assert error.code == "S010"
+        assert snippet(sql, error) == "missing_table"
+
+    def test_s011_udf_argument_type(self, db):
+        sql = "SELECT nudf_str(a) FROM t"
+        error = reject(db, sql)
+        assert error.code == "S011"
+        assert snippet(sql, error) == "a"
+        assert "expects String" in str(error)
+
+    def test_s012_star_argument(self, db):
+        sql = "SELECT sum(*) FROM t"
+        error = reject(db, sql)
+        assert error.code == "S012"
+        assert snippet(sql, error) == "*"
+
+    def test_errors_fire_before_execution(self, db):
+        """The rejection happens at analysis time: EXPLAIN (which never
+        executes) rejects the same statements."""
+        with pytest.raises(SemanticError):
+            db.execute("EXPLAIN SELECT missing FROM t")
+
+    def test_create_table_as_select_is_analyzed(self, db):
+        with pytest.raises(SemanticError):
+            db.execute("CREATE TABLE t2 AS SELECT missing FROM t")
+
+    def test_span_line_and_column(self, db):
+        sql = "SELECT a,\n       missing\nFROM t"
+        error = reject(db, sql)
+        from repro.sql.spans import line_and_column
+
+        line, column = line_and_column(sql, error.span.start)
+        assert (line, column) == (2, 8)
+
+
+class TestAcceptedQueries:
+    """Queries that must keep passing the analyzer unchanged."""
+
+    def test_date_string_comparison(self, db):
+        db.create_table_from_dict(
+            "d", {"day": ["2024-01-01", "2024-01-02"], "v": [1, 2]}
+        )
+        # strings compare with strings...
+        db.execute("SELECT * FROM d WHERE day = '2024-01-01'")
+        # ...and DATE (toDate's return type) stays comparable with STRING
+        db.execute("SELECT * FROM d WHERE toDate(day) = '2024-01-01'")
+        db.execute("SELECT * FROM d WHERE toDate(day) >= toDate('2024-01-01')")
+
+    def test_explicit_cast_resolves_s003(self, db):
+        reject(db, "SELECT * FROM t WHERE a = 'x'")
+        db.execute("SELECT * FROM t WHERE CAST(a AS STRING) = 'x'")
+        db.execute("SELECT * FROM t WHERE a = CAST('2' AS INT64)")
+
+    def test_cast_output_types(self, db):
+        report = analyze_query(
+            "SELECT CAST(a AS STRING), CAST(g AS FLOAT64) FROM t",
+            catalog=db.catalog,
+            functions=db.functions,
+            udfs=db.udfs,
+        )
+        assert report.ok
+        assert [c.dtype for c in report.schema.columns] == [
+            DataType.STRING,
+            DataType.FLOAT64,
+        ]
+
+    def test_cast_round_trip_executes(self, db):
+        rows = db.query("SELECT CAST(CAST(a AS STRING) AS INT64) FROM t")
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_zero_row_table_types_are_not_trusted(self, db):
+        # from_dict types empty columns as STRING; comparisons against
+        # numbers must not be rejected on that default.
+        db.create_table_from_dict("empty", {"x": []})
+        db.execute("SELECT * FROM empty WHERE x > 0")
+
+    def test_self_join_bare_column_not_ambiguous(self, db):
+        # Both sides of the self-join expose the same physical column, so
+        # a bare reference is not ambiguous (mirrors the runtime's
+        # same-source rule).  Distinct columns with the same name stay
+        # ambiguous (S002, above).
+        statement = parse_statement(
+            "SELECT a FROM t AS x JOIN t AS y ON x.a = y.a"
+        )
+        analyzer = SemanticAnalyzer(db.catalog, db.functions, db.udfs)
+        schema = analyzer.analyze(statement)
+        assert schema.names() == ["a"]
+
+    def test_view_columns_resolve(self, db):
+        db.execute("CREATE VIEW v AS SELECT a AS alpha, b FROM t")
+        db.execute("SELECT alpha FROM v WHERE alpha > 1")
+        error = reject(db, "SELECT a FROM v")
+        assert error.code == "S001"
+
+
+class TestTypeInference:
+    def _schema(self, db, sql):
+        report = analyze_query(
+            sql, catalog=db.catalog, functions=db.functions, udfs=db.udfs
+        )
+        assert report.ok, report.findings
+        return report.schema
+
+    def test_column_types(self, db):
+        schema = self._schema(db, "SELECT a, b, g FROM t")
+        assert schema.render() == "a Int64, b Float64, g String"
+
+    def test_arithmetic_types(self, db):
+        schema = self._schema(db, "SELECT a + 1, a / 2, a * b FROM t")
+        assert [c.dtype for c in schema.columns] == [
+            DataType.INT64,
+            DataType.FLOAT64,
+            DataType.FLOAT64,
+        ]
+
+    def test_aggregate_types(self, db):
+        schema = self._schema(
+            db, "SELECT count(*), sum(a), avg(a), min(g) FROM t"
+        )
+        assert [c.dtype for c in schema.columns] == [
+            DataType.INT64,
+            DataType.INT64,
+            DataType.FLOAT64,
+            DataType.FLOAT64,
+        ]
+
+    def test_udf_return_type(self, db):
+        schema = self._schema(db, "SELECT nudf_one(a) FROM t")
+        assert schema.columns[0].dtype is DataType.FLOAT64
+
+    def test_explain_shows_output_schema(self, db):
+        text = str(db.explain("SELECT a, b, g FROM t"))
+        assert "Output: a Int64, b Float64, g String" in text
+
+    def test_unknown_types_render_as_question_mark(self):
+        report = analyze_query("SELECT x FROM anywhere")
+        assert report.ok
+        assert report.schema.render() == "x ?"
+
+
+class TestLenientMode:
+    def test_unknown_table_is_open_without_catalog(self):
+        assert analyze_query("SELECT whatever FROM nowhere").ok
+
+    def test_structural_errors_still_raise(self):
+        # a misplaced star is wrong no matter what the catalog holds
+        report = analyze_query("SELECT sum(*) FROM nowhere")
+        assert not report.ok
+        assert report.errors[0].code == "S012"
+
+    def test_strict_functions_split(self, db):
+        # the independent strategy wants strict tables, lenient functions
+        analyzer = SemanticAnalyzer(
+            db.catalog, db.functions, db.udfs, strict_functions=False
+        )
+        analyzer.analyze(parse_statement("SELECT not_registered(a) FROM t"))
+        with pytest.raises(SemanticError) as excinfo:
+            analyzer.analyze(parse_statement("SELECT a FROM missing_table"))
+        assert excinfo.value.code == "S010"
+
+    def test_analysis_can_be_disabled(self):
+        database = Database(semantic_analysis=False, validate_plans=False)
+        database.create_table_from_dict("t", {"a": [1]})
+        # falls through to the planner, which raises its own PlanError
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            database.execute("SELECT missing FROM t")

@@ -1,0 +1,151 @@
+"""UdfSignature: the single source of truth for UDF call shapes."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchUdf, Database, UdfRegistry
+from repro.engine.udf import UdfSignature, _infer_arity
+from repro.errors import SemanticError
+from repro.storage.schema import DataType
+
+
+class TestArityInference:
+    def test_single_argument_lambda(self):
+        udf = BatchUdf(
+            name="f", fn=lambda v: v, return_dtype=DataType.FLOAT64
+        )
+        assert udf.signature.min_args == 1
+        assert udf.signature.max_args == 1
+
+    def test_optional_arguments(self):
+        def fn(a, b=None, c=None):
+            return a
+
+        udf = BatchUdf(name="f", fn=fn, return_dtype=DataType.FLOAT64)
+        assert (udf.signature.min_args, udf.signature.max_args) == (1, 3)
+        assert udf.signature.accepts_arity(1)
+        assert udf.signature.accepts_arity(3)
+        assert not udf.signature.accepts_arity(0)
+        assert not udf.signature.accepts_arity(4)
+
+    def test_variadic(self):
+        def fn(first, *rest):
+            return first
+
+        udf = BatchUdf(name="f", fn=fn, return_dtype=DataType.FLOAT64)
+        assert (udf.signature.min_args, udf.signature.max_args) == (1, None)
+        assert udf.signature.accepts_arity(7)
+        assert not udf.signature.accepts_arity(0)
+
+    def test_non_introspectable_accepts_anything(self):
+        assert _infer_arity(min) == (None, None)
+        signature = UdfSignature(
+            return_dtype=DataType.INT64,
+            arg_dtypes=None,
+            min_args=None,
+            max_args=None,
+        )
+        assert signature.accepts_arity(0)
+        assert signature.accepts_arity(99)
+
+    def test_arity_text(self):
+        def make(minimum, maximum):
+            return UdfSignature(
+                return_dtype=DataType.FLOAT64,
+                arg_dtypes=None,
+                min_args=minimum,
+                max_args=maximum,
+            )
+
+        assert make(2, 2).arity_text() == "2"
+        assert make(1, 3).arity_text() == "1..3"
+        assert make(1, None).arity_text() == "at least 1"
+        assert make(None, None).arity_text() == "any number of"
+
+
+class TestDeclaredDtypes:
+    def test_declared_dtypes_fix_arity(self):
+        udf = BatchUdf(
+            name="f",
+            fn=lambda *args: args[0],
+            return_dtype=DataType.FLOAT64,
+            arg_dtypes=(DataType.FLOAT64, DataType.STRING),
+        )
+        assert (udf.signature.min_args, udf.signature.max_args) == (2, 2)
+        assert udf.signature.arg_dtypes == (
+            DataType.FLOAT64,
+            DataType.STRING,
+        )
+
+    def test_signature_return_matches_udf(self):
+        udf = BatchUdf(
+            name="f", fn=lambda v: v, return_dtype=DataType.STRING
+        )
+        assert udf.signature.return_dtype is DataType.STRING
+
+    def test_registry_conversion_uses_signature(self):
+        registry = UdfRegistry()
+        registry.register(
+            BatchUdf(
+                name="to_int",
+                fn=lambda v: v * 2,
+                return_dtype=DataType.INT64,
+            )
+        )
+        out = registry.invoke("to_int", [np.array([1.0, 2.5])])
+        assert out.dtype is DataType.INT64
+        assert np.asarray(out.data).dtype == np.int64
+
+
+class TestAnalyzerConsumesSignature:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.create_table_from_dict(
+            "t", {"a": [1, 2], "g": ["x", "y"]}
+        )
+        return database
+
+    def test_declared_none_entry_is_wildcard(self, db):
+        db.register_udf(
+            BatchUdf(
+                name="mix",
+                fn=lambda a, b: np.zeros(len(a)),
+                return_dtype=DataType.FLOAT64,
+                arg_dtypes=(None, DataType.STRING),
+            )
+        )
+        db.execute("SELECT mix(a, g) FROM t")  # INT64 passes the wildcard
+        db.execute("SELECT mix(g, g) FROM t")  # so does STRING
+        with pytest.raises(SemanticError) as excinfo:
+            db.execute("SELECT mix(a, a) FROM t")
+        assert excinfo.value.code == "S011"
+
+    def test_numeric_widening_allowed(self, db):
+        db.register_udf(
+            BatchUdf(
+                name="numeric",
+                fn=lambda v: np.asarray(v, dtype=np.float64),
+                return_dtype=DataType.FLOAT64,
+                arg_dtypes=(DataType.FLOAT64,),
+            )
+        )
+        db.execute("SELECT numeric(a) FROM t")  # INT64 widens to FLOAT64
+        with pytest.raises(SemanticError):
+            db.execute("SELECT numeric(g) FROM t")
+
+    def test_variadic_udf_through_sql(self, db):
+        def fold(first, *rest):
+            total = np.asarray(first, dtype=np.float64)
+            for other in rest:
+                total = total + np.asarray(other, dtype=np.float64)
+            return total
+
+        db.register_udf(
+            BatchUdf(name="fold", fn=fold, return_dtype=DataType.FLOAT64)
+        )
+        assert db.query("SELECT fold(a) FROM t") == [(1.0,), (2.0,)]
+        assert db.query("SELECT fold(a, a, a) FROM t") == [(3.0,), (6.0,)]
+        with pytest.raises(SemanticError) as excinfo:
+            db.execute("SELECT fold() FROM t")
+        assert excinfo.value.code == "S006"

@@ -64,6 +64,97 @@ class TestTraceCommand:
         assert "sql=SELECT count(*) FROM video" in out
 
 
+class TestLintCommand:
+    def test_clean_sql_exit_zero(self, capsys):
+        assert main(["lint", "SELECT a FROM t"]) == 0
+        out = capsys.readouterr().out
+        assert "1 statement(s) checked, 0 finding(s)" in out
+
+    def test_warning_is_exit_zero_by_default(self, capsys):
+        assert main(["lint", "SELECT * FROM t WHERE lower(g) = 'x'"]) == 0
+        out = capsys.readouterr().out
+        assert "warning L004" in out
+        assert "1 finding(s)" in out
+
+    def test_strict_turns_warnings_into_exit_one(self):
+        assert (
+            main(["lint", "--strict", "SELECT * FROM t WHERE lower(g) = 'x'"])
+            == 1
+        )
+
+    def test_parse_error_exit_two(self, capsys):
+        assert main(["lint", "SELECT FROM WHERE"]) == 2
+        assert "E000" in capsys.readouterr().out
+
+    def test_semantic_error_exit_two(self, capsys):
+        assert main(["lint", "SELECT sum(*) FROM t"]) == 2
+        assert "S012" in capsys.readouterr().out
+
+    def test_sql_file_statements_split(self, tmp_path, capsys):
+        script = tmp_path / "queries.sql"
+        script.write_text(
+            "SELECT a FROM t;\n"
+            "SELECT x FROM u WHERE x = 'a;b' LIMIT 3;\n"
+        )
+        assert main(["lint", str(script)]) == 0
+        assert "2 statement(s) checked" in capsys.readouterr().out
+
+    def test_python_file_extraction(self, tmp_path, capsys):
+        module = tmp_path / "example.py"
+        module.write_text(
+            'QUERY = "SELECT * FROM t WHERE lower(g) = \'x\'"\n'
+            'NOT_SQL = "hello world"\n'
+            'FRAGMENT = "SELECT ..."  # unparseable, skipped\n'
+        )
+        assert main(["lint", str(module)]) == 0
+        out = capsys.readouterr().out
+        assert "warning L004" in out
+        assert "1 statement(s) checked, 1 finding(s)" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        sql = "SELECT * FROM t WHERE lower(g) = 'x'"
+        assert main(["lint", "--format", "json", sql]) == 0
+        data = json.loads(capsys.readouterr().out)
+        (document,) = data["documents"]
+        assert document["source"] == "<sql>"
+        assert document["sql"] == sql
+        (finding,) = document["findings"]
+        assert finding["code"] == "L004"
+        assert finding["severity"] == "warning"
+        assert finding["snippet"] == "lower(g) = 'x'"
+        assert (finding["line"], finding["column"]) == (1, 23)
+        span = finding["span"]
+        assert sql[span["start"] : span["end"]] == "lower(g) = 'x'"
+
+    def test_json_format_with_error(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json", "SELECT sum(*) FROM t"]) == 2
+        data = json.loads(capsys.readouterr().out)
+        (finding,) = data["documents"][0]["findings"]
+        assert finding["code"] == "S012"
+        assert finding["severity"] == "error"
+
+
+class TestExitCodes:
+    """0 success, 1 runtime failure, 2 parse/semantic errors."""
+
+    def test_trace_semantic_error_exit_two(self, capsys):
+        assert (
+            main(["trace", "--scale", "1", "--sql", "SELECT nope FROM video"])
+            == 2
+        )
+        assert "S001" in capsys.readouterr().err
+
+    def test_trace_parse_error_exit_two(self, capsys):
+        assert main(["trace", "--scale", "1", "--sql", "SELECT )) FROM"]) == 2
+
+    def test_trace_ok_exit_zero(self):
+        assert main(["trace", "--scale", "1"]) == 0
+
+
 class TestStatsCommand:
     def test_json_output(self, capsys):
         import json
