@@ -9,6 +9,7 @@ Usage::
     python -m repro trace [--strategy S]     # span tree of one traced query
     python -m repro stats [--format F]       # metrics after a sample workload
     python -m repro lint QUERY_OR_FILE ...   # static analysis, no execution
+    python -m repro chaos [--quick]          # seeded fault-injection report
 
 ``-v``/``-vv`` raises log verbosity (INFO/DEBUG) for any subcommand.
 
@@ -146,6 +147,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="exit 1 when any warning is reported",
     )
 
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help=(
+            "run the sample workload under seeded fault plans and report "
+            "survived/failed/hung"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="first three plans, one repetition (the CI smoke mode)",
+    )
+    chaos_parser.add_argument(
+        "--plan",
+        default=None,
+        help=(
+            "run one fault-plan string (e.g. "
+            "'seed=7; udf.batch_call:transient@0.5#3') instead of the "
+            "built-in set"
+        ),
+    )
+    chaos_parser.add_argument("--scale", type=int, default=1)
+    chaos_parser.add_argument("--seed", type=int, default=42)
+    chaos_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-query deadline in seconds (default 5)",
+    )
+
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
     if args.command is None:
@@ -165,6 +196,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2  # pragma: no cover - argparse guards this
 
 
@@ -332,11 +365,41 @@ def _cmd_stats(args) -> int:
                 db.execute(sql)
     finally:
         db.close()
+    _stats_fallback_demo(registry, dataset)
     if args.format == "prometheus":
         print(db.metrics.to_prometheus(), end="")
     else:
         print(db.metrics.to_json())
     return 0
+
+
+def _stats_fallback_demo(registry, dataset) -> None:
+    """One degraded collaborative query, so the resilience counters
+    (``strategy_fallbacks_total``, breaker metrics) show up in the dump.
+
+    Runs the loose strategy against a permanently failing nUDF (injected
+    at ``udf.batch_call``); the fallback chain degrades to independent
+    processing, which evaluates the model outside the database and
+    therefore survives.
+    """
+    from repro.engine import Database
+    from repro.strategies import FallbackChain, IndependentStrategy, LooseStrategy
+    from repro.strategies.base import QueryType
+    from repro.workload.models_repo import build_task
+    from repro.workload.queries import QueryGenerator
+
+    db = Database(metrics=registry, fault_plan="udf.batch_call:permanent")
+    dataset.install(db)
+    task = build_task(
+        dataset, "detect", teacher_depth=3, calibration_samples=4
+    )
+    chain = FallbackChain([LooseStrategy(), IndependentStrategy()])
+    chain.bind_task(db, task)
+    query = QueryGenerator(dataset).make_query(QueryType(3), 0.2)
+    try:
+        chain.run(db, query, {"detect": task})
+    finally:
+        db.close()
 
 
 #: Statement prefixes the .py extractor treats as SQL worth linting.
@@ -479,6 +542,28 @@ def _print_lint_text(documents) -> None:
             )
     checked = len(documents)
     print(f"{checked} statement(s) checked, {total} finding(s)")
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.injector import FaultPlan, FaultPlanError
+
+    plans = None
+    if args.plan is not None:
+        try:
+            plans = (FaultPlan.parse(args.plan),)
+        except FaultPlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report = run_chaos(
+        plans,
+        scale=args.scale,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        quick=args.quick,
+    )
+    print(report.to_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_shell(scale: int, seed: int) -> int:

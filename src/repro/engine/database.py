@@ -27,10 +27,13 @@ from repro.errors import (
     ExecutionError,
     PlanError,
     PlanValidationError,
+    QueryCancelledError,
+    QueryTimeoutError,
     SqlError,
 )
 from repro.analysis.invariants import validate_rewrite
 from repro.analysis.semantic import SemanticAnalyzer
+from repro.faults.injector import make_injector
 from repro.engine.analyze import (
     ExplainAnalyzeOutput,
     PlanAnalyzer,
@@ -42,8 +45,10 @@ from repro.engine.expressions import Evaluator, FunctionRegistry
 from repro.engine.frame import Frame
 from repro.engine.infer_cache import make_cache
 from repro.engine.logical import LogicalPlan
+from repro.engine.memory import MemoryAccountant
 from repro.engine.optimizer import Optimizer, OptimizerConfig
 from repro.engine.physical import ExecutionContext, execute_plan
+from repro.engine.qcontext import CancellationToken, QueryContext
 from repro.engine.planner import Planner
 from repro.engine.profiler import Profiler
 from repro.engine.statistics import StatisticsProvider
@@ -183,6 +188,10 @@ class Database:
         udf_morsel_rows: int = 256,
         semantic_analysis: bool = True,
         validate_plans: Optional[bool] = None,
+        fault_plan: Any = None,
+        query_memory_bytes: int = 0,
+        udf_breaker_threshold: int = 5,
+        udf_breaker_reset_s: float = 30.0,
     ) -> None:
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
@@ -214,6 +223,28 @@ class Database:
         self.metrics = metrics
         self.profiler = Profiler(enabled=profile, tracer=self.tracer)
         self.udfs.attach_observers(self.profiler, metrics)
+        #: Deterministic fault injector.  ``fault_plan`` accepts a
+        #: :class:`~repro.faults.injector.FaultPlan`, plan text, or a
+        #: prebuilt injector; when None, the ``FAULT_PLAN`` environment
+        #: variable is consulted so the chaos harness can wrap any entry
+        #: point without code changes.  None everywhere -> zero overhead.
+        if fault_plan is None:
+            fault_plan = os.environ.get("FAULT_PLAN") or None
+        self.faults = make_injector(fault_plan)
+        self.udfs.attach_faults(self.faults)
+        if self.infer_cache is not None:
+            self.infer_cache.attach_faults(self.faults)
+        #: Per-query materialization budget; 0 disables admission control.
+        self.query_memory_bytes = max(0, int(query_memory_bytes))
+        #: The QueryContext of the top-level statement currently running.
+        #: Nested statements (DL2SQL per-keyframe programs) execute under
+        #: it, so one deadline covers a whole collaborative query.
+        self._active_query: Optional[QueryContext] = None
+        self.udfs.attach_query_provider(lambda: self._active_query)
+        self.udfs.configure_breakers(
+            failure_threshold=udf_breaker_threshold,
+            reset_timeout_s=udf_breaker_reset_s,
+        )
         self.optimizer_config = optimizer_config or OptimizerConfig()
         #: The ExecutionContext of the statement currently executing, so
         #: nested sub-plan execution (scalar subqueries, UDF-internal
@@ -251,17 +282,65 @@ class Database:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> Result:
+    def execute(
+        self,
+        sql: str,
+        *,
+        timeout_s: Optional[float] = None,
+        cancel_token: Optional[CancellationToken] = None,
+    ) -> Result:
         """Parse and run a single SQL statement.
 
         Parsed ASTs are cached by SQL text — DL2SQL re-executes the same
         generated statements once per inferred keyframe, so this matters.
+
+        ``timeout_s`` / ``cancel_token`` arm a :class:`QueryContext` that
+        operators, UDF morsels, and nested statements check cooperatively;
+        on expiry a :class:`~repro.errors.QueryTimeoutError` (or
+        :class:`~repro.errors.QueryCancelledError`) is raised with the
+        partial trace attached.  Nested statements — DL2SQL's per-keyframe
+        programs execute while the outer statement is still running —
+        always run under the *outer* query's context, so one deadline
+        covers the whole collaborative query; per-call options on nested
+        statements are ignored by design.
         """
         if self.metrics is not None:
             self.metrics.counter(
                 "queries_executed_total",
                 "Statements executed via Database.execute",
             ).inc()
+        if self._active_query is not None or (
+            timeout_s is None and cancel_token is None
+        ):
+            return self._execute_statement(sql)
+        qctx = QueryContext(timeout_s=timeout_s, cancel_token=cancel_token)
+        self._active_query = qctx
+        try:
+            return self._execute_statement(sql)
+        except (QueryCancelledError, QueryTimeoutError) as exc:
+            # Spans unwound with the exception, so the tracer already
+            # holds the completed (partial) trace of this query.
+            exc.partial_trace = self.tracer.last_trace()
+            if self.metrics is not None:
+                name, help_text = (
+                    ("query_timeouts_total", "Queries that hit timeout_s")
+                    if isinstance(exc, QueryTimeoutError)
+                    else (
+                        "query_cancellations_total",
+                        "Queries cancelled via a CancellationToken",
+                    )
+                )
+                self.metrics.counter(name, help_text).inc()
+            raise
+        finally:
+            self._active_query = None
+
+    def _execute_statement(self, sql: str) -> Result:
+        if self._active_query is not None:
+            # Cooperative check per statement: tight integration runs
+            # thousands of nested statements per query, so deadlines and
+            # cancellation land promptly even between operators.
+            self._active_query.check()
         if not self.tracer.enabled:
             return self._dispatch(self._parse_cached(sql))
         with self.tracer.span("query", sql=sql):
@@ -325,9 +404,20 @@ class Database:
 
     def register_table(self, table: Table, *, temp: bool = False,
                        replace: bool = False) -> None:
-        """Directly register a Python-built table (bulk-load fast path)."""
+        """Directly register a Python-built table (bulk-load fast path).
+
+        When registration happens inside a running query (tight
+        integration materializes feature-map inputs per keyframe), the
+        table is admitted against that query's memory budget first.
+        """
+        self._admit_table_memory(table.nbytes(), table.name)
         self.catalog.create_table(table, temp=temp, replace=replace)
         self.statistics.invalidate(table.name)
+
+    def _admit_table_memory(self, nbytes: int, name: str) -> None:
+        ctx = self._active_context
+        if ctx is not None and ctx.memory is not None:
+            ctx.memory.admit(nbytes, f"materializing table {name!r}")
 
     def create_table_from_dict(
         self,
@@ -506,6 +596,11 @@ class Database:
         self._plan_cache.clear()
 
     def _execution_context(self) -> ExecutionContext:
+        memory = (
+            MemoryAccountant(self.query_memory_bytes)
+            if self.query_memory_bytes
+            else None
+        )
         return ExecutionContext(
             catalog=self.catalog,
             functions=self.functions,
@@ -513,6 +608,9 @@ class Database:
             profiler=self.profiler,
             subquery_executor=self._execute_scalar_subquery,
             metrics=self.metrics,
+            query=self._active_query,
+            faults=self.faults,
+            memory=memory,
         )
 
     def _execute_scalar_subquery(self, statement: SelectStatement) -> Any:
@@ -546,6 +644,7 @@ class Database:
         with self.profiler.measure("materialize") as token:
             if frame is not None:
                 table = frame.to_table(statement.name)
+                self._admit_table_memory(table.nbytes(), statement.name)
             else:
                 specs = []
                 for definition in statement.columns:

@@ -31,9 +31,12 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.faults.injector import FaultInjector
 
 #: Fixed accounting overhead per cache entry (key digest, dict slots,
 #: LRU bookkeeping) in addition to the stored value's payload bytes.
@@ -153,8 +156,14 @@ class InferenceCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._insert_failures = 0
+        self._faults: Optional["FaultInjector"] = None
         #: namespace -> [hits, misses] history for miss-rate estimation.
         self._namespace_history: dict[str, list[int]] = {}
+
+    def attach_faults(self, faults: Optional["FaultInjector"]) -> None:
+        """Honor the ``cache.insert`` injection site on every put."""
+        self._faults = faults
 
     # ------------------------------------------------------------------
     # Lookup / insert
@@ -190,7 +199,22 @@ class InferenceCache:
         return values, missed
 
     def put(self, namespace: str, key: bytes, value: Any) -> None:
-        """Insert one result, evicting LRU entries past the budget."""
+        """Insert one result, evicting LRU entries past the budget.
+
+        An injected fault at ``cache.insert`` is *absorbed*: the cache is
+        an accelerator, so a failed insert degrades to a future miss
+        (counted in ``insert_failures``) instead of failing the query.
+        Latency faults at the site still sleep.
+        """
+        if self._faults is not None:
+            from repro.faults.injector import InjectedFault
+
+            try:
+                self._faults.fire("cache.insert", namespace=namespace)
+            except InjectedFault:
+                with self._lock:
+                    self._insert_failures += 1
+                return
         namespace = namespace.lower()
         nbytes = value_nbytes(value) + ENTRY_OVERHEAD_BYTES
         if nbytes > self.max_bytes:
@@ -248,6 +272,10 @@ class InferenceCache:
     def evictions(self) -> int:
         return self._evictions
 
+    @property
+    def insert_failures(self) -> int:
+        return self._insert_failures
+
     def snapshot(self) -> CacheSnapshot:
         with self._lock:
             return CacheSnapshot(
@@ -284,6 +312,7 @@ class InferenceCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "insert_failures": self._insert_failures,
             }
 
 

@@ -1,0 +1,89 @@
+"""Per-query memory admission control.
+
+Tight integration runs long relational pipelines whose intermediates
+(feature-map tables, join products) can dwarf the inputs; a cross join
+typo can ask for terabytes.  Instead of letting the process OOM, a
+:class:`MemoryAccountant` sits on the execution context and *admits*
+each materialization before it is built: the operator estimates the
+result's byte size (using the same array sizing the inference cache
+uses) and calls :meth:`MemoryAccountant.admit`, which raises a typed
+:class:`~repro.errors.QueryMemoryExceeded` when the estimate exceeds
+the per-query budget.
+
+Admission is per-materialization, not cumulative: DL2SQL pipelines
+create and drop dozens of intermediates per inference, and the engine
+frees each one as the pipeline advances, so the budget bounds the
+largest single allocation (the thing that actually OOMs a process)
+while ``peak_request`` / ``admitted_bytes`` keep the cumulative story
+visible for observability.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import QueryMemoryExceeded
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.engine.frame import Frame
+
+
+def frame_nbytes(frame: "Frame") -> int:
+    """Resident byte estimate of a frame (object cells cost a pointer
+    plus a flat payload guess — same spirit as the inference cache's
+    ``value_nbytes``)."""
+    total = 0
+    for column in frame.columns:
+        data = column.data
+        if data.dtype == object:
+            total += int(data.size) * 64
+        else:
+            total += int(data.nbytes)
+    return total
+
+
+def frame_row_nbytes(frame: "Frame") -> int:
+    """Estimated bytes per row, used to admit join outputs before they
+    are materialized (``rows * row_bytes``)."""
+    if frame.num_rows == 0:
+        return sum(8 for _ in frame.columns)
+    return max(1, frame_nbytes(frame) // frame.num_rows)
+
+
+class MemoryAccountant:
+    """Admission control for one query's materializations."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("MemoryAccountant needs a positive byte budget")
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.Lock()
+        #: Total bytes admitted over the query's lifetime (cumulative).
+        self.admitted_bytes = 0
+        #: Largest single admitted request.
+        self.peak_request = 0
+        #: Number of admit calls (observability/tests).
+        self.admissions = 0
+
+    def admit(self, nbytes: int, what: str) -> None:
+        """Approve one materialization of ``nbytes`` or raise.
+
+        Raises :class:`QueryMemoryExceeded` *before* the caller builds
+        the result, naming the operator/table and both sides of the
+        comparison.
+        """
+        nbytes = int(nbytes)
+        if nbytes > self.budget_bytes:
+            raise QueryMemoryExceeded(
+                f"{what} would materialize ~{nbytes} bytes, exceeding the "
+                f"query memory budget of {self.budget_bytes} bytes",
+                requested=nbytes,
+                budget=self.budget_bytes,
+                what=what,
+            )
+        with self._lock:
+            self.admissions += 1
+            self.admitted_bytes += nbytes
+            if nbytes > self.peak_request:
+                self.peak_request = nbytes

@@ -14,6 +14,9 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # imported for annotations only
     from repro.engine.analyze import PlanAnalyzer
+    from repro.engine.memory import MemoryAccountant
+    from repro.engine.qcontext import QueryContext
+    from repro.faults.injector import FaultInjector
     from repro.obs.metrics import MetricsRegistry
 
 import numpy as np
@@ -70,6 +73,14 @@ class ExecutionContext:
     analyzer: Optional["PlanAnalyzer"] = None
     #: Metrics registry for operational counters; None (default) is free.
     metrics: Optional["MetricsRegistry"] = None
+    #: Deadline + cancellation state of the owning statement; checked
+    #: per operator and per symmetric-join chunk so timeouts/cancels
+    #: land within one batch of work.  None (default) is free.
+    query: Optional["QueryContext"] = None
+    #: Chaos harness hook; only attached when fault injection is on.
+    faults: Optional["FaultInjector"] = None
+    #: Memory admission control for join/materialization outputs.
+    memory: Optional["MemoryAccountant"] = None
 
     def evaluator(
         self, frame: Frame, slots: Optional[dict[str, str]] = None
@@ -85,6 +96,10 @@ class ExecutionContext:
 
 def execute_plan(plan: LogicalPlan, ctx: ExecutionContext) -> Frame:
     """Run a logical plan to completion and return the result frame."""
+    if ctx.query is not None:
+        ctx.query.check()
+    if ctx.faults is not None:
+        ctx.faults.fire("operator.next_batch", op=type(plan).__name__)
     analyzer = ctx.analyzer
     if analyzer is None:
         return _execute_node(plan, ctx)
@@ -270,12 +285,29 @@ def _aggregate_slots_below(plan: LogicalPlan) -> Optional[dict[str, str]]:
 # ----------------------------------------------------------------------
 # Joins
 # ----------------------------------------------------------------------
+def _admit_join_output(
+    ctx: ExecutionContext,
+    left: Frame,
+    right: Frame,
+    out_rows: int,
+    what: str,
+) -> None:
+    """Memory admission for a join result *before* it is materialized."""
+    if ctx.memory is None:
+        return
+    from repro.engine.memory import frame_row_nbytes
+
+    row_bytes = frame_row_nbytes(left) + frame_row_nbytes(right)
+    ctx.memory.admit(out_rows * row_bytes, what)
+
+
 def _execute_cross_join(plan: CrossJoin, ctx: ExecutionContext) -> Frame:
     assert plan.left is not None and plan.right is not None
     left = execute_plan(plan.left, ctx)
     right = execute_plan(plan.right, ctx)
     with ctx.profiler.measure("join") as token:
         n_left, n_right = left.num_rows, right.num_rows
+        _admit_join_output(ctx, left, right, n_left * n_right, "cross join")
         left_idx = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
         right_idx = np.tile(np.arange(n_right, dtype=np.int64), n_left)
         result = left.take(left_idx).concat_columns(right.take(right_idx))
@@ -297,6 +329,7 @@ def _execute_hash_join(plan: HashJoin, ctx: ExecutionContext) -> Frame:
             )
         else:
             left_idx, right_idx = _match_keys(left_keys, right_keys)
+        _admit_join_output(ctx, left, right, len(left_idx), "hash join")
         result = left.take(left_idx).concat_columns(right.take(right_idx))
         token.record_rows(result.num_rows)
 
@@ -490,6 +523,10 @@ def _symmetric_hash_join(
 
     left_pos = right_pos = 0
     while left_pos < len(left) or right_pos < len(right):
+        # Cooperative checkpoint per alternating chunk: a deadline or
+        # cancel lands within one chunk_size slice of either input.
+        if ctx.query is not None:
+            ctx.query.check()
         if left_pos < len(left):
             chunk = left[left_pos : left_pos + chunk_size]
             probe_and_insert(chunk, left_pos, left_table, right_table, True)

@@ -1,0 +1,106 @@
+"""Per-query deadline + cooperative cancellation.
+
+A :class:`QueryContext` is created by ``Database.execute(sql,
+timeout_s=...)`` and threaded through the execution context; every
+physical operator (per batch), symmetric-join chunk, nested DL2SQL
+statement, and parallel UDF morsel calls :meth:`QueryContext.check`, so
+a timed-out or cancelled query stops within one batch/morsel instead of
+running forever.  The raised errors are typed
+(:class:`~repro.errors.QueryTimeoutError` /
+:class:`~repro.errors.QueryCancelledError`) and — when tracing is on —
+carry the partial span tree accumulated before the abort.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+
+
+class CancellationToken:
+    """A thread-safe cancel flag shared between a query and its caller.
+
+    The caller holds the token and may call :meth:`cancel` from any
+    thread (a UI, a supervisor, a deadline manager); the executing query
+    observes it at its cooperative check points.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason = ""
+
+    def cancel(self, reason: str = "") -> None:
+        self.reason = reason or self.reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class QueryContext:
+    """Deadline + cancellation state for one top-level statement.
+
+    Nested statements (scalar subqueries, DL2SQL's per-keyframe SQL
+    programs) share the outer statement's context, so a deadline covers
+    the whole collaborative query, not each inner fragment separately.
+    """
+
+    __slots__ = (
+        "timeout_s",
+        "deadline",
+        "started",
+        "cancel_token",
+        "clock",
+        "checks",
+    )
+
+    def __init__(
+        self,
+        *,
+        timeout_s: Optional[float] = None,
+        cancel_token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self.started = clock()
+        self.deadline = (
+            self.started + timeout_s if timeout_s is not None else None
+        )
+        self.cancel_token = cancel_token
+        #: Number of cooperative checks performed (observability/tests).
+        self.checks = 0
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock() - self.started
+
+    def expired(self) -> bool:
+        return self.deadline is not None and self.clock() > self.deadline
+
+    def check(self) -> None:
+        """Raise if the query is past its deadline or cancelled.
+
+        Cancellation wins over timeout when both hold: an explicit stop
+        is the stronger, more intentional signal.
+        """
+        self.checks += 1
+        if self.cancel_token is not None and self.cancel_token.cancelled:
+            reason = self.cancel_token.reason
+            raise QueryCancelledError(
+                "query cancelled" + (f": {reason}" if reason else ""),
+                elapsed=self.elapsed,
+            )
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise QueryTimeoutError(
+                f"query exceeded its {self.timeout_s:g}s deadline "
+                f"(elapsed {self.elapsed:.3f}s)",
+                timeout_s=self.timeout_s or 0.0,
+                elapsed=self.elapsed,
+            )

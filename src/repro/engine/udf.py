@@ -17,12 +17,18 @@ from __future__ import annotations
 import inspect
 import threading
 import time
+from concurrent.futures import FIRST_EXCEPTION, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
-from repro.errors import UdfError
+from repro.errors import (
+    CircuitOpenError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    UdfError,
+)
 from repro.engine.expressions import Vector
 from repro.engine.infer_cache import MISSING, InferenceCache, hash_rows
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
@@ -38,6 +44,10 @@ from repro.storage.schema import DataType
 
 if TYPE_CHECKING:  # imported for annotations only
     from concurrent.futures import Executor
+
+    from repro.engine.qcontext import QueryContext
+    from repro.faults.breaker import CircuitBreaker
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -204,6 +214,17 @@ class UdfRegistry:
         self._cache: Optional[InferenceCache] = None
         self._executor: Optional["Executor"] = None
         self._morsel_rows = 256
+        self._faults: Optional["FaultInjector"] = None
+        #: Called per batch/morsel to fetch the active QueryContext so
+        #: worker threads observe deadlines and cancellation.
+        self._query_provider: Optional[
+            Callable[[], Optional["QueryContext"]]
+        ] = None
+        #: name -> breaker; created lazily per UDF.  threshold 0 disables.
+        self._breakers: dict[str, "CircuitBreaker"] = {}
+        self._breaker_threshold = 5
+        self._breaker_reset_s = 30.0
+        self._breaker_clock: Callable[[], float] = time.monotonic
 
     def attach_observers(self, profiler=None, metrics=None) -> None:
         """Report UDF calls into a profiler's ``udf`` category and a
@@ -230,6 +251,63 @@ class UdfRegistry:
             raise ValueError("morsel_rows must be positive")
         self._executor = executor
         self._morsel_rows = morsel_rows
+
+    def attach_faults(self, faults: Optional["FaultInjector"]) -> None:
+        """Honor the ``udf.batch_call`` injection site on every dispatch."""
+        self._faults = faults
+
+    def attach_query_provider(
+        self, provider: Optional[Callable[[], Optional["QueryContext"]]]
+    ) -> None:
+        """Check the active query's deadline/cancellation before every
+        batch and every morsel, including on executor worker threads."""
+        self._query_provider = provider
+
+    def configure_breakers(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Set circuit-breaker policy for all UDFs.
+
+        ``failure_threshold <= 0`` disables breakers entirely.  Existing
+        breaker state is discarded (tests reconfigure with a fake clock).
+        """
+        self._breaker_threshold = int(failure_threshold)
+        self._breaker_reset_s = float(reset_timeout_s)
+        self._breaker_clock = clock
+        self._breakers.clear()
+
+    def breaker_for(self, name: str) -> Optional["CircuitBreaker"]:
+        """The breaker guarding ``name``, if one has been created."""
+        return self._breakers.get(name.lower())
+
+    def breaker_states(self) -> dict[str, str]:
+        """``{udf_name: state}`` for every breaker that has seen traffic."""
+        return {
+            name: breaker.state.value
+            for name, breaker in sorted(self._breakers.items())
+        }
+
+    def _breaker_get_or_create(
+        self, udf: BatchUdf
+    ) -> Optional["CircuitBreaker"]:
+        if self._breaker_threshold <= 0:
+            return None
+        key = udf.name.lower()
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            from repro.faults.breaker import CircuitBreaker
+
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                reset_timeout_s=self._breaker_reset_s,
+                clock=self._breaker_clock,
+            )
+            self._breakers[key] = breaker
+        return breaker
 
     @property
     def cache(self) -> Optional[InferenceCache]:
@@ -329,6 +407,48 @@ class UdfRegistry:
     def _infer(
         self, udf: BatchUdf, args: list[np.ndarray], num_rows: int
     ) -> np.ndarray:
+        """Evaluate the model, guarded by the UDF's circuit breaker.
+
+        Query deadline/cancellation errors pass through without charging
+        the breaker — a slow query is not a broken model.  Note the
+        cache-hit path in :meth:`invoke` never reaches this method, so a
+        UDF with an open breaker still serves fully-cached batches.
+        """
+        breaker = self._breaker_get_or_create(udf)
+        if breaker is not None and not breaker.allow():
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "udf_breaker_rejections_total",
+                    "UDF invocations rejected by an open circuit breaker",
+                ).inc()
+            raise CircuitOpenError(
+                f"UDF {udf.name!r} circuit breaker is open "
+                f"(retry in {breaker.retry_after_s():.3f}s)",
+                udf_name=udf.name,
+                retry_after_s=breaker.retry_after_s(),
+            )
+        try:
+            result = self._infer_inner(udf, args, num_rows)
+        except (QueryCancelledError, QueryTimeoutError):
+            raise
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "udf_breaker_opened_total",
+                        "Times any UDF circuit breaker tripped open",
+                    ).set_to_at_least(
+                        sum(b.times_opened for b in self._breakers.values())
+                    )
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
+    def _infer_inner(
+        self, udf: BatchUdf, args: list[np.ndarray], num_rows: int
+    ) -> np.ndarray:
         """Evaluate the model over ``args``, with stats and conversion.
 
         Returns the result as a plain ndarray already converted to the
@@ -338,7 +458,7 @@ class UdfRegistry:
         started = time.perf_counter()
         try:
             result = self._dispatch_fn(udf, args, num_rows)
-        except UdfError:
+        except (QueryCancelledError, QueryTimeoutError, UdfError):
             raise
         except Exception as exc:  # noqa: BLE001 - rewrap with UDF context
             raise UdfError(f"UDF {udf.name!r} failed: {exc}") from exc
@@ -372,6 +492,17 @@ class UdfRegistry:
             result = result.astype(dtype.numpy_dtype)
         return result
 
+    def _before_batch(self, udf: BatchUdf, rows: int) -> None:
+        """Per-batch / per-morsel preamble, also run on worker threads:
+        observe the query's deadline or cancellation, then honor the
+        ``udf.batch_call`` injection site."""
+        if self._query_provider is not None:
+            qctx = self._query_provider()
+            if qctx is not None:
+                qctx.check()
+        if self._faults is not None:
+            self._faults.fire("udf.batch_call", udf=udf.name, rows=rows)
+
     def _dispatch_fn(
         self, udf: BatchUdf, args: list[np.ndarray], num_rows: int
     ) -> np.ndarray:
@@ -382,12 +513,37 @@ class UdfRegistry:
             or not udf.parallel_safe
             or num_rows <= self._morsel_rows
         ):
+            self._before_batch(udf, num_rows)
             return udf.fn(*args)
         morsel = self._morsel_rows
+
+        def run_morsel(start: int) -> np.ndarray:
+            self._before_batch(udf, min(morsel, num_rows - start))
+            return udf.fn(*[a[start : start + morsel] for a in args])
+
         futures = [
-            executor.submit(udf.fn, *[a[start : start + morsel] for a in args])
+            executor.submit(run_morsel, start)
             for start in range(0, num_rows, morsel)
         ]
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (
+                future
+                for future in done
+                if not future.cancelled() and future.exception() is not None
+            ),
+            None,
+        )
+        if failed is not None:
+            # Fail fast: the first worker error cancels every morsel still
+            # queued so a poisoned batch stops burning executor slots.
+            cancelled = sum(1 for future in pending if future.cancel())
+            if self._metrics is not None and cancelled:
+                self._metrics.counter(
+                    "udf_morsels_cancelled_total",
+                    "Queued UDF morsels cancelled after a sibling failed",
+                ).inc(cancelled)
+            failed.result()  # re-raises with the worker's original traceback
         pieces = [np.asarray(future.result()) for future in futures]
         for start, piece in zip(range(0, num_rows, morsel), pieces):
             expected = min(morsel, num_rows - start)

@@ -60,8 +60,115 @@ class ExecutionError(ReproError):
     """A physical operator failed at run time."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its deadline and was cooperatively aborted.
+
+    Carries a stable ``code`` (``R001``), the configured ``timeout_s``,
+    the ``elapsed`` seconds at the abort point, and — when tracing was
+    enabled — the ``partial_trace`` span tree accumulated before the
+    abort, so a timed-out query is still debuggable.
+    """
+
+    code = "R001"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        timeout_s: float = 0.0,
+        elapsed: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+        self.elapsed = elapsed
+        self.partial_trace = None
+
+
+class QueryCancelledError(ExecutionError):
+    """A query was cancelled via its cancellation token.
+
+    Same shape as :class:`QueryTimeoutError` (code ``R002``), so handlers
+    can treat "stopped early" uniformly while still distinguishing a
+    deadline from an explicit cancel.
+    """
+
+    code = "R002"
+
+    def __init__(self, message: str, *, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.partial_trace = None
+
+
+class QueryMemoryExceeded(ExecutionError):
+    """Memory admission control rejected a materialization (code ``R003``).
+
+    Raised *before* an oversized join result or intermediate table is
+    built, instead of letting the process OOM.  ``requested`` is the
+    estimated byte size of the rejected materialization, ``budget`` the
+    per-query limit, and ``what`` names the operator or table.
+    """
+
+    code = "R003"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: int = 0,
+        budget: int = 0,
+        what: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.budget = budget
+        self.what = what
+
+
+class TransferError(ReproError):
+    """The DB↔DL serialization boundary failed (code ``R004``).
+
+    Typed wrapper around the independent strategy's pickle round-trip:
+    ``stage`` names the failing step (``serialize`` / ``deserialize`` /
+    ``checksum``), ``nbytes`` the payload size at the failure point, and
+    ``transient`` whether a retry may succeed (corruption and injected
+    transient faults are retryable; an unpicklable payload is not).
+    """
+
+    code = "R004"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str,
+        nbytes: int = 0,
+        transient: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.nbytes = nbytes
+        self.transient = transient
+
+
 class UdfError(ExecutionError):
     """A user-defined function is unknown or misbehaved."""
+
+
+class CircuitOpenError(UdfError):
+    """A UDF's circuit breaker is open: calls fail fast without invoking
+    the model (code ``R005``).  ``retry_after_s`` is the remaining cooldown
+    before the breaker half-opens and allows a probe call.
+    """
+
+    code = "R005"
+
+    def __init__(
+        self, message: str, *, udf_name: str = "", retry_after_s: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.udf_name = udf_name
+        self.retry_after_s = retry_after_s
 
 
 class UnknownFunctionError(SemanticError, UdfError):

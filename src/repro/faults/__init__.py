@@ -1,0 +1,44 @@
+"""Fault injection, circuit breaking, retry, and the chaos harness.
+
+The resilience layer's tooling: :mod:`repro.faults.injector` defines the
+named injection points threaded through the engine's hot paths,
+:mod:`repro.faults.breaker` the per-UDF circuit breaker,
+:mod:`repro.faults.retry` bounded backoff for the transfer boundary, and
+:mod:`repro.faults.chaos` the harness that proves queries survive a
+seeded fault schedule (``python -m repro chaos``).
+"""
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.chaos import (
+    DEFAULT_PLANS,
+    ChaosOutcome,
+    ChaosReport,
+    run_chaos,
+)
+from repro.faults.injector import (
+    KNOWN_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+    make_injector,
+)
+from repro.faults.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "BreakerState",
+    "ChaosOutcome",
+    "ChaosReport",
+    "CircuitBreaker",
+    "DEFAULT_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "RetryPolicy",
+    "call_with_retry",
+    "make_injector",
+]

@@ -1,0 +1,125 @@
+"""Per-UDF circuit breaker: closed → open → half-open.
+
+Loose integration executes an opaque UDF binary the database cannot
+introspect; when that binary is broken (bad model blob, injected
+permanent fault), every batch call pays the full failure cost and the
+query still dies.  A breaker turns repeated failure into *fast* failure:
+after ``failure_threshold`` consecutive batch-call failures the breaker
+opens and calls raise :class:`~repro.errors.CircuitOpenError` without
+invoking the model at all.  After ``reset_timeout_s`` it half-opens and
+admits a single probe call — success closes it, failure re-opens it.
+
+The open/fast-fail signal is what lets the strategy layer's fallback
+chain (:class:`repro.strategies.base.FallbackChain`) degrade to another
+strategy instead of hammering a dead UDF.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown and a probe slot.
+
+    Thread-safe; morsel workers may record outcomes concurrently.  The
+    clock is injectable so tests never sleep through a cooldown.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Cumulative transitions into OPEN (drives the metrics gauge).
+        self.times_opened = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Remaining cooldown before a probe is admitted (0 when not open)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                return 0.0
+            remaining = self.reset_timeout_s - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected operation right now?
+
+        In HALF_OPEN exactly one caller gets the probe slot; others are
+        rejected until the probe reports success or failure.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                return False
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                # The probe failed: straight back to OPEN, fresh cooldown.
+                self._open()
+            elif self._consecutive_failures >= self.failure_threshold:
+                self._open()
+            self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        if self._state is not BreakerState.OPEN:
+            self.times_opened += 1
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker({self._state.value}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

@@ -1,0 +1,311 @@
+"""Deterministic, seeded fault injection for the query engine.
+
+The paper's three strategies differ in *where* they can fail: independent
+processing crosses a serialization boundary, loose integration runs an
+opaque UDF binary, tight integration runs long relational pipelines.
+This module gives every such hot path a **named injection point**:
+
+==========================  ====================================================
+Site                        Fired from
+==========================  ====================================================
+``transfer.serialize``      independent strategy's DB→DL pickle boundary
+``transfer.deserialize``    the DL→DB direction of the same boundary
+``udf.batch_call``          every batched UDF invocation (loose + parallel)
+``cache.insert``            inference-cache inserts (absorbed, never fatal)
+``operator.next_batch``     every physical operator execution
+==========================  ====================================================
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule`\\ s — each
+matching a site (globs allowed), firing with a probability, bounded by a
+max fire count, and producing one of four effects: raise a *transient*
+fault, raise a *permanent* fault, inject *latency*, or *corrupt* a byte
+payload (detected downstream via checksum).  Everything is driven by one
+seeded RNG, so a given ``(plan, seed)`` replays the exact same fault
+schedule — the property the chaos suite relies on.
+
+Plans parse from a compact text syntax (also accepted via the
+``FAULT_PLAN`` environment variable)::
+
+    seed=7; udf.batch_call:transient@0.25#3; operator.*:latency~0.002@0.1
+
+reads as "with RNG seed 7: batch UDF calls raise a transient fault with
+probability 0.25, at most 3 times; every operator sleeps 2 ms with
+probability 0.1".
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: The injection points threaded through the engine.  Rules may use
+#: globs, but a non-glob rule site must name one of these (catching
+#: typos in fault plans early).
+KNOWN_SITES = (
+    "transfer.serialize",
+    "transfer.deserialize",
+    "udf.batch_call",
+    "cache.insert",
+    "operator.next_batch",
+)
+
+#: Fault effects a rule can produce.
+KINDS = ("transient", "permanent", "latency", "corrupt")
+
+
+class InjectedFault(ReproError):
+    """A fault raised by the injection harness (never by real code).
+
+    ``transient`` mirrors the rule kind: retry layers treat transient
+    injected faults as retryable and permanent ones as terminal.
+    """
+
+    def __init__(self, message: str, *, site: str, kind: str) -> None:
+        super().__init__(message)
+        self.site = site
+        self.kind = kind
+
+    @property
+    def transient(self) -> bool:
+        return self.kind == "transient"
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: where, what, how often, how many times."""
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    max_fires: Optional[int] = None
+    latency_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (expected one of {KINDS})"
+            )
+        if not ("*" in self.site or "?" in self.site):
+            if self.site not in KNOWN_SITES:
+                raise FaultPlanError(
+                    f"unknown fault site {self.site!r} "
+                    f"(known: {', '.join(KNOWN_SITES)})"
+                )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+
+    def matches(self, site: str) -> bool:
+        return fnmatch.fnmatchcase(site, self.site)
+
+    def to_text(self) -> str:
+        out = f"{self.site}:{self.kind}"
+        if self.kind == "latency":
+            out += f"~{self.latency_s:g}"
+        if self.probability < 1.0:
+            out += f"@{self.probability:g}"
+        if self.max_fires is not None:
+            out += f"#{self.max_fires}"
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of fault rules."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    @classmethod
+    def parse(cls, text: str, *, name: str = "") -> "FaultPlan":
+        """Parse ``site:kind[~latency][@prob][#max]; ...`` (see module doc).
+
+        A ``seed=N`` element anywhere in the list sets the RNG seed.
+        """
+        rules: list[FaultRule] = []
+        seed = 0
+        for piece in text.split(";"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            if piece.startswith("seed="):
+                try:
+                    seed = int(piece[len("seed="):])
+                except ValueError as exc:
+                    raise FaultPlanError(f"bad seed in {piece!r}") from exc
+                continue
+            rules.append(_parse_rule(piece))
+        return cls(rules=tuple(rules), seed=seed, name=name or text.strip())
+
+    def to_text(self) -> str:
+        pieces = [f"seed={self.seed}"]
+        pieces.extend(rule.to_text() for rule in self.rules)
+        return "; ".join(pieces)
+
+
+#: One trailing modifier: marker char + its (marker-free) value.
+_MODIFIER_RE = re.compile(r"([~@#])([^~@#]*)$")
+
+
+def _parse_rule(piece: str) -> FaultRule:
+    if ":" not in piece:
+        raise FaultPlanError(
+            f"fault rule {piece!r} must look like 'site:kind[...]'"
+        )
+    site, kind = piece.split(":", 1)
+    probability = 1.0
+    max_fires: Optional[int] = None
+    latency_s = 0.01
+    # Strip trailing modifiers one at a time; they may appear in any order.
+    while (match := _MODIFIER_RE.search(kind)) is not None:
+        marker, value = match.groups()
+        kind = kind[: match.start()]
+        try:
+            if marker == "~":
+                latency_s = float(value)
+            elif marker == "@":
+                probability = float(value)
+            else:
+                max_fires = int(value)
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"bad {marker!r} modifier in fault rule {piece!r}"
+            ) from exc
+    return FaultRule(
+        site=site.strip(),
+        kind=kind.strip(),
+        probability=probability,
+        max_fires=max_fires,
+        latency_s=latency_s,
+    )
+
+
+@dataclass
+class _RuleState:
+    rule: FaultRule
+    fires: int = 0
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at the engine's injection points.
+
+    Thread-safe: morsel workers fire sites concurrently, so the RNG and
+    fire counters sit behind a lock.  With no matching rule a ``fire``
+    call is a tuple scan over the (tiny) rule list — the injector is only
+    ever attached when chaos is requested, never in the default path.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | str,
+        *,
+        sleep=time.sleep,
+    ) -> None:
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        self.plan = plan
+        self._states = [_RuleState(rule) for rule in plan.rules]
+        self._rng = np.random.default_rng(plan.seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        #: site -> number of faults actually produced there.
+        self.fired: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _roll(self, state: _RuleState, site: str) -> bool:
+        """Under the lock: does this rule fire for this call?"""
+        rule = state.rule
+        if rule.max_fires is not None and state.fires >= rule.max_fires:
+            return False
+        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+            return False
+        state.fires += 1
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return True
+
+    def fire(self, site: str, **info: Any) -> None:
+        """Evaluate every matching raise/latency rule at ``site``.
+
+        Raises :class:`InjectedFault` for transient/permanent rules,
+        sleeps for latency rules, ignores corrupt rules (those apply via
+        :meth:`corrupt` where a byte payload exists).
+        """
+        delay = 0.0
+        raised: Optional[InjectedFault] = None
+        with self._lock:
+            for state in self._states:
+                rule = state.rule
+                if rule.kind == "corrupt" or not rule.matches(site):
+                    continue
+                if not self._roll(state, site):
+                    continue
+                if rule.kind == "latency":
+                    delay += rule.latency_s
+                elif raised is None:
+                    detail = ", ".join(f"{k}={v}" for k, v in info.items())
+                    raised = InjectedFault(
+                        f"injected {rule.kind} fault at {site}"
+                        + (f" ({detail})" if detail else ""),
+                        site=site,
+                        kind=rule.kind,
+                    )
+        if delay > 0.0:
+            self._sleep(delay)
+        if raised is not None:
+            raise raised
+
+    def corrupt(self, site: str, payload: bytes) -> bytes:
+        """Apply matching corrupt rules to ``payload`` (flip one byte).
+
+        The corruption position is drawn from the seeded RNG, so a plan
+        replays identically.  Detection is the *caller's* job (the
+        transfer boundary checksums its payloads).
+        """
+        with self._lock:
+            for state in self._states:
+                rule = state.rule
+                if rule.kind != "corrupt" or not rule.matches(site):
+                    continue
+                if not self._roll(state, site):
+                    continue
+                if not payload:
+                    continue
+                position = int(self._rng.integers(0, len(payload)))
+                mutated = bytearray(payload)
+                mutated[position] ^= 0xFF
+                payload = bytes(mutated)
+        return payload
+
+    # ------------------------------------------------------------------
+    def total_fired(self) -> int:
+        with self._lock:
+            return sum(self.fired.values())
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.fired)
+
+
+def make_injector(
+    plan: FaultPlan | FaultInjector | str | None,
+) -> Optional[FaultInjector]:
+    """Normalize the ``Database(fault_plan=...)`` argument."""
+    if plan is None:
+        return None
+    if isinstance(plan, FaultInjector):
+        return plan
+    return FaultInjector(plan)

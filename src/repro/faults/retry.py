@@ -1,0 +1,80 @@
+"""Bounded retry with exponential backoff + jitter.
+
+Used by the independent strategy's transfer boundary: transient
+:class:`~repro.errors.TransferError`\\ s (I/O hiccups, detected
+corruption, injected transient faults) are worth retrying; permanent
+ones (an unpicklable payload) are not.  The policy is deliberately
+small and deterministic — a seeded RNG drives the jitter, and the sleep
+function is injectable so tests run at full speed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import TransferError
+
+
+def _default_retryable(exc: BaseException) -> bool:
+    return isinstance(exc, TransferError) and exc.transient
+
+
+@dataclass
+class RetryPolicy:
+    """How many attempts, and how long to wait between them.
+
+    Delay for attempt *n* (0-based failure count) is
+    ``min(max_delay_s, base_delay_s * 2**n) * (1 + jitter * U[0, 1))``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.1
+    jitter: float = 0.5
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay_for(self, failure_count: int) -> float:
+        base = min(self.max_delay_s, self.base_delay_s * (2**failure_count))
+        return base * (1.0 + self.jitter * float(self._rng.random()))
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    retryable: Callable[[BaseException], bool] = _default_retryable,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Run ``fn`` up to ``policy.max_attempts`` times.
+
+    Non-retryable exceptions propagate immediately.  When attempts are
+    exhausted the *last* exception propagates unchanged (it already
+    names the failing stage).  ``on_retry(attempt, exc)`` is invoked
+    before each backoff sleep — the independent strategy uses it to
+    count ``transfer_retries_total``.
+    """
+    policy = policy or RetryPolicy()
+    failures = 0
+    while True:
+        try:
+            return fn()
+        except BaseException as exc:  # noqa: BLE001 - filtered below
+            if not retryable(exc):
+                raise
+            failures += 1
+            if failures >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(failures, exc)
+            policy.sleep(policy.delay_for(failures - 1))

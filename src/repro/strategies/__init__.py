@@ -16,6 +16,7 @@ three-way cost breakdown (loading / inference / relational).
 from repro.strategies.base import (
     CollaborativeQuery,
     CostBreakdown,
+    FallbackChain,
     ModelTask,
     QueryType,
     Strategy,
@@ -28,6 +29,7 @@ from repro.strategies.tight import TightStrategy
 __all__ = [
     "CollaborativeQuery",
     "CostBreakdown",
+    "FallbackChain",
     "IndependentStrategy",
     "LooseStrategy",
     "ModelTask",

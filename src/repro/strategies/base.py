@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.compiler import CompiledModel
 from repro.core.selectivity import NudfSelectivity
 from repro.engine.database import Database
+from repro.errors import TransferError, UdfError
 from repro.hardware import HardwareProfile, SERVER_CPU
 from repro.tensor.model import Model
 
@@ -252,3 +253,97 @@ class Strategy:
         if not self.use_gpu:
             return 0.0
         return self.profile.transfer_time(num_bytes)
+
+
+#: Failures a fallback chain recovers from: a broken/tripped model UDF
+#: (:class:`UdfError` covers :class:`~repro.errors.CircuitOpenError`) or
+#: a failing system boundary.  Deadline, cancellation, and memory errors
+#: are properties of the *query*, not of one strategy, so they propagate.
+RECOVERABLE_STRATEGY_ERRORS = (UdfError, TransferError)
+
+
+class FallbackChain(Strategy):
+    """Serve a collaborative query from the first strategy that works.
+
+    Wraps an ordered preference list — e.g. loose (DB-UDF) first, then
+    tight (DL2SQL), then independent (DB-PyTorch) — and degrades down it
+    when the preferred strategy fails with a recoverable error.  Later
+    strategies bind their tasks lazily, only when actually needed, so the
+    happy path pays nothing for the safety net.
+
+    The returned :class:`StrategyResult` records the degradation:
+    ``details["served_by"]`` names the strategy that answered,
+    ``details["degraded"]`` is True when it was not the primary, and
+    ``details["fallback_failures"]`` lists what each skipped strategy
+    died of.  Each hop also increments ``strategy_fallbacks_total`` when
+    the database carries a metrics registry.
+    """
+
+    def __init__(self, strategies: Sequence[Strategy]) -> None:
+        if not strategies:
+            raise ValueError("FallbackChain needs at least one strategy")
+        self.strategies = list(strategies)
+        # Mirror the primary's identity; deliberately skip
+        # Strategy.__init__ (each wrapped strategy validated its own
+        # profile/GPU combination already).
+        primary = self.strategies[0]
+        self.name = "+".join(s.name for s in self.strategies)
+        self.capabilities = primary.capabilities
+        self.profile = primary.profile
+        self.use_gpu = primary.use_gpu
+        #: strategy index -> task names bound on it (lazy for index > 0).
+        self._bound_on: dict[int, set[str]] = {
+            i: set() for i in range(len(self.strategies))
+        }
+
+    def bind_task(self, db: Database, task: ModelTask) -> float:
+        """Bind on the primary strategy only; fallbacks bind lazily."""
+        seconds = self.strategies[0].bind_task(db, task)
+        self._bound_on[0].add(task.name)
+        return seconds
+
+    def unbind_task(self, db: Database, task: ModelTask) -> None:
+        for index, strategy in enumerate(self.strategies):
+            if task.name in self._bound_on[index]:
+                strategy.unbind_task(db, task)
+                self._bound_on[index].discard(task.name)
+
+    def run(
+        self,
+        db: Database,
+        query: CollaborativeQuery,
+        tasks: Mapping[str, ModelTask],
+    ) -> StrategyResult:
+        failures: list[str] = []
+        last_error: Optional[Exception] = None
+        for index, strategy in enumerate(self.strategies):
+            self._ensure_bound(index, db, tasks)
+            try:
+                result = strategy.run(db, query, tasks)
+            except RECOVERABLE_STRATEGY_ERRORS as exc:
+                failures.append(f"{strategy.name}: {exc}")
+                last_error = exc
+                if db.metrics is not None:
+                    db.metrics.counter(
+                        "strategy_fallbacks_total",
+                        "Strategy failures that fell through to the next "
+                        "strategy in a fallback chain",
+                    ).inc()
+                continue
+            result.details["served_by"] = strategy.name
+            result.details["degraded"] = index > 0
+            if failures:
+                result.details["fallback_failures"] = list(failures)
+            return result
+        assert last_error is not None
+        raise last_error
+
+    def _ensure_bound(
+        self, index: int, db: Database, tasks: Mapping[str, ModelTask]
+    ) -> None:
+        strategy = self.strategies[index]
+        bound = self._bound_on[index]
+        for task in tasks.values():
+            if task.name not in bound:
+                strategy.bind_task(db, task)
+                bound.add(task.name)

@@ -20,15 +20,15 @@ and the database work as *relational* cost.
 
 from __future__ import annotations
 
-import pickle
 import time
-from typing import Mapping
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
 from repro.errors import WorkloadError
 from repro.engine.database import Database
 from repro.engine.infer_cache import hash_row
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.sql.ast_nodes import (
     BinaryOp,
     ColumnRef,
@@ -50,6 +50,7 @@ from repro.strategies.rewrite import (
     single_table_conjuncts,
     table_aliases,
 )
+from repro.strategies.transfer import roundtrip
 
 #: Where nUDF arguments live in the workload schema.
 VIDEO_TABLE = "video"
@@ -73,9 +74,17 @@ class IndependentStrategy(Strategy):
         gpu_support="Easy",
     )
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(
+        self, *args, retry_policy: Optional[RetryPolicy] = None, **kwargs
+    ) -> None:
         super().__init__(*args, **kwargs)
         self._bound: dict[str, _BoundTask] = {}
+        #: Backoff policy for the pickle boundary; transient
+        #: :class:`~repro.errors.TransferError`\ s (checksum mismatches,
+        #: injected wire faults) are retried, permanent ones propagate.
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
 
     # ------------------------------------------------------------------
     def bind_task(self, db: Database, task: ModelTask) -> float:
@@ -178,14 +187,19 @@ class IndependentStrategy(Strategy):
                 span.set("rows", exported.num_rows)
 
             # 2. Serialize across the system boundary (both directions are
-            # real pickle round-trips: relational rows -> tensor batch).
+            # real, checksummed pickle round-trips: relational rows ->
+            # tensor batch).  Transient transfer faults are retried with
+            # backoff; the wall clock — including backoff sleeps — is
+            # charged to the loading bucket, where the paper puts
+            # cross-system I/O cost.
             with db.tracer.span("transfer", direction="db_to_dl") as span:
                 started = time.perf_counter()
-                payload = pickle.dumps(exported.rows())
-                keys_and_frames = pickle.loads(payload)
+                keys_and_frames, payload_bytes = self._transfer(
+                    db, exported.rows(), stage="db_to_dl"
+                )
                 loading_raw += time.perf_counter() - started
-                transfer_bytes += len(payload)
-                span.set("transfer_bytes", len(payload))
+                transfer_bytes += payload_bytes
+                span.set("transfer_bytes", payload_bytes)
                 span.set("rows", len(keys_and_frames))
 
             # 3. Inference in the DL framework.  The application layer
@@ -205,7 +219,9 @@ class IndependentStrategy(Strategy):
             # 4. Import predictions back into the database.
             with db.tracer.span("transfer", direction="dl_to_db") as span:
                 started = time.perf_counter()
-                back = pickle.loads(pickle.dumps(predictions))
+                back, import_bytes = self._transfer(
+                    db, predictions, stage="dl_to_db"
+                )
                 pred_table_name = f"pred_{role}"
                 pred_table = Table.from_dict(
                     pred_table_name,
@@ -216,7 +232,6 @@ class IndependentStrategy(Strategy):
                 )
                 db.register_table(pred_table, temp=True, replace=True)
                 loading_raw += time.perf_counter() - started
-                import_bytes = len(pickle.dumps(back))
                 transfer_bytes += import_bytes
                 span.set("transfer_bytes", import_bytes)
                 span.set("rows", len(back))
@@ -268,6 +283,30 @@ class IndependentStrategy(Strategy):
                 "transfer_bytes": transfer_bytes,
                 "rewritten_sql": rewritten.to_sql(),
             },
+        )
+
+    def _transfer(
+        self, db: Database, obj: Any, *, stage: str
+    ) -> tuple[Any, int]:
+        """One checksummed boundary crossing, retried on transient faults.
+
+        Each retry increments ``transfer_retries_total`` when the database
+        carries a metrics registry; permanent :class:`TransferError`\\ s
+        (unpicklable payloads, corrupt-beyond-checksum data) propagate
+        with the failing stage named.
+        """
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            if db.metrics is not None:
+                db.metrics.counter(
+                    "transfer_retries_total",
+                    "Transient transfer failures retried with backoff",
+                ).inc()
+
+        return call_with_retry(
+            lambda: roundtrip(obj, faults=db.faults, stage=stage),
+            policy=self._retry_policy,
+            on_retry=on_retry,
         )
 
 

@@ -1,0 +1,150 @@
+"""The DB↔DL serialization boundary, made a first-class failure domain.
+
+Independent processing (DB-PyTorch) moves every intermediate result
+across a system boundary: relational rows are pickled into a payload,
+shipped, and unpickled on the other side.  Historically this was two
+bare ``pickle`` calls that either worked or took the process down; this
+module wraps the round-trip so that
+
+* every failure surfaces as a typed :class:`~repro.errors.TransferError`
+  carrying the failing ``stage`` and the payload ``nbytes`` at that
+  point (an unpicklable object, a truncated buffer, a corrupt payload);
+* payloads carry a BLAKE2b checksum, so corruption on the wire —
+  including faults injected at the ``transfer.serialize`` /
+  ``transfer.deserialize`` sites — is *detected* and reported as a
+  transient (retryable) error rather than yielding garbage rows;
+* the fault injector's transfer sites are honored, letting the chaos
+  harness exercise the boundary deterministically.
+
+Transient errors compose with :func:`repro.faults.retry.call_with_retry`
+— the independent strategy retries the whole stage with exponential
+backoff and counts ``transfer_retries_total``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import TransferError
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.faults.injector import FaultInjector
+
+#: Bytes of BLAKE2b digest prefixed to every payload.
+CHECKSUM_BYTES = 16
+
+
+def _checksum(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=CHECKSUM_BYTES).digest()
+
+
+def serialize_payload(
+    obj: Any,
+    *,
+    faults: Optional["FaultInjector"] = None,
+    stage: str = "serialize",
+) -> bytes:
+    """Pickle ``obj`` into a checksummed payload.
+
+    Raises :class:`TransferError` (permanent) when the object cannot be
+    pickled, and re-raises injected faults at ``transfer.serialize`` as
+    transfer errors with their transient flag preserved.
+    """
+    if faults is not None:
+        _fire_as_transfer(faults, "transfer.serialize", stage)
+    try:
+        payload = pickle.dumps(obj)
+    except Exception as exc:
+        raise TransferError(
+            f"transfer stage {stage!r} could not serialize payload: {exc}",
+            stage=stage,
+            transient=False,
+        ) from exc
+    if faults is not None:
+        # Corruption applies to the raw payload; the checksum is computed
+        # over the *uncorrupted* bytes so the receiver detects the damage.
+        digest = _checksum(payload)
+        payload = faults.corrupt("transfer.serialize", payload)
+        return digest + payload
+    return _checksum(payload) + payload
+
+
+def deserialize_payload(
+    data: bytes,
+    *,
+    faults: Optional["FaultInjector"] = None,
+    stage: str = "deserialize",
+) -> Any:
+    """Verify and unpickle a payload produced by :func:`serialize_payload`.
+
+    A checksum mismatch (corruption in flight) is *transient* — the
+    sender still holds the original object, so a retry re-serializes and
+    usually succeeds.  A payload that fails to unpickle despite a valid
+    checksum is permanent.
+    """
+    if faults is not None:
+        _fire_as_transfer(faults, "transfer.deserialize", stage)
+    if len(data) < CHECKSUM_BYTES:
+        raise TransferError(
+            f"transfer stage {stage!r} received a truncated payload "
+            f"({len(data)} bytes)",
+            stage=stage,
+            nbytes=len(data),
+            transient=True,
+        )
+    digest, payload = data[:CHECKSUM_BYTES], data[CHECKSUM_BYTES:]
+    if _checksum(payload) != digest:
+        raise TransferError(
+            f"transfer stage {stage!r} detected payload corruption "
+            f"({len(payload)} bytes, checksum mismatch)",
+            stage=stage,
+            nbytes=len(payload),
+            transient=True,
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise TransferError(
+            f"transfer stage {stage!r} could not deserialize payload: {exc}",
+            stage=stage,
+            nbytes=len(payload),
+            transient=False,
+        ) from exc
+
+
+def roundtrip(
+    obj: Any,
+    *,
+    faults: Optional["FaultInjector"] = None,
+    stage: str = "transfer",
+) -> tuple[Any, int]:
+    """Serialize + deserialize ``obj`` (one boundary crossing).
+
+    Returns ``(object, payload_bytes)`` where ``payload_bytes`` counts
+    the pickled body (excluding the checksum frame), matching what the
+    cost model charges as transfer volume.
+    """
+    data = serialize_payload(obj, faults=faults, stage=f"{stage}.serialize")
+    result = deserialize_payload(
+        data, faults=faults, stage=f"{stage}.deserialize"
+    )
+    return result, len(data) - CHECKSUM_BYTES
+
+
+def _fire_as_transfer(
+    faults: "FaultInjector", site: str, stage: str
+) -> None:
+    """Fire an injection site, converting injected faults to transfer
+    errors so retry/backoff treats real and injected faults uniformly."""
+    from repro.faults.injector import InjectedFault
+
+    try:
+        faults.fire(site, stage=stage)
+    except InjectedFault as exc:
+        raise TransferError(
+            f"transfer stage {stage!r} failed: {exc}",
+            stage=stage,
+            transient=exc.transient,
+        ) from exc

@@ -1,0 +1,95 @@
+"""Circuit-breaker state machine, on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        failure_threshold=3, reset_timeout_s=10.0, clock=clock
+    )
+
+
+def test_starts_closed_and_allows(breaker):
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_opens_after_consecutive_failures(breaker):
+    for _ in range(3):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+    assert breaker.times_opened == 1
+
+
+def test_success_resets_failure_streak(breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_retry_after_counts_down(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.retry_after_s() == pytest.approx(10.0)
+    clock.now = 4.0
+    assert breaker.retry_after_s() == pytest.approx(6.0)
+
+
+def test_half_open_admits_single_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.allow()  # the probe slot
+    assert not breaker.allow()  # everyone else waits for the probe
+
+
+def test_probe_success_closes(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_immediately(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_failure()  # one probe failure, not threshold-many
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+    assert breaker.times_opened == 2
+    # Fresh cooldown from the reopen instant.
+    assert breaker.retry_after_s() == pytest.approx(10.0)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)

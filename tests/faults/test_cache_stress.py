@@ -1,0 +1,117 @@
+"""Concurrency stress for the inference cache.
+
+The parallel UDF dispatcher hits the cache from worker threads while the
+main thread inserts and invalidates; these tests hammer the same paths
+from many threads and check the invariants that matter: the byte budget
+holds, counters stay consistent, and no value is ever served under the
+wrong key.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.infer_cache import MISSING, InferenceCache
+
+
+THREADS = 6
+OPS_PER_THREAD = 300
+
+
+def run_threads(target) -> list[BaseException]:
+    errors: list[BaseException] = []
+
+    def wrapped(seed: int) -> None:
+        try:
+            target(seed)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(seed,))
+        for seed in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def key_for(seed: int, i: int) -> bytes:
+    return bytes([seed]) + i.to_bytes(4, "big")
+
+
+def test_parallel_put_get_invalidate_holds_invariants():
+    cache = InferenceCache(max_bytes=8 * 1024)
+
+    def worker(seed: int) -> None:
+        namespace = f"udf{seed % 3}"
+        for i in range(OPS_PER_THREAD):
+            key = key_for(seed, i)
+            cache.put(namespace, key, float(seed * OPS_PER_THREAD + i))
+            values, missed = cache.get_many(namespace, [key])
+            if values[0] is not MISSING:
+                # Never the wrong value, even under concurrent eviction.
+                assert values[0] == float(seed * OPS_PER_THREAD + i)
+            else:
+                assert missed == [0]
+            if i % 50 == 49:
+                cache.invalidate(namespace)
+
+    errors = run_threads(worker)
+    assert errors == []
+    assert 0 <= cache.bytes_used <= cache.max_bytes
+    total_lookups = THREADS * OPS_PER_THREAD
+    assert cache.hits + cache.misses == total_lookups
+    stats = cache.stats_dict()
+    assert stats["entries"] == len(cache)
+    assert stats["bytes"] == cache.bytes_used
+
+
+def test_parallel_batch_lookups_count_every_row():
+    cache = InferenceCache(max_bytes=1 << 20)
+    shared_keys = [key_for(0, i) for i in range(32)]
+    for key in shared_keys:
+        cache.put("shared", key, 1.0)
+
+    def worker(seed: int) -> None:
+        for _ in range(OPS_PER_THREAD):
+            values, missed = cache.get_many("shared", shared_keys)
+            assert missed == []
+            assert all(value == 1.0 for value in values)
+
+    errors = run_threads(worker)
+    assert errors == []
+    assert cache.hits == THREADS * OPS_PER_THREAD * len(shared_keys)
+    assert cache.misses == 0
+    assert cache.evictions == 0
+
+
+def test_eviction_under_pressure_never_breaks_budget():
+    cache = InferenceCache(max_bytes=2 * 1024)
+
+    def worker(seed: int) -> None:
+        for i in range(OPS_PER_THREAD):
+            cache.put("hot", key_for(seed, i), float(i))
+
+    errors = run_threads(worker)
+    assert errors == []
+    assert 0 < cache.bytes_used <= cache.max_bytes
+    assert cache.evictions > 0
+    # Whatever survived is individually retrievable.
+    survivors = 0
+    for seed in range(THREADS):
+        for i in range(OPS_PER_THREAD):
+            values, _ = cache.get_many("hot", [key_for(seed, i)])
+            if values[0] is not MISSING:
+                survivors += 1
+                assert values[0] == float(i)
+    assert survivors == len(cache)
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        InferenceCache(max_bytes=0)

@@ -1,0 +1,186 @@
+"""Deadlines, cooperative cancellation, and memory admission."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.engine.memory import MemoryAccountant
+from repro.engine.qcontext import CancellationToken, QueryContext
+from repro.engine.udf import BatchUdf
+from repro.errors import (
+    QueryCancelledError,
+    QueryMemoryExceeded,
+    QueryTimeoutError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.storage.schema import DataType
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestQueryContext:
+    def test_no_deadline_never_expires(self):
+        clock = FakeClock()
+        qctx = QueryContext(clock=clock)
+        clock.now += 1e9
+        qctx.check()  # no deadline, no token: always passes
+        assert qctx.checks == 1
+        assert not qctx.expired()
+
+    def test_timeout_raises_typed_error(self):
+        clock = FakeClock()
+        qctx = QueryContext(timeout_s=2.0, clock=clock)
+        clock.now += 1.0
+        qctx.check()  # still inside the deadline
+        clock.now += 1.5
+        with pytest.raises(QueryTimeoutError) as exc_info:
+            qctx.check()
+        error = exc_info.value
+        assert error.code == "R001"
+        assert error.timeout_s == 2.0
+        assert error.elapsed == pytest.approx(2.5)
+
+    def test_cancellation_wins_over_timeout(self):
+        clock = FakeClock()
+        token = CancellationToken()
+        qctx = QueryContext(timeout_s=1.0, cancel_token=token, clock=clock)
+        clock.now += 5.0  # deadline long gone
+        token.cancel("stop it")
+        with pytest.raises(QueryCancelledError) as exc_info:
+            qctx.check()
+        assert exc_info.value.code == "R002"
+        assert "stop it" in str(exc_info.value)
+
+
+class TestExecuteDeadlines:
+    def test_zero_timeout_raises_before_running(self, workload_db):
+        with pytest.raises(QueryTimeoutError) as exc_info:
+            workload_db.execute(
+                "SELECT COUNT(*) FROM video", timeout_s=0.0
+            )
+        assert exc_info.value.code == "R001"
+        # The database is reusable after the abort.
+        result = workload_db.execute("SELECT COUNT(*) FROM video")
+        assert result.num_rows == 1
+
+    def test_precancelled_token(self, workload_db):
+        token = CancellationToken()
+        token.cancel("operator pressed stop")
+        with pytest.raises(QueryCancelledError, match="operator pressed stop"):
+            workload_db.execute(
+                "SELECT COUNT(*) FROM video", cancel_token=token
+            )
+
+    def test_timeout_and_cancel_metrics(self, tiny_dataset):
+        metrics = MetricsRegistry()
+        db = Database(metrics=metrics)
+        tiny_dataset.install(db)
+        with pytest.raises(QueryTimeoutError):
+            db.execute("SELECT COUNT(*) FROM video", timeout_s=0.0)
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            db.execute("SELECT COUNT(*) FROM video", cancel_token=token)
+        assert metrics.counter("query_timeouts_total").value == 1
+        assert metrics.counter("query_cancellations_total").value == 1
+
+    def test_mid_query_cancel_attaches_partial_trace(self, workload_db):
+        """A UDF cancels the token mid-execution; the typed error carries
+        the span tree built before the abort."""
+        workload_db.tracer = Tracer(enabled=True)
+        token = CancellationToken()
+
+        def cancel_then_echo(values: np.ndarray) -> np.ndarray:
+            token.cancel("poison batch")
+            return values.astype(np.float64)
+
+        workload_db.register_udf(
+            BatchUdf(
+                name="poison",
+                fn=cancel_then_echo,
+                return_dtype=DataType.FLOAT64,
+            )
+        )
+        # Two invocations: the first cancels, the second's per-batch
+        # check observes it and aborts the statement.
+        with pytest.raises(QueryCancelledError) as exc_info:
+            workload_db.execute(
+                "SELECT poison(humidity), poison(temperature) FROM fabric",
+                cancel_token=token,
+            )
+        trace = exc_info.value.partial_trace
+        assert trace is not None
+        assert trace.name == "query"
+
+    def test_loose_udf_query_times_out_promptly(
+        self, tiny_dataset, detect_task
+    ):
+        """The acceptance check: a neural-UDF collaborative query under a
+        tiny deadline aborts at the next batch boundary, not after the
+        whole scan."""
+        from repro.strategies import LooseStrategy
+        from repro.strategies.base import QueryType
+        from repro.workload.queries import QueryGenerator
+
+        db = Database()
+        tiny_dataset.install(db)
+        LooseStrategy().bind_task(db, detect_task)
+        query = QueryGenerator(tiny_dataset).make_query(QueryType(3), 0.9)
+
+        started = time.perf_counter()
+        with pytest.raises(QueryTimeoutError) as exc_info:
+            db.execute(query.sql, timeout_s=0.001)
+        wall = time.perf_counter() - started
+        assert wall < 10.0  # cooperative abort, not a full run
+        assert exc_info.value.elapsed >= 0.001
+
+
+class TestMemoryAdmission:
+    def test_accountant_admits_and_accounts(self):
+        accountant = MemoryAccountant(1000)
+        accountant.admit(400, "hash join")
+        accountant.admit(500, "cross join")
+        assert accountant.admitted_bytes == 900
+        assert accountant.peak_request == 500
+        assert accountant.admissions == 2
+
+    def test_accountant_rejects_oversize(self):
+        accountant = MemoryAccountant(1000)
+        with pytest.raises(QueryMemoryExceeded) as exc_info:
+            accountant.admit(1001, "cross join")
+        error = exc_info.value
+        assert error.code == "R003"
+        assert error.requested == 1001
+        assert error.budget == 1000
+        assert error.what == "cross join"
+
+    def test_accountant_validates_budget(self):
+        with pytest.raises(ValueError):
+            MemoryAccountant(0)
+
+    def test_cross_join_rejected_before_materializing(self, tiny_dataset):
+        db = Database(query_memory_bytes=4096)
+        tiny_dataset.install(db)
+        with pytest.raises(QueryMemoryExceeded) as exc_info:
+            db.execute("SELECT * FROM video, fabric")
+        assert "cross join" in str(exc_info.value)
+
+    def test_same_join_admitted_under_generous_budget(self, tiny_dataset):
+        db = Database(query_memory_bytes=1 << 30)
+        tiny_dataset.install(db)
+        result = db.execute(
+            "SELECT COUNT(*) FROM video, fabric "
+            "WHERE video.transID = fabric.transID"
+        )
+        assert result.rows()[0][0] > 0

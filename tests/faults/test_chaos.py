@@ -1,0 +1,50 @@
+"""The seeded chaos suite (run with ``pytest -m chaos``).
+
+Each plan injects deterministic faults into a live database while a set
+of reference queries runs; the invariant is *identical results or a
+typed error, never a hang and never silent corruption*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import DEFAULT_PLANS, run_chaos
+from repro.faults.injector import FaultPlan
+
+
+pytestmark = pytest.mark.chaos
+
+
+def test_default_plan_roster_is_broad():
+    assert len(DEFAULT_PLANS) >= 5
+    names = [plan.name for plan in DEFAULT_PLANS]
+    assert len(names) == len(set(names))
+    # Every plan parses back from its own text form (CLI --plan syntax).
+    for plan in DEFAULT_PLANS:
+        parsed = FaultPlan.parse(plan.to_text())
+        assert parsed.rules == plan.rules
+
+
+def test_quick_chaos_run_survives_and_fires_faults():
+    report = run_chaos(quick=True)
+    assert report.ok, report.to_text()
+    assert report.hung == 0
+    assert report.failed == 0
+    assert report.survived == len(report.outcomes)
+    # The harness is only meaningful if faults actually fired.
+    assert sum(report.faults_fired.values()) > 0
+
+
+def test_chaos_cli_quick_exit_code(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "survived" in out
+
+
+def test_chaos_cli_rejects_bad_plan(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--plan", "udf.batch_call:sometimes"]) == 2

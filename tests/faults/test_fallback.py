@@ -1,0 +1,171 @@
+"""FallbackChain: graceful degradation across strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CircuitOpenError, TransferError, UdfError
+from repro.obs.metrics import MetricsRegistry
+from repro.strategies import FallbackChain
+from repro.strategies.base import (
+    CostBreakdown,
+    QueryType,
+    Strategy,
+    StrategyCapabilities,
+    StrategyResult,
+)
+
+
+STUB_CAPABILITIES = StrategyCapabilities(
+    implementation_complexity="Low",
+    flexibility="-",
+    optimization="-",
+    scalability="-",
+    io_cost="-",
+    gpu_support="-",
+)
+
+
+class StubStrategy(Strategy):
+    """A scriptable strategy: fails with ``error`` or answers ``rows``."""
+
+    capabilities = STUB_CAPABILITIES
+
+    def __init__(self, name, *, error=None, rows=((1,),)):
+        super().__init__()
+        self.name = name
+        self.error = error
+        self.rows = [tuple(r) for r in rows]
+        self.bound: list[str] = []
+        self.runs = 0
+
+    def bind_task(self, db, task):
+        self.bound.append(task.name)
+        return 0.0
+
+    def unbind_task(self, db, task):
+        self.bound.remove(task.name)
+
+    def run(self, db, query, tasks):
+        self.runs += 1
+        if self.error is not None:
+            raise self.error
+        return StrategyResult(rows=list(self.rows), breakdown=CostBreakdown())
+
+
+class FakeTask:
+    name = "stub_task"
+
+
+class TestFallbackChainUnit:
+    def setup_method(self):
+        self.db = Database(metrics=MetricsRegistry())
+        self.tasks = {"detect": FakeTask()}
+
+    def test_primary_serves_when_healthy(self):
+        primary = StubStrategy("primary")
+        backup = StubStrategy("backup")
+        chain = FallbackChain([primary, backup])
+        chain.bind_task(self.db, FakeTask())
+        result = chain.run(self.db, None, self.tasks)
+        assert result.details["served_by"] == "primary"
+        assert result.details["degraded"] is False
+        assert "fallback_failures" not in result.details
+        # The safety net stayed lazy: backup never bound, never ran.
+        assert backup.bound == []
+        assert backup.runs == 0
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            UdfError("model exploded"),
+            CircuitOpenError("breaker open", udf_name="nUDF_detect"),
+            TransferError("wire noise", stage="db_to_dl", transient=True),
+        ],
+        ids=["udf-error", "circuit-open", "transfer-error"],
+    )
+    def test_recoverable_error_falls_through(self, error):
+        primary = StubStrategy("primary", error=error)
+        backup = StubStrategy("backup", rows=((42,),))
+        chain = FallbackChain([primary, backup])
+        result = chain.run(self.db, None, self.tasks)
+        assert result.rows == [(42,)]
+        assert result.details["served_by"] == "backup"
+        assert result.details["degraded"] is True
+        assert result.details["fallback_failures"] == [f"primary: {error}"]
+        # The backup was bound lazily, on first need.
+        assert backup.bound == ["stub_task"]
+        assert (
+            self.db.metrics.counter("strategy_fallbacks_total").value == 1
+        )
+
+    def test_unrecoverable_error_propagates(self):
+        primary = StubStrategy("primary", error=ValueError("logic bug"))
+        backup = StubStrategy("backup")
+        chain = FallbackChain([primary, backup])
+        with pytest.raises(ValueError, match="logic bug"):
+            chain.run(self.db, None, self.tasks)
+        assert backup.runs == 0  # bugs must not be papered over
+
+    def test_all_strategies_fail_raises_last(self):
+        chain = FallbackChain(
+            [
+                StubStrategy("a", error=UdfError("first")),
+                StubStrategy("b", error=UdfError("second")),
+            ]
+        )
+        with pytest.raises(UdfError, match="second"):
+            chain.run(self.db, None, self.tasks)
+        assert (
+            self.db.metrics.counter("strategy_fallbacks_total").value == 2
+        )
+
+    def test_unbind_covers_lazily_bound_strategies(self):
+        task = FakeTask()
+        primary = StubStrategy("primary", error=UdfError("down"))
+        backup = StubStrategy("backup")
+        chain = FallbackChain([primary, backup])
+        chain.bind_task(self.db, task)
+        chain.run(self.db, None, {"detect": task})
+        chain.unbind_task(self.db, task)
+        assert primary.bound == []
+        assert backup.bound == []
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackChain([])
+
+
+def test_loose_falls_back_to_independent(tiny_dataset, detect_task):
+    """End to end: the in-database UDF path is poisoned with permanent
+    faults, so the chain degrades to the independent strategy — which
+    pulls the data out and never calls the in-database UDF."""
+    from repro.strategies import IndependentStrategy, LooseStrategy
+    from repro.workload.queries import QueryGenerator
+
+    metrics = MetricsRegistry()
+    db = Database(metrics=metrics, fault_plan="udf.batch_call:permanent")
+    tiny_dataset.install(db)
+    chain = FallbackChain([LooseStrategy(), IndependentStrategy()])
+    chain.bind_task(db, detect_task)
+    query = QueryGenerator(tiny_dataset).make_query(QueryType(3), 0.2)
+
+    result = chain.run(db, query, {"detect": detect_task})
+
+    assert result.details["served_by"] == "DB-PyTorch"
+    assert result.details["degraded"] is True
+    assert any(
+        "DB-UDF" in failure
+        for failure in result.details["fallback_failures"]
+    )
+    assert metrics.counter("strategy_fallbacks_total").value == 1
+
+    # The degraded answer is the *correct* answer: a clean database
+    # serving the same query through the primary agrees row for row.
+    clean_db = Database()
+    tiny_dataset.install(clean_db)
+    loose = LooseStrategy()
+    loose.bind_task(clean_db, detect_task)
+    clean = loose.run(clean_db, query, {"detect": detect_task})
+    assert sorted(result.rows) == sorted(clean.rows)

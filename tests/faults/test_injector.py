@@ -1,0 +1,177 @@
+"""Fault-plan parsing and the injector's deterministic schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import (
+    KNOWN_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+    make_injector,
+)
+
+
+class TestPlanParsing:
+    def test_single_rule(self):
+        plan = FaultPlan.parse("udf.batch_call:transient")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert rule.site == "udf.batch_call"
+        assert rule.kind == "transient"
+        assert rule.probability == 1.0
+        assert rule.max_fires is None
+
+    def test_modifiers_any_order(self):
+        for text in (
+            "udf.batch_call:transient@0.25#3",
+            "udf.batch_call:transient#3@0.25",
+        ):
+            rule = FaultPlan.parse(text).rules[0]
+            assert rule.probability == 0.25
+            assert rule.max_fires == 3
+
+    def test_latency_modifier(self):
+        rule = FaultPlan.parse("operator.*:latency~0.002@0.1").rules[0]
+        assert rule.latency_s == 0.002
+        assert rule.probability == 0.1
+
+    def test_seed_element(self):
+        plan = FaultPlan.parse("seed=7; cache.insert:permanent")
+        assert plan.seed == 7
+        assert len(plan.rules) == 1
+
+    def test_to_text_roundtrip(self):
+        text = "seed=7; udf.batch_call:transient@0.25#3; operator.*:latency~0.002@0.1"
+        plan = FaultPlan.parse(text)
+        again = FaultPlan.parse(plan.to_text())
+        assert again.rules == plan.rules
+        assert again.seed == plan.seed
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultPlan.parse("udf.bach_call:transient")
+
+    def test_glob_site_allowed(self):
+        rule = FaultPlan.parse("transfer.*:corrupt").rules[0]
+        assert rule.matches("transfer.serialize")
+        assert rule.matches("transfer.deserialize")
+        assert not rule.matches("udf.batch_call")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.parse("udf.batch_call:sometimes")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("udf.batch_call:transient@1.5")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad seed"):
+            FaultPlan.parse("seed=banana; udf.batch_call:transient")
+
+    def test_every_known_site_parses(self):
+        for site in KNOWN_SITES:
+            assert FaultPlan.parse(f"{site}:transient").rules[0].site == site
+
+
+class TestInjector:
+    def test_fires_transient_fault(self):
+        injector = FaultInjector("udf.batch_call:transient")
+        with pytest.raises(InjectedFault) as exc_info:
+            injector.fire("udf.batch_call", udf="f")
+        assert exc_info.value.transient
+        assert exc_info.value.site == "udf.batch_call"
+
+    def test_permanent_fault_not_transient(self):
+        injector = FaultInjector("udf.batch_call:permanent")
+        with pytest.raises(InjectedFault) as exc_info:
+            injector.fire("udf.batch_call")
+        assert not exc_info.value.transient
+
+    def test_non_matching_site_is_noop(self):
+        injector = FaultInjector("udf.batch_call:permanent")
+        injector.fire("cache.insert")
+        assert injector.total_fired() == 0
+
+    def test_max_fires(self):
+        injector = FaultInjector("udf.batch_call:transient#2")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.fire("udf.batch_call")
+        injector.fire("udf.batch_call")  # exhausted: no raise
+        assert injector.stats() == {"udf.batch_call": 2}
+
+    def test_probability_schedule_is_deterministic(self):
+        plan = "seed=3; udf.batch_call:transient@0.5"
+
+        def schedule(injector: FaultInjector) -> list[bool]:
+            fired = []
+            for _ in range(64):
+                try:
+                    injector.fire("udf.batch_call")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        first = schedule(FaultInjector(plan))
+        second = schedule(FaultInjector(plan))
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_latency_uses_injected_sleep(self):
+        slept: list[float] = []
+        injector = FaultInjector(
+            "operator.next_batch:latency~0.25", sleep=slept.append
+        )
+        injector.fire("operator.next_batch")
+        assert slept == [0.25]
+
+    def test_corrupt_flips_one_byte(self):
+        injector = FaultInjector("seed=5; transfer.serialize:corrupt#1")
+        payload = bytes(range(32))
+        mutated = injector.corrupt("transfer.serialize", payload)
+        differing = [
+            i for i, (a, b) in enumerate(zip(payload, mutated)) if a != b
+        ]
+        assert len(differing) == 1
+        # Exhausted after one fire: further payloads pass untouched.
+        assert injector.corrupt("transfer.serialize", payload) == payload
+
+    def test_fire_ignores_corrupt_rules(self):
+        injector = FaultInjector("transfer.serialize:corrupt")
+        injector.fire("transfer.serialize")  # corrupt never raises
+        assert injector.total_fired() == 0
+
+
+class TestMakeInjector:
+    def test_none_passthrough(self):
+        assert make_injector(None) is None
+
+    def test_text_plan(self):
+        injector = make_injector("udf.batch_call:transient")
+        assert isinstance(injector, FaultInjector)
+
+    def test_injector_passthrough(self):
+        injector = FaultInjector(FaultPlan())
+        assert make_injector(injector) is injector
+
+    def test_plan_object(self):
+        plan = FaultPlan(rules=(FaultRule("cache.insert", "permanent"),))
+        assert make_injector(plan).plan is plan
+
+
+def test_database_reads_fault_plan_env(monkeypatch):
+    from repro.engine import Database
+
+    monkeypatch.setenv("FAULT_PLAN", "seed=9; udf.batch_call:permanent#1")
+    db = Database()
+    assert db.faults is not None
+    assert db.faults.plan.seed == 9
+
+    monkeypatch.delenv("FAULT_PLAN")
+    assert Database().faults is None

@@ -1,0 +1,122 @@
+"""Retry policy: backoff shape, retryability filtering, exhaustion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransferError
+from repro.faults.retry import RetryPolicy, call_with_retry
+
+
+def make_policy(**overrides):
+    slept: list[float] = []
+    defaults = dict(
+        max_attempts=3, base_delay_s=0.01, max_delay_s=0.04,
+        jitter=0.0, sleep=slept.append,
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults), slept
+
+
+def transient(stage="probe"):
+    return TransferError("flaky", stage=stage, transient=True)
+
+
+def test_succeeds_after_transient_failures():
+    policy, slept = make_policy()
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise transient()
+        return "ok"
+
+    assert call_with_retry(flaky, policy=policy) == "ok"
+    assert calls["n"] == 3
+    assert len(slept) == 2
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy, _ = make_policy(max_attempts=5, jitter=0.0)
+    delays = [policy.delay_for(n) for n in range(4)]
+    assert delays == pytest.approx([0.01, 0.02, 0.04, 0.04])
+
+
+def test_jitter_stays_in_band_and_is_seeded():
+    policy_a = RetryPolicy(jitter=0.5, seed=11, sleep=lambda _: None)
+    policy_b = RetryPolicy(jitter=0.5, seed=11, sleep=lambda _: None)
+    delays_a = [policy_a.delay_for(0) for _ in range(8)]
+    delays_b = [policy_b.delay_for(0) for _ in range(8)]
+    assert delays_a == delays_b  # seeded jitter replays
+    for delay in delays_a:
+        assert policy_a.base_delay_s <= delay <= policy_a.base_delay_s * 1.5
+
+
+def test_permanent_error_not_retried():
+    policy, slept = make_policy()
+    calls = {"n": 0}
+
+    def broken():
+        calls["n"] += 1
+        raise TransferError("dead", stage="serialize", transient=False)
+
+    with pytest.raises(TransferError):
+        call_with_retry(broken, policy=policy)
+    assert calls["n"] == 1
+    assert slept == []
+
+
+def test_exhaustion_raises_last_error():
+    policy, slept = make_policy(max_attempts=3)
+    calls = {"n": 0}
+
+    def always_flaky():
+        calls["n"] += 1
+        raise transient(stage=f"attempt{calls['n']}")
+
+    with pytest.raises(TransferError) as exc_info:
+        call_with_retry(always_flaky, policy=policy)
+    assert exc_info.value.stage == "attempt3"
+    assert calls["n"] == 3
+    assert len(slept) == 2  # no sleep after the final failure
+
+
+def test_on_retry_hook_sees_each_retry():
+    policy, _ = make_policy()
+    seen: list[tuple[int, str]] = []
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise transient()
+        return "ok"
+
+    call_with_retry(
+        flaky, policy=policy,
+        on_retry=lambda attempt, exc: seen.append((attempt, exc.stage)),
+    )
+    assert seen == [(1, "probe"), (2, "probe")]
+
+
+def test_custom_retryable_filter():
+    policy, _ = make_policy()
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ValueError("once")
+        return calls["n"]
+
+    result = call_with_retry(
+        flaky, policy=policy,
+        retryable=lambda exc: isinstance(exc, ValueError),
+    )
+    assert result == 2
+
+
+def test_max_attempts_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)

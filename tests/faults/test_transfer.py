@@ -1,0 +1,129 @@
+"""The typed, checksummed transfer boundary (independent strategy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransferError
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.strategies.transfer import (
+    CHECKSUM_BYTES,
+    deserialize_payload,
+    roundtrip,
+    serialize_payload,
+)
+
+
+def test_roundtrip_identity():
+    payload = [("frame", 1, 0.5), ("frame", 2, 1.5)]
+    result, nbytes = roundtrip(payload)
+    assert result == payload
+    assert nbytes > 0
+
+
+def test_unpicklable_payload_is_permanent_transfer_error():
+    # Regression: the boundary used to die with a raw pickle error.
+    unpicklable = [lambda x: x]
+    with pytest.raises(TransferError) as exc_info:
+        serialize_payload(unpicklable, stage="db_to_dl.serialize")
+    error = exc_info.value
+    assert error.stage == "db_to_dl.serialize"
+    assert not error.transient  # a retry cannot fix this payload
+
+
+def test_truncated_payload_is_transient():
+    with pytest.raises(TransferError) as exc_info:
+        deserialize_payload(b"\x00" * (CHECKSUM_BYTES - 1), stage="probe")
+    error = exc_info.value
+    assert error.transient
+    assert error.nbytes == CHECKSUM_BYTES - 1
+
+
+def test_tampered_payload_detected_by_checksum():
+    data = bytearray(serialize_payload({"rows": [1, 2, 3]}))
+    data[-1] ^= 0xFF
+    with pytest.raises(TransferError) as exc_info:
+        deserialize_payload(bytes(data), stage="probe")
+    error = exc_info.value
+    assert error.transient
+    assert "corruption" in str(error)
+
+
+def test_injected_corruption_detected_not_served():
+    faults = FaultInjector("seed=2; transfer.serialize:corrupt#1")
+    payload = [("frame", i) for i in range(16)]
+    with pytest.raises(TransferError) as exc_info:
+        roundtrip(payload, faults=faults, stage="wire")
+    assert exc_info.value.transient
+
+
+def test_injected_corruption_survives_with_retry():
+    faults = FaultInjector("seed=2; transfer.serialize:corrupt#1")
+    payload = [("frame", i) for i in range(16)]
+    policy = RetryPolicy(sleep=lambda _: None)
+    result, _ = call_with_retry(
+        lambda: roundtrip(payload, faults=faults, stage="wire"),
+        policy=policy,
+    )
+    assert result == payload  # second attempt crossed clean
+
+
+def test_injected_permanent_fault_propagates_with_stage():
+    faults = FaultInjector("transfer.deserialize:permanent")
+    with pytest.raises(TransferError) as exc_info:
+        roundtrip([1, 2, 3], faults=faults, stage="dl_to_db")
+    error = exc_info.value
+    assert error.stage == "dl_to_db.deserialize"
+    assert not error.transient
+
+
+def test_independent_strategy_surfaces_transfer_error(
+    tiny_dataset, detect_task
+):
+    """End to end: a permanently failing boundary kills the strategy with
+    a typed TransferError naming the stage, not a raw pickle error."""
+    from repro.engine import Database
+    from repro.strategies.base import QueryType
+    from repro.strategies.independent import IndependentStrategy
+    from repro.workload.queries import QueryGenerator
+
+    db = Database(fault_plan="transfer.serialize:permanent")
+    tiny_dataset.install(db)
+    strategy = IndependentStrategy(
+        retry_policy=RetryPolicy(sleep=lambda _: None)
+    )
+    strategy.bind_task(db, detect_task)
+    query = QueryGenerator(tiny_dataset).make_query(QueryType(3), 0.2)
+    with pytest.raises(TransferError) as exc_info:
+        strategy.run(db, query, {"detect": detect_task})
+    assert exc_info.value.stage == "db_to_dl.serialize"
+
+
+def test_transfer_retries_counted_in_metrics(tiny_dataset, detect_task):
+    from repro.engine import Database
+    from repro.obs.metrics import MetricsRegistry
+    from repro.strategies.base import QueryType
+    from repro.strategies.independent import IndependentStrategy
+    from repro.workload.queries import QueryGenerator
+
+    metrics = MetricsRegistry()
+    db = Database(
+        metrics=metrics,
+        fault_plan="seed=4; transfer.serialize:transient#1",
+    )
+    tiny_dataset.install(db)
+    strategy = IndependentStrategy(
+        retry_policy=RetryPolicy(sleep=lambda _: None)
+    )
+    strategy.bind_task(db, detect_task)
+    query = QueryGenerator(tiny_dataset).make_query(QueryType(3), 0.2)
+    result = strategy.run(db, query, {"detect": detect_task})
+    assert result.rows is not None
+    assert (
+        metrics.counter(
+            "transfer_retries_total",
+            "Transient transfer failures retried with backoff",
+        ).value
+        == 1
+    )
