@@ -13,6 +13,9 @@ L004   non-sargable predicate: builtin function wrapped around a column
        inside a comparison against a literal
 L005   multiple nUDF conjuncts written in an order that contradicts
        their estimated selectivities (cheapest filter should run first)
+L006   comparison against the NULL literal (``x = NULL`` / ``x != NULL``)
+       — always UNKNOWN under three-valued logic, so the predicate never
+       passes; the fix-it suggests ``IS [NOT] NULL``
 =====  ==============================================================
 
 ``lint_statement`` is pure analysis (no execution); when no catalog is
@@ -54,10 +57,15 @@ LINT_RULES: dict[str, str] = {
     "L003": "cross join without a connecting predicate",
     "L004": "function call around a column makes the predicate non-sargable",
     "L005": "nUDF conjuncts not ordered by estimated selectivity",
+    "L006": "comparison with NULL is always UNKNOWN; use IS [NOT] NULL",
 }
 
 _EQUALITY_OPS = ("=", "!=", "<>")
 _COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def _is_null_literal(expression: Expression) -> bool:
+    return isinstance(expression, Literal) and expression.value is None
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,7 @@ def lint_statement(
     findings.extend(linter.check_cross_join())
     findings.extend(linter.check_non_sargable())
     findings.extend(linter.check_nudf_ordering())
+    findings.extend(linter.check_null_comparison())
     findings.sort(key=lambda f: (f.span.start if f.span else 1 << 30, f.code))
     return findings
 
@@ -315,6 +324,39 @@ class _Linter:
                         )
                     )
                     break
+        return findings
+
+    # -- L006 -----------------------------------------------------------
+    def check_null_comparison(self) -> list[LintFinding]:
+        findings: list[LintFinding] = []
+        expressions = list(self._all_conditions())
+        expressions.extend(i.expression for i in self.statement.items)
+        for root in expressions:
+            for node in walk_expression(root):
+                if (
+                    not isinstance(node, BinaryOp)
+                    or node.op not in _EQUALITY_OPS
+                ):
+                    continue
+                null_side, other_side = node.right, node.left
+                if not _is_null_literal(null_side):
+                    null_side, other_side = node.left, node.right
+                if not _is_null_literal(null_side):
+                    continue
+                negated = node.op in ("!=", "<>")
+                suggestion = (
+                    f"{other_side.to_sql()} IS "
+                    f"{'NOT ' if negated else ''}NULL"
+                )
+                findings.append(
+                    LintFinding(
+                        "L006",
+                        f"{node.to_sql()} is always UNKNOWN under "
+                        "three-valued logic (no row ever passes); "
+                        f"write {suggestion} instead",
+                        span=span_of(node),
+                    )
+                )
         return findings
 
     # -- L005 -----------------------------------------------------------

@@ -39,6 +39,7 @@ from typing import Any, Optional
 
 from repro.analysis.types import (
     SCALAR_RETURNS,
+    aggregate_nullable,
     aggregate_return_type,
     arithmetic_ok,
     arithmetic_result,
@@ -73,16 +74,33 @@ from repro.storage.schema import DataType
 _COMPARISON_OPS = frozenset(("=", "!=", "<>", "<", "<=", ">", ">="))
 _ARITHMETIC_OPS = frozenset(("+", "-", "*", "/", "%"))
 
+#: Builtins that can emit NaN from definite inputs; NaN reads back as
+#: NULL (the engine's float encoding), so these are always nullable.
+_NAN_CAPABLE_BUILTINS = frozenset(("sqrt", "ln", "log", "pow", "power"))
+
 
 @dataclass(frozen=True)
 class ColumnType:
-    """One output column: display name plus inferred type (None=unknown)."""
+    """One output column: display name plus inferred type (None=unknown).
+
+    ``nullable`` is the analyzer's verdict on whether the column can hold
+    SQL NULL.  It is conservative: True unless the expression provably
+    never yields NULL (literals, count(*), IS NULL, coalesce with a
+    non-nullable argument, references to null-free base columns).
+    ``render`` deliberately omits it — plan headers stay stable — use
+    ``render_nullable`` when the distinction matters.
+    """
 
     name: str
     dtype: Optional[DataType]
+    nullable: bool = True
 
     def render(self) -> str:
         return f"{self.name} {self.dtype.value if self.dtype else '?'}"
+
+    def render_nullable(self) -> str:
+        suffix = "" if self.nullable else " NOT NULL"
+        return f"{self.render()}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -115,18 +133,21 @@ class _Relation:
     order: list[str] = field(default_factory=list)
     open: bool = False
     source_keys: dict[str, Optional[tuple]] = field(default_factory=dict)
+    nullable: dict[str, bool] = field(default_factory=dict)
 
     def add(
         self,
         name: str,
         dtype: Optional[DataType],
         source_key: Optional[tuple] = None,
+        nullable: bool = True,
     ) -> None:
         key = name.lower()
         if key not in self.columns:
             self.order.append(name)
         self.columns[key] = dtype
         self.source_keys[key] = source_key
+        self.nullable[key] = nullable
 
 
 class _Scope:
@@ -135,6 +156,7 @@ class _Scope:
     def __init__(self, relations: list[_Relation]) -> None:
         self.relations = relations
         self.aliases: dict[str, Optional[DataType]] = {}
+        self.alias_nullable: dict[str, bool] = {}
 
     @property
     def has_open_relation(self) -> bool:
@@ -189,6 +211,24 @@ class _Scope:
                     span=span,
                 )
         return matches[0].columns[key]
+
+    def resolve_nullable(self, ref: ColumnRef) -> bool:
+        """Whether ``ref`` can be NULL; True when resolution is unsure.
+
+        Called only after :meth:`resolve` accepted the reference, so every
+        unknown is answered conservatively instead of raised.
+        """
+        key = ref.name.lower()
+        if ref.table is not None:
+            qualifier = ref.table.lower()
+            for relation in self.relations:
+                if relation.qualifier == qualifier:
+                    return relation.nullable.get(key, True)
+            return True
+        for relation in self.relations:
+            if key in relation.columns:
+                return relation.nullable.get(key, True)
+        return True
 
 
 def _known_columns_hint(relation: _Relation) -> str:
@@ -251,9 +291,11 @@ class SemanticAnalyzer:
             dtype = self._infer(
                 item.expression, scope, allow_aggregates=True
             )
+            nullable = self._nullable(item.expression, scope)
             name = item.output_name(ordinal)
-            output.append(ColumnType(name, dtype))
+            output.append(ColumnType(name, dtype, nullable))
             scope.aliases[name.lower()] = dtype
+            scope.alias_nullable[name.lower()] = nullable
 
         if statement.having is not None:
             self._infer_relaxed(statement.having, scope)
@@ -308,7 +350,12 @@ class SemanticAnalyzer:
                 qualifier=(table_ref.alias or "").lower() or None
             )
             for column in schema.columns:
-                relation.add(column.name, column.dtype, source_key=None)
+                relation.add(
+                    column.name,
+                    column.dtype,
+                    source_key=None,
+                    nullable=column.nullable,
+                )
             relations.append(relation)
             return
         raise SemanticError(
@@ -329,6 +376,7 @@ class SemanticAnalyzer:
                         column.name,
                         column.dtype,
                         source_key=("view", name.lower(), column.name.lower()),
+                        nullable=column.nullable,
                     )
                 return relation
             table = catalog.get_table(name)
@@ -339,10 +387,20 @@ class SemanticAnalyzer:
             # rejecting comparisons that are fine for every actual row.
             trust_types = table.num_rows > 0
             for spec in table.schema:
+                # Nullability is read off the stored data: a column with
+                # no NULLs *now* is typed NOT NULL for this plan.  Like
+                # ``trust_types`` this is a snapshot verdict — analysis
+                # runs per plan-cache miss, so a later INSERT of NULLs is
+                # seen the next time the statement is planned.
+                nullable = (
+                    not trust_types
+                    or table.column(spec.name).null_mask() is not None
+                )
                 relation.add(
                     spec.name,
                     spec.dtype if trust_types else None,
                     source_key=("table", name.lower(), spec.name.lower()),
+                    nullable=nullable,
                 )
             return relation
         if name == "__dual__":
@@ -427,7 +485,11 @@ class SemanticAnalyzer:
     @staticmethod
     def _relation_columns(relation: _Relation) -> list[ColumnType]:
         return [
-            ColumnType(name, relation.columns[name.lower()])
+            ColumnType(
+                name,
+                relation.columns[name.lower()],
+                relation.nullable.get(name.lower(), True),
+            )
             for name in relation.order
         ]
 
@@ -455,6 +517,78 @@ class SemanticAnalyzer:
                 ):
                     return None
             raise
+
+    # -- expression nullability inference ------------------------------
+    def _nullable(self, expression: Expression, scope: _Scope) -> bool:
+        """Whether ``expression`` can evaluate to SQL NULL.
+
+        Conservative: True unless the expression provably always yields a
+        definite value.  Mirrors the runtime's three-valued semantics —
+        NULL-propagating kernels, Kleene AND/OR, CASE without ELSE
+        defaulting to NULL, aggregates over possibly-empty groups — plus
+        the engine's NaN≡NULL float convention (division and NaN-capable
+        math builtins are nullable even over NOT NULL inputs).
+        """
+        if isinstance(expression, Literal):
+            return expression.value is None
+        if isinstance(expression, ColumnRef):
+            return scope.resolve_nullable(expression)
+        if isinstance(expression, IsNull):
+            return False
+        if isinstance(expression, UnaryOp):
+            return self._nullable(expression.operand, scope)
+        if isinstance(expression, BinaryOp):
+            # Division's NaN (e.g. 1/0) reads back as NULL; float modulo
+            # shares the encoding.  Everything else propagates operands.
+            if expression.op in ("/", "%"):
+                return True
+            return self._nullable(expression.left, scope) or self._nullable(
+                expression.right, scope
+            )
+        if isinstance(expression, FunctionCall):
+            return self._nullable_call(expression, scope)
+        if isinstance(expression, CaseExpression):
+            if expression.default is None:
+                return True  # no ELSE: unmatched rows are NULL
+            branches = [value for _, value in expression.whens]
+            branches.append(expression.default)
+            return any(self._nullable(branch, scope) for branch in branches)
+        if isinstance(expression, InList):
+            if self._nullable(expression.operand, scope):
+                return True
+            return any(self._nullable(item, scope) for item in expression.items)
+        if isinstance(expression, Between):
+            return any(
+                self._nullable(part, scope)
+                for part in (expression.operand, expression.low, expression.high)
+            )
+        if isinstance(expression, ScalarSubquery):
+            return True  # zero-row subquery yields NULL
+        return True
+
+    def _nullable_call(self, call: FunctionCall, scope: _Scope) -> bool:
+        lowered = call.name.lower()
+        if lowered in AGGREGATE_NAMES:
+            return aggregate_nullable(call.name)
+        if lowered in ("coalesce", "ifnull"):
+            return all(
+                self._nullable(arg, scope)
+                for arg in call.args
+                if not isinstance(arg, Star)
+            )
+        if lowered == "if" and len(call.args) == 3:
+            return self._nullable(call.args[1], scope) or self._nullable(
+                call.args[2], scope
+            )
+        if lowered in _NAN_CAPABLE_BUILTINS:
+            return True  # sqrt(-1) etc. produce NaN, which reads as NULL
+        if lowered in SCALAR_RETURNS:
+            return any(
+                self._nullable(arg, scope)
+                for arg in call.args
+                if not isinstance(arg, Star)
+            )
+        return True  # UDFs and unknown functions may return anything
 
     # -- expression type inference -------------------------------------
     def _infer(

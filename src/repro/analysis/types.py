@@ -80,6 +80,23 @@ def aggregate_return_type(
     return None
 
 
+#: Aggregates whose result can never be NULL, regardless of input.
+#: ``count``/``countIf`` return 0 over empty groups and ``groupArray``
+#: returns an empty list; every other aggregate yields NULL when its
+#: group has no non-NULL argument rows (``physical._group_validity``).
+_NON_NULLABLE_AGGREGATES = frozenset(("count", "countif", "grouparray"))
+
+
+def aggregate_nullable(name: str) -> bool:
+    """Whether aggregate ``name`` can produce NULL.
+
+    Mirrors ``physical._compute_aggregate``: SUM/AVG/MIN/MAX/stddev/var/
+    any/sumIf over an empty or all-NULL group are NULL; COUNT variants
+    and groupArray always produce a definite value.
+    """
+    return name.lower() not in _NON_NULLABLE_AGGREGATES
+
+
 def comparison_ok(
     left: Optional[DataType], right: Optional[DataType]
 ) -> bool:

@@ -133,22 +133,42 @@ class Result:
         return self.frame.num_rows if self._frame is not None else 0
 
     def rows(self) -> list[tuple[Any, ...]]:
+        """Row tuples with SQL NULL rendered as Python ``None``.
+
+        This is the transfer boundary: NULLs encoded as validity-mask
+        bits, in-band ``None`` or float NaN all come out as ``None``, so
+        round-tripping rows through pickle / ``Table.from_dict`` (the
+        independent strategy's path) preserves NULL-ness.
+        """
         frame = self.frame
         arrays = [c.data for c in frame.columns]
-        return [tuple(a[i] for a in arrays) for i in range(frame.num_rows)]
+        nulls = [c.null_mask() for c in frame.columns]
+        if all(n is None for n in nulls):
+            return [tuple(a[i] for a in arrays) for i in range(frame.num_rows)]
+        return [
+            tuple(
+                None if n is not None and n[i] else a[i]
+                for a, n in zip(arrays, nulls)
+            )
+            for i in range(frame.num_rows)
+        ]
 
     def column(self, name: str) -> np.ndarray:
         return self.frame.resolve(name, None).data
 
     def scalar(self) -> Any:
-        """The single value of a 1x1 result set."""
+        """The single value of a 1x1 result set (``None`` for SQL NULL)."""
         frame = self.frame
         if frame.num_rows != 1 or frame.num_columns != 1:
             raise ExecutionError(
                 f"scalar() needs a 1x1 result, got "
                 f"{frame.num_rows}x{frame.num_columns}"
             )
-        value = frame.columns[0].data[0]
+        column = frame.columns[0]
+        null = column.null_mask()
+        if null is not None and null[0]:
+            return None
+        value = column.data[0]
         if isinstance(value, np.generic):
             return value.item()
         return value
@@ -620,7 +640,11 @@ class Database:
                 "scalar subquery returned "
                 f"{frame.num_rows}x{frame.num_columns}, expected 1x1"
             )
-        value = frame.columns[0].data[0]
+        column = frame.columns[0]
+        null = column.null_mask()
+        if null is not None and null[0]:
+            return None
+        value = column.data[0]
         if isinstance(value, np.generic):
             return value.item()
         return value
@@ -746,6 +770,9 @@ class Database:
             subquery_executor=self._execute_scalar_subquery,
         )
         vector = evaluator.evaluate(expression)
+        valid = vector.materialize_valid(1)
+        if valid is not None and not valid[0]:
+            return None
         data = vector.materialize(1)
         return data[0]
 
@@ -764,14 +791,45 @@ class Database:
             else:
                 mask = np.ones(frame.num_rows, dtype=bool)
             for column_name, value_expression in statement.assignments:
-                current = table.column(column_name).data.copy()
-                new_values = evaluator.evaluate(value_expression).materialize(
-                    frame.num_rows
+                column = table.column(column_name)
+                current = column.data.copy()
+                current_valid = (
+                    column.valid.copy()
+                    if column.valid is not None
+                    else np.ones(len(current), dtype=bool)
                 )
+                vector = evaluator.evaluate(value_expression)
+                new_values = vector.materialize(frame.num_rows)
+                new_null = vector.null_mask(frame.num_rows)
                 if current.dtype != object and new_values.dtype != current.dtype:
-                    new_values = new_values.astype(current.dtype)
+                    if new_null is None:
+                        new_values = new_values.astype(current.dtype)
+                    else:
+                        # SET col = NULL (or a NULL-bearing expression) on a
+                        # fixed-width column: cast only the real values and
+                        # leave a sentinel under the mask.
+                        dense = np.zeros(len(new_values), dtype=current.dtype)
+                        present = ~new_null
+                        if present.any():
+                            dense[present] = new_values[present].astype(
+                                current.dtype
+                            )
+                        new_values = dense
                 current[mask] = new_values[mask]
-                table.replace_column(column_name, current)
+                if new_null is None:
+                    current_valid[mask] = True
+                else:
+                    current_valid[mask] = ~new_null[mask]
+                    nulled = mask & new_null
+                    if current.dtype == object:
+                        current[nulled] = None
+                    elif current.dtype.kind == "f":
+                        current[nulled] = np.nan
+                table.replace_column(
+                    column_name,
+                    current,
+                    None if current_valid.all() else current_valid,
+                )
             affected = int(mask.sum())
             token.record_rows(affected)
         self.statistics.invalidate(statement.table_name)

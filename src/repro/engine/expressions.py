@@ -15,6 +15,16 @@ Typing rules (pragmatic ClickHouse-ish subset):
   (``F.printdate > '2021-01-01'`` works as the paper writes it);
 * ``COUNT(<boolean expr>)`` is given countIf semantics by the aggregate
   operator — see :mod:`repro.engine.physical`.
+
+NULL semantics (see ``docs/engine_semantics.md``):
+
+* every :class:`Vector` carries an optional validity mask; NULL-free
+  vectors carry none and take none of the NULL branches (pay-as-you-go);
+* ``AND``/``OR``/``NOT`` follow Kleene three-valued logic;
+* comparisons, arithmetic and scalar function kernels propagate NULL;
+* BOOL vectors keep ``False`` at NULL rows, so a predicate mask is the
+  data itself with NULL rows already filtered out (SQL's NULL-is-not-
+  TRUE rule).
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.errors import ExecutionError, PlanError, UdfError
+from repro.errors import PlanError, UdfError
 from repro.engine.frame import Frame
 from repro.sql.ast_nodes import (
     Between,
@@ -41,6 +51,7 @@ from repro.sql.ast_nodes import (
     UnaryOp,
 )
 from repro.storage.schema import DataType, parse_date
+from repro.storage.validity import null_mask_of
 
 #: Aggregate function names recognized by the planner.  ``stddevSamp`` and
 #: friends follow ClickHouse spelling; matching is case-insensitive.
@@ -73,22 +84,59 @@ class Vector:
 
     ``is_scalar`` marks values produced from literals or scalar subqueries
     before broadcasting; binary operators broadcast them against real
-    vectors for free via numpy.
+    vectors for free via numpy.  A scalar whose ``data`` is ``None`` is
+    the NULL scalar regardless of dtype.
+
+    ``valid`` is the validity mask (``False`` = NULL row); ``None`` means
+    null-free *as far as the mask knows* — object arrays may still hold
+    in-band ``None`` and float arrays in-band NaN, which
+    :meth:`null_mask` also reports.
     """
 
     data: Any
     dtype: DataType
     is_scalar: bool = False
+    valid: Optional[np.ndarray] = None
+
+    @property
+    def is_null_scalar(self) -> bool:
+        return self.is_scalar and self.data is None
 
     def materialize(self, num_rows: int) -> np.ndarray:
-        """Broadcast to a full-length numpy array."""
+        """Broadcast to a full-length numpy array.
+
+        A NULL scalar materializes to the dtype's sentinel fill (``None``
+        for object columns, NaN for floats, 0/False otherwise) — pair it
+        with :meth:`materialize_valid` to keep the NULL-ness.
+        """
         if not self.is_scalar:
             return self.data
         if self.dtype in (DataType.STRING, DataType.BLOB):
             out = np.empty(num_rows, dtype=object)
             out[:] = self.data
             return out
+        if self.data is None:
+            target = self.dtype.numpy_dtype
+            if target.kind == "f":
+                return np.full(num_rows, np.nan)
+            return np.zeros(num_rows, dtype=target)
         return np.full(num_rows, self.data, dtype=self.dtype.numpy_dtype)
+
+    def materialize_valid(self, num_rows: int) -> Optional[np.ndarray]:
+        """Full-length validity mask, or None when mask-free."""
+        if self.is_scalar:
+            if self.data is None:
+                return np.zeros(num_rows, dtype=bool)
+            return None
+        return self.valid
+
+    def null_mask(self, num_rows: int) -> Optional[np.ndarray]:
+        """True at NULL rows (mask, in-band None, or NaN); None if none."""
+        if self.is_scalar:
+            if self.data is None:
+                return np.ones(num_rows, dtype=bool)
+            return None
+        return null_mask_of(self.data, self.valid)
 
 
 ScalarFunction = Callable[..., Vector]
@@ -153,13 +201,13 @@ class Evaluator:
             slot = self._aggregate_slots.get(expression.to_sql())
             if slot is not None:
                 column = self._frame.resolve(slot, None)
-                return Vector(column.data, column.dtype)
+                return Vector(column.data, column.dtype, valid=column.valid)
 
         if isinstance(expression, Literal):
             return _literal_vector(expression.value)
         if isinstance(expression, ColumnRef):
             column = self._frame.resolve(expression.name, expression.table)
-            return Vector(column.data, column.dtype)
+            return Vector(column.data, column.dtype, valid=column.valid)
         if isinstance(expression, Star):
             raise PlanError("* is only valid inside COUNT(*) or a select list")
         if isinstance(expression, UnaryOp):
@@ -181,48 +229,64 @@ class Evaluator:
         raise PlanError(f"cannot evaluate expression node {type(expression).__name__}")
 
     def evaluate_mask(self, expression: Expression) -> np.ndarray:
-        """Evaluate a predicate to a boolean mask over the frame."""
+        """Evaluate a predicate to a boolean mask over the frame.
+
+        SQL predicate semantics: a NULL (unknown) outcome filters the row
+        out, i.e. NULL maps to False here.
+        """
         vector = self.evaluate(expression)
-        data = vector.materialize(self._frame.num_rows)
+        num_rows = self._frame.num_rows
+        if vector.is_null_scalar:
+            return np.zeros(num_rows, dtype=bool)
+        data = vector.materialize(num_rows)
+        null = vector.null_mask(num_rows)
         if data.dtype != np.bool_:
             data = data.astype(bool)
+        if null is not None:
+            data = data & ~null
         return data
 
     # ------------------------------------------------------------------
     def _unary(self, expression: UnaryOp) -> Vector:
         operand = self.evaluate(expression.operand)
+        num_rows = self._frame.num_rows
         if expression.op.upper() == "NOT":
-            data = operand.materialize(self._frame.num_rows).astype(bool)
-            return Vector(~data, DataType.BOOL)
+            return _kleene_not(operand, num_rows)
         if expression.op == "-":
+            if operand.is_null_scalar:
+                return operand
             if operand.is_scalar:
                 return Vector(-operand.data, operand.dtype, is_scalar=True)
-            return Vector(-operand.data, operand.dtype)
+            return Vector(-operand.data, operand.dtype, valid=operand.valid)
         raise PlanError(f"unsupported unary operator {expression.op!r}")
 
     def _binary(self, expression: BinaryOp) -> Vector:
         op = expression.op.upper()
         left = self.evaluate(expression.left)
         right = self.evaluate(expression.right)
+        num_rows = self._frame.num_rows
 
         if op in ("AND", "OR"):
-            lhs = left.materialize(self._frame.num_rows).astype(bool)
-            rhs = right.materialize(self._frame.num_rows).astype(bool)
-            return Vector(lhs & rhs if op == "AND" else lhs | rhs, DataType.BOOL)
+            return _kleene_binary(op, left, right, num_rows)
 
         if op in ("=", "!=", "<", "<=", ">", ">="):
-            return _compare(op, left, right, self._frame.num_rows)
+            return _compare(op, left, right, num_rows)
 
         if op in ("+", "-", "*", "/", "%"):
-            return _arithmetic(op, left, right)
+            return _arithmetic(op, left, right, num_rows)
 
         if op == "||":
-            lhs = left.materialize(self._frame.num_rows)
-            rhs = right.materialize(self._frame.num_rows)
-            out = np.empty(self._frame.num_rows, dtype=object)
-            for i in range(self._frame.num_rows):
-                out[i] = str(lhs[i]) + str(rhs[i])
-            return Vector(out, DataType.STRING)
+            null = _union_null(left, right, num_rows)
+            lhs = left.materialize(num_rows)
+            rhs = right.materialize(num_rows)
+            out = np.empty(num_rows, dtype=object)
+            if null is None:
+                for i in range(num_rows):
+                    out[i] = str(lhs[i]) + str(rhs[i])
+                return Vector(out, DataType.STRING)
+            for i in range(num_rows):
+                out[i] = None if null[i] else str(lhs[i]) + str(rhs[i])
+            return Vector(out, DataType.STRING, valid=~null)
 
         raise PlanError(f"unsupported binary operator {expression.op!r}")
 
@@ -247,62 +311,90 @@ class Evaluator:
     def _case(self, expression: CaseExpression) -> Vector:
         num_rows = self._frame.num_rows
         conditions = []
-        choices = []
-        result_dtype: Optional[DataType] = None
+        choices: list[Vector] = []
         for condition, value in expression.whens:
+            # NULL conditions select nothing (SQL CASE skips them).
             conditions.append(self.evaluate_mask(condition))
-            value_vector = self.evaluate(value)
-            result_dtype = result_dtype or value_vector.dtype
-            choices.append(value_vector.materialize(num_rows))
+            choices.append(self.evaluate(value))
         if expression.default is not None:
-            default_vector = self.evaluate(expression.default)
-            default = default_vector.materialize(num_rows)
-            result_dtype = result_dtype or default_vector.dtype
+            default = self.evaluate(expression.default)
         else:
-            assert result_dtype is not None
-            default = np.zeros(num_rows, dtype=result_dtype.numpy_dtype)
-        if result_dtype in (DataType.STRING, DataType.BLOB):
-            out = default.copy()
-            for mask, choice in zip(reversed(conditions), reversed(choices)):
-                out[mask] = choice[mask]
+            # SQL: a CASE with no ELSE yields NULL for unmatched rows.
+            default = _literal_vector(None)
+        result_dtype = default.dtype if not default.is_null_scalar else None
+        for choice in choices:
+            if not choice.is_null_scalar:
+                result_dtype = _unify_dtypes(result_dtype, choice.dtype)
+        if result_dtype is None:
+            result_dtype = DataType.STRING
+        out = _cast_to(default, result_dtype, num_rows)
+        out_null = default.null_mask(num_rows)
+        out_null = (
+            out_null.copy()
+            if out_null is not None
+            else np.zeros(num_rows, dtype=bool)
+        )
+        out = out.copy()
+        for mask, choice in zip(reversed(conditions), reversed(choices)):
+            out[mask] = _cast_to(choice, result_dtype, num_rows)[mask]
+            choice_null = choice.null_mask(num_rows)
+            out_null[mask] = (
+                choice_null[mask] if choice_null is not None else False
+            )
+        if not out_null.any():
             return Vector(out, result_dtype)
-        return Vector(np.select(conditions, choices, default), result_dtype)
+        return Vector(out, result_dtype, valid=~out_null)
 
     def _in_list(self, expression: InList) -> Vector:
+        num_rows = self._frame.num_rows
         operand = self.evaluate(expression.operand)
-        data = operand.materialize(self._frame.num_rows)
-        mask = np.zeros(self._frame.num_rows, dtype=bool)
+        if operand.is_null_scalar:
+            return _all_null_bool(num_rows)
+        data = operand.materialize(num_rows)
+        operand_vec = Vector(data, operand.dtype, valid=operand.valid)
+        # Kleene OR-fold: x IN (a, b) == (x = a) OR (x = b), so a NULL
+        # element (or NULL operand) makes a non-matching row UNKNOWN.
+        value = np.zeros(num_rows, dtype=bool)
+        null = np.zeros(num_rows, dtype=bool)
         for item in expression.items:
             item_vector = self.evaluate(item)
-            compared = _compare(
-                "=", Vector(data, operand.dtype), item_vector, self._frame.num_rows
-            )
-            mask |= compared.materialize(self._frame.num_rows)
+            compared = _compare("=", operand_vec, item_vector, num_rows)
+            cv = compared.materialize(num_rows)
+            cn = compared.null_mask(num_rows)
+            value = value | cv
+            if cn is not None:
+                null = null | cn
+        null = null & ~value
         if expression.negated:
-            mask = ~mask
-        return Vector(mask, DataType.BOOL)
+            value = ~value & ~null
+        if not null.any():
+            return Vector(value, DataType.BOOL)
+        return Vector(value, DataType.BOOL, valid=~null)
 
     def _between(self, expression: Between) -> Vector:
         operand = self.evaluate(expression.operand)
         low = self.evaluate(expression.low)
         high = self.evaluate(expression.high)
         n = self._frame.num_rows
-        ge = _compare(">=", operand, low, n).materialize(n)
-        le = _compare("<=", operand, high, n).materialize(n)
-        mask = ge & le
+        ge = _compare(">=", operand, low, n)
+        le = _compare("<=", operand, high, n)
+        result = _kleene_binary("AND", ge, le, n)
         if expression.negated:
-            mask = ~mask
-        return Vector(mask, DataType.BOOL)
+            result = _kleene_not(result, n)
+        return result
 
     def _is_null(self, expression: IsNull) -> Vector:
         operand = self.evaluate(expression.operand)
-        data = operand.materialize(self._frame.num_rows)
-        if data.dtype == object:
-            mask = np.asarray([v is None for v in data], dtype=bool)
-        elif np.issubdtype(data.dtype, np.floating):
-            mask = np.isnan(data)
-        else:
-            mask = np.zeros(len(data), dtype=bool)
+        num_rows = self._frame.num_rows
+        if operand.is_scalar:
+            is_null = operand.data is None
+            return Vector(
+                is_null != expression.negated, DataType.BOOL, is_scalar=True
+            )
+        null = operand.null_mask(num_rows)
+        mask = (
+            null if null is not None else np.zeros(num_rows, dtype=bool)
+        )
         if expression.negated:
             mask = ~mask
         return Vector(mask, DataType.BOOL)
@@ -344,25 +436,125 @@ def _literal_vector(value: Any) -> Vector:
     return Vector(value, DataType.BLOB, is_scalar=True)
 
 
+def _all_null_bool(num_rows: int) -> Vector:
+    return Vector(
+        np.zeros(num_rows, dtype=bool),
+        DataType.BOOL,
+        valid=np.zeros(num_rows, dtype=bool),
+    )
+
+
+def _union_null(
+    left: Vector, right: Vector, num_rows: int
+) -> Optional[np.ndarray]:
+    """Rows where either operand is NULL; None when both are null-free."""
+    lnull = left.null_mask(num_rows)
+    rnull = right.null_mask(num_rows)
+    if lnull is None:
+        return rnull
+    if rnull is None:
+        return lnull
+    return lnull | rnull
+
+
+def _bool_result(value: np.ndarray, null: Optional[np.ndarray]) -> Vector:
+    """BOOL vector keeping the False-at-NULL convention."""
+    if null is None or not null.any():
+        return Vector(value, DataType.BOOL)
+    return Vector(value & ~null, DataType.BOOL, valid=~null)
+
+
+def _truth_and_null(
+    vector: Vector, num_rows: int
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """(definitely-true mask, null mask) of a boolean-ish vector."""
+    null = vector.null_mask(num_rows)
+    data = vector.materialize(num_rows)
+    if data.dtype != np.bool_:
+        data = data.astype(bool)
+    if null is not None:
+        data = data & ~null
+    return data, null
+
+
+def _kleene_not(operand: Vector, num_rows: int) -> Vector:
+    if operand.is_null_scalar:
+        return Vector(None, DataType.BOOL, is_scalar=True)
+    if operand.is_scalar:
+        return Vector(not bool(operand.data), DataType.BOOL, is_scalar=True)
+    value, null = _truth_and_null(operand, num_rows)
+    if null is None:
+        return Vector(~value, DataType.BOOL)
+    return _bool_result(~value, null)
+
+
+def _kleene_binary(op: str, left: Vector, right: Vector, num_rows: int) -> Vector:
+    """Kleene three-valued AND/OR.
+
+    AND: FALSE if either side is definitely false, TRUE if both true,
+    otherwise UNKNOWN.  OR is the dual.  The fast path (no NULLs on
+    either side) is the plain two-valued kernel.
+    """
+    lval, lnull = _truth_and_null(left, num_rows)
+    rval, rnull = _truth_and_null(right, num_rows)
+    if lnull is None and rnull is None:
+        return Vector(lval & rval if op == "AND" else lval | rval, DataType.BOOL)
+    ln = lnull if lnull is not None else np.zeros(num_rows, dtype=bool)
+    rn = rnull if rnull is not None else np.zeros(num_rows, dtype=bool)
+    if op == "AND":
+        definite_false = (~lval & ~ln) | (~rval & ~rn)
+        null = (ln | rn) & ~definite_false
+        value = lval & rval
+    else:
+        definite_true = lval | rval
+        null = (ln | rn) & ~definite_true
+        value = definite_true
+    return _bool_result(value, null)
+
+
+_ORDERED_OPS = frozenset(("<", "<=", ">", ">="))
+
+
 def _compare(op: str, left: Vector, right: Vector, num_rows: int) -> Vector:
+    if left.is_null_scalar or right.is_null_scalar:
+        # NULL compared with anything is UNKNOWN.
+        if left.is_scalar and right.is_scalar:
+            return Vector(None, DataType.BOOL, is_scalar=True)
+        return _all_null_bool(num_rows)
+
     left, right = _coerce_date_comparison(left, right)
 
     if left.is_scalar and right.is_scalar:
         result = _apply_comparison(op, left.data, right.data)
         return Vector(bool(result), DataType.BOOL, is_scalar=True)
 
-    lhs = left.data if not left.is_scalar else left.data
-    rhs = right.data if not right.is_scalar else right.data
+    null = _union_null(left, right, num_rows)
 
     string_side = DataType.STRING in (left.dtype, right.dtype)
     if string_side:
         lhs_arr = left.materialize(num_rows)
         rhs_arr = right.materialize(num_rows)
+        if null is not None and op in _ORDERED_OPS:
+            # Ordered comparison of object arrays calls Python's rich
+            # comparisons; None would raise TypeError, so NULL rows are
+            # compared against a placeholder and masked afterwards.
+            lhs_arr = _sanitize_object(lhs_arr, null, "")
+            rhs_arr = _sanitize_object(rhs_arr, null, "")
         result = _apply_comparison(op, lhs_arr, rhs_arr)
-        return Vector(np.asarray(result, dtype=bool), DataType.BOOL)
+        return _bool_result(np.asarray(result, dtype=bool), null)
 
-    result = _apply_comparison(op, lhs, rhs)
-    return Vector(np.asarray(result, dtype=bool), DataType.BOOL)
+    result = _apply_comparison(op, left.data, right.data)
+    return _bool_result(np.asarray(result, dtype=bool), null)
+
+
+def _sanitize_object(
+    array: np.ndarray, null: np.ndarray, placeholder: Any
+) -> np.ndarray:
+    if array.dtype != object:
+        return array
+    out = array.copy()
+    out[null] = placeholder
+    return out
 
 
 def _apply_comparison(op: str, lhs: Any, rhs: Any) -> Any:
@@ -393,17 +585,46 @@ def _coerce_date_comparison(left: Vector, right: Vector) -> tuple[Vector, Vector
 def _strings_to_dates(vector: Vector) -> Vector:
     if vector.is_scalar:
         return Vector(parse_date(vector.data), DataType.DATE, is_scalar=True)
-    ordinals = np.asarray([parse_date(v) for v in vector.data], dtype=np.int64)
-    return Vector(ordinals, DataType.DATE)
+    null = vector.null_mask(len(vector.data))
+    if null is None:
+        ordinals = np.asarray(
+            [parse_date(v) for v in vector.data], dtype=np.int64
+        )
+        return Vector(ordinals, DataType.DATE)
+    ordinals = np.asarray(
+        [0 if n else parse_date(v) for v, n in zip(vector.data, null)],
+        dtype=np.int64,
+    )
+    return Vector(ordinals, DataType.DATE, valid=~null)
 
 
-def _arithmetic(op: str, left: Vector, right: Vector) -> Vector:
-    both_scalar = left.is_scalar and right.is_scalar
-    lhs, rhs = left.data, right.data
+def _arithmetic(op: str, left: Vector, right: Vector, num_rows: int) -> Vector:
     int_inputs = left.dtype in (DataType.INT64, DataType.DATE) and right.dtype in (
         DataType.INT64,
         DataType.DATE,
     )
+    result_dtype = DataType.FLOAT64 if op == "/" else (
+        DataType.INT64 if int_inputs else DataType.FLOAT64
+    )
+    if left.is_null_scalar or right.is_null_scalar:
+        if left.is_scalar and right.is_scalar:
+            return Vector(None, result_dtype, is_scalar=True)
+        return Vector(
+            np.full(num_rows, np.nan)
+            if result_dtype is DataType.FLOAT64
+            else np.zeros(num_rows, dtype=np.int64),
+            result_dtype,
+            valid=np.zeros(num_rows, dtype=bool),
+        )
+
+    both_scalar = left.is_scalar and right.is_scalar
+    null = _union_null(left, right, num_rows) if not both_scalar else None
+    lhs, rhs = left.data, right.data
+    if null is not None and op in ("/", "%"):
+        # NULL rows hold an arbitrary sentinel (often 0); dividing by it
+        # would warn, so the denominator is patched to 1 under the mask.
+        rhs_dense = right.materialize(num_rows)
+        rhs = np.where(null, 1, rhs_dense)
     if op == "+":
         result = lhs + rhs
     elif op == "-":
@@ -414,30 +635,133 @@ def _arithmetic(op: str, left: Vector, right: Vector) -> Vector:
         result = np.divide(lhs, rhs) if not both_scalar else (
             lhs / rhs if rhs != 0 else float("nan")
         )
-        return Vector(result, DataType.FLOAT64, is_scalar=both_scalar)
+        return _finish_arithmetic(result, DataType.FLOAT64, both_scalar, null)
     elif op == "%":
         result = np.mod(lhs, rhs) if not both_scalar else lhs % rhs
     else:  # pragma: no cover - guarded by caller
         raise PlanError(f"unknown arithmetic operator {op!r}")
-    dtype = DataType.INT64 if int_inputs else DataType.FLOAT64
-    return Vector(result, dtype, is_scalar=both_scalar)
+    return _finish_arithmetic(result, result_dtype, both_scalar, null)
+
+
+def _finish_arithmetic(
+    result: Any,
+    dtype: DataType,
+    is_scalar: bool,
+    null: Optional[np.ndarray],
+) -> Vector:
+    if is_scalar or null is None:
+        return Vector(result, dtype, is_scalar=is_scalar)
+    result = np.asarray(result)
+    if result.dtype.kind == "f":
+        result = result.copy()
+        result[null] = np.nan
+    return Vector(result, dtype, valid=~null)
+
+
+def _unify_dtypes(
+    a: Optional[DataType], b: Optional[DataType]
+) -> DataType:
+    """Common result type for branch expressions (if(), CASE)."""
+    if a is None:
+        assert b is not None
+        return b
+    if b is None:
+        return a
+    if a is b:
+        return a
+    numeric = (DataType.INT64, DataType.FLOAT64, DataType.BOOL, DataType.DATE)
+    if a in numeric and b in numeric:
+        if DataType.FLOAT64 in (a, b):
+            return DataType.FLOAT64
+        return DataType.INT64
+    if DataType.BLOB in (a, b):
+        return DataType.BLOB
+    return DataType.STRING
+
+
+def _cast_to(vector: Vector, dtype: DataType, num_rows: int) -> np.ndarray:
+    """Materialize ``vector`` as the physical dtype of ``dtype``.
+
+    NULLs (null scalars, in-band ``None``) land as the target's sentinel
+    fill — callers carry the NULL-ness separately via ``null_mask``.
+    """
+    target = dtype.numpy_dtype
+    if vector.is_null_scalar:
+        if target == object:
+            out = np.empty(num_rows, dtype=object)
+            out[:] = None
+            return out
+        if target.kind == "f":
+            return np.full(num_rows, np.nan)
+        return np.zeros(num_rows, dtype=target)
+    data = vector.materialize(num_rows)
+    if data.dtype == target:
+        return data
+    if target == object:
+        out = np.empty(num_rows, dtype=object)
+        out[:] = data
+        return out
+    if data.dtype == object:
+        sentinel = np.nan if target.kind == "f" else 0
+        data = np.asarray(
+            [sentinel if v is None else v for v in data], dtype=target
+        )
+        return data
+    return data.astype(target)
 
 
 # ----------------------------------------------------------------------
 # Builtin scalar functions
 # ----------------------------------------------------------------------
+def _as_float_array(vector: Vector, num_rows: int) -> np.ndarray:
+    """Materialize as float64 with in-band NaN at NULL rows."""
+    data = vector.materialize(num_rows)
+    if data.dtype == object:
+        null = vector.null_mask(num_rows)
+        if null is not None:
+            data = _sanitize_object(data, null, np.nan)
+        return data.astype(np.float64)
+    if data.dtype != np.float64:
+        data = data.astype(np.float64)
+        null = vector.null_mask(num_rows)
+        if null is not None:
+            data[null] = np.nan
+    return data
+
+
+def _float_result(
+    data: np.ndarray, nulls: Optional[np.ndarray]
+) -> Vector:
+    if nulls is None or not nulls.any():
+        return Vector(data, DataType.FLOAT64)
+    return Vector(data, DataType.FLOAT64, valid=~nulls)
+
+
+def _args_null(args: list[Vector], num_rows: int) -> Optional[np.ndarray]:
+    """Union of the argument null masks (None when all are null-free)."""
+    out: Optional[np.ndarray] = None
+    for arg in args:
+        null = arg.null_mask(num_rows)
+        if null is None:
+            continue
+        out = null if out is None else out | null
+    return out
+
+
 def _register_builtins(registry: FunctionRegistry) -> None:
     def numeric_unary(fn: Callable[[np.ndarray], np.ndarray]) -> Callable:
         def handler(args: list[Vector], num_rows: int) -> Vector:
             if len(args) != 1:
                 raise PlanError("expected exactly one argument")
             value = args[0]
+            if value.is_null_scalar:
+                return Vector(None, DataType.FLOAT64, is_scalar=True)
             if value.is_scalar:
                 return Vector(float(fn(np.asarray([value.data]))[0]),
                               DataType.FLOAT64, is_scalar=True)
-            return Vector(
-                fn(value.data.astype(np.float64)), DataType.FLOAT64
-            )
+            null = value.null_mask(num_rows)
+            result = fn(_as_float_array(value, num_rows))
+            return _float_result(result, null)
 
         return handler
 
@@ -456,16 +780,26 @@ def _register_builtins(registry: FunctionRegistry) -> None:
 
     def _round(args: list[Vector], num_rows: int) -> Vector:
         value = args[0]
-        digits = int(args[1].data) if len(args) > 1 else 0
-        data = value.materialize(num_rows).astype(np.float64)
-        return Vector(np.round(data, digits), DataType.FLOAT64)
+        if value.is_null_scalar:
+            return Vector(None, DataType.FLOAT64, is_scalar=True)
+        digits = 0
+        if len(args) > 1:
+            if args[1].is_null_scalar:
+                return Vector(None, DataType.FLOAT64, is_scalar=True)
+            digits = int(args[1].data)
+        null = value.null_mask(num_rows)
+        data = _as_float_array(value, num_rows)
+        return _float_result(np.round(data, digits), null)
 
     registry.register("round", _round)
 
     def _pow(args: list[Vector], num_rows: int) -> Vector:
-        base = args[0].materialize(num_rows).astype(np.float64)
-        exponent = args[1].materialize(num_rows).astype(np.float64)
-        return Vector(np.power(base, exponent), DataType.FLOAT64)
+        if any(a.is_null_scalar for a in args):
+            return Vector(None, DataType.FLOAT64, is_scalar=True)
+        null = _args_null(args, num_rows)
+        base = _as_float_array(args[0], num_rows)
+        exponent = _as_float_array(args[1], num_rows)
+        return _float_result(np.power(base, exponent), null)
 
     registry.register("pow", _pow)
     registry.register("power", _pow)
@@ -474,10 +808,16 @@ def _register_builtins(registry: FunctionRegistry) -> None:
         def handler(args: list[Vector], num_rows: int) -> Vector:
             if not args:
                 raise PlanError("expected at least one argument")
-            out = args[0].materialize(num_rows).astype(np.float64)
+            if any(a.is_null_scalar for a in args):
+                return Vector(None, DataType.FLOAT64, is_scalar=True)
+            null = _args_null(args, num_rows)
+            out = _as_float_array(args[0], num_rows)
             for arg in args[1:]:
-                out = fn(out, arg.materialize(num_rows).astype(np.float64))
-            return Vector(out, DataType.FLOAT64)
+                out = fn(out, _as_float_array(arg, num_rows))
+            if null is not None:
+                out = out.copy()
+                out[null] = np.nan
+            return _float_result(out, null)
 
         return handler
 
@@ -487,16 +827,77 @@ def _register_builtins(registry: FunctionRegistry) -> None:
     def _if(args: list[Vector], num_rows: int) -> Vector:
         if len(args) != 3:
             raise PlanError("if() requires (cond, then, else)")
-        condition = args[0].materialize(num_rows).astype(bool)
-        then_value = args[1].materialize(num_rows)
-        else_value = args[2].materialize(num_rows)
-        return Vector(np.where(condition, then_value, else_value), args[1].dtype)
+        condition, then_vec, else_vec = args
+        # A NULL condition selects the else value (SQL CASE semantics);
+        # _truth_and_null folds NULL into False, which does exactly that.
+        cond, _ = _truth_and_null(condition, num_rows)
+        result_dtype: Optional[DataType] = None
+        if not then_vec.is_null_scalar:
+            result_dtype = then_vec.dtype
+        if not else_vec.is_null_scalar:
+            result_dtype = _unify_dtypes(result_dtype, else_vec.dtype)
+        if result_dtype is None:
+            result_dtype = DataType.STRING
+        then_value = _cast_to(then_vec, result_dtype, num_rows)
+        else_value = _cast_to(else_vec, result_dtype, num_rows)
+        out = np.where(cond, then_value, else_value)
+        if result_dtype in (DataType.STRING, DataType.BLOB):
+            boxed = np.empty(num_rows, dtype=object)
+            boxed[:] = out
+            out = boxed
+        then_null = then_vec.null_mask(num_rows)
+        else_null = else_vec.null_mask(num_rows)
+        if then_null is None and else_null is None:
+            return Vector(out, result_dtype)
+        tn = then_null if then_null is not None else np.zeros(num_rows, dtype=bool)
+        en = else_null if else_null is not None else np.zeros(num_rows, dtype=bool)
+        null = np.where(cond, tn, en)
+        if not null.any():
+            return Vector(out, result_dtype)
+        return Vector(out, result_dtype, valid=~null)
 
     registry.register("if", _if)
+
+    def _coalesce(args: list[Vector], num_rows: int) -> Vector:
+        if not args:
+            raise PlanError("coalesce() requires at least one argument")
+        result_dtype: Optional[DataType] = None
+        for arg in args:
+            if not arg.is_null_scalar:
+                result_dtype = _unify_dtypes(result_dtype, arg.dtype)
+        if result_dtype is None:  # coalesce(NULL, NULL, ...)
+            return Vector(None, DataType.STRING, is_scalar=True)
+        out: Optional[np.ndarray] = None
+        out_null = np.ones(num_rows, dtype=bool)
+        for arg in args:
+            if arg.is_null_scalar:
+                continue
+            data = _cast_to(arg, result_dtype, num_rows)
+            null = arg.null_mask(num_rows)
+            take = out_null if null is None else out_null & ~null
+            if out is None:
+                out = data.copy()
+                out_null = ~take
+            else:
+                out[take] = data[take]
+                out_null = out_null & ~take
+            if not out_null.any():
+                break
+        assert out is not None
+        if not out_null.any():
+            return Vector(out, result_dtype)
+        if result_dtype in (DataType.STRING, DataType.BLOB):
+            out[out_null] = None
+        return Vector(out, result_dtype, valid=~out_null)
+
+    registry.register("coalesce", _coalesce)
+    registry.register("ifnull", _coalesce)
 
     def _like(args: list[Vector], num_rows: int) -> Vector:
         import re
 
+        if args[1].is_null_scalar:
+            return _all_null_bool(num_rows)
         pattern_text = args[1].data if args[1].is_scalar else None
         if pattern_text is None:
             raise PlanError("LIKE pattern must be a literal")
@@ -505,24 +906,48 @@ def _register_builtins(registry: FunctionRegistry) -> None:
             + re.escape(pattern_text).replace("%", ".*").replace("_", ".")
             + "$"
         )
-        values = args[0].materialize(num_rows)
-        mask = np.asarray(
-            [bool(regex.match(str(v))) for v in values], dtype=bool
+        value = args[0]
+        if value.is_null_scalar:
+            return _all_null_bool(num_rows)
+        null = value.null_mask(num_rows)
+        values = value.materialize(num_rows)
+        # NULL LIKE anything is UNKNOWN — never a match on the string
+        # "None" (the old str(None) bug this kernel regressed on).
+        mask = np.fromiter(
+            (
+                v is not None and bool(regex.match(str(v)))
+                for v in values
+            ),
+            dtype=bool,
+            count=num_rows,
         )
-        return Vector(mask, DataType.BOOL)
+        return _bool_result(mask, null)
 
     registry.register("like", _like)
 
     def _string_unary(fn: Callable[[str], Any], dtype: DataType) -> Callable:
         def handler(args: list[Vector], num_rows: int) -> Vector:
-            values = args[0].materialize(num_rows)
+            value = args[0]
+            if value.is_null_scalar:
+                return Vector(None, dtype, is_scalar=True)
+            null = value.null_mask(num_rows)
+            values = value.materialize(num_rows)
             if dtype is DataType.STRING:
                 out = np.empty(num_rows, dtype=object)
+                if null is None:
+                    for i, v in enumerate(values):
+                        out[i] = fn(str(v))
+                    return Vector(out, dtype)
                 for i, v in enumerate(values):
-                    out[i] = fn(str(v))
-                return Vector(out, dtype)
-            out = np.asarray([fn(str(v)) for v in values])
-            return Vector(out.astype(dtype.numpy_dtype), dtype)
+                    out[i] = None if null[i] else fn(str(v))
+                return Vector(out, dtype, valid=~null)
+            if null is None:
+                out = np.asarray([fn(str(v)) for v in values])
+                return Vector(out.astype(dtype.numpy_dtype), dtype)
+            out = np.asarray(
+                [0 if n else fn(str(v)) for v, n in zip(values, null)]
+            )
+            return Vector(out.astype(dtype.numpy_dtype), dtype, valid=~null)
 
         return handler
 
@@ -531,12 +956,24 @@ def _register_builtins(registry: FunctionRegistry) -> None:
     registry.register("length", _string_unary(len, DataType.INT64))
 
     def _to_float(args: list[Vector], num_rows: int) -> Vector:
-        data = args[0].materialize(num_rows)
-        return Vector(data.astype(np.float64), DataType.FLOAT64)
+        value = args[0]
+        if value.is_null_scalar:
+            return Vector(None, DataType.FLOAT64, is_scalar=True)
+        null = value.null_mask(num_rows)
+        return _float_result(_as_float_array(value, num_rows), null)
 
     def _to_int(args: list[Vector], num_rows: int) -> Vector:
-        data = args[0].materialize(num_rows)
-        return Vector(data.astype(np.float64).astype(np.int64), DataType.INT64)
+        value = args[0]
+        if value.is_null_scalar:
+            return Vector(None, DataType.INT64, is_scalar=True)
+        null = value.null_mask(num_rows)
+        data = _as_float_array(value, num_rows)
+        if null is not None:
+            data = np.where(null, 0.0, data)
+        out = data.astype(np.int64)
+        if null is None or not null.any():
+            return Vector(out, DataType.INT64)
+        return Vector(out, DataType.INT64, valid=~null)
 
     registry.register("toFloat64", _to_float)
     registry.register("toInt64", _to_int)
@@ -545,43 +982,71 @@ def _register_builtins(registry: FunctionRegistry) -> None:
         from repro.storage.schema import format_date
 
         value = args[0]
+        if value.is_null_scalar:
+            return Vector(None, DataType.STRING, is_scalar=True)
+        null = value.null_mask(num_rows)
         data = value.materialize(num_rows)
         out = np.empty(num_rows, dtype=object)
         for i, v in enumerate(data):
-            if value.dtype is DataType.DATE:
+            if null is not None and null[i]:
+                out[i] = None
+            elif value.dtype is DataType.DATE:
                 out[i] = format_date(int(v))
             elif isinstance(v, (bool, np.bool_)):
                 out[i] = "TRUE" if v else "FALSE"
             else:
                 out[i] = str(v)
-        return Vector(out, DataType.STRING)
+        if null is None or not null.any():
+            return Vector(out, DataType.STRING)
+        return Vector(out, DataType.STRING, valid=~null)
 
     registry.register("toString", _to_string)
 
-    def _int_div(args: list[Vector], num_rows: int) -> Vector:
-        if len(args) != 2:
-            raise PlanError("intDiv() requires exactly two arguments")
-        numerator = args[0].materialize(num_rows).astype(np.int64)
-        denominator = args[1].materialize(num_rows).astype(np.int64)
-        return Vector(numerator // denominator, DataType.INT64)
+    def _int_binary(
+        name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> Callable:
+        def handler(args: list[Vector], num_rows: int) -> Vector:
+            if len(args) != 2:
+                raise PlanError(f"{name}() requires exactly two arguments")
+            if any(a.is_null_scalar for a in args):
+                return Vector(None, DataType.INT64, is_scalar=True)
+            null = _args_null(args, num_rows)
+            numerator = args[0].materialize(num_rows).astype(np.int64)
+            denominator = args[1].materialize(num_rows).astype(np.int64)
+            if null is not None:
+                # Sentinel denominators under the mask would divide by
+                # zero; patch them to 1 (result is masked anyway).
+                denominator = np.where(null, 1, denominator)
+            out = fn(numerator, denominator)
+            if null is None or not null.any():
+                return Vector(out, DataType.INT64)
+            return Vector(out, DataType.INT64, valid=~null)
 
-    def _modulo(args: list[Vector], num_rows: int) -> Vector:
-        if len(args) != 2:
-            raise PlanError("modulo() requires exactly two arguments")
-        numerator = args[0].materialize(num_rows).astype(np.int64)
-        denominator = args[1].materialize(num_rows).astype(np.int64)
-        return Vector(numerator % denominator, DataType.INT64)
+        return handler
 
-    registry.register("intDiv", _int_div)
-    registry.register("modulo", _modulo)
+    registry.register(
+        "intDiv", _int_binary("intDiv", lambda a, b: a // b)
+    )
+    registry.register(
+        "modulo", _int_binary("modulo", lambda a, b: a % b)
+    )
 
     def _to_date(args: list[Vector], num_rows: int) -> Vector:
         value = args[0]
+        if value.is_null_scalar:
+            return Vector(None, DataType.DATE, is_scalar=True)
         if value.is_scalar:
             return Vector(parse_date(str(value.data)), DataType.DATE, is_scalar=True)
+        null = value.null_mask(num_rows)
+        if null is None:
+            ordinals = np.asarray(
+                [parse_date(str(v)) for v in value.data], dtype=np.int64
+            )
+            return Vector(ordinals, DataType.DATE)
         ordinals = np.asarray(
-            [parse_date(str(v)) for v in value.data], dtype=np.int64
+            [0 if n else parse_date(str(v)) for v, n in zip(value.data, null)],
+            dtype=np.int64,
         )
-        return Vector(ordinals, DataType.DATE)
+        return Vector(ordinals, DataType.DATE, valid=~null)
 
     registry.register("toDate", _to_date)

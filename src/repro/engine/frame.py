@@ -4,6 +4,10 @@ A :class:`Frame` is the batch flowing between physical operators: a set of
 equal-length numpy vectors, each tagged with an optional table qualifier
 (the alias it came from) so expressions like ``A.Value`` and bare ``Value``
 both resolve, with ambiguity detection matching SQL semantics.
+
+Each :class:`FrameColumn` optionally carries a validity mask (``valid``,
+``False`` at NULL rows — see :mod:`repro.storage.validity`); ``None``
+means the column is null-free, so masks cost nothing on NULL-free data.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from repro.errors import ExecutionError, PlanError
 from repro.storage.schema import DataType
 from repro.storage.table import Table
 from repro.storage.column import Column
+from repro.storage.validity import concat_valid, null_mask_of
 
 
 @dataclass
@@ -27,6 +32,7 @@ class FrameColumn:
     name: str
     dtype: DataType
     data: np.ndarray
+    valid: Optional[np.ndarray] = None
 
     def matches(self, name: str, qualifier: Optional[str]) -> bool:
         if self.name.lower() != name.lower():
@@ -36,7 +42,11 @@ class FrameColumn:
         return (self.qualifier or "").lower() == qualifier.lower()
 
     def with_qualifier(self, qualifier: Optional[str]) -> "FrameColumn":
-        return FrameColumn(qualifier, self.name, self.dtype, self.data)
+        return FrameColumn(qualifier, self.name, self.dtype, self.data, self.valid)
+
+    def null_mask(self) -> Optional[np.ndarray]:
+        """True at NULL rows; None when the column is null-free."""
+        return null_mask_of(self.data, self.valid)
 
 
 class Frame:
@@ -62,7 +72,7 @@ class Frame:
     def from_table(cls, table: Table, qualifier: Optional[str]) -> "Frame":
         return cls(
             [
-                FrameColumn(qualifier, c.name, c.dtype, c.data)
+                FrameColumn(qualifier, c.name, c.dtype, c.data, c.valid)
                 for c in table.columns
             ]
         )
@@ -96,7 +106,14 @@ class Frame:
                 next_suffix[key] = n
                 out_name = candidate
             assigned.add(out_name.lower())
-            columns.append(Column(out_name, frame_column.dtype, frame_column.data))
+            columns.append(
+                Column(
+                    out_name,
+                    frame_column.dtype,
+                    frame_column.data,
+                    frame_column.valid,
+                )
+            )
         return Table(name, columns)
 
     # ------------------------------------------------------------------
@@ -144,7 +161,13 @@ class Frame:
     def filter(self, mask: np.ndarray) -> "Frame":
         return Frame(
             [
-                FrameColumn(c.qualifier, c.name, c.dtype, c.data[mask])
+                FrameColumn(
+                    c.qualifier,
+                    c.name,
+                    c.dtype,
+                    c.data[mask],
+                    c.valid[mask] if c.valid is not None else None,
+                )
                 for c in self.columns
             ]
         )
@@ -152,7 +175,13 @@ class Frame:
     def take(self, indices: np.ndarray) -> "Frame":
         return Frame(
             [
-                FrameColumn(c.qualifier, c.name, c.dtype, c.data.take(indices))
+                FrameColumn(
+                    c.qualifier,
+                    c.name,
+                    c.dtype,
+                    c.data.take(indices),
+                    c.valid.take(indices) if c.valid is not None else None,
+                )
                 for c in self.columns
             ]
         )
@@ -160,7 +189,13 @@ class Frame:
     def head(self, n: int) -> "Frame":
         return Frame(
             [
-                FrameColumn(c.qualifier, c.name, c.dtype, c.data[:n])
+                FrameColumn(
+                    c.qualifier,
+                    c.name,
+                    c.dtype,
+                    c.data[:n],
+                    c.valid[:n] if c.valid is not None else None,
+                )
                 for c in self.columns
             ]
         )
@@ -187,12 +222,17 @@ def concat_frames(frames: Iterable[Frame]) -> Frame:
     out_columns = []
     for position, template in enumerate(first.columns):
         arrays = [f.columns[position].data for f in frames]
+        valid = concat_valid(
+            [f.columns[position].valid for f in frames],
+            [len(a) for a in arrays],
+        )
         out_columns.append(
             FrameColumn(
                 template.qualifier,
                 template.name,
                 template.dtype,
                 np.concatenate(arrays),
+                valid,
             )
         )
     return Frame(out_columns)

@@ -48,6 +48,7 @@ from repro.sql.ast_nodes import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.schema import DataType
+from repro.storage.validity import null_mask_of
 
 
 @dataclass
@@ -238,7 +239,13 @@ def _execute_project(plan: Project, ctx: ExecutionContext) -> Frame:
             vector = evaluator.evaluate(item.expression)
             data = vector.materialize(frame.num_rows)
             out_columns.append(
-                FrameColumn(None, item.output_name(ordinal), vector.dtype, data)
+                FrameColumn(
+                    None,
+                    item.output_name(ordinal),
+                    vector.dtype,
+                    data,
+                    vector.materialize_valid(frame.num_rows),
+                )
             )
         result = Frame(out_columns)
         token.record_rows(result.num_rows)
@@ -254,7 +261,9 @@ def _expand_star(frame: Frame, star: Star) -> list[FrameColumn]:
             (column.qualifier or "").lower() != star.table.lower()
         ):
             continue
-        columns.append(FrameColumn(None, column.name, column.dtype, column.data))
+        columns.append(
+            FrameColumn(None, column.name, column.dtype, column.data, column.valid)
+        )
     if not columns:
         raise PlanError(f"{star.to_sql()} matched no columns")
     return columns
@@ -321,14 +330,17 @@ def _execute_hash_join(plan: HashJoin, ctx: ExecutionContext) -> Frame:
     right = execute_plan(plan.right, ctx)
 
     with ctx.profiler.measure("join") as token:
-        left_keys = _evaluate_keys(left, plan.left_keys, ctx)
-        right_keys = _evaluate_keys(right, plan.right_keys, ctx)
+        left_keys, left_null = _evaluate_keys(left, plan.left_keys, ctx)
+        right_keys, right_null = _evaluate_keys(right, plan.right_keys, ctx)
         if plan.symmetric:
             left_idx, right_idx = _symmetric_hash_join(
-                left_keys, right_keys, ctx
+                left_keys, right_keys, ctx,
+                left_null=left_null, right_null=right_null,
             )
         else:
-            left_idx, right_idx = _match_keys(left_keys, right_keys)
+            left_idx, right_idx = _match_keys(
+                left_keys, right_keys, left_null, right_null
+            )
         _admit_join_output(ctx, left, right, len(left_idx), "hash join")
         result = left.take(left_idx).concat_columns(right.take(right_idx))
         token.record_rows(result.num_rows)
@@ -343,24 +355,56 @@ def _execute_hash_join(plan: HashJoin, ctx: ExecutionContext) -> Frame:
 
 def _evaluate_keys(
     frame: Frame, keys: tuple[Expression, ...], ctx: ExecutionContext
-) -> list[np.ndarray]:
+) -> tuple[list[np.ndarray], Optional[np.ndarray]]:
+    """Materialize join keys plus the rows whose key tuple contains NULL.
+
+    A composite key is NULL when any component is (so the row can never
+    match).  The mask is None when every key row is fully non-NULL.
+    """
     evaluator = ctx.evaluator(frame)
     out = []
+    null: Optional[np.ndarray] = None
     for key in keys:
         vector = evaluator.evaluate(key)
         out.append(vector.materialize(frame.num_rows))
-    return out
+        key_null = vector.null_mask(frame.num_rows)
+        if key_null is not None:
+            null = key_null if null is None else null | key_null
+    return out, null
 
 
 def _match_keys(
-    left_keys: list[np.ndarray], right_keys: list[np.ndarray]
+    left_keys: list[np.ndarray],
+    right_keys: list[np.ndarray],
+    left_null: Optional[np.ndarray] = None,
+    right_null: Optional[np.ndarray] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Inner-join row index pairs for equal composite keys."""
+    """Inner-join row index pairs for equal composite keys.
+
+    NULL keys never match anything — not even other NULLs (SQL equality
+    is UNKNOWN on NULL).  NULL-key rows are dropped before matching and
+    the surviving match indices are mapped back to original positions,
+    which also stops NaN keys from pairing up via searchsorted (NaN
+    sorts as equal to NaN) or via dict buckets on object keys.
+    """
     left_combined = _combine_key_arrays(left_keys)
     right_combined = _combine_key_arrays(right_keys)
+    left_rows = right_rows = None
+    if left_null is not None:
+        left_rows = np.flatnonzero(~left_null)
+        left_combined = left_combined[left_rows]
+    if right_null is not None:
+        right_rows = np.flatnonzero(~right_null)
+        right_combined = right_combined[right_rows]
     if left_combined.dtype == object or right_combined.dtype == object:
-        return _match_object_keys(left_combined, right_combined)
-    return _match_numeric_keys(left_combined, right_combined)
+        left_idx, right_idx = _match_object_keys(left_combined, right_combined)
+    else:
+        left_idx, right_idx = _match_numeric_keys(left_combined, right_combined)
+    if left_rows is not None:
+        left_idx = left_rows[left_idx]
+    if right_rows is not None:
+        right_idx = right_rows[right_idx]
+    return left_idx, right_idx
 
 
 def _combine_key_arrays(keys: list[np.ndarray]) -> np.ndarray:
@@ -435,6 +479,8 @@ def _symmetric_hash_join(
     right_keys: list[np.ndarray],
     ctx: ExecutionContext,
     chunk_size: int = 4096,
+    left_null: Optional[np.ndarray] = None,
+    right_null: Optional[np.ndarray] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Symmetric hash join with bucket-based LRU accounting (hint rule 3).
 
@@ -495,11 +541,15 @@ def _symmetric_hash_join(
         own: dict[Any, list[int]],
         other: dict[Any, list[int]],
         own_side_left: bool,
+        null: Optional[np.ndarray],
     ) -> None:
         nonlocal misses, reloads
         for offset, key in enumerate(keys):
-            key = key if not isinstance(key, np.generic) else key.item()
             position = start + offset
+            if null is not None and null[position]:
+                # NULL keys never match and never enter a hash table.
+                continue
+            key = key if not isinstance(key, np.generic) else key.item()
             matches = other.get(key)
             if matches:
                 if key in evicted:
@@ -529,11 +579,15 @@ def _symmetric_hash_join(
             ctx.query.check()
         if left_pos < len(left):
             chunk = left[left_pos : left_pos + chunk_size]
-            probe_and_insert(chunk, left_pos, left_table, right_table, True)
+            probe_and_insert(
+                chunk, left_pos, left_table, right_table, True, left_null
+            )
             left_pos += len(chunk)
         if right_pos < len(right):
             chunk = right[right_pos : right_pos + chunk_size]
-            probe_and_insert(chunk, right_pos, right_table, left_table, False)
+            probe_and_insert(
+                chunk, right_pos, right_table, left_table, False, right_null
+            )
             right_pos += len(chunk)
 
     ctx.last_symmetric_stats = {
@@ -563,7 +617,10 @@ def _execute_aggregate(plan: Aggregate, ctx: ExecutionContext) -> Frame:
             key_arrays = [
                 v.materialize(frame.num_rows) for v in key_vectors
             ]
-            group_ids, group_rows = _factorize(key_arrays)
+            key_nulls = [
+                _explicit_null(v, frame.num_rows) for v in key_vectors
+            ]
+            group_ids, group_rows = _factorize(key_arrays, key_nulls)
             num_groups = len(group_rows)
         else:
             group_ids = np.zeros(frame.num_rows, dtype=np.int64)
@@ -571,12 +628,18 @@ def _execute_aggregate(plan: Aggregate, ctx: ExecutionContext) -> Frame:
             num_groups = 1
             key_vectors = []
             key_arrays = []
+            key_nulls = []
 
         out_columns: list[FrameColumn] = []
         for position, (expression, vector) in enumerate(
             zip(plan.group_by, key_vectors)
         ):
             name, qualifier = _group_key_name(expression, position)
+            null = key_nulls[position]
+            valid: Optional[np.ndarray] = None
+            if null is not None and frame.num_rows:
+                group_valid = ~null[group_rows]
+                valid = None if group_valid.all() else group_valid
             out_columns.append(
                 FrameColumn(
                     qualifier,
@@ -585,6 +648,7 @@ def _execute_aggregate(plan: Aggregate, ctx: ExecutionContext) -> Frame:
                     key_arrays[position][group_rows]
                     if frame.num_rows
                     else key_arrays[position][:0],
+                    valid,
                 )
             )
 
@@ -607,29 +671,120 @@ def _group_key_name(
     return f"group_{position}", None
 
 
-def _factorize(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
-    """Map composite keys to dense group ids.
+def _explicit_null(vector: Vector, n: int) -> Optional[np.ndarray]:
+    """Null mask only where the data can't carry it in-band.
+
+    Object ``None`` and float NaN survive inside the arrays themselves
+    (``_factorize`` and the output encodings honor them), so scanning for
+    them here would be pure overhead on the hot GROUP BY path.
+    """
+    if vector.is_scalar:
+        return np.ones(n, dtype=bool) if vector.data is None else None
+    if vector.valid is None:
+        return None
+    return ~vector.valid
+
+
+def _key_codes(
+    array: np.ndarray, null: Optional[np.ndarray]
+) -> tuple[np.ndarray, int]:
+    """Dense int64 codes for one key column, with NULL as its own code.
+
+    Every NULL row maps to code ``cardinality - 1``, so GROUP BY and
+    DISTINCT see all NULLs as one group — and a masked fixed-width
+    sentinel (0 under a False mask bit) never collides with a real 0,
+    nor NaN with NaN-by-value quirks of ``np.unique``.
+    """
+    n = len(array)
+    if array.dtype == object:
+        mapping: dict[Any, int] = {}
+        codes = np.empty(n, dtype=np.int64)
+        null_rows: list[int] = []
+        for row, value in enumerate(array):
+            if value is None or (null is not None and null[row]):
+                null_rows.append(row)
+                continue
+            code = mapping.get(value)
+            if code is None:
+                code = len(mapping)
+                mapping[value] = code
+            codes[row] = code
+        codes[null_rows] = len(mapping)
+        return codes, len(mapping) + 1
+    if null is None:
+        uniques, inverse = np.unique(array, return_inverse=True)
+        return inverse.astype(np.int64), max(len(uniques), 1)
+    present = ~null
+    uniques, inverse = np.unique(array[present], return_inverse=True)
+    codes = np.full(n, len(uniques), dtype=np.int64)
+    codes[present] = inverse
+    return codes, len(uniques) + 1
+
+
+def _factorize(
+    key_arrays: list[np.ndarray],
+    null_masks: Optional[list[Optional[np.ndarray]]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map composite keys to dense group ids (NULL forms one group).
 
     Returns ``(group_ids, representative_rows)`` where
     ``representative_rows[g]`` is the first input row of group ``g``.
     Group order follows first appearance.
+
+    A ``None`` mask entry means "no *explicit* mask": in-band NULLs are
+    still honored (``None`` in object arrays by the dict paths, NaN in
+    float arrays by an isnan scan here) — callers only need to pass a
+    mask when a fixed-width sentinel encoding is in play.
     """
     n = len(key_arrays[0]) if key_arrays else 0
     if n == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    combined = _combine_key_arrays(key_arrays)
-    if combined.dtype == object:
-        mapping: dict[Any, int] = {}
-        ids = np.empty(n, dtype=np.int64)
-        representatives: list[int] = []
-        for row, key in enumerate(combined):
-            group = mapping.get(key)
-            if group is None:
-                group = len(mapping)
-                mapping[key] = group
-                representatives.append(row)
-            ids[row] = group
-        return ids, np.asarray(representatives, dtype=np.int64)
+    resolved: list[tuple[np.ndarray, Optional[np.ndarray]]] = []
+    for position, array in enumerate(key_arrays):
+        null = null_masks[position] if null_masks is not None else None
+        if null is None and array.dtype.kind == "f":
+            null = null_mask_of(array, None)
+        resolved.append((array, null))
+    if len(resolved) == 1:
+        array, null = resolved[0]
+        if array.dtype == object:
+            return _factorize_object(array, null)
+        if null is not None:
+            array, _ = _key_codes(array, null)
+        return _first_appearance_ids(array)
+    combined: Optional[np.ndarray] = None
+    for array, null in resolved:
+        codes, cardinality = _key_codes(array, null)
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * cardinality + codes
+    assert combined is not None
+    return _first_appearance_ids(combined)
+
+
+def _factorize_object(
+    array: np.ndarray, null: Optional[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-key object factorize: one dict pass, NULLs keyed by None."""
+    ids = np.empty(len(array), dtype=np.int64)
+    mapping: dict[Any, int] = {}
+    representatives: list[int] = []
+    for row, key in enumerate(array):
+        if null is not None and null[row]:
+            key = None
+        group = mapping.get(key)
+        if group is None:
+            group = len(mapping)
+            mapping[key] = group
+            representatives.append(row)
+        ids[row] = group
+    return ids, np.asarray(representatives, dtype=np.int64)
+
+
+def _first_appearance_ids(
+    combined: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
     uniques, first_indices, inverse = np.unique(
         combined, return_index=True, return_inverse=True
     )
@@ -641,6 +796,12 @@ def _factorize(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     ids = rank_of_sorted[inverse]
     representatives = first_indices[appearance]
     return ids.astype(np.int64), representatives.astype(np.int64)
+
+
+def _group_validity(present_counts: np.ndarray) -> Optional[np.ndarray]:
+    """Validity mask for per-group outputs: empty/all-NULL groups are NULL."""
+    valid = present_counts > 0
+    return None if valid.all() else valid
 
 
 def _compute_aggregate(
@@ -655,28 +816,43 @@ def _compute_aggregate(
     n = frame.num_rows
 
     if name == "count" and len(call.args) == 1 and isinstance(call.args[0], Star):
+        # COUNT(*) counts rows regardless of NULLs.
         counts = np.bincount(group_ids, minlength=num_groups).astype(np.int64)
         return FrameColumn(None, spec.slot, DataType.INT64, counts)
 
     if name in ("countif", "count") and call.args:
         vector = evaluator.evaluate(call.args[0])
         data = vector.materialize(n)
-        if vector.dtype is DataType.BOOL or name == "countif":
+        null = vector.null_mask(n)
+        if call.distinct:
+            # COUNT(DISTINCT col) counts distinct non-NULL values.
+            if null is not None:
+                present = ~null
+                counts = _distinct_counts(
+                    data[present], group_ids[present], num_groups
+                )
+            else:
+                counts = _distinct_counts(data, group_ids, num_groups)
+        elif vector.dtype is DataType.BOOL or name == "countif":
             # countIf semantics: count rows where the condition holds.  The
             # paper's Type-2 query counts nUDF_detect(...)=TRUE this way.
+            # An UNKNOWN (NULL) condition does not hold.
             mask = data.astype(bool)
-            counts = np.bincount(
-                group_ids[mask], minlength=num_groups
-            ).astype(np.int64)
-        elif data.dtype == object:
-            mask = np.asarray([v is not None for v in data], dtype=bool)
+            if null is not None:
+                mask = mask & ~null
             counts = np.bincount(
                 group_ids[mask], minlength=num_groups
             ).astype(np.int64)
         else:
-            counts = np.bincount(group_ids, minlength=num_groups).astype(np.int64)
-        if call.distinct:
-            counts = _distinct_counts(data, group_ids, num_groups)
+            # COUNT(col) counts non-NULL values.
+            if null is not None:
+                counts = np.bincount(
+                    group_ids[~null], minlength=num_groups
+                ).astype(np.int64)
+            else:
+                counts = np.bincount(
+                    group_ids, minlength=num_groups
+                ).astype(np.int64)
         return FrameColumn(None, spec.slot, DataType.INT64, counts)
 
     if not call.args:
@@ -684,9 +860,12 @@ def _compute_aggregate(
 
     vector = evaluator.evaluate(call.args[0])
     data = vector.materialize(n)
+    null = vector.null_mask(n)
 
     if name == "sumif":
-        condition = evaluator.evaluate(call.args[1]).materialize(n).astype(bool)
+        condition = evaluator.evaluate_mask(call.args[1])
+        if null is not None:
+            condition = condition & ~null
         sums = np.bincount(
             group_ids[condition],
             weights=data[condition].astype(np.float64),
@@ -695,55 +874,96 @@ def _compute_aggregate(
         return FrameColumn(None, spec.slot, DataType.FLOAT64, sums)
 
     if name == "grouparray":
+        present = ~null if null is not None else None
         out = np.empty(num_groups, dtype=object)
         for group in range(num_groups):
-            out[group] = data[group_ids == group].tolist()
+            rows = group_ids == group
+            if present is not None:
+                rows = rows & present
+            out[group] = data[rows].tolist()
         return FrameColumn(None, spec.slot, DataType.BLOB, out)
 
     if name == "any":
+        # First non-NULL value per group; NULL when the group has none.
         representatives = np.zeros(num_groups, dtype=np.int64)
         seen = np.zeros(num_groups, dtype=bool)
         for row in range(n):
+            if null is not None and null[row]:
+                continue
             group = group_ids[row]
             if not seen[group]:
                 seen[group] = True
                 representatives[group] = row
-        return FrameColumn(
-            None, spec.slot, vector.dtype, data[representatives]
-        )
+        if seen.all() and n:
+            return FrameColumn(
+                None, spec.slot, vector.dtype, data[representatives]
+            )
+        out = np.zeros(num_groups, dtype=data.dtype)
+        if data.dtype == object:
+            out = np.empty(num_groups, dtype=object)
+            out[:] = None
+        elif data.dtype.kind == "f":
+            out[:] = np.nan
+        out[seen] = data[representatives[seen]]
+        return FrameColumn(None, spec.slot, vector.dtype, out, seen.copy())
+
+    present_counts = (
+        np.bincount(group_ids[~null], minlength=num_groups)
+        if null is not None
+        else np.bincount(group_ids, minlength=num_groups)
+    )
 
     if name == "sum" and vector.dtype in (DataType.INT64, DataType.BOOL):
         # Integer accumulation path: routing int64 sums through float64
         # bincount weights silently loses precision above 2**53.
         sums = np.zeros(num_groups, dtype=np.int64)
-        np.add.at(sums, group_ids, data.astype(np.int64))
-        return FrameColumn(None, spec.slot, DataType.INT64, sums)
+        if null is not None:
+            np.add.at(sums, group_ids[~null], data[~null].astype(np.int64))
+        else:
+            np.add.at(sums, group_ids, data.astype(np.int64))
+        return FrameColumn(
+            None, spec.slot, DataType.INT64, sums,
+            _group_validity(present_counts),
+        )
 
-    numeric = data.astype(np.float64)
-    counts = np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+    # The float kernels below skip NULL rows entirely; a group with no
+    # non-NULL input produces SQL NULL (not 0 / inf), matching the
+    # standard's "empty group" rule for SUM/AVG/MIN/MAX/variance.
+    if null is not None:
+        gids = group_ids[~null]
+        numeric = data[~null].astype(np.float64)
+    else:
+        gids = group_ids
+        numeric = data.astype(np.float64)
+    counts = present_counts.astype(np.float64)
     safe_counts = np.maximum(counts, 1.0)
+    empty = counts == 0.0
+    valid = _group_validity(present_counts)
 
     if name == "sum":
-        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
-        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums)
+        # np.bincount returns int64 for empty weighted input; force float.
+        sums = np.bincount(
+            gids, weights=numeric, minlength=num_groups
+        ).astype(np.float64, copy=False)
+        sums[empty] = np.nan
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums, valid)
     if name == "avg":
-        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
-        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums / safe_counts)
+        sums = np.bincount(gids, weights=numeric, minlength=num_groups)
+        means = sums / safe_counts
+        means[empty] = np.nan
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, means, valid)
     if name in ("min", "max"):
-        return FrameColumn(
-            None,
-            spec.slot,
-            vector.dtype if vector.dtype.is_numeric else DataType.FLOAT64,
-            _reduce_minmax(numeric, group_ids, num_groups, name == "min").astype(
-                vector.dtype.numpy_dtype
-                if vector.dtype.is_numeric
-                else np.float64
-            ),
-        )
+        reduced = _reduce_minmax(numeric, gids, num_groups, name == "min")
+        target = vector.dtype if vector.dtype.is_numeric else DataType.FLOAT64
+        reduced[empty] = 0.0  # sentinel; masked by ``valid``
+        out = reduced.astype(target.numpy_dtype)
+        if target is DataType.FLOAT64:
+            out[empty] = np.nan
+        return FrameColumn(None, spec.slot, target, out, valid)
     if name in ("stddevsamp", "stddevpop", "varsamp", "varpop"):
-        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
+        sums = np.bincount(gids, weights=numeric, minlength=num_groups)
         squares = np.bincount(
-            group_ids, weights=numeric * numeric, minlength=num_groups
+            gids, weights=numeric * numeric, minlength=num_groups
         )
         means = sums / safe_counts
         variances = np.maximum(squares / safe_counts - means * means, 0.0)
@@ -752,7 +972,9 @@ def _compute_aggregate(
             variances = variances * correction
         if name.startswith("stddev"):
             variances = np.sqrt(variances)
-        return FrameColumn(None, spec.slot, DataType.FLOAT64, variances)
+        variances = variances.astype(np.float64, copy=False)
+        variances[empty] = np.nan
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, variances, valid)
 
     raise PlanError(f"unsupported aggregate {call.name!r}")
 
@@ -806,7 +1028,7 @@ def _execute_sort(plan: Sort, ctx: ExecutionContext) -> Frame:
         for order in plan.order_by:
             vector = evaluator.evaluate(order.expression)
             data = vector.materialize(frame.num_rows)
-            codes = _sort_codes(data)
+            codes = _sort_codes(data, vector.null_mask(frame.num_rows))
             if not order.ascending:
                 codes = -codes
             code_arrays.append(codes)
@@ -840,18 +1062,36 @@ def _object_sort_key(value: Any) -> tuple[int, int, Any]:
     return (0, 3, repr(value))
 
 
-def _sort_codes(data: np.ndarray) -> np.ndarray:
-    """Map values to int64 codes preserving order (handles strings)."""
+def _sort_codes(
+    data: np.ndarray, null: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Map values to int64 codes preserving order (handles strings).
+
+    NULL rows code strictly above every value, giving the engine's sort
+    contract: NULLS last ascending, and (after the DESC negation) first
+    descending.  Object arrays get this from :func:`_object_sort_key`;
+    the explicit mask branch covers masked fixed-width columns whose
+    in-band sentinel (0) would otherwise sort in the middle.
+    """
     if data.dtype == object:
         uniques = sorted(set(data.tolist()), key=_object_sort_key)
         rank = {value: code for code, value in enumerate(uniques)}
-        return np.asarray([rank[v] for v in data], dtype=np.int64)
-    if data.dtype == np.bool_:
-        return data.astype(np.int64)
-    if np.issubdtype(data.dtype, np.floating):
+        codes = np.asarray([rank[v] for v in data], dtype=np.int64)
+    elif data.dtype == np.bool_:
+        codes = data.astype(np.int64)
+    elif np.issubdtype(data.dtype, np.floating):
+        # np.unique places NaN above every number, so in-band NaN NULLs
+        # already land last ascending.
         _, inverse = np.unique(data, return_inverse=True)
-        return inverse.astype(np.int64)
-    return data.astype(np.int64)
+        codes = inverse.astype(np.int64)
+    else:
+        codes = data.astype(np.int64)
+    if null is not None and null.any():
+        present = ~null
+        top = int(codes[present].max()) + 1 if present.any() else 0
+        codes = codes.copy() if codes is data else codes
+        codes[null] = top
+    return codes
 
 
 def _execute_limit(plan: Limit, ctx: ExecutionContext) -> Frame:
@@ -870,7 +1110,12 @@ def _execute_distinct(plan: Distinct, ctx: ExecutionContext) -> Frame:
         if frame.num_rows == 0 or not frame.columns:
             return frame
         arrays = [c.data for c in frame.columns]
-        _, representatives = _factorize(arrays)
+        # Explicit masks only — in-band None/NaN are honored by
+        # ``_factorize`` itself, so no scan is needed for mask-free columns.
+        nulls = [
+            None if c.valid is None else ~c.valid for c in frame.columns
+        ]
+        _, representatives = _factorize(arrays, nulls)
         result = frame.take(np.sort(representatives))
         token.record_rows(result.num_rows)
     return result

@@ -4,16 +4,27 @@ A :class:`Column` owns a 1-D numpy array whose physical dtype is derived
 from its logical :class:`~repro.storage.schema.DataType`.  All engine
 operators work on these arrays directly, which is what makes the execution
 model vectorized (ClickHouse-style) rather than tuple-at-a-time.
+
+NULLs are carried by an optional validity mask (see
+:mod:`repro.storage.validity`): ``valid`` is either ``None`` (no NULLs)
+or a boolean array with ``False`` at NULL rows.  Fixed-width arrays store
+a sentinel under masked rows; object arrays additionally use ``None``
+in-band so mask-free NULL columns (the historical encoding) keep working.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import StorageError
 from repro.storage.schema import DataType, parse_date
+from repro.storage.validity import (
+    array_with_nulls,
+    normalize_valid,
+    null_mask_of,
+)
 
 
 class Column:
@@ -24,9 +35,15 @@ class Column:
     views and temp tables safe to share.
     """
 
-    __slots__ = ("name", "dtype", "_data")
+    __slots__ = ("name", "dtype", "_data", "valid")
 
-    def __init__(self, name: str, dtype: DataType, data: np.ndarray) -> None:
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        data: np.ndarray,
+        valid: Optional[np.ndarray] = None,
+    ) -> None:
         if data.ndim != 1:
             raise StorageError(f"column {name!r} requires 1-D data, got {data.ndim}-D")
         expected = dtype.numpy_dtype
@@ -34,34 +51,51 @@ class Column:
             raise StorageError(
                 f"column {name!r}: dtype mismatch, expected {expected}, got {data.dtype}"
             )
+        if valid is not None:
+            if valid.dtype != np.bool_ or len(valid) != len(data):
+                raise StorageError(
+                    f"column {name!r}: validity mask must be bool of length "
+                    f"{len(data)}"
+                )
+            valid = normalize_valid(valid)
         self.name = name
         self.dtype = dtype
         self._data = data
+        self.valid = valid
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_values(cls, name: str, dtype: DataType, values: Iterable[Any]) -> "Column":
-        """Build a column from arbitrary Python values, coercing per type."""
+        """Build a column from arbitrary Python values, coercing per type.
+
+        ``None`` values become SQL NULLs: object columns keep the ``None``
+        in-band, fixed-width columns store a sentinel under a validity
+        mask (so ``INSERT ... VALUES (NULL)`` works for every type).
+        """
         values = list(values)
+        valid: Optional[np.ndarray] = None
         if dtype is DataType.DATE:
-            coerced = [_coerce_date(v) for v in values]
-            array = np.asarray(coerced, dtype=np.int64)
+            coerced = [None if v is None else _coerce_date(v) for v in values]
+            array, valid = array_with_nulls(coerced, np.dtype(np.int64))
         elif dtype in (DataType.STRING, DataType.BLOB):
             array = np.empty(len(values), dtype=object)
             for i, value in enumerate(values):
                 array[i] = value
         elif dtype is DataType.BOOL:
-            array = np.asarray([bool(v) for v in values], dtype=np.bool_)
+            array, valid = array_with_nulls(
+                [None if v is None else bool(v) for v in values],
+                np.dtype(np.bool_),
+            )
         else:
             try:
-                array = np.asarray(values, dtype=dtype.numpy_dtype)
+                array, valid = array_with_nulls(values, dtype.numpy_dtype)
             except (TypeError, ValueError) as exc:
                 raise StorageError(
                     f"column {name!r}: cannot coerce values to {dtype}: {exc}"
                 ) from exc
-        return cls(name, dtype, array)
+        return cls(name, dtype, array, valid)
 
     @classmethod
     def empty(cls, name: str, dtype: DataType) -> "Column":
@@ -79,9 +113,24 @@ class Column:
         return len(self._data)
 
     def __getitem__(self, index: int) -> Any:
+        if self.valid is not None and not self.valid[index]:
+            return None
         return self._data[index]
 
+    def null_mask(self) -> Optional[np.ndarray]:
+        """Boolean array with True at NULL rows; None when null-free."""
+        return null_mask_of(self._data, self.valid)
+
+    def null_count(self) -> int:
+        mask = self.null_mask()
+        return int(mask.sum()) if mask is not None else 0
+
     def to_list(self) -> list[Any]:
+        if self.valid is not None:
+            return [
+                None if not ok else (v.item() if isinstance(v, np.generic) else v)
+                for v, ok in zip(self._data, self.valid)
+            ]
         return self._data.tolist() if self.dtype is not DataType.BLOB else list(self._data)
 
     def nbytes(self) -> int:
@@ -90,6 +139,7 @@ class Column:
         For object columns the payload sizes are summed (numpy only counts
         the pointers), which matters for the paper's storage-overhead table.
         """
+        mask_bytes = self.valid.nbytes if self.valid is not None else 0
         if self.dtype in (DataType.STRING, DataType.BLOB):
             total = self._data.nbytes
             for value in self._data:
@@ -97,14 +147,14 @@ class Column:
                     total += value.nbytes
                 elif isinstance(value, (bytes, str)):
                     total += len(value)
-            return total
-        return self._data.nbytes
+            return total + mask_bytes
+        return self._data.nbytes + mask_bytes
 
     # ------------------------------------------------------------------
     # Transformation (all return new columns)
     # ------------------------------------------------------------------
     def rename(self, name: str) -> "Column":
-        return Column(name, self.dtype, self._data)
+        return Column(name, self.dtype, self._data, self.valid)
 
     def filter(self, mask: np.ndarray) -> "Column":
         """Keep rows where the boolean ``mask`` is True."""
@@ -114,28 +164,60 @@ class Column:
             raise StorageError(
                 f"mask length {len(mask)} != column length {len(self._data)}"
             )
-        return Column(self.name, self.dtype, self._data[mask])
+        valid = self.valid[mask] if self.valid is not None else None
+        return Column(self.name, self.dtype, self._data[mask], valid)
 
     def take(self, indices: np.ndarray) -> "Column":
         """Gather rows by integer position (used by joins and sorts)."""
-        return Column(self.name, self.dtype, self._data.take(indices))
+        valid = self.valid.take(indices) if self.valid is not None else None
+        return Column(self.name, self.dtype, self._data.take(indices), valid)
 
     def concat(self, other: "Column") -> "Column":
         if other.dtype is not self.dtype:
             raise StorageError(
                 f"cannot concat {self.dtype} column with {other.dtype} column"
             )
-        return Column(self.name, self.dtype, np.concatenate([self._data, other._data]))
+        valid: Optional[np.ndarray] = None
+        if self.valid is not None or other.valid is not None:
+            mine = (
+                self.valid
+                if self.valid is not None
+                else np.ones(len(self._data), dtype=bool)
+            )
+            theirs = (
+                other.valid
+                if other.valid is not None
+                else np.ones(len(other._data), dtype=bool)
+            )
+            valid = np.concatenate([mine, theirs])
+        return Column(
+            self.name,
+            self.dtype,
+            np.concatenate([self._data, other._data]),
+            valid,
+        )
 
     def distinct_count(self) -> int:
-        """Number of distinct values (used by the statistics collector)."""
+        """Number of distinct values (used by the statistics collector).
+
+        NULL counts as one distinct value when present (matching the
+        engine's GROUP BY/DISTINCT treatment of NULL as one group).
+        """
         if self.dtype is DataType.BLOB:
             return len(self._data)  # blobs are assumed unique
         if len(self._data) == 0:
             return 0
+        null = self.null_mask()
+        if null is None:
+            if self.dtype is DataType.STRING:
+                return len(set(self._data.tolist()))
+            return int(len(np.unique(self._data)))
+        present = self._data[~null]
         if self.dtype is DataType.STRING:
-            return len(set(self._data.tolist()))
-        return int(len(np.unique(self._data)))
+            distinct = len(set(present.tolist()))
+        else:
+            distinct = int(len(np.unique(present)))
+        return distinct + 1
 
 
 def _coerce_date(value: Any) -> int:
@@ -148,16 +230,20 @@ def _coerce_date(value: Any) -> int:
     raise StorageError(f"cannot coerce {value!r} to a Date")
 
 
-def column_from_numpy(name: str, array: np.ndarray) -> Column:
+def column_from_numpy(
+    name: str, array: np.ndarray, valid: Optional[np.ndarray] = None
+) -> Column:
     """Infer a logical type from a numpy array and wrap it as a Column."""
     if array.dtype == np.bool_:
-        return Column(name, DataType.BOOL, array)
+        return Column(name, DataType.BOOL, array, valid)
     if np.issubdtype(array.dtype, np.integer):
-        return Column(name, DataType.INT64, array.astype(np.int64, copy=False))
+        return Column(name, DataType.INT64, array.astype(np.int64, copy=False), valid)
     if np.issubdtype(array.dtype, np.floating):
-        return Column(name, DataType.FLOAT64, array.astype(np.float64, copy=False))
+        return Column(
+            name, DataType.FLOAT64, array.astype(np.float64, copy=False), valid
+        )
     if array.dtype == object:
-        return Column(name, DataType.STRING, array)
+        return Column(name, DataType.STRING, array, valid)
     raise StorageError(f"cannot infer column type for numpy dtype {array.dtype}")
 
 

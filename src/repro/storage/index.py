@@ -34,20 +34,34 @@ class HashIndex:
         data = column.data
         if len(data) == 0:
             return
+        # NULL rows are never indexed: an equality probe can't match NULL
+        # (the comparison is UNKNOWN), so they have no bucket to live in.
+        null = column.null_mask()
         if column.dtype is DataType.STRING:
             groups: dict[Any, list[int]] = {}
             for position, key in enumerate(data):
+                if key is None or (null is not None and null[position]):
+                    continue
                 groups.setdefault(key, []).append(position)
             self._buckets = {
                 key: np.asarray(rows, dtype=np.int64) for key, rows in groups.items()
             }
             return
         # Numeric path: argsort once, then slice runs of equal keys.
+        positions = (
+            np.flatnonzero(~null) if null is not None else None
+        )
+        if positions is not None:
+            if len(positions) == 0:
+                return
+            data = data[positions]
         order = np.argsort(data, kind="stable")
         sorted_keys = data[order]
+        if positions is not None:
+            order = positions[order]
         boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
         starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [len(data)]])
+        ends = np.concatenate([boundaries, [len(sorted_keys)]])
         for start, end in zip(starts, ends):
             self._buckets[sorted_keys[start].item()] = order[start:end]
 

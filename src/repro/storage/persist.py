@@ -99,9 +99,18 @@ def load_database(db: "Database", directory: str, *, replace: bool = False) -> i
 def _save_table(table: Table, path: str) -> None:
     arrays: dict[str, np.ndarray] = {}
     for column in table.columns:
+        # NULLs: a ``valid__<name>`` mask is written whenever the column
+        # has any (explicit mask, or in-band None in a STRING column —
+        # which would otherwise round-trip as the empty string).  Float
+        # NaN survives in-band, so no mask is needed there.
+        null = column.null_mask()
+        if null is not None and column.dtype is not DataType.FLOAT64:
+            arrays[f"valid__{column.name}"] = ~null
         if column.dtype is DataType.BLOB:
             for row, value in enumerate(column.data):
-                arrays[f"blob__{column.name}__{row}"] = np.asarray(value)
+                arrays[f"blob__{column.name}__{row}"] = np.asarray(
+                    value if value is not None else []
+                )
         elif column.dtype is DataType.STRING:
             arrays[f"str__{column.name}"] = np.asarray(
                 ["" if v is None else str(v) for v in column.data], dtype="U"
@@ -118,22 +127,33 @@ def _load_table(entry: dict, path: str) -> Table:
         for spec in entry["columns"]:
             name = spec["name"]
             dtype = DataType(spec["dtype"])
+            # Absent in pre-NULL archives, so loads stay backward
+            # compatible: no mask file means every row is valid.
+            valid_key = f"valid__{name}"
+            valid = archive[valid_key] if valid_key in archive else None
             if dtype is DataType.BLOB:
                 data = np.empty(rows, dtype=object)
                 for row in range(rows):
                     data[row] = archive[f"blob__{name}__{row}"]
-                columns.append(Column(name, dtype, data))
+                if valid is not None:
+                    for row in np.flatnonzero(~valid):
+                        data[row] = None
+                columns.append(Column(name, dtype, data, valid))
             elif dtype is DataType.STRING:
                 loaded = archive[f"str__{name}"]
                 data = np.empty(rows, dtype=object)
                 data[:] = [str(v) for v in loaded]
-                columns.append(Column(name, dtype, data))
+                if valid is not None:
+                    for row in np.flatnonzero(~valid):
+                        data[row] = None
+                columns.append(Column(name, dtype, data, valid))
             else:
                 columns.append(
                     Column(
                         name,
                         dtype,
                         archive[f"col__{name}"].astype(dtype.numpy_dtype),
+                        valid,
                     )
                 )
     return Table(entry["name"], columns)

@@ -141,7 +141,18 @@ class Table:
         return Table(name, self._columns)
 
     def head(self, n: int) -> "Table":
-        return Table(self.name, [Column(c.name, c.dtype, c.data[:n]) for c in self._columns])
+        return Table(
+            self.name,
+            [
+                Column(
+                    c.name,
+                    c.dtype,
+                    c.data[:n],
+                    c.valid[:n] if c.valid is not None else None,
+                )
+                for c in self._columns
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Mutation (in-place replacement of the column list)
@@ -177,13 +188,18 @@ class Table:
             for mine, theirs in zip(self._columns, other.columns)
         ]
 
-    def replace_column(self, name: str, values: np.ndarray) -> None:
+    def replace_column(
+        self,
+        name: str,
+        values: np.ndarray,
+        valid: np.ndarray | None = None,
+    ) -> None:
         """Overwrite one column's data in place (used by UPDATE)."""
         position = self._schema.position_of(name)
         old = self._columns[position]
         if values.dtype != old.dtype.numpy_dtype:
             values = values.astype(old.dtype.numpy_dtype)
-        self._columns[position] = Column(old.name, old.dtype, values)
+        self._columns[position] = Column(old.name, old.dtype, values, valid)
 
 
 def _dtype_from_numpy(array: np.ndarray) -> DataType:

@@ -1,0 +1,113 @@
+"""Validity-mask (NULL bitmap) helpers shared by storage and engine.
+
+The engine represents SQL NULL with a *validity mask*: an optional
+boolean array alongside the data where ``True`` means "this row holds a
+real value" and ``False`` means NULL.  ``None`` in place of a mask means
+"every row is valid", which keeps NULL handling pay-as-you-go: columns
+and vectors without NULLs carry no mask and take none of the branches.
+
+Two physical encodings exist without a mask and are honored everywhere:
+
+* object arrays (STRING/BLOB) use Python ``None`` as NULL;
+* float arrays treat NaN as NULL (the pre-mask legacy encoding, kept so
+  NaN-producing kernels and NULLs stay indistinguishable at the SQL
+  level, matching SQLite's treatment of NaN as NULL).
+
+Fixed-width arrays (INT64/DATE/BOOL) cannot encode NULL in-band; they
+store an arbitrary sentinel (0/False) under a ``False`` mask bit.  The
+mask is the source of truth whenever present.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+
+def null_mask_of(
+    data: np.ndarray, valid: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    """NULL positions of ``data`` under ``valid``; None when provably none.
+
+    Returns a boolean array with ``True`` at NULL rows, or ``None`` when
+    no row can be NULL.  Object arrays are scanned for ``None`` and float
+    arrays for NaN only when no explicit mask is present.
+    """
+    if valid is not None:
+        mask = ~valid
+        return mask if mask.any() else None
+    if data.dtype == object:
+        mask = np.fromiter(
+            (v is None for v in data), dtype=bool, count=len(data)
+        )
+        return mask if mask.any() else None
+    if data.dtype.kind == "f":
+        mask = np.isnan(data)
+        return mask if mask.any() else None
+    return None
+
+
+def valid_from_nulls(null: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Invert a null mask into a validity mask (None stays None)."""
+    if null is None or not null.any():
+        return None
+    return ~null
+
+
+def normalize_valid(valid: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Collapse an all-True mask to None so null-free stays mask-free."""
+    if valid is None or valid.all():
+        return None
+    return valid
+
+
+def merge_valid(
+    a: Optional[np.ndarray], b: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    """Row-wise AND of two validity masks (None means all-valid)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+def concat_valid(
+    masks: Sequence[Optional[np.ndarray]], lengths: Sequence[int]
+) -> Optional[np.ndarray]:
+    """Concatenate per-chunk validity masks, densifying only if needed."""
+    if all(m is None for m in masks):
+        return None
+    parts = [
+        m if m is not None else np.ones(n, dtype=bool)
+        for m, n in zip(masks, lengths)
+    ]
+    return np.concatenate(parts)
+
+
+def sentinel_for(numpy_dtype: np.dtype) -> Any:
+    """In-band placeholder stored at NULL rows of a fixed-width array."""
+    if numpy_dtype.kind == "f":
+        return np.nan
+    if numpy_dtype.kind == "b":
+        return False
+    return 0
+
+
+def array_with_nulls(
+    values: Sequence[Any], numpy_dtype: np.dtype
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Build a fixed-width array from values that may contain ``None``.
+
+    Returns ``(data, valid)`` where NULL rows hold a sentinel and the
+    mask is None when the input was null-free.
+    """
+    null = np.fromiter(
+        (v is None for v in values), dtype=bool, count=len(values)
+    )
+    if not null.any():
+        return np.asarray(values, dtype=numpy_dtype), None
+    sentinel = sentinel_for(numpy_dtype)
+    dense = [sentinel if v is None else v for v in values]
+    return np.asarray(dense, dtype=numpy_dtype), ~null

@@ -166,7 +166,7 @@ class TestL005NudfOrdering:
 
 class TestReportSurface:
     def test_rule_catalog_is_complete(self):
-        assert sorted(LINT_RULES) == ["L001", "L002", "L003", "L004", "L005"]
+        assert sorted(LINT_RULES) == ["L001", "L002", "L003", "L004", "L005", "L006"]
 
     def test_error_and_warning_coexist(self, db):
         report = lint(
@@ -236,3 +236,46 @@ class TestReportSurface:
                 assert not report.warnings, (path, sql, report.warnings)
                 checked += 1
         assert checked > 0
+
+
+class TestL006NullComparison:
+    def test_equals_null_trigger(self, db):
+        report = lint(db, "SELECT * FROM t WHERE a = NULL")
+        assert codes(report) == ["L006"]
+        assert "a IS NULL" in report.warnings[0].message
+
+    def test_not_equals_null_suggests_is_not_null(self, db):
+        report = lint(db, "SELECT * FROM t WHERE a != NULL")
+        assert codes(report) == ["L006"]
+        assert "a IS NOT NULL" in report.warnings[0].message
+
+    def test_angle_brackets_operator(self, db):
+        report = lint(db, "SELECT * FROM t WHERE g <> NULL")
+        assert codes(report) == ["L006"]
+        assert "g IS NOT NULL" in report.warnings[0].message
+
+    def test_null_on_left_side(self, db):
+        report = lint(db, "SELECT * FROM t WHERE NULL = a")
+        assert codes(report) == ["L006"]
+        assert "a IS NULL" in report.warnings[0].message
+
+    def test_select_item_flagged(self, db):
+        assert codes(lint(db, "SELECT a = NULL FROM t")) == ["L006"]
+
+    def test_is_null_not_flagged(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE a IS NULL")) == []
+        assert codes(lint(db, "SELECT * FROM t WHERE a IS NOT NULL")) == []
+
+    def test_coalesce_with_null_not_flagged(self, db):
+        # NULL as a plain argument (not compared) is legitimate
+        assert codes(lint(db, "SELECT coalesce(g, NULL, 'd') FROM t")) == []
+
+    def test_span_points_at_comparison(self, db):
+        sql = "SELECT a FROM t WHERE a = NULL"
+        report = lint(db, sql)
+        finding = report.warnings[0]
+        assert sql[finding.span.start : finding.span.end] == "a = NULL"
+
+    def test_works_without_catalog(self):
+        report = analyze_query("SELECT * FROM anywhere WHERE x = NULL")
+        assert codes(report) == ["L006"]

@@ -302,3 +302,102 @@ class TestLenientMode:
 
         with pytest.raises(PlanError):
             database.execute("SELECT missing FROM t")
+
+
+class TestNullabilityInference:
+    """The analyzer's nullable verdict per output column.
+
+    Base-table nullability is read off the stored data: columns of ``t``
+    hold no NULLs, so references to them are NOT NULL; ``nt.x`` holds a
+    NULL and stays nullable.
+    """
+
+    @pytest.fixture()
+    def ndb(self, db):
+        db.create_table_from_dict("nt", {"x": [1, None, 3], "s": ["a", "b", "c"]})
+        return db
+
+    def _schema(self, db, sql):
+        report = analyze_query(
+            sql, catalog=db.catalog, functions=db.functions, udfs=db.udfs
+        )
+        assert report.ok, report.findings
+        return report.schema
+
+    def test_null_free_column_is_not_nullable(self, ndb):
+        schema = self._schema(ndb, "SELECT a, g FROM t")
+        assert [c.nullable for c in schema.columns] == [False, False]
+
+    def test_column_with_nulls_is_nullable(self, ndb):
+        schema = self._schema(ndb, "SELECT x, s FROM nt")
+        assert [c.nullable for c in schema.columns] == [True, False]
+
+    def test_star_expansion_carries_nullability(self, ndb):
+        schema = self._schema(ndb, "SELECT * FROM nt")
+        assert [c.nullable for c in schema.columns] == [True, False]
+
+    def test_null_literal_is_nullable(self, ndb):
+        schema = self._schema(ndb, "SELECT NULL, 1, 'k' FROM t")
+        assert [c.nullable for c in schema.columns] == [True, False, False]
+
+    def test_count_never_nullable_sum_nullable(self, ndb):
+        schema = self._schema(ndb, "SELECT count(*), count(x), sum(x) FROM nt")
+        assert [c.nullable for c in schema.columns] == [False, False, True]
+
+    def test_min_over_null_free_column_still_nullable(self, ndb):
+        # The group can be empty (zero qualifying rows), which yields NULL
+        # even when the column itself has no NULLs.
+        schema = self._schema(ndb, "SELECT min(a) FROM t")
+        assert schema.columns[0].nullable is True
+
+    def test_is_null_is_definite(self, ndb):
+        schema = self._schema(ndb, "SELECT x IS NULL FROM nt")
+        assert schema.columns[0].nullable is False
+
+    def test_coalesce_with_definite_fallback(self, ndb):
+        schema = self._schema(ndb, "SELECT coalesce(x, 0) FROM nt")
+        assert schema.columns[0].nullable is False
+
+    def test_coalesce_all_nullable_stays_nullable(self, ndb):
+        schema = self._schema(ndb, "SELECT coalesce(x, x) FROM nt")
+        assert schema.columns[0].nullable is True
+
+    def test_arithmetic_propagates_nullability(self, ndb):
+        schema = self._schema(ndb, "SELECT x + 1, a + 1 FROM nt, t")
+        assert [c.nullable for c in schema.columns] == [True, False]
+
+    def test_division_always_nullable(self, ndb):
+        # 1/0 produces NaN, which the engine reads back as NULL.
+        schema = self._schema(ndb, "SELECT a / 1 FROM t")
+        assert schema.columns[0].nullable is True
+
+    def test_case_without_else_is_nullable(self, ndb):
+        schema = self._schema(
+            ndb, "SELECT CASE WHEN a > 1 THEN 1 END FROM t"
+        )
+        assert schema.columns[0].nullable is True
+
+    def test_case_with_definite_else_is_not(self, ndb):
+        schema = self._schema(
+            ndb, "SELECT CASE WHEN a > 1 THEN 1 ELSE 0 END FROM t"
+        )
+        assert schema.columns[0].nullable is False
+
+    def test_derived_table_carries_nullability(self, ndb):
+        schema = self._schema(
+            ndb,
+            "SELECT k, c FROM (SELECT x AS k, count(*) AS c FROM nt "
+            "GROUP BY x) AS d",
+        )
+        assert [c.nullable for c in schema.columns] == [True, False]
+
+    def test_render_nullable_marks_not_null(self, ndb):
+        schema = self._schema(ndb, "SELECT a FROM t")
+        assert schema.columns[0].render_nullable() == "a Int64 NOT NULL"
+        # render() itself must stay stable for plan headers.
+        assert schema.columns[0].render() == "a Int64"
+
+    def test_empty_table_columns_stay_nullable(self, ndb):
+        ndb.execute("CREATE TABLE z (q Int64)")
+        schema = self._schema(ndb, "SELECT q FROM z")
+        assert schema.columns[0].nullable is True

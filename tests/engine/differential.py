@@ -1,0 +1,110 @@
+"""Differential NULL-semantics harness: the engine vs stdlib sqlite3.
+
+SQLite is the reference implementation for three-valued logic here: every
+query in the corpus runs against both engines over identical data and the
+result *multisets* must match.  Multiset (not list) comparison keeps
+ORDER BY queries usable while sidestepping the one documented divergence
+in sort order (the engine sorts NULLS last ascending, SQLite first).
+
+Queries must stay inside the shared dialect:
+
+* no integer division (``/`` is float division here, integer in SQLite) —
+  multiply by ``1.0`` first;
+* no ``count(<boolean expr>)`` (engine dialect: countIf);
+* no case-mixed LIKE patterns (SQLite's LIKE is case-insensitive);
+* no negative modulo (numpy takes the divisor's sign, C the dividend's);
+* no DATE functions and no engine-only builtins.
+
+Value normalization before comparison: numpy scalars unwrap, booleans and
+ints widen to float (SQLite has no bool and mixes int/float affinities),
+NaN maps to None (the engine's float NULL encoding), floats round to 6
+places to absorb summation-order differences.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from collections import Counter
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine import Database
+
+
+def build_engine(tables: Mapping[str, Mapping[str, list]]) -> Database:
+    db = Database()
+    for name, columns in tables.items():
+        db.create_table_from_dict(name, dict(columns))
+    return db
+
+
+def build_sqlite(
+    tables: Mapping[str, Mapping[str, list]]
+) -> sqlite3.Connection:
+    conn = sqlite3.connect(":memory:")
+    for name, columns in tables.items():
+        decls = ", ".join(
+            f'"{column}" {_sqlite_type(values)}'
+            for column, values in columns.items()
+        )
+        conn.execute(f'CREATE TABLE "{name}" ({decls})')
+        placeholders = ", ".join("?" for _ in columns)
+        conn.executemany(
+            f'INSERT INTO "{name}" VALUES ({placeholders})',
+            list(zip(*columns.values())),
+        )
+    conn.commit()
+    return conn
+
+
+def _sqlite_type(values: Sequence[Any]) -> str:
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool) or isinstance(value, int):
+            return "INTEGER"
+        if isinstance(value, float):
+            return "REAL"
+        return "TEXT"
+    return "TEXT"
+
+
+def normalize_value(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, int):
+        return float(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        return round(value, 6)
+    return value
+
+
+def normalize_rows(rows: Sequence[Sequence[Any]]) -> Counter:
+    return Counter(
+        tuple(normalize_value(value) for value in row) for row in rows
+    )
+
+
+def assert_equivalent(
+    engine_db: Database, reference: sqlite3.Connection, sql: str
+) -> None:
+    """Run ``sql`` on both engines and require identical result multisets."""
+    ours = normalize_rows(engine_db.query(sql))
+    theirs = normalize_rows(reference.execute(sql).fetchall())
+    if ours == theirs:
+        return
+    only_ours = ours - theirs
+    only_theirs = theirs - ours
+    raise AssertionError(
+        f"differential mismatch for {sql!r}\n"
+        f"  engine-only rows: {sorted(only_ours.elements(), key=repr)}\n"
+        f"  sqlite-only rows: {sorted(only_theirs.elements(), key=repr)}"
+    )

@@ -79,7 +79,10 @@ class TestGlobalAggregates:
 
     def test_empty_input(self, db):
         assert db.execute("SELECT count(*) FROM t WHERE n > 99").scalar() == 0
-        assert db.execute("SELECT sum(n) FROM t WHERE n > 99").scalar() == 0
+        # SQL: SUM/AVG/MIN/MAX over zero rows yield NULL, not 0.
+        assert db.execute("SELECT sum(n) FROM t WHERE n > 99").scalar() is None
+        assert db.execute("SELECT avg(n) FROM t WHERE n > 99").scalar() is None
+        assert db.execute("SELECT min(n) FROM t WHERE n > 99").scalar() is None
 
 
 class TestGroupBy:
