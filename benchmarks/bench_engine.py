@@ -7,6 +7,11 @@ same filter+aggregate workload — the vectorized engine must win by a wide
 margin, which is what makes SQL-side inference competitive at all.
 """
 
+import json
+import os
+import pathlib
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +19,35 @@ from repro.engine import Database
 
 
 ROWS = 50_000
+
+#: Machine-readable sidecar at the repo root recording the morsel
+#: parallelism scenarios (workers=1 vs workers=4 on identical data).
+#: CI regenerates it on every run (``--quick``); the committed copy
+#: holds the numbers from the last local full run.
+BENCH_SIDECAR = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_engine.json"
+)
+
+
+def _record_scenario(name: str, payload: dict) -> None:
+    data: dict = {}
+    if BENCH_SIDECAR.exists():
+        try:
+            data = json.loads(BENCH_SIDECAR.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["cpus"] = os.cpu_count()
+    data.setdefault("scenarios", {})[name] = payload
+    BENCH_SIDECAR.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +94,119 @@ def test_sort_limit(benchmark, db):
         lambda: db.execute("SELECT k FROM t ORDER BY v DESC LIMIT 10")
     )
     assert result.num_rows == 10
+
+
+def _parallel_pair(tables: dict, **kwargs) -> tuple[Database, Database]:
+    serial = Database(workers=1, **kwargs)
+    parallel = Database(workers=4, **kwargs)
+    for db in (serial, parallel):
+        for name, columns in tables.items():
+            db.create_table_from_dict(name, dict(columns))
+    return serial, parallel
+
+
+def test_parallel_relational_pipeline(quick_mode):
+    """Workers=4 vs workers=1 over the same filter/join/group pipeline.
+
+    On a single-core host numpy morsels cannot overlap, so no speedup
+    floor is asserted here — the recorded number documents the host.
+    Result equality across worker counts IS asserted (the contract the
+    differential suite pins at small scale).
+    """
+    rows = 30_000 if quick_mode else 200_000
+    rng = np.random.default_rng(1)
+    tables = {
+        "t": {
+            "k": rng.integers(0, 1000, rows),
+            "v": rng.normal(size=rows),
+            "g": rng.integers(0, 50, rows),
+        },
+        "s": {"k": np.arange(1000), "w": rng.normal(size=1000)},
+    }
+    serial, parallel = _parallel_pair(tables)
+    sql = (
+        "SELECT g, count(*), sum(v) FROM t, s "
+        "WHERE t.k = s.k AND v > -1.0 GROUP BY g"
+    )
+
+    def rounded(rows):
+        # Partial-aggregate merges re-associate float addition, so sums
+        # agree to rounding (the differential suite's comparison), not
+        # to the last ulp.
+        return sorted(
+            tuple(
+                round(float(value), 6)
+                if isinstance(value, (float, np.floating))
+                else int(value)
+                for value in row
+            )
+            for row in rows
+        )
+
+    assert rounded(serial.query(sql)) == rounded(parallel.query(sql))
+    serial_s = _best_of(3, lambda: serial.execute(sql))
+    parallel_s = _best_of(3, lambda: parallel.execute(sql))
+    _record_scenario(
+        "relational_pipeline",
+        {
+            "rows": rows,
+            "sql": sql,
+            "workers1_seconds": serial_s,
+            "workers4_seconds": parallel_s,
+            "speedup": serial_s / parallel_s,
+            "identical_results": True,
+        },
+    )
+    parallel.close()
+    serial.close()
+
+
+def test_parallel_udf_latency_bound(quick_mode):
+    """The >=2x scenario: a latency-bound UDF (per-row stall, GIL
+    released) overlaps across morsel workers even on one core.
+
+    This is the regime the paper's DB-UDF strategy lives in — per-batch
+    model inference dominated by accelerator/IO latency rather than
+    Python compute — and where 4 workers must beat 1 by >=2x."""
+    from repro.engine.udf import BatchUdf
+    from repro.storage.schema import DataType
+
+    rows = 800 if quick_mode else 2000
+    per_row_sleep = 5e-5
+
+    def stall_udf():
+        def fn(values):
+            time.sleep(len(values) * per_row_sleep)
+            return values * 2.0
+
+        return BatchUdf(
+            name="stall", fn=fn, return_dtype=DataType.FLOAT64
+        )
+
+    tables = {"t": {"x": [float(i) for i in range(rows)]}}
+    serial, parallel = _parallel_pair(tables, udf_morsel_rows=64)
+    serial.register_udf(stall_udf())
+    parallel.register_udf(stall_udf())
+    sql = "SELECT sum(stall(x)) FROM t"
+    assert serial.execute(sql).scalar() == parallel.execute(sql).scalar()
+    serial_s = _best_of(2, lambda: serial.execute(sql))
+    parallel_s = _best_of(2, lambda: parallel.execute(sql))
+    speedup = serial_s / parallel_s
+    _record_scenario(
+        "udf_latency_bound",
+        {
+            "rows": rows,
+            "per_row_stall_seconds": per_row_sleep,
+            "sql": sql,
+            "workers1_seconds": serial_s,
+            "workers4_seconds": parallel_s,
+            "speedup": speedup,
+            "identical_results": True,
+        },
+    )
+    parallel.close()
+    serial.close()
+    assert speedup >= 2.0, f"latency-bound morsels only reached {speedup:.2f}x"
 
 
 def _interpret(expression, row):

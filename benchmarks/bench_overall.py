@@ -1,7 +1,17 @@
 """Fig. 8 — overall performance across strategies and hardware."""
 
+import json
+import os
+import pathlib
+
 from repro.experiments import exp_overall
 from repro.experiments.reporting import print_table
+
+#: Repo-root sidecar with the regenerated Fig. 8 numbers, diffable
+#: across commits (same spirit as ``BENCH_engine.json``).
+BENCH_SIDECAR = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_overall.json"
+)
 
 
 def test_fig8_overall(benchmark, bench_dataset, bench_repository):
@@ -11,6 +21,28 @@ def test_fig8_overall(benchmark, bench_dataset, bench_repository):
         ),
         rounds=1,
         iterations=1,
+    )
+    BENCH_SIDECAR.write_text(
+        json.dumps(
+            {
+                "figure": "fig8_overall",
+                "cpus": os.cpu_count(),
+                "rows": [
+                    {
+                        "hardware": r.hardware,
+                        "strategy": r.strategy,
+                        "loading_seconds": r.loading,
+                        "inference_seconds": r.inference,
+                        "relational_seconds": r.relational,
+                        "total_seconds": r.total,
+                    }
+                    for r in rows
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
     )
     print_table(
         ["Hardware", "Strategy", "Loading(s)", "Inference(s)",

@@ -44,9 +44,11 @@ from repro.engine.cost import CostModel, DefaultCostModel
 from repro.engine.expressions import Evaluator, FunctionRegistry
 from repro.engine.frame import Frame
 from repro.engine.infer_cache import make_cache
+from repro.engine.kernels import KernelCache
 from repro.engine.logical import LogicalPlan
 from repro.engine.memory import MemoryAccountant
 from repro.engine.optimizer import Optimizer, OptimizerConfig
+from repro.engine.parallel import DEFAULT_MORSEL_ROWS, MorselPool
 from repro.engine.physical import ExecutionContext, execute_plan
 from repro.engine.qcontext import CancellationToken, QueryContext
 from repro.engine.planner import Planner
@@ -206,6 +208,9 @@ class Database:
         udf_cache_bytes: int = 0,
         udf_workers: int = 1,
         udf_morsel_rows: int = 256,
+        workers: Optional[int] = None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        fused_kernels: bool = True,
         semantic_analysis: bool = True,
         validate_plans: Optional[bool] = None,
         fault_plan: Any = None,
@@ -233,6 +238,37 @@ class Database:
             self.udfs.attach_executor(
                 self._udf_executor, morsel_rows=udf_morsel_rows
             )
+        #: Engine-wide morsel pool for partition-parallel operators
+        #: (filter/project morsels, hash-join partitions, aggregate
+        #: partials).  ``workers=None`` consults the ``REPRO_WORKERS``
+        #: environment variable so CI and the chaos harness can turn
+        #: parallelism on without code changes; one worker means every
+        #: operator runs inline and no threads exist.
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+        self.workers = max(1, int(workers))
+        self.parallel = MorselPool(
+            self.workers, morsel_rows, metrics=metrics
+        )
+        #: When the engine pool is live and no dedicated UDF pool was
+        #: requested, UDF morsel dispatch shares the engine's executor.
+        #: This cannot deadlock: expressions containing UDF calls never
+        #: run on engine morsel workers (``_parallel_safe_expr`` excludes
+        #: them), so UDF morsels are only ever submitted from the
+        #: coordinator thread.
+        self._udf_executor_shared = (
+            self.parallel.enabled and self._udf_executor is None
+        )
+        if self._udf_executor_shared:
+            self.udfs.attach_executor(
+                self.parallel.executor, morsel_rows=udf_morsel_rows
+            )
+        #: Fused expression kernels: single-pass compiled evaluators for
+        #: filter/project expressions, keyed by SQL text + input schema +
+        #: UDF registry generation.  On by default; ``fused_kernels=False``
+        #: forces the interpreting evaluator everywhere (the
+        #: fused-vs-interpreted differential tests rely on this switch).
+        self.kernels = KernelCache(udfs=self.udfs) if fused_kernels else None
         #: The instrumentation spine.  A disabled tracer hands out the
         #: shared null span, so the default costs one attribute check at
         #: the few span sites on the query path (never per row).
@@ -461,11 +497,15 @@ class Database:
         return self.catalog.total_nbytes()
 
     def close(self) -> None:
-        """Release the UDF worker pool (idempotent)."""
+        """Release the worker pools (idempotent)."""
         if self._udf_executor is not None:
             self._udf_executor.shutdown(wait=True)
             self._udf_executor = None
             self.udfs.attach_executor(None)
+        if self._udf_executor_shared:
+            self.udfs.attach_executor(None)
+            self._udf_executor_shared = False
+        self.parallel.shutdown()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -631,6 +671,8 @@ class Database:
             query=self._active_query,
             faults=self.faults,
             memory=memory,
+            parallel=self.parallel if self.parallel.enabled else None,
+            kernels=self.kernels,
         )
 
     def _execute_scalar_subquery(self, statement: SelectStatement) -> Any:

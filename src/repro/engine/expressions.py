@@ -299,8 +299,12 @@ class Evaluator:
 
         if self._udfs is not None and name in self._udfs:
             args = [self.evaluate(a) for a in expression.args]
-            arrays = [a.materialize(self._frame.num_rows) for a in args]
-            return self._udfs.invoke(name, arrays)
+            num_rows = self._frame.num_rows
+            arrays = [a.materialize(num_rows) for a in args]
+            # Strict NULL propagation: the registry compresses NULL rows
+            # out before the model (and the cache hasher) see them.
+            nulls = _args_null(args, num_rows)
+            return self._udfs.invoke(name, arrays, nulls)
 
         handler = self._functions.get(name)
         if handler is None:
@@ -415,7 +419,12 @@ class UdfRegistryProtocol:
     def __contains__(self, name: str) -> bool:  # pragma: no cover - protocol
         raise NotImplementedError
 
-    def invoke(self, name: str, args: list[np.ndarray]) -> Vector:  # pragma: no cover
+    def invoke(
+        self,
+        name: str,
+        args: list[np.ndarray],
+        nulls: Optional[np.ndarray] = None,
+    ) -> Vector:  # pragma: no cover - protocol
         raise NotImplementedError
 
 
@@ -1011,12 +1020,19 @@ def _register_builtins(registry: FunctionRegistry) -> None:
             if any(a.is_null_scalar for a in args):
                 return Vector(None, DataType.INT64, is_scalar=True)
             null = _args_null(args, num_rows)
-            numerator = args[0].materialize(num_rows).astype(np.int64)
-            denominator = args[1].materialize(num_rows).astype(np.int64)
-            if null is not None:
-                # Sentinel denominators under the mask would divide by
-                # zero; patch them to 1 (result is masked anyway).
-                denominator = np.where(null, 1, denominator)
+
+            def widen(vector: Vector, fill: int) -> np.ndarray:
+                # Sentinel-under-mask BEFORE widening: a float column's
+                # NaN NULL sentinel must never reach the int64 cast, and
+                # a zero sentinel denominator would divide by zero.  The
+                # patched values are masked in the result anyway.
+                data = vector.materialize(num_rows)
+                if null is not None:
+                    data = np.where(null, fill, data)
+                return data.astype(np.int64)
+
+            numerator = widen(args[0], 0)
+            denominator = widen(args[1], 1)
             out = fn(numerator, denominator)
             if null is None or not null.any():
                 return Vector(out, DataType.INT64)

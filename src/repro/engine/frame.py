@@ -186,6 +186,26 @@ class Frame:
             ]
         )
 
+    def slice(self, start: int, stop: int) -> "Frame":
+        """Zero-copy contiguous row range ``[start, stop)``.
+
+        Morsel workers evaluate expressions over slices; numpy basic
+        slicing returns views, so no data moves until an operator
+        materializes its output.
+        """
+        return Frame(
+            [
+                FrameColumn(
+                    c.qualifier,
+                    c.name,
+                    c.dtype,
+                    c.data[start:stop],
+                    c.valid[start:stop] if c.valid is not None else None,
+                )
+                for c in self.columns
+            ]
+        )
+
     def head(self, n: int) -> "Frame":
         return Frame(
             [

@@ -1,0 +1,606 @@
+"""Fused single-pass numpy kernels for hot expression shapes.
+
+The interpreter in :mod:`repro.engine.expressions` walks the AST per
+batch, allocating a temporary for every intermediate ``Vector`` and
+re-deriving null masks at every node.  This module *compiles* an
+expression tree once into a chain of closures that
+
+* resolve column references to fixed positions (no per-batch name
+  resolution),
+* reuse owned intermediate buffers via ufunc ``out=`` arguments
+  (eliminating temporaries along arithmetic and boolean chains),
+* fuse the compare → mask → select pattern: comparison kernels write
+  ``False`` into NULL rows in place, so a conjunction of comparisons is
+  evaluated as a single pass of in-place ``logical_and`` calls,
+* apply the sentinel-under-mask rule *before* any dtype widening
+  (``intDiv``/``modulo`` never feed a NaN or a NULL sentinel into an
+  ``astype``).
+
+Compiled kernels live in a :class:`KernelCache` keyed by the expression
+SQL, the input frame's column signature (qualifier, name, dtype per
+column), and the UDF-registry generation counter.  The key design makes
+invalidation automatic: a schema change alters the signature, and any
+UDF (un)registration bumps the generation — so a kernel compiled when
+``intDiv`` meant the builtin can never serve a batch after a UDF of the
+same name shadows it.
+
+Anything outside the compilable subset (strings, UDFs, subqueries,
+CASE, IN lists, aggregate slots) falls back to the interpreter — the
+two paths are differentially tested for equivalence, NULLs included.
+Kernels are stateless after compilation and safe to execute from morsel
+worker threads; the cache itself is lock-protected.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+import numpy as np
+
+from repro.engine.frame import Frame
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.storage.schema import DataType
+from repro.storage.validity import null_mask_of
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.engine.expressions import Vector
+    from repro.engine.udf import UdfRegistry
+
+#: Column dtypes the compiler accepts.  Strings/BLOBs take the
+#: interpreter's object paths (per-row Python) and gain nothing here.
+_NUMERIC = (DataType.INT64, DataType.FLOAT64, DataType.BOOL, DataType.DATE)
+
+#: Maximum kernels retained per cache (LRU beyond this).
+DEFAULT_CAPACITY = 512
+
+
+class _Env:
+    """Per-evaluation state: the input frame and lazily derived masks."""
+
+    __slots__ = ("frame", "num_rows", "_nulls")
+
+    def __init__(self, frame: Frame) -> None:
+        self.frame = frame
+        self.num_rows = frame.num_rows
+        self._nulls: dict[int, Optional[np.ndarray]] = {}
+
+    def null_of(self, index: int) -> Optional[np.ndarray]:
+        if index not in self._nulls:
+            column = self.frame.columns[index]
+            self._nulls[index] = null_mask_of(column.data, column.valid)
+        return self._nulls[index]
+
+
+#: A compiled node evaluates to ``(data, null, owned)``: the value array
+#: (or Python scalar for literals), the NULL mask (None = null-free),
+#: and whether the value array is a temporary this kernel may write into.
+_NodeFn = Callable[[_Env], tuple[Any, Optional[np.ndarray], bool]]
+
+
+@dataclass
+class _Node:
+    fn: _NodeFn
+    dtype: DataType
+    is_scalar: bool = False
+
+
+def _union_null(
+    left: Optional[np.ndarray], right: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left | right
+
+
+class CompiledKernel:
+    """One compiled expression, reusable across same-signature batches."""
+
+    __slots__ = ("_node", "sql")
+
+    def __init__(self, node: _Node, sql: str) -> None:
+        self._node = node
+        self.sql = sql
+
+    @property
+    def dtype(self) -> DataType:
+        return self._node.dtype
+
+    def evaluate(self, frame: Frame) -> "Vector":
+        from repro.engine.expressions import Vector
+
+        env = _Env(frame)
+        data, null, _ = self._node.fn(env)
+        if null is not None and null.any():
+            return Vector(data, self._node.dtype, valid=~null)
+        return Vector(data, self._node.dtype)
+
+    def evaluate_mask(self, frame: Frame) -> np.ndarray:
+        """Boolean filter mask; NULL rows are already ``False`` in-band
+        (the fused compare+mask invariant), so no extra pass is needed."""
+        env = _Env(frame)
+        data, null, owned = self._node.fn(env)
+        if data.dtype != np.bool_:
+            data = data.astype(bool)
+        elif null is not None and not owned:
+            # Borrowed bool columns may hold True under a mask produced
+            # upstream; enforce False-at-NULL without mutating them.
+            data = data & ~null
+            return data
+        if null is not None:
+            data[null] = False
+        return data
+
+
+class _Bail(Exception):
+    """Internal: expression left the compilable subset."""
+
+
+def _compile(
+    expression: Expression,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+) -> Optional[CompiledKernel]:
+    try:
+        node = _compile_node(expression, frame, udfs)
+    except _Bail:
+        return None
+    if node.is_scalar:
+        return None  # constant expressions stay on the interpreter
+    return CompiledKernel(node, expression.to_sql())
+
+
+def _compile_node(
+    expression: Expression, frame: Frame, udfs: Optional["UdfRegistry"]
+) -> _Node:
+    if isinstance(expression, ColumnRef):
+        return _compile_column(expression, frame)
+    if isinstance(expression, Literal):
+        return _compile_literal(expression)
+    if isinstance(expression, UnaryOp):
+        return _compile_unary(expression, frame, udfs)
+    if isinstance(expression, BinaryOp):
+        return _compile_binary(expression, frame, udfs)
+    if isinstance(expression, IsNull):
+        return _compile_is_null(expression, frame, udfs)
+    if isinstance(expression, Between):
+        return _compile_between(expression, frame, udfs)
+    if isinstance(expression, FunctionCall):
+        return _compile_call(expression, frame, udfs)
+    raise _Bail
+
+
+def _compile_column(ref: ColumnRef, frame: Frame) -> _Node:
+    matches = [
+        (index, column)
+        for index, column in enumerate(frame.columns)
+        if column.matches(ref.name, ref.table)
+    ]
+    if len(matches) != 1:
+        raise _Bail  # unknown/ambiguous: interpreter raises the real error
+    index, column = matches[0]
+    if column.dtype not in _NUMERIC:
+        raise _Bail
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        target = env.frame.columns[index]
+        return target.data, env.null_of(index), False
+
+    return _Node(fn, column.dtype)
+
+
+def _compile_literal(literal: Literal) -> _Node:
+    value = literal.value
+    if value is None or isinstance(value, (str, bytes)):
+        raise _Bail
+    if isinstance(value, bool):
+        dtype = DataType.BOOL
+    elif isinstance(value, (int, np.integer)):
+        dtype, value = DataType.INT64, int(value)
+    elif isinstance(value, (float, np.floating)):
+        dtype, value = DataType.FLOAT64, float(value)
+    else:
+        raise _Bail
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        return value, None, False
+
+    return _Node(fn, dtype, is_scalar=True)
+
+
+def _compile_unary(
+    expression: UnaryOp, frame: Frame, udfs: Optional["UdfRegistry"]
+) -> _Node:
+    operand = _compile_node(expression.operand, frame, udfs)
+    op = expression.op.upper()
+    if op == "-":
+        if operand.dtype is DataType.BOOL or operand.is_scalar:
+            raise _Bail
+
+        def negate(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+            data, null, owned = operand.fn(env)
+            if owned:
+                np.negative(data, out=data)
+                return data, null, True
+            return -data, null, True
+
+        return _Node(negate, operand.dtype)
+    if op == "NOT":
+        if operand.dtype is not DataType.BOOL or operand.is_scalar:
+            raise _Bail
+
+        def kleene_not(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+            data, null, owned = operand.fn(env)
+            out = (
+                np.logical_not(data, out=data)
+                if owned
+                else np.logical_not(data)
+            )
+            if null is not None:
+                out[null] = False
+            return out, null, True
+
+        return _Node(kleene_not, DataType.BOOL)
+    raise _Bail
+
+
+_COMPARE_UFUNCS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_ARITH_UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply}
+
+
+def _compile_binary(
+    expression: BinaryOp, frame: Frame, udfs: Optional["UdfRegistry"]
+) -> _Node:
+    op = expression.op.upper()
+    if op in ("AND", "OR"):
+        left = _compile_node(expression.left, frame, udfs)
+        right = _compile_node(expression.right, frame, udfs)
+        return _compile_logical(op, left, right)
+    if op in _COMPARE_UFUNCS:
+        left = _compile_node(expression.left, frame, udfs)
+        right = _compile_node(expression.right, frame, udfs)
+        return _compile_compare(op, left, right)
+    if op in ("+", "-", "*", "/", "%"):
+        left = _compile_node(expression.left, frame, udfs)
+        right = _compile_node(expression.right, frame, udfs)
+        return _compile_arithmetic(op, left, right)
+    raise _Bail
+
+
+def _compile_logical(op: str, left: _Node, right: _Node) -> _Node:
+    if left.dtype is not DataType.BOOL or right.dtype is not DataType.BOOL:
+        raise _Bail
+    if left.is_scalar or right.is_scalar:
+        raise _Bail
+    is_and = op == "AND"
+    combine = np.logical_and if is_and else np.logical_or
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        lval, lnull, lowned = left.fn(env)
+        rval, rnull, rowned = right.fn(env)
+        # Enforce the False-at-NULL invariant on borrowed bool columns.
+        if lnull is not None and not lowned:
+            lval = lval & ~lnull
+            lowned = True
+        if rnull is not None and not rowned:
+            rval = rval & ~rnull
+            rowned = True
+        if lnull is None and rnull is None:
+            if lowned:
+                return combine(lval, rval, out=lval), None, True
+            if rowned:
+                return combine(lval, rval, out=rval), None, True
+            return combine(lval, rval), None, True
+        n = env.num_rows
+        ln = lnull if lnull is not None else np.zeros(n, dtype=bool)
+        rn = rnull if rnull is not None else np.zeros(n, dtype=bool)
+        if is_and:
+            definite_false = (~lval & ~ln) | (~rval & ~rn)
+            null = (ln | rn) & ~definite_false
+            value = combine(lval, rval, out=lval if lowned else None)
+        else:
+            value = combine(lval, rval, out=lval if lowned else None)
+            null = (ln | rn) & ~value
+        if null.any():
+            value[null] = False
+            return value, null, True
+        return value, None, True
+
+    return _Node(fn, DataType.BOOL)
+
+
+def _compile_compare(op: str, left: _Node, right: _Node) -> _Node:
+    if left.dtype not in _NUMERIC or right.dtype not in _NUMERIC:
+        raise _Bail
+    if left.is_scalar and right.is_scalar:
+        raise _Bail
+    ufunc = _COMPARE_UFUNCS[op]
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        lval, lnull, _ = left.fn(env)
+        rval, rnull, _ = right.fn(env)
+        value = ufunc(lval, rval)
+        null = _union_null(lnull, rnull)
+        if null is not None:
+            value[null] = False
+        return value, null, True
+
+    return _Node(fn, DataType.BOOL)
+
+
+def _compile_arithmetic(op: str, left: _Node, right: _Node) -> _Node:
+    if left.dtype not in (DataType.INT64, DataType.FLOAT64, DataType.DATE):
+        raise _Bail
+    if right.dtype not in (DataType.INT64, DataType.FLOAT64, DataType.DATE):
+        raise _Bail
+    if left.is_scalar and right.is_scalar:
+        raise _Bail
+    int_inputs = left.dtype in (DataType.INT64, DataType.DATE) and right.dtype in (
+        DataType.INT64,
+        DataType.DATE,
+    )
+    result_dtype = DataType.FLOAT64 if op == "/" else (
+        DataType.INT64 if int_inputs else DataType.FLOAT64
+    )
+    target = result_dtype.numpy_dtype
+
+    def reusable(data: Any, owned: bool) -> Optional[np.ndarray]:
+        if owned and isinstance(data, np.ndarray) and data.dtype == target:
+            return data
+        return None
+
+    if op in _ARITH_UFUNCS:
+        ufunc = _ARITH_UFUNCS[op]
+
+        def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+            lval, lnull, lowned = left.fn(env)
+            rval, rnull, rowned = right.fn(env)
+            null = _union_null(lnull, rnull)
+            out = reusable(lval, lowned)
+            if out is None:
+                out = reusable(rval, rowned)
+            result = ufunc(lval, rval, out=out) if out is not None else ufunc(lval, rval)
+            if result.dtype != target:
+                result = result.astype(target)
+            if null is not None and result.dtype.kind == "f":
+                result[null] = np.nan
+            return result, null, True
+
+        return _Node(fn, result_dtype)
+
+    # Division and modulo: NULL rows hold sentinels that would divide by
+    # zero, so the denominator is patched to 1 under the mask *before*
+    # the kernel runs (the fused equivalent of the interpreter's rule).
+    is_div = op == "/"
+    ufunc2 = np.divide if is_div else np.mod
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        lval, lnull, lowned = left.fn(env)
+        rval, rnull, rowned = right.fn(env)
+        null = _union_null(lnull, rnull)
+        if null is not None and isinstance(rval, np.ndarray):
+            if not rowned:
+                rval = rval.copy()
+                rowned = True
+            rval[null] = 1
+        out = reusable(lval, lowned)
+        if out is None:
+            out = reusable(rval, rowned)
+        if out is not None and (not is_div or out.dtype.kind == "f"):
+            result = ufunc2(lval, rval, out=out)
+        else:
+            result = ufunc2(lval, rval)
+        result = np.asarray(result)
+        if result.dtype != target:
+            result = result.astype(target)
+        if null is not None and result.dtype.kind == "f":
+            result[null] = np.nan
+        return result, null, True
+
+    return _Node(fn, result_dtype)
+
+
+def _compile_is_null(
+    expression: IsNull, frame: Frame, udfs: Optional["UdfRegistry"]
+) -> _Node:
+    operand = _compile_node(expression.operand, frame, udfs)
+    if operand.is_scalar:
+        raise _Bail
+    negated = expression.negated
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        _, null, _ = operand.fn(env)
+        if null is None:
+            value = (
+                np.ones(env.num_rows, dtype=bool)
+                if negated
+                else np.zeros(env.num_rows, dtype=bool)
+            )
+            return value, None, True
+        value = ~null if negated else null.copy()
+        return value, None, True
+
+    return _Node(fn, DataType.BOOL)
+
+
+def _compile_between(
+    expression: Between, frame: Frame, udfs: Optional["UdfRegistry"]
+) -> _Node:
+    # Only column operands: anything else would evaluate the operand
+    # twice, losing to the interpreter's single evaluation.
+    if not isinstance(expression.operand, ColumnRef):
+        raise _Bail
+    operand = _compile_node(expression.operand, frame, udfs)
+    low = _compile_node(expression.low, frame, udfs)
+    high = _compile_node(expression.high, frame, udfs)
+    ge = _compile_compare(">=", operand, low)
+    le = _compile_compare("<=", operand, high)
+    node = _compile_logical("AND", ge, le)
+    if expression.negated:
+        inner = node
+
+        def negate(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+            data, null, _ = inner.fn(env)
+            np.logical_not(data, out=data)
+            if null is not None:
+                data[null] = False
+            return data, null, True
+
+        node = _Node(negate, DataType.BOOL)
+    return node
+
+
+def _compile_call(
+    expression: FunctionCall, frame: Frame, udfs: Optional["UdfRegistry"]
+) -> _Node:
+    name = expression.name.lower()
+    if name not in ("intdiv", "modulo"):
+        raise _Bail
+    if udfs is not None and expression.name in udfs:
+        raise _Bail  # a UDF shadows the builtin; interpreter dispatches it
+    if len(expression.args) != 2:
+        raise _Bail
+    left = _compile_node(expression.args[0], frame, udfs)
+    right = _compile_node(expression.args[1], frame, udfs)
+    for node in (left, right):
+        if node.dtype not in (DataType.INT64, DataType.FLOAT64, DataType.DATE):
+            raise _Bail
+    if left.is_scalar:
+        raise _Bail
+    is_div = name == "intdiv"
+
+    def to_int64(
+        data: Any, null: Optional[np.ndarray], owned: bool, fill: int
+    ) -> Any:
+        """Widen to int64 with the sentinel applied *under the mask
+        first* — a NaN NULL sentinel must never reach the cast."""
+        if not isinstance(data, np.ndarray):
+            return int(data)
+        if data.dtype.kind == "f":
+            if null is not None:
+                if not owned:
+                    data = data.copy()
+                data[null] = fill
+            return data.astype(np.int64)
+        if data.dtype == np.int64:
+            if null is not None and fill != 0:
+                data = data.copy()
+                data[null] = fill
+            return data
+        out = data.astype(np.int64)
+        if null is not None and fill != 0:
+            out[null] = fill
+        return out
+
+    def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+        lval, lnull, lowned = left.fn(env)
+        rval, rnull, rowned = right.fn(env)
+        null = _union_null(lnull, rnull)
+        numerator = to_int64(lval, null, lowned, 0)
+        denominator = to_int64(rval, null, rowned, 1)
+        result = (
+            numerator // denominator if is_div else numerator % denominator
+        )
+        return np.asarray(result), null, True
+
+    return _Node(fn, DataType.INT64)
+
+
+#: Cache sentinel marking "tried and not compilable" (negative caching
+#: keeps the interpreter fallback from re-walking the tree per batch).
+_UNCOMPILABLE = object()
+
+
+class KernelCache:
+    """LRU cache of compiled kernels with automatic invalidation.
+
+    Keys are ``(expression SQL, frame column signature, UDF-registry
+    generation)``; see the module docstring for why each component is
+    load-bearing.  Lookup is lock-protected (morsel workers share the
+    cache); compilation happens outside the lock and is idempotent, so
+    a racing double-compile costs a little work but never corrupts.
+    """
+
+    def __init__(
+        self,
+        udfs: Optional["UdfRegistry"] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self._udfs = udfs
+        self._capacity = max(1, int(capacity))
+        self._cache: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _generation(self) -> int:
+        return self._udfs.generation if self._udfs is not None else 0
+
+    def _key(self, expression: Expression, frame: Frame) -> Any:
+        signature = tuple(
+            (column.qualifier, column.name, column.dtype)
+            for column in frame.columns
+        )
+        return (expression.to_sql(), signature, self._generation())
+
+    def lookup(
+        self, expression: Expression, frame: Frame
+    ) -> Optional[CompiledKernel]:
+        """The compiled kernel for this (expression, signature), or None
+        when the expression is outside the compilable subset."""
+        key = self._key(expression, frame)
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                cached = self._cache[key]
+                return None if cached is _UNCOMPILABLE else cached
+            self.misses += 1
+        kernel = _compile(expression, frame, self._udfs)
+        with self._lock:
+            self._cache[key] = kernel if kernel is not None else _UNCOMPILABLE
+            while len(self._cache) > self._capacity:
+                self._cache.popitem(last=False)
+        return kernel
+
+    def mask(self, expression: Expression, frame: Frame) -> Optional[np.ndarray]:
+        """Fused filter mask, or None to fall back to the interpreter."""
+        kernel = self.lookup(expression, frame)
+        if kernel is None or kernel.dtype is not DataType.BOOL:
+            return None
+        return kernel.evaluate_mask(frame)
+
+    def vector(self, expression: Expression, frame: Frame) -> Optional["Vector"]:
+        """Fused projection vector, or None to fall back."""
+        kernel = self.lookup(expression, frame)
+        if kernel is None:
+            return None
+        return kernel.evaluate(frame)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()

@@ -43,6 +43,19 @@ def frame_nbytes(frame: "Frame") -> int:
     return total
 
 
+def arrays_nbytes(arrays: list) -> int:
+    """Byte estimate over loose numpy arrays (parallel partial states,
+    join partition selections) using the same object-cell costing as
+    :func:`frame_nbytes`."""
+    total = 0
+    for data in arrays:
+        if data.dtype == object:
+            total += int(data.size) * 64
+        else:
+            total += int(data.nbytes)
+    return total
+
+
 def frame_row_nbytes(frame: "Frame") -> int:
     """Estimated bytes per row, used to admit join outputs before they
     are materialized (``rows * row_bytes``)."""

@@ -9,12 +9,15 @@ and BLOB payloads.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # imported for annotations only
     from repro.engine.analyze import PlanAnalyzer
+    from repro.engine.kernels import KernelCache
     from repro.engine.memory import MemoryAccountant
+    from repro.engine.parallel import MorselPool
     from repro.engine.qcontext import QueryContext
     from repro.faults.injector import FaultInjector
     from repro.obs.metrics import MetricsRegistry
@@ -23,7 +26,8 @@ import numpy as np
 
 from repro.errors import ExecutionError, PlanError
 from repro.engine.expressions import Evaluator, FunctionRegistry, Vector
-from repro.engine.frame import Frame, FrameColumn
+from repro.engine.frame import Frame, FrameColumn, concat_frames
+from repro.engine.parallel import merge_additive, merge_elementwise
 from repro.engine.logical import (
     Aggregate,
     AggregateSpec,
@@ -43,6 +47,7 @@ from repro.engine.udf import UdfRegistry
 from repro.sql.ast_nodes import (
     ColumnRef,
     Expression,
+    FunctionCall,
     SelectItem,
     Star,
 )
@@ -82,6 +87,11 @@ class ExecutionContext:
     faults: Optional["FaultInjector"] = None
     #: Memory admission control for join/materialization outputs.
     memory: Optional["MemoryAccountant"] = None
+    #: Morsel worker pool for partition-parallel operators; None or a
+    #: disabled pool (workers=1) keeps every operator on the serial path.
+    parallel: Optional["MorselPool"] = None
+    #: Fused-kernel cache; None disables expression fusion entirely.
+    kernels: Optional["KernelCache"] = None
 
     def evaluator(
         self, frame: Frame, slots: Optional[dict[str, str]] = None
@@ -166,15 +176,70 @@ def _execute_filter(plan: Filter, ctx: ExecutionContext) -> Frame:
     assert plan.child is not None and plan.predicate is not None
     frame = execute_plan(plan.child, ctx)
     slots = _aggregate_slots_below(plan.child)
+    pool = ctx.parallel
     with ctx.profiler.measure("filter") as token:
         result = frame
         for conjunct in _ordered_conjuncts(plan.predicate, ctx):
             if result.num_rows == 0:
                 break
-            mask = ctx.evaluator(result, slots).evaluate_mask(conjunct)
+            if (
+                pool is not None
+                and pool.should_parallelize(result.num_rows)
+                and slots is None
+                and _parallel_safe_expr(conjunct, ctx)
+            ):
+                pieces = pool.run_rows(
+                    result.num_rows,
+                    lambda start, stop, conjunct=conjunct, result=result: (
+                        _filter_mask(conjunct, result.slice(start, stop), ctx, None)
+                    ),
+                    query=ctx.query,
+                    faults=ctx.faults,
+                    op="Filter",
+                )
+                mask = np.concatenate(pieces)
+            else:
+                mask = _filter_mask(conjunct, result, ctx, slots)
             result = result.filter(mask)
         token.record_rows(result.num_rows)
     return result
+
+
+def _filter_mask(
+    conjunct: Expression,
+    frame: Frame,
+    ctx: ExecutionContext,
+    slots: Optional[dict[str, str]],
+) -> np.ndarray:
+    """One conjunct's boolean mask: fused kernel first, interpreter after."""
+    if slots is None and ctx.kernels is not None:
+        mask = ctx.kernels.mask(conjunct, frame)
+        if mask is not None:
+            return mask
+    return ctx.evaluator(frame, slots).evaluate_mask(conjunct)
+
+
+def _parallel_safe_expr(expression: Expression, ctx: ExecutionContext) -> bool:
+    """True when an expression may evaluate on morsel worker threads.
+
+    UDF calls are excluded (UDFs run their *own* morsel dispatch and may
+    be declared ``parallel_safe=False``), and scalar subqueries are
+    excluded (nested statements execute on the owning database, which is
+    coordinator-only state).  Everything else — arithmetic, comparisons,
+    boolean logic, CASE, builtins — touches only the morsel's frame slice.
+    """
+    from repro.sql.ast_nodes import ScalarSubquery, walk_expression
+
+    for node in walk_expression(expression):
+        if isinstance(node, ScalarSubquery):
+            return False
+        if (
+            isinstance(node, FunctionCall)
+            and ctx.udfs is not None
+            and node.name in ctx.udfs
+        ):
+            return False
+    return True
 
 
 def _ordered_conjuncts(
@@ -227,29 +292,63 @@ def _execute_project(plan: Project, ctx: ExecutionContext) -> Frame:
     frame = execute_plan(plan.child, ctx)
     slots = dict(plan.aggregate_slots)
     slots.update(_aggregate_slots_below(plan.child) or {})
+    pool = ctx.parallel
     with ctx.profiler.measure("project") as token:
-        evaluator = ctx.evaluator(frame, slots or None)
-        out_columns: list[FrameColumn] = []
-        for ordinal, item in enumerate(plan.items):
-            if isinstance(item.expression, Star):
-                out_columns.extend(
-                    _expand_star(frame, item.expression)
-                )
-                continue
-            vector = evaluator.evaluate(item.expression)
-            data = vector.materialize(frame.num_rows)
-            out_columns.append(
-                FrameColumn(
-                    None,
-                    item.output_name(ordinal),
-                    vector.dtype,
-                    data,
-                    vector.materialize_valid(frame.num_rows),
-                )
+        if (
+            pool is not None
+            and pool.should_parallelize(frame.num_rows)
+            and not slots
+            and all(
+                not isinstance(item.expression, Star)
+                and _parallel_safe_expr(item.expression, ctx)
+                for item in plan.items
             )
-        result = Frame(out_columns)
+        ):
+            pieces = pool.run_rows(
+                frame.num_rows,
+                lambda start, stop: _project_frame(
+                    plan.items, frame.slice(start, stop), ctx, None
+                ),
+                query=ctx.query,
+                faults=ctx.faults,
+                op="Project",
+            )
+            result = concat_frames(pieces)
+        else:
+            result = _project_frame(plan.items, frame, ctx, slots or None)
         token.record_rows(result.num_rows)
     return result
+
+
+def _project_frame(
+    items: tuple[SelectItem, ...],
+    frame: Frame,
+    ctx: ExecutionContext,
+    slots: Optional[dict[str, str]],
+) -> Frame:
+    """Evaluate the projection list over one frame (or frame slice)."""
+    evaluator = ctx.evaluator(frame, slots)
+    out_columns: list[FrameColumn] = []
+    for ordinal, item in enumerate(items):
+        if isinstance(item.expression, Star):
+            out_columns.extend(_expand_star(frame, item.expression))
+            continue
+        vector = None
+        if slots is None and ctx.kernels is not None:
+            vector = ctx.kernels.vector(item.expression, frame)
+        if vector is None:
+            vector = evaluator.evaluate(item.expression)
+        data = vector.materialize(frame.num_rows)
+        out_columns.append(
+            FrameColumn(
+                None,
+                item.output_name(ordinal),
+                vector.dtype,
+                data,
+                vector.materialize_valid(frame.num_rows),
+            )
+        )
+    return Frame(out_columns)
 
 
 def _expand_star(frame: Frame, star: Star) -> list[FrameColumn]:
@@ -339,7 +438,7 @@ def _execute_hash_join(plan: HashJoin, ctx: ExecutionContext) -> Frame:
             )
         else:
             left_idx, right_idx = _match_keys(
-                left_keys, right_keys, left_null, right_null
+                left_keys, right_keys, left_null, right_null, ctx=ctx
             )
         _admit_join_output(ctx, left, right, len(left_idx), "hash join")
         result = left.take(left_idx).concat_columns(right.take(right_idx))
@@ -378,6 +477,7 @@ def _match_keys(
     right_keys: list[np.ndarray],
     left_null: Optional[np.ndarray] = None,
     right_null: Optional[np.ndarray] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Inner-join row index pairs for equal composite keys.
 
@@ -387,8 +487,7 @@ def _match_keys(
     which also stops NaN keys from pairing up via searchsorted (NaN
     sorts as equal to NaN) or via dict buckets on object keys.
     """
-    left_combined = _combine_key_arrays(left_keys)
-    right_combined = _combine_key_arrays(right_keys)
+    left_combined, right_combined = _combine_key_pair(left_keys, right_keys)
     left_rows = right_rows = None
     if left_null is not None:
         left_rows = np.flatnonzero(~left_null)
@@ -399,7 +498,20 @@ def _match_keys(
     if left_combined.dtype == object or right_combined.dtype == object:
         left_idx, right_idx = _match_object_keys(left_combined, right_combined)
     else:
-        left_idx, right_idx = _match_numeric_keys(left_combined, right_combined)
+        pool = ctx.parallel if ctx is not None else None
+        if (
+            pool is not None
+            and pool.enabled
+            and left_combined.dtype == right_combined.dtype
+            and min(len(left_combined), len(right_combined)) > pool.morsel_rows
+        ):
+            left_idx, right_idx = _match_numeric_keys_partitioned(
+                left_combined, right_combined, ctx
+            )
+        else:
+            left_idx, right_idx = _match_numeric_keys(
+                left_combined, right_combined
+            )
     if left_rows is not None:
         left_idx = left_rows[left_idx]
     if right_rows is not None:
@@ -407,18 +519,120 @@ def _match_keys(
     return left_idx, right_idx
 
 
-def _combine_key_arrays(keys: list[np.ndarray]) -> np.ndarray:
-    if len(keys) == 1:
-        return keys[0]
-    if all(k.dtype != object for k in keys):
-        # Factorize each key and mix into one int64 (collision-free because
-        # codes are dense and we shift by the cardinality of later keys).
-        combined = np.zeros(len(keys[0]), dtype=np.int64)
-        for key in keys:
-            _, codes = np.unique(key, return_inverse=True)
+def _hash_partition_ids(keys: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Partition id per key via a 64-bit multiplicative bit mix.
+
+    Equal values must land in the same partition, so float keys are
+    normalized with ``+ 0.0`` first (mapping ``-0.0`` to ``+0.0`` —
+    they compare equal but differ in bit pattern).  NaN needs no care:
+    float NULLs are dropped before matching and NaN *is* the float NULL
+    encoding.  Both join sides are required to share a dtype before this
+    runs, so equal values always share a bit pattern.
+    """
+    if keys.dtype.kind == "f":
+        bits = (keys + 0.0).view(np.uint64)
+    else:
+        bits = keys.astype(np.int64, copy=False).view(np.uint64)
+    mixed = bits * np.uint64(0x9E3779B97F4A7C15)
+    return ((mixed >> np.uint64(40)) % np.uint64(num_partitions)).astype(np.int64)
+
+
+def _match_numeric_keys_partitioned(
+    build: np.ndarray, probe: np.ndarray, ctx: ExecutionContext
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hash-partitioned parallel variant of :func:`_match_numeric_keys`.
+
+    Both sides are hash-partitioned on the key value; each partition
+    pairs a disjoint slice of build rows with the probe rows that could
+    match them, so partitions match independently on worker threads and
+    the concatenated pairs equal the serial result as a multiset.
+    """
+    pool = ctx.parallel
+    assert pool is not None
+    num_partitions = max(2, pool.workers * 4)
+    if ctx.memory is not None:
+        # Partition selections and per-side sort orders: ~4 int64 arrays.
+        ctx.memory.admit(
+            (len(build) + len(probe)) * 16, "parallel join partitions"
+        )
+    build_parts = _hash_partition_ids(build, num_partitions)
+    probe_parts = _hash_partition_ids(probe, num_partitions)
+    build_order = np.argsort(build_parts, kind="stable")
+    probe_order = np.argsort(probe_parts, kind="stable")
+    boundaries = np.arange(num_partitions + 1)
+    build_bounds = np.searchsorted(build_parts[build_order], boundaries)
+    probe_bounds = np.searchsorted(probe_parts[probe_order], boundaries)
+
+    def match_partition(partition: int) -> tuple[np.ndarray, np.ndarray]:
+        if ctx.query is not None:
+            ctx.query.check()
+        if ctx.faults is not None:
+            ctx.faults.fire(
+                "operator.morsel",
+                op="HashJoin",
+                rows=f"partition:{partition}",
+                worker=threading.current_thread().name,
+            )
+        build_sel = build_order[
+            build_bounds[partition] : build_bounds[partition + 1]
+        ]
+        probe_sel = probe_order[
+            probe_bounds[partition] : probe_bounds[partition + 1]
+        ]
+        if len(build_sel) == 0 or len(probe_sel) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        build_idx, probe_idx = _match_numeric_keys(
+            build[build_sel], probe[probe_sel]
+        )
+        return build_sel[build_idx], probe_sel[probe_idx]
+
+    def make_thunk(partition: int) -> Callable[[], tuple[np.ndarray, np.ndarray]]:
+        return lambda: match_partition(partition)
+
+    pairs = pool.run([make_thunk(p) for p in range(num_partitions)])
+    if ctx.metrics is not None:
+        ctx.metrics.counter(
+            "parallel_join_partitions_total",
+            "Hash-join partitions matched on the morsel pool",
+        ).inc(num_partitions)
+    return (
+        np.concatenate([left for left, _ in pairs]),
+        np.concatenate([right for _, right in pairs]),
+    )
+
+
+def _combine_key_pair(
+    left_keys: list[np.ndarray], right_keys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine each side's composite key into one comparable array.
+
+    Numeric composites are factorized *jointly* over both sides, then
+    mixed into one int64 code (collision-free: each key's codes are
+    dense in ``[0, cardinality)`` and earlier keys are shifted by the
+    full cardinality of later ones).  The shared dictionary is the whole
+    point — factorizing each side on its own assigns unrelated codes to
+    equal values (each side's second-smallest x gets code 1 no matter
+    what x is), matching rows whose keys differ.
+    """
+    if len(left_keys) == 1:
+        return left_keys[0], right_keys[0]
+    if all(k.dtype != object for k in left_keys + right_keys):
+        n_left = len(left_keys[0])
+        left_out = np.zeros(n_left, dtype=np.int64)
+        right_out = np.zeros(len(right_keys[0]), dtype=np.int64)
+        for left_key, right_key in zip(left_keys, right_keys):
+            both = np.concatenate([left_key, right_key])
+            _, codes = np.unique(both, return_inverse=True)
             cardinality = int(codes.max()) + 1 if len(codes) else 1
-            combined = combined * cardinality + codes
-        return combined
+            left_out = left_out * cardinality + codes[:n_left]
+            right_out = right_out * cardinality + codes[n_left:]
+        return left_out, right_out
+    return _key_tuples(left_keys), _key_tuples(right_keys)
+
+
+def _key_tuples(keys: list[np.ndarray]) -> np.ndarray:
+    """Row-wise tuples for object composites (value-based equality)."""
     out = np.empty(len(keys[0]), dtype=object)
     for i in range(len(keys[0])):
         out[i] = tuple(k[i] for k in keys)
@@ -493,8 +707,7 @@ def _symmetric_hash_join(
     device — results stay exact — and the counters surface through
     ``ctx.last_symmetric_stats``.
     """
-    left = _combine_key_arrays(left_keys)
-    right = _combine_key_arrays(right_keys)
+    left, right = _combine_key_pair(left_keys, right_keys)
 
     left_table: dict[Any, list[int]] = {}
     right_table: dict[Any, list[int]] = {}
@@ -652,15 +865,184 @@ def _execute_aggregate(plan: Aggregate, ctx: ExecutionContext) -> Frame:
                 )
             )
 
+        pool = ctx.parallel
+        use_parallel = (
+            pool is not None and pool.should_parallelize(frame.num_rows)
+        )
         for spec in plan.aggregates:
-            out_columns.append(
-                _compute_aggregate(
+            column = None
+            if use_parallel:
+                column = _compute_aggregate_parallel(
+                    spec, frame, ctx, group_ids, num_groups
+                )
+            if column is None:
+                column = _compute_aggregate(
                     spec, frame, evaluator, group_ids, num_groups
                 )
-            )
+            out_columns.append(column)
         result = Frame(out_columns)
         token.record_rows(result.num_rows)
     return result
+
+
+#: Aggregates with a per-morsel partial state and an order-preserving
+#: merge.  ``distinct``/``groupArray``/``any``/``sumIf`` need global row
+#: order or global value sets and stay on the serial path.
+_PARALLEL_AGGREGATES = frozenset(
+    {
+        "count", "countif", "sum", "avg", "min", "max",
+        "stddevsamp", "stddevpop", "varsamp", "varpop",
+    }
+)
+
+
+def _compute_aggregate_parallel(
+    spec: AggregateSpec,
+    frame: Frame,
+    ctx: ExecutionContext,
+    group_ids: np.ndarray,
+    num_groups: int,
+) -> Optional[FrameColumn]:
+    """Morsel-parallel aggregation with per-worker partial states.
+
+    Each morsel evaluates the aggregate's argument over its frame slice
+    and reduces it to a tiny per-group partial (counts, sums, sums of
+    squares, or running min/max); partials merge in morsel order, so
+    float accumulation follows the exact same addition sequence as the
+    serial ``np.bincount`` path and results are bit-identical across
+    worker counts.  Returns None for shapes the serial path must handle.
+    """
+    pool = ctx.parallel
+    assert pool is not None
+    call = spec.call
+    name = call.name.lower()
+    if call.distinct:
+        return None
+    is_count_star = (
+        name == "count"
+        and len(call.args) == 1
+        and isinstance(call.args[0], Star)
+    )
+    if not is_count_star:
+        if name not in _PARALLEL_AGGREGATES or not call.args:
+            return None
+        if not _parallel_safe_expr(call.args[0], ctx):
+            return None
+    if ctx.memory is not None:
+        num_morsels = (frame.num_rows + pool.morsel_rows - 1) // pool.morsel_rows
+        # Up to ~4 float64 arrays of num_groups entries per morsel.
+        ctx.memory.admit(
+            num_morsels * num_groups * 32, "parallel aggregation partials"
+        )
+
+    needs_minmax = name in ("min", "max")
+    needs_squares = name in ("stddevsamp", "stddevpop", "varsamp", "varpop")
+    #: The argument's dtype, identical in every morsel (set once under
+    #: the GIL by whichever morsel runs first).
+    dtype_seen: dict[str, DataType] = {}
+
+    def partial(start: int, stop: int) -> dict[str, np.ndarray]:
+        gids = group_ids[start:stop]
+        if is_count_star:
+            return {"counts": np.bincount(gids, minlength=num_groups)}
+        piece = frame.slice(start, stop)
+        vector = ctx.evaluator(piece).evaluate(call.args[0])
+        data = vector.materialize(piece.num_rows)
+        null = vector.null_mask(piece.num_rows)
+        dtype_seen.setdefault("dtype", vector.dtype)
+        if name in ("count", "countif"):
+            if vector.dtype is DataType.BOOL or name == "countif":
+                mask = data.astype(bool)
+                if null is not None:
+                    mask = mask & ~null
+                return {
+                    "counts": np.bincount(gids[mask], minlength=num_groups)
+                }
+            rows = gids[~null] if null is not None else gids
+            return {"counts": np.bincount(rows, minlength=num_groups)}
+        if null is not None:
+            gsel = gids[~null]
+            dsel = data[~null]
+        else:
+            gsel, dsel = gids, data
+        state = {"present": np.bincount(gsel, minlength=num_groups)}
+        if name == "sum" and vector.dtype in (DataType.INT64, DataType.BOOL):
+            sums = np.zeros(num_groups, dtype=np.int64)
+            np.add.at(sums, gsel, dsel.astype(np.int64))
+            state["int_sums"] = sums
+            return state
+        numeric = dsel.astype(np.float64)
+        if needs_minmax:
+            state["minmax"] = _reduce_minmax(
+                numeric, gsel, num_groups, name == "min"
+            )
+            return state
+        state["sums"] = np.bincount(
+            gsel, weights=numeric, minlength=num_groups
+        ).astype(np.float64, copy=False)
+        if needs_squares:
+            state["squares"] = np.bincount(
+                gsel, weights=numeric * numeric, minlength=num_groups
+            ).astype(np.float64, copy=False)
+        return state
+
+    partials = pool.run_rows(
+        frame.num_rows,
+        partial,
+        query=ctx.query,
+        faults=ctx.faults,
+        op="Aggregate",
+    )
+    merged: dict[str, np.ndarray] = {}
+    for key in partials[0]:
+        values = [state[key] for state in partials]
+        if key == "minmax":
+            reducer = np.minimum if name == "min" else np.maximum
+            merged[key] = merge_elementwise(values, reducer)
+        else:
+            merged[key] = merge_additive(values)
+
+    if is_count_star or name in ("count", "countif"):
+        return FrameColumn(
+            None, spec.slot, DataType.INT64, merged["counts"].astype(np.int64)
+        )
+    dtype = dtype_seen["dtype"]
+    present_counts = merged["present"]
+    valid = _group_validity(present_counts)
+    if "int_sums" in merged:
+        return FrameColumn(
+            None, spec.slot, DataType.INT64, merged["int_sums"], valid
+        )
+    counts = present_counts.astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    empty = counts == 0.0
+    if needs_minmax:
+        reduced = merged["minmax"].copy()
+        target = dtype if dtype.is_numeric else DataType.FLOAT64
+        reduced[empty] = 0.0  # sentinel; masked by ``valid``
+        out = reduced.astype(target.numpy_dtype)
+        if target is DataType.FLOAT64:
+            out[empty] = np.nan
+        return FrameColumn(None, spec.slot, target, out, valid)
+    sums = merged["sums"]
+    if name == "sum":
+        sums = sums.copy()
+        sums[empty] = np.nan
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, sums, valid)
+    if name == "avg":
+        means = sums / safe_counts
+        means[empty] = np.nan
+        return FrameColumn(None, spec.slot, DataType.FLOAT64, means, valid)
+    means = sums / safe_counts
+    variances = np.maximum(
+        merged["squares"] / safe_counts - means * means, 0.0
+    )
+    if name in ("varsamp", "stddevsamp"):
+        variances = variances * (counts / np.maximum(counts - 1.0, 1.0))
+    if name.startswith("stddev"):
+        variances = np.sqrt(variances)
+    variances[empty] = np.nan
+    return FrameColumn(None, spec.slot, DataType.FLOAT64, variances, valid)
 
 
 def _group_key_name(
@@ -1028,10 +1410,13 @@ def _execute_sort(plan: Sort, ctx: ExecutionContext) -> Frame:
         for order in plan.order_by:
             vector = evaluator.evaluate(order.expression)
             data = vector.materialize(frame.num_rows)
-            codes = _sort_codes(data, vector.null_mask(frame.num_rows))
-            if not order.ascending:
-                codes = -codes
-            code_arrays.append(codes)
+            code_arrays.append(
+                _sort_codes(
+                    data,
+                    vector.null_mask(frame.num_rows),
+                    ascending=order.ascending,
+                )
+            )
         if code_arrays:
             indices = np.lexsort(list(reversed(code_arrays)))
         else:
@@ -1063,34 +1448,55 @@ def _object_sort_key(value: Any) -> tuple[int, int, Any]:
 
 
 def _sort_codes(
-    data: np.ndarray, null: Optional[np.ndarray] = None
+    data: np.ndarray,
+    null: Optional[np.ndarray] = None,
+    *,
+    ascending: bool = True,
 ) -> np.ndarray:
-    """Map values to int64 codes preserving order (handles strings).
+    """Direction-aware rank codes for one sort key (handles strings).
 
-    NULL rows code strictly above every value, giving the engine's sort
-    contract: NULLS last ascending, and (after the DESC negation) first
-    descending.  Object arrays get this from :func:`_object_sort_key`;
-    the explicit mask branch covers masked fixed-width columns whose
-    in-band sentinel (0) would otherwise sort in the middle.
+    Present values map to dense ranks in ``[0, K)`` — ascending keeps
+    them, descending flips to ``K - 1 - rank`` — and NULL rows then code
+    strictly above every rank ascending and strictly below descending,
+    giving the engine's per-key contract (NULLS last ASC, first DESC)
+    under ``np.lexsort`` for *mixed* ASC/DESC multi-key sorts.
+
+    The previous scheme negated the whole code array for DESC keys,
+    which flipped NULL placement only when NULLs happened to be the
+    extreme code and, worse, used raw int64 values as codes — so a
+    column holding ``INT64_MIN``/``INT64_MAX`` overflowed ``+ 1`` or
+    wrapped under negation.  Dense ranks cannot overflow.
+
+    ``null`` is expected to cover in-band NULLs too (``Vector.null_mask``
+    does); with ``null=None`` object ``None`` cells still sort last-ASC
+    via :func:`_object_sort_key` and float NaN via ``np.unique``.
     """
+    n = len(data)
+    if null is not None and not null.any():
+        null = None
+    present = np.flatnonzero(~null) if null is not None else None
+    values = data[present] if present is not None else data
     if data.dtype == object:
-        uniques = sorted(set(data.tolist()), key=_object_sort_key)
+        uniques = sorted(set(values.tolist()), key=_object_sort_key)
         rank = {value: code for code, value in enumerate(uniques)}
-        codes = np.asarray([rank[v] for v in data], dtype=np.int64)
+        ranks = np.asarray([rank[v] for v in values.tolist()], dtype=np.int64)
+        top = len(uniques)
     elif data.dtype == np.bool_:
-        codes = data.astype(np.int64)
-    elif np.issubdtype(data.dtype, np.floating):
-        # np.unique places NaN above every number, so in-band NaN NULLs
-        # already land last ascending.
-        _, inverse = np.unique(data, return_inverse=True)
-        codes = inverse.astype(np.int64)
+        ranks = values.astype(np.int64)
+        top = 2
     else:
-        codes = data.astype(np.int64)
-    if null is not None and null.any():
-        present = ~null
-        top = int(codes[present].max()) + 1 if present.any() else 0
-        codes = codes.copy() if codes is data else codes
-        codes[null] = top
+        # np.unique places NaN above every number, so in-band NaN NULLs
+        # (null=None) still land last ascending.
+        uniques, inverse = np.unique(values, return_inverse=True)
+        ranks = inverse.astype(np.int64)
+        top = len(uniques)
+    if not ascending:
+        ranks = (top - 1) - ranks
+    if present is None:
+        return ranks
+    codes = np.empty(n, dtype=np.int64)
+    codes[present] = ranks
+    codes[null] = top if ascending else -1
     return codes
 
 

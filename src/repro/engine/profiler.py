@@ -16,6 +16,7 @@ benchmarks rely on).
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -68,6 +69,9 @@ class Profiler:
         self.enabled = enabled
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.stats: dict[str, CategoryStats] = {}
+        #: Guards ``stats`` mutation: UDF morsel workers call :meth:`add`
+        #: concurrently with the coordinator's ``measure`` blocks.
+        self._lock = threading.Lock()
 
     @contextmanager
     def measure(self, category: str):
@@ -86,19 +90,23 @@ class Profiler:
                 if span is not NULL_SPAN:
                     span.set("rows", token.rows)
                 if self.enabled:
-                    entry = self.stats.setdefault(category, CategoryStats())
-                    entry.seconds += elapsed
-                    entry.calls += 1
-                    entry.rows += token.rows
+                    with self._lock:
+                        entry = self.stats.setdefault(
+                            category, CategoryStats()
+                        )
+                        entry.seconds += elapsed
+                        entry.calls += 1
+                        entry.rows += token.rows
 
     def add(self, category: str, seconds: float, rows: int = 0) -> None:
         """Directly account time to a category (used for UDF internals)."""
         if not self.enabled:
             return
-        entry = self.stats.setdefault(category, CategoryStats())
-        entry.seconds += seconds
-        entry.calls += 1
-        entry.rows += rows
+        with self._lock:
+            entry = self.stats.setdefault(category, CategoryStats())
+            entry.seconds += seconds
+            entry.calls += 1
+            entry.rows += rows
 
     def register(self, category: str) -> None:
         """Pre-register a category so it appears in breakdowns at zero."""

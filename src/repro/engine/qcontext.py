@@ -58,6 +58,7 @@ class QueryContext:
         "cancel_token",
         "clock",
         "checks",
+        "_lock",
     )
 
     def __init__(
@@ -75,7 +76,10 @@ class QueryContext:
         )
         self.cancel_token = cancel_token
         #: Number of cooperative checks performed (observability/tests).
+        #: Incremented under a lock: engine and UDF morsel workers check
+        #: the same context concurrently, and ``+=`` is not atomic.
         self.checks = 0
+        self._lock = threading.Lock()
 
     @property
     def elapsed(self) -> float:
@@ -90,7 +94,8 @@ class QueryContext:
         Cancellation wins over timeout when both hold: an explicit stop
         is the stronger, more intentional signal.
         """
-        self.checks += 1
+        with self._lock:
+            self.checks += 1
         if self.cancel_token is not None and self.cancel_token.cancelled:
             reason = self.cancel_token.reason
             raise QueryCancelledError(

@@ -209,6 +209,10 @@ class UdfRegistry:
 
     def __init__(self) -> None:
         self._udfs: dict[str, BatchUdf] = {}
+        #: Bumped on every (un)registration.  Kernel caches key on it so
+        #: a fused builtin compiled before a same-named UDF appeared can
+        #: never serve a batch afterwards.
+        self._generation = 0
         self._profiler = None
         self._metrics = None
         self._cache: Optional[InferenceCache] = None
@@ -313,6 +317,11 @@ class UdfRegistry:
     def cache(self) -> Optional[InferenceCache]:
         return self._cache
 
+    @property
+    def generation(self) -> int:
+        """Monotonic registration counter (kernel-cache invalidation)."""
+        return self._generation
+
     def register(self, udf: BatchUdf, *, replace: bool = False) -> None:
         key = udf.name.lower()
         if key in self._udfs and not replace:
@@ -322,11 +331,14 @@ class UdfRegistry:
             # stale the moment the new function could answer differently.
             self._cache.invalidate(key)
         self._udfs[key] = udf
+        self._generation += 1
 
     def unregister(self, name: str) -> None:
         removed = self._udfs.pop(name.lower(), None)
-        if removed is not None and self._cache is not None:
-            self._cache.invalidate(name.lower())
+        if removed is not None:
+            self._generation += 1
+            if self._cache is not None:
+                self._cache.invalidate(name.lower())
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._udfs
@@ -340,21 +352,53 @@ class UdfRegistry:
     def names(self) -> list[str]:
         return sorted(udf.name for udf in self._udfs.values())
 
-    def invoke(self, name: str, args: list[np.ndarray]) -> Vector:
-        """Run a UDF over argument vectors, recording wall-clock stats.
+    def invoke(
+        self,
+        name: str,
+        args: list[np.ndarray],
+        nulls: Optional[np.ndarray] = None,
+    ) -> Vector:
+        """Run a UDF over argument vectors with strict NULL propagation.
 
-        With an inference cache attached, the batch is served with
-        partial-hit semantics: every input row is content-hashed, the
-        model runs only over missed rows (as parallel morsels when an
-        executor is attached), and cached plus fresh results are
-        scattered back into one output vector.
+        ``nulls`` is the union NULL mask over the argument vectors.  Rows
+        where any argument is NULL never reach the model, the cache
+        hasher, or the morsel dispatcher — they are compressed out up
+        front and scattered back as NULL afterwards.  This fixes two bugs
+        in one move: fixed-width NULL sentinels can no longer leak
+        through a UDF as real values (``dbl(NULL)`` returning ``0``), and
+        the cache can no longer conflate ``f(NULL)`` with ``f(0)``
+        (row hashes are computed over present rows only).  It also means
+        validity masks never ride alongside morsel slicing, so argument
+        slices and masks cannot fall out of step.
+
+        With an inference cache attached, the (present-row) batch is
+        served with partial-hit semantics: every input row is
+        content-hashed, the model runs only over missed rows (as
+        parallel morsels when an executor is attached), and cached plus
+        fresh results are scattered back into one output vector.
         """
         udf = self.get(name)
         num_rows = len(args[0]) if args else 0
+        if nulls is not None and not nulls.any():
+            nulls = None
+        if nulls is None:
+            return Vector(self._invoke_dense(udf, args, num_rows), udf.return_dtype)
+        present = np.flatnonzero(~nulls)
+        out = self._null_filled_result(udf, num_rows)
+        if present.size:
+            dense = self._invoke_dense(
+                udf, [array[present] for array in args], int(present.size)
+            )
+            out[present] = dense
+        return Vector(out, udf.return_dtype, valid=~nulls)
+
+    def _invoke_dense(
+        self, udf: BatchUdf, args: list[np.ndarray], num_rows: int
+    ) -> np.ndarray:
+        """The NULL-free batch path (cache lookup + model dispatch)."""
         cache = self._cache
         if cache is None or not udf.cacheable or not args or num_rows == 0:
-            result = self._infer(udf, args, num_rows)
-            return Vector(result, udf.return_dtype)
+            return self._infer(udf, args, num_rows)
 
         namespace = udf.name.lower()
         keys = hash_rows(args, num_rows)
@@ -378,13 +422,24 @@ class UdfRegistry:
             if value is not MISSING:
                 out[row] = value
         self._record_cache_metrics(cache, num_rows - len(missed), len(missed))
-        return Vector(out, udf.return_dtype)
+        return out
 
     def _empty_result(self, udf: BatchUdf, num_rows: int) -> np.ndarray:
         dtype = udf.signature.return_dtype
         if dtype in (DataType.STRING, DataType.BLOB):
             return np.empty(num_rows, dtype=object)
         return np.empty(num_rows, dtype=dtype.numpy_dtype)
+
+    def _null_filled_result(self, udf: BatchUdf, num_rows: int) -> np.ndarray:
+        """An output buffer pre-filled with the dtype's NULL sentinel."""
+        dtype = udf.signature.return_dtype
+        if dtype in (DataType.STRING, DataType.BLOB):
+            out = np.empty(num_rows, dtype=object)
+            out[:] = None
+            return out
+        if dtype is DataType.FLOAT64:
+            return np.full(num_rows, np.nan)
+        return np.zeros(num_rows, dtype=dtype.numpy_dtype)
 
     def _record_cache_metrics(
         self, cache: InferenceCache, hits: int, misses: int

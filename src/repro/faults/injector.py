@@ -13,6 +13,7 @@ Site                        Fired from
 ``udf.batch_call``          every batched UDF invocation (loose + parallel)
 ``cache.insert``            inference-cache inserts (absorbed, never fatal)
 ``operator.next_batch``     every physical operator execution
+``operator.morsel``         every engine morsel, *on its worker thread*
 ==========================  ====================================================
 
 A :class:`FaultPlan` is an ordered list of :class:`FaultRule`\\ s — each
@@ -55,6 +56,7 @@ KNOWN_SITES = (
     "udf.batch_call",
     "cache.insert",
     "operator.next_batch",
+    "operator.morsel",
 )
 
 #: Fault effects a rule can produce.

@@ -65,6 +65,44 @@ class Counter:
         return {"type": "counter", "value": self.value}
 
 
+class LabeledCounter:
+    """A family of monotonically increasing values keyed by one label.
+
+    The engine's morsel workers report per-worker-thread counts here
+    (``parallel_morsels_total{worker="repro-morsel_0"}``), so hot/cold
+    worker imbalance is visible without per-thread metric names.
+    Updates are lock-protected like :class:`Counter`.
+    """
+
+    __slots__ = ("name", "help", "label", "values", "_lock")
+
+    def __init__(self, name: str, help: str = "", label: str = "label") -> None:
+        self.name = name
+        self.help = help
+        self.label = label
+        self.values: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, label_value: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = str(label_value)
+        with self._lock:
+            self.values[key] = self.values.get(key, 0.0) + amount
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self.values.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "labeled_counter",
+                "label": self.label,
+                "values": dict(sorted(self.values.items())),
+            }
+
+
 class Gauge:
     """A value that can go up and down (updates are lock-protected)."""
 
@@ -169,6 +207,21 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(name, Gauge, help)
 
+    def labeled_counter(
+        self, name: str, help: str = "", label: str = "label"
+    ) -> LabeledCounter:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = LabeledCounter(name, help, label)
+                self._metrics[name] = metric
+            elif not isinstance(metric, LabeledCounter):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
     def histogram(
         self,
         name: str,
@@ -234,6 +287,13 @@ class MetricsRegistry:
             if isinstance(metric, Counter):
                 lines.append(f"# TYPE {full} counter")
                 lines.append(f"{full} {_format_value(metric.value)}")
+            elif isinstance(metric, LabeledCounter):
+                lines.append(f"# TYPE {full} counter")
+                for label_value, count in sorted(metric.to_dict()["values"].items()):
+                    lines.append(
+                        f'{full}{{{metric.label}="{label_value}"}} '
+                        f"{_format_value(count)}"
+                    )
             elif isinstance(metric, Gauge):
                 lines.append(f"# TYPE {full} gauge")
                 lines.append(f"{full} {_format_value(metric.value)}")

@@ -108,3 +108,34 @@ def assert_equivalent(
         f"  engine-only rows: {sorted(only_ours.elements(), key=repr)}\n"
         f"  sqlite-only rows: {sorted(only_theirs.elements(), key=repr)}"
     )
+
+
+def assert_equivalent_ordered(
+    engine_db: Database,
+    reference: sqlite3.Connection,
+    sql: str,
+    sqlite_sql: str,
+) -> None:
+    """Order-*sensitive* differential for ORDER BY queries.
+
+    The multiset comparison above cannot catch per-key NULL-placement
+    bugs, so this variant compares row *lists*.  The engine's contract
+    (NULLS last ascending, NULLS first descending, per sort key) is the
+    opposite of SQLite's default, so callers spell the placement out in
+    ``sqlite_sql`` with explicit ``NULLS LAST`` / ``NULLS FIRST``.
+    Queries must be tie-free (project exactly the sort keys, or include
+    a unique tiebreaker) — ties make row order unspecified on both
+    sides.
+    """
+    ours = [
+        tuple(normalize_value(value) for value in row)
+        for row in engine_db.query(sql)
+    ]
+    theirs = [
+        tuple(normalize_value(value) for value in row)
+        for row in reference.execute(sqlite_sql).fetchall()
+    ]
+    assert ours == theirs, (
+        f"ordered differential mismatch for {sql!r}\n"
+        f"  engine: {ours}\n  sqlite: {theirs}"
+    )

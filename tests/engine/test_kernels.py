@@ -1,0 +1,200 @@
+"""Fused expression kernels: fused-vs-interpreted differential + cache.
+
+``Database(fused_kernels=False)`` forces the interpreting evaluator, so
+every query below runs both ways over the same NULL-bearing data and
+must return byte-identical rows — the kernels reimplement 3VL, NULL
+propagation, and sentinel handling, and this differential is what keeps
+the two implementations from drifting.
+
+The cache tests pin the invalidation key: SQL text + frame column
+signature + UDF-registry generation.  A UDF registered *after* a
+builtin was compiled must shadow it (generation bump), and the same SQL
+against a re-created table with different dtypes must recompile
+(signature change).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.engine.udf import BatchUdf
+from repro.storage.schema import DataType
+
+TABLES = {
+    "t": {
+        "a": [10, None, 30, None, 50, -60, 70, None],
+        "b": [1, 2, None, 4, None, 6, 7, 8],
+        "f": [1.5, -2.5, None, 4.5, 5.5, None, 7.5, 8.5],
+        "c": [True, None, False, True, None, False, True, False],
+        "s": ["x", None, "y", "x", None, "y", "x", "y"],
+    }
+}
+
+#: Every expression family the compiler claims: comparisons, Kleene
+#: logic, arithmetic (incl. division sentinel patching), unary ops,
+#: IS NULL, BETWEEN, intDiv/modulo.  Strings/CASE/UDFs stay
+#: interpreter-only (the kernel must *bail*, not mis-evaluate).
+QUERIES = [
+    "SELECT a, b, f FROM t WHERE a > 20",
+    "SELECT a FROM t WHERE a > 20 AND b < 8",
+    "SELECT a FROM t WHERE a > 20 OR f < 0.0",
+    "SELECT a FROM t WHERE NOT (a > 20)",
+    "SELECT a FROM t WHERE NOT (c AND b > 2)",
+    "SELECT a FROM t WHERE c",
+    "SELECT a FROM t WHERE c OR a > 40",
+    "SELECT a FROM t WHERE a IS NULL",
+    "SELECT a FROM t WHERE a IS NOT NULL AND b IS NOT NULL",
+    "SELECT a FROM t WHERE a BETWEEN 20 AND 60",
+    "SELECT a FROM t WHERE a NOT BETWEEN 20 AND 60",
+    "SELECT a FROM t WHERE f > a",
+    "SELECT a FROM t WHERE a != 30",
+    "SELECT a + b, a - b, a * b FROM t",
+    "SELECT a / b, a + f FROM t",
+    "SELECT -a, -f FROM t",
+    "SELECT a + 1, f * 2.0, a > b FROM t",
+    "SELECT intDiv(a, 3), modulo(a, 7) FROM t",
+    "SELECT intDiv(f, 2), modulo(b, 3) FROM t",
+    "SELECT intDiv(a, b), modulo(a, b) FROM t",
+    # interpreter-only constructs mixed in: the kernel path must bail
+    # cleanly and produce identical results through the evaluator.
+    "SELECT upper(s), a FROM t WHERE s = 'x'",
+    "SELECT CASE WHEN a > 20 THEN a ELSE b END FROM t",
+    "SELECT coalesce(a, b, 0) FROM t WHERE a + b > 5",
+]
+
+
+def _build(**kwargs) -> Database:
+    db = Database(**kwargs)
+    for name, columns in TABLES.items():
+        db.create_table_from_dict(name, dict(columns))
+    return db
+
+
+@pytest.fixture(scope="module")
+def fused_db():
+    return _build(fused_kernels=True)
+
+
+@pytest.fixture(scope="module")
+def interpreted_db():
+    return _build(fused_kernels=False)
+
+
+class TestFusedVsInterpreted:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_identical_rows(self, fused_db, interpreted_db, sql):
+        assert fused_db.query(sql) == interpreted_db.query(sql)
+
+    def test_no_runtime_warnings_from_null_sentinels(self, fused_db):
+        # intDiv/modulo used to cast float NaN sentinels with astype
+        # *before* masking, tripping "invalid value encountered in cast".
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rows = fused_db.query("SELECT intDiv(f, 2), modulo(f, 3) FROM t")
+        assert rows[2] == (None, None)  # f IS NULL row stays NULL
+
+    def test_division_by_null_denominator(self, fused_db, interpreted_db):
+        sql = "SELECT a / b, intDiv(a, b) FROM t"
+        rows = fused_db.query(sql)
+        assert rows == interpreted_db.query(sql)
+        assert rows[1] == (None, None)  # a IS NULL
+        assert rows[2] == (None, None)  # b IS NULL
+
+    def test_kernels_off_means_no_cache(self, interpreted_db):
+        assert interpreted_db.kernels is None
+
+
+class TestKernelCache:
+    def test_hits_and_misses(self):
+        db = _build()
+        db.query("SELECT a + b FROM t WHERE a > 20")
+        misses = db.kernels.misses
+        assert misses >= 2  # conjunct + projection compiled once each
+        db.query("SELECT a + b FROM t WHERE a > 20")
+        assert db.kernels.misses == misses  # fully served from cache
+        assert db.kernels.hits >= 2
+        db.close()
+
+    def test_uncompilable_is_negative_cached(self):
+        db = _build()
+        db.query("SELECT upper(s) FROM t")
+        size = len(db.kernels)
+        db.query("SELECT upper(s) FROM t")
+        assert len(db.kernels) == size  # the bail is cached, not retried
+        db.close()
+
+    def test_udf_registration_shadows_compiled_builtin(self):
+        db = _build()
+        before = db.query("SELECT intDiv(a, 3) FROM t")
+        assert before[0] == (3,)
+        generation = db.udfs.generation
+        db.register_udf(
+            BatchUdf(
+                name="intDiv",
+                fn=lambda a, b: a + 1000 * b,
+                return_dtype=DataType.INT64,
+            )
+        )
+        assert db.udfs.generation == generation + 1
+        after = db.query("SELECT intDiv(a, 3) FROM t")
+        assert after[0] == (3010,)  # the UDF, not the stale kernel
+        db.close()
+
+    def test_schema_change_recompiles(self):
+        db = Database()
+        db.create_table_from_dict("u", {"x": [10, 20, None]})
+        assert db.query("SELECT x / 4 FROM u") == [(2.5,), (5.0,), (None,)]
+        db.execute("DROP TABLE u")
+        db.create_table_from_dict("u", {"x": [1.5, 2.5, None]})
+        # Same SQL text, new column signature: must not reuse the int64
+        # kernel (the signature is part of the cache key).
+        assert db.query("SELECT x / 4 FROM u") == [
+            (0.375,),
+            (0.625,),
+            (None,),
+        ]
+        db.close()
+
+    def test_borrowed_column_data_never_mutated(self):
+        db = _build()
+        table = db.table("t")
+        before = {c.name: c.data.copy() for c in table.columns}
+        for sql in QUERIES:
+            db.query(sql)
+        for column in table.columns:
+            expected = before[column.name]
+            if column.data.dtype.kind == "f":
+                assert np.array_equal(
+                    column.data, expected, equal_nan=True
+                ), column.name
+            else:
+                assert np.array_equal(column.data, expected), column.name
+        db.close()
+
+
+class TestKernelsUnderParallelism:
+    def test_fused_parallel_matches_interpreted_serial(self):
+        rng = np.random.default_rng(3)
+        rows = 500
+        data = {
+            "a": rng.integers(-50, 50, rows).tolist(),
+            "f": rng.normal(size=rows).round(3).tolist(),
+        }
+        for index in range(0, rows, 9):
+            data["a"][index] = None
+            data["f"][(index + 4) % rows] = None
+        reference = Database(workers=1, fused_kernels=False)
+        subject = Database(workers=4, morsel_rows=16, fused_kernels=True)
+        for db in (reference, subject):
+            db.create_table_from_dict("t", data)
+        for sql in [
+            "SELECT a FROM t WHERE a > 0 AND f < 0.5",
+            "SELECT a + 1, f * 2.0 FROM t WHERE a IS NOT NULL",
+            "SELECT intDiv(a, 7), modulo(a, 5) FROM t",
+            "SELECT a FROM t WHERE a BETWEEN -10 AND 10 OR f > 1.0",
+        ]:
+            assert subject.query(sql) == reference.query(sql), sql
+        subject.close()
+        reference.close()

@@ -13,6 +13,7 @@ import pytest
 from repro.engine import Database
 from tests.engine.differential import (
     assert_equivalent,
+    assert_equivalent_ordered,
     build_engine,
     build_sqlite,
 )
@@ -129,6 +130,89 @@ class TestDifferentialCorpus:
     @pytest.mark.parametrize("sql", CORPUS)
     def test_matches_sqlite(self, engine_db, sqlite_db, sql):
         assert_equivalent(engine_db, sqlite_db, sql)
+
+
+#: Order-sensitive corpus: (engine SQL, SQLite SQL with the engine's
+#: NULL placement — last ascending, first descending — spelled out).
+#: The multiset corpus above can't see ordering bugs; these queries
+#: caught the mixed-ASC/DESC lexsort bug where code negation flipped
+#: the NULL sentinel to the wrong end of DESC keys (and overflowed on
+#: int64 extremes).  All queries are tie-free: they project exactly
+#: their sort keys or end on the unique ``id``.
+ORDERED_CORPUS = [
+    (
+        "SELECT g, a FROM r ORDER BY g, a",
+        "SELECT g, a FROM r ORDER BY g NULLS LAST, a NULLS LAST",
+    ),
+    (
+        "SELECT g, a FROM r ORDER BY g, a DESC",
+        "SELECT g, a FROM r ORDER BY g NULLS LAST, a DESC NULLS FIRST",
+    ),
+    (
+        "SELECT g, a FROM r ORDER BY g DESC, a",
+        "SELECT g, a FROM r ORDER BY g DESC NULLS FIRST, a NULLS LAST",
+    ),
+    (
+        "SELECT g, a FROM r ORDER BY g DESC, a DESC",
+        "SELECT g, a FROM r ORDER BY g DESC NULLS FIRST, a DESC NULLS FIRST",
+    ),
+    (
+        "SELECT a, f FROM r ORDER BY a DESC, f",
+        "SELECT a, f FROM r ORDER BY a DESC NULLS FIRST, f NULLS LAST",
+    ),
+    (
+        "SELECT g, f, id FROM r ORDER BY g, f DESC, id",
+        "SELECT g, f, id FROM r "
+        "ORDER BY g NULLS LAST, f DESC NULLS FIRST, id",
+    ),
+    (
+        "SELECT s, a, id FROM r ORDER BY s DESC, a, id",
+        "SELECT s, a, id FROM r "
+        "ORDER BY s DESC NULLS FIRST, a NULLS LAST, id",
+    ),
+]
+
+
+class TestOrderedDifferentialCorpus:
+    @pytest.mark.parametrize(
+        "sql,sqlite_sql", ORDERED_CORPUS, ids=[q for q, _ in ORDERED_CORPUS]
+    )
+    def test_matches_sqlite_in_order(
+        self, engine_db, sqlite_db, sql, sqlite_sql
+    ):
+        assert_equivalent_ordered(engine_db, sqlite_db, sql, sqlite_sql)
+
+    def test_int64_extremes_do_not_overflow(self):
+        # Rank-based sort codes regression: the old implementation
+        # negated codes for DESC keys, which wraps INT64_MIN, and
+        # computed ``max - min`` spans that overflow on extreme values.
+        db = Database()
+        extremes = [-(2**63), 2**63 - 1, 0, None, -1]
+        db.create_table_from_dict("e", {"x": extremes})
+        ascending = [r[0] for r in db.query("SELECT x FROM e ORDER BY x")]
+        assert ascending == [-(2**63), -1, 0, 2**63 - 1, None]
+        descending = [
+            r[0] for r in db.query("SELECT x FROM e ORDER BY x DESC")
+        ]
+        assert descending == [None, 2**63 - 1, 0, -1, -(2**63)]
+
+    def test_mixed_direction_with_extreme_secondary(self):
+        db = Database()
+        db.create_table_from_dict(
+            "e",
+            {
+                "g": ["a", "a", "b", "b", None],
+                "x": [2**63 - 1, -(2**63), None, 5, 7],
+            },
+        )
+        rows = db.query("SELECT g, x FROM e ORDER BY g, x DESC")
+        assert rows == [
+            ("a", 2**63 - 1),
+            ("a", -(2**63)),
+            ("b", None),
+            ("b", 5),
+            (None, 7),
+        ]
 
 
 # ----------------------------------------------------------------------
