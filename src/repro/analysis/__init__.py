@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.analysis import dataflow
 from repro.analysis.invariants import validate_rewrite
 from repro.analysis.lint import LINT_RULES, LintFinding, lint_statement
 from repro.analysis.semantic import (
@@ -46,6 +47,12 @@ class AnalysisReport:
     sql: str
     schema: Optional[QuerySchema] = None
     findings: list[LintFinding] = field(default_factory=list)
+    #: ``(output column name, dataflow fact)`` per select item — the
+    #: derived const/range/nullability facts ``repro lint --format
+    #: json`` surfaces next to the findings.
+    column_facts: list[tuple[str, dataflow.Fact]] = field(
+        default_factory=list
+    )
 
     @property
     def errors(self) -> list[LintFinding]:
@@ -116,6 +123,19 @@ def analyze_query(
             select, sql, catalog=catalog, functions=functions, udfs=udfs
         )
     )
+    try:
+        statistics = None
+        if catalog is not None:
+            from repro.engine.statistics import StatisticsProvider
+
+            statistics = StatisticsProvider(catalog)
+        report.column_facts = dataflow.output_facts(
+            select, catalog, statistics
+        )
+    except Exception:
+        # Facts are advisory; a catalog stand-in the dataflow layer
+        # cannot read must not turn analysis into an error.
+        report.column_facts = []
     return report
 
 

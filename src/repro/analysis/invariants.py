@@ -50,6 +50,58 @@ from repro.sql.ast_nodes import (
 )
 
 
+def validate_fold(
+    before: LogicalPlan,
+    after: LogicalPlan,
+    catalog: Any,
+    statistics: Any,
+    report: Any = None,
+) -> list[str]:
+    """Re-check the dataflow folding pass (planner tree -> folded tree).
+
+    Folding deliberately breaks the ``validate_rewrite`` invariants — it
+    deletes tautological conjuncts, rewrites subexpressions to literals,
+    and prunes contradicted subtrees — so it gets its own validator: the
+    fold is re-derived independently from the same inputs (the pass is
+    deterministic) and the applied tree must match the re-derivation
+    node for node.  On top of that, the non-relational shape
+    (Sort/Limit/Distinct/Aggregate) and the root output schema must be
+    untouched, exactly as for any other rewrite.
+    """
+    from repro.engine.optimizer import fold_plan
+
+    violations: list[str] = []
+    expected, expected_report = fold_plan(before, catalog, statistics)
+    expected_signature = _plan_signature(expected)
+    actual_signature = _plan_signature(after)
+    if expected_signature != actual_signature:
+        violations.append(
+            "folded plan does not match its re-derivation: "
+            f"expected {expected_signature!r}, got {actual_signature!r}"
+        )
+    if report is not None:
+        expected_actions = Counter(
+            (a.kind, a.detail) for a in expected_report.actions
+        )
+        actual_actions = Counter((a.kind, a.detail) for a in report.actions)
+        if expected_actions != actual_actions:
+            gone = list((expected_actions - actual_actions).elements())
+            new = list((actual_actions - expected_actions).elements())
+            violations.append(
+                "fold bookkeeping mismatch: "
+                f"missing {gone or 'none'}, unexpected {new or 'none'}"
+            )
+    violations.extend(_check_output_names(before, after, catalog))
+    violations.extend(_check_shape(before, after))
+    violations.extend(_check_predicate_scopes(after, catalog))
+    return violations
+
+
+def _plan_signature(plan: LogicalPlan) -> str:
+    inner = ",".join(_plan_signature(child) for child in plan.children())
+    return f"{plan.describe()}({inner})"
+
+
 def validate_rewrite(
     before: LogicalPlan, after: LogicalPlan, catalog: Any
 ) -> list[str]:

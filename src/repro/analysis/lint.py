@@ -16,7 +16,21 @@ L005   multiple nUDF conjuncts written in an order that contradicts
 L006   comparison against the NULL literal (``x = NULL`` / ``x != NULL``)
        — always UNKNOWN under three-valued logic, so the predicate never
        passes; the fix-it suggests ``IS [NOT] NULL``
+L007   contradictory predicate: a conjunct the dataflow lattice proves
+       can never be TRUE (``x > 5 AND x < 3``, or a range disjoint from
+       the table's min/max statistics) — the query returns no rows
+L008   tautological predicate: a conjunct that is always TRUE (``1 = 1``,
+       or implied by the conjuncts before it / the table statistics)
+L009   guaranteed division or modulo by zero — ``/ 0`` yields inf or
+       NULL per row, ``% 0`` raises at execution time
+L010   INT64 overflow risk: an integer expression whose proven value
+       range exceeds the INT64 domain
 =====  ==============================================================
+
+L007–L010 are driven by the abstract-interpretation pass in
+:mod:`repro.analysis.dataflow`; with a catalog they seed column facts
+from exact table statistics, without one they still catch purely
+relational and constant cases.
 
 ``lint_statement`` is pure analysis (no execution); when no catalog is
 supplied the binder runs in lenient mode and type-dependent rules simply
@@ -28,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
+from repro.analysis import dataflow
 from repro.analysis.semantic import SemanticAnalyzer, _Scope
 from repro.analysis.types import SCALAR_RETURNS
 from repro.engine.udf import parse_udf_comparison
@@ -38,6 +53,7 @@ from repro.sql.ast_nodes import (
     DerivedTable,
     Expression,
     FunctionCall,
+    IsNull,
     Join,
     Literal,
     NamedTable,
@@ -58,6 +74,10 @@ LINT_RULES: dict[str, str] = {
     "L004": "function call around a column makes the predicate non-sargable",
     "L005": "nUDF conjuncts not ordered by estimated selectivity",
     "L006": "comparison with NULL is always UNKNOWN; use IS [NOT] NULL",
+    "L007": "contradictory predicate can never be TRUE; no row qualifies",
+    "L008": "tautological predicate is always TRUE; drop the condition",
+    "L009": "division or modulo by a divisor that is always zero",
+    "L010": "integer expression can overflow the INT64 range",
 }
 
 _EQUALITY_OPS = ("=", "!=", "<>")
@@ -117,6 +137,7 @@ def lint_statement(
     findings.extend(linter.check_non_sargable())
     findings.extend(linter.check_nudf_ordering())
     findings.extend(linter.check_null_comparison())
+    findings.extend(linter.check_dataflow(findings))
     findings.sort(key=lambda f: (f.span.start if f.span else 1 << 30, f.code))
     return findings
 
@@ -140,6 +161,27 @@ class _Linter:
             )
         except SemanticError:
             self._scope = None
+        # Dataflow environment for L007-L010: seeded from exact table
+        # statistics when a real catalog is available, bare otherwise.
+        self._dataflow_env: Optional[dataflow.Env] = None
+        try:
+            statistics = None
+            if catalog is not None:
+                from repro.engine.statistics import StatisticsProvider
+
+                statistics = StatisticsProvider(catalog)
+            self._dataflow_env, _ = dataflow.statement_env(
+                statement, catalog, statistics
+            )
+        except Exception:
+            # Lenient callers may pass catalog stand-ins the dataflow
+            # layer cannot read; the stats-free rules still apply.
+            try:
+                self._dataflow_env, _ = dataflow.statement_env(
+                    statement, None, None
+                )
+            except Exception:
+                self._dataflow_env = None
 
     # -- shared helpers -------------------------------------------------
     def _type_of(self, expression: Expression) -> Optional[DataType]:
@@ -158,6 +200,17 @@ class _Linter:
         return call.name.lower().startswith("nudf")
 
     def _all_conditions(self) -> Iterator[Expression]:
+        yield from self._predicate_conditions()
+        for order in self.statement.order_by:
+            yield order.expression
+
+    def _predicate_conditions(self) -> Iterator[Expression]:
+        """Row-filtering conditions only (WHERE/HAVING/ON).
+
+        ORDER BY keys are covered by :meth:`_all_conditions` for
+        expression-shape rules (L001/L004/L006) but excluded here: a
+        sort key that is never TRUE is suspicious, not contradictory.
+        """
         if self.statement.where is not None:
             yield self.statement.where
         if self.statement.having is not None:
@@ -355,6 +408,105 @@ class _Linter:
                         "three-valued logic (no row ever passes); "
                         f"write {suggestion} instead",
                         span=span_of(node),
+                    )
+                )
+        return findings
+
+    # -- L007/L008/L009/L010 --------------------------------------------
+    def check_dataflow(
+        self, earlier: Optional[list[LintFinding]] = None
+    ) -> list[LintFinding]:
+        if self._dataflow_env is None:
+            return []
+        # L001 (lossy cast) and L006 (NULL equality) diagnose *why* a
+        # conjunct can never pass; repeating the generic L007 on top of
+        # them is noise, so contradictions whose conjunct contains one
+        # of those findings are suppressed.
+        covered = [
+            f.span
+            for f in (earlier or [])
+            if f.code in ("L001", "L006") and f.span is not None
+        ]
+        findings: list[LintFinding] = []
+        notes: list[dataflow.Note] = []
+        for condition in self._predicate_conditions():
+            fold = dataflow.fold_conjuncts(
+                condition, self._dataflow_env.copy()
+            )
+            notes.extend(fold.notes)
+            for outcome in fold.outcomes:
+                if outcome.status == "never_true":
+                    # Conjuncts after a contradiction are evaluated
+                    # under an infeasible assumption; anything the
+                    # lattice says about them is vacuous.  Report the
+                    # first contradiction only.
+                    # ``x IS NULL`` on a column whose statistics show
+                    # no NULLs is a data-dependent contradiction on the
+                    # *correct* idiom — the fold still prunes it, but
+                    # warning would punish well-written queries.
+                    if isinstance(outcome.original, IsNull):
+                        break
+                    span = span_of(outcome.original)
+                    if span is None or not any(
+                        span.start <= c.start and c.end <= span.end
+                        for c in covered
+                    ):
+                        findings.append(
+                            LintFinding(
+                                "L007",
+                                f"{outcome.original.to_sql()} can never "
+                                "be TRUE given the surrounding "
+                                "conditions and table statistics; the "
+                                "query returns no rows — remove or "
+                                "correct the condition",
+                                span=span,
+                            )
+                        )
+                    break
+                elif outcome.status == "always_true":
+                    # Same reasoning as the IS NULL case above: a
+                    # statistics-proven ``IS NOT NULL`` tautology is a
+                    # property of today's data, not a query mistake.
+                    if isinstance(outcome.original, IsNull):
+                        continue
+                    findings.append(
+                        LintFinding(
+                            "L008",
+                            f"{outcome.original.to_sql()} is always "
+                            "TRUE here; drop the redundant condition",
+                            span=span_of(outcome.original),
+                        )
+                    )
+        for item in self.statement.items:
+            dataflow.analyze_expression(
+                item.expression, self._dataflow_env.copy(), notes
+            )
+        for order in self.statement.order_by:
+            dataflow.analyze_expression(
+                order.expression, self._dataflow_env.copy(), notes
+            )
+        seen: set[tuple[Any, int]] = set()
+        for note in notes:
+            key = (note.kind, id(note.node))
+            if key in seen:
+                continue
+            seen.add(key)
+            if note.kind is dataflow.NoteKind.DIVISION_BY_ZERO:
+                findings.append(
+                    LintFinding(
+                        "L009",
+                        f"{note.detail}; guard it, e.g. "
+                        "IF(divisor != 0, ..., NULL)",
+                        span=span_of(note.node),
+                    )
+                )
+            elif note.kind is dataflow.NoteKind.INT64_OVERFLOW:
+                findings.append(
+                    LintFinding(
+                        "L010",
+                        f"{note.detail}; cast an operand to FLOAT64 or "
+                        "narrow the inputs",
+                        span=span_of(note.node),
                     )
                 )
         return findings

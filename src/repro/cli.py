@@ -505,6 +505,10 @@ def _cmd_lint(args) -> int:
                     "source": source,
                     "sql": sql,
                     "findings": [f.to_dict(sql) for f in report.findings],
+                    "facts": [
+                        {"column": name, **fact.to_dict()}
+                        for name, fact in report.column_facts
+                    ],
                 }
             )
 

@@ -25,6 +25,7 @@ from repro.engine.logical import (
     Aggregate,
     CrossJoin,
     Distinct,
+    EmptyScan,
     Filter,
     HashJoin,
     Limit,
@@ -137,6 +138,8 @@ class DefaultCostModel(CostModel):
         return estimate
 
     def _estimate(self, plan: LogicalPlan, stats: StatisticsProvider) -> CostEstimate:
+        if isinstance(plan, EmptyScan):
+            return CostEstimate(0.0, 0.0)
         if isinstance(plan, Scan):
             return self._estimate_scan(plan, stats)
         if isinstance(plan, SubqueryScan):

@@ -31,7 +31,8 @@ from repro.errors import (
     QueryTimeoutError,
     SqlError,
 )
-from repro.analysis.invariants import validate_rewrite
+from repro.analysis import dataflow
+from repro.analysis.invariants import validate_fold, validate_rewrite
 from repro.analysis.semantic import SemanticAnalyzer
 from repro.faults.injector import make_injector
 from repro.engine.analyze import (
@@ -47,7 +48,13 @@ from repro.engine.infer_cache import make_cache
 from repro.engine.kernels import KernelCache
 from repro.engine.logical import LogicalPlan
 from repro.engine.memory import MemoryAccountant
-from repro.engine.optimizer import Optimizer, OptimizerConfig
+from repro.engine.optimizer import (
+    FoldReport,
+    Optimizer,
+    OptimizerConfig,
+    annotate_plan_facts,
+    fold_plan,
+)
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS, MorselPool
 from repro.engine.physical import ExecutionContext, execute_plan
 from repro.engine.qcontext import CancellationToken, QueryContext
@@ -211,6 +218,7 @@ class Database:
         workers: Optional[int] = None,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         fused_kernels: bool = True,
+        fold_constants: bool = True,
         semantic_analysis: bool = True,
         validate_plans: Optional[bool] = None,
         fault_plan: Any = None,
@@ -317,8 +325,18 @@ class Database:
         #: objects, which would otherwise alias a fresh statement onto a
         #: stale plan), and an `is` check guards the hit.
         #: Cleared whenever a view definition changes (plans inline views).
+        #: Folding makes cached plans *conditional*: each entry records
+        #: the statistics versions it read and the column facts its
+        #: rewrites assumed, so a hit after a table mutation triggers a
+        #: containment re-check (see ``_plan_assumptions_hold``).
         self._plan_cache: dict[
-            tuple[int, int], tuple[SelectStatement, LogicalPlan]
+            tuple[int, int],
+            tuple[
+                SelectStatement,
+                LogicalPlan,
+                dict[str, int],
+                dict[tuple[str, str], dataflow.Fact],
+            ],
         ] = {}
         #: Disabled for experiments reproducing engines that re-plan every
         #: statement (the paper's ClickHouse flow re-optimizes DL2SQL's
@@ -327,6 +345,10 @@ class Database:
         #: Bind + type-check every SELECT before planning; off only for
         #: experiments that need the raw planner behaviour.
         self._semantic_analysis = semantic_analysis
+        #: Run the abstract-interpretation folding pass between planning
+        #: and optimization; ``fold_constants=False`` is the escape hatch
+        #: (and the baseline side of the folding differential tests).
+        self._fold_constants = bool(fold_constants)
         #: Re-check optimizer rewrites against the planner's tree.  None
         #: (the default) auto-enables under pytest so the whole test
         #: suite doubles as an optimizer-correctness harness; production
@@ -433,9 +455,20 @@ class Database:
         estimate = self.optimizer_config.cost_model.estimate(
             plan, self.statistics
         )
+        text = plan.explain()
+        if self._fold_constants:
+            facts = dataflow.output_facts(
+                statement, self.catalog, self.statistics
+            )
+            if facts:
+                lines = [text, "Derived facts:"]
+                lines.extend(
+                    f"  {name}: {fact.render()}" for name, fact in facts
+                )
+                text = "\n".join(lines)
         return ExplainOutput(
             plan=plan,
-            text=plan.explain(),
+            text=text,
             estimated_rows=estimate.rows,
             estimated_cost=estimate.cost,
         )
@@ -569,6 +602,15 @@ class Database:
             plan = self._optimized_plan(statement.statement)
             self.optimizer_config.cost_model.estimate(plan, self.statistics)
             lines = plan.explain().splitlines()
+            if self._fold_constants:
+                facts = dataflow.output_facts(
+                    statement.statement, self.catalog, self.statistics
+                )
+                if facts:
+                    lines.append("Derived facts:")
+                    lines.extend(
+                        f"  {name}: {fact.render()}" for name, fact in facts
+                    )
         from repro.engine.frame import FrameColumn
 
         data = np.empty(len(lines), dtype=object)
@@ -610,7 +652,11 @@ class Database:
         key = (id(statement), id(self.optimizer_config))
         if self._plan_cache_enabled:
             cached = self._plan_cache.get(key)
-            if cached is not None and cached[0] is statement:
+            if (
+                cached is not None
+                and cached[0] is statement
+                and self._plan_assumptions_hold(cached[2], cached[3])
+            ):
                 if self.metrics is not None:
                     self.metrics.counter(
                         "plan_cache_hits_total",
@@ -631,25 +677,91 @@ class Database:
                 schema = analyzer.analyze(statement)
         with self.tracer.span("plan"):
             plan = self._planner.plan_select(statement)
+        fold_report: Optional[FoldReport] = None
+        folded = plan
+        if self._fold_constants:
+            with self.tracer.span("fold"):
+                folded, fold_report = fold_plan(
+                    plan, self.catalog, self.statistics
+                )
+            if self._validate_plans:
+                violations = validate_fold(
+                    plan, folded, self.catalog, self.statistics, fold_report
+                )
+                if violations:
+                    raise PlanValidationError(
+                        "dataflow folding violated plan invariants: "
+                        + "; ".join(violations)
+                    )
         with self.tracer.span("optimize"):
             optimizer = Optimizer(
                 self.catalog, self.statistics, self.udfs, self.optimizer_config
             )
-            optimized = optimizer.optimize(plan)
+            optimized = optimizer.optimize(folded)
         if self._validate_plans:
-            violations = validate_rewrite(plan, optimized, self.catalog)
+            violations = validate_rewrite(folded, optimized, self.catalog)
             if violations:
                 raise PlanValidationError(
                     "optimizer rewrite violated plan invariants: "
                     + "; ".join(violations)
                 )
+        versions: dict[str, int] = {}
+        assumptions: dict[tuple[str, str], dataflow.Fact] = {}
+        if fold_report is not None:
+            versions.update(fold_report.stats_versions)
+            assumptions.update(fold_report.assumptions)
+        if self._fold_constants:
+            deps = annotate_plan_facts(
+                optimized, self.catalog, self.statistics
+            )
+            for pair, fact in deps.items():
+                assumptions.setdefault(pair, fact)
+                versions.setdefault(pair[0], self.statistics.version(pair[0]))
         plan = optimized
         plan.output_schema = schema
         if self._plan_cache_enabled:
             if len(self._plan_cache) > 8192:
                 self._plan_cache.clear()
-            self._plan_cache[key] = (statement, plan)
+            self._plan_cache[key] = (statement, plan, versions, assumptions)
         return plan
+
+    def _plan_assumptions_hold(
+        self,
+        versions: dict[str, int],
+        assumptions: dict[tuple[str, str], "dataflow.Fact"],
+    ) -> bool:
+        """Is a cached, fact-justified plan still valid?
+
+        Fast path: every statistics version the fold read is unchanged.
+        Slow path (a table mutated): re-seed each assumed column fact
+        from fresh statistics and accept the plan only if the fresh fact
+        is *contained* in the assumed one — inserting rows inside the
+        already-proven range keeps the plan sound, widening the range
+        (or introducing the first NULL) forces a re-plan.
+        """
+        stale = [
+            table
+            for table, version in versions.items()
+            if self.statistics.version(table) != version
+        ]
+        if not stale:
+            return True
+        for table, column in sorted(assumptions):
+            if not self.catalog.has(table) or self.catalog.is_view(table):
+                return False
+            stats = self.statistics.exact_stats_for(table)
+            table_schema = self.catalog.get_table(table).schema
+            if column not in table_schema:
+                return False
+            dtype = table_schema.dtype_of(column)
+            fresh = dataflow.column_seed_fact(column, dtype, stats)
+            if not assumptions[(table, column)].contains(fresh):
+                return False
+        # Still contained: refresh the recorded versions so the next hit
+        # takes the fast path again.
+        for table in stale:
+            versions[table] = self.statistics.version(table)
+        return True
 
     def clear_plan_cache(self) -> None:
         """Drop all prepared plans (automatic on view changes)."""

@@ -641,9 +641,13 @@ def _arithmetic(op: str, left: Vector, right: Vector, num_rows: int) -> Vector:
     elif op == "*":
         result = lhs * rhs
     elif op == "/":
-        result = np.divide(lhs, rhs) if not both_scalar else (
-            lhs / rhs if rhs != 0 else float("nan")
-        )
+        if both_scalar:
+            result = lhs / rhs if rhs != 0 else float("nan")
+        else:
+            # A literal zero divisor is legal (x / 0 is NULL downstream,
+            # not an error); silence numpy's warning for that case.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                result = np.divide(lhs, rhs)
         return _finish_arithmetic(result, DataType.FLOAT64, both_scalar, null)
     elif op == "%":
         result = np.mod(lhs, rhs) if not both_scalar else lhs % rhs

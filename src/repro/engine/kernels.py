@@ -153,9 +153,10 @@ def _compile(
     expression: Expression,
     frame: Frame,
     udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> Optional[CompiledKernel]:
     try:
-        node = _compile_node(expression, frame, udfs)
+        node = _compile_node(expression, frame, udfs, nonnull)
     except _Bail:
         return None
     if node.is_scalar:
@@ -164,26 +165,33 @@ def _compile(
 
 
 def _compile_node(
-    expression: Expression, frame: Frame, udfs: Optional["UdfRegistry"]
+    expression: Expression,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> _Node:
     if isinstance(expression, ColumnRef):
-        return _compile_column(expression, frame)
+        return _compile_column(expression, frame, nonnull)
     if isinstance(expression, Literal):
         return _compile_literal(expression)
     if isinstance(expression, UnaryOp):
-        return _compile_unary(expression, frame, udfs)
+        return _compile_unary(expression, frame, udfs, nonnull)
     if isinstance(expression, BinaryOp):
-        return _compile_binary(expression, frame, udfs)
+        return _compile_binary(expression, frame, udfs, nonnull)
     if isinstance(expression, IsNull):
-        return _compile_is_null(expression, frame, udfs)
+        return _compile_is_null(expression, frame, udfs, nonnull)
     if isinstance(expression, Between):
-        return _compile_between(expression, frame, udfs)
+        return _compile_between(expression, frame, udfs, nonnull)
     if isinstance(expression, FunctionCall):
-        return _compile_call(expression, frame, udfs)
+        return _compile_call(expression, frame, udfs, nonnull)
     raise _Bail
 
 
-def _compile_column(ref: ColumnRef, frame: Frame) -> _Node:
+def _compile_column(
+    ref: ColumnRef,
+    frame: Frame,
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
+) -> _Node:
     matches = [
         (index, column)
         for index, column in enumerate(frame.columns)
@@ -194,6 +202,16 @@ def _compile_column(ref: ColumnRef, frame: Frame) -> _Node:
     index, column = matches[0]
     if column.dtype not in _NUMERIC:
         raise _Bail
+
+    key = ((column.qualifier or "").lower(), column.name.lower())
+    if key in nonnull:
+        # The dataflow pass proved this column NULL-free, so the
+        # per-batch mask derivation (an ``np.isnan`` scan for float
+        # columns) is skipped entirely — the mask-free fast path.
+        def mask_free(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
+            return env.frame.columns[index].data, None, False
+
+        return _Node(mask_free, column.dtype)
 
     def fn(env: _Env) -> tuple[Any, Optional[np.ndarray], bool]:
         target = env.frame.columns[index]
@@ -222,9 +240,12 @@ def _compile_literal(literal: Literal) -> _Node:
 
 
 def _compile_unary(
-    expression: UnaryOp, frame: Frame, udfs: Optional["UdfRegistry"]
+    expression: UnaryOp,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> _Node:
-    operand = _compile_node(expression.operand, frame, udfs)
+    operand = _compile_node(expression.operand, frame, udfs, nonnull)
     op = expression.op.upper()
     if op == "-":
         if operand.dtype is DataType.BOOL or operand.is_scalar:
@@ -270,20 +291,23 @@ _ARITH_UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply}
 
 
 def _compile_binary(
-    expression: BinaryOp, frame: Frame, udfs: Optional["UdfRegistry"]
+    expression: BinaryOp,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> _Node:
     op = expression.op.upper()
     if op in ("AND", "OR"):
-        left = _compile_node(expression.left, frame, udfs)
-        right = _compile_node(expression.right, frame, udfs)
+        left = _compile_node(expression.left, frame, udfs, nonnull)
+        right = _compile_node(expression.right, frame, udfs, nonnull)
         return _compile_logical(op, left, right)
     if op in _COMPARE_UFUNCS:
-        left = _compile_node(expression.left, frame, udfs)
-        right = _compile_node(expression.right, frame, udfs)
+        left = _compile_node(expression.left, frame, udfs, nonnull)
+        right = _compile_node(expression.right, frame, udfs, nonnull)
         return _compile_compare(op, left, right)
     if op in ("+", "-", "*", "/", "%"):
-        left = _compile_node(expression.left, frame, udfs)
-        right = _compile_node(expression.right, frame, udfs)
+        left = _compile_node(expression.left, frame, udfs, nonnull)
+        right = _compile_node(expression.right, frame, udfs, nonnull)
         return _compile_arithmetic(op, left, right)
     raise _Bail
 
@@ -407,10 +431,13 @@ def _compile_arithmetic(op: str, left: _Node, right: _Node) -> _Node:
         out = reusable(lval, lowned)
         if out is None:
             out = reusable(rval, rowned)
-        if out is not None and (not is_div or out.dtype.kind == "f"):
-            result = ufunc2(lval, rval, out=out)
-        else:
-            result = ufunc2(lval, rval)
+        # A *literal* zero divisor still reaches the ufunc (x / 0 is
+        # NULL, not an error); silence numpy's warning for that case.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if out is not None and (not is_div or out.dtype.kind == "f"):
+                result = ufunc2(lval, rval, out=out)
+            else:
+                result = ufunc2(lval, rval)
         result = np.asarray(result)
         if result.dtype != target:
             result = result.astype(target)
@@ -422,9 +449,12 @@ def _compile_arithmetic(op: str, left: _Node, right: _Node) -> _Node:
 
 
 def _compile_is_null(
-    expression: IsNull, frame: Frame, udfs: Optional["UdfRegistry"]
+    expression: IsNull,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> _Node:
-    operand = _compile_node(expression.operand, frame, udfs)
+    operand = _compile_node(expression.operand, frame, udfs, nonnull)
     if operand.is_scalar:
         raise _Bail
     negated = expression.negated
@@ -445,15 +475,18 @@ def _compile_is_null(
 
 
 def _compile_between(
-    expression: Between, frame: Frame, udfs: Optional["UdfRegistry"]
+    expression: Between,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> _Node:
     # Only column operands: anything else would evaluate the operand
     # twice, losing to the interpreter's single evaluation.
     if not isinstance(expression.operand, ColumnRef):
         raise _Bail
-    operand = _compile_node(expression.operand, frame, udfs)
-    low = _compile_node(expression.low, frame, udfs)
-    high = _compile_node(expression.high, frame, udfs)
+    operand = _compile_node(expression.operand, frame, udfs, nonnull)
+    low = _compile_node(expression.low, frame, udfs, nonnull)
+    high = _compile_node(expression.high, frame, udfs, nonnull)
     ge = _compile_compare(">=", operand, low)
     le = _compile_compare("<=", operand, high)
     node = _compile_logical("AND", ge, le)
@@ -472,7 +505,10 @@ def _compile_between(
 
 
 def _compile_call(
-    expression: FunctionCall, frame: Frame, udfs: Optional["UdfRegistry"]
+    expression: FunctionCall,
+    frame: Frame,
+    udfs: Optional["UdfRegistry"],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> _Node:
     name = expression.name.lower()
     if name not in ("intdiv", "modulo"):
@@ -481,8 +517,8 @@ def _compile_call(
         raise _Bail  # a UDF shadows the builtin; interpreter dispatches it
     if len(expression.args) != 2:
         raise _Bail
-    left = _compile_node(expression.args[0], frame, udfs)
-    right = _compile_node(expression.args[1], frame, udfs)
+    left = _compile_node(expression.args[0], frame, udfs, nonnull)
+    right = _compile_node(expression.args[1], frame, udfs, nonnull)
     for node in (left, right):
         if node.dtype not in (DataType.INT64, DataType.FLOAT64, DataType.DATE):
             raise _Bail
@@ -560,19 +596,30 @@ class KernelCache:
     def _generation(self) -> int:
         return self._udfs.generation if self._udfs is not None else 0
 
-    def _key(self, expression: Expression, frame: Frame) -> Any:
+    def _key(
+        self,
+        expression: Expression,
+        frame: Frame,
+        nonnull: frozenset[tuple[str, str]],
+    ) -> Any:
         signature = tuple(
             (column.qualifier, column.name, column.dtype)
             for column in frame.columns
         )
-        return (expression.to_sql(), signature, self._generation())
+        # The nonnull set is part of the key: the same expression over
+        # the same signature compiles differently when the dataflow pass
+        # proved columns NULL-free (mask handling is omitted).
+        return (expression.to_sql(), signature, self._generation(), nonnull)
 
     def lookup(
-        self, expression: Expression, frame: Frame
+        self,
+        expression: Expression,
+        frame: Frame,
+        nonnull: frozenset[tuple[str, str]] = frozenset(),
     ) -> Optional[CompiledKernel]:
         """The compiled kernel for this (expression, signature), or None
         when the expression is outside the compilable subset."""
-        key = self._key(expression, frame)
+        key = self._key(expression, frame, nonnull)
         with self._lock:
             if key in self._cache:
                 self._cache.move_to_end(key)
@@ -580,23 +627,33 @@ class KernelCache:
                 cached = self._cache[key]
                 return None if cached is _UNCOMPILABLE else cached
             self.misses += 1
-        kernel = _compile(expression, frame, self._udfs)
+        kernel = _compile(expression, frame, self._udfs, nonnull)
         with self._lock:
             self._cache[key] = kernel if kernel is not None else _UNCOMPILABLE
             while len(self._cache) > self._capacity:
                 self._cache.popitem(last=False)
         return kernel
 
-    def mask(self, expression: Expression, frame: Frame) -> Optional[np.ndarray]:
+    def mask(
+        self,
+        expression: Expression,
+        frame: Frame,
+        nonnull: frozenset[tuple[str, str]] = frozenset(),
+    ) -> Optional[np.ndarray]:
         """Fused filter mask, or None to fall back to the interpreter."""
-        kernel = self.lookup(expression, frame)
+        kernel = self.lookup(expression, frame, nonnull)
         if kernel is None or kernel.dtype is not DataType.BOOL:
             return None
         return kernel.evaluate_mask(frame)
 
-    def vector(self, expression: Expression, frame: Frame) -> Optional["Vector"]:
+    def vector(
+        self,
+        expression: Expression,
+        frame: Frame,
+        nonnull: frozenset[tuple[str, str]] = frozenset(),
+    ) -> Optional["Vector"]:
         """Fused projection vector, or None to fall back."""
-        kernel = self.lookup(expression, frame)
+        kernel = self.lookup(expression, frame, nonnull)
         if kernel is None:
             return None
         return kernel.evaluate(frame)

@@ -18,6 +18,7 @@ from repro.sql.ast_nodes import (
     OrderItem,
     SelectItem,
 )
+from repro.storage.schema import DataType
 
 
 @dataclass
@@ -68,6 +69,27 @@ class Scan(LogicalPlan):
 
 
 @dataclass
+class EmptyScan(LogicalPlan):
+    """A subtree statically proven to produce zero rows.
+
+    The dataflow folding pass replaces a Filter whose predicate can
+    never be TRUE (plus the scans below it) with this node; the column
+    layout of the replaced subtree is preserved so every operator above
+    sees the same zero-row schema.
+    """
+
+    #: ``(qualifier, column name, dtype)`` per output column, in the
+    #: column order the replaced subtree would have produced.
+    columns: tuple[tuple[Optional[str], str, DataType], ...] = ()
+    #: Human-readable justification (the contradicted conjunct).
+    reason: str = ""
+
+    def describe(self) -> str:
+        suffix = f" [{self.reason}]" if self.reason else ""
+        return f"EmptyScan{suffix}"
+
+
+@dataclass
 class SubqueryScan(LogicalPlan):
     """A derived table or expanded view: run the child plan, re-qualify."""
 
@@ -85,13 +107,25 @@ class SubqueryScan(LogicalPlan):
 class Filter(LogicalPlan):
     child: Optional[LogicalPlan] = None
     predicate: Optional[Expression] = None
+    #: ``(qualifier, name)`` pairs the dataflow pass proved non-NULL in
+    #: this node's input — the fused kernels skip validity-mask work for
+    #: them.  Filled by the post-optimization annotation pass.
+    nonnull_columns: frozenset[tuple[Optional[str], str]] = field(
+        default_factory=frozenset, compare=False
+    )
 
     def children(self) -> list[LogicalPlan]:
         return [self.child] if self.child else []
 
     def describe(self) -> str:
         text = self.predicate.to_sql() if self.predicate else "TRUE"
-        return f"Filter {text}"
+        suffix = ""
+        if self.nonnull_columns:
+            names = sorted(
+                f"{q}.{n}" if q else n for q, n in self.nonnull_columns
+            )
+            suffix = f"  [nonnull: {', '.join(names)}]"
+        return f"Filter {text}{suffix}"
 
 
 @dataclass
@@ -100,6 +134,10 @@ class Project(LogicalPlan):
     items: tuple[SelectItem, ...] = ()
     #: aggregate-call SQL text -> slot column produced by an Aggregate below.
     aggregate_slots: dict[str, str] = field(default_factory=dict)
+    #: See :attr:`Filter.nonnull_columns`.
+    nonnull_columns: frozenset[tuple[Optional[str], str]] = field(
+        default_factory=frozenset, compare=False
+    )
 
     def children(self) -> list[LogicalPlan]:
         return [self.child] if self.child else []

@@ -24,13 +24,14 @@ Two layers of optimization mirror the paper's configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.engine.cost import CostModel, DefaultCostModel
 from repro.engine.logical import (
     Aggregate,
     CrossJoin,
     Distinct,
+    EmptyScan,
     Filter,
     HashJoin,
     Limit,
@@ -39,6 +40,7 @@ from repro.engine.logical import (
     Scan,
     Sort,
     SubqueryScan,
+    walk_plan,
 )
 from repro.engine.statistics import StatisticsProvider
 from repro.engine.udf import UdfRegistry
@@ -224,7 +226,7 @@ class Optimizer:
             )
             relations.append(_Relation(optimized, self._catalog))
             return
-        if isinstance(plan, Scan):
+        if isinstance(plan, (Scan, EmptyScan)):
             relations.append(_Relation(plan, self._catalog))
             return
         relations.append(_Relation(self._rewrite(plan), self._catalog))
@@ -505,6 +507,14 @@ def _output_names(
     plan: LogicalPlan, catalog: Catalog
 ) -> tuple[set[str], set[str]]:
     """(qualifiers, column names) a plan's output frame exposes, lowercase."""
+    if isinstance(plan, EmptyScan):
+        qualifiers = {q.lower() for q, _, _ in plan.columns if q}
+        # Dunder columns (the __dual__ dummy) are internal, matching the
+        # Scan case which exposes no names for the dual relation.
+        names = {
+            n.lower() for _, n, _ in plan.columns if not n.startswith("__")
+        }
+        return qualifiers, names
     if isinstance(plan, Scan):
         qualifier = (plan.alias or plan.table_name).lower()
         if plan.table_name == "__dual__":
@@ -550,3 +560,323 @@ def _output_names(
             names |= child_names
         return qualifiers, names
     return set(), set()
+
+
+# ----------------------------------------------------------------------
+# Dataflow-driven folding (runs between the planner and the optimizer)
+# ----------------------------------------------------------------------
+@dataclass
+class FoldAction:
+    """One rewrite the folding pass performed, for EXPLAIN and tests."""
+
+    kind: str  # "fold" | "drop_true" | "empty_scan"
+    detail: str
+
+
+@dataclass
+class FoldReport:
+    """What :func:`fold_plan` did and which statistics it relied on."""
+
+    actions: list[FoldAction] = field(default_factory=list)
+    notes: list["dataflow.Note"] = field(default_factory=list)
+    #: table name -> statistics version consulted.
+    stats_versions: dict[str, int] = field(default_factory=dict)
+    #: (table, column) -> the seeded fact the rewrites assumed.  A plan
+    #: cache hit after a table mutation re-checks containment of the
+    #: fresh facts in these before reusing the plan.
+    assumptions: dict[tuple[str, str], "dataflow.Fact"] = field(
+        default_factory=dict
+    )
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.actions)
+
+
+def fold_plan(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    statistics: Optional[StatisticsProvider],
+) -> tuple[LogicalPlan, FoldReport]:
+    """Fold constants, drop tautologies, prune contradictions.
+
+    Every Filter predicate is run through the abstract interpreter with
+    column facts seeded from exact table statistics.  Three rewrites:
+
+    * constant subexpressions are replaced by literals (only when the
+      folded value is byte-identical to what the runtime would compute);
+    * conjuncts that can only evaluate to TRUE are deleted;
+    * a conjunct that can never be TRUE replaces the whole Filter
+      subtree with an :class:`~repro.engine.logical.EmptyScan` carrying
+      the subtree's column layout — provided the subtree is a plain
+      scan/join shape whose disappearance cannot change side effects.
+
+    Deterministic: re-running on the same input yields the same output,
+    which is what :func:`repro.analysis.invariants.validate_fold` leans
+    on.
+    """
+    from repro.analysis import dataflow
+
+    report = FoldReport()
+    folded = _fold_node(plan, catalog, statistics, report, dataflow)
+    return folded, report
+
+
+def _fold_node(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    statistics: Optional[StatisticsProvider],
+    report: FoldReport,
+    dataflow: Any,
+) -> LogicalPlan:
+    if isinstance(plan, Filter) and plan.predicate is not None:
+        assert plan.child is not None
+        child = _fold_node(plan.child, catalog, statistics, report, dataflow)
+        relations = _plan_relations(child, catalog, statistics, dataflow)
+        versions: dict[str, int] = {}
+        if statistics is not None:
+            for relation in relations:
+                if relation.table_name is not None:
+                    versions[relation.table_name] = statistics.version(
+                        relation.table_name
+                    )
+        env = dataflow.build_env(relations, stats_versions=versions)
+        fold = dataflow.fold_conjuncts(plan.predicate, env)
+        report.notes.extend(fold.notes)
+        report.stats_versions.update(env.stats_tables)
+        for pair in env.used:
+            seed = env.seeds.get(pair)
+            if seed is not None:
+                report.assumptions[pair] = seed
+        contradiction = fold.contradiction
+        if contradiction is not None and _prunable(child, catalog):
+            report.actions.append(
+                FoldAction(
+                    "empty_scan",
+                    f"predicate {contradiction.original.to_sql()} "
+                    "can never be TRUE",
+                )
+            )
+            return EmptyScan(
+                columns=_subtree_columns(child, catalog),
+                reason=contradiction.original.to_sql(),
+            )
+        kept: list[Expression] = []
+        for outcome in fold.outcomes:
+            if outcome.status == "always_true":
+                report.actions.append(
+                    FoldAction(
+                        "drop_true",
+                        f"conjunct {outcome.original.to_sql()} is always TRUE",
+                    )
+                )
+                continue
+            if outcome.folded is not outcome.original:
+                report.actions.append(
+                    FoldAction(
+                        "fold",
+                        f"{outcome.original.to_sql()} "
+                        f"-> {outcome.folded.to_sql()}",
+                    )
+                )
+            kept.append(outcome.folded)
+        if not kept:
+            return child
+        predicate = combine_conjuncts(kept)
+        return Filter(child=child, predicate=predicate)
+
+    # Structural recursion over every other node shape.
+    if isinstance(plan, Project):
+        assert plan.child is not None
+        return Project(
+            child=_fold_node(plan.child, catalog, statistics, report, dataflow),
+            items=plan.items,
+            aggregate_slots=plan.aggregate_slots,
+        )
+    if isinstance(plan, Sort):
+        assert plan.child is not None
+        return Sort(
+            child=_fold_node(plan.child, catalog, statistics, report, dataflow),
+            order_by=plan.order_by,
+        )
+    if isinstance(plan, Limit):
+        assert plan.child is not None
+        return Limit(
+            child=_fold_node(plan.child, catalog, statistics, report, dataflow),
+            count=plan.count,
+        )
+    if isinstance(plan, Distinct):
+        assert plan.child is not None
+        return Distinct(
+            child=_fold_node(plan.child, catalog, statistics, report, dataflow)
+        )
+    if isinstance(plan, Aggregate):
+        assert plan.child is not None
+        return Aggregate(
+            child=_fold_node(plan.child, catalog, statistics, report, dataflow),
+            group_by=plan.group_by,
+            aggregates=plan.aggregates,
+        )
+    if isinstance(plan, CrossJoin):
+        assert plan.left is not None and plan.right is not None
+        return CrossJoin(
+            left=_fold_node(plan.left, catalog, statistics, report, dataflow),
+            right=_fold_node(plan.right, catalog, statistics, report, dataflow),
+        )
+    if isinstance(plan, SubqueryScan):
+        assert plan.child is not None
+        return SubqueryScan(
+            child=_fold_node(plan.child, catalog, statistics, report, dataflow),
+            alias=plan.alias,
+        )
+    return plan
+
+
+def _plan_relations(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    statistics: Optional[StatisticsProvider],
+    dataflow: Any,
+) -> list[Any]:
+    """Seeded relation facts for every scan visible below ``plan``.
+
+    Descends through filters, joins and aggregates (group keys pass
+    base-column values through by name) but treats derived tables as
+    opaque: a SubqueryScan renames its outputs, so binding its alias to
+    inner table stats would be wrong.
+    """
+    out: list[Any] = []
+
+    def visit(node: LogicalPlan) -> None:
+        if isinstance(node, Scan):
+            qualifier = node.alias or node.table_name
+            if catalog.has(node.table_name) and not catalog.is_view(
+                node.table_name
+            ):
+                table = catalog.get_table(node.table_name)
+                stats = (
+                    statistics.exact_stats_for(node.table_name)
+                    if statistics is not None
+                    else None
+                )
+                out.append(
+                    dataflow.relation_facts(
+                        qualifier,
+                        table.name,
+                        [(c.name, c.dtype) for c in table.columns],
+                        stats,
+                    )
+                )
+            else:
+                out.append(dataflow.RelationFacts(qualifier, None))
+            return
+        if isinstance(node, SubqueryScan):
+            out.append(dataflow.RelationFacts(node.alias or "", None))
+            return
+        if isinstance(node, EmptyScan):
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return out
+
+
+def _prunable(plan: LogicalPlan, catalog: Catalog) -> bool:
+    """May this subtree be replaced by an EmptyScan?
+
+    Restricted to plain scan/filter/cross-join shapes over catalog base
+    tables (or the dual relation): scans have no side effects, and the
+    column layout is fully recoverable from the catalog.  Anything with
+    a SubqueryScan, aggregate, UDF-bearing filter, or already-shaped
+    join is left alone — the contradicted conjunct still filters every
+    row out at runtime, just without the shortcut.
+    """
+    for node in walk_plan(plan):
+        if isinstance(node, Scan):
+            if node.table_name == "__dual__":
+                continue
+            if not catalog.has(node.table_name) or catalog.is_view(
+                node.table_name
+            ):
+                return False
+            continue
+        if isinstance(node, (CrossJoin, Filter)):
+            continue
+        return False
+    return True
+
+
+def _subtree_columns(
+    plan: LogicalPlan, catalog: Catalog
+) -> tuple[tuple[Optional[str], str, Any], ...]:
+    """Column layout (qualifier, name, dtype) a prunable subtree yields."""
+    from repro.storage.schema import DataType
+
+    columns: list[tuple[Optional[str], str, Any]] = []
+
+    def visit(node: LogicalPlan) -> None:
+        if isinstance(node, Scan):
+            qualifier = node.alias or node.table_name
+            if node.table_name == "__dual__":
+                columns.append((qualifier, "__dummy__", DataType.INT64))
+                return
+            table = catalog.get_table(node.table_name)
+            for column in table.columns:
+                columns.append((qualifier, column.name, column.dtype))
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return tuple(columns)
+
+
+# ----------------------------------------------------------------------
+# Post-optimization fact annotation (mask-free kernel fast path)
+# ----------------------------------------------------------------------
+def annotate_plan_facts(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    statistics: Optional[StatisticsProvider],
+) -> dict[tuple[str, str], Any]:
+    """Mark provably non-NULL column references on Filter/Project nodes.
+
+    For every Filter predicate and Project item in the *optimized* tree,
+    any referenced base-table column whose exact statistics show zero
+    NULLs is recorded in the node's ``nonnull_columns`` as a lowercase
+    ``(qualifier, name)`` pair; the fused kernels then skip the per-batch
+    NULL-mask scan for those columns.  Returns the ``(table, column) ->
+    fact`` assumptions the annotations rely on (same containment
+    contract as :class:`FoldReport.assumptions`).
+    """
+    from repro.analysis import dataflow
+
+    deps: dict[tuple[str, str], Any] = {}
+    for node in walk_plan(plan):
+        if isinstance(node, Filter) and node.predicate is not None:
+            expressions: list[Expression] = [node.predicate]
+        elif isinstance(node, Project):
+            expressions = [item.expression for item in node.items]
+        else:
+            continue
+        children = node.children()
+        if not children:
+            continue
+        relations = _plan_relations(children[0], catalog, statistics, dataflow)
+        env = dataflow.build_env(relations)
+        proven: set[tuple[Optional[str], str]] = set()
+        for expression in expressions:
+            for ref in referenced_columns(expression):
+                canon = env.canonical(ref)
+                source = env.table_of.get(canon)
+                if source is None:
+                    continue
+                fact = env.facts[canon]
+                if fact.never_null:
+                    qualifier, _, name = canon.rpartition(".")
+                    proven.add((qualifier or None, name))
+                    deps[source] = fact
+        if proven:
+            node.nonnull_columns = frozenset(proven)
+    return deps

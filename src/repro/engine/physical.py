@@ -33,6 +33,7 @@ from repro.engine.logical import (
     AggregateSpec,
     CrossJoin,
     Distinct,
+    EmptyScan,
     Filter,
     HashJoin,
     Limit,
@@ -123,6 +124,8 @@ def execute_plan(plan: LogicalPlan, ctx: ExecutionContext) -> Frame:
 def _execute_node(plan: LogicalPlan, ctx: ExecutionContext) -> Frame:
     if isinstance(plan, Scan):
         return _execute_scan(plan, ctx)
+    if isinstance(plan, EmptyScan):
+        return _execute_empty_scan(plan, ctx)
     if isinstance(plan, SubqueryScan):
         return _execute_subquery_scan(plan, ctx)
     if isinstance(plan, Filter):
@@ -163,6 +166,18 @@ def _execute_scan(plan: Scan, ctx: ExecutionContext) -> Frame:
         return frame
 
 
+def _execute_empty_scan(plan: EmptyScan, ctx: ExecutionContext) -> Frame:
+    """Zero rows with the column layout of the pruned subtree."""
+    return Frame(
+        [
+            FrameColumn(
+                qualifier, name, dtype, np.empty(0, dtype=dtype.numpy_dtype)
+            )
+            for qualifier, name, dtype in plan.columns
+        ]
+    )
+
+
 def _execute_subquery_scan(plan: SubqueryScan, ctx: ExecutionContext) -> Frame:
     assert plan.child is not None
     inner = execute_plan(plan.child, ctx)
@@ -177,6 +192,7 @@ def _execute_filter(plan: Filter, ctx: ExecutionContext) -> Frame:
     frame = execute_plan(plan.child, ctx)
     slots = _aggregate_slots_below(plan.child)
     pool = ctx.parallel
+    nonnull = plan.nonnull_columns
     with ctx.profiler.measure("filter") as token:
         result = frame
         for conjunct in _ordered_conjuncts(plan.predicate, ctx):
@@ -191,7 +207,13 @@ def _execute_filter(plan: Filter, ctx: ExecutionContext) -> Frame:
                 pieces = pool.run_rows(
                     result.num_rows,
                     lambda start, stop, conjunct=conjunct, result=result: (
-                        _filter_mask(conjunct, result.slice(start, stop), ctx, None)
+                        _filter_mask(
+                            conjunct,
+                            result.slice(start, stop),
+                            ctx,
+                            None,
+                            nonnull,
+                        )
                     ),
                     query=ctx.query,
                     faults=ctx.faults,
@@ -199,7 +221,7 @@ def _execute_filter(plan: Filter, ctx: ExecutionContext) -> Frame:
                 )
                 mask = np.concatenate(pieces)
             else:
-                mask = _filter_mask(conjunct, result, ctx, slots)
+                mask = _filter_mask(conjunct, result, ctx, slots, nonnull)
             result = result.filter(mask)
         token.record_rows(result.num_rows)
     return result
@@ -210,10 +232,11 @@ def _filter_mask(
     frame: Frame,
     ctx: ExecutionContext,
     slots: Optional[dict[str, str]],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> np.ndarray:
     """One conjunct's boolean mask: fused kernel first, interpreter after."""
     if slots is None and ctx.kernels is not None:
-        mask = ctx.kernels.mask(conjunct, frame)
+        mask = ctx.kernels.mask(conjunct, frame, nonnull)
         if mask is not None:
             return mask
     return ctx.evaluator(frame, slots).evaluate_mask(conjunct)
@@ -307,7 +330,11 @@ def _execute_project(plan: Project, ctx: ExecutionContext) -> Frame:
             pieces = pool.run_rows(
                 frame.num_rows,
                 lambda start, stop: _project_frame(
-                    plan.items, frame.slice(start, stop), ctx, None
+                    plan.items,
+                    frame.slice(start, stop),
+                    ctx,
+                    None,
+                    plan.nonnull_columns,
                 ),
                 query=ctx.query,
                 faults=ctx.faults,
@@ -315,7 +342,9 @@ def _execute_project(plan: Project, ctx: ExecutionContext) -> Frame:
             )
             result = concat_frames(pieces)
         else:
-            result = _project_frame(plan.items, frame, ctx, slots or None)
+            result = _project_frame(
+                plan.items, frame, ctx, slots or None, plan.nonnull_columns
+            )
         token.record_rows(result.num_rows)
     return result
 
@@ -325,6 +354,7 @@ def _project_frame(
     frame: Frame,
     ctx: ExecutionContext,
     slots: Optional[dict[str, str]],
+    nonnull: frozenset[tuple[str, str]] = frozenset(),
 ) -> Frame:
     """Evaluate the projection list over one frame (or frame slice)."""
     evaluator = ctx.evaluator(frame, slots)
@@ -335,7 +365,7 @@ def _project_frame(
             continue
         vector = None
         if slots is None and ctx.kernels is not None:
-            vector = ctx.kernels.vector(item.expression, frame)
+            vector = ctx.kernels.vector(item.expression, frame, nonnull)
         if vector is None:
             vector = evaluator.evaluate(item.expression)
         data = vector.materialize(frame.num_rows)

@@ -21,11 +21,17 @@ from repro.storage.table import Table
 
 @dataclass
 class ColumnStats:
-    """Summary statistics for one column."""
+    """Summary statistics for one column.
+
+    ``min_value``/``max_value`` cover the *non-NULL* values only (NULLs
+    carry no value); ``null_count`` records how many rows are NULL so
+    the dataflow layer can prove definite (non-)nullability.
+    """
 
     distinct: int
     min_value: Optional[float] = None
     max_value: Optional[float] = None
+    null_count: int = 0
 
 
 @dataclass
@@ -58,13 +64,22 @@ def compute_table_stats(table: Table) -> TableStats:
             columns[column.name.lower()] = ColumnStats(distinct=len(column))
             continue
         distinct = column.distinct_count()
+        null_mask = column.null_mask()
+        null_count = int(null_mask.sum()) if null_mask is not None else 0
         min_value = max_value = None
-        if column.dtype.is_numeric and len(column) > 0:
+        if column.dtype.is_numeric and len(column) > null_count:
             data = column.data
+            if null_mask is not None:
+                # NULLs are NaN (float) or sentinel values (fixed-width)
+                # in the backing array; either would corrupt the bounds.
+                data = data[~null_mask]
             min_value = float(np.min(data))
             max_value = float(np.max(data))
         columns[column.name.lower()] = ColumnStats(
-            distinct=distinct, min_value=min_value, max_value=max_value
+            distinct=distinct,
+            min_value=min_value,
+            max_value=max_value,
+            null_count=null_count,
         )
     return TableStats(row_count=table.num_rows, columns=columns)
 
@@ -81,11 +96,22 @@ class StatisticsProvider:
         self._catalog = catalog
         self._cache: dict[str, TableStats] = {}
         self._overrides: dict[str, TableStats] = {}
+        self._versions: dict[str, int] = {}
 
     def stats_for(self, table_name: str) -> Optional[TableStats]:
         key = table_name.lower()
         if key in self._overrides:
             return self._overrides[key]
+        return self.exact_stats_for(table_name)
+
+    def exact_stats_for(self, table_name: str) -> Optional[TableStats]:
+        """Exact stats only, never overrides.
+
+        Overrides are *estimates* injected for cost-model experiments;
+        semantic consumers (the dataflow lattice, predicate folding)
+        must never treat them as truths about stored data.
+        """
+        key = table_name.lower()
         if key in self._cache:
             return self._cache[key]
         if not self._catalog.has(table_name) or self._catalog.is_view(table_name):
@@ -100,8 +126,21 @@ class StatisticsProvider:
     def clear_overrides(self) -> None:
         self._overrides.clear()
 
+    def version(self, table_name: str) -> int:
+        """Monotonic counter bumped on every invalidation of a table.
+
+        Plans whose rewrites were justified by statistics record the
+        versions they read; a mismatch on a later cache hit forces a
+        containment re-check (see ``Database._optimized_plan``).
+        """
+        return self._versions.get(table_name.lower(), 0)
+
     def invalidate(self, table_name: str) -> None:
-        self._cache.pop(table_name.lower(), None)
+        key = table_name.lower()
+        self._cache.pop(key, None)
+        self._versions[key] = self._versions.get(key, 0) + 1
 
     def invalidate_all(self) -> None:
+        for key in list(self._cache) + list(self._versions):
+            self._versions[key] = self._versions.get(key, 0) + 1
         self._cache.clear()

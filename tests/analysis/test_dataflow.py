@@ -1,0 +1,282 @@
+"""Unit tests for the abstract-interpretation dataflow pass.
+
+Covers the three lattices (constant, interval, nullability) and the
+Kleene truth transfer, the assume-true refinement that powers
+contradiction detection, expression folding fidelity (rewrites must be
+runtime-exact, so several cases assert *non*-folding), and the
+statistics-seeded environment.
+"""
+
+import pytest
+
+from repro.analysis import dataflow
+from repro.analysis.dataflow import (
+    TOP,
+    Fact,
+    Interval,
+    Nullability,
+    NoteKind,
+    Truth,
+    analyze_expression,
+    fold_conjuncts,
+    fold_expression,
+    output_facts,
+    refine,
+)
+from repro.engine import Database
+from repro.sql import parse_statement
+from repro.sql.ast_nodes import ColumnRef, Literal
+from repro.storage.schema import DataType
+
+
+def expr(sql_fragment: str):
+    return parse_statement(f"SELECT {sql_fragment} FROM t").items[0].expression
+
+
+def where(sql_condition: str):
+    return parse_statement(f"SELECT 1 FROM t WHERE {sql_condition}").where
+
+
+def fact_of(sql_fragment: str) -> Fact:
+    return analyze_expression(expr(sql_fragment))
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (x INT64, y FLOAT64, s STRING)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 1.5, 'a'), (5, 2.5, 'b'), (9, NULL, 'c')"
+    )
+    return database
+
+
+class TestInterval:
+    def test_intersect_and_disjoint(self):
+        a = Interval(0, 10)
+        b = Interval(5, 20)
+        got = a.intersect(b)
+        assert (got.lo, got.hi) == (5, 10)
+        assert not a.disjoint(b)
+        assert a.disjoint(Interval(11, 12))
+
+    def test_open_bounds(self):
+        a = Interval(0, 5, hi_open=True)  # [0, 5)
+        b = Interval(5, 9)  # [5, 9]
+        assert a.disjoint(b)
+        assert a.all_lt(b)
+
+    def test_arithmetic(self):
+        a = Interval(1, 2)
+        b = Interval(10, 20)
+        assert (a.add(b).lo, a.add(b).hi) == (11, 22)
+        assert (b.sub(a).lo, b.sub(a).hi) == (8, 19)
+        m = Interval(-2, 3).mul(Interval(4, 5))
+        assert (m.lo, m.hi) == (-10, 15)
+
+    def test_unbounded_propagates(self):
+        assert Interval(None, 5).add(Interval(1, 1)).lo is None
+        assert dataflow.UNBOUNDED.unbounded
+
+
+class TestTruthKleene:
+    T = Truth(True, False, False)
+    F = Truth(False, True, False)
+    U = Truth(False, False, True)
+
+    def test_and_truth_table(self):
+        assert Truth.and_(self.T, self.U) == self.U
+        assert Truth.and_(self.F, self.U) == self.F
+        assert Truth.and_(self.U, self.U) == self.U
+        assert Truth.and_(self.T, self.T) == self.T
+
+    def test_or_truth_table(self):
+        assert Truth.or_(self.T, self.U) == self.T
+        assert Truth.or_(self.F, self.U) == self.U
+        assert Truth.or_(self.U, self.U) == self.U
+
+    def test_not_swaps_but_keeps_null(self):
+        assert Truth.not_(self.U) == self.U
+        assert Truth.not_(self.T) == self.F
+
+
+class TestConstantLattice:
+    def test_arithmetic_folds(self):
+        fact = fact_of("1 + 2 * 3")
+        assert fact.const == 7
+        assert fact.nullability is Nullability.NEVER
+
+    def test_rewrite_to_literal(self):
+        folded, fact = fold_expression(expr("1 + 2 * 3"), dataflow.Env(), [])
+        assert isinstance(folded, Literal)
+        assert folded.value == 7
+        assert fact.const == 7
+
+    def test_string_concat_folds(self):
+        folded, fact = fold_expression(
+            expr("'ab' || 'cd'"), dataflow.Env(), []
+        )
+        assert fact.const == "abcd"
+        assert isinstance(folded, Literal)
+        assert folded.value == "abcd"
+
+    def test_concat_with_null_is_null(self):
+        fact = fact_of("'ab' || NULL")
+        assert fact.nullability is Nullability.ALWAYS
+
+    def test_null_propagates(self):
+        fact = fact_of("NULL + 1")
+        assert fact.const is None
+        assert fact.nullability is Nullability.ALWAYS
+
+    def test_modulo_by_zero_never_folds(self):
+        # The engine raises on % 0; folding it away would hide the error.
+        notes = []
+        folded, fact = fold_expression(expr("7 % 0"), dataflow.Env(), notes)
+        assert not isinstance(folded, Literal)
+        assert any(n.kind is NoteKind.DIVISION_BY_ZERO for n in notes)
+
+    def test_const_division_by_zero_is_null(self):
+        # Scalar path: the interpreter yields NaN == NULL for 7 / 0.
+        fact = fact_of("7 / 0")
+        assert fact.nullability is Nullability.ALWAYS
+
+    def test_column_division_by_zero_stays_opaque(self):
+        # Vector path: x / 0 is +-inf for nonzero rows, NULL only for
+        # zero or NULL rows — claiming always-NULL would let folding
+        # prune WHERE x / 0 > 1, which the engine satisfies at +inf.
+        notes = []
+        fact = analyze_expression(expr("x / 0"), None, notes)
+        assert fact.nullability is Nullability.MAYBE
+        assert fact.const is TOP
+        assert any(n.kind is NoteKind.DIVISION_BY_ZERO for n in notes)
+
+    def test_int64_overflow_not_folded_to_int(self):
+        notes = []
+        fact = analyze_expression(
+            expr("9223372036854775807 + 1"), None, notes
+        )
+        assert fact.const is TOP  # no int literal can spell the result
+        assert any(n.kind is NoteKind.INT64_OVERFLOW for n in notes)
+
+    def test_aggregates_are_opaque(self):
+        fact = fact_of("sum(x) + 0")
+        assert fact.const is TOP
+
+
+class TestComparisons:
+    def test_interval_proves_comparison(self):
+        env = dataflow.Env()
+        refined = refine(env, where("x > 5"))
+        fact = analyze_expression(where("x > 3"), refined)
+        assert fact.truth.can_true and not fact.truth.can_false
+
+    def test_null_comparison_never_true(self):
+        fact = analyze_expression(where("x = NULL"))
+        assert not fact.truth.can_true
+
+    def test_int_never_equals_fraction(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT64)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        statement = parse_statement("SELECT 1 FROM t WHERE x = 1.5")
+        env, _ = dataflow.statement_env(statement, db.catalog, db.statistics)
+        fact = analyze_expression(statement.where, env)
+        assert not fact.truth.can_true
+
+
+class TestFoldConjuncts:
+    def test_relational_contradiction(self):
+        fold = fold_conjuncts(where("x > 5 AND x < 3"))
+        assert [o.status for o in fold.outcomes] == ["keep", "never_true"]
+        assert fold.contradiction is not None
+
+    def test_tautology_dropped(self):
+        fold = fold_conjuncts(where("1 = 1"))
+        assert [o.status for o in fold.outcomes] == ["always_true"]
+
+    def test_refinement_justified_redundancy(self):
+        fold = fold_conjuncts(where("x >= 1 AND x >= 0"))
+        assert [o.status for o in fold.outcomes] == ["keep", "always_true"]
+
+    def test_surviving_keeps_unknowns(self):
+        fold = fold_conjuncts(where("x > 5 AND y < 2.0"))
+        assert len(fold.surviving()) == 2
+
+    def test_no_false_contradiction_on_overlap(self):
+        fold = fold_conjuncts(where("x > 3 AND x < 5"))
+        assert fold.contradiction is None
+
+
+class TestRefine:
+    def test_comparison_implies_non_null(self):
+        env = dataflow.Env()
+        refined = refine(env, where("x > 5"))
+        fact = refined.lookup(ColumnRef("x"))
+        assert fact.nullability is Nullability.NEVER
+
+    def test_equality_propagates_constant(self):
+        refined = refine(dataflow.Env(), where("x = 7"))
+        fact = refined.lookup(ColumnRef("x"))
+        assert fact.const == 7
+
+    def test_infeasible_returns_none(self):
+        env = dataflow.Env()
+        refined = refine(env, where("x > 5"))
+        assert refine(refined, where("x < 3")) is None
+
+
+class TestStatisticsSeeding:
+    def test_bounds_and_nullability_from_stats(self, db):
+        statement = parse_statement("SELECT x, y FROM t")
+        env, _ = dataflow.statement_env(statement, db.catalog, db.statistics)
+        x = env.lookup(ColumnRef("x"))
+        assert (x.interval.lo, x.interval.hi) == (1, 9)
+        assert x.nullability is Nullability.NEVER
+        y = env.lookup(ColumnRef("y"))
+        assert y.nullability is Nullability.MAYBE
+
+    def test_output_facts_apply_where_refinement(self, db):
+        statement = parse_statement("SELECT x FROM t WHERE x > 4")
+        facts = output_facts(statement, db.catalog, db.statistics)
+        assert len(facts) == 1
+        name, fact = facts[0]
+        assert name == "x"
+        assert fact.interval.lo == 4 and fact.interval.lo_open
+        assert fact.nullability is Nullability.NEVER
+
+    def test_star_expansion(self, db):
+        statement = parse_statement("SELECT * FROM t")
+        facts = output_facts(statement, db.catalog, db.statistics)
+        assert [name for name, _ in facts] == ["x", "y", "s"]
+
+    def test_to_dict_payload(self, db):
+        statement = parse_statement("SELECT x, 1 + 1 AS c FROM t")
+        facts = dict(output_facts(statement, db.catalog, db.statistics))
+        payload = facts["c"].to_dict()
+        assert payload["const"] == "2"
+        assert payload["nullable"] == "no"
+        assert facts["x"].to_dict()["range"] == [1, 9]
+
+
+class TestFactContainment:
+    def test_narrower_interval_is_contained(self):
+        assumed = Fact(
+            interval=Interval(0, 100), nullability=Nullability.NEVER
+        )
+        fresh = Fact(interval=Interval(5, 50), nullability=Nullability.NEVER)
+        assert assumed.contains(fresh)
+
+    def test_wider_interval_escapes(self):
+        assumed = Fact(
+            interval=Interval(0, 100), nullability=Nullability.NEVER
+        )
+        fresh = Fact(interval=Interval(5, 200), nullability=Nullability.NEVER)
+        assert not assumed.contains(fresh)
+
+    def test_first_null_escapes_never(self):
+        assumed = Fact(
+            interval=Interval(0, 100), nullability=Nullability.NEVER
+        )
+        fresh = Fact(interval=Interval(0, 100), nullability=Nullability.MAYBE)
+        assert not assumed.contains(fresh)

@@ -166,7 +166,10 @@ class TestL005NudfOrdering:
 
 class TestReportSurface:
     def test_rule_catalog_is_complete(self):
-        assert sorted(LINT_RULES) == ["L001", "L002", "L003", "L004", "L005", "L006"]
+        assert sorted(LINT_RULES) == [
+            "L001", "L002", "L003", "L004", "L005",
+            "L006", "L007", "L008", "L009", "L010",
+        ]
 
     def test_error_and_warning_coexist(self, db):
         report = lint(
@@ -279,3 +282,133 @@ class TestL006NullComparison:
     def test_works_without_catalog(self):
         report = analyze_query("SELECT * FROM anywhere WHERE x = NULL")
         assert codes(report) == ["L006"]
+
+
+class TestL007ContradictoryPredicate:
+    def test_relational_contradiction(self, db):
+        # Unknown columns carry no statistics: this is the pure
+        # refinement-driven case (v > 5 makes v < 3 infeasible).
+        report = lint(db, "SELECT * FROM x WHERE v > 5 AND v < 3")
+        finding = report.warnings[0]
+        assert finding.code == "L007"
+        assert "never be TRUE" in finding.message
+
+    def test_statistics_driven_contradiction(self, db):
+        # a holds 1..3, so a > 10 is contradicted by the stats alone.
+        report = lint(db, "SELECT * FROM t WHERE a > 10")
+        assert codes(report) == ["L007"]
+
+    def test_span_points_at_conjunct(self, db):
+        sql = "SELECT * FROM x WHERE v > 5 AND v < 3"
+        report = lint(db, sql)
+        finding = report.warnings[0]
+        assert sql[finding.span.start : finding.span.end] == "v < 3"
+
+    def test_only_first_contradiction_reported(self, db):
+        # Conjuncts after an infeasible one are judged under an
+        # impossible assumption; reporting them would be noise.
+        sql = "SELECT * FROM x WHERE v > 5 AND v < 3 AND v = 4"
+        report = lint(db, sql)
+        assert [f.code for f in report.warnings] == ["L007"]
+
+    def test_lossy_equality_wins_over_l007(self, db):
+        # a = 1.5 is both lossy (L001) and contradictory; the more
+        # specific diagnosis is the one reported.
+        report = lint(db, "SELECT * FROM t WHERE a = 1.5")
+        assert codes(report) == ["L001"]
+
+    def test_is_null_idiom_never_flagged(self, db):
+        # b has no NULLs today, but IS NULL is the correct idiom and
+        # the emptiness is data-dependent: stay quiet.
+        assert codes(lint(db, "SELECT * FROM t WHERE b IS NULL")) == []
+
+    def test_satisfiable_range_ok(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE a > 1 AND a < 3")) == []
+
+
+class TestL008TautologicalPredicate:
+    def test_constant_tautology(self, db):
+        report = lint(db, "SELECT * FROM t WHERE 1 = 1")
+        assert codes(report) == ["L008"]
+        assert "always TRUE" in report.warnings[0].message
+
+    def test_statistics_driven_tautology(self, db):
+        # a holds 1..3 with no NULLs, so a >= 0 always passes.
+        report = lint(db, "SELECT * FROM t WHERE a >= 0")
+        assert codes(report) == ["L008"]
+
+    def test_span_points_at_conjunct(self, db):
+        sql = "SELECT * FROM t WHERE a >= 0 AND b < 10.0"
+        report = lint(db, sql)
+        finding = report.warnings[0]
+        assert finding.code == "L008"
+        assert sql[finding.span.start : finding.span.end] == "a >= 0"
+
+    def test_is_not_null_idiom_never_flagged(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE b IS NOT NULL")) == []
+
+    def test_informative_predicate_ok(self, db):
+        assert codes(lint(db, "SELECT * FROM t WHERE a >= 2")) == []
+
+
+class TestL009DivisionByZero:
+    def test_float_division(self, db):
+        report = lint(db, "SELECT b / 0 FROM t")
+        finding = report.warnings[0]
+        assert finding.code == "L009"
+        assert "always zero" in finding.message
+
+    def test_modulo(self, db):
+        report = lint(db, "SELECT b % 0 FROM t")
+        assert codes(report) == ["L009"]
+
+    def test_span_points_at_expression(self, db):
+        sql = "SELECT a, b / 0 FROM t"
+        report = lint(db, sql)
+        finding = report.warnings[0]
+        assert sql[finding.span.start : finding.span.end] == "b / 0"
+
+    def test_reported_once_per_expression(self, db):
+        report = lint(db, "SELECT b / 0 FROM t")
+        assert codes(report) == ["L009"]
+
+    def test_nonzero_divisor_ok(self, db):
+        assert codes(lint(db, "SELECT b / 2 FROM t")) == []
+
+
+class TestL010IntegerOverflow:
+    def test_addition_near_max(self, db):
+        report = lint(db, "SELECT a + 9223372036854775807 FROM t")
+        finding = report.warnings[0]
+        assert finding.code == "L010"
+        assert "int64" in finding.message.lower()
+
+    def test_span_covers_arithmetic(self, db):
+        sql = "SELECT a + 9223372036854775807 FROM t"
+        report = lint(db, sql)
+        finding = report.warnings[0]
+        assert (
+            sql[finding.span.start : finding.span.end]
+            == "a + 9223372036854775807"
+        )
+
+    def test_small_arithmetic_ok(self, db):
+        assert codes(lint(db, "SELECT a + 1000 FROM t")) == []
+
+    def test_float_arithmetic_ok(self, db):
+        assert codes(lint(db, "SELECT b * 1e18 FROM t")) == []
+
+
+class TestL006BeyondWhere:
+    """Regression: the linter walks HAVING and ORDER BY too."""
+
+    def test_having_null_comparison(self, db):
+        report = lint(db, "SELECT g FROM t GROUP BY g HAVING g = NULL")
+        assert "L006" in codes(report)
+
+    def test_order_by_null_comparison(self, db):
+        report = lint(db, "SELECT a FROM t ORDER BY a = NULL")
+        assert "L006" in codes(report)
+        sql = "SELECT a FROM t ORDER BY a = NULL"
+        finding = next(f for f in report.warnings if f.code == "L006")
+        assert sql[finding.span.start : finding.span.end] == "a = NULL"

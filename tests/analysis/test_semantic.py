@@ -401,3 +401,45 @@ class TestNullabilityInference:
         ndb.execute("CREATE TABLE z (q Int64)")
         schema = self._schema(ndb, "SELECT q FROM z")
         assert schema.columns[0].nullable is True
+
+
+#: One query per analyzer raise path, labelled with the expected code.
+#: The guarantee under test: every S001-S012 rejection carries a
+#: non-empty source span, so editors and ``repro lint`` can always
+#: point at the offending text.
+SPAN_BATTERY = [
+    ("S001", "SELECT missing FROM t"),
+    ("S001", "SELECT t.missing FROM t"),
+    ("S001", "SELECT z.a FROM t"),
+    ("S001", "SELECT z.* FROM t"),
+    ("S002", "SELECT a FROM t JOIN u ON t.a = u.a"),
+    ("S003", "SELECT * FROM t WHERE a = 'x'"),
+    ("S003", "SELECT * FROM t WHERE g < 3.5"),
+    ("S004", "SELECT g + 1 FROM t"),
+    ("S004", "SELECT -g FROM t"),
+    ("S005", "SELECT a FROM t WHERE sum(a) > 1"),
+    ("S005", "SELECT sum(sum(a)) FROM t"),
+    ("S006", "SELECT nudf_one(a, b) FROM t"),
+    ("S007", "SELECT a AS x FROM t GROUP BY x"),
+    ("S008", "SELECT nosuchfn(a) FROM t"),
+    ("S009", "SELECT (SELECT a, b FROM t)"),
+    ("S010", "SELECT * FROM missing_table"),
+    ("S011", "SELECT nudf_str(a) FROM t"),
+    ("S012", "SELECT sum(*) FROM t"),
+    ("S012", "SELECT a FROM t WHERE * > 1"),
+    ("S012", "SELECT length(*) FROM t"),
+]
+
+
+class TestEveryErrorCarriesSpan:
+    @pytest.mark.parametrize("code,sql", SPAN_BATTERY)
+    def test_span_attached(self, db, code, sql):
+        error = reject(db, sql)
+        assert error.code == code
+        assert error.span is not None, f"{code} lost its span: {sql!r}"
+        assert error.span.end > error.span.start
+        assert sql[error.span.start : error.span.end].strip()
+
+    def test_battery_covers_all_codes(self):
+        covered = {code for code, _ in SPAN_BATTERY}
+        assert covered == {f"S{n:03d}" for n in range(1, 13)}

@@ -201,7 +201,7 @@ class TestDatabaseIntegration:
         root = tracer.last_trace()
         assert root.name == "query"
         stages = [c.name for c in root.children]
-        assert stages == ["parse", "analyze", "plan", "optimize", "execute"]
+        assert stages == ["parse", "analyze", "plan", "fold", "optimize", "execute"]
         execute = root.find("execute")
         assert execute.attributes["rows"] == 1
         assert root.find("operator:scan") is not None
