@@ -10,6 +10,8 @@ Usage::
     python -m repro stats [--format F]       # metrics after a sample workload
     python -m repro lint QUERY_OR_FILE ...   # static analysis, no execution
     python -m repro chaos [--quick]          # seeded fault-injection report
+    python -m repro serve [--port P]         # line-JSON SQL server
+    python -m repro loadgen [--quick]        # serving-layer load benchmark
 
 ``-v``/``-vv`` raises log verbosity (INFO/DEBUG) for any subcommand.
 
@@ -176,6 +178,72 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=5.0,
         help="per-query deadline in seconds (default 5)",
     )
+    chaos_parser.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help=(
+            "run the workload through N concurrent server sessions "
+            "instead of one embedded database (default 1)"
+        ),
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the IoT dataset over a line-JSON TCP socket",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7878)
+    serve_parser.add_argument("--scale", type=int, default=1)
+    serve_parser.add_argument("--seed", type=int, default=42)
+    serve_parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="query slots before admission queues (default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="queued admissions before shedding R006 (default 16)",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help=(
+            "run the steady + overload serving scenarios and write "
+            "BENCH_serve.json"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="trim to 4 sessions x 12 requests (the CI smoke mode)",
+    )
+    loadgen_parser.add_argument("--sessions", type=int, default=8)
+    loadgen_parser.add_argument("--requests", type=int, default=30)
+    loadgen_parser.add_argument("--scale", type=int, default=1)
+    loadgen_parser.add_argument("--seed", type=int, default=1234)
+    loadgen_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-query deadline in seconds (default 10)",
+    )
+    loadgen_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help=(
+            "fault-plan string routed through every session "
+            "(e.g. 'seed=7; udf.batch_call:transient@0.5#3')"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        help="report sidecar path (default BENCH_serve.json)",
+    )
 
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
@@ -198,6 +266,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     return 2  # pragma: no cover - argparse guards this
 
 
@@ -565,9 +637,56 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
         timeout_s=args.timeout,
         quick=args.quick,
+        sessions=args.sessions,
     )
     print(report.to_text())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.loadgen import _install_workload
+    from repro.serve.net import serve_forever
+    from repro.serve.server import Server, ServerConfig
+
+    server = Server(
+        ServerConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
+        )
+    )
+    _install_workload(server, args.scale, args.seed)
+    serve_forever(server, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen, write_sidecar
+
+    report = run_loadgen(
+        LoadgenConfig(
+            sessions=args.sessions,
+            requests_per_session=args.requests,
+            seed=args.seed,
+            scale=args.scale,
+            timeout_s=args.timeout,
+            fault_plan=args.fault_plan,
+            quick=args.quick,
+        )
+    )
+    path = write_sidecar(report, args.output)
+    print(json.dumps(report["scenarios"], indent=2, sort_keys=True))
+    overload = report["scenarios"]["overload"]
+    print(
+        f"wrote {path}: steady p50 "
+        f"{report['scenarios']['steady']['p50_ms']}ms, overload shed "
+        f"{overload['shed']}/{overload['requests']} "
+        f"({overload['untyped_errors']} untyped)"
+    )
+    # The overload scenario is the point: a run that never shed and never
+    # surfaced an untyped error proves nothing, so fail loudly in CI.
+    return 1 if overload["untyped_errors"] else 0
 
 
 def _cmd_shell(scale: int, seed: int) -> int:

@@ -225,15 +225,31 @@ class Database:
         query_memory_bytes: int = 0,
         udf_breaker_threshold: int = 5,
         udf_breaker_reset_s: float = 30.0,
+        catalog: Optional[Catalog] = None,
+        functions: Optional[FunctionRegistry] = None,
+        udfs: Optional[UdfRegistry] = None,
+        infer_cache: Any = None,
+        kernel_cache: Optional[KernelCache] = None,
+        parallel_pool: Optional[MorselPool] = None,
     ) -> None:
-        self.catalog = Catalog()
-        self.functions = FunctionRegistry()
-        self.udfs = UdfRegistry()
+        #: Shared-component injection: the serving layer creates one
+        #: ``Database`` facade per session, all sharing the server's
+        #: catalog, function registry, UDF registry view, inference
+        #: cache, kernel cache, and morsel pool.  Injected components
+        #: are borrowed — :meth:`close` only shuts down what this
+        #: instance created itself.
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.functions = functions if functions is not None else FunctionRegistry()
+        self._owns_udfs = udfs is None
+        self.udfs = udfs if udfs is not None else UdfRegistry()
         self.statistics = StatisticsProvider(self.catalog)
         #: Content-addressed nUDF result cache; ``udf_cache_bytes=0``
         #: (the default) disables it, so repeated-input experiments that
         #: deliberately re-run inference still measure the real thing.
-        self.infer_cache = make_cache(udf_cache_bytes)
+        self._owns_infer_cache = infer_cache is None
+        self.infer_cache = (
+            make_cache(udf_cache_bytes) if infer_cache is None else infer_cache
+        )
         self.udfs.attach_cache(self.infer_cache)
         #: Shared morsel executor for parallel UDF batches; one worker
         #: means in-line execution (no threads, no dispatch overhead).
@@ -252,12 +268,17 @@ class Database:
         #: environment variable so CI and the chaos harness can turn
         #: parallelism on without code changes; one worker means every
         #: operator runs inline and no threads exist.
-        if workers is None:
-            workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
-        self.workers = max(1, int(workers))
-        self.parallel = MorselPool(
-            self.workers, morsel_rows, metrics=metrics
-        )
+        self._owns_parallel = parallel_pool is None
+        if parallel_pool is not None:
+            self.workers = parallel_pool.workers
+            self.parallel = parallel_pool
+        else:
+            if workers is None:
+                workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+            self.workers = max(1, int(workers))
+            self.parallel = MorselPool(
+                self.workers, morsel_rows, metrics=metrics
+            )
         #: When the engine pool is live and no dedicated UDF pool was
         #: requested, UDF morsel dispatch shares the engine's executor.
         #: This cannot deadlock: expressions containing UDF calls never
@@ -276,7 +297,10 @@ class Database:
         #: UDF registry generation.  On by default; ``fused_kernels=False``
         #: forces the interpreting evaluator everywhere (the
         #: fused-vs-interpreted differential tests rely on this switch).
-        self.kernels = KernelCache(udfs=self.udfs) if fused_kernels else None
+        if kernel_cache is not None:
+            self.kernels: Optional[KernelCache] = kernel_cache
+        else:
+            self.kernels = KernelCache(udfs=self.udfs) if fused_kernels else None
         #: The instrumentation spine.  A disabled tracer hands out the
         #: shared null span, so the default costs one attribute check at
         #: the few span sites on the query path (never per row).
@@ -296,7 +320,11 @@ class Database:
             fault_plan = os.environ.get("FAULT_PLAN") or None
         self.faults = make_injector(fault_plan)
         self.udfs.attach_faults(self.faults)
-        if self.infer_cache is not None:
+        if self.infer_cache is not None and (
+            self._owns_infer_cache or self.faults is not None
+        ):
+            # Never clear fault wiring on a *shared* cache: a session
+            # created without a plan must not detach the server's.
             self.infer_cache.attach_faults(self.faults)
         #: Per-query materialization budget; 0 disables admission control.
         self.query_memory_bytes = max(0, int(query_memory_bytes))
@@ -305,10 +333,14 @@ class Database:
         #: it, so one deadline covers a whole collaborative query.
         self._active_query: Optional[QueryContext] = None
         self.udfs.attach_query_provider(lambda: self._active_query)
-        self.udfs.configure_breakers(
-            failure_threshold=udf_breaker_threshold,
-            reset_timeout_s=udf_breaker_reset_s,
-        )
+        if self._owns_udfs:
+            # Breaker state is shared across registry views; only the
+            # owner sets thresholds so sessions can't reconfigure the
+            # server's breakers behind each other's backs.
+            self.udfs.configure_breakers(
+                failure_threshold=udf_breaker_threshold,
+                reset_timeout_s=udf_breaker_reset_s,
+            )
         self.optimizer_config = optimizer_config or OptimizerConfig()
         #: The ExecutionContext of the statement currently executing, so
         #: nested sub-plan execution (scalar subqueries, UDF-internal
@@ -366,6 +398,7 @@ class Database:
         *,
         timeout_s: Optional[float] = None,
         cancel_token: Optional[CancellationToken] = None,
+        query_context: Optional[QueryContext] = None,
     ) -> Result:
         """Parse and run a single SQL statement.
 
@@ -388,10 +421,16 @@ class Database:
                 "Statements executed via Database.execute",
             ).inc()
         if self._active_query is not None or (
-            timeout_s is None and cancel_token is None
+            timeout_s is None and cancel_token is None and query_context is None
         ):
             return self._execute_statement(sql)
-        qctx = QueryContext(timeout_s=timeout_s, cancel_token=cancel_token)
+        # The serving layer builds the QueryContext *before* admission
+        # queueing so time spent waiting for a slot charges the deadline.
+        qctx = (
+            query_context
+            if query_context is not None
+            else QueryContext(timeout_s=timeout_s, cancel_token=cancel_token)
+        )
         self._active_query = qctx
         try:
             return self._execute_statement(sql)
@@ -538,7 +577,8 @@ class Database:
         if self._udf_executor_shared:
             self.udfs.attach_executor(None)
             self._udf_executor_shared = False
-        self.parallel.shutdown()
+        if self._owns_parallel:
+            self.parallel.shutdown()
 
     # ------------------------------------------------------------------
     # Dispatch

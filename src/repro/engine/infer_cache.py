@@ -139,6 +139,107 @@ class CacheSnapshot:
         }
 
 
+class _Flight:
+    """One in-progress computation a group of callers shares."""
+
+    __slots__ = ("event", "exception", "owner", "followers")
+
+    def __init__(self, owner: int) -> None:
+        self.event = threading.Event()
+        self.exception: Optional[BaseException] = None
+        self.owner = owner
+        self.followers = 0
+
+
+class SingleFlight:
+    """Deduplicate concurrent identical computations (leader/follower).
+
+    N sessions issuing the same inference batch at the same moment would
+    each miss the cache and each pay a model forward pass.  Single-flight
+    collapses them: the first caller for a group key becomes the
+    *leader* and runs the model; everyone else arriving before the
+    leader finishes becomes a *follower* and blocks on the leader's
+    completion, then reads the result out of the cache.  A leader
+    failure propagates its exception to every follower of that flight
+    (they re-raise rather than stampeding the failed model).
+
+    Re-entrancy is safe: a caller that is already the leader of a key
+    (nested statements on one thread) bypasses the flight instead of
+    deadlocking on itself.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[bytes, _Flight] = {}
+        #: Cumulative counters (exposed via cache stats / metrics).
+        self.leaders = 0
+        self.followers = 0
+
+    def begin(self, key: bytes) -> tuple[str, Optional[_Flight]]:
+        """Join the flight for ``key``.
+
+        Returns ``("leader", flight)`` — caller must compute and then
+        :meth:`finish`; ``("follower", flight)`` — caller must
+        :meth:`wait`; or ``("bypass", None)`` — caller already leads
+        this key on this thread and computes inline.
+        """
+        ident = threading.get_ident()
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight(ident)
+                self._flights[key] = flight
+                self.leaders += 1
+                return "leader", flight
+            if flight.owner == ident:
+                return "bypass", None
+            flight.followers += 1
+            self.followers += 1
+            return "follower", flight
+
+    def finish(
+        self,
+        key: bytes,
+        flight: _Flight,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        """Leader-side completion; wakes every follower of this flight."""
+        with self._lock:
+            flight.exception = exception
+            self._flights.pop(key, None)
+        flight.event.set()
+
+    def wait(self, flight: _Flight, query: Any = None, poll_s: float = 0.05) -> None:
+        """Follower-side block until the leader finishes.
+
+        Polls so an armed :class:`~repro.engine.qcontext.QueryContext`
+        still observes its deadline/cancellation while waiting; re-raises
+        the leader's exception on failed flights.
+        """
+        while not flight.event.wait(poll_s):
+            if query is not None:
+                query.check()
+        if flight.exception is not None:
+            raise flight.exception
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+
+def group_key(namespace: str, keys: Iterable[bytes]) -> bytes:
+    """Single-flight group identity: namespace + the *set* of row keys.
+
+    Sorted so morsel/batch ordering differences between two identical
+    queries still collapse into one flight.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(namespace.lower().encode())
+    for key in sorted(set(keys)):
+        digest.update(key)
+    return digest.digest()
+
+
 class InferenceCache:
     """Memory-budgeted, content-hashed LRU over batched-UDF results."""
 
@@ -160,6 +261,8 @@ class InferenceCache:
         self._faults: Optional["FaultInjector"] = None
         #: namespace -> [hits, misses] history for miss-rate estimation.
         self._namespace_history: dict[str, list[int]] = {}
+        #: Concurrent identical miss-groups collapse to one model call.
+        self.singleflight = SingleFlight()
 
     def attach_faults(self, faults: Optional["FaultInjector"]) -> None:
         """Honor the ``cache.insert`` injection site on every put."""
@@ -196,6 +299,28 @@ class InferenceCache:
                     values.append(entry[0])
                     self._hits += 1
                     history[0] += 1
+        return values, missed
+
+    def peek_many(
+        self, namespace: str, keys: list[bytes]
+    ) -> tuple[list[Any], list[int]]:
+        """:meth:`get_many` without counters, recency, or history updates.
+
+        The single-flight follower path re-checks the cache after its
+        leader lands; the follower's *first* lookup already recorded the
+        miss, so this second look must not double-count.
+        """
+        namespace = namespace.lower()
+        values: list[Any] = []
+        missed: list[int] = []
+        with self._lock:
+            for index, key in enumerate(keys):
+                entry = self._entries.get((namespace, key))
+                if entry is None:
+                    values.append(MISSING)
+                    missed.append(index)
+                else:
+                    values.append(entry[0])
         return values, missed
 
     def put(self, namespace: str, key: bytes, value: Any) -> None:
@@ -313,6 +438,8 @@ class InferenceCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "insert_failures": self._insert_failures,
+                "singleflight_leaders": self.singleflight.leaders,
+                "singleflight_followers": self.singleflight.followers,
             }
 
 

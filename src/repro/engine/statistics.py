@@ -94,7 +94,11 @@ class StatisticsProvider:
 
     def __init__(self, catalog: Catalog) -> None:
         self._catalog = catalog
-        self._cache: dict[str, TableStats] = {}
+        #: name -> (stats, catalog data_version they were computed at).
+        #: The data_version lives on the *shared* catalog, so a write
+        #: from any session invalidates every session's cached stats,
+        #: not just the writer's own provider.
+        self._cache: dict[str, tuple[TableStats, int]] = {}
         self._overrides: dict[str, TableStats] = {}
         self._versions: dict[str, int] = {}
 
@@ -112,12 +116,14 @@ class StatisticsProvider:
         must never treat them as truths about stored data.
         """
         key = table_name.lower()
-        if key in self._cache:
-            return self._cache[key]
+        data_version = self._catalog.data_version(table_name)
+        cached = self._cache.get(key)
+        if cached is not None and cached[1] == data_version:
+            return cached[0]
         if not self._catalog.has(table_name) or self._catalog.is_view(table_name):
             return None
         stats = compute_table_stats(self._catalog.get_table(table_name))
-        self._cache[key] = stats
+        self._cache[key] = (stats, data_version)
         return stats
 
     def set_override(self, table_name: str, stats: TableStats) -> None:
@@ -132,8 +138,14 @@ class StatisticsProvider:
         Plans whose rewrites were justified by statistics record the
         versions they read; a mismatch on a later cache hit forces a
         containment re-check (see ``Database._optimized_plan``).
+
+        The catalog's shared per-table data version is folded in so a
+        mutation performed through *another* session's facade (which
+        calls its own provider's :meth:`invalidate`, not ours) still
+        advances the version every session observes.
         """
-        return self._versions.get(table_name.lower(), 0)
+        key = table_name.lower()
+        return self._versions.get(key, 0) + self._catalog.data_version(key)
 
     def invalidate(self, table_name: str) -> None:
         key = table_name.lower()

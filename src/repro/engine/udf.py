@@ -30,7 +30,12 @@ from repro.errors import (
     UdfError,
 )
 from repro.engine.expressions import Vector
-from repro.engine.infer_cache import MISSING, InferenceCache, hash_rows
+from repro.engine.infer_cache import (
+    MISSING,
+    InferenceCache,
+    group_key,
+    hash_rows,
+)
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 
 from repro.sql.ast_nodes import (
@@ -211,8 +216,11 @@ class UdfRegistry:
         self._udfs: dict[str, BatchUdf] = {}
         #: Bumped on every (un)registration.  Kernel caches key on it so
         #: a fused builtin compiled before a same-named UDF appeared can
-        #: never serve a batch afterwards.
-        self._generation = 0
+        #: never serve a batch afterwards.  Held in a one-element list so
+        #: :meth:`shared_view` views observe each other's registrations.
+        self._generation_ref = [0]
+        #: Guards registration and breaker creation across shared views.
+        self._registry_lock = threading.RLock()
         self._profiler = None
         self._metrics = None
         self._cache: Optional[InferenceCache] = None
@@ -229,6 +237,29 @@ class UdfRegistry:
         self._breaker_threshold = 5
         self._breaker_reset_s = 30.0
         self._breaker_clock: Callable[[], float] = time.monotonic
+
+    def shared_view(self) -> "UdfRegistry":
+        """A session-scoped view over this registry.
+
+        The UDF table, generation counter, circuit breakers, breaker
+        policy, and inference cache are shared — every session sees one
+        set of models and one breaker per model, and a model swap in one
+        session invalidates everyone's cached results.  Observers,
+        executor, fault injector, and query-context provider stay
+        **per view**, so each session's :class:`Database` attaches its
+        own without clobbering the other sessions' (the query provider
+        in particular must resolve to *that* session's active query).
+        """
+        view = UdfRegistry()
+        view._udfs = self._udfs
+        view._generation_ref = self._generation_ref
+        view._registry_lock = self._registry_lock
+        view._cache = self._cache
+        view._breakers = self._breakers
+        view._breaker_threshold = self._breaker_threshold
+        view._breaker_reset_s = self._breaker_reset_s
+        view._breaker_clock = self._breaker_clock
+        return view
 
     def attach_observers(self, profiler=None, metrics=None) -> None:
         """Report UDF calls into a profiler's ``udf`` category and a
@@ -305,12 +336,15 @@ class UdfRegistry:
         if breaker is None:
             from repro.faults.breaker import CircuitBreaker
 
-            breaker = CircuitBreaker(
-                failure_threshold=self._breaker_threshold,
-                reset_timeout_s=self._breaker_reset_s,
-                clock=self._breaker_clock,
-            )
-            self._breakers[key] = breaker
+            with self._registry_lock:
+                breaker = self._breakers.get(key)
+                if breaker is None:
+                    breaker = CircuitBreaker(
+                        failure_threshold=self._breaker_threshold,
+                        reset_timeout_s=self._breaker_reset_s,
+                        clock=self._breaker_clock,
+                    )
+                    self._breakers[key] = breaker
         return breaker
 
     @property
@@ -320,25 +354,27 @@ class UdfRegistry:
     @property
     def generation(self) -> int:
         """Monotonic registration counter (kernel-cache invalidation)."""
-        return self._generation
+        return self._generation_ref[0]
 
     def register(self, udf: BatchUdf, *, replace: bool = False) -> None:
         key = udf.name.lower()
-        if key in self._udfs and not replace:
-            raise UdfError(f"UDF {udf.name!r} is already registered")
-        if key in self._udfs and self._cache is not None:
-            # Re-registration swaps the model: its cached results are
-            # stale the moment the new function could answer differently.
-            self._cache.invalidate(key)
-        self._udfs[key] = udf
-        self._generation += 1
+        with self._registry_lock:
+            if key in self._udfs and not replace:
+                raise UdfError(f"UDF {udf.name!r} is already registered")
+            if key in self._udfs and self._cache is not None:
+                # Re-registration swaps the model: its cached results are
+                # stale the moment the new function could answer differently.
+                self._cache.invalidate(key)
+            self._udfs[key] = udf
+            self._generation_ref[0] += 1
 
     def unregister(self, name: str) -> None:
-        removed = self._udfs.pop(name.lower(), None)
-        if removed is not None:
-            self._generation += 1
-            if self._cache is not None:
-                self._cache.invalidate(name.lower())
+        with self._registry_lock:
+            removed = self._udfs.pop(name.lower(), None)
+            if removed is not None:
+                self._generation_ref[0] += 1
+                if self._cache is not None:
+                    self._cache.invalidate(name.lower())
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._udfs
@@ -409,6 +445,54 @@ class UdfRegistry:
 
         out = self._empty_result(udf, num_rows)
         if missed:
+            self._compute_missed(udf, cache, namespace, args, keys, missed, out)
+        for row, value in enumerate(cached_values):
+            if value is not MISSING:
+                out[row] = value
+        self._record_cache_metrics(cache, num_rows - len(missed), len(missed))
+        return out
+
+    def _compute_missed(
+        self,
+        udf: BatchUdf,
+        cache: InferenceCache,
+        namespace: str,
+        args: list[np.ndarray],
+        keys: list[bytes],
+        missed: list[int],
+        out: np.ndarray,
+    ) -> None:
+        """Run the model over the missed rows, single-flight deduplicated.
+
+        The first caller for an identical miss-group leads (computes and
+        populates the cache); concurrent identical callers follow (block
+        on the leader, then read the leader's results back out of the
+        cache).  A follower recomputes only rows the leader's results no
+        longer cover — evicted under memory pressure, or dropped by an
+        injected ``cache.insert`` fault — so deduplication can degrade
+        but never return wrong or missing values.
+        """
+        flight_key = group_key(namespace, (keys[row] for row in missed))
+        role, flight = cache.singleflight.begin(flight_key)
+        if role == "follower":
+            assert flight is not None
+            query = (
+                self._query_provider() if self._query_provider is not None else None
+            )
+            # Leader failure propagates here: followers re-raise instead
+            # of stampeding a failing model.
+            cache.singleflight.wait(flight, query=query)
+            values, leftover = cache.peek_many(
+                namespace, [keys[row] for row in missed]
+            )
+            for position, value in enumerate(values):
+                if value is not MISSING:
+                    out[missed[position]] = value
+            if not leftover:
+                return
+            missed = [missed[position] for position in leftover]
+            role = "bypass"  # compute the leftovers inline, no new flight
+        try:
             indices = np.asarray(missed, dtype=np.int64)
             fresh = self._infer(
                 udf, [array[indices] for array in args], len(missed)
@@ -418,11 +502,14 @@ class UdfRegistry:
             # last write wins, which is fine — results are identical.
             for position, row in enumerate(missed):
                 cache.put(namespace, keys[row], fresh[position])
-        for row, value in enumerate(cached_values):
-            if value is not MISSING:
-                out[row] = value
-        self._record_cache_metrics(cache, num_rows - len(missed), len(missed))
-        return out
+        except BaseException as exc:
+            if role == "leader":
+                assert flight is not None
+                cache.singleflight.finish(flight_key, flight, exc)
+            raise
+        if role == "leader":
+            assert flight is not None
+            cache.singleflight.finish(flight_key, flight)
 
     def _empty_result(self, udf: BatchUdf, num_rows: int) -> np.ndarray:
         dtype = udf.signature.return_dtype

@@ -171,6 +171,26 @@ class CircuitOpenError(UdfError):
         self.retry_after_s = retry_after_s
 
 
+class ServerOverloaded(ExecutionError):
+    """The serving layer shed this query instead of queueing it
+    (code ``R006``).
+
+    Raised when the admission queue is full or the session is over its
+    in-flight cap.  Load-shedding is deliberate: a bounded queue keeps
+    tail latency honest, and a typed error with ``retry_after_s`` lets
+    well-behaved clients back off instead of piling on.
+    """
+
+    code = "R006"
+
+    def __init__(
+        self, message: str, *, retry_after_s: float = 0.1, reason: str = "queue_full"
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
 class UnknownFunctionError(SemanticError, UdfError):
     """A call names neither a registered UDF nor a builtin function.
 

@@ -24,6 +24,7 @@ run to run (modulo wall-clock timings).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -143,6 +144,7 @@ def run_chaos(
     timeout_s: float = 5.0,
     repetitions: int = 2,
     quick: bool = False,
+    sessions: int = 1,
 ) -> ChaosReport:
     """Run the chaos workload under every plan and report verdicts.
 
@@ -150,6 +152,12 @@ def run_chaos(
     smoke configuration).  ``repetitions=2`` re-runs each query so the
     second pass crosses a warm inference cache — with ``cache.insert``
     faults absorbed, both passes must still match the baseline.
+
+    ``sessions > 1`` routes the same workload through a
+    :class:`~repro.serve.server.Server` with that many concurrent
+    sessions, so every fault site fires while the shared engine is under
+    concurrent load (the transfer probe stays single-threaded — it does
+    not cross the server).
     """
     from repro.workload.dataset import DatasetConfig, generate_dataset
 
@@ -177,6 +185,12 @@ def run_chaos(
 
     for plan in chosen:
         plan_name = plan.name or plan.to_text()
+        if sessions > 1:
+            _run_plan_concurrent(
+                dataset, plan, plan_name, baselines, report,
+                sessions, repetitions, timeout_s, hard_limit,
+            )
+            continue
         db = _make_db(dataset, plan)
         try:
             for repetition in range(repetitions):
@@ -221,6 +235,86 @@ def _make_db(dataset, plan: Optional[FaultPlan]):
         )
     )
     return db
+
+
+def _run_plan_concurrent(
+    dataset,
+    plan: FaultPlan,
+    plan_name: str,
+    baselines: dict,
+    report: ChaosReport,
+    sessions: int,
+    repetitions: int,
+    timeout_s: float,
+    hard_limit: float,
+) -> None:
+    """One plan's chaos workload through ``sessions`` concurrent server
+    sessions.  Verdict semantics are identical to the serial path — each
+    (session, repetition, query) is judged against the fault-free
+    baseline; ``ServerOverloaded`` is a typed error and so survives."""
+    from repro.engine.udf import BatchUdf
+    from repro.serve.server import Server, ServerConfig
+    from repro.storage.schema import DataType
+
+    server = Server(
+        ServerConfig(
+            max_concurrent=max(2, sessions // 2),
+            max_queue=sessions * 4,
+            queue_timeout_s=timeout_s,
+            udf_cache_bytes=1 << 20,
+            query_memory_bytes=256 << 20,
+        ),
+        fault_plan=plan,
+    )
+    collected: list[ChaosOutcome] = []
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        session = server.session(f"chaos{index}")
+        mine: list[ChaosOutcome] = []
+        try:
+            for repetition in range(repetitions):
+                for sql in CHAOS_QUERIES:
+                    outcome = _run_one(
+                        session, plan_name, sql, repetition,
+                        baselines[sql], timeout_s, hard_limit,
+                    )
+                    outcome.check = f"s{index} {outcome.check}"
+                    mine.append(outcome)
+        finally:
+            session.close()
+        with lock:
+            collected.extend(mine)
+
+    try:
+        dataset.install(server.root)
+        server.root.register_udf(
+            BatchUdf(
+                name="amount_bucket",
+                fn=lambda amounts: np.floor(np.asarray(amounts) / 1000.0),
+                return_dtype=DataType.FLOAT64,
+            ),
+            replace=True,
+        )
+        threads = [
+            threading.Thread(
+                target=worker, args=(index,),
+                name=f"chaos-{plan_name}-{index}", daemon=True,
+            )
+            for index in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if server.faults is not None:
+            for site, count in server.faults.stats().items():
+                report.faults_fired[site] = (
+                    report.faults_fired.get(site, 0) + count
+                )
+    finally:
+        server.close()
+    report.outcomes.extend(collected)
 
 
 def _canonical_rows(rows) -> list[str]:

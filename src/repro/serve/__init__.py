@@ -1,0 +1,27 @@
+"""The concurrent serving layer: sessions, snapshots, overload control.
+
+The paper's deployment story is an edge database *continuously serving*
+collaborative queries; this package is the front end that makes the
+single-``Database`` engine safe to drive from many sessions at once:
+
+* :class:`~repro.serve.server.Server` — shared storage/caches, admission
+  queue, load-shedding (typed ``R006``), and a single write lock;
+* :class:`~repro.serve.server.Session` — per-client temp tables,
+  settings, deadline defaults, and metrics labels; reads execute against
+  pinned copy-on-write catalog snapshots so writers never block readers;
+* :mod:`~repro.serve.loadgen` — a seeded closed/open-loop generator
+  reporting p50/p99/QPS and shed/timeout/fallback counts;
+* :mod:`~repro.serve.net` — a threaded line-JSON socket front end
+  (``repro serve``).
+"""
+
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+from repro.serve.server import Server, ServerConfig, Session
+
+__all__ = [
+    "LoadgenConfig",
+    "Server",
+    "ServerConfig",
+    "Session",
+    "run_loadgen",
+]

@@ -1,0 +1,288 @@
+"""Seeded load generator for the serving layer (``repro loadgen``).
+
+Two scenarios, both fully deterministic in the *requests they issue*
+(wall-clock latencies obviously vary):
+
+* ``steady`` — a closed loop: each session issues its next request as
+  soon as the previous answer (or typed error) lands.  Measures the
+  p50/p99 latency and QPS the server sustains at its configured
+  concurrency.
+* ``overload`` — the same corpus thrown at a deliberately tiny server
+  (few slots, short queue), demonstrating that overload *sheds* typed
+  ``R006`` errors instead of collapsing into unbounded queueing.  The
+  acceptance bar is a shed rate > 0 with zero untyped failures.
+
+An optional open-loop mode paces arrivals at a fixed rate per session
+regardless of completions (the harsher arrival model), and an optional
+fault plan routes every request through the PR-4 injection sites while
+multiple sessions are live.
+
+The report lands in ``BENCH_serve.json`` next to the repo's other
+benchmark sidecars.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import (
+    CircuitOpenError,
+    QueryTimeoutError,
+    ReproError,
+    ServerOverloaded,
+)
+from repro.serve.server import Server, ServerConfig
+
+#: The request corpus: weighted mix of scans, joins, predicates, an
+#: inference (UDF) aggregate, and session-scratch writes.  The write
+#: targets a per-session temp table (``{scratch}`` is substituted), so
+#: concurrent sessions never row-race each other's shared tables and the
+#: run stays comparable across seeds.
+CORPUS: tuple[tuple[str, float], ...] = (
+    ("SELECT count(*) FROM video", 2.0),
+    (
+        "SELECT f.pattern, count(*) AS n FROM video v "
+        "INNER JOIN fabric f ON v.transID = f.transID "
+        "GROUP BY f.pattern ORDER BY f.pattern",
+        2.0,
+    ),
+    ("SELECT count(*) FROM orders WHERE amount > 5000", 2.0),
+    (
+        "SELECT amount_bucket(amount), count(*) FROM orders "
+        "GROUP BY amount_bucket(amount)",
+        2.0,
+    ),
+    ("INSERT INTO {scratch} VALUES ({seq}, {value})", 1.0),
+    ("SELECT count(*), sum(v) FROM {scratch}", 1.0),
+)
+
+
+@dataclass
+class LoadgenConfig:
+    """Parameters of one ``run_loadgen`` invocation."""
+
+    sessions: int = 8
+    requests_per_session: int = 30
+    seed: int = 1234
+    scale: int = 1
+    timeout_s: float = 10.0
+    #: "closed" (issue-on-completion) or "open" (fixed arrival rate).
+    mode: str = "closed"
+    #: Open-loop arrivals per second per session (ignored when closed).
+    rate_qps: float = 50.0
+    fault_plan: Optional[str] = None
+    quick: bool = False
+
+    def effective(self) -> "LoadgenConfig":
+        if not self.quick:
+            return self
+        trimmed = LoadgenConfig(**{**self.__dict__})
+        trimmed.sessions = min(self.sessions, 4)
+        trimmed.requests_per_session = min(self.requests_per_session, 12)
+        return trimmed
+
+
+@dataclass
+class _Tally:
+    """Outcome counters + latency samples for one scenario."""
+
+    latencies_s: list[float] = field(default_factory=list)
+    ok: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    #: Typed degradations that are *not* shedding (breaker open, other
+    #: ReproErrors surfaced by an injected fault plan).
+    fallbacks: int = 0
+    untyped: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record(self, latency_s: float, outcome: str) -> None:
+        with self._lock:
+            self.latencies_s.append(latency_s)
+            setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def report(self, wall_s: float) -> dict[str, Any]:
+        lat = sorted(self.latencies_s)
+
+        def pct(q: float) -> float:
+            if not lat:
+                return 0.0
+            return float(lat[min(len(lat) - 1, int(q * len(lat)))])
+
+        total = len(lat)
+        return {
+            "requests": total,
+            "wall_s": round(wall_s, 4),
+            "qps": round(total / wall_s, 2) if wall_s > 0 else 0.0,
+            "p50_ms": round(pct(0.50) * 1e3, 3),
+            "p99_ms": round(pct(0.99) * 1e3, 3),
+            "max_ms": round((lat[-1] if lat else 0.0) * 1e3, 3),
+            "ok": self.ok,
+            "shed": self.shed,
+            "shed_rate": round(self.shed / total, 4) if total else 0.0,
+            "timeouts": self.timeouts,
+            "fallbacks": self.fallbacks,
+            "untyped_errors": self.untyped,
+        }
+
+
+def _install_workload(server: Server, scale: int, seed: int) -> None:
+    from repro.engine.udf import BatchUdf
+    from repro.storage.schema import DataType
+    from repro.workload.dataset import DatasetConfig, generate_dataset
+
+    dataset = generate_dataset(DatasetConfig(scale=scale, seed=seed))
+    dataset.install(server.root)
+    server.root.register_udf(
+        BatchUdf(
+            name="amount_bucket",
+            fn=lambda amounts: np.floor(np.asarray(amounts) / 1000.0),
+            return_dtype=DataType.FLOAT64,
+        ),
+        replace=True,
+    )
+
+
+def _session_worker(
+    server: Server,
+    index: int,
+    config: LoadgenConfig,
+    tally: _Tally,
+    barrier: threading.Barrier,
+) -> None:
+    rng = random.Random((config.seed << 8) ^ index)
+    session = server.session(f"load{index}")
+    scratch = f"scratch_{index}"
+    session.execute(
+        f"CREATE TEMP TABLE {scratch} (k INT, v FLOAT)",
+        timeout_s=config.timeout_s,
+    )
+    sqls, weights = zip(*CORPUS)
+    interval = 1.0 / config.rate_qps if config.rate_qps > 0 else 0.0
+    barrier.wait()
+    next_arrival = time.perf_counter()
+    try:
+        for seq in range(config.requests_per_session):
+            if config.mode == "open" and interval:
+                # Open loop: hold the arrival schedule even when the
+                # server is slow — that is what makes overload visible.
+                now = time.perf_counter()
+                if now < next_arrival:
+                    time.sleep(next_arrival - now)
+                next_arrival += interval
+            sql = rng.choices(sqls, weights=weights, k=1)[0].format(
+                scratch=scratch, seq=seq, value=round(rng.random() * 100, 3)
+            )
+            started = time.perf_counter()
+            try:
+                session.execute(sql, timeout_s=config.timeout_s)
+                outcome = "ok"
+            except ServerOverloaded:
+                outcome = "shed"
+            except QueryTimeoutError:
+                outcome = "timeouts"
+            except (CircuitOpenError, ReproError):
+                outcome = "fallbacks"
+            except Exception:  # noqa: BLE001 - untyped escape = defect
+                outcome = "untyped"
+            tally.record(time.perf_counter() - started, outcome)
+    finally:
+        session.close()
+
+
+def _run_scenario(
+    name: str,
+    server_config: ServerConfig,
+    config: LoadgenConfig,
+    *,
+    sessions: Optional[int] = None,
+) -> dict[str, Any]:
+    tally = _Tally()
+    num_sessions = sessions if sessions is not None else config.sessions
+    with Server(server_config, fault_plan=config.fault_plan) as server:
+        _install_workload(server, config.scale, config.seed)
+        barrier = threading.Barrier(num_sessions + 1)
+        threads = [
+            threading.Thread(
+                target=_session_worker,
+                args=(server, index, config, tally, barrier),
+                name=f"loadgen-{name}-{index}",
+                daemon=True,
+            )
+            for index in range(num_sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        report = tally.report(wall)
+        report["sessions"] = num_sessions
+        report["mode"] = config.mode
+        report["server"] = server.stats().to_dict()
+        if server.infer_cache is not None:
+            cache = server.infer_cache.stats_dict()
+            report["singleflight"] = {
+                "leaders": cache["singleflight_leaders"],
+                "followers": cache["singleflight_followers"],
+            }
+    return report
+
+
+def run_loadgen(config: Optional[LoadgenConfig] = None) -> dict[str, Any]:
+    """Run the steady + overload scenarios; returns the combined report."""
+    config = (config or LoadgenConfig()).effective()
+
+    steady = _run_scenario(
+        "steady",
+        ServerConfig(
+            max_concurrent=max(2, config.sessions // 2),
+            max_queue=config.sessions * 4,
+            queue_timeout_s=config.timeout_s,
+        ),
+        config,
+    )
+
+    # Overload: a deliberately starved server (one slot, near-zero queue)
+    # under open-loop arrivals.  Shedding, not collapse, is the pass bar.
+    overload_cfg = LoadgenConfig(**{**config.__dict__})
+    overload_cfg.mode = "open"
+    overload = _run_scenario(
+        "overload",
+        ServerConfig(
+            max_concurrent=1,
+            max_queue=1,
+            queue_timeout_s=0.01,
+            session_inflight_cap=2,
+        ),
+        overload_cfg,
+    )
+
+    return {
+        "config": {
+            "sessions": config.sessions,
+            "requests_per_session": config.requests_per_session,
+            "seed": config.seed,
+            "scale": config.scale,
+            "mode": config.mode,
+            "fault_plan": config.fault_plan,
+            "quick": config.quick,
+        },
+        "scenarios": {"steady": steady, "overload": overload},
+    }
+
+
+def write_sidecar(report: dict[str, Any], path: str = "BENCH_serve.json") -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,152 @@
+"""A threaded line-JSON socket front end over :class:`~repro.serve.Server`.
+
+Protocol: one JSON object per line, each answered with one JSON line.
+
+Request::
+
+    {"sql": "SELECT count(*) FROM video", "timeout_s": 5.0}
+
+Response::
+
+    {"ok": true, "columns": ["count(*)"], "rows": [[1024]], "elapsed_ms": 1.2}
+    {"ok": false, "error": "ServerOverloaded", "code": "R006",
+     "message": "...", "retry_after_s": 0.05}
+
+Each TCP connection owns one server :class:`~repro.serve.server.Session`
+(temp tables die with the connection), mirroring how a SQL client holds
+a connection.  The handler threads come from
+:class:`socketserver.ThreadingTCPServer`, so concurrency and overload
+behavior are exactly the embedded server's.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.serve.server import Server
+
+
+def _json_value(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and (value != value):  # NaN -> null
+        return None
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, np.ndarray):
+        return [_json_value(v) for v in value.tolist()]
+    return value
+
+
+def _error_payload(exc: BaseException) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    code = getattr(exc, "code", None)
+    if code:
+        payload["code"] = code
+    retry = getattr(exc, "retry_after_s", None)
+    if retry is not None:
+        payload["retry_after_s"] = retry
+    return payload
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: Server = self.server.repro_server  # type: ignore[attr-defined]
+        session = server.session()
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                response = self._one(session, line)
+                self.wfile.write(
+                    (json.dumps(response, default=_json_value) + "\n").encode()
+                )
+                self.wfile.flush()
+        finally:
+            session.close()
+
+    def _one(self, session: Any, line: bytes) -> dict[str, Any]:
+        try:
+            request = json.loads(line)
+            sql = request["sql"]
+        except Exception as exc:  # noqa: BLE001 - malformed client input
+            return {
+                "ok": False,
+                "error": "BadRequest",
+                "message": f"unparseable request: {exc}",
+            }
+        started = time.perf_counter()
+        try:
+            result = session.execute(sql, timeout_s=request.get("timeout_s"))
+        except ReproError as exc:
+            return _error_payload(exc)
+        except Exception as exc:  # noqa: BLE001 - never kill the connection
+            return _error_payload(exc)
+        elapsed_ms = round((time.perf_counter() - started) * 1e3, 3)
+        if result.has_rows:
+            return {
+                "ok": True,
+                "columns": result.column_names,
+                "rows": [
+                    [_json_value(v) for v in row] for row in result.rows()
+                ],
+                "elapsed_ms": elapsed_ms,
+            }
+        return {
+            "ok": True,
+            "affected_rows": result.affected_rows,
+            "message": result.message,
+            "elapsed_ms": elapsed_ms,
+        }
+
+
+class ReproTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], server: Server) -> None:
+        super().__init__(address, _Handler)
+        self.repro_server = server
+
+
+def start(
+    server: Server, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ReproTCPServer, threading.Thread]:
+    """Start serving in a background thread; returns (tcp_server, thread).
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``tcp_server.server_address``.
+    """
+    tcp = ReproTCPServer((host, port), server)
+    thread = threading.Thread(
+        target=tcp.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return tcp, thread
+
+
+def serve_forever(
+    server: Server, host: str = "127.0.0.1", port: int = 7878
+) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    with ReproTCPServer((host, port), server) as tcp:
+        address = tcp.server_address
+        print(f"repro serve: listening on {address[0]}:{address[1]}")
+        try:
+            tcp.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            server.close()

@@ -4,12 +4,28 @@ Views store their defining SELECT statement's AST and are expanded lazily
 by the planner (DL2SQL's Q2 creates a view per layer, so view handling is
 on the hot path).  Temp tables behave like tables but are tracked so a
 session can drop them wholesale between inference runs.
+
+Three catalog flavors back the concurrent serving layer
+(:mod:`repro.serve`):
+
+* :class:`Catalog` — the mutable base.  Every mutation bumps a global
+  ``version`` and a per-name ``data_version`` under a lock, and
+  :meth:`Catalog.snapshot` captures a consistent, immutable view
+  (copy-on-write: tables share their column objects, so a snapshot costs
+  one small object per table, never a data copy).
+* :class:`CatalogSnapshot` — the frozen result of :meth:`Catalog.snapshot`;
+  readers pin one per statement so a mid-query write from another session
+  can never be observed, not even partially.
+* :class:`SessionCatalog` — a per-session overlay: temp tables and temp
+  views live in the session, everything else routes to the shared base
+  (or to the pinned snapshot while a read statement is executing).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import CatalogError
 from repro.storage.index import HashIndex
@@ -41,15 +57,40 @@ class Catalog:
 
     def __init__(self) -> None:
         self._entries: dict[str, _Entry] = {}
+        self._lock = threading.RLock()
+        #: Bumped on every DDL or data mutation; snapshot cache key.
+        self.version = 0
+        #: Per-name monotonic data versions (never reset on drop/recreate,
+        #: so statistics caches keyed on them can't alias across tables
+        #: that happen to share a name over time).
+        self._data_versions: dict[str, int] = {}
+        self._snapshot: Optional["CatalogSnapshot"] = None
+
+    def _bump(self, *names: str) -> None:
+        """Record a mutation (caller holds the lock)."""
+        self.version += 1
+        self._snapshot = None
+        for name in names:
+            key = name.lower()
+            self._data_versions[key] = self._data_versions.get(key, 0) + 1
+
+    def data_version(self, name: str) -> int:
+        """Monotonic counter bumped whenever ``name``'s *data* changes
+        (create/replace, drop, insert, update).  Shared across sessions:
+        statistics providers key their caches on it so a write in one
+        session invalidates every other session's cached stats."""
+        return self._data_versions.get(name.lower(), 0)
 
     # ------------------------------------------------------------------
     # Tables
     # ------------------------------------------------------------------
     def create_table(self, table: Table, *, temp: bool = False, replace: bool = False) -> None:
         key = table.name.lower()
-        if key in self._entries and not replace:
-            raise CatalogError(f"table or view {table.name!r} already exists")
-        self._entries[key] = _Entry(table=table, is_temp=temp)
+        with self._lock:
+            if key in self._entries and not replace:
+                raise CatalogError(f"table or view {table.name!r} already exists")
+            self._entries[key] = _Entry(table=table, is_temp=temp)
+            self._bump(key)
 
     def get_table(self, name: str) -> Table:
         entry = self._lookup(name)
@@ -68,30 +109,35 @@ class Catalog:
 
     def drop(self, name: str, *, if_exists: bool = False) -> None:
         key = name.lower()
-        if key not in self._entries:
-            if if_exists:
-                return
-            raise CatalogError(f"cannot drop unknown table/view {name!r}")
-        del self._entries[key]
+        with self._lock:
+            if key not in self._entries:
+                if if_exists:
+                    return
+                raise CatalogError(f"cannot drop unknown table/view {name!r}")
+            del self._entries[key]
+            self._bump(key)
 
     def drop_temp_objects(self) -> int:
         """Drop every temp table/view; returns how many were dropped."""
-        temp_keys = [k for k, e in self._entries.items() if e.is_temp]
-        for key in temp_keys:
-            del self._entries[key]
-        return len(temp_keys)
+        with self._lock:
+            temp_keys = [k for k, e in self._entries.items() if e.is_temp]
+            for key in temp_keys:
+                del self._entries[key]
+            if temp_keys:
+                self._bump(*temp_keys)
+            return len(temp_keys)
 
     def table_names(self) -> list[str]:
         return sorted(
             entry.table.name
-            for entry in self._entries.values()
+            for entry in list(self._entries.values())
             if entry.table is not None
         )
 
     def view_names(self) -> list[str]:
         return sorted(
             entry.view.name
-            for entry in self._entries.values()
+            for entry in list(self._entries.values())
             if entry.view is not None
         )
 
@@ -100,9 +146,11 @@ class Catalog:
     # ------------------------------------------------------------------
     def create_view(self, view: View, *, temp: bool = False, replace: bool = False) -> None:
         key = view.name.lower()
-        if key in self._entries and not replace:
-            raise CatalogError(f"table or view {view.name!r} already exists")
-        self._entries[key] = _Entry(view=view, is_temp=temp)
+        with self._lock:
+            if key in self._entries and not replace:
+                raise CatalogError(f"table or view {view.name!r} already exists")
+            self._entries[key] = _Entry(view=view, is_temp=temp)
+            self._bump(key)
 
     def get_view(self, name: str) -> View:
         entry = self._lookup(name)
@@ -114,12 +162,17 @@ class Catalog:
     # Indexes
     # ------------------------------------------------------------------
     def create_index(self, table_name: str, column_name: str) -> HashIndex:
-        entry = self._lookup(table_name)
-        if entry.table is None:
-            raise CatalogError(f"cannot index view {table_name!r}")
-        index = HashIndex(entry.table.name, entry.table.column(column_name))
-        entry.indexes[column_name.lower()] = index
-        return index
+        with self._lock:
+            entry = self._lookup(table_name)
+            if entry.table is None:
+                raise CatalogError(f"cannot index view {table_name!r}")
+            index = HashIndex(entry.table.name, entry.table.column(column_name))
+            entry.indexes[column_name.lower()] = index
+            # Index creation changes no rows: bump the snapshot version
+            # only, not the per-name data version.
+            self.version += 1
+            self._snapshot = None
+            return index
 
     def get_index(self, table_name: str, column_name: str) -> HashIndex | None:
         key = table_name.lower()
@@ -130,15 +183,45 @@ class Catalog:
     def invalidate_indexes(self, table_name: str) -> None:
         """Drop indexes after the underlying table data changed."""
         key = table_name.lower()
-        if key in self._entries:
-            self._entries[key].indexes.clear()
+        with self._lock:
+            if key in self._entries:
+                self._entries[key].indexes.clear()
+            self._bump(key)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "CatalogSnapshot":
+        """A consistent, immutable view of the whole catalog.
+
+        Copy-on-write cheap: each table contributes one frozen
+        :class:`~repro.storage.table.Table` sharing its column objects.
+        The result is cached until the next mutation, so a burst of
+        readers between two writes pins one shared snapshot object.
+        """
+        with self._lock:
+            if self._snapshot is not None:
+                return self._snapshot
+            entries = {
+                key: _Entry(
+                    table=entry.table.snapshot() if entry.table is not None else None,
+                    view=entry.view,
+                    is_temp=entry.is_temp,
+                    indexes=dict(entry.indexes),
+                )
+                for key, entry in self._entries.items()
+            }
+            self._snapshot = CatalogSnapshot(
+                entries, self.version, dict(self._data_versions)
+            )
+            return self._snapshot
 
     # ------------------------------------------------------------------
     def total_nbytes(self) -> int:
         """Footprint of all stored tables (views cost nothing)."""
         return sum(
             entry.table.nbytes()
-            for entry in self._entries.values()
+            for entry in list(self._entries.values())
             if entry.table is not None
         )
 
@@ -148,3 +231,159 @@ class Catalog:
         except KeyError:
             known: list[Any] = self.table_names() + self.view_names()
             raise CatalogError(f"unknown table or view {name!r}; have {known}") from None
+
+
+class CatalogSnapshot(Catalog):
+    """A frozen catalog as of one :meth:`Catalog.snapshot` call.
+
+    All read accessors work; every mutator raises.  Readers in the
+    serving layer execute whole statements against one of these, so a
+    concurrent ``INSERT``/``UPDATE``/DDL from another session can never
+    be observed mid-query.
+    """
+
+    def __init__(
+        self,
+        entries: dict[str, _Entry],
+        version: int,
+        data_versions: dict[str, int],
+    ) -> None:
+        super().__init__()
+        self._entries = entries
+        self.version = version
+        self._data_versions = data_versions
+
+    def _refuse(self, operation: str) -> None:
+        raise CatalogError(
+            f"catalog snapshot is read-only (attempted {operation})"
+        )
+
+    def create_table(self, table: Table, *, temp: bool = False, replace: bool = False) -> None:
+        self._refuse(f"CREATE TABLE {table.name}")
+
+    def create_view(self, view: View, *, temp: bool = False, replace: bool = False) -> None:
+        self._refuse(f"CREATE VIEW {view.name}")
+
+    def create_index(self, table_name: str, column_name: str) -> HashIndex:
+        self._refuse(f"CREATE INDEX on {table_name}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def drop(self, name: str, *, if_exists: bool = False) -> None:
+        self._refuse(f"DROP {name}")
+
+    def drop_temp_objects(self) -> int:
+        self._refuse("DROP of temp objects")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def invalidate_indexes(self, table_name: str) -> None:
+        self._refuse(f"index invalidation on {table_name}")
+
+
+class SessionCatalog(Catalog):
+    """A per-session overlay on a shared base catalog.
+
+    Temp tables and temp views are session-private (stored in this
+    object); everything else reads through to the *pinned* snapshot while
+    a read statement executes, or to the live base otherwise.  Writes to
+    non-temp objects go straight to the base — the serving layer
+    serializes them behind its write lock.
+    """
+
+    def __init__(self, base: Catalog) -> None:
+        super().__init__()
+        self.base = base
+        self._pinned: Optional[Catalog] = None
+
+    # ------------------------------------------------------------------
+    def pin(self, snapshot: Catalog) -> None:
+        """Resolve base lookups against ``snapshot`` until :meth:`unpin`."""
+        self._pinned = snapshot
+
+    def unpin(self) -> None:
+        self._pinned = None
+
+    @property
+    def effective_base(self) -> Catalog:
+        return self._pinned if self._pinned is not None else self.base
+
+    # ------------------------------------------------------------------
+    def _local(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def _lookup(self, name: str) -> _Entry:
+        if self._local(name):
+            return self._entries[name.lower()]
+        return self.effective_base._lookup(name)
+
+    def has(self, name: str) -> bool:
+        return self._local(name) or self.effective_base.has(name)
+
+    def is_view(self, name: str) -> bool:
+        if self._local(name):
+            return super().is_view(name)
+        return self.effective_base.is_view(name)
+
+    def is_temp(self, name: str) -> bool:
+        if self._local(name):
+            return super().is_temp(name)
+        return self.effective_base.is_temp(name)
+
+    def data_version(self, name: str) -> int:
+        if self._local(name):
+            return super().data_version(name)
+        return self.effective_base.data_version(name)
+
+    # ------------------------------------------------------------------
+    def create_table(self, table: Table, *, temp: bool = False, replace: bool = False) -> None:
+        if temp or self._local(table.name):
+            # Session-private object; a same-named temp table shadows the
+            # shared one for this session only (scratch space semantics).
+            super().create_table(table, temp=True, replace=replace)
+        else:
+            if not replace and self.base.has(table.name):
+                raise CatalogError(
+                    f"table or view {table.name!r} already exists"
+                )
+            self.base.create_table(table, temp=False, replace=replace)
+
+    def create_view(self, view: View, *, temp: bool = False, replace: bool = False) -> None:
+        if temp or self._local(view.name):
+            super().create_view(view, temp=True, replace=replace)
+        else:
+            self.base.create_view(view, temp=False, replace=replace)
+
+    def drop(self, name: str, *, if_exists: bool = False) -> None:
+        if self._local(name):
+            super().drop(name, if_exists=if_exists)
+        else:
+            self.base.drop(name, if_exists=if_exists)
+
+    def drop_temp_objects(self) -> int:
+        return super().drop_temp_objects()
+
+    # ------------------------------------------------------------------
+    def create_index(self, table_name: str, column_name: str) -> HashIndex:
+        if self._local(table_name):
+            return super().create_index(table_name, column_name)
+        return self.base.create_index(table_name, column_name)
+
+    def get_index(self, table_name: str, column_name: str) -> HashIndex | None:
+        if self._local(table_name):
+            return super().get_index(table_name, column_name)
+        return self.effective_base.get_index(table_name, column_name)
+
+    def invalidate_indexes(self, table_name: str) -> None:
+        if self._local(table_name):
+            super().invalidate_indexes(table_name)
+        else:
+            self.base.invalidate_indexes(table_name)
+
+    # ------------------------------------------------------------------
+    def table_names(self) -> list[str]:
+        return sorted(set(super().table_names()) | set(self.effective_base.table_names()))
+
+    def view_names(self) -> list[str]:
+        return sorted(set(super().view_names()) | set(self.effective_base.view_names()))
+
+    def total_nbytes(self) -> int:
+        return super().total_nbytes() + self.effective_base.total_nbytes()

@@ -5,9 +5,19 @@ keeps collecting sensor data; a reproduction that only lives in RAM would
 lose the deployment story.  The format is deliberately simple and
 self-describing:
 
-    <dir>/manifest.json         table names, schemas, temp flags, indexes
+    <dir>/manifest.json         table names, schemas, temp flags, indexes,
+                                and a per-table content checksum
     <dir>/<table>.npz           one compressed npz per table; BLOB columns
                                 are stored as npz sub-arrays per row
+
+Crash safety: every ``.npz`` and the manifest are written to a temp file,
+fsync'd, and ``os.replace``'d into place — the manifest last, so a crash
+at any point leaves either the complete old snapshot or the complete new
+one, never a torn mix.  Loads are two-phase (materialize and validate
+every table, then register them all), and each archive is verified
+against its manifest checksum, so a torn or bit-rotted file surfaces as
+a typed :class:`~repro.errors.StorageError` naming the bad table instead
+of a raw numpy error or a half-replaced catalog.
 
 Round-trip fidelity (including DATE ordinals, BLOB keyframes and index
 definitions) is covered by ``tests/storage/test_persist.py``.
@@ -15,13 +25,14 @@ definitions) is covered by ``tests/storage/test_persist.py``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import CatalogError, StorageError
 from repro.storage.column import Column
 from repro.storage.schema import DataType
 from repro.storage.table import Table
@@ -33,12 +44,51 @@ MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
 
 
+def _fsync_replace(tmp_path: str, path: str) -> None:
+    """Atomically promote ``tmp_path`` to ``path`` (contents durable)."""
+    os.replace(tmp_path, path)
+    # Durability of the *rename* needs the directory entry flushed too.
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _content_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Order-independent digest over a table's serialized arrays.
+
+    Fed with (key, dtype, shape, raw bytes) per array, sorted by key, so
+    the digest is stable across dict ordering and savez layout and
+    changes whenever any stored byte does.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(b"\x00")
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
 def save_database(db: "Database", directory: str) -> int:
     """Persist every base table (and index definition) of ``db``.
 
     Views are intentionally not persisted (their SQL text lives with the
     application); temp tables are skipped — they are per-inference scratch
     space.  Returns the number of tables written.
+
+    Crash-safe: a failure at any point leaves any pre-existing snapshot
+    in ``directory`` fully intact (tables are replaced atomically and the
+    manifest — the commit point — is replaced last).
     """
     os.makedirs(directory, exist_ok=True)
     manifest: dict = {"version": FORMAT_VERSION, "tables": []}
@@ -47,31 +97,45 @@ def save_database(db: "Database", directory: str) -> int:
         if db.catalog.is_temp(name):
             continue
         table = db.catalog.get_table(name)
-        entry = {
+        checksum = _save_table(
+            table, os.path.join(directory, f"{table.name}.npz")
+        )
+        manifest["tables"].append({
             "name": table.name,
             "columns": [
                 {"name": spec.name, "dtype": spec.dtype.value}
                 for spec in table.schema
             ],
             "rows": table.num_rows,
+            "checksum": checksum,
             "indexes": [
                 spec.name
                 for spec in table.schema
                 if db.catalog.get_index(table.name, spec.name) is not None
             ],
-        }
-        _save_table(table, os.path.join(directory, f"{table.name}.npz"))
-        manifest["tables"].append(entry)
+        })
         written += 1
-    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
-        json.dump(manifest, handle, indent=2)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    tmp_path = manifest_path + ".tmp"
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        _discard(tmp_path)
+        raise
+    _fsync_replace(tmp_path, manifest_path)
     return written
 
 
 def load_database(db: "Database", directory: str, *, replace: bool = False) -> int:
     """Load all tables from ``directory`` into ``db``; rebuilds indexes.
 
-    Returns the number of tables loaded.
+    Two-phase: every archive is materialized and checksum-verified
+    *before* anything is registered, so a corrupt table mid-set raises a
+    typed :class:`~repro.errors.StorageError` (naming the table) with the
+    catalog untouched.  Returns the number of tables loaded.
     """
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     try:
@@ -83,20 +147,42 @@ def load_database(db: "Database", directory: str, *, replace: bool = False) -> i
         raise StorageError(
             f"unsupported database format version {manifest.get('version')}"
         )
-    loaded = 0
+    # Phase 1: materialize and validate everything; touch no shared state.
+    staged: list[tuple[dict, Table]] = []
     for entry in manifest["tables"]:
-        table = _load_table(
-            entry, os.path.join(directory, f"{entry['name']}.npz")
-        )
+        path = os.path.join(directory, f"{entry['name']}.npz")
+        try:
+            table = _load_table(entry, path)
+        except StorageError:
+            raise
+        except FileNotFoundError:
+            raise StorageError(
+                f"table {entry['name']!r}: archive missing at {path}"
+            ) from None
+        except Exception as exc:
+            raise StorageError(
+                f"table {entry['name']!r}: corrupt archive at {path}: {exc}"
+            ) from exc
+        staged.append((entry, table))
+    # Phase 2: everything validated — registration cannot half-fail on
+    # bad data anymore (name collisions still raise, before any writes,
+    # via the same all-or-nothing check).
+    if not replace:
+        for entry, _ in staged:
+            if db.catalog.has(entry["name"]):
+                raise CatalogError(
+                    f"table {entry['name']!r} already exists "
+                    "(pass replace=True to overwrite); nothing was loaded"
+                )
+    for entry, table in staged:
         db.register_table(table, replace=replace)
         for column_name in entry.get("indexes", []):
             db.catalog.create_index(table.name, column_name)
-        loaded += 1
-    return loaded
+    return len(staged)
 
 
 # ----------------------------------------------------------------------
-def _save_table(table: Table, path: str) -> None:
+def _table_arrays(table: Table) -> dict[str, np.ndarray]:
     arrays: dict[str, np.ndarray] = {}
     for column in table.columns:
         # NULLs: a ``valid__<name>`` mask is written whenever the column
@@ -117,43 +203,81 @@ def _save_table(table: Table, path: str) -> None:
             )
         else:
             arrays[f"col__{column.name}"] = column.data
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def _discard(tmp_path: str) -> None:
+    try:
+        os.unlink(tmp_path)
+    except OSError:
+        pass
+
+
+def _save_table(table: Table, path: str) -> str:
+    """Write one table atomically; returns its content checksum."""
+    arrays = _table_arrays(table)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        _discard(tmp_path)
+        raise
+    _fsync_replace(tmp_path, path)
+    return _content_checksum(arrays)
 
 
 def _load_table(entry: dict, path: str) -> Table:
     with np.load(path, allow_pickle=False) as archive:
-        columns: list[Column] = []
-        rows = int(entry["rows"])
-        for spec in entry["columns"]:
-            name = spec["name"]
-            dtype = DataType(spec["dtype"])
-            # Absent in pre-NULL archives, so loads stay backward
-            # compatible: no mask file means every row is valid.
-            valid_key = f"valid__{name}"
-            valid = archive[valid_key] if valid_key in archive else None
-            if dtype is DataType.BLOB:
-                data = np.empty(rows, dtype=object)
-                for row in range(rows):
-                    data[row] = archive[f"blob__{name}__{row}"]
-                if valid is not None:
-                    for row in np.flatnonzero(~valid):
-                        data[row] = None
-                columns.append(Column(name, dtype, data, valid))
-            elif dtype is DataType.STRING:
-                loaded = archive[f"str__{name}"]
-                data = np.empty(rows, dtype=object)
-                data[:] = [str(v) for v in loaded]
-                if valid is not None:
-                    for row in np.flatnonzero(~valid):
-                        data[row] = None
-                columns.append(Column(name, dtype, data, valid))
-            else:
-                columns.append(
-                    Column(
-                        name,
-                        dtype,
-                        archive[f"col__{name}"].astype(dtype.numpy_dtype),
-                        valid,
-                    )
+        arrays = {key: archive[key] for key in archive.files}
+    expected = entry.get("checksum")
+    if expected is not None:
+        actual = _content_checksum(arrays)
+        if actual != expected:
+            raise StorageError(
+                f"table {entry['name']!r}: archive {path} failed its "
+                f"content checksum (manifest {expected}, file {actual}) — "
+                "torn write or corruption"
+            )
+    columns: list[Column] = []
+    rows = int(entry["rows"])
+    for spec in entry["columns"]:
+        name = spec["name"]
+        dtype = DataType(spec["dtype"])
+        # Absent in pre-NULL archives, so loads stay backward
+        # compatible: no mask file means every row is valid.
+        valid = arrays.get(f"valid__{name}")
+        if dtype is DataType.BLOB:
+            data = np.empty(rows, dtype=object)
+            for row in range(rows):
+                try:
+                    data[row] = arrays[f"blob__{name}__{row}"]
+                except KeyError:
+                    raise StorageError(
+                        f"table {entry['name']!r}: archive {path} is "
+                        f"missing blob row {row} of column {name!r}"
+                    ) from None
+            if valid is not None:
+                for row in np.flatnonzero(~valid):
+                    data[row] = None
+            columns.append(Column(name, dtype, data, valid))
+        elif dtype is DataType.STRING:
+            loaded = arrays[f"str__{name}"]
+            data = np.empty(rows, dtype=object)
+            data[:] = [str(v) for v in loaded]
+            if valid is not None:
+                for row in np.flatnonzero(~valid):
+                    data[row] = None
+            columns.append(Column(name, dtype, data, valid))
+        else:
+            columns.append(
+                Column(
+                    name,
+                    dtype,
+                    arrays[f"col__{name}"].astype(dtype.numpy_dtype),
+                    valid,
                 )
+            )
     return Table(entry["name"], columns)

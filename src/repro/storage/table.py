@@ -23,6 +23,12 @@ class Table:
     the internal column list in place so that catalog entries see the new
     data, but the column objects themselves are fresh; slices handed out
     earlier keep their snapshot.
+
+    ``version`` counts those column-list swaps.  Because the backing
+    arrays are never written in place, a :meth:`snapshot` — a frozen
+    ``Table`` sharing the current column objects — is a consistent
+    copy-on-write view: concurrent writers swap in fresh columns and
+    bump ``version`` while every snapshot keeps the list it captured.
     """
 
     def __init__(self, name: str, columns: Sequence[Column]) -> None:
@@ -37,6 +43,8 @@ class Table:
         self.name = name
         self._columns = list(columns)
         self._schema = Schema(ColumnSpec(c.name, c.dtype) for c in columns)
+        #: Bumped on every mutating column-list swap (snapshot pinning).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -109,6 +117,18 @@ class Table:
     def __len__(self) -> int:
         return self.num_rows
 
+    def snapshot(self) -> "Table":
+        """A frozen copy-on-write view of the table's current contents.
+
+        The snapshot shares the (immutable) column objects but owns its
+        column *list*, so later :meth:`append_rows`/:meth:`replace_column`
+        calls on the live table are invisible to it.  Readers in the
+        serving layer pin one snapshot per statement.
+        """
+        copy = Table(self.name, self._columns)
+        copy.version = self.version
+        return copy
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Table({self.name!r}, {self.num_rows} rows, {self._schema!r})"
 
@@ -175,6 +195,7 @@ class Table:
             )
             new_columns.append(column.concat(addition))
         self._columns = new_columns
+        self.version += 1
 
     def append_table(self, other: "Table") -> None:
         """Append all rows of a schema-compatible table."""
@@ -187,6 +208,7 @@ class Table:
             mine.concat(theirs)
             for mine, theirs in zip(self._columns, other.columns)
         ]
+        self.version += 1
 
     def replace_column(
         self,
@@ -199,7 +221,12 @@ class Table:
         old = self._columns[position]
         if values.dtype != old.dtype.numpy_dtype:
             values = values.astype(old.dtype.numpy_dtype)
-        self._columns[position] = Column(old.name, old.dtype, values, valid)
+        # Swap the list, not the slot: a concurrently pinned snapshot
+        # holds the old list object and must never see the new column.
+        columns = list(self._columns)
+        columns[position] = Column(old.name, old.dtype, values, valid)
+        self._columns = columns
+        self.version += 1
 
 
 def _dtype_from_numpy(array: np.ndarray) -> DataType:

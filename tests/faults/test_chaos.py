@@ -48,3 +48,23 @@ def test_chaos_cli_rejects_bad_plan(capsys):
     from repro.cli import main
 
     assert main(["chaos", "--plan", "udf.batch_call:sometimes"]) == 2
+
+
+def test_concurrent_sessions_chaos_survives():
+    """Every fault site fired from multiple live server sessions: the
+    serial invariant (right rows or a typed error, no hangs) must hold
+    under concurrency too."""
+    report = run_chaos(quick=True, sessions=4)
+    assert report.ok, report.to_text()
+    assert report.hung == 0
+    assert report.failed == 0
+    # 3 quick plans x 4 sessions x 4 queries x 1 repetition.
+    assert len(report.outcomes) == 48
+    assert sum(report.faults_fired.values()) > 0
+
+
+def test_chaos_cli_sessions_flag(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--quick", "--sessions", "2"]) == 0
+    assert "survived" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Shared helpers for the serving-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.udf import BatchUdf
+from repro.serve.server import Server, ServerConfig
+from repro.storage.schema import DataType
+
+
+def install_base(server: Server, rows: int = 64) -> None:
+    """A small shared table every scenario can read (and write)."""
+    server.root.create_table_from_dict(
+        "base",
+        {
+            "id": list(range(rows)),
+            "x": [float(i % 7) for i in range(rows)],
+        },
+    )
+
+
+def register_bucket(server: Server) -> None:
+    server.root.register_udf(
+        BatchUdf(
+            name="bucket",
+            fn=lambda xs: np.floor(np.asarray(xs) / 2.0),
+            return_dtype=DataType.FLOAT64,
+        ),
+        replace=True,
+    )
+
+
+@pytest.fixture()
+def server():
+    srv = Server(ServerConfig(max_concurrent=8, max_queue=16))
+    install_base(srv)
+    register_bucket(srv)
+    yield srv
+    srv.close()

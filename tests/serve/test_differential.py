@@ -1,0 +1,194 @@
+"""Differential correctness: concurrent serving == serial execution.
+
+The acceptance bar for the serving layer: a fixed corpus of statements,
+run through 8 concurrent sessions (mixed readers and writers), produces
+per-query results identical to running the same per-session scripts one
+session at a time — with and without a fault plan active.  Writers
+target per-session tables, so the expected answer of every read is
+well-defined regardless of interleaving; the concurrency still hammers
+the shared catalog, statistics, caches, and admission control.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.serve.server import Server, ServerConfig
+
+from tests.serve.conftest import install_base, register_bucket
+
+SESSIONS = 8
+
+
+def _script(index: int) -> list[tuple[str, str | None]]:
+    """(sql, query_id) statements for session ``index``; query_id is
+    None for writes (judged only by not failing)."""
+    t = f"w{index}"
+    return [
+        (f"CREATE TABLE {t} (k INT, v FLOAT)", None),
+        (f"INSERT INTO {t} VALUES (1, 1.5), (2, 2.5)", None),
+        (f"SELECT count(*), sum(v) FROM {t}", "own_agg"),
+        ("SELECT count(*) FROM base", "base_count"),
+        (f"INSERT INTO {t} VALUES (3, {index}.25)", None),
+        (f"SELECT k, v FROM {t} ORDER BY k", "own_rows"),
+        (
+            "SELECT bucket(x), count(*) FROM base "
+            "GROUP BY bucket(x) ORDER BY bucket(x)",
+            "udf_groupby",
+        ),
+        ("SELECT count(*) FROM base WHERE x > 3", "filtered"),
+    ]
+
+
+def _fingerprint(rows) -> tuple:
+    return tuple(
+        sorted(
+            tuple(v.item() if isinstance(v, np.generic) else v for v in row)
+            for row in rows
+        )
+    )
+
+
+def _make_server(fault_plan=None) -> Server:
+    server = Server(
+        ServerConfig(max_concurrent=4, max_queue=SESSIONS * 8, queue_timeout_s=30.0),
+        fault_plan=fault_plan,
+    )
+    install_base(server)
+    register_bucket(server)
+    return server
+
+
+def _run_script(session, index, results, errors) -> None:
+    for sql, query_id in _script(index):
+        try:
+            result = session.execute(sql, timeout_s=30.0)
+        except ReproError as exc:
+            if query_id is not None:
+                errors[(index, query_id)] = type(exc).__name__
+            continue
+        if query_id is not None:
+            results[(index, query_id)] = _fingerprint(result.rows())
+
+
+def _serial_baseline() -> dict:
+    results: dict = {}
+    errors: dict = {}
+    server = _make_server()
+    try:
+        for index in range(SESSIONS):
+            with server.session(f"serial{index}") as session:
+                _run_script(session, index, results, errors)
+    finally:
+        server.close()
+    assert not errors, f"serial baseline must be error-free: {errors}"
+    return results
+
+
+def _concurrent_run(fault_plan=None) -> tuple[dict, dict]:
+    results: dict = {}
+    errors: dict = {}
+    lock = threading.Lock()
+    server = _make_server(fault_plan)
+    try:
+        barrier = threading.Barrier(SESSIONS)
+
+        def worker(index: int) -> None:
+            mine: dict = {}
+            bad: dict = {}
+            with server.session(f"conc{index}") as session:
+                barrier.wait()
+                _run_script(session, index, mine, bad)
+            with lock:
+                results.update(mine)
+                errors.update(bad)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(SESSIONS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        server.close()
+    return results, errors
+
+
+class TestDifferential:
+    def test_concurrent_matches_serial(self):
+        baseline = _serial_baseline()
+        concurrent, errors = _concurrent_run()
+        assert errors == {}
+        assert concurrent == baseline
+
+    def test_concurrent_matches_serial_under_faults(self):
+        """With a transient fault plan live at every PR-4 site, each
+        query either matches the fault-free serial answer exactly or
+        fails typed — never a silently wrong answer."""
+        baseline = _serial_baseline()
+        concurrent, errors = _concurrent_run(
+            fault_plan="seed=11; udf.batch_call:transient@0.3#6"
+        )
+        for key, fingerprint in concurrent.items():
+            assert fingerprint == baseline[key], f"wrong rows for {key}"
+        # Anything that did error must have been typed (collected as a
+        # class name) and must not also claim a result.
+        for key in errors:
+            assert key not in concurrent
+
+
+class TestSnapshotVisibility:
+    def test_reader_pinned_before_write_never_sees_it(self):
+        """A read that began before an INSERT commits must finish on the
+        old version even when the write lands mid-scan."""
+        from repro.engine.udf import BatchUdf
+        from repro.storage.schema import DataType
+
+        server = _make_server()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gate(xs):
+            entered.set()
+            assert release.wait(10.0), "gate never released"
+            return np.asarray(xs, dtype=np.float64)
+
+        server.root.register_udf(
+            BatchUdf(
+                name="gate",
+                fn=gate,
+                return_dtype=DataType.FLOAT64,
+                cacheable=False,
+            ),
+            replace=True,
+        )
+        reader = server.session("reader")
+        writer = server.session("writer")
+        seen: list = []
+        try:
+            thread = threading.Thread(
+                target=lambda: seen.extend(
+                    reader.query("SELECT count(*), min(gate(x)) FROM base")
+                ),
+                daemon=True,
+            )
+            thread.start()
+            assert entered.wait(10.0)
+            # The write commits while the reader is mid-query...
+            writer.execute("INSERT INTO base VALUES (999, -50.0)")
+            assert writer.query("SELECT count(*) FROM base") == [(65,)]
+            release.set()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            # ...yet the reader's answer reflects its pinned snapshot.
+            assert seen == [(64, 0.0)]
+            # A *new* read sees the committed row.
+            release.set()
+            assert reader.query("SELECT count(*) FROM base") == [(65,)]
+        finally:
+            reader.close()
+            writer.close()
+            server.close()

@@ -1,0 +1,61 @@
+"""The seeded load generator and its BENCH_serve.json sidecar."""
+
+import json
+
+from repro.serve.loadgen import LoadgenConfig, run_loadgen, write_sidecar
+
+
+class TestLoadgen:
+    def test_quick_run_reports_latency_and_shedding(self):
+        report = run_loadgen(
+            LoadgenConfig(quick=True, sessions=4, requests_per_session=8)
+        )
+        scenarios = report["scenarios"]
+        assert set(scenarios) == {"steady", "overload"}
+        steady = scenarios["steady"]
+        assert steady["requests"] == steady["ok"] + steady["shed"] + (
+            steady["timeouts"] + steady["fallbacks"] + steady["untyped_errors"]
+        )
+        for key in ("p50_ms", "p99_ms", "qps", "shed_rate"):
+            assert key in steady
+        assert steady["ok"] > 0
+        assert steady["untyped_errors"] == 0
+        overload = scenarios["overload"]
+        assert overload["untyped_errors"] == 0
+        # Overload failures must be *typed*: everything is accounted for.
+        assert overload["requests"] == (
+            overload["ok"] + overload["shed"] + overload["timeouts"]
+            + overload["fallbacks"]
+        )
+        assert "singleflight" in steady
+        assert steady["server"]["executed"] >= steady["ok"]
+
+    def test_quick_run_with_fault_plan_stays_typed(self):
+        report = run_loadgen(
+            LoadgenConfig(
+                quick=True,
+                sessions=4,
+                requests_per_session=6,
+                fault_plan="seed=11; udf.batch_call:transient@0.3#6",
+            )
+        )
+        for scenario in report["scenarios"].values():
+            assert scenario["untyped_errors"] == 0
+
+    def test_config_echoed_and_quick_trims(self):
+        config = LoadgenConfig(quick=True, sessions=32, requests_per_session=99)
+        effective = config.effective()
+        assert effective.sessions == 4
+        assert effective.requests_per_session == 12
+
+    def test_sidecar_round_trips(self, tmp_path):
+        report = run_loadgen(
+            LoadgenConfig(quick=True, sessions=2, requests_per_session=4)
+        )
+        path = write_sidecar(report, str(tmp_path / "BENCH_serve.json"))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["scenarios"]["steady"]["requests"] == (
+            report["scenarios"]["steady"]["requests"]
+        )
+        assert loaded["config"]["quick"] is True

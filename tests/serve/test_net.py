@@ -1,0 +1,111 @@
+"""Socket front end: line-JSON round-trips over real TCP."""
+
+import json
+import socket
+
+import pytest
+
+from repro.serve.net import start
+from repro.serve.server import Server, ServerConfig
+
+from tests.serve.conftest import install_base, register_bucket
+
+
+@pytest.fixture()
+def tcp_server():
+    server = Server(ServerConfig(max_concurrent=4))
+    install_base(server)
+    register_bucket(server)
+    tcp, thread = start(server, port=0)
+    yield tcp
+    tcp.shutdown()
+    tcp.server_close()
+    server.close()
+
+
+def _connect(tcp):
+    sock = socket.create_connection(tcp.server_address, timeout=10.0)
+    return sock, sock.makefile("rwb")
+
+
+def _ask(stream, payload) -> dict:
+    stream.write((json.dumps(payload) + "\n").encode())
+    stream.flush()
+    return json.loads(stream.readline())
+
+
+class TestSocketRoundTrip:
+    def test_select_returns_rows(self, tcp_server):
+        sock, stream = _connect(tcp_server)
+        try:
+            response = _ask(stream, {"sql": "SELECT count(*) FROM base"})
+            assert response["ok"] is True
+            assert response["rows"] == [[64]]
+            assert len(response["columns"]) == 1
+            assert response["elapsed_ms"] >= 0
+        finally:
+            sock.close()
+
+    def test_write_then_read_on_one_connection(self, tcp_server):
+        sock, stream = _connect(tcp_server)
+        try:
+            created = _ask(stream, {"sql": "CREATE TEMP TABLE t (k INT)"})
+            assert created["ok"] is True
+            inserted = _ask(stream, {"sql": "INSERT INTO t VALUES (1), (2)"})
+            assert inserted["ok"] is True
+            assert inserted["affected_rows"] == 2
+            rows = _ask(stream, {"sql": "SELECT count(*) FROM t"})
+            assert rows["rows"] == [[2]]
+        finally:
+            sock.close()
+
+    def test_temp_tables_die_with_the_connection(self, tcp_server):
+        sock1, stream1 = _connect(tcp_server)
+        _ask(stream1, {"sql": "CREATE TEMP TABLE mine (k INT)"})
+        # A second live connection cannot see the first one's temps.
+        sock2, stream2 = _connect(tcp_server)
+        try:
+            response = _ask(stream2, {"sql": "SELECT count(*) FROM mine"})
+            assert response["ok"] is False
+            assert response["error"] == "SemanticError"
+        finally:
+            sock1.close()
+            sock2.close()
+
+    def test_error_payload_carries_code(self, tcp_server):
+        sock, stream = _connect(tcp_server)
+        try:
+            response = _ask(stream, {"sql": "SELECT FROM FROM"})
+            assert response["ok"] is False
+            assert "message" in response
+        finally:
+            sock.close()
+
+    def test_malformed_request_is_bad_request(self, tcp_server):
+        sock, stream = _connect(tcp_server)
+        try:
+            stream.write(b"this is not json\n")
+            stream.flush()
+            response = json.loads(stream.readline())
+            assert response["ok"] is False
+            assert response["error"] == "BadRequest"
+        finally:
+            sock.close()
+
+    def test_udf_and_timeout_knob(self, tcp_server):
+        sock, stream = _connect(tcp_server)
+        try:
+            response = _ask(
+                stream,
+                {
+                    "sql": (
+                        "SELECT bucket(x), count(*) FROM base "
+                        "GROUP BY bucket(x) ORDER BY bucket(x)"
+                    ),
+                    "timeout_s": 10.0,
+                },
+            )
+            assert response["ok"] is True
+            assert len(response["rows"]) == 4
+        finally:
+            sock.close()

@@ -1,0 +1,147 @@
+"""Admission control: bounded queue, typed shedding, per-session caps."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.udf import BatchUdf
+from repro.errors import ServerOverloaded
+from repro.serve.server import Server, ServerConfig
+from repro.storage.schema import DataType
+
+from tests.serve.conftest import install_base
+
+
+def _slow_server(config: ServerConfig):
+    """A server whose ``slow(x)`` UDF blocks until ``release`` is set,
+    so tests can pin its only slot deterministically."""
+    server = Server(config)
+    install_base(server, rows=8)
+    entered = threading.Event()
+    release = threading.Event()
+
+    def slow(xs):
+        entered.set()
+        assert release.wait(10.0), "slot holder never released"
+        return np.asarray(xs, dtype=np.float64)
+
+    server.root.register_udf(
+        BatchUdf(
+            name="slow", fn=slow, return_dtype=DataType.FLOAT64,
+            cacheable=False,
+        ),
+        replace=True,
+    )
+    return server, entered, release
+
+
+def _occupy_slot(server, entered):
+    """Start a query that holds the server's slot; returns its thread."""
+    session = server.session("holder")
+    thread = threading.Thread(
+        target=lambda: session.execute(
+            "SELECT sum(slow(x)) FROM base", timeout_s=30.0
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert entered.wait(10.0)
+    return thread
+
+
+class TestShedding:
+    def test_queue_full_sheds_r006(self):
+        server, entered, release = _slow_server(
+            ServerConfig(max_concurrent=1, max_queue=0)
+        )
+        try:
+            holder = _occupy_slot(server, entered)
+            victim = server.session("victim")
+            with pytest.raises(ServerOverloaded) as excinfo:
+                victim.execute("SELECT count(*) FROM base", timeout_s=5.0)
+            assert excinfo.value.code == "R006"
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.retry_after_s > 0
+            release.set()
+            holder.join(timeout=10.0)
+            # Capacity freed: the same statement is admitted now.
+            assert victim.query("SELECT count(*) FROM base") == [(8,)]
+            assert server.stats().shed == {"queue_full": 1}
+        finally:
+            release.set()
+            server.close()
+
+    def test_queue_timeout_sheds_r006(self):
+        server, entered, release = _slow_server(
+            ServerConfig(max_concurrent=1, max_queue=4, queue_timeout_s=0.05)
+        )
+        try:
+            holder = _occupy_slot(server, entered)
+            victim = server.session("victim")
+            with pytest.raises(ServerOverloaded) as excinfo:
+                victim.execute("SELECT count(*) FROM base", timeout_s=5.0)
+            assert excinfo.value.reason == "queue_timeout"
+            release.set()
+            holder.join(timeout=10.0)
+        finally:
+            release.set()
+            server.close()
+
+    def test_session_inflight_cap_sheds(self):
+        server, entered, release = _slow_server(
+            ServerConfig(max_concurrent=4, max_queue=8, session_inflight_cap=1)
+        )
+        try:
+            session = server.session("greedy")
+            thread = threading.Thread(
+                target=lambda: session.execute(
+                    "SELECT sum(slow(x)) FROM base", timeout_s=30.0
+                ),
+                daemon=True,
+            )
+            thread.start()
+            assert entered.wait(10.0)
+            # Second statement on the *same* session exceeds its cap.
+            with pytest.raises(ServerOverloaded) as excinfo:
+                session.execute("SELECT count(*) FROM base", timeout_s=5.0)
+            assert excinfo.value.reason == "session_cap"
+            # A different session is unaffected.
+            other = server.session("polite")
+            assert other.query("SELECT count(*) FROM base") == [(8,)]
+            release.set()
+            thread.join(timeout=10.0)
+        finally:
+            release.set()
+            server.close()
+
+    def test_server_memory_budget_sheds(self):
+        server = Server(
+            ServerConfig(max_concurrent=4, server_memory_bytes=1)
+        )
+        install_base(server, rows=8)
+        try:
+            session = server.session()
+            with pytest.raises(ServerOverloaded) as excinfo:
+                session.execute("SELECT count(*) FROM base")
+            assert excinfo.value.reason == "memory"
+        finally:
+            server.close()
+
+    def test_shed_is_not_counted_as_executed(self):
+        server, entered, release = _slow_server(
+            ServerConfig(max_concurrent=1, max_queue=0)
+        )
+        try:
+            holder = _occupy_slot(server, entered)
+            victim = server.session("victim")
+            with pytest.raises(ServerOverloaded):
+                victim.execute("SELECT count(*) FROM base", timeout_s=5.0)
+            release.set()
+            holder.join(timeout=10.0)
+            stats = server.stats()
+            assert stats.executed == 1  # only the holder's query ran
+            assert sum(stats.shed.values()) == 1
+        finally:
+            release.set()
+            server.close()

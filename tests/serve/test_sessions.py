@@ -1,0 +1,108 @@
+"""Session semantics: isolation, visibility, lifecycle."""
+
+import pytest
+
+from repro.errors import SemanticError, ServerOverloaded
+from repro.serve.server import Server, ServerConfig
+
+
+class TestSessionBasics:
+    def test_auto_names_and_duplicates(self, server):
+        a = server.session()
+        b = server.session()
+        assert a.name != b.name
+        assert set(server.sessions()) == {a.name, b.name}
+        with pytest.raises(ValueError):
+            server.session(a.name)
+
+    def test_committed_writes_visible_across_sessions(self, server):
+        a = server.session()
+        b = server.session()
+        a.execute("CREATE TABLE t (x INT)")
+        a.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert b.query("SELECT count(*) FROM t") == [(3,)]
+
+    def test_temp_tables_are_session_private(self, server):
+        a = server.session()
+        b = server.session()
+        a.execute("CREATE TEMP TABLE scratch (k INT)")
+        a.execute("INSERT INTO scratch VALUES (7)")
+        assert a.query("SELECT k FROM scratch") == [(7,)]
+        with pytest.raises(SemanticError):
+            b.query("SELECT k FROM scratch")
+
+    def test_temp_name_shadows_then_unshadows_base(self, server):
+        a = server.session()
+        a.execute("CREATE TEMP TABLE base (k INT)")
+        a.execute("INSERT INTO base VALUES (42)")
+        assert a.query("SELECT count(*) FROM base") == [(1,)]
+        a.drop_temp_objects()
+        (count,) = a.query("SELECT count(*) FROM base")[0]
+        assert count == 64  # the shared table is visible again
+
+    def test_close_drops_temps_and_detaches(self, server):
+        a = server.session("worker")
+        a.execute("CREATE TEMP TABLE scratch (k INT)")
+        a.close()
+        assert "worker" not in server.sessions()
+        with pytest.raises(ServerOverloaded) as excinfo:
+            a.execute("SELECT 1")
+        assert excinfo.value.reason == "session_closed"
+        a.close()  # idempotent
+
+    def test_context_manager(self, server):
+        with server.session("cm") as session:
+            assert session.query("SELECT count(*) FROM base") == [(64,)]
+        assert "cm" not in server.sessions()
+
+    def test_closed_server_refuses_sessions(self):
+        srv = Server(ServerConfig())
+        srv.close()
+        with pytest.raises(ServerOverloaded) as excinfo:
+            srv.session()
+        assert excinfo.value.reason == "server_closed"
+
+    def test_udf_visible_to_every_session(self, server):
+        a = server.session()
+        rows = a.query(
+            "SELECT bucket(x), count(*) FROM base "
+            "GROUP BY bucket(x) ORDER BY bucket(x)"
+        )
+        assert len(rows) == 4  # floor(x/2) over x in 0..6
+
+    def test_per_session_settings_and_labels(self, server):
+        a = server.session("tagged", label="tenant-1")
+        a.settings["dialect"] = "strict"
+        b = server.session()
+        assert b.settings == {}
+        assert a.label == "tenant-1"
+        assert b.label == b.name
+
+    def test_stats_counts_executions(self, server):
+        a = server.session()
+        for _ in range(3):
+            a.query("SELECT count(*) FROM base")
+        stats = server.stats()
+        assert stats.executed == 3
+        assert stats.sessions == 1
+        assert stats.to_dict()["shed_total"] == 0
+
+
+class TestDataVersioning:
+    def test_catalog_version_bumps_on_write(self, server):
+        a = server.session()
+        before = server.catalog.version
+        a.execute("CREATE TABLE v (x INT)")
+        a.execute("INSERT INTO v VALUES (1)")
+        assert server.catalog.version > before
+        assert server.catalog.data_version("v") >= 1
+
+    def test_stats_invalidate_across_sessions(self, server):
+        a = server.session()
+        b = server.session()
+        a.execute("CREATE TABLE grow (x INT)")
+        a.execute("INSERT INTO grow VALUES (1)")
+        assert b.query("SELECT count(*) FROM grow") == [(1,)]
+        a.execute("INSERT INTO grow VALUES (2), (3)")
+        # b's second read must see the new cardinality, not a stale plan.
+        assert b.query("SELECT count(*) FROM grow") == [(3,)]

@@ -1,0 +1,185 @@
+"""Single-flight deduplication of identical concurrent inference."""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.engine.infer_cache import SingleFlight, group_key
+from repro.engine.udf import BatchUdf
+from repro.errors import UdfError
+from repro.serve.server import Server, ServerConfig
+from repro.storage.schema import DataType
+
+from tests.serve.conftest import install_base
+
+N = 6
+SQL = "SELECT sum(model(x)) FROM base"
+
+
+def _server_with_model(fn) -> Server:
+    server = Server(ServerConfig(max_concurrent=N + 2, max_queue=N * 4))
+    install_base(server)
+    server.root.register_udf(
+        BatchUdf(name="model", fn=fn, return_dtype=DataType.FLOAT64),
+        replace=True,
+    )
+    return server
+
+
+def _fan_out(server, sql=SQL):
+    """Run ``sql`` once from N sessions simultaneously; returns
+    (results, exceptions) keyed by session index."""
+    results: dict = {}
+    failures: dict = {}
+    barrier = threading.Barrier(N)
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        with server.session(f"sf{index}") as session:
+            barrier.wait()
+            try:
+                rows = session.execute(sql, timeout_s=30.0).rows()
+            except Exception as exc:  # noqa: BLE001 - collected for asserts
+                with lock:
+                    failures[index] = exc
+                return
+        with lock:
+            results[index] = rows
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(N)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, failures
+
+
+class TestSingleFlightEndToEnd:
+    def test_n_identical_queries_one_model_call(self):
+        calls = []
+
+        def model(xs):
+            calls.append(len(xs))
+            time.sleep(0.15)  # hold the flight open so followers pile up
+            return np.asarray(xs, dtype=np.float64) * 2.0
+
+        server = _server_with_model(model)
+        try:
+            results, failures = _fan_out(server)
+            assert failures == {}
+            assert len(results) == N
+            expected = results[0]
+            assert all(rows == expected for rows in results.values())
+            # The acceptance criterion: exactly one model call for N
+            # concurrent identical queries.
+            assert len(calls) == 1
+            stats = server.infer_cache.stats_dict()
+            assert stats["singleflight_leaders"] == 1
+            assert stats["singleflight_followers"] == N - 1
+        finally:
+            server.close()
+
+    def test_leader_failure_propagates_to_followers(self):
+        calls = []
+
+        def model(xs):
+            calls.append(len(xs))
+            time.sleep(0.15)
+            raise RuntimeError("model exploded")
+
+        server = _server_with_model(model)
+        try:
+            results, failures = _fan_out(server)
+            assert results == {}
+            assert len(failures) == N
+            # Every caller gets the typed failure; nobody stampedes the
+            # broken model with a duplicate call.
+            assert all(isinstance(exc, UdfError) for exc in failures.values())
+            assert len(calls) == 1
+        finally:
+            server.close()
+
+    def test_sequential_repeats_hit_cache_not_singleflight(self):
+        calls = []
+
+        def model(xs):
+            calls.append(len(xs))
+            return np.asarray(xs, dtype=np.float64)
+
+        server = _server_with_model(model)
+        try:
+            with server.session() as session:
+                first = session.query(SQL)
+                second = session.query(SQL)
+            assert first == second
+            assert len(calls) == 1  # second run is a pure cache hit
+            stats = server.infer_cache.stats_dict()
+            assert stats["singleflight_followers"] == 0
+        finally:
+            server.close()
+
+
+class TestSingleFlightUnit:
+    def test_leader_then_follower_then_finish(self):
+        flight = SingleFlight()
+        role, handle = flight.begin("k")
+        assert role == "leader"
+        done = []
+
+        def follower():
+            role2, handle2 = flight.begin("k")
+            assert role2 == "follower"
+            flight.wait(handle2, None)
+            done.append(True)
+
+        thread = threading.Thread(target=follower, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        flight.finish("k", handle)
+        thread.join(timeout=5.0)
+        assert done == [True]
+        assert flight.leaders == 1
+        assert flight.followers == 1
+
+    def test_reentrant_begin_bypasses(self):
+        flight = SingleFlight()
+        role, handle = flight.begin("k")
+        assert role == "leader"
+        # The same thread re-entering (nested UDF evaluation) must not
+        # deadlock behind its own flight.
+        role2, handle2 = flight.begin("k")
+        assert role2 == "bypass"
+        assert handle2 is None
+        flight.finish("k", handle)
+
+    def test_leader_exception_reraised_by_wait(self):
+        flight = SingleFlight()
+        _, handle = flight.begin("k")
+        boom = ValueError("boom")
+        caught = []
+
+        def follower():
+            role, handle2 = flight.begin("k")
+            assert role == "follower"
+            try:
+                flight.wait(handle2, None)
+            except ValueError as exc:
+                caught.append(exc)
+
+        thread = threading.Thread(target=follower, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        flight.finish("k", handle, boom)
+        thread.join(timeout=5.0)
+        assert caught and caught[0] is boom
+
+    def test_group_key_is_order_insensitive_and_distinct(self):
+        a = group_key("ns", [b"k1", b"k2"])
+        b = group_key("ns", [b"k2", b"k1"])
+        assert a == b
+        assert group_key("ns", [b"k1"]) != a
+        assert group_key("other", [b"k1", b"k2"]) != a

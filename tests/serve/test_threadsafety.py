@@ -1,0 +1,222 @@
+"""Shared singletons hammered from many threads.
+
+The serving layer makes previously per-database components truly shared
+(one KernelCache, one metrics registry, one UdfRegistry's stats and
+breakers across every session), so each gets a >=8-thread stress test
+asserting *exact* counts — a lost increment is a real lock bug, not
+flakiness.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.engine.kernels import KernelCache
+from repro.engine.udf import BatchUdf, UdfStats
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.server import Server, ServerConfig
+from repro.storage.schema import DataType
+
+from tests.serve.conftest import install_base
+
+THREADS = 8
+ROUNDS = 400
+
+
+def _hammer(fn) -> None:
+    barrier = threading.Barrier(THREADS)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        for round_number in range(ROUNDS):
+            fn(index, round_number)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsRegistry:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total")
+
+        _hammer(lambda i, r: counter.inc())
+        assert counter.value == THREADS * ROUNDS
+
+    def test_labeled_counter_per_label_exact(self):
+        registry = MetricsRegistry()
+        labeled = registry.labeled_counter("hammer_by_thread", label="thread")
+
+        _hammer(lambda i, r: labeled.inc(f"t{i}"))
+        for i in range(THREADS):
+            assert labeled.values[f"t{i}"] == ROUNDS
+
+    def test_histogram_total_count_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("hammer_seconds")
+
+        _hammer(lambda i, r: histogram.observe(0.001 * (r % 10)))
+        assert sum(histogram.counts) == THREADS * ROUNDS
+
+    def test_concurrent_getters_return_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def fn(i, r):
+            counter = registry.counter("shared_total")
+            with lock:
+                seen.append(id(counter))
+            counter.inc()
+
+        _hammer(fn)
+        assert len(set(seen)) == 1
+        assert registry.counter("shared_total").value == THREADS * ROUNDS
+
+
+class TestUdfStats:
+    def test_record_and_record_cache_are_exact(self):
+        stats = UdfStats()
+
+        def fn(i, r):
+            stats.record(rows=3, seconds=0.0)
+            stats.record_cache(hits=1, misses=2)
+
+        _hammer(fn)
+        assert stats.calls == THREADS * ROUNDS
+        assert stats.rows == 3 * THREADS * ROUNDS
+        assert stats.cache_hits == THREADS * ROUNDS
+        assert stats.cache_misses == 2 * THREADS * ROUNDS
+
+
+class TestCircuitBreaker:
+    def test_concurrent_failures_open_once(self):
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout_s=1e9)
+
+        _hammer(lambda i, r: breaker.record_failure())
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+        assert not breaker.allow()
+
+    def test_mixed_outcomes_leave_a_valid_state(self):
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout_s=1e9)
+
+        def fn(i, r):
+            if (i + r) % 3 == 0:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            breaker.allow()
+
+        _hammer(fn)
+        assert breaker.state in (BreakerState.CLOSED, BreakerState.OPEN)
+
+    def test_shared_breaker_registry_from_sessions(self):
+        """Sessions share breaker instances through shared_view()."""
+        server = Server(ServerConfig())
+        install_base(server, rows=8)
+        server.root.register_udf(
+            BatchUdf(
+                name="ident",
+                fn=lambda xs: np.asarray(xs, dtype=np.float64),
+                return_dtype=DataType.FLOAT64,
+            ),
+            replace=True,
+        )
+        try:
+            sessions = [server.session(f"bk{i}") for i in range(THREADS)]
+            barrier = threading.Barrier(THREADS)
+
+            def worker(index):
+                barrier.wait()
+                for _ in range(5):
+                    sessions[index].query("SELECT sum(ident(x)) FROM base")
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # All sessions resolved the same underlying breaker object.
+            breakers = {
+                id(s.db.udfs._breaker_get_or_create(s.db.udfs.get("ident")))
+                for s in sessions
+            }
+            assert len(breakers) == 1
+        finally:
+            server.close()
+
+
+class TestKernelCache:
+    def test_shared_cache_from_many_sessions(self):
+        server = Server(ServerConfig(max_concurrent=THREADS))
+        install_base(server, rows=32)
+        try:
+            sessions = [server.session(f"kc{i}") for i in range(THREADS)]
+            results = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(THREADS)
+
+            def worker(index):
+                barrier.wait()
+                for _ in range(20):
+                    rows = sessions[index].query(
+                        "SELECT count(*) FROM base WHERE x * 2.0 + 1.0 > 4.0"
+                    )
+                    with lock:
+                        results.append(rows[0][0])
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(set(results)) == 1  # every lookup compiled/read safely
+            kernels = server.kernels
+            if kernels is not None:
+                assert kernels.hits + kernels.misses >= THREADS * 20
+        finally:
+            server.close()
+
+    def test_direct_lookup_race_is_consistent(self):
+        """Raw cache hammering: racing lookups for the same key must all
+        return a working kernel and the cache must stay within capacity."""
+        from repro.engine.frame import Frame, FrameColumn
+        from repro.sql import parse_statement
+
+        cache = KernelCache(capacity=4)
+        frame = Frame(
+            [
+                FrameColumn(
+                    None, "x", DataType.FLOAT64,
+                    np.arange(16, dtype=np.float64),
+                )
+            ]
+        )
+        statement = parse_statement("SELECT x * 2.0 + 1.0 FROM t")
+        expression = statement.items[0].expression
+        outputs = []
+        lock = threading.Lock()
+
+        def fn(i, r):
+            kernel = cache.lookup(expression, frame)
+            if kernel is not None:
+                with lock:
+                    outputs.append(float(kernel.evaluate(frame).data.sum()))
+
+        _hammer(fn)
+        assert len(cache) <= 4
+        assert len(set(outputs)) <= 1

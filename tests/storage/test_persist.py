@@ -111,6 +111,105 @@ class TestErrors:
         load_database(populated_db, directory, replace=True)
 
 
+class TestCrashSafety:
+    def test_save_leaves_no_temp_residue(self, populated_db, tmp_path):
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        assert not [f for f in os.listdir(directory) if f.endswith(".tmp")]
+
+    def test_interrupted_resave_keeps_old_snapshot(
+        self, populated_db, tmp_path, monkeypatch
+    ):
+        """A crash before any atomic replace leaves the previous
+        snapshot fully loadable."""
+        import numpy as np
+
+        from repro.storage import persist
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        populated_db.execute("INSERT INTO t VALUES (4, 9.5, 'w', FALSE)")
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persist.np, "savez_compressed", explode)
+        with pytest.raises(OSError):
+            save_database(populated_db, directory)
+        monkeypatch.setattr(persist.np, "savez_compressed", np.savez_compressed)
+        fresh = Database()
+        assert load_database(fresh, directory) == 2
+        assert fresh.query("SELECT count(*) FROM t") == [(3,)]  # v1 data
+
+    def test_checksum_detects_modified_archive(self, populated_db, tmp_path):
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        path = os.path.join(directory, "t.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["col__a"] = arrays["col__a"] + 1  # silent bit-flip stand-in
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(StorageError, match="'t'.*checksum"):
+            load_database(Database(), directory)
+
+    def test_truncated_archive_is_typed(self, populated_db, tmp_path):
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        path = os.path.join(directory, "media.npz")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])  # torn write
+        with pytest.raises(StorageError, match="'media'"):
+            load_database(Database(), directory)
+
+    def test_missing_archive_is_typed(self, populated_db, tmp_path):
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        os.remove(os.path.join(directory, "media.npz"))
+        with pytest.raises(StorageError, match="'media'.*missing"):
+            load_database(Database(), directory)
+
+    def test_partial_load_registers_nothing(self, populated_db, tmp_path):
+        """All-or-nothing: one bad table must not leave the good ones
+        half-registered in the catalog."""
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        os.remove(os.path.join(directory, "media.npz"))
+        fresh = Database()
+        with pytest.raises(StorageError):
+            load_database(fresh, directory)
+        assert fresh.catalog.table_names() == []
+
+    def test_manifest_without_checksums_still_loads(
+        self, populated_db, tmp_path
+    ):
+        """Backward compatibility: pre-checksum manifests load fine."""
+        import json
+        import os
+
+        directory = str(tmp_path / "dbdir")
+        save_database(populated_db, directory)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        for entry in manifest["tables"]:
+            entry.pop("checksum", None)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        fresh = Database()
+        assert load_database(fresh, directory) == 2
+
+
 class TestWorkloadPersistence:
     def test_iot_dataset_roundtrip(self, tiny_dataset, tmp_path):
         db = Database()

@@ -248,3 +248,16 @@ class TestShell:
     def test_eof_exits(self):
         code, _ = self._run([])
         assert code == 0
+
+
+class TestLoadgenCli:
+    def test_quick_run_writes_sidecar(self, capsys, tmp_path):
+        import json
+
+        sidecar = str(tmp_path / "BENCH_serve.json")
+        assert main(["loadgen", "--quick", "--output", sidecar]) == 0
+        out = capsys.readouterr().out
+        assert "overload shed" in out
+        with open(sidecar) as handle:
+            report = json.load(handle)
+        assert {"steady", "overload"} <= set(report["scenarios"])
