@@ -1,0 +1,120 @@
+"""TPC-H benchmark: larger-than-budget execution and zone-map pruning.
+
+Two scenarios back the partitioned-storage acceptance criteria:
+
+* ``suite_under_budget`` runs the whole query suite with
+  ``query_memory_bytes`` set to a quarter of ``lineitem``'s resident
+  size — no monolithic materialization of the fact table can fit, so
+  the suite only completes because large joins take the grace-spill
+  path.  The sidecar records per-query wall time plus the spill and
+  pruning counters attributed to each query.
+* ``zone_map_pruning`` contrasts the near-full scan (Q1) with the
+  selective date-range scan (Q6) on an unbudgeted database: Q6 must
+  touch measurably fewer partitions, and the skip counts land in the
+  sidecar as evidence.
+
+``--quick`` (CI) runs at SF 0.01; the full run uses SF 0.1 (~600k
+``lineitem`` rows).  The committed ``BENCH_tpch.json`` holds the
+numbers from the last local full run.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.engine import Database
+from repro.obs.metrics import MetricsRegistry
+from repro.workload.tpch import (
+    SUITE_COUNTERS,
+    TPCH_QUERIES,
+    TpchConfig,
+    generate_tpch,
+    run_suite,
+)
+
+#: The memory budget is lineitem's resident size divided by this.
+BUDGET_FRACTION = 4
+
+BENCH_SIDECAR = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_tpch.json"
+)
+
+
+def _record_scenario(name: str, payload: dict) -> None:
+    data: dict = {}
+    if BENCH_SIDECAR.exists():
+        try:
+            data = json.loads(BENCH_SIDECAR.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["cpus"] = os.cpu_count()
+    data.setdefault("scenarios", {})[name] = payload
+    BENCH_SIDECAR.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def dataset(quick_mode):
+    scale_factor = 0.01 if quick_mode else 0.1
+    return generate_tpch(TpchConfig(scale_factor=scale_factor))
+
+
+def test_suite_under_budget(dataset):
+    lineitem_bytes = dataset.tables["lineitem"].nbytes()
+    budget = lineitem_bytes // BUDGET_FRACTION
+    db = Database(metrics=MetricsRegistry(), query_memory_bytes=budget)
+    dataset.install(db)
+
+    report = run_suite(db)
+
+    totals = {
+        counter: sum(entry[counter] for entry in report.values())
+        for counter in SUITE_COUNTERS
+    }
+    # The budget cannot hold the fact table, so at least one join must
+    # have gone through the spill path for the suite to complete.
+    assert totals["join_spill_partitions_total"] > 0
+    assert totals["join_spill_bytes_total"] > 0
+    _record_scenario(
+        "suite_under_budget",
+        {
+            "scale_factor": dataset.config.scale_factor,
+            "lineitem_rows": dataset.tables["lineitem"].num_rows,
+            "lineitem_resident_bytes": lineitem_bytes,
+            "query_memory_bytes": budget,
+            "queries": report,
+            "totals": totals,
+        },
+    )
+
+
+def test_zone_map_pruning(dataset):
+    metrics = MetricsRegistry()
+    db = Database(metrics=metrics)
+    dataset.install(db)
+
+    def scanned_after(sql: str) -> float:
+        before = metrics.get("partitions_scanned_total")
+        start = before.value if before else 0.0
+        db.query(sql)
+        return metrics.get("partitions_scanned_total").value - start
+
+    full_scan = scanned_after(TPCH_QUERIES["q1"])
+    selective_scan = scanned_after(TPCH_QUERIES["q6"])
+    pruned = metrics.get("partitions_pruned_total")
+
+    # Q6's one-year shipdate window must skip most of the clustered
+    # lineitem partitions that Q1's near-full scan touches.
+    assert selective_scan < full_scan
+    assert pruned is not None and pruned.value > 0
+    _record_scenario(
+        "zone_map_pruning",
+        {
+            "scale_factor": dataset.config.scale_factor,
+            "lineitem_partitions": dataset.tables["lineitem"].num_partitions,
+            "full_scan_partitions": full_scan,
+            "selective_scan_partitions": selective_scan,
+            "partitions_pruned": pruned.value,
+        },
+    )

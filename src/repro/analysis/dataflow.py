@@ -67,7 +67,8 @@ from repro.sql.ast_nodes import (
     split_conjuncts,
 )
 from repro.sql.spans import set_span, span_of
-from repro.storage.schema import DataType
+from repro.errors import StorageError
+from repro.storage.schema import DataType, parse_date
 
 if TYPE_CHECKING:  # imported for annotations only (no runtime cycle)
     from repro.engine.statistics import StatisticsProvider, TableStats
@@ -633,11 +634,14 @@ def column_seed_fact(
                 lo: float = column.min_value
                 hi: float = column.max_value
                 if dtype in (DataType.INT64, DataType.DATE):
-                    # float64 cannot represent every int64 exactly;
-                    # widen by one ulp where rounding could bite.
-                    if abs(lo) > 2**53:
+                    # Exact Python-int bounds pass through untouched
+                    # (int comparisons never round).  Bounds that went
+                    # through float64 — legacy stats, overrides — may
+                    # have rounded at or above 2**53, so widen by one
+                    # ulp where rounding could bite.
+                    if isinstance(lo, float) and abs(lo) >= 2**53:
                         lo = math.nextafter(lo, -math.inf)
-                    if abs(hi) > 2**53:
+                    if isinstance(hi, float) and abs(hi) >= 2**53:
                         hi = math.nextafter(hi, math.inf)
                 interval = Interval(lo, hi)
     can_null = nullability is not Nullability.NEVER
@@ -699,7 +703,9 @@ def statement_relations(
                     relation_facts(
                         qualifier,
                         table.name,
-                        [(c.name, c.dtype) for c in table.columns],
+                        # Schema, not columns: reading the columns of a
+                        # lazily-partitioned table materializes it.
+                        [(c.name, c.dtype) for c in table.schema],
                         stats,
                     )
                 )
@@ -1006,9 +1012,41 @@ def _concat_facts(left: Fact, right: Fact) -> Fact:
     )
 
 
+def _coerce_date_facts(left: Fact, right: Fact) -> tuple[Fact, Fact]:
+    """Mirror the evaluator's DATE/STRING comparison coercion.
+
+    The engine turns string literals into date ordinals when the other
+    side is DATE data (``_coerce_date_comparison`` in expressions.py);
+    without the same coercion here every ``d >= '1994-01-01'`` predicate
+    is a DATE-vs-STRING comparison the transfer function must treat as
+    opaque.  Unparseable literals (which raise at runtime) are left
+    alone — the comparison then proves nothing, which is sound.
+    """
+    for a, b in ((left, right), (right, left)):
+        if (
+            a.dtype is DataType.DATE
+            and b.dtype is DataType.STRING
+            and b.is_const
+            and isinstance(b.const, str)
+        ):
+            try:
+                ordinal = parse_date(b.const)
+            except StorageError:
+                return left, right
+            coerced = replace(
+                b,
+                const=ordinal,
+                interval=Interval.point(ordinal),
+                dtype=DataType.DATE,
+            )
+            return (a, coerced) if a is left else (coerced, a)
+    return left, right
+
+
 def _compare_facts(op: str, left: Fact, right: Fact) -> Fact:
     if left.always_null or right.always_null:
         return _bool_fact(Truth(False, False, True))
+    left, right = _coerce_date_facts(left, right)
     can_null = not (left.never_null and right.never_null)
 
     # Constant fold, mirroring the scalar comparison path exactly.
@@ -1642,10 +1680,12 @@ def _refine_comparison(env: Env, node: BinaryOp) -> bool:
                 return False
     if isinstance(node.left, ColumnRef):
         other = analyze_expression(node.right, env)
+        _, other = _coerce_date_facts(env.lookup(node.left), other)
         if not _refine_bound(env, node.left, node.op, other):
             return False
     if isinstance(node.right, ColumnRef):
         other = analyze_expression(node.left, env)
+        _, other = _coerce_date_facts(env.lookup(node.right), other)
         if not _refine_bound(env, node.right, _FLIPPED[node.op], other):
             return False
     return True

@@ -199,7 +199,7 @@ def _shape_signature(plan: LogicalPlan) -> "Counter[str]":
             order = ", ".join(o.to_sql() for o in node.order_by)
             shape[f"Sort[{order}]"] += 1
         elif isinstance(node, Limit):
-            shape[f"Limit[{node.count}]"] += 1
+            shape[f"Limit[{node.count}+{node.offset}]"] += 1
         elif isinstance(node, Distinct):
             shape["Distinct"] += 1
         elif isinstance(node, Aggregate):

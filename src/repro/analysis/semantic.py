@@ -23,6 +23,7 @@ S009  scalar subquery with more than one output column
 S010  unknown table or view
 S011  UDF argument type mismatch
 S012  ``*`` outside a select list / ``count(*)``
+S013  negative LIMIT or OFFSET (raised by the parser)
 ====  ==============================================================
 
 In *lenient* mode (``strict=False``, used by the linter when no catalog

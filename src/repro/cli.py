@@ -12,6 +12,7 @@ Usage::
     python -m repro chaos [--quick]          # seeded fault-injection report
     python -m repro serve [--port P]         # line-JSON SQL server
     python -m repro loadgen [--quick]        # serving-layer load benchmark
+    python -m repro tpch [--scale-factor F]  # TPC-H suite under a budget
 
 ``-v``/``-vv`` raises log verbosity (INFO/DEBUG) for any subcommand.
 
@@ -245,6 +246,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="report sidecar path (default BENCH_serve.json)",
     )
 
+    tpch_parser = subparsers.add_parser(
+        "tpch",
+        help=(
+            "generate the TPC-H workload and run the query suite under a "
+            "memory budget"
+        ),
+    )
+    tpch_parser.add_argument(
+        "--scale-factor",
+        type=float,
+        default=0.01,
+        help="TPC-H scale factor in (0, 1] (default 0.01)",
+    )
+    tpch_parser.add_argument("--seed", type=int, default=7)
+    tpch_parser.add_argument(
+        "--memory-mb",
+        type=float,
+        default=None,
+        help=(
+            "per-query memory budget in MiB; joins too large for a "
+            "quarter of it spill to disk (default: unbudgeted)"
+        ),
+    )
+    tpch_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-query report as JSON instead of a table",
+    )
+
     args = parser.parse_args(argv)
     setup_logging(args.verbose)
     if args.command is None:
@@ -270,6 +300,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "tpch":
+        return _cmd_tpch(args)
     return 2  # pragma: no cover - argparse guards this
 
 
@@ -687,6 +719,69 @@ def _cmd_loadgen(args) -> int:
     # The overload scenario is the point: a run that never shed and never
     # surfaced an untyped error proves nothing, so fail loudly in CI.
     return 1 if overload["untyped_errors"] else 0
+
+
+def _cmd_tpch(args) -> int:
+    import json
+    import time
+
+    from repro.engine import Database
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workload.tpch import (
+        SUITE_COUNTERS,
+        TpchConfig,
+        generate_tpch,
+        run_suite,
+    )
+
+    started = time.perf_counter()
+    data = generate_tpch(TpchConfig(scale_factor=args.scale_factor,
+                                    seed=args.seed))
+    generated = time.perf_counter() - started
+    budget = (
+        int(args.memory_mb * 1024 * 1024)
+        if args.memory_mb is not None else None
+    )
+    db = Database(metrics=MetricsRegistry(), query_memory_bytes=budget)
+    data.install(db)
+    report = run_suite(db)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    sizes = {name: t.num_rows for name, t in data.tables.items()}
+    print(
+        f"generated SF {args.scale_factor} in {generated:.2f}s "
+        f"(lineitem: {sizes['lineitem']:,} rows, "
+        f"{data.tables['lineitem'].nbytes() / 1e6:.1f} MB resident)"
+    )
+    if budget is not None:
+        print(f"query memory budget: {budget:,} bytes")
+    header = ("query", "seconds", "rows", "scanned", "pruned",
+              "spill parts", "spill bytes")
+    rows = [header]
+    for name, entry in report.items():
+        rows.append((
+            name,
+            f"{entry['seconds']:.3f}",
+            f"{int(entry['rows'])}",
+            f"{int(entry['partitions_scanned_total'])}",
+            f"{int(entry['partitions_pruned_total'])}",
+            f"{int(entry['join_spill_partitions_total'])}",
+            f"{int(entry['join_spill_bytes_total'])}",
+        ))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for row in rows:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    totals = {
+        counter: sum(entry[counter] for entry in report.values())
+        for counter in SUITE_COUNTERS
+    }
+    print(
+        f"total: {totals['partitions_pruned_total']:.0f} partitions pruned, "
+        f"{totals['join_spill_bytes_total']:.0f} bytes spilled"
+    )
+    return 0
 
 
 def _cmd_shell(scale: int, seed: int) -> int:

@@ -54,6 +54,7 @@ from repro.engine.optimizer import (
     OptimizerConfig,
     annotate_plan_facts,
     fold_plan,
+    prune_partitions,
 )
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS, MorselPool
 from repro.engine.physical import ExecutionContext, execute_plan
@@ -757,6 +758,15 @@ class Database:
             for pair, fact in deps.items():
                 assumptions.setdefault(pair, fact)
                 versions.setdefault(pair[0], self.statistics.version(pair[0]))
+            with self.tracer.span("prune"):
+                prune_report = prune_partitions(
+                    optimized, self.catalog, self.statistics
+                )
+            if prune_report.pruned and self.metrics is not None:
+                self.metrics.counter(
+                    "partitions_pruned_total",
+                    "Partitions skipped by zone-map pruning",
+                ).inc(prune_report.pruned)
         plan = optimized
         plan.output_schema = schema
         if self._plan_cache_enabled:

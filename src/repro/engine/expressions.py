@@ -906,19 +906,64 @@ def _register_builtins(registry: FunctionRegistry) -> None:
     registry.register("coalesce", _coalesce)
     registry.register("ifnull", _coalesce)
 
-    def _like(args: list[Vector], num_rows: int) -> Vector:
+    def _like_fragment(ch: str) -> str:
+        """One literal pattern character as a regex fragment.
+
+        LIKE is case-insensitive for ASCII letters only (the sqlite3
+        semantics this kernel is differential-tested against); non-ASCII
+        characters compare case-sensitively.
+        """
         import re
 
+        if "a" <= ch <= "z" or "A" <= ch <= "Z":
+            return f"[{ch.lower()}{ch.upper()}]"
+        return re.escape(ch)
+
+    def _like_regex(pattern: str, escape: Optional[str]) -> "re.Pattern":
+        """Compile a LIKE pattern with optional ESCAPE to a regex.
+
+        ``%`` spans newlines (DOTALL); an escape character makes the
+        *next* character literal, and a dangling trailing escape makes
+        the pattern unmatchable — all matching sqlite3.
+        """
+        import re
+
+        parts = ["^"]
+        i = 0
+        while i < len(pattern):
+            ch = pattern[i]
+            if escape is not None and ch == escape:
+                i += 1
+                if i >= len(pattern):
+                    parts.append("(?!)")  # dangling escape matches nothing
+                    break
+                parts.append(_like_fragment(pattern[i]))
+            elif ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(_like_fragment(ch))
+            i += 1
+        parts.append("$")
+        return re.compile("".join(parts), re.DOTALL)
+
+    def _like(args: list[Vector], num_rows: int) -> Vector:
         if args[1].is_null_scalar:
             return _all_null_bool(num_rows)
         pattern_text = args[1].data if args[1].is_scalar else None
         if pattern_text is None:
             raise PlanError("LIKE pattern must be a literal")
-        regex = re.compile(
-            "^"
-            + re.escape(pattern_text).replace("%", ".*").replace("_", ".")
-            + "$"
-        )
+        escape: Optional[str] = None
+        if len(args) > 2:
+            if args[2].is_null_scalar:
+                return _all_null_bool(num_rows)
+            escape = args[2].data if args[2].is_scalar else None
+            if not isinstance(escape, str) or len(escape) != 1:
+                raise PlanError(
+                    "LIKE ESCAPE expression must be a single character"
+                )
+        regex = _like_regex(str(pattern_text), escape)
         value = args[0]
         if value.is_null_scalar:
             return _all_null_bool(num_rows)

@@ -62,10 +62,29 @@ class Scan(LogicalPlan):
 
     table_name: str = ""
     alias: Optional[str] = None
+    #: Zone-map pruning annotation (partitioned tables only), filled by
+    #: the optimizer's pruning pass: indexes of the partitions a folded
+    #: conjunct could *not* prove empty.  ``None`` means scan everything.
+    partition_selection: Optional[tuple[int, ...]] = field(
+        default=None, compare=False
+    )
+    #: Total partition count the selection was computed against.
+    partition_total: int = field(default=0, compare=False)
+    #: Catalog data version at pruning time.  The executor honors the
+    #: selection only while this still matches — a cached plan whose
+    #: table has since mutated falls back to scanning every partition
+    #: (sound, never wrong) until the plan is re-optimized.
+    partition_data_version: Optional[int] = field(default=None, compare=False)
 
     def describe(self) -> str:
         alias = f" AS {self.alias}" if self.alias else ""
-        return f"Scan {self.table_name}{alias}"
+        pruned = ""
+        if self.partition_selection is not None:
+            pruned = (
+                f" [partitions: {len(self.partition_selection)}"
+                f"/{self.partition_total} after zone-map pruning]"
+            )
+        return f"Scan {self.table_name}{alias}{pruned}"
 
 
 @dataclass
@@ -233,11 +252,14 @@ class Sort(LogicalPlan):
 class Limit(LogicalPlan):
     child: Optional[LogicalPlan] = None
     count: int = 0
+    offset: int = 0
 
     def children(self) -> list[LogicalPlan]:
         return [self.child] if self.child else []
 
     def describe(self) -> str:
+        if self.offset:
+            return f"Limit {self.count} OFFSET {self.offset}"
         return f"Limit {self.count}"
 
 

@@ -102,7 +102,11 @@ class Optimizer:
         if isinstance(plan, Sort):
             return Sort(child=self._rewrite(plan.child), order_by=plan.order_by)
         if isinstance(plan, Limit):
-            return Limit(child=self._rewrite(plan.child), count=plan.count)
+            return Limit(
+                child=self._rewrite(plan.child),
+                count=plan.count,
+                offset=plan.offset,
+            )
         if isinstance(plan, Distinct):
             return Distinct(child=self._rewrite(plan.child))
         if isinstance(plan, Aggregate):
@@ -704,6 +708,7 @@ def _fold_node(
         return Limit(
             child=_fold_node(plan.child, catalog, statistics, report, dataflow),
             count=plan.count,
+            offset=plan.offset,
         )
     if isinstance(plan, Distinct):
         assert plan.child is not None
@@ -763,7 +768,9 @@ def _plan_relations(
                     dataflow.relation_facts(
                         qualifier,
                         table.name,
-                        [(c.name, c.dtype) for c in table.columns],
+                        # Schema, not columns: reading the columns of a
+                        # lazily-partitioned table materializes it.
+                        [(c.name, c.dtype) for c in table.schema],
                         stats,
                     )
                 )
@@ -822,8 +829,8 @@ def _subtree_columns(
                 columns.append((qualifier, "__dummy__", DataType.INT64))
                 return
             table = catalog.get_table(node.table_name)
-            for column in table.columns:
-                columns.append((qualifier, column.name, column.dtype))
+            for spec in table.schema:
+                columns.append((qualifier, spec.name, spec.dtype))
             return
         for child in node.children():
             visit(child)
@@ -880,3 +887,107 @@ def annotate_plan_facts(
         if proven:
             node.nonnull_columns = frozenset(proven)
     return deps
+
+
+# ----------------------------------------------------------------------
+# Zone-map partition pruning (post-optimization annotation pass)
+# ----------------------------------------------------------------------
+@dataclass
+class PruneAction:
+    """One scan's pruning outcome (surfaced through EXPLAIN/metrics)."""
+
+    table: str
+    qualifier: str
+    kept: int
+    total: int
+
+
+@dataclass
+class PruneReport:
+    actions: list[PruneAction] = field(default_factory=list)
+
+    @property
+    def pruned(self) -> int:
+        return sum(action.total - action.kept for action in self.actions)
+
+
+def prune_partitions(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    statistics: Optional[StatisticsProvider],
+) -> PruneReport:
+    """Skip partitions a folded conjunct proves empty.
+
+    For every ``Filter`` chain sitting directly on a ``Scan`` of a
+    :class:`~repro.storage.partition.PartitionedTable`, each partition's
+    zone map (exact per-partition min/max/null stats) is seeded into the
+    dataflow environment exactly like table-level statistics, and the
+    filter predicate is folded against it.  A partition whose facts make
+    some conjunct *never TRUE* cannot contribute a row, so the executor
+    skips materializing it — the partitioned analogue of the
+    whole-subtree EmptyScan rewrite in :func:`fold_plan`.
+
+    Runs after the plan validators (it only fills ``compare=False``
+    annotation slots on Scan nodes).  The executor re-checks the
+    catalog data version before honoring a selection, so plans cached
+    across table mutations degrade to full scans instead of reading a
+    stale selection.
+    """
+    from repro.analysis import dataflow
+    from repro.engine.statistics import TableStats
+    from repro.storage.partition import PartitionedTable
+
+    report = PruneReport()
+    for node in walk_plan(plan):
+        if not isinstance(node, Filter) or node.predicate is None:
+            continue
+        # Accumulate stacked filter predicates down to the scan.
+        conjuncts: list[Expression] = []
+        child: Optional[LogicalPlan] = node
+        while isinstance(child, Filter) and child.predicate is not None:
+            conjuncts.extend(split_conjuncts(child.predicate))
+            child = child.child
+        if not isinstance(child, Scan):
+            continue
+        scan = child
+        if scan.partition_selection is not None:
+            # Already annotated through an enclosing (larger) chain —
+            # walk_plan is pre-order, so the first visit saw the most
+            # conjuncts.
+            continue
+        if not catalog.has(scan.table_name) or catalog.is_view(scan.table_name):
+            continue
+        table = catalog.get_table(scan.table_name)
+        if not isinstance(table, PartitionedTable):
+            continue
+        partitions = table.partitions
+        if len(partitions) <= 1:
+            continue
+        qualifier = scan.alias or scan.table_name
+        columns = [(spec.name, spec.dtype) for spec in table.schema]
+        predicate = combine_conjuncts(conjuncts)
+        kept: list[int] = []
+        for index, partition in enumerate(partitions):
+            zone_stats = TableStats(
+                row_count=partition.rows, columns=partition.zone
+            )
+            env = dataflow.build_env([
+                dataflow.relation_facts(
+                    qualifier, table.name, columns, zone_stats
+                )
+            ])
+            fold = dataflow.fold_conjuncts(predicate, env)
+            if fold.contradiction is None:
+                kept.append(index)
+        scan.partition_selection = tuple(kept)
+        scan.partition_total = len(partitions)
+        scan.partition_data_version = catalog.data_version(scan.table_name)
+        report.actions.append(
+            PruneAction(
+                table=table.name,
+                qualifier=qualifier,
+                kept=len(kept),
+                total=len(partitions),
+            )
+        )
+    return report

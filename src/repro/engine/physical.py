@@ -53,7 +53,9 @@ from repro.sql.ast_nodes import (
     Star,
 )
 from repro.storage.catalog import Catalog
+from repro.storage.partition import PartitionedTable, concat_partition_columns
 from repro.storage.schema import DataType
+from repro.storage.table import Table
 from repro.storage.validity import null_mask_of
 
 
@@ -80,6 +82,8 @@ class ExecutionContext:
     analyzer: Optional["PlanAnalyzer"] = None
     #: Metrics registry for operational counters; None (default) is free.
     metrics: Optional["MetricsRegistry"] = None
+    #: Populated by grace hash join spills for tests/benchmarks.
+    last_spill_stats: dict[str, int] = field(default_factory=dict)
     #: Deadline + cancellation state of the owning statement; checked
     #: per operator and per symmetric-join chunk so timeouts/cancels
     #: land within one batch of work.  None (default) is free.
@@ -157,13 +161,57 @@ def _execute_scan(plan: Scan, ctx: ExecutionContext) -> Frame:
                                 np.zeros(1, dtype=np.int64))
             return Frame([dummy])
         table = ctx.catalog.get_table(plan.table_name)
-        frame = Frame.from_table(table, plan.alias or table.name)
+        if isinstance(table, PartitionedTable):
+            frame = _scan_partitioned(plan, table, ctx)
+        else:
+            frame = Frame.from_table(table, plan.alias or table.name)
         token.record_rows(frame.num_rows)
         if ctx.metrics is not None:
             ctx.metrics.counter(
                 "rows_scanned_total", "Rows produced by table scans"
             ).inc(frame.num_rows)
         return frame
+
+
+def _scan_partitioned(
+    plan: Scan, table: PartitionedTable, ctx: ExecutionContext
+) -> Frame:
+    """Stream a partitioned table: admit, materialize and concatenate
+    partition-at-a-time, honoring the optimizer's zone-map selection.
+
+    The selection is trusted only while the catalog data version it was
+    computed against still holds — a plan cached across a table mutation
+    silently degrades to scanning every partition, which is always
+    correct (pruning is an optimization, never a semantic requirement).
+    """
+    partitions = table.partitions
+    selection = list(range(len(partitions)))
+    if (
+        plan.partition_selection is not None
+        and plan.partition_total == len(partitions)
+        and plan.partition_data_version is not None
+        and plan.partition_data_version
+        == ctx.catalog.data_version(plan.table_name)
+    ):
+        selection = list(plan.partition_selection)
+    chunks = []
+    for index in selection:
+        partition = partitions[index]
+        if ctx.memory is not None:
+            ctx.memory.admit(
+                partition.nbytes,
+                f"scan of table {table.name!r} partition {index}",
+            )
+        chunks.append(partition.materialize())
+    if ctx.metrics is not None:
+        ctx.metrics.counter(
+            "partitions_scanned_total",
+            "Partitions materialized by table scans",
+        ).inc(len(selection))
+    columns = concat_partition_columns(chunks, table.schema)
+    return Frame.from_table(
+        Table(table.name, columns), plan.alias or table.name
+    )
 
 
 def _execute_empty_scan(plan: EmptyScan, ctx: ExecutionContext) -> Frame:
@@ -461,17 +509,26 @@ def _execute_hash_join(plan: HashJoin, ctx: ExecutionContext) -> Frame:
     with ctx.profiler.measure("join") as token:
         left_keys, left_null = _evaluate_keys(left, plan.left_keys, ctx)
         right_keys, right_null = _evaluate_keys(right, plan.right_keys, ctx)
+        result: Optional[Frame] = None
         if plan.symmetric:
             left_idx, right_idx = _symmetric_hash_join(
                 left_keys, right_keys, ctx,
                 left_null=left_null, right_null=right_null,
             )
         else:
-            left_idx, right_idx = _match_keys(
-                left_keys, right_keys, left_null, right_null, ctx=ctx
+            from repro.engine.spill import maybe_grace_hash_join
+
+            result = maybe_grace_hash_join(
+                plan, left, right, left_keys, left_null,
+                right_keys, right_null, ctx,
             )
-        _admit_join_output(ctx, left, right, len(left_idx), "hash join")
-        result = left.take(left_idx).concat_columns(right.take(right_idx))
+            if result is None:
+                left_idx, right_idx = _match_keys(
+                    left_keys, right_keys, left_null, right_null, ctx=ctx
+                )
+        if result is None:
+            _admit_join_output(ctx, left, right, len(left_idx), "hash join")
+            result = left.take(left_idx).concat_columns(right.take(right_idx))
         token.record_rows(result.num_rows)
 
     if plan.residual is not None:
@@ -1534,7 +1591,7 @@ def _execute_limit(plan: Limit, ctx: ExecutionContext) -> Frame:
     assert plan.child is not None
     frame = execute_plan(plan.child, ctx)
     with ctx.profiler.measure("limit") as token:
-        result = frame.head(plan.count)
+        result = frame.slice(plan.offset, plan.offset + plan.count)
         token.record_rows(result.num_rows)
     return result
 

@@ -84,7 +84,11 @@ class Planner:
         if statement.distinct:
             plan = Distinct(child=plan)
         if statement.limit is not None:
-            plan = Limit(child=plan, count=statement.limit)
+            plan = Limit(
+                child=plan,
+                count=statement.limit,
+                offset=statement.offset or 0,
+            )
         return plan
 
     # ------------------------------------------------------------------

@@ -1,0 +1,256 @@
+"""Grace hash join: spill the build side to disk under memory pressure.
+
+When a hash join's build side is large relative to the query memory
+budget, matching it in one pass would concentrate the whole build frame,
+its sort order, and the join output in memory at once.  The grace
+variant hash-partitions both sides on the (combined, numeric) join key,
+writes each build-side partition to an uncompressed ``.npz`` spill file,
+and then probes partition-at-a-time in a second pass: only one build
+partition is resident while its matches are produced, and every reload
+and output chunk passes through the :class:`MemoryAccountant`.
+
+The spill path only engages when it is both needed and safe:
+
+* ``ctx.memory`` is set and *either* frame exceeds a quarter of the
+  query budget (below that, the one-pass join is strictly cheaper).
+  A large probe side matters even when the build side is tiny: a
+  dimension-to-fact join can emit an output frame far larger than the
+  budget, and only the partitioned path admits that output
+  chunk-by-chunk instead of as one materialization;
+* the combined key is numeric with identical dtypes on both sides
+  (object keys use dict buckets and BLOB payloads have no stable
+  array serialization — both fall back to the in-memory join).
+
+Output ordering is partition-major, which differs from the one-pass
+join; join output order is already unspecified (the morsel-parallel
+join reorders the same way), so nothing above may rely on it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.storage.schema import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.engine.frame import Frame
+    from repro.engine.logical import HashJoin
+    from repro.engine.physical import ExecutionContext
+
+#: Spill engages when either frame exceeds budget / SPILL_FRACTION.
+SPILL_FRACTION = 4
+#: Each partition targets roughly budget / PARTITION_FRACTION of the
+#: larger side, so per-partition output admissions stay well under budget.
+PARTITION_FRACTION = 8
+#: Hard bounds on the partition fan-out.
+MIN_PARTITIONS = 2
+MAX_PARTITIONS = 64
+
+
+def maybe_grace_hash_join(
+    plan: "HashJoin",
+    left: "Frame",
+    right: "Frame",
+    left_keys: list[np.ndarray],
+    left_null: Optional[np.ndarray],
+    right_keys: list[np.ndarray],
+    right_null: Optional[np.ndarray],
+    ctx: "ExecutionContext",
+) -> Optional["Frame"]:
+    """Run the join via disk spill, or return None to use the in-memory path.
+
+    The left frame is the build side (the planner puts the smaller
+    estimated input on the left for non-symmetric joins).
+    """
+    from repro.engine.memory import frame_nbytes
+    from repro.engine.physical import _combine_key_pair
+
+    if ctx.memory is None or left.num_rows == 0 or right.num_rows == 0:
+        return None
+    budget = ctx.memory.budget_bytes
+    pressure_bytes = max(frame_nbytes(left), frame_nbytes(right))
+    if pressure_bytes <= budget // SPILL_FRACTION:
+        return None
+    if any(c.dtype is DataType.BLOB for c in left.columns):
+        return None
+    left_combined, right_combined = _combine_key_pair(left_keys, right_keys)
+    if (
+        left_combined.dtype == object
+        or right_combined.dtype == object
+        or left_combined.dtype != right_combined.dtype
+    ):
+        return None
+    return _grace_hash_join(
+        plan, left, right, left_combined, left_null,
+        right_combined, right_null, ctx, pressure_bytes,
+    )
+
+
+def _grace_hash_join(
+    plan: "HashJoin",
+    left: "Frame",
+    right: "Frame",
+    left_combined: np.ndarray,
+    left_null: Optional[np.ndarray],
+    right_combined: np.ndarray,
+    right_null: Optional[np.ndarray],
+    ctx: "ExecutionContext",
+    pressure_bytes: int,
+) -> "Frame":
+    from repro.engine.frame import concat_frames
+    from repro.engine.memory import arrays_nbytes
+    from repro.engine.physical import (
+        _admit_join_output,
+        _hash_partition_ids,
+        _match_numeric_keys,
+    )
+
+    assert ctx.memory is not None
+    budget = ctx.memory.budget_bytes
+    num_partitions = int(
+        np.clip(
+            -(-pressure_bytes // max(1, budget // PARTITION_FRACTION)),
+            MIN_PARTITIONS,
+            MAX_PARTITIONS,
+        )
+    )
+
+    # NULL join keys never match anything; drop those rows up front so
+    # the partition ids and spill files only carry joinable rows.
+    build_rows = (
+        np.flatnonzero(~left_null)
+        if left_null is not None
+        else np.arange(left.num_rows, dtype=np.int64)
+    )
+    probe_rows = (
+        np.flatnonzero(~right_null)
+        if right_null is not None
+        else np.arange(right.num_rows, dtype=np.int64)
+    )
+    build_keys = left_combined[build_rows]
+    probe_keys = right_combined[probe_rows]
+    build_parts = _hash_partition_ids(build_keys, num_partitions)
+    probe_parts = _hash_partition_ids(probe_keys, num_partitions)
+
+    directory = tempfile.mkdtemp(prefix="repro-spill-")
+    spilled_bytes = 0
+    spilled_partitions = 0
+    try:
+        # Pass 1: spill each build-side partition to its own file.
+        paths: list[Optional[str]] = [None] * num_partitions
+        for part in range(num_partitions):
+            selection = build_rows[np.flatnonzero(build_parts == part)]
+            if len(selection) == 0:
+                continue
+            chunk = left.take(selection)
+            arrays = _pack_chunk(chunk, build_keys[build_parts == part])
+            nbytes = arrays_nbytes(list(arrays.values()))
+            ctx.memory.admit(nbytes, f"hash join spill partition {part}")
+            path = os.path.join(directory, f"build.p{part:04d}.npz")
+            with open(path, "wb") as handle:
+                np.savez(handle, **arrays)
+            paths[part] = path
+            spilled_bytes += nbytes
+            spilled_partitions += 1
+
+        if ctx.metrics is not None:
+            ctx.metrics.counter(
+                "join_spill_partitions_total",
+                "Build-side partitions spilled by grace hash joins",
+            ).inc(spilled_partitions)
+            ctx.metrics.counter(
+                "join_spill_bytes_total",
+                "Bytes written to disk by grace hash join spills",
+            ).inc(spilled_bytes)
+
+        # Pass 2: probe one build partition at a time.
+        chunks: list["Frame"] = []
+        out_rows = 0
+        for part in range(num_partitions):
+            path = paths[part]
+            if path is None:
+                continue
+            if ctx.query is not None:
+                ctx.query.check()
+            probe_selection = probe_rows[np.flatnonzero(probe_parts == part)]
+            if len(probe_selection) == 0:
+                continue
+            chunk, chunk_keys = _unpack_chunk(path, left)
+            build_idx, probe_idx = _match_numeric_keys(
+                chunk_keys, probe_keys[probe_parts == part]
+            )
+            if len(build_idx) == 0:
+                continue
+            _admit_join_output(
+                ctx, left, right, len(build_idx),
+                f"hash join spill output partition {part}",
+            )
+            chunks.append(
+                chunk.take(build_idx).concat_columns(
+                    right.take(probe_selection[probe_idx])
+                )
+            )
+            out_rows += len(build_idx)
+
+        ctx.last_spill_stats = {
+            "partitions": spilled_partitions,
+            "bytes": spilled_bytes,
+            "rows": out_rows,
+        }
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return left.take(empty).concat_columns(right.take(empty))
+        return concat_frames(chunks)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _pack_chunk(chunk: "Frame", keys: np.ndarray) -> dict[str, np.ndarray]:
+    """Flatten a build-side chunk into pickle-free npz members.
+
+    STRING columns (object arrays) become fixed-width unicode arrays
+    plus an explicit validity mask; everything else is stored verbatim.
+    Qualifiers, names and dtypes are *not* serialized — the live frame
+    the chunk was taken from is the template at reload time.
+    """
+    arrays: dict[str, np.ndarray] = {"keys": keys}
+    for position, column in enumerate(chunk.columns):
+        data = column.data
+        valid = column.valid
+        if data.dtype == object:
+            null = column.null_mask()
+            if null is not None:
+                valid = ~null
+                data = data.copy()
+                data[null] = ""
+            arrays[f"d{position}"] = data.astype(str)
+        else:
+            arrays[f"d{position}"] = data
+        if valid is not None:
+            arrays[f"v{position}"] = valid
+    return arrays
+
+
+def _unpack_chunk(path: str, template: "Frame") -> tuple["Frame", np.ndarray]:
+    """Rebuild a spilled build chunk against the original frame's schema."""
+    from repro.engine.frame import Frame, FrameColumn
+
+    with np.load(path, allow_pickle=False) as archive:
+        keys = np.asarray(archive["keys"])
+        columns: list[FrameColumn] = []
+        for position, spec in enumerate(template.columns):
+            data = np.asarray(archive[f"d{position}"])
+            if spec.data.dtype == object:
+                data = data.astype(object)
+            valid = None
+            if f"v{position}" in archive:
+                valid = np.asarray(archive[f"v{position}"])
+            columns.append(
+                FrameColumn(spec.qualifier, spec.name, spec.dtype, data, valid)
+            )
+    return Frame(columns), keys

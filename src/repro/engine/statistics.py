@@ -26,11 +26,16 @@ class ColumnStats:
     ``min_value``/``max_value`` cover the *non-NULL* values only (NULLs
     carry no value); ``null_count`` records how many rows are NULL so
     the dataflow layer can prove definite (non-)nullability.
+
+    Integer-typed columns (INT64, DATE ordinals) keep their bounds as
+    exact Python ints: coercing them through ``float`` silently rounds
+    magnitudes above 2**53, and the dataflow layer folds predicates
+    against these bounds as *exact* facts.
     """
 
     distinct: int
-    min_value: Optional[float] = None
-    max_value: Optional[float] = None
+    min_value: Optional[float | int] = None
+    max_value: Optional[float | int] = None
     null_count: int = 0
 
 
@@ -57,7 +62,19 @@ class TableStats:
 
 
 def compute_table_stats(table: Table) -> TableStats:
-    """Exact statistics for a materialized table."""
+    """Exact statistics for a materialized table.
+
+    Partitioned tables are summarized by *merging their zone maps*
+    instead of materializing the data: min/max/null-count merge exactly
+    (so the dataflow layer's seeded facts stay sound for lazy,
+    larger-than-memory tables), while the distinct count — a cost-model
+    estimate, never a semantic fact — is approximated by the capped sum
+    of per-partition counts.
+    """
+    from repro.storage.partition import PartitionedTable
+
+    if isinstance(table, PartitionedTable):
+        return _merge_zone_maps(table)
     columns: dict[str, ColumnStats] = {}
     for column in table.columns:
         if column.dtype is DataType.BLOB:
@@ -73,8 +90,14 @@ def compute_table_stats(table: Table) -> TableStats:
                 # NULLs are NaN (float) or sentinel values (fixed-width)
                 # in the backing array; either would corrupt the bounds.
                 data = data[~null_mask]
-            min_value = float(np.min(data))
-            max_value = float(np.max(data))
+            if column.dtype in (DataType.INT64, DataType.DATE):
+                # Exact int bounds: float64 rounds above 2**53, and the
+                # fold pass treats these as exact (see ColumnStats).
+                min_value = int(np.min(data))
+                max_value = int(np.max(data))
+            else:
+                min_value = float(np.min(data))
+                max_value = float(np.max(data))
         columns[column.name.lower()] = ColumnStats(
             distinct=distinct,
             min_value=min_value,
@@ -82,6 +105,37 @@ def compute_table_stats(table: Table) -> TableStats:
             null_count=null_count,
         )
     return TableStats(row_count=table.num_rows, columns=columns)
+
+
+def _merge_zone_maps(table: Table) -> TableStats:
+    """Fold per-partition zone maps into table-level statistics."""
+    partitions = table.partitions  # type: ignore[attr-defined]
+    row_count = sum(p.rows for p in partitions)
+    columns: dict[str, ColumnStats] = {}
+    names: list[str] = []
+    for partition in partitions:
+        for name in partition.zone:
+            if name not in columns:
+                names.append(name)
+                columns[name] = ColumnStats(distinct=0)
+    for name in names:
+        merged = columns[name]
+        for partition in partitions:
+            stats = partition.zone.get(name)
+            if stats is None:
+                continue
+            merged.distinct += stats.distinct
+            merged.null_count += stats.null_count
+            if stats.min_value is not None and (
+                merged.min_value is None or stats.min_value < merged.min_value
+            ):
+                merged.min_value = stats.min_value
+            if stats.max_value is not None and (
+                merged.max_value is None or stats.max_value > merged.max_value
+            ):
+                merged.max_value = stats.max_value
+        merged.distinct = min(merged.distinct, row_count)
+    return TableStats(row_count=row_count, columns=columns)
 
 
 class StatisticsProvider:

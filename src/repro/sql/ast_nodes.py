@@ -277,6 +277,7 @@ class SelectStatement(Statement):
     having: Optional[Expression] = None
     order_by: tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
+    offset: Optional[int] = None
     distinct: bool = False
     cross_tables: tuple[TableRef, ...] = ()
 
@@ -301,6 +302,8 @@ class SelectStatement(Statement):
             parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
         if self.limit is not None:
             parts.append(f"LIMIT {self.limit}")
+            if self.offset is not None:
+                parts.append(f"OFFSET {self.offset}")
         return " ".join(parts)
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ParseError
+from repro.errors import ParseError, SemanticError
 from repro.sql.ast_nodes import (
     Between,
     BinaryOp,
@@ -238,11 +238,11 @@ class _Parser:
                 order_by.append(self._order_item())
 
         limit: Optional[int] = None
+        offset: Optional[int] = None
         if self._match_keyword("LIMIT"):
-            token = self.advance()
-            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
-                self._fail("LIMIT requires an integer literal")
-            limit = token.value
+            limit = self._row_count("LIMIT")
+            if self._match_keyword("OFFSET"):
+                offset = self._row_count("OFFSET")
 
         return SelectStatement(
             items=tuple(items),
@@ -252,9 +252,30 @@ class _Parser:
             having=having,
             order_by=tuple(order_by),
             limit=limit,
+            offset=offset,
             distinct=distinct,
             cross_tables=tuple(cross),
         )
+
+    def _row_count(self, clause: str) -> int:
+        """The integer after LIMIT/OFFSET; negative literals are S013."""
+        start = self.peek().position
+        negated = (
+            self.peek().type is TokenType.OPERATOR and self.peek().value == "-"
+        )
+        if negated:
+            self.advance()
+        token = self.advance()
+        if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+            self._fail(f"{clause} requires an integer literal")
+        if negated:
+            end = start + len(f"-{token.value}")
+            raise SemanticError(
+                f"{clause} must not be negative, got -{token.value}",
+                code="S013",
+                span=Span(start, end),
+            )
+        return token.value
 
     def _select_item(self) -> SelectItem:
         expression = self.expression()
@@ -524,7 +545,10 @@ class _Parser:
             )
         if self._match_keyword("LIKE"):
             pattern = self._additive()
-            call = self._spanned(FunctionCall("like", (left, pattern)), start)
+            like_args = (left, pattern)
+            if self._match_keyword("ESCAPE"):
+                like_args = (left, pattern, self._additive())
+            call = self._spanned(FunctionCall("like", like_args), start)
             if negated:
                 return self._spanned(UnaryOp("NOT", call), start)
             return call

@@ -28,7 +28,7 @@ KEYWORDS = frozenset(
         "create", "temp", "temporary", "table", "view", "index", "insert",
         "into", "values", "update", "set", "drop", "if", "exists", "distinct",
         "case", "when", "then", "else", "end", "asc", "desc", "union", "all",
-        "replace", "explain", "analyze",
+        "replace", "explain", "analyze", "offset", "escape",
     )
 )
 

@@ -9,6 +9,19 @@ self-describing:
                                 and a per-table content checksum
     <dir>/<table>.npz           one compressed npz per table; BLOB columns
                                 are stored as npz sub-arrays per row
+    <dir>/<table>.p0042.npz     partitioned tables instead write one
+                                *uncompressed* npz per partition, so
+                                loads can memory-map the member arrays;
+                                the manifest carries per-partition rows,
+                                checksum, byte footprint and zone map
+
+Partitioned tables (:class:`~repro.storage.partition.PartitionedTable`)
+round-trip *lazily*: loading re-attaches each partition through a loader
+that memory-maps the fixed-width arrays straight out of the archive (the
+npz container stores members uncompressed, so the array bytes sit at a
+computable offset) and verifies the partition's blake2b checksum on its
+first materialization.  Pre-partition manifests load through the
+unchanged single-archive path.
 
 Crash safety: every ``.npz`` and the manifest are written to a temp file,
 fsync'd, and ``os.replace``'d into place — the manifest last, so a crash
@@ -28,13 +41,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import TYPE_CHECKING
+import struct
+import zipfile
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
+from numpy.lib import format as _npy_format
 
 from repro.errors import CatalogError, StorageError
 from repro.storage.column import Column
-from repro.storage.schema import DataType
+from repro.storage.partition import (
+    DEFAULT_PARTITION_ROWS,
+    Partition,
+    PartitionedTable,
+)
+from repro.storage.schema import ColumnSpec, DataType, Schema
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -97,23 +118,26 @@ def save_database(db: "Database", directory: str) -> int:
         if db.catalog.is_temp(name):
             continue
         table = db.catalog.get_table(name)
-        checksum = _save_table(
-            table, os.path.join(directory, f"{table.name}.npz")
-        )
-        manifest["tables"].append({
+        entry: dict = {
             "name": table.name,
             "columns": [
                 {"name": spec.name, "dtype": spec.dtype.value}
                 for spec in table.schema
             ],
             "rows": table.num_rows,
-            "checksum": checksum,
             "indexes": [
                 spec.name
                 for spec in table.schema
                 if db.catalog.get_index(table.name, spec.name) is not None
             ],
-        })
+        }
+        if isinstance(table, PartitionedTable):
+            entry["partitioned"] = _save_partitioned_table(table, directory)
+        else:
+            entry["checksum"] = _save_table(
+                table, os.path.join(directory, f"{table.name}.npz")
+            )
+        manifest["tables"].append(entry)
         written += 1
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     tmp_path = manifest_path + ".tmp"
@@ -152,7 +176,10 @@ def load_database(db: "Database", directory: str, *, replace: bool = False) -> i
     for entry in manifest["tables"]:
         path = os.path.join(directory, f"{entry['name']}.npz")
         try:
-            table = _load_table(entry, path)
+            if "partitioned" in entry:
+                table = _stage_partitioned_table(entry, directory)
+            else:
+                table = _load_table(entry, path)
         except StorageError:
             raise
         except FileNotFoundError:
@@ -241,22 +268,37 @@ def _load_table(entry: dict, path: str) -> Table:
                 f"content checksum (manifest {expected}, file {actual}) — "
                 "torn write or corruption"
             )
+    columns = _build_columns(
+        entry["columns"], arrays, int(entry["rows"]), entry["name"], path
+    )
+    return Table(entry["name"], columns)
+
+
+def _build_columns(
+    specs: list[dict],
+    arrays: dict[str, np.ndarray],
+    rows: int,
+    table_name: str,
+    path: str,
+) -> list[Column]:
+    """Rebuild ``Column`` objects from one archive's arrays."""
     columns: list[Column] = []
-    rows = int(entry["rows"])
-    for spec in entry["columns"]:
+    for spec in specs:
         name = spec["name"]
         dtype = DataType(spec["dtype"])
         # Absent in pre-NULL archives, so loads stay backward
         # compatible: no mask file means every row is valid.
         valid = arrays.get(f"valid__{name}")
+        if valid is not None:
+            valid = np.asarray(valid)
         if dtype is DataType.BLOB:
             data = np.empty(rows, dtype=object)
             for row in range(rows):
                 try:
-                    data[row] = arrays[f"blob__{name}__{row}"]
+                    data[row] = np.asarray(arrays[f"blob__{name}__{row}"])
                 except KeyError:
                     raise StorageError(
-                        f"table {entry['name']!r}: archive {path} is "
+                        f"table {table_name!r}: archive {path} is "
                         f"missing blob row {row} of column {name!r}"
                     ) from None
             if valid is not None:
@@ -276,8 +318,224 @@ def _load_table(entry: dict, path: str) -> Table:
                 Column(
                     name,
                     dtype,
-                    arrays[f"col__{name}"].astype(dtype.numpy_dtype),
+                    np.asarray(arrays[f"col__{name}"]).astype(dtype.numpy_dtype),
                     valid,
                 )
             )
-    return Table(entry["name"], columns)
+    return columns
+
+
+# ----------------------------------------------------------------------
+# Partitioned tables: per-partition archives, zone maps, lazy mmap loads
+# ----------------------------------------------------------------------
+def _partition_path(directory: str, table_name: str, index: int) -> str:
+    return os.path.join(directory, f"{table_name}.p{index:04d}.npz")
+
+
+def _zone_to_json(zone: dict) -> dict:
+    return {
+        name: {
+            "distinct": stats.distinct,
+            "min": stats.min_value,
+            "max": stats.max_value,
+            "nulls": stats.null_count,
+        }
+        for name, stats in zone.items()
+    }
+
+
+def _zone_from_json(payload: dict) -> dict:
+    # Imported lazily: the engine package imports this module's siblings
+    # during its own initialization.
+    from repro.engine.statistics import ColumnStats
+
+    return {
+        name: ColumnStats(
+            distinct=int(entry["distinct"]),
+            min_value=entry["min"],
+            max_value=entry["max"],
+            null_count=int(entry["nulls"]),
+        )
+        for name, entry in payload.items()
+    }
+
+
+def _save_partitioned_table(table: PartitionedTable, directory: str) -> dict:
+    """Write one *uncompressed* npz per partition; returns manifest meta.
+
+    Uncompressed members are what makes the lazy load path memory-map
+    the arrays in place instead of inflating them into fresh buffers.
+    """
+    partitions_meta: list[dict] = []
+    for index, partition in enumerate(table.partitions):
+        columns = partition.materialize()
+        arrays = _table_arrays(Table(table.name, columns))
+        path = _partition_path(directory, table.name, index)
+        tmp_path = path + ".tmp"
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            _discard(tmp_path)
+            raise
+        _fsync_replace(tmp_path, path)
+        partitions_meta.append({
+            "rows": partition.rows,
+            "nbytes": partition.nbytes,
+            "checksum": _content_checksum(arrays),
+            "zone": _zone_to_json(partition.zone),
+        })
+    return {
+        "partition_rows": table.partition_rows,
+        "partitions": partitions_meta,
+    }
+
+
+def _npz_member_specs(
+    path: str,
+) -> Optional[dict[str, tuple[int, np.dtype, tuple[int, ...]]]]:
+    """``key -> (data offset, dtype, shape)`` for a memory-mappable npz.
+
+    The npz container is a ZIP archive of ``.npy`` members.  When a
+    member is stored uncompressed (``np.savez``), its array bytes sit at
+    ``local header + npy header``, which :func:`np.memmap` can map
+    directly.  Returns ``None`` when any member rules mapping out
+    (compressed, object dtype, Fortran order, unknown npy version) —
+    callers then fall back to a full :func:`np.load`.
+    """
+    specs: dict[str, tuple[int, np.dtype, tuple[int, ...]]] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            infos = archive.infolist()
+        with open(path, "rb") as handle:
+            for info in infos:
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                handle.seek(info.header_offset)
+                header = handle.read(30)
+                if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                    return None
+                name_len, extra_len = struct.unpack("<HH", header[26:30])
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = _npy_format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = _npy_format.read_array_header_1_0(
+                        handle
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = _npy_format.read_array_header_2_0(
+                        handle
+                    )
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                key = info.filename
+                if key.endswith(".npy"):
+                    key = key[:-4]
+                specs[key] = (handle.tell(), dtype, shape)
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None
+    return specs
+
+
+def _open_partition_arrays(path: str) -> dict[str, np.ndarray]:
+    """Open one partition archive, memory-mapping where possible."""
+    specs = _npz_member_specs(path)
+    if specs is None:
+        with np.load(path, allow_pickle=False) as archive:
+            return {key: archive[key] for key in archive.files}
+    return {
+        key: np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+        for key, (offset, dtype, shape) in specs.items()
+    }
+
+
+def _partition_loader(
+    table_name: str,
+    index: int,
+    path: str,
+    specs: list[dict],
+    rows: int,
+    expected_checksum: Optional[str],
+) -> Callable[[], list[Column]]:
+    """Loader closure for one lazy partition.
+
+    The checksum is verified on the *first* materialization only (it
+    reads every byte, so repeating it would defeat lazy loading); a
+    mismatch raises a typed :class:`StorageError` naming the table and
+    partition.
+    """
+    state = {"verified": expected_checksum is None}
+
+    def load() -> list[Column]:
+        try:
+            arrays = _open_partition_arrays(path)
+        except FileNotFoundError:
+            raise StorageError(
+                f"table {table_name!r}: partition {index} archive missing "
+                f"at {path}"
+            ) from None
+        except Exception as exc:
+            raise StorageError(
+                f"table {table_name!r}: partition {index} archive at "
+                f"{path} is corrupt: {exc}"
+            ) from exc
+        if not state["verified"]:
+            actual = _content_checksum(arrays)
+            if actual != expected_checksum:
+                raise StorageError(
+                    f"table {table_name!r}: partition {index} at {path} "
+                    f"failed its content checksum (manifest "
+                    f"{expected_checksum}, file {actual}) — torn write or "
+                    "corruption"
+                )
+            state["verified"] = True
+        return _build_columns(specs, arrays, rows, table_name, path)
+
+    return load
+
+
+def _stage_partitioned_table(entry: dict, directory: str) -> PartitionedTable:
+    """Attach lazy partitions for one manifest entry; loads no data.
+
+    Existence of every partition archive is checked eagerly (the
+    two-phase load contract: a missing file surfaces before anything is
+    registered); content verification is deferred to each partition's
+    first materialization.
+    """
+    meta = entry["partitioned"]
+    schema = Schema(
+        ColumnSpec(spec["name"], DataType(spec["dtype"]))
+        for spec in entry["columns"]
+    )
+    partitions: list[Partition] = []
+    for index, partition_meta in enumerate(meta["partitions"]):
+        path = _partition_path(directory, entry["name"], index)
+        if not os.path.exists(path):
+            raise StorageError(
+                f"table {entry['name']!r}: partition {index} archive "
+                f"missing at {path}"
+            )
+        rows = int(partition_meta["rows"])
+        checksum = partition_meta.get("checksum")
+        partitions.append(
+            Partition(
+                rows=rows,
+                nbytes=int(partition_meta.get("nbytes", 0)),
+                zone=_zone_from_json(partition_meta.get("zone", {})),
+                loader=_partition_loader(
+                    entry["name"], index, path, entry["columns"], rows, checksum
+                ),
+                checksum=checksum,
+                source=path,
+            )
+        )
+    return PartitionedTable.from_partitions(
+        entry["name"],
+        schema,
+        partitions,
+        partition_rows=int(meta.get("partition_rows", DEFAULT_PARTITION_ROWS)),
+    )

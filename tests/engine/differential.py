@@ -11,7 +11,9 @@ Queries must stay inside the shared dialect:
 * no integer division (``/`` is float division here, integer in SQLite) —
   multiply by ``1.0`` first;
 * no ``count(<boolean expr>)`` (engine dialect: countIf);
-* no case-mixed LIKE patterns (SQLite's LIKE is case-insensitive);
+* LIKE (including case-mixed patterns and ESCAPE) is fair game: the
+  engine implements SQLite's semantics — ASCII-only case folding,
+  ``%`` spanning newlines, dangling escapes matching nothing;
 * no negative modulo (numpy takes the divisor's sign, C the dividend's);
 * no DATE functions and no engine-only builtins.
 

@@ -64,6 +64,14 @@ CORPUS = [
     # string kernels propagate NULL (no str(None) artifacts)
     "SELECT id FROM r WHERE s LIKE 'b%'",
     "SELECT id FROM r WHERE s LIKE '%a%'",
+    # LIKE is ASCII-case-insensitive with DOTALL wildcards + ESCAPE,
+    # exactly like SQLite
+    "SELECT id FROM r WHERE s LIKE 'B%'",
+    "SELECT id FROM r WHERE s LIKE 'BETA'",
+    "SELECT id FROM r WHERE s NOT LIKE '%A%'",
+    "SELECT id FROM r WHERE s LIKE 'al!_%' ESCAPE '!'",
+    "SELECT id FROM r WHERE s LIKE 'alph_'",
+    "SELECT id FROM r WHERE s LIKE '%t!%' ESCAPE '!'",
     "SELECT s || '_tail' FROM r",
     "SELECT upper(s) FROM r",
     "SELECT lower(s), length(s) FROM r",
@@ -235,8 +243,14 @@ def db():
 class TestStringNullRegressions:
     def test_like_does_not_match_literal_none_string(self, db):
         # str(None) == "None" used to make NULLs match 'None%' patterns.
-        assert db.query("SELECT id FROM t WHERE s LIKE 'None%'") == [(1,)]
-        assert db.query("SELECT id FROM t WHERE s LIKE 'none%'") == [(4,)]
+        # LIKE is ASCII-case-insensitive (sqlite semantics), so 'None%'
+        # and 'none%' both match "None" and "nonesuch" — but never NULL.
+        assert db.query("SELECT id FROM t WHERE s LIKE 'None%'") == [
+            (1,), (4,),
+        ]
+        assert db.query("SELECT id FROM t WHERE s LIKE 'none%'") == [
+            (1,), (4,),
+        ]
 
     def test_upper_of_null_is_null(self, db):
         rows = db.query("SELECT upper(s) FROM t")

@@ -1,0 +1,132 @@
+"""Zone-map partition pruning: differential correctness + plumbing.
+
+Pruning is an optimization, never a semantics change: every query must
+return the identical multiset with pruning active (partitioned table,
+folding on) and inactive (same data in a monolithic table).  The corpus
+deliberately includes NULL-heavy columns — zone maps carry null counts,
+and a partition of all-NULL values must still be scanned for IS NULL
+predicates yet prunable for range predicates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.column import Column
+from repro.storage.partition import PartitionedTable
+from repro.storage.schema import DataType
+from tests.engine.differential import normalize_rows
+
+ROWS = 64
+STEP = 8
+
+
+def columns():
+    # Ascending ints → tight zone maps; every third string NULL; one
+    # whole partition (rows 16..23) of NULL measurements.
+    measure_valid = np.array(
+        [not (16 <= i < 24) for i in range(ROWS)], dtype=bool
+    )
+    return [
+        Column("a", DataType.INT64, np.arange(ROWS, dtype=np.int64)),
+        Column(
+            "m",
+            DataType.FLOAT64,
+            np.where(measure_valid, np.arange(ROWS, dtype=np.float64), np.nan),
+            measure_valid,
+        ),
+        Column(
+            "s",
+            DataType.STRING,
+            np.array(
+                [f"name{i}" if i % 3 else None for i in range(ROWS)],
+                dtype=object,
+            ),
+            np.array([i % 3 != 0 for i in range(ROWS)]),
+        ),
+        Column(
+            "d",
+            DataType.DATE,
+            (738156 + np.arange(ROWS) * 7).astype(np.int64),  # weekly dates
+        ),
+    ]
+
+
+CORPUS = [
+    "SELECT a FROM t WHERE a >= 40",
+    "SELECT a, s FROM t WHERE a < 5",
+    "SELECT count(*) FROM t WHERE a BETWEEN 10 AND 20",
+    "SELECT sum(a) FROM t WHERE a > 100",  # contradiction: all pruned
+    "SELECT a FROM t WHERE m IS NULL",
+    "SELECT a FROM t WHERE m IS NOT NULL AND m < 10.0",
+    "SELECT s FROM t WHERE s IS NULL AND a >= 48",
+    "SELECT count(*) FROM t WHERE d >= '2022-06-01'",
+    "SELECT a FROM t WHERE d < '2021-12-15' OR a > 60",
+    "SELECT sum(a), count(m) FROM t WHERE a >= 24 AND a < 40",
+]
+
+
+@pytest.fixture()
+def pruned_db():
+    db = Database()
+    db.register_table(PartitionedTable("t", columns(), partition_rows=STEP))
+    return db
+
+
+@pytest.fixture()
+def plain_db():
+    db = Database(fold_constants=False)
+    from repro.storage.table import Table
+
+    db.register_table(Table("t", columns()))
+    return db
+
+
+class TestPruningDifferential:
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_same_multiset_with_and_without_pruning(
+        self, pruned_db, plain_db, sql
+    ):
+        assert normalize_rows(pruned_db.query(sql)) == normalize_rows(
+            plain_db.query(sql)
+        )
+
+
+class TestPruningPlumbing:
+    def test_explain_surfaces_selection(self, pruned_db):
+        rows = pruned_db.query("EXPLAIN SELECT a FROM t WHERE a >= 40")
+        text = "\n".join(r[0] for r in rows)
+        assert "[partitions: 3/8 after zone-map pruning]" in text
+
+    def test_pruned_metric_counts_skips(self):
+        metrics = MetricsRegistry()
+        db = Database(metrics=metrics)
+        db.register_table(PartitionedTable("t", columns(), partition_rows=STEP))
+        db.query("SELECT a FROM t WHERE a >= 40")
+        snapshot = {
+            name: metric.to_dict()["value"]
+            for name, metric in metrics._metrics.items()
+        }
+        assert snapshot["partitions_pruned_total"] == 5.0
+        assert snapshot["partitions_scanned_total"] == 3.0
+
+    def test_stale_selection_ignored_after_mutation(self, pruned_db):
+        sql = "SELECT count(*) FROM t WHERE a >= 40"
+        assert pruned_db.query(sql) == [(24,)]
+        # Append rows the cached selection has never seen; the executor
+        # must notice the data_version bump and scan everything.
+        pruned_db.execute("INSERT INTO t (a, m, s, d) VALUES (99, 1.0, 'x', "
+                          "'2023-01-01')")
+        assert pruned_db.query(sql) == [(25,)]
+
+    def test_selective_scan_touches_fewer_partitions(self):
+        metrics = MetricsRegistry()
+        db = Database(metrics=metrics)
+        db.register_table(PartitionedTable("t", columns(), partition_rows=STEP))
+        db.query("SELECT count(*) FROM t")  # full scan: 8 partitions
+        db.query("SELECT count(*) FROM t WHERE a < 8")  # selective: 1
+        scanned = metrics._metrics["partitions_scanned_total"].to_dict()[
+            "value"
+        ]
+        assert scanned == 9.0

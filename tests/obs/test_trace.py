@@ -201,7 +201,9 @@ class TestDatabaseIntegration:
         root = tracer.last_trace()
         assert root.name == "query"
         stages = [c.name for c in root.children]
-        assert stages == ["parse", "analyze", "plan", "fold", "optimize", "execute"]
+        assert stages == [
+            "parse", "analyze", "plan", "fold", "optimize", "prune", "execute",
+        ]
         execute = root.find("execute")
         assert execute.attributes["rows"] == 1
         assert root.find("operator:scan") is not None

@@ -1,0 +1,76 @@
+"""LIMIT ... OFFSET: parsing, execution, round-trip, and rejection."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ParseError, SemanticError
+from repro.sql.parser import parse_statement as parse
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table_from_dict("t", {"a": list(range(10))})
+    return database
+
+
+class TestParsing:
+    def test_offset_parsed(self):
+        statement = parse("SELECT a FROM t LIMIT 3 OFFSET 4")
+        assert statement.limit == 3
+        assert statement.offset == 4
+
+    def test_offset_absent_is_none(self):
+        statement = parse("SELECT a FROM t LIMIT 3")
+        assert statement.offset is None
+
+    def test_to_sql_round_trip(self):
+        sql = "SELECT a FROM t LIMIT 3 OFFSET 4"
+        assert parse(parse(sql).to_sql()).to_sql() == parse(sql).to_sql()
+
+    def test_offset_requires_limit(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t OFFSET 4")
+
+    def test_offset_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 3 OFFSET 'x'")
+
+    @pytest.mark.parametrize(
+        "sql,clause",
+        [
+            ("SELECT a FROM t LIMIT -3", "LIMIT"),
+            ("SELECT a FROM t LIMIT 3 OFFSET -1", "OFFSET"),
+        ],
+    )
+    def test_negative_is_spanned_semantic_error(self, sql, clause):
+        with pytest.raises(SemanticError) as info:
+            parse(sql)
+        assert info.value.code == "S013"
+        assert clause in str(info.value)
+        span = info.value.span
+        assert sql[span.start:span.end].startswith("-")
+
+
+class TestExecution:
+    def test_offset_skips_rows(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a LIMIT 3 OFFSET 4") == [
+            (4,), (5,), (6,),
+        ]
+
+    def test_offset_past_end_is_empty(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 20") == []
+
+    def test_offset_truncates_tail(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 8") == [
+            (8,), (9,),
+        ]
+
+    def test_offset_zero_equals_plain_limit(self, db):
+        assert db.query("SELECT a FROM t ORDER BY a LIMIT 3 OFFSET 0") == (
+            db.query("SELECT a FROM t ORDER BY a LIMIT 3")
+        )
+
+    def test_explain_shows_offset(self, db):
+        rows = db.query("EXPLAIN SELECT a FROM t LIMIT 3 OFFSET 4")
+        assert any("Limit 3 OFFSET 4" in r[0] for r in rows)

@@ -1,0 +1,129 @@
+"""TPC-H workload: generator invariants and query-suite correctness."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.errors import WorkloadError
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.partition import PartitionedTable
+from repro.workload.tpch import (
+    TPCH_QUERIES,
+    TpchConfig,
+    generate_tpch,
+)
+
+CONFIG = TpchConfig(scale_factor=0.005, partition_rows=1024)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def db(data):
+    database = Database()
+    data.install(database)
+    return database
+
+
+class TestGenerator:
+    def test_tables_are_partitioned(self, data):
+        assert set(data.tables) == {
+            "region", "nation", "supplier", "part", "customer", "orders",
+            "lineitem",
+        }
+        for table in data.tables.values():
+            assert isinstance(table, PartitionedTable)
+        assert data.tables["lineitem"].num_partitions > 1
+
+    def test_sizes_scale(self, data):
+        assert data.tables["orders"].num_rows == 7_500
+        assert data.tables["customer"].num_rows == 750
+        assert data.tables["nation"].num_rows == 25
+        assert data.tables["region"].num_rows == 5
+        # ~4 lineitems per order
+        assert data.tables["lineitem"].num_rows > 2 * 7_500
+
+    def test_deterministic(self):
+        a = generate_tpch(CONFIG)
+        b = generate_tpch(CONFIG)
+        left = a.tables["lineitem"].column("l_extendedprice").data
+        right = b.tables["lineitem"].column("l_extendedprice").data
+        assert np.array_equal(left, right)
+
+    def test_orderdates_are_clustered(self, data):
+        dates = data.tables["orders"].column("o_orderdate").data
+        assert np.all(np.diff(dates) >= 0)
+
+    def test_referential_integrity(self, data):
+        orders = data.tables["orders"]
+        lineitem = data.tables["lineitem"]
+        n_orders = orders.num_rows
+        assert int(lineitem.column("l_orderkey").data.max()) < n_orders
+        assert int(
+            data.tables["customer"].column("c_nationkey").data.max()
+        ) < 25
+
+    def test_scale_factor_validated(self):
+        with pytest.raises(WorkloadError):
+            TpchConfig(scale_factor=0.0).table_sizes()
+        with pytest.raises(WorkloadError):
+            TpchConfig(scale_factor=1.5).table_sizes()
+
+    def test_install_isolates_mutations(self, data):
+        one = Database()
+        two = Database()
+        data.install(one)
+        data.install(two)
+        one.execute("UPDATE region SET r_name = 'X' WHERE r_regionkey = 0")
+        assert two.query(
+            "SELECT r_name FROM region WHERE r_regionkey = 0"
+        ) == [("AFRICA",)]
+
+
+class TestQuerySuite:
+    @pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+    def test_query_runs_and_returns_rows(self, db, name):
+        result = db.query(TPCH_QUERIES[name])
+        if name in ("q6", "q14"):
+            assert result[0][0] is not None  # single aggregate row
+        elif name == "paging":
+            assert len(result) == 20
+        else:
+            assert len(result) > 0
+
+    def test_q6_prunes_partitions(self, data):
+        metrics = MetricsRegistry()
+        database = Database(metrics=metrics)
+        data.install(database)
+        database.query(TPCH_QUERIES["q1"])  # near-full scan baseline
+        full = metrics._metrics["partitions_scanned_total"].to_dict()["value"]
+        database.query(TPCH_QUERIES["q6"])
+        selective = (
+            metrics._metrics["partitions_scanned_total"].to_dict()["value"]
+            - full
+        )
+        total = data.tables["lineitem"].num_partitions
+        assert selective < total  # zone maps skipped partitions
+        assert metrics._metrics["partitions_pruned_total"].to_dict()[
+            "value"
+        ] > 0
+
+    def test_suite_completes_under_budget_with_spill(self, data):
+        metrics = MetricsRegistry()
+        # Smaller than lineitem's resident footprint (so a monolithic
+        # materialization could not fit) but above the largest single
+        # join output at this scale — admission is per-materialization.
+        lineitem_bytes = data.tables["lineitem"].nbytes()
+        database = Database(
+            metrics=metrics,
+            query_memory_bytes=int(lineitem_bytes * 0.9),
+        )
+        data.install(database)
+        for sql in TPCH_QUERIES.values():
+            database.query(sql)
+        assert metrics._metrics["join_spill_partitions_total"].to_dict()[
+            "value"
+        ] > 0
